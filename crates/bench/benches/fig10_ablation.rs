@@ -1,0 +1,42 @@
+//! Fig. 10 as a Criterion bench: baseline vs FB (split vectors) vs FB+BtB
+//! (interleaved vectors), `k = 5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk_bench::runner::{abmc_params, start_vector};
+use fbmpk_bench::BenchConfig;
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    let k = 5;
+    let mut group = c.benchmark_group("fig10_ablation");
+    group.sample_size(10);
+    for name in ["afshell10", "pwtk"] {
+        let entry = fbmpk_gen::suite::suite_entry(name).expect("suite entry");
+        let a = entry.generate(cfg.scale, cfg.seed);
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let baseline = StandardMpk::new(&a, cfg.threads).expect("square");
+        let mk = |layout| {
+            let mut opts = FbmpkOptions::parallel(cfg.threads);
+            opts.reorder = Some(abmc_params(n));
+            opts.layout = layout;
+            FbmpkPlan::new(&a, opts).expect("square")
+        };
+        let fb = mk(VectorLayout::Split);
+        let btb = mk(VectorLayout::BackToBack);
+        group.bench_with_input(BenchmarkId::new("baseline", name), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(baseline.power(x0, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("fb", name), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(fb.power(x0, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("fb_btb", name), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(btb.power(x0, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 12 as a Criterion bench: FBMPK thread scaling at `k = 5`
+//! (normalized speedup curves: `repro fig12`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbmpk::{FbmpkOptions, FbmpkPlan};
+use fbmpk_bench::runner::{abmc_params, start_vector};
+use fbmpk_bench::BenchConfig;
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    let k = 5;
+    let entry = fbmpk_gen::suite::suite_entry("inline_1").expect("suite entry");
+    let a = entry.generate(cfg.scale, cfg.seed);
+    let n = a.nrows();
+    let x0 = start_vector(n);
+    let mut group = c.benchmark_group("fig12_scaling_inline_1");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let mut opts =
+            if threads == 1 { FbmpkOptions::default() } else { FbmpkOptions::parallel(threads) };
+        opts.reorder = Some(abmc_params(n));
+        let plan = FbmpkPlan::new(&a, opts).expect("square");
+        group.bench_with_input(BenchmarkId::new("fbmpk", threads), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(plan.power(x0, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

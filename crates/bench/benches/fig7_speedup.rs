@@ -1,0 +1,36 @@
+//! Fig. 7 as a Criterion bench: baseline MPK vs FBMPK at `k = 5` on a
+//! representative subset of the suite (full sweep: `repro fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+use fbmpk_bench::runner::{abmc_params, start_vector};
+use fbmpk_bench::BenchConfig;
+
+const SUBSET: [&str; 4] = ["afshell10", "audikw_1", "G3_circuit", "cage14"];
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    let k = 5;
+    let mut group = c.benchmark_group("fig7_k5");
+    group.sample_size(10);
+    for name in SUBSET {
+        let entry = fbmpk_gen::suite::suite_entry(name).expect("suite entry");
+        let a = entry.generate(cfg.scale, cfg.seed);
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let baseline = StandardMpk::new(&a, cfg.threads).expect("square");
+        let mut opts = FbmpkOptions::parallel(cfg.threads);
+        opts.reorder = Some(abmc_params(n));
+        let plan = FbmpkPlan::new(&a, opts).expect("square");
+        group.bench_with_input(BenchmarkId::new("baseline", name), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(baseline.power(x0, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("fbmpk", name), &x0, |b, x0| {
+            b.iter(|| std::hint::black_box(plan.power(x0, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

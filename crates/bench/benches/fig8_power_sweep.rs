@@ -1,0 +1,36 @@
+//! Fig. 8 as a Criterion bench: the power-`k` sweep on two contrasting
+//! inputs — dense-block FEM (audikw-like) where FBMPK shines, and the
+//! ultra-sparse circuit class where vector traffic limits the win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+use fbmpk_bench::runner::{abmc_params, start_vector};
+use fbmpk_bench::BenchConfig;
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    for name in ["audikw_1", "G3_circuit"] {
+        let entry = fbmpk_gen::suite::suite_entry(name).expect("suite entry");
+        let a = entry.generate(cfg.scale, cfg.seed);
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let baseline = StandardMpk::new(&a, cfg.threads).expect("square");
+        let mut opts = FbmpkOptions::parallel(cfg.threads);
+        opts.reorder = Some(abmc_params(n));
+        let plan = FbmpkPlan::new(&a, opts).expect("square");
+        let mut group = c.benchmark_group(format!("fig8_{name}"));
+        group.sample_size(10);
+        for k in [3usize, 5, 7, 9] {
+            group.bench_with_input(BenchmarkId::new("baseline", k), &k, |b, &k| {
+                b.iter(|| std::hint::black_box(baseline.power(&x0, k)))
+            });
+            group.bench_with_input(BenchmarkId::new("fbmpk", k), &k, |b, &k| {
+                b.iter(|| std::hint::black_box(plan.power(&x0, k)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

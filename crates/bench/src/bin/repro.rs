@@ -1,0 +1,352 @@
+//! `repro` — regenerates every table and figure of the FBMPK paper.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--scale S] [--threads T] [--reps N] [--out DIR]
+//!
+//! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
+//!             fig10 | table3 | table4 | fig11 | fig12 | model
+//! ```
+//!
+//! Results are printed as aligned tables and written as CSV under `--out`
+//! (default `EXPERIMENTS_RESULTS/`).
+
+use fbmpk_bench::report::{format_table, write_csv};
+use fbmpk_bench::runner::{self, MatrixCase};
+use fbmpk_bench::{platform, BenchConfig};
+use std::path::PathBuf;
+
+struct Args {
+    experiments: Vec<String>,
+    cfg: BenchConfig,
+    out: PathBuf,
+}
+
+/// Parses the next argument as a number, exiting with a clean error
+/// message (not a panic) on malformed or missing values.
+fn numeric_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    match it.next().map(|v| (v.parse::<T>(), v)) {
+        Some((Ok(n), _)) => n,
+        Some((Err(_), v)) => {
+            eprintln!("error: {flag} needs a number, got '{v}'");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut cfg = BenchConfig::default();
+    let mut out = PathBuf::from("EXPERIMENTS_RESULTS");
+    let mut experiments = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => cfg.scale = numeric_arg(&mut it, "--scale"),
+            "--threads" => cfg.threads = numeric_arg(&mut it, "--threads"),
+            "--reps" => cfg.reps = numeric_arg(&mut it, "--reps"),
+            "--seed" => cfg.seed = numeric_arg(&mut it, "--seed"),
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
+                     \x20      [ablation_blocks] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    const KNOWN: [&str; 13] = [
+        "all", "table1", "table2", "fig7", "fig8", "fig9", "fig10", "table3", "table4",
+        "fig11", "fig12", "model", "ablation_blocks",
+    ];
+    for e in &experiments {
+        if !KNOWN.contains(&e.as_str()) {
+            eprintln!("error: unknown experiment '{e}' (known: {})", KNOWN.join(", "));
+            std::process::exit(2);
+        }
+    }
+    Args { experiments, cfg, out }
+}
+
+fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| {
+        args.experiments.iter().any(|e| e == name || e == "all")
+    };
+    println!(
+        "FBMPK reproduction harness  (scale {}, {} threads, {} reps)\n",
+        args.cfg.scale, args.cfg.threads, args.cfg.reps
+    );
+
+    if want("table1") {
+        println!("{}", platform::platform_table());
+    }
+    if want("model") {
+        let rows = runner::model_table(9);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    r.standard_reads.to_string(),
+                    r.fb_lower_reads.to_string(),
+                    r.fb_upper_reads.to_string(),
+                    f3(r.fb_effective_reads),
+                    f3(r.ideal_ratio),
+                ]
+            })
+            .collect();
+        println!("Access-count model (paper SIII-B)");
+        println!(
+            "{}",
+            format_table(&["k", "standard A-reads", "FB L-reads", "FB U-reads", "FB A-reads", "ideal ratio"], &table)
+        );
+        write_csv(&args.out.join("model.csv"), &["k", "standard_reads", "fb_l", "fb_u", "fb_eff", "ideal"], &table)
+            .expect("write model.csv");
+    }
+
+    let needs_suite = ["table2", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "fig12", "ablation_blocks"]
+        .iter()
+        .any(|e| want(e));
+    if !needs_suite {
+        return;
+    }
+    eprintln!("generating the 14-matrix suite at scale {} ...", args.cfg.scale);
+    let cases: Vec<MatrixCase> = runner::load_suite(&args.cfg);
+
+    if want("table2") {
+        let rows = runner::table2(&cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.rows.to_string(),
+                    r.nnz.to_string(),
+                    format!("{:.2}", r.nnz_per_row),
+                    format!("{:.2}", r.paper_nnz_per_row),
+                    if r.symmetric { "yes" } else { "no" }.into(),
+                ]
+            })
+            .collect();
+        println!("Table II - input matrices (generated at scale {})", args.cfg.scale);
+        println!(
+            "{}",
+            format_table(&["input", "rows", "nnz", "nnz/row", "paper nnz/row", "sym"], &table)
+        );
+        write_csv(
+            &args.out.join("table2.csv"),
+            &["input", "rows", "nnz", "nnz_per_row", "paper_nnz_per_row", "symmetric"],
+            &table,
+        )
+        .expect("write table2.csv");
+    }
+
+    if want("fig7") {
+        eprintln!("fig7: FBMPK vs baseline, k = 5 ...");
+        let rows = runner::fig7(&args.cfg, &cases);
+        let gm = fbmpk_bench::report::geomean(
+            &rows.iter().map(|r| r.speedup).collect::<Vec<_>>(),
+        );
+        let mut table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![r.name.clone(), format!("{:.6}", r.t_baseline), format!("{:.6}", r.t_fbmpk), f3(r.speedup)]
+            })
+            .collect();
+        table.push(vec!["geomean".into(), String::new(), String::new(), f3(gm)]);
+        println!("Fig 7 - speedup of FBMPK over baseline MPK (k=5, {} threads)", args.cfg.threads);
+        println!("{}", format_table(&["input", "t_baseline[s]", "t_fbmpk[s]", "speedup"], &table));
+        write_csv(&args.out.join("fig7.csv"), &["input", "t_baseline", "t_fbmpk", "speedup"], &table)
+            .expect("write fig7.csv");
+    }
+
+    if want("fig8") {
+        eprintln!("fig8: k sweep 3..9 ...");
+        let rows = runner::fig8(&args.cfg, &cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.name.clone(), r.k.to_string(), f3(r.speedup)])
+            .collect();
+        println!("Fig 8 - speedup vs power k");
+        println!("{}", format_table(&["input", "k", "speedup"], &table));
+        // Per-k geomeans (the paper's headline trend).
+        let mut summary: Vec<Vec<String>> = Vec::new();
+        for k in 3..=9usize {
+            let s: Vec<f64> = rows.iter().filter(|r| r.k == k).map(|r| r.speedup).collect();
+            summary.push(vec![k.to_string(), f3(fbmpk_bench::report::geomean(&s))]);
+        }
+        println!("Fig 8 summary - geomean speedup per k");
+        println!("{}", format_table(&["k", "geomean speedup"], &summary));
+        write_csv(&args.out.join("fig8.csv"), &["input", "k", "speedup"], &table)
+            .expect("write fig8.csv");
+        write_csv(&args.out.join("fig8_summary.csv"), &["k", "geomean_speedup"], &summary)
+            .expect("write fig8_summary.csv");
+    }
+
+    if want("fig9") {
+        eprintln!("fig9: simulated DRAM traffic ...");
+        let rows = runner::fig9(&cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.k.to_string(),
+                    r.dram_standard.to_string(),
+                    r.dram_fbmpk.to_string(),
+                    format!("{:.1}%", r.ratio * 100.0),
+                    format!("{:.1}%", r.ideal * 100.0),
+                    format!("{:.1}%", r.vector_fraction * 100.0),
+                ]
+            })
+            .collect();
+        println!("Fig 9 - DRAM read/write volume ratio FBMPK / baseline (cache simulator)");
+        println!(
+            "{}",
+            format_table(
+                &["input", "k", "dram_baseline[B]", "dram_fbmpk[B]", "ratio", "ideal", "vec share"],
+                &table
+            )
+        );
+        write_csv(
+            &args.out.join("fig9.csv"),
+            &["input", "k", "dram_baseline", "dram_fbmpk", "ratio", "ideal", "vector_fraction"],
+            &table,
+        )
+        .expect("write fig9.csv");
+    }
+
+    if want("fig10") {
+        eprintln!("fig10: FB vs FB+BtB ablation ...");
+        let rows = runner::fig10(&args.cfg, &cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.name.clone(), f3(r.speedup_fb), f3(r.speedup_fb_btb)])
+            .collect();
+        println!("Fig 10 - ablation (speedups over baseline, k=5)");
+        println!("{}", format_table(&["input", "FB", "FB+BtB"], &table));
+        write_csv(&args.out.join("fig10.csv"), &["input", "fb", "fb_btb"], &table)
+            .expect("write fig10.csv");
+    }
+
+    if want("table3") {
+        eprintln!("table3: ABMC impact on single SpMV ...");
+        let rows = runner::table3(&args.cfg, &cases);
+        let table: Vec<Vec<String>> =
+            rows.iter().map(|r| vec![r.name.clone(), format!("{:.2}", r.ratio)]).collect();
+        println!("Table III - single-SpMV ratio t_original / t_ABMC (>1 = ABMC faster)");
+        println!("{}", format_table(&["input", "ratio"], &table));
+        write_csv(&args.out.join("table3.csv"), &["input", "ratio"], &table)
+            .expect("write table3.csv");
+    }
+
+    if want("table4") {
+        let rows = runner::table4(&cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.csr_bytes.to_string(),
+                    r.split_bytes.to_string(),
+                    f3(r.overhead),
+                ]
+            })
+            .collect();
+        println!("Table IV - storage: split L+U+d vs plain CSR");
+        println!("{}", format_table(&["input", "csr[B]", "L+U+d[B]", "ratio"], &table));
+        write_csv(&args.out.join("table4.csv"), &["input", "csr_bytes", "split_bytes", "ratio"], &table)
+            .expect("write table4.csv");
+    }
+
+    if want("fig11") {
+        eprintln!("fig11: ABMC preprocessing cost ...");
+        let rows = runner::fig11(&args.cfg, &cases);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.6}", r.reorder_seconds),
+                    format!("{:.6}", r.spmv_seconds),
+                    format!("{:.1}", r.n_spmvs),
+                ]
+            })
+            .collect();
+        println!("Fig 11 - ABMC preprocessing cost in single-thread SpMV invocations");
+        println!("{}", format_table(&["input", "reorder[s]", "spmv[s]", "#SpMVs"], &table));
+        write_csv(
+            &args.out.join("fig11.csv"),
+            &["input", "reorder_seconds", "spmv_seconds", "n_spmvs"],
+            &table,
+        )
+        .expect("write fig11.csv");
+    }
+
+    if want("ablation_blocks") {
+        eprintln!("ablation: ABMC block-count sweep ...");
+        let counts = [32usize, 128, 512, 1024, 4096];
+        let mut table: Vec<Vec<String>> = Vec::new();
+        for case in cases.iter().filter(|c| ["afshell10", "audikw_1", "G3_circuit"].contains(&c.entry.name)) {
+            for r in runner::ablation_blocks(&args.cfg, case, &counts) {
+                table.push(vec![
+                    r.name.clone(),
+                    r.nblocks.to_string(),
+                    r.ncolors.to_string(),
+                    r.max_color_width.to_string(),
+                    f3(r.speedup),
+                ]);
+            }
+        }
+        println!("Block-count ablation (paper SIII-D trade-off, k=5, {} threads)", args.cfg.threads);
+        println!(
+            "{}",
+            format_table(&["input", "nblocks", "colors", "max width", "speedup"], &table)
+        );
+        write_csv(
+            &args.out.join("ablation_blocks.csv"),
+            &["input", "nblocks", "colors", "max_width", "speedup"],
+            &table,
+        )
+        .expect("write ablation_blocks.csv");
+    }
+
+    if want("fig12") {
+        let max_threads = args.cfg.threads.max(8);
+        let mut threads = vec![1usize, 2, 4];
+        let mut t = 8;
+        while t <= max_threads {
+            threads.push(t);
+            t *= 2;
+        }
+        eprintln!("fig12: thread sweep {threads:?} ...");
+        let rows = runner::fig12(&args.cfg, &cases, &threads);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| vec![r.name.clone(), r.threads.to_string(), f3(r.speedup)])
+            .collect();
+        println!("Fig 12 - FBMPK speedup over single-thread baseline (k=5)");
+        println!("{}", format_table(&["input", "threads", "speedup"], &table));
+        write_csv(&args.out.join("fig12.csv"), &["input", "threads", "speedup"], &table)
+            .expect("write fig12.csv");
+    }
+
+    println!("CSV results written to {}", args.out.display());
+}

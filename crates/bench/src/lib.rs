@@ -1,0 +1,65 @@
+//! # fbmpk-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§IV–V). The `repro` binary drives full experiments;
+//! the Criterion benches under `benches/` cover the timing figures at a
+//! smaller default scale.
+//!
+//! Experiment ↔ paper mapping (see DESIGN.md for the full index):
+//!
+//! | id       | paper                                     | function                    |
+//! |----------|-------------------------------------------|-----------------------------|
+//! | table1   | hardware platforms                        | [`platform::platform_table`]|
+//! | table2   | input matrices                            | [`runner::table2`]          |
+//! | fig7     | FBMPK vs baseline speedup, k = 5          | [`runner::fig7`]            |
+//! | fig8     | speedup vs k = 3..9                       | [`runner::fig8`]            |
+//! | fig9     | DRAM traffic ratio (k = 3, 6, 9)          | [`runner::fig9`]            |
+//! | fig10    | ablation: FB vs FB+BtB                    | [`runner::fig10`]           |
+//! | table3   | single-SpMV slowdown after ABMC           | [`runner::table3`]          |
+//! | table4   | storage: CSR vs L+U+d                     | [`runner::table4`]          |
+//! | fig11    | ABMC preprocessing cost in #SpMVs         | [`runner::fig11`]           |
+//! | fig12    | thread scalability, k = 5                 | [`runner::fig12`]           |
+//! | model    | §III-B access-count formulas              | [`runner::model_table`]     |
+
+pub mod platform;
+pub mod report;
+pub mod runner;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Fraction of the paper's matrix dimensions to generate
+    /// (`FBMPK_SCALE`, default `0.01` → 625–35k rows).
+    pub scale: f64,
+    /// Worker threads for parallel kernels (`FBMPK_THREADS`, default:
+    /// available parallelism).
+    pub threads: usize,
+    /// Timing repetitions per measurement (`FBMPK_REPS`, default 7; the
+    /// paper uses 50 on dedicated hardware).
+    pub reps: usize,
+    /// RNG seed for matrix generation.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: std::env::var("FBMPK_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01),
+            threads: std::env::var("FBMPK_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+                }),
+            reps: std::env::var("FBMPK_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(7),
+            seed: 42,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A fast configuration for CI / criterion smoke runs.
+    pub fn smoke() -> Self {
+        BenchConfig { scale: 0.002, threads: 2, reps: 3, seed: 42 }
+    }
+}

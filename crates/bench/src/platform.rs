@@ -1,0 +1,89 @@
+//! Host platform probe — our stand-in for Table I.
+//!
+//! The paper evaluates on FT 2000+, ThunderX2, Kunpeng 920 and a Xeon Gold
+//! 6230R. We run on whatever host executes the reproduction and record its
+//! characteristics next to the paper's, so EXPERIMENTS.md can state exactly
+//! what hardware produced our numbers.
+
+use serde::Serialize;
+
+/// Host hardware/software description.
+#[derive(Debug, Clone, Serialize)]
+pub struct Platform {
+    /// CPU model string (from `/proc/cpuinfo` where available).
+    pub cpu_model: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// Target architecture.
+    pub arch: &'static str,
+    /// Operating system.
+    pub os: &'static str,
+    /// Total memory in GiB (0 when unknown).
+    pub mem_gib: f64,
+}
+
+/// Probes the current host.
+pub fn probe() -> Platform {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let mem_gib = std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok())
+            })
+        })
+        .map(|kb| kb / 1024.0 / 1024.0)
+        .unwrap_or(0.0);
+    Platform {
+        cpu_model,
+        logical_cpus: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        arch: std::env::consts::ARCH,
+        os: std::env::consts::OS,
+        mem_gib,
+    }
+}
+
+/// Renders Table I: the paper's four platforms beside the reproduction
+/// host.
+pub fn platform_table() -> String {
+    let host = probe();
+    let mut out = String::new();
+    out.push_str("Table I - evaluation platforms (paper) vs reproduction host\n");
+    out.push_str("  paper: FT2000+   64 cores, 2.2GHz, 8 NUMA, L2 2MB, no L3\n");
+    out.push_str("  paper: ThunderX2 32 cores, 2.5GHz, L3 32MB\n");
+    out.push_str("  paper: KP920     64 cores, 2.6GHz, L3 64MB\n");
+    out.push_str("  paper: Xeon 6230R 26 cores, 2.1GHz, L3 35.75MB\n");
+    out.push_str(&format!(
+        "  host : {} ({} logical cpus, {}, {}, {:.1} GiB RAM)\n",
+        host.cpu_model, host.logical_cpus, host.arch, host.os, host.mem_gib
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_returns_sane_values() {
+        let p = probe();
+        assert!(p.logical_cpus >= 1);
+        assert!(!p.cpu_model.is_empty());
+    }
+
+    #[test]
+    fn table_mentions_all_platforms() {
+        let t = platform_table();
+        for name in ["FT2000+", "ThunderX2", "KP920", "Xeon", "host"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Result emission: aligned console tables, CSV files, and JSON dumps.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders an aligned text table.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}", cell, width = widths[i] + 2));
+        }
+        out.push('\n');
+    };
+    emit_row(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        emit_row(&mut out, row);
+    }
+    out
+}
+
+/// Writes rows as CSV.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        // Quote cells containing commas.
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| if c.contains(',') { format!("\"{c}\"") } else { c.clone() })
+            .collect();
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes any serializable result set as pretty JSON.
+///
+/// # Errors
+/// Propagates I/O and serialization failures.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let s = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, s)
+}
+
+/// Geometric mean of a nonempty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.5".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // Columns line up: "value" header and "1.5" start at same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "1.5");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("fbmpk-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+}

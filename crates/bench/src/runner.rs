@@ -1,0 +1,578 @@
+//! Experiment implementations — one function per paper table/figure.
+//!
+//! All timing experiments compare the standard MPK baseline and FBMPK on
+//! the same thread pool size and the same synthetic suite; measurement
+//! follows the paper's methodology (geometric mean over repetitions,
+//! preprocessing excluded — §IV-C).
+
+use crate::BenchConfig;
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk_gen::suite::SuiteEntry;
+use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
+use fbmpk_reorder::{Abmc, AbmcParams};
+use fbmpk_sparse::spmv::spmv;
+use fbmpk_sparse::stats::MatrixStats;
+use fbmpk_sparse::{Csr, TriangularSplit};
+use serde::Serialize;
+use std::time::Instant;
+
+/// A generated suite input.
+pub struct MatrixCase {
+    /// The Table II entry this case instantiates.
+    pub entry: SuiteEntry,
+    /// The generated matrix at the configured scale.
+    pub matrix: Csr,
+}
+
+/// Generates the full 14-matrix suite at the configured scale.
+pub fn load_suite(cfg: &BenchConfig) -> Vec<MatrixCase> {
+    fbmpk_gen::paper_suite()
+        .into_iter()
+        .map(|entry| {
+            let matrix = entry.generate(cfg.scale, cfg.seed);
+            MatrixCase { entry, matrix }
+        })
+        .collect()
+}
+
+/// Geometric mean of `reps` timings of `f` (after one warmup run) — the
+/// paper's aggregation (§IV-C).
+pub fn time_geomean<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warmup
+    let mut log_sum = 0.0;
+    let reps = reps.max(1);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        log_sum += t0.elapsed().as_secs_f64().max(1e-12).ln();
+    }
+    (log_sum / reps as f64).exp()
+}
+
+/// Deterministic non-trivial start vector.
+pub fn start_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + 0.5 * ((i * 2_654_435_761usize) as f64 / usize::MAX as f64)).collect()
+}
+
+/// ABMC parameters used by all experiments: the paper's default of 512
+/// blocks (clamped so tiny scaled matrices keep ≥ 2 rows per block), with
+/// contiguous blocking — on this suite the BFS-aggregated blocking
+/// scrambles the generators' already-local row numbering and loses more
+/// gather locality than the coloring gains (see the `abmc_blocking`
+/// criterion bench for the ablation).
+pub fn abmc_params(n: usize) -> AbmcParams {
+    AbmcParams {
+        nblocks: 512.min(n / 2).max(1),
+        strategy: fbmpk_reorder::BlockingStrategy::Contiguous,
+        ..Default::default()
+    }
+}
+
+/// Builds the FBMPK plan configuration the timing experiments use: the
+/// serial pipeline (§III-B, no reordering needed) for one thread, the
+/// ABMC-colored parallel pipeline (§III-D/E) otherwise.
+pub fn fbmpk_options(n: usize, threads: usize, layout: VectorLayout) -> FbmpkOptions {
+    if threads == 1 {
+        FbmpkOptions { layout, ..Default::default() }
+    } else {
+        FbmpkOptions { nthreads: threads, reorder: Some(abmc_params(n)), layout, pre_rcm: false }
+    }
+}
+
+// ---------------------------------------------------------------- table 2
+
+/// One row of Table II (paper values + generated realization).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Matrix name.
+    pub name: String,
+    /// Generated dimension.
+    pub rows: usize,
+    /// Generated nonzero count.
+    pub nnz: usize,
+    /// Generated mean row density.
+    pub nnz_per_row: f64,
+    /// Paper dimension.
+    pub paper_rows: usize,
+    /// Paper `#nnz/N`.
+    pub paper_nnz_per_row: f64,
+    /// Whether the generated matrix is symmetric.
+    pub symmetric: bool,
+}
+
+/// Reproduces Table II: the matrix inventory at the configured scale.
+pub fn table2(cases: &[MatrixCase]) -> Vec<Table2Row> {
+    cases
+        .iter()
+        .map(|c| {
+            let s = MatrixStats::compute(&c.matrix);
+            Table2Row {
+                name: c.entry.name.to_string(),
+                rows: s.nrows,
+                nnz: s.nnz,
+                nnz_per_row: s.nnz_per_row,
+                paper_rows: c.entry.paper_rows,
+                paper_nnz_per_row: c.entry.paper_nnz_per_row(),
+                symmetric: s.symmetric,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- fig 7
+
+/// One bar of Fig. 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRow {
+    /// Matrix name.
+    pub name: String,
+    /// Power `k`.
+    pub k: usize,
+    /// Baseline (standard MPK) seconds.
+    pub t_baseline: f64,
+    /// FBMPK seconds.
+    pub t_fbmpk: f64,
+    /// `t_baseline / t_fbmpk`.
+    pub speedup: f64,
+}
+
+/// Measures FBMPK vs the standard baseline for one matrix and power.
+pub fn measure_speedup(cfg: &BenchConfig, case: &MatrixCase, k: usize) -> SpeedupRow {
+    let a = &case.matrix;
+    let n = a.nrows();
+    let x0 = start_vector(n);
+    let baseline = StandardMpk::new(a, cfg.threads).expect("square");
+    let plan =
+        FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::BackToBack)).expect("square");
+    let t_baseline = time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+    let t_fbmpk = time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+    SpeedupRow {
+        name: case.entry.name.to_string(),
+        k,
+        t_baseline,
+        t_fbmpk,
+        speedup: t_baseline / t_fbmpk,
+    }
+}
+
+/// Reproduces Fig. 7: speedup of FBMPK over the baseline at `k = 5`.
+pub fn fig7(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<SpeedupRow> {
+    cases.iter().map(|c| measure_speedup(cfg, c, 5)).collect()
+}
+
+/// Reproduces Fig. 8: speedup for `k = 3..=9` per matrix.
+pub fn fig8(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<SpeedupRow> {
+    let mut rows = Vec::new();
+    for c in cases {
+        for k in 3..=9 {
+            rows.push(measure_speedup(cfg, c, k));
+        }
+    }
+    rows
+}
+
+// ----------------------------------------------------------------- fig 9
+
+/// One bar of Fig. 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Matrix name.
+    pub name: String,
+    /// Power `k`.
+    pub k: usize,
+    /// Simulated DRAM bytes, standard MPK.
+    pub dram_standard: u64,
+    /// Simulated DRAM bytes, FBMPK.
+    pub dram_fbmpk: u64,
+    /// `dram_fbmpk / dram_standard` (the paper's y-axis).
+    pub ratio: f64,
+    /// The idealized `(k+1)/2k`.
+    pub ideal: f64,
+    /// Fraction of FBMPK's DRAM traffic attributed to vector arrays — the
+    /// §V-C mechanism behind per-matrix variation.
+    pub vector_fraction: f64,
+}
+
+/// Picks an LLC size for the replay: the paper's platforms hold roughly
+/// 1/30 of the working set in LLC, so scale the simulated cache with the
+/// matrix (clamped to [256 KiB, 64 MiB], rounded to a power of two).
+pub fn scaled_llc(matrix_bytes: usize) -> CacheConfig {
+    let target = (matrix_bytes / 30).clamp(256 << 10, 64 << 20);
+    let size = target.next_power_of_two();
+    CacheConfig { size_bytes: size, line_bytes: 64, assoc: 16 }
+}
+
+/// Reproduces Fig. 9: simulated DRAM traffic ratio for `k = 3, 6, 9`.
+pub fn fig9(cases: &[MatrixCase]) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for c in cases {
+        let a = &c.matrix;
+        let llc = [scaled_llc(a.nnz() * 12 + 8 * (a.nrows() + 1))];
+        for k in [3usize, 6, 9] {
+            let std = trace_standard_mpk(a, k, &llc);
+            let fb = trace_fbmpk(a, k, TracedLayout::BackToBack, &llc);
+            rows.push(Fig9Row {
+                name: c.entry.name.to_string(),
+                k,
+                dram_standard: std.total(),
+                dram_fbmpk: fb.total(),
+                ratio: fb.total() as f64 / std.total() as f64,
+                ideal: fbmpk::model::ideal_ratio(k),
+                vector_fraction: fb.vector_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- fig 10
+
+/// One matrix of Fig. 10: ablation of the two optimizations.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    /// Matrix name.
+    pub name: String,
+    /// Baseline seconds.
+    pub t_baseline: f64,
+    /// FB only (split vectors).
+    pub speedup_fb: f64,
+    /// FB + BtB (interleaved vectors).
+    pub speedup_fb_btb: f64,
+}
+
+/// Reproduces Fig. 10: baseline vs FB vs FB+BtB at `k = 5`.
+pub fn fig10(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig10Row> {
+    let k = 5;
+    cases
+        .iter()
+        .map(|c| {
+            let a = &c.matrix;
+            let n = a.nrows();
+            let x0 = start_vector(n);
+            let baseline = StandardMpk::new(a, cfg.threads).expect("square");
+            let fb = FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::Split))
+                .expect("square");
+            let btb = FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::BackToBack))
+                .expect("square");
+            let t_baseline =
+                time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+            let t_fb = time_geomean(|| std::hint::black_box(fb.power(&x0, k)).truncate(0), cfg.reps);
+            let t_btb = time_geomean(|| std::hint::black_box(btb.power(&x0, k)).truncate(0), cfg.reps);
+            Fig10Row {
+                name: c.entry.name.to_string(),
+                t_baseline,
+                speedup_fb: t_baseline / t_fb,
+                speedup_fb_btb: t_baseline / t_btb,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- table 3
+
+/// One row of Table III.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Matrix name.
+    pub name: String,
+    /// `t_original / t_abmc` for a single SpMV — the paper's "slowdown"
+    /// normalization, where values > 1 mean ABMC *improved* the SpMV.
+    pub ratio: f64,
+}
+
+/// Reproduces Table III: single-SpMV performance on the ABMC-permuted
+/// matrix, normalized to the original ordering.
+pub fn table3(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Table3Row> {
+    cases
+        .iter()
+        .map(|c| {
+            let a = &c.matrix;
+            let n = a.nrows();
+            let abmc = Abmc::new(a, abmc_params(n));
+            let b = abmc.apply(a);
+            let x = start_vector(n);
+            let xp = abmc.permutation().apply_vec_alloc(&x);
+            let mut y = vec![0.0; n];
+            let t_orig = time_geomean(|| spmv(a, &x, &mut y), cfg.reps);
+            let t_abmc = time_geomean(|| spmv(&b, &xp, &mut y), cfg.reps);
+            Table3Row { name: c.entry.name.to_string(), ratio: t_orig / t_abmc }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- table 4
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Matrix name.
+    pub name: String,
+    /// Plain CSR bytes.
+    pub csr_bytes: usize,
+    /// Split `L + U + d` bytes.
+    pub split_bytes: usize,
+    /// `split / csr`.
+    pub overhead: f64,
+}
+
+/// Reproduces Table IV: storage of the split format vs plain CSR.
+pub fn table4(cases: &[MatrixCase]) -> Vec<Table4Row> {
+    cases
+        .iter()
+        .map(|c| {
+            let a = &c.matrix;
+            let split = TriangularSplit::split(a).expect("square");
+            let csr_bytes = TriangularSplit::csr_storage_bytes(a.nrows(), a.nnz());
+            let split_bytes = split.storage_bytes();
+            Table4Row {
+                name: c.entry.name.to_string(),
+                csr_bytes,
+                split_bytes,
+                overhead: split_bytes as f64 / csr_bytes as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 11
+
+/// One bar of Fig. 11.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// Matrix name.
+    pub name: String,
+    /// ABMC reorder seconds (one-off).
+    pub reorder_seconds: f64,
+    /// Single-thread SpMV seconds.
+    pub spmv_seconds: f64,
+    /// Preprocessing cost expressed in SpMV invocations (the y-axis).
+    pub n_spmvs: f64,
+}
+
+/// Reproduces Fig. 11: ABMC preprocessing cost normalized to single-thread
+/// SpMV invocations.
+pub fn fig11(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig11Row> {
+    cases
+        .iter()
+        .map(|c| {
+            let a = &c.matrix;
+            let n = a.nrows();
+            let t0 = Instant::now();
+            let abmc = Abmc::new(a, abmc_params(n));
+            let _b = abmc.apply(a);
+            let reorder_seconds = t0.elapsed().as_secs_f64();
+            let x = start_vector(n);
+            let mut y = vec![0.0; n];
+            let spmv_seconds = time_geomean(|| spmv(a, &x, &mut y), cfg.reps);
+            Fig11Row {
+                name: c.entry.name.to_string(),
+                reorder_seconds,
+                spmv_seconds,
+                n_spmvs: reorder_seconds / spmv_seconds,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 12
+
+/// One point of Fig. 12.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Matrix name.
+    pub name: String,
+    /// Thread count.
+    pub threads: usize,
+    /// FBMPK speedup over the *single-threaded baseline MPK* (the paper's
+    /// normalization).
+    pub speedup: f64,
+}
+
+/// Reproduces Fig. 12: scalability at `k = 5` over a thread sweep.
+pub fn fig12(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) -> Vec<Fig12Row> {
+    let k = 5;
+    let mut rows = Vec::new();
+    for c in cases {
+        let a = &c.matrix;
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let serial_baseline = StandardMpk::new(a, 1).expect("square");
+        let t_serial =
+            time_geomean(|| std::hint::black_box(serial_baseline.power(&x0, k)).truncate(0), cfg.reps);
+        for &t in threads {
+            let plan = FbmpkPlan::new(a, fbmpk_options(n, t, VectorLayout::BackToBack))
+                .expect("square");
+            let tt = time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+            rows.push(Fig12Row { name: c.entry.name.to_string(), threads: t, speedup: t_serial / tt });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------- ablations
+
+/// One point of the block-count ablation (paper §III-D: "The maximum
+/// number of elements in each block can be set, with a trade-off between
+/// performance and parallelism ... a default of either 512 or 1024").
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockAblationRow {
+    /// Matrix name.
+    pub name: String,
+    /// Number of ABMC blocks requested.
+    pub nblocks: usize,
+    /// Colors produced (barrier count per sweep).
+    pub ncolors: usize,
+    /// Blocks in the widest color (available parallelism).
+    pub max_color_width: usize,
+    /// FBMPK seconds at `k = 5`.
+    pub t_fbmpk: f64,
+    /// Speedup over the baseline at the same thread count.
+    pub speedup: f64,
+}
+
+/// Sweeps the ABMC block count, measuring the §III-D trade-off: more
+/// blocks → more within-color parallelism but more colors/barriers and
+/// less intra-block locality.
+pub fn ablation_blocks(
+    cfg: &BenchConfig,
+    case: &MatrixCase,
+    counts: &[usize],
+) -> Vec<BlockAblationRow> {
+    let a = &case.matrix;
+    let n = a.nrows();
+    let x0 = start_vector(n);
+    let k = 5;
+    let baseline = StandardMpk::new(a, cfg.threads).expect("square");
+    let t_base = time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+    counts
+        .iter()
+        .map(|&nblocks| {
+            let abmc = Abmc::new(
+                a,
+                AbmcParams {
+                    nblocks: nblocks.min(n / 2).max(1),
+                    strategy: fbmpk_reorder::BlockingStrategy::Contiguous,
+                    ..Default::default()
+                },
+            );
+            let (ncolors, width) = (abmc.ncolors(), abmc.max_color_width());
+            let opts = FbmpkOptions {
+                nthreads: cfg.threads,
+                reorder: Some(AbmcParams {
+                    nblocks: nblocks.min(n / 2).max(1),
+                    strategy: fbmpk_reorder::BlockingStrategy::Contiguous,
+                    ..Default::default()
+                }),
+                layout: VectorLayout::BackToBack,
+                pre_rcm: false,
+            };
+            let plan = FbmpkPlan::new(a, opts).expect("square");
+            let t_fbmpk =
+                time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+            BlockAblationRow {
+                name: case.entry.name.to_string(),
+                nblocks,
+                ncolors,
+                max_color_width: width,
+                t_fbmpk,
+                speedup: t_base / t_fbmpk,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- model
+
+/// One row of the access-count validation table (§III-B formulas).
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelRow {
+    /// Power `k`.
+    pub k: usize,
+    /// Standard MPK full-matrix reads.
+    pub standard_reads: usize,
+    /// FBMPK lower-triangle reads.
+    pub fb_lower_reads: usize,
+    /// FBMPK upper-triangle reads.
+    pub fb_upper_reads: usize,
+    /// FBMPK effective reads of `A` (`(L + U) / 2`).
+    pub fb_effective_reads: f64,
+    /// The idealized ratio `(k+1)/2k`.
+    pub ideal_ratio: f64,
+}
+
+/// Validates the paper's §III-B access-count formulas for a range of `k`.
+pub fn model_table(kmax: usize) -> Vec<ModelRow> {
+    (1..=kmax)
+        .map(|k| {
+            let (l, u) = fbmpk::kernel::triangle_reads(k);
+            ModelRow {
+                k,
+                standard_reads: k,
+                fb_lower_reads: l,
+                fb_upper_reads: u,
+                fb_effective_reads: (l + u) as f64 / 2.0,
+                ideal_ratio: fbmpk::model::ideal_ratio(k),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> BenchConfig {
+        BenchConfig { scale: 0.0005, threads: 2, reps: 1, seed: 1 }
+    }
+
+    #[test]
+    fn suite_loads_and_all_experiments_run_at_tiny_scale() {
+        let cfg = tiny_cfg();
+        let cases: Vec<MatrixCase> = load_suite(&cfg).into_iter().take(3).collect();
+        assert_eq!(cases.len(), 3);
+        assert_eq!(table2(&cases).len(), 3);
+        let f7 = fig7(&cfg, &cases);
+        assert!(f7.iter().all(|r| r.speedup > 0.0 && r.t_baseline > 0.0));
+        let f9 = fig9(&cases);
+        assert_eq!(f9.len(), 9);
+        assert!(f9.iter().all(|r| r.ratio > 0.2 && r.ratio < 2.0));
+        let f10 = fig10(&cfg, &cases);
+        assert!(f10.iter().all(|r| r.speedup_fb > 0.0 && r.speedup_fb_btb > 0.0));
+        let t3 = table3(&cfg, &cases);
+        assert!(t3.iter().all(|r| r.ratio > 0.0));
+        let t4 = table4(&cases);
+        // Table IV: storage within ~15% of plain CSR for all inputs.
+        assert!(t4.iter().all(|r| r.overhead > 0.85 && r.overhead < 1.35), "{t4:?}");
+        let f11 = fig11(&cfg, &cases);
+        assert!(f11.iter().all(|r| r.n_spmvs > 0.0));
+        let f12 = fig12(&cfg, &cases, &[1, 2]);
+        assert_eq!(f12.len(), 6);
+    }
+
+    #[test]
+    fn model_table_matches_paper() {
+        let m = model_table(9);
+        assert_eq!(m.len(), 9);
+        let k5 = &m[4];
+        assert_eq!(k5.standard_reads, 5);
+        assert_eq!(k5.fb_lower_reads, 3);
+        assert_eq!(k5.fb_upper_reads, 3);
+        assert!((k5.fb_effective_reads - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_llc_clamps_and_pow2() {
+        let small = scaled_llc(1000);
+        assert_eq!(small.size_bytes, 256 << 10);
+        let big = scaled_llc(usize::MAX / 64);
+        assert_eq!(big.size_bytes, 64 << 20);
+        let mid = scaled_llc(100 << 20);
+        assert!(mid.size_bytes.is_power_of_two());
+    }
+
+    #[test]
+    fn geomean_timer_positive() {
+        let t = time_geomean(|| std::thread::sleep(std::time::Duration::from_micros(50)), 2);
+        assert!(t > 0.0);
+    }
+}

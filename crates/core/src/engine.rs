@@ -1,0 +1,81 @@
+//! A common interface over the two MPK implementations.
+//!
+//! Downstream solvers (power iteration, Chebyshev filters, s-step Krylov)
+//! are written against [`MpkEngine`] so any of them can run on the standard
+//! baseline or on FBMPK interchangeably — which is also how the benchmark
+//! harness drives apples-to-apples comparisons.
+
+use crate::plan::FbmpkPlan;
+use crate::standard::StandardMpk;
+
+/// An executor of matrix-power workloads on a fixed square matrix.
+pub trait MpkEngine {
+    /// Matrix dimension.
+    fn n(&self) -> usize;
+
+    /// Computes `Aᵏ x₀`.
+    fn power(&self, x0: &[f64], k: usize) -> Vec<f64>;
+
+    /// Computes the iterates `[A x₀, …, Aᵏ x₀]`.
+    fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>>;
+
+    /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀`.
+    fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64>;
+
+    /// One SpMV, `y = A x` (the `k = 1` special case).
+    fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        self.power(x, 1)
+    }
+}
+
+impl MpkEngine for StandardMpk {
+    fn n(&self) -> usize {
+        StandardMpk::n(self)
+    }
+    fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        StandardMpk::power(self, x0, k)
+    }
+    fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        StandardMpk::krylov(self, x0, k)
+    }
+    fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        StandardMpk::sspmv(self, coeffs, x0)
+    }
+}
+
+impl MpkEngine for FbmpkPlan {
+    fn n(&self) -> usize {
+        FbmpkPlan::n(self)
+    }
+    fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        FbmpkPlan::power(self, x0, k)
+    }
+    fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        FbmpkPlan::krylov(self, x0, k)
+    }
+    fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        FbmpkPlan::sspmv(self, coeffs, x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FbmpkOptions;
+
+    #[test]
+    fn both_engines_agree_through_the_trait() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(5, 5);
+        let x0 = vec![1.0; 25];
+        let engines: Vec<Box<dyn MpkEngine>> = vec![
+            Box::new(StandardMpk::new(&a, 1).unwrap()),
+            Box::new(FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap()),
+        ];
+        let results: Vec<Vec<f64>> = engines.iter().map(|e| e.power(&x0, 4)).collect();
+        for (u, v) in results[0].iter().zip(&results[1]) {
+            assert!((u - v).abs() < 1e-11);
+        }
+        let s: Vec<Vec<f64>> = engines.iter().map(|e| e.spmv(&x0)).collect();
+        assert_eq!(s[0], s[1]);
+    }
+}

@@ -1,0 +1,398 @@
+//! The forward–backward MPK kernel (paper Algorithm 2, generalized).
+//!
+//! One generic function implements serial and parallel FBMPK for both
+//! vector layouts and all three sink modes; monomorphization recovers the
+//! specialized loops of the paper's hand-written variants.
+//!
+//! # Algorithm (computing `x_k = Aᵏ x₀` with `A = L + D + U`)
+//!
+//! State: the even iterate `x_{2p}` lives in the layout's even slots, the
+//! odd iterate `x_{2p+1}` in the odd slots, and `tmp[r]` carries partial
+//! sums between stages.
+//!
+//! * **head** — `tmp = U·x₀` (one read of `U`).
+//! * `⌊k/2⌋` **forward/backward rounds**, each advancing two powers while
+//!   reading `L` and `U` once each:
+//!   * *forward*, rows top-down over `L`:
+//!     `x_{2p+1}[r] = tmp[r] + d[r]·x_{2p}[r] + Σ L[r,c]·x_{2p}[c]` and, in
+//!     the same pass over the row (the elements of `L` are already in
+//!     registers), `tmp[r] = Σ L[r,c]·x_{2p+1}[c] + d[r]·x_{2p+1}[r]` — the
+//!     lower triangle only references columns `c < r`, which this sweep has
+//!     already finished.
+//!   * *backward*, rows bottom-up over `U`: symmetric, producing
+//!     `x_{2p+2}` in the even slots and `tmp = U·x_{2p+2}` for the next
+//!     round's head state.
+//! * **tail** (odd `k`) — `x_k = tmp + d·x_{k-1} + L·x_{k-1}` (one read of
+//!   `L`).
+//!
+//! Matrix reads: `⌈(k+1)/2⌉` instead of the standard `k` (paper §III-B).
+//!
+//! # Parallel soundness
+//!
+//! With an ABMC schedule, rows are ordered by color; the forward sweep
+//! processes colors ascending and the backward sweep descending, with a
+//! pool barrier after every color. A lower-triangle entry `(r, c)` under an
+//! ABMC permutation has `color(c) < color(r)` (finished before the barrier)
+//! or lies in the same block (processed sequentially by the owning thread)
+//! — `fbmpk-reorder` validates exactly this property. All writes
+//! (`odd[r]`, `even[r]`, `tmp[r]`, sink emissions) are indexed by rows the
+//! executing thread owns.
+
+use crate::layout::XyLayout;
+use crate::schedule::Schedule;
+use crate::sink::Sink;
+use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_sparse::TriangularSplit;
+
+/// Runs the FBMPK pipeline.
+///
+/// On entry the layout's **even** slots must hold `x₀`; odd slots may hold
+/// anything. On exit:
+///
+/// * even `k`: the even slots hold `x_k`,
+/// * odd `k`: `out` holds `x_k` (even slots hold `x_{k-1}`).
+///
+/// `tmp` and `out` must have length `n`. The sink observes every entry of
+/// every iterate `1..=k`.
+///
+/// # Panics
+/// Panics if `k == 0` or buffer lengths disagree with the schedule.
+#[allow(clippy::too_many_arguments)] // the kernel signature mirrors Algorithm 2's inputs
+pub fn run_fbmpk<L: XyLayout, S: Sink>(
+    pool: &ThreadPool,
+    sched: &Schedule,
+    split: &TriangularSplit,
+    layout: &L,
+    tmp: &mut [f64],
+    out: &mut [f64],
+    k: usize,
+    sink: &S,
+) {
+    assert!(k >= 1, "k must be at least 1 (k = 0 is the identity)");
+    let n = split.n();
+    assert_eq!(sched.n, n, "schedule dimension mismatch");
+    assert_eq!(tmp.len(), n);
+    assert_eq!(out.len(), n);
+    assert_eq!(pool.nthreads(), sched.nthreads, "pool/schedule thread count mismatch");
+
+    let tmp = SharedSlice::new(tmp);
+    let out = SharedSlice::new(out);
+    let lower = &split.lower;
+    let upper = &split.upper;
+    let diag = &split.diag;
+    let barrier = pool.barrier();
+    let rounds = k / 2;
+    let odd_k = k % 2 == 1;
+
+    pool.run(&|t| {
+        let l_ptr = lower.row_ptr();
+        let l_col = lower.col_idx();
+        let l_val = lower.values();
+        let u_ptr = upper.row_ptr();
+        let u_col = upper.col_idx();
+        let u_val = upper.values();
+
+        // Head: tmp = U * x0 (x0 in even slots, read-only here).
+        for r in sched.flat[t].clone() {
+            let mut s = 0.0;
+            for j in u_ptr[r]..u_ptr[r + 1] {
+                // SAFETY: even slots are read-only during the head phase.
+                s += u_val[j] * unsafe { layout.get_even(u_col[j] as usize) };
+            }
+            // SAFETY: thread t owns rows in flat[t].
+            unsafe { tmp.set(r, s) };
+        }
+        barrier.wait();
+
+        for p in 0..rounds {
+            // Forward sweep over L, colors ascending.
+            for per_thread in sched.colors.iter() {
+                for r in per_thread[t].clone() {
+                    // SAFETY: tmp[r]/even[r] owned or phase-stable; odd[c]
+                    // for c in L-row r is finished (earlier color or same
+                    // block processed earlier by this thread).
+                    unsafe {
+                        let d = diag[r];
+                        let mut sum0 = tmp.get(r) + d * layout.get_even(r);
+                        let mut sum1 = 0.0;
+                        for j in l_ptr[r]..l_ptr[r + 1] {
+                            let c = l_col[j] as usize;
+                            let v = l_val[j];
+                            sum0 += v * layout.get_even(c);
+                            sum1 += v * layout.get_odd(c);
+                        }
+                        layout.set_odd(r, sum0); // x_{2p+1}[r]
+                        sink.emit(2 * p + 1, r, sum0);
+                        tmp.set(r, sum1 + d * sum0); // (L+D) x_{2p+1}
+                    }
+                }
+                barrier.wait();
+            }
+            // Backward sweep over U, colors descending, rows bottom-up.
+            for per_thread in sched.colors.iter().rev() {
+                for r in per_thread[t].clone().rev() {
+                    // SAFETY: even[c] for c in U-row r is already the new
+                    // iterate (later color or same block, processed first in
+                    // this bottom-up order); odd slots are read-only here.
+                    unsafe {
+                        let mut sum0 = tmp.get(r);
+                        let mut sum1 = 0.0;
+                        for j in u_ptr[r]..u_ptr[r + 1] {
+                            let c = u_col[j] as usize;
+                            let v = u_val[j];
+                            sum0 += v * layout.get_odd(c);
+                            sum1 += v * layout.get_even(c);
+                        }
+                        layout.set_even(r, sum0); // x_{2p+2}[r]
+                        sink.emit(2 * p + 2, r, sum0);
+                        tmp.set(r, sum1); // U x_{2p+2}: next round's head
+                    }
+                }
+                barrier.wait();
+            }
+        }
+
+        if odd_k {
+            // Tail: x_k = tmp + D x_{k-1} + L x_{k-1} with x_{k-1} in the
+            // even slots and tmp = U x_{k-1} from the last backward sweep
+            // (or from the head when k == 1).
+            for r in sched.flat[t].clone() {
+                // SAFETY: even slots and tmp are stable after the final
+                // barrier; out rows in flat[t] are owned by thread t.
+                unsafe {
+                    let mut s = tmp.get(r) + diag[r] * layout.get_even(r);
+                    for j in l_ptr[r]..l_ptr[r + 1] {
+                        s += l_val[j] * layout.get_even(l_col[j] as usize);
+                    }
+                    out.set(r, s);
+                    sink.emit(k, r, s);
+                }
+            }
+        }
+    });
+}
+
+/// Counts the matrix-element reads the pipeline performs for a given `k` —
+/// the quantity Fig. 3(b) of the paper reasons about. Returns
+/// `(lower_reads, upper_reads)` in units of full-triangle traversals.
+pub fn triangle_reads(k: usize) -> (usize, usize) {
+    assert!(k >= 1);
+    let rounds = k / 2;
+    if k % 2 == 1 {
+        // head(U) + rounds*(L+U) + tail(L)
+        (rounds + 1, rounds + 1)
+    } else {
+        // head(U) + rounds*(L+U)
+        (rounds, rounds + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{BtbXy, SplitXy};
+    use crate::schedule::Schedule;
+    use crate::sink::{AccumSink, CollectSink, NullSink};
+    use fbmpk_sparse::spmv::spmv;
+    use fbmpk_sparse::Csr;
+
+    fn sample() -> Csr {
+        Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 3.0, 3.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0],
+            &[2.0, 0.0, 1.0, 6.0],
+        ])
+    }
+
+    fn reference_powers(a: &Csr, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        let mut x = x0.to_vec();
+        for _ in 0..k {
+            let mut y = vec![0.0; x.len()];
+            spmv(a, &x, &mut y);
+            out.push(y.clone());
+            x = y;
+        }
+        out
+    }
+
+    fn run_serial_btb(a: &Csr, x0: &[f64], k: usize) -> Vec<f64> {
+        let n = a.nrows();
+        let split = TriangularSplit::split(a).unwrap();
+        let sched = Schedule::serial(n);
+        let pool = ThreadPool::new(1);
+        let mut xy = vec![0.0; 2 * n];
+        for (i, &v) in x0.iter().enumerate() {
+            xy[2 * i] = v;
+        }
+        let mut tmp = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        {
+            let layout = BtbXy::new(&mut xy);
+            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &NullSink);
+        }
+        if k % 2 == 1 {
+            out
+        } else {
+            (0..n).map(|i| xy[2 * i]).collect()
+        }
+    }
+
+    #[test]
+    fn matches_standard_for_all_small_k() {
+        let a = sample();
+        let x0 = [1.0, -2.0, 0.5, 3.0];
+        for k in 1..=8 {
+            let want = reference_powers(&a, &x0, k).pop().unwrap();
+            let got = run_serial_btb(&a, &x0, k);
+            for (g, w) in got.iter().zip(&want) {
+                let scale = w.abs().max(1.0);
+                assert!((g - w).abs() / scale < 1e-12, "k={k}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_layout_equals_btb() {
+        let a = sample();
+        let x0 = [0.3, 1.7, -0.9, 0.2];
+        let n = 4;
+        let split = TriangularSplit::split(&a).unwrap();
+        let sched = Schedule::serial(n);
+        let pool = ThreadPool::new(1);
+        for k in [1, 2, 3, 4, 5] {
+            let btb = run_serial_btb(&a, &x0, k);
+            let mut even = x0.to_vec();
+            let mut odd = vec![0.0; n];
+            let mut tmp = vec![0.0; n];
+            let mut out = vec![0.0; n];
+            {
+                let layout = SplitXy::new(&mut even, &mut odd);
+                run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &NullSink);
+            }
+            let got = if k % 2 == 1 { out } else { even };
+            for (g, w) in got.iter().zip(&btb) {
+                assert_eq!(g, w, "layouts diverge at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_sink_yields_all_iterates() {
+        let a = sample();
+        let x0 = [1.0, 1.0, 1.0, 1.0];
+        let n = 4;
+        let k = 5;
+        let split = TriangularSplit::split(&a).unwrap();
+        let sched = Schedule::serial(n);
+        let pool = ThreadPool::new(1);
+        let mut xy = vec![0.0; 2 * n];
+        for (i, &v) in x0.iter().enumerate() {
+            xy[2 * i] = v;
+        }
+        let mut tmp = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        let mut basis = vec![0.0; k * n];
+        {
+            let layout = BtbXy::new(&mut xy);
+            let sink = CollectSink::new(&mut basis, n, k);
+            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &sink);
+        }
+        let want = reference_powers(&a, &x0, k);
+        for i in 0..k {
+            for r in 0..n {
+                let w = want[i][r];
+                let g = basis[i * n + r];
+                assert!((g - w).abs() / w.abs().max(1.0) < 1e-12, "iterate {i} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn accum_sink_computes_polynomial() {
+        // y = 2 x1 + 0 x2 + 3 x3
+        let a = sample();
+        let x0 = [0.5, -1.0, 2.0, 1.0];
+        let n = 4;
+        let k = 3;
+        let coeffs = [0.0, 2.0, 0.0, 3.0];
+        let split = TriangularSplit::split(&a).unwrap();
+        let sched = Schedule::serial(n);
+        let pool = ThreadPool::new(1);
+        let mut xy = vec![0.0; 2 * n];
+        for (i, &v) in x0.iter().enumerate() {
+            xy[2 * i] = v;
+        }
+        let mut tmp = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        {
+            let layout = BtbXy::new(&mut xy);
+            let sink = AccumSink::new(&mut y, &coeffs);
+            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &sink);
+        }
+        let refs = reference_powers(&a, &x0, k);
+        for r in 0..n {
+            let w = 2.0 * refs[0][r] + 3.0 * refs[2][r];
+            assert!((y[r] - w).abs() / w.abs().max(1.0) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_reads_match_paper_formulas() {
+        // Paper §III-B: k even -> U: k/2 + 1, L: k/2;
+        //               k odd  -> both: 1 + (k-1)/2.
+        for k in 1..=10 {
+            let (l, u) = triangle_reads(k);
+            if k % 2 == 0 {
+                assert_eq!(u, k / 2 + 1, "k={k}");
+                assert_eq!(l, k / 2, "k={k}");
+            } else {
+                assert_eq!(l, 1 + (k - 1) / 2, "k={k}");
+                assert_eq!(u, 1 + (k - 1) / 2, "k={k}");
+            }
+            // Total = k+1 triangle reads ~ (k+1)/2 reads of A, vs the
+            // standard method's 2k triangle reads (k reads of A).
+            assert_eq!(l + u, k + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn k_zero_rejected() {
+        let a = sample();
+        run_serial_btb(&a, &[1.0; 4], 0);
+    }
+
+    #[test]
+    fn identity_matrix_powers() {
+        let a = Csr::identity(3);
+        let x0 = [3.0, -1.0, 2.0];
+        for k in 1..=4 {
+            let got = run_serial_btb(&a, &x0, k);
+            assert_eq!(got, x0.to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_powers() {
+        let a = Csr::from_dense(&[&[2.0, 0.0], &[0.0, -3.0]]);
+        let got = run_serial_btb(&a, &[1.0, 1.0], 3);
+        assert_eq!(got, vec![8.0, -27.0]);
+    }
+
+    #[test]
+    fn strictly_triangular_matrices() {
+        // Pure lower: nilpotent; k >= n gives zero.
+        let l = Csr::from_dense(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let got = run_serial_btb(&l, &[1.0, 0.0, 0.0], 2);
+        assert_eq!(got, vec![0.0, 0.0, 1.0]);
+        let got = run_serial_btb(&l, &[1.0, 0.0, 0.0], 3);
+        assert_eq!(got, vec![0.0, 0.0, 0.0]);
+        // Pure upper.
+        let u = l.transpose();
+        let got = run_serial_btb(&u, &[0.0, 0.0, 1.0], 2);
+        assert_eq!(got, vec![1.0, 0.0, 0.0]);
+    }
+}

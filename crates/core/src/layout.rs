@@ -1,0 +1,161 @@
+//! Storage layouts for the two live iterate vectors.
+//!
+//! FBMPK keeps exactly two iterates alive: the current even power (in the
+//! paper's Algorithm 2, `xy[2i]`) and the current odd power (`xy[2i+1]`).
+//! The paper evaluates two layouts (§III-C, Fig. 10):
+//!
+//! * **Split** — two independent arrays; the plain "FB" ablation variant,
+//! * **Back-to-back (BtB)** — one interleaved array of length `2n`, so the
+//!   paired loads `x_even[c]` / `x_odd[c]` in the merged inner loops land on
+//!   the same cache line.
+//!
+//! Both implement [`XyLayout`], so the colored kernel is written once and
+//! monomorphized per layout — the ablation compares identical code paths.
+
+use fbmpk_parallel::SharedSlice;
+
+/// Accessors for the even/odd iterate pair, shared across worker threads.
+///
+/// # Safety
+/// All methods inherit the [`SharedSlice`] contract: the colored schedule
+/// guarantees that writes are row-disjoint and reads are phase-separated
+/// from conflicting writes.
+pub trait XyLayout: Sync {
+    /// Reads the even-iterate entry at row `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer for row `i` in this phase.
+    unsafe fn get_even(&self, i: usize) -> f64;
+    /// Reads the odd-iterate entry at row `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer for row `i` in this phase.
+    unsafe fn get_odd(&self, i: usize) -> f64;
+    /// Writes the even-iterate entry at row `i`.
+    ///
+    /// # Safety
+    /// Caller owns row `i` in this phase.
+    unsafe fn set_even(&self, i: usize, v: f64);
+    /// Writes the odd-iterate entry at row `i`.
+    ///
+    /// # Safety
+    /// Caller owns row `i` in this phase.
+    unsafe fn set_odd(&self, i: usize, v: f64);
+}
+
+/// Two independent arrays (the "FB" ablation variant, no BtB).
+pub struct SplitXy<'a> {
+    even: SharedSlice<'a, f64>,
+    odd: SharedSlice<'a, f64>,
+}
+
+impl<'a> SplitXy<'a> {
+    /// Wraps two length-`n` buffers.
+    pub fn new(even: &'a mut [f64], odd: &'a mut [f64]) -> Self {
+        assert_eq!(even.len(), odd.len());
+        SplitXy { even: SharedSlice::new(even), odd: SharedSlice::new(odd) }
+    }
+}
+
+impl XyLayout for SplitXy<'_> {
+    #[inline]
+    unsafe fn get_even(&self, i: usize) -> f64 {
+        unsafe { self.even.get(i) }
+    }
+    #[inline]
+    unsafe fn get_odd(&self, i: usize) -> f64 {
+        unsafe { self.odd.get(i) }
+    }
+    #[inline]
+    unsafe fn set_even(&self, i: usize, v: f64) {
+        unsafe { self.even.set(i, v) }
+    }
+    #[inline]
+    unsafe fn set_odd(&self, i: usize, v: f64) {
+        unsafe { self.odd.set(i, v) }
+    }
+}
+
+/// The paper's back-to-back interleaved array: even iterate at `xy[2i]`,
+/// odd at `xy[2i+1]` (§III-C, Fig. 5).
+pub struct BtbXy<'a> {
+    xy: SharedSlice<'a, f64>,
+}
+
+impl<'a> BtbXy<'a> {
+    /// Wraps a length-`2n` interleaved buffer.
+    pub fn new(xy: &'a mut [f64]) -> Self {
+        assert!(xy.len().is_multiple_of(2), "interleaved buffer must have even length");
+        BtbXy { xy: SharedSlice::new(xy) }
+    }
+}
+
+impl XyLayout for BtbXy<'_> {
+    #[inline]
+    unsafe fn get_even(&self, i: usize) -> f64 {
+        unsafe { self.xy.get(2 * i) }
+    }
+    #[inline]
+    unsafe fn get_odd(&self, i: usize) -> f64 {
+        unsafe { self.xy.get(2 * i + 1) }
+    }
+    #[inline]
+    unsafe fn set_even(&self, i: usize, v: f64) {
+        unsafe { self.xy.set(2 * i, v) }
+    }
+    #[inline]
+    unsafe fn set_odd(&self, i: usize, v: f64) {
+        unsafe { self.xy.set(2 * i + 1, v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_layout_roundtrip() {
+        let mut e = vec![0.0; 4];
+        let mut o = vec![0.0; 4];
+        let l = SplitXy::new(&mut e, &mut o);
+        unsafe {
+            l.set_even(1, 2.5);
+            l.set_odd(1, -1.5);
+            assert_eq!(l.get_even(1), 2.5);
+            assert_eq!(l.get_odd(1), -1.5);
+            assert_eq!(l.get_even(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn btb_layout_interleaves() {
+        let mut xy = vec![0.0; 8];
+        {
+            let l = BtbXy::new(&mut xy);
+            unsafe {
+                l.set_even(2, 7.0);
+                l.set_odd(2, 9.0);
+                assert_eq!(l.get_even(2), 7.0);
+                assert_eq!(l.get_odd(2), 9.0);
+            }
+        }
+        // Physical interleaving: even at 2i, odd at 2i+1.
+        assert_eq!(xy[4], 7.0);
+        assert_eq!(xy[5], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn btb_requires_even_buffer() {
+        let mut xy = vec![0.0; 5];
+        BtbXy::new(&mut xy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_requires_equal_lengths() {
+        let mut e = vec![0.0; 3];
+        let mut o = vec![0.0; 4];
+        SplitXy::new(&mut e, &mut o);
+    }
+}

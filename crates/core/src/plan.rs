@@ -1,0 +1,457 @@
+//! The public FBMPK planning/execution API.
+//!
+//! Mirrors the library structure the paper describes: preprocessing
+//! (split + ABMC reorder) is a one-off cost captured in the plan and
+//! amortized over many kernel invocations (paper §V-F); each invocation
+//! then runs the forward–backward pipeline. Inputs and outputs are always
+//! in the *original* row numbering; the plan permutes in and out
+//! internally.
+
+use crate::kernel::run_fbmpk;
+use crate::layout::{BtbXy, SplitXy};
+use crate::schedule::Schedule;
+use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
+use crate::{FbmpkError, Result};
+use fbmpk_parallel::ThreadPool;
+use fbmpk_reorder::{Abmc, AbmcParams};
+use fbmpk_sparse::{Csr, Permutation, TriangularSplit};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Storage layout for the two live iterates (paper §III-C, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VectorLayout {
+    /// One interleaved `2n` array (the paper's BtB optimization).
+    #[default]
+    BackToBack,
+    /// Two independent arrays (the plain "FB" ablation variant).
+    Split,
+}
+
+/// Plan construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct FbmpkOptions {
+    /// Worker threads. `1` runs the serial pipeline of §III-B.
+    pub nthreads: usize,
+    /// ABMC reordering parameters. Required when `nthreads > 1`; optional
+    /// (locality-only) for serial runs.
+    pub reorder: Option<AbmcParams>,
+    /// Iterate-pair layout.
+    pub layout: VectorLayout,
+    /// Apply a reverse Cuthill–McKee pass *before* ABMC blocking. RCM
+    /// compacts the bandwidth (paper §II-C cites it as the standard
+    /// locality reordering), which both tightens the gather window and
+    /// tends to reduce the quotient-graph color count on irregular inputs.
+    /// Only meaningful together with `reorder`.
+    pub pre_rcm: bool,
+}
+
+impl Default for FbmpkOptions {
+    fn default() -> Self {
+        FbmpkOptions { nthreads: 1, reorder: None, layout: VectorLayout::default(), pre_rcm: false }
+    }
+}
+
+impl FbmpkOptions {
+    /// Parallel configuration with default ABMC parameters.
+    pub fn parallel(nthreads: usize) -> Self {
+        FbmpkOptions {
+            nthreads,
+            reorder: Some(AbmcParams::default()),
+            layout: VectorLayout::default(),
+            pre_rcm: false,
+        }
+    }
+}
+
+/// One-off preprocessing costs (paper Fig. 11 normalizes these to SpMV
+/// invocations).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanStats {
+    /// Seconds spent computing and applying the ABMC ordering.
+    pub reorder_seconds: f64,
+    /// Seconds spent splitting `A = L + D + U`.
+    pub split_seconds: f64,
+    /// Number of ABMC colors (0 when unordered).
+    pub ncolors: usize,
+    /// Number of ABMC blocks (0 when unordered).
+    pub nblocks: usize,
+}
+
+/// A prepared FBMPK executor.
+pub struct FbmpkPlan {
+    split: TriangularSplit,
+    perm: Option<Permutation>,
+    schedule: Schedule,
+    pool: Arc<ThreadPool>,
+    layout: VectorLayout,
+    stats: PlanStats,
+    n: usize,
+}
+
+impl FbmpkPlan {
+    /// Builds a plan: optional ABMC reorder, triangular split, colored
+    /// schedule, worker pool.
+    ///
+    /// # Errors
+    /// [`FbmpkError::NotSquare`] for rectangular input;
+    /// [`FbmpkError::ParallelNeedsReorder`] when `nthreads > 1` without
+    /// `reorder`.
+    pub fn new(a: &Csr, options: FbmpkOptions) -> Result<Self> {
+        Self::with_pool(a, options, Arc::new(ThreadPool::new(options.nthreads)))
+    }
+
+    /// Like [`FbmpkPlan::new`] but reusing an existing pool (whose size
+    /// must equal `options.nthreads`).
+    pub fn with_pool(a: &Csr, options: FbmpkOptions, pool: Arc<ThreadPool>) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(FbmpkError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if options.nthreads == 0 || pool.nthreads() != options.nthreads {
+            return Err(FbmpkError::BadLength {
+                expected: options.nthreads,
+                got: pool.nthreads(),
+            });
+        }
+        if options.nthreads > 1 && options.reorder.is_none() {
+            return Err(FbmpkError::ParallelNeedsReorder);
+        }
+        let n = a.nrows();
+        let mut stats = PlanStats::default();
+        // `working` is only needed to build the split; avoid cloning the
+        // input in the unreordered path.
+        let (working, perm, abmc): (std::borrow::Cow<Csr>, _, _) = match options.reorder {
+            Some(params) => {
+                let t0 = Instant::now();
+                // Optional RCM locality pre-pass, composed with ABMC.
+                let (pre_matrix, pre_perm) = if options.pre_rcm {
+                    let rcm = fbmpk_reorder::rcm(a);
+                    let m = rcm
+                        .permute_symmetric(a)
+                        .expect("RCM permutation matches matrix dimension");
+                    (m, Some(rcm))
+                } else {
+                    (a.clone(), None)
+                };
+                let abmc = Abmc::new(&pre_matrix, params);
+                let permuted = abmc.apply(&pre_matrix);
+                stats.reorder_seconds = t0.elapsed().as_secs_f64();
+                stats.ncolors = abmc.ncolors();
+                stats.nblocks = abmc.nblocks();
+                let total = match pre_perm {
+                    Some(rcm) => rcm.then(abmc.permutation()),
+                    None => abmc.permutation().clone(),
+                };
+                (std::borrow::Cow::Owned(permuted), Some(total), Some(abmc))
+            }
+            None => (std::borrow::Cow::Borrowed(a), None, None),
+        };
+        let t0 = Instant::now();
+        let split = TriangularSplit::split(&working)?;
+        stats.split_seconds = t0.elapsed().as_secs_f64();
+        let schedule = match &abmc {
+            Some(abmc) => Schedule::colored(abmc, &split, options.nthreads),
+            None => Schedule::serial(n),
+        };
+        debug_assert!(schedule.validate().is_ok());
+        Ok(FbmpkPlan { split, perm, schedule, pool, layout: options.layout, stats, n })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Worker count.
+    pub fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+
+    /// Preprocessing statistics.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// The ABMC permutation, if the plan reorders.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_ref()
+    }
+
+    /// The triangular split the kernels run on (in permuted numbering when
+    /// the plan reorders).
+    pub fn split(&self) -> &TriangularSplit {
+        &self.split
+    }
+
+    /// The worker pool (shared with other kernels, e.g. SYMGS).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The colored (or trivial serial) schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The configured iterate-pair layout.
+    pub fn layout(&self) -> VectorLayout {
+        self.layout
+    }
+
+    /// Computes `Aᵏ x₀`.
+    ///
+    /// Allocates working buffers per call for convenience; hot loops
+    /// (solvers calling once per iteration) should use
+    /// [`FbmpkPlan::power_with`] with a reused [`crate::Workspace`].
+    ///
+    /// # Panics
+    /// Panics when `x0.len() != n`.
+    pub fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(x0.len(), self.n, "x0 length mismatch");
+        if k == 0 {
+            return x0.to_vec();
+        }
+        let xp = self.permute_in(x0);
+        let result = self.execute(&xp, k, &NullSink);
+        self.permute_out(result)
+    }
+
+    /// Computes the Krylov iterates `[A x₀, …, Aᵏ x₀]`.
+    pub fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        assert_eq!(x0.len(), self.n, "x0 length mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let xp = self.permute_in(x0);
+        let mut basis = vec![0.0; k * self.n];
+        {
+            let sink = CollectSink::new(&mut basis, self.n, k);
+            self.execute(&xp, k, &sink);
+        }
+        basis
+            .chunks(self.n)
+            .map(|c| self.permute_out(c.to_vec()))
+            .collect()
+    }
+
+    /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` with `k =
+    /// coeffs.len() - 1`, folding the combination into the sweeps.
+    ///
+    /// # Panics
+    /// Panics when `coeffs` is empty or `x0.len() != n`.
+    pub fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
+        assert_eq!(x0.len(), self.n, "x0 length mismatch");
+        let k = coeffs.len() - 1;
+        let xp = self.permute_in(x0);
+        let mut y: Vec<f64> = xp.iter().map(|&v| coeffs[0] * v).collect();
+        if k > 0 {
+            let sink = AccumSink::new(&mut y, coeffs);
+            self.execute(&xp, k, &sink);
+        }
+        self.permute_out(y)
+    }
+
+    /// Runs the kernel in the permuted domain; returns `x_k` (permuted).
+    fn execute<S: Sink>(&self, x0p: &[f64], k: usize, sink: &S) -> Vec<f64> {
+        let n = self.n;
+        let mut tmp = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        match self.layout {
+            VectorLayout::BackToBack => {
+                let mut xy = vec![0.0; 2 * n];
+                for (i, &v) in x0p.iter().enumerate() {
+                    xy[2 * i] = v;
+                }
+                {
+                    let layout = BtbXy::new(&mut xy);
+                    run_fbmpk(&self.pool, &self.schedule, &self.split, &layout, &mut tmp, &mut out, k, sink);
+                }
+                if k % 2 == 1 {
+                    out
+                } else {
+                    (0..n).map(|i| xy[2 * i]).collect()
+                }
+            }
+            VectorLayout::Split => {
+                let mut even = x0p.to_vec();
+                let mut odd = vec![0.0; n];
+                {
+                    let layout = SplitXy::new(&mut even, &mut odd);
+                    run_fbmpk(&self.pool, &self.schedule, &self.split, &layout, &mut tmp, &mut out, k, sink);
+                }
+                if k % 2 == 1 {
+                    out
+                } else {
+                    even
+                }
+            }
+        }
+    }
+
+    fn permute_in(&self, x: &[f64]) -> Vec<f64> {
+        match &self.perm {
+            Some(p) => p.apply_vec_alloc(x),
+            None => x.to_vec(),
+        }
+    }
+
+    fn permute_out(&self, y: Vec<f64>) -> Vec<f64> {
+        match &self.perm {
+            Some(p) => p.unapply_vec_alloc(&y),
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardMpk;
+    use fbmpk_sparse::vecops::rel_err_inf;
+
+    fn grid() -> Csr {
+        fbmpk_gen::poisson::grid2d_5pt(8, 7)
+    }
+
+    fn opts_matrix() -> Vec<(&'static str, FbmpkOptions)> {
+        vec![
+            ("serial-btb", FbmpkOptions::default()),
+            (
+                "serial-split",
+                FbmpkOptions { layout: VectorLayout::Split, ..Default::default() },
+            ),
+            (
+                "serial-reordered",
+                FbmpkOptions {
+                    reorder: Some(AbmcParams { nblocks: 8, ..Default::default() }),
+                    ..Default::default()
+                },
+            ),
+            ("parallel-2", {
+                let mut o = FbmpkOptions::parallel(2);
+                o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+                o
+            }),
+            ("parallel-4-split", {
+                let mut o = FbmpkOptions::parallel(4);
+                o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+                o.layout = VectorLayout::Split;
+                o
+            }),
+        ]
+    }
+
+    #[test]
+    fn power_matches_standard_across_configs() {
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        for (name, opts) in opts_matrix() {
+            let plan = FbmpkPlan::new(&a, opts).unwrap();
+            for k in 1..=7 {
+                let want = baseline.power(&x0, k);
+                let got = plan.power(&x0, k);
+                assert!(
+                    rel_err_inf(&got, &want) < 1e-11,
+                    "{name} k={k}: err {}",
+                    rel_err_inf(&got, &want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_matches_standard() {
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        let mut opts = FbmpkOptions::parallel(3);
+        opts.reorder = Some(AbmcParams { nblocks: 6, ..Default::default() });
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        let k = 5;
+        let want = baseline.krylov(&x0, k);
+        let got = plan.krylov(&x0, k);
+        assert_eq!(got.len(), k);
+        for i in 0..k {
+            assert!(rel_err_inf(&got[i], &want[i]) < 1e-11, "iterate {i}");
+        }
+    }
+
+    #[test]
+    fn sspmv_matches_standard() {
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let coeffs = [0.5, -1.0, 0.0, 2.0, 0.25];
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        for (name, opts) in opts_matrix() {
+            let plan = FbmpkPlan::new(&a, opts).unwrap();
+            let want = baseline.sspmv(&coeffs, &x0);
+            let got = plan.sspmv(&coeffs, &x0);
+            assert!(rel_err_inf(&got, &want) < 1e-11, "{name}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_alpha0_only() {
+        let a = grid();
+        let n = a.nrows();
+        let x0 = vec![1.0; n];
+        let plan = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        assert_eq!(plan.power(&x0, 0), x0);
+        assert!(plan.krylov(&x0, 0).is_empty());
+        let y = plan.sspmv(&[3.0], &x0);
+        assert!(y.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn parallel_without_reorder_rejected() {
+        let a = grid();
+        let opts = FbmpkOptions { nthreads: 2, reorder: None, ..Default::default() };
+        assert!(matches!(FbmpkPlan::new(&a, opts), Err(FbmpkError::ParallelNeedsReorder)));
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Csr::zero(3, 4);
+        assert!(matches!(
+            FbmpkPlan::new(&a, FbmpkOptions::default()),
+            Err(FbmpkError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_populated_when_reordered() {
+        let a = grid();
+        let mut opts = FbmpkOptions::parallel(2);
+        opts.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        let s = plan.stats();
+        assert!(s.ncolors >= 2);
+        assert!(s.nblocks >= 8);
+        assert!(s.reorder_seconds >= 0.0);
+    }
+
+    #[test]
+    fn unsymmetric_matrix_supported() {
+        let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams {
+            n: 64,
+            neighbors: 7,
+            seed: 5,
+        });
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        let mut opts = FbmpkOptions::parallel(2);
+        opts.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        for k in [1, 2, 5, 6] {
+            let want = baseline.power(&x0, k);
+            let got = plan.power(&x0, k);
+            assert!(rel_err_inf(&got, &want) < 1e-12, "k={k}");
+        }
+    }
+}

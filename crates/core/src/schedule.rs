@@ -1,0 +1,216 @@
+//! Execution schedules for the colored sweeps.
+//!
+//! A [`Schedule`] fixes, ahead of time (paper: "the number of blocks for
+//! each thread task are allocated in advance"), which contiguous row range
+//! each thread owns within each color, plus a flat row partition for the
+//! head/tail stages. Row ranges never split an ABMC block — intra-block
+//! dependencies require a block to stay on one thread.
+
+use fbmpk_parallel::partition::balance_by_weight;
+use fbmpk_reorder::Abmc;
+use fbmpk_sparse::TriangularSplit;
+use std::ops::Range;
+
+/// Per-color, per-thread row assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `colors[c][t]` = contiguous row range of color `c` owned by thread
+    /// `t`. Colors are contiguous row spans in the ABMC-permuted numbering.
+    pub colors: Vec<Vec<Range<usize>>>,
+    /// `flat[t]` = row range of thread `t` for the head/tail full-matrix
+    /// stages (balanced by total row nnz).
+    pub flat: Vec<Range<usize>>,
+    /// Number of worker threads.
+    pub nthreads: usize,
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl Schedule {
+    /// The trivial single-thread schedule: one color covering all rows in
+    /// natural order — the serial FBMPK of paper §III-B.
+    pub fn serial(n: usize) -> Self {
+        let full: Vec<Range<usize>> = std::iter::once(0..n).collect();
+        Schedule { colors: vec![full.clone()], flat: full, nthreads: 1, n }
+    }
+
+    /// Builds the colored schedule from an ABMC ordering and the (permuted)
+    /// triangular split. Within each color, that color's blocks are
+    /// distributed over threads balanced by `nnz(L) + nnz(U)` per block.
+    pub fn colored(abmc: &Abmc, split: &TriangularSplit, nthreads: usize) -> Self {
+        assert!(nthreads > 0);
+        let n = split.n();
+        let row_weight = |r: usize| split.lower.row_nnz(r) + split.upper.row_nnz(r) + 1;
+        let mut colors = Vec::with_capacity(abmc.ncolors());
+        for c in 0..abmc.ncolors() {
+            let blocks: Vec<usize> = abmc.color_blocks(c).collect();
+            let weights: Vec<usize> = blocks
+                .iter()
+                .map(|&b| abmc.block_rows(b).map(row_weight).sum())
+                .collect();
+            let parts = balance_by_weight(&weights, nthreads);
+            let per_thread: Vec<Range<usize>> = parts
+                .into_iter()
+                .map(|brange| {
+                    if brange.is_empty() {
+                        // Empty block range: empty row range at the color edge.
+                        let edge = if brange.start < blocks.len() {
+                            abmc.block_rows(blocks[brange.start]).start
+                        } else {
+                            abmc.block_rows(*blocks.last().unwrap()).end
+                        };
+                        edge..edge
+                    } else {
+                        let first = blocks[brange.start];
+                        let last = blocks[brange.end - 1];
+                        abmc.block_rows(first).start..abmc.block_rows(last).end
+                    }
+                })
+                .collect();
+            colors.push(per_thread);
+        }
+        // Head/tail partition: whole rows balanced by nnz, block boundaries
+        // irrelevant (those stages have no intra-sweep dependencies).
+        let weights: Vec<usize> = (0..n).map(row_weight).collect();
+        let flat = balance_by_weight(&weights, nthreads);
+        Schedule { colors, flat, nthreads, n }
+    }
+
+    /// Number of colors.
+    pub fn ncolors(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Validates internal consistency: per color, thread ranges are
+    /// contiguous and disjoint; the union over colors covers `0..n`; the
+    /// flat partition covers `0..n`.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        // Exact-cover check: mark every row; a duplicate mark catches
+        // overlaps across colors that a length sum would miss.
+        let mut seen = vec![false; self.n];
+        for (c, per_thread) in self.colors.iter().enumerate() {
+            if per_thread.len() != self.nthreads {
+                return Err(format!("color {c} has {} thread slots", per_thread.len()));
+            }
+            let mut prev_end: Option<usize> = None;
+            for (t, r) in per_thread.iter().enumerate() {
+                if r.start > r.end {
+                    return Err(format!("color {c} thread {t} invalid range {r:?}"));
+                }
+                if let Some(pe) = prev_end {
+                    if !r.is_empty() && r.start < pe {
+                        return Err(format!("color {c} thread {t} overlaps previous"));
+                    }
+                }
+                if !r.is_empty() {
+                    prev_end = Some(r.end);
+                }
+                for row in r.clone() {
+                    if row >= self.n {
+                        return Err(format!("color {c} thread {t} row {row} out of range"));
+                    }
+                    if seen[row] {
+                        return Err(format!("row {row} assigned to more than one color/thread"));
+                    }
+                    seen[row] = true;
+                }
+            }
+        }
+        if let Some(row) = seen.iter().position(|&s| !s) {
+            return Err(format!("row {row} not covered by any color"));
+        }
+        let flat_cover: usize = self.flat.iter().map(|r| r.len()).sum();
+        if flat_cover != self.n {
+            return Err(format!("flat covers {flat_cover} of {} rows", self.n));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_reorder::{AbmcParams, BlockingStrategy};
+    use fbmpk_sparse::Csr;
+
+    fn tridiag(n: usize) -> Csr {
+        let mut coo = fbmpk_sparse::Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+                coo.push(i - 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn serial_schedule_trivial() {
+        let s = Schedule::serial(10);
+        s.validate().unwrap();
+        assert_eq!(s.ncolors(), 1);
+        assert_eq!(s.colors[0][0], 0..10);
+    }
+
+    #[test]
+    fn colored_schedule_covers_rows() {
+        let a = tridiag(128);
+        let abmc = Abmc::new(
+            &a,
+            AbmcParams {
+                nblocks: 16,
+                strategy: BlockingStrategy::Contiguous,
+                ..Default::default()
+            },
+        );
+        let b = abmc.apply(&a);
+        let split = TriangularSplit::split(&b).unwrap();
+        for t in [1, 2, 4, 9] {
+            let s = Schedule::colored(&abmc, &split, t);
+            s.validate().unwrap();
+            assert_eq!(s.nthreads, t);
+            assert_eq!(s.ncolors(), abmc.ncolors());
+        }
+    }
+
+    #[test]
+    fn thread_ranges_respect_block_boundaries() {
+        let a = tridiag(100);
+        let abmc = Abmc::new(
+            &a,
+            AbmcParams {
+                nblocks: 10,
+                strategy: BlockingStrategy::Contiguous,
+                ..Default::default()
+            },
+        );
+        let b = abmc.apply(&a);
+        let split = TriangularSplit::split(&b).unwrap();
+        let s = Schedule::colored(&abmc, &split, 3);
+        // Every thread range boundary must coincide with a block boundary.
+        let block_starts: std::collections::HashSet<usize> =
+            (0..abmc.nblocks()).flat_map(|b| [abmc.block_rows(b).start, abmc.block_rows(b).end]).collect();
+        for per_thread in &s.colors {
+            for r in per_thread {
+                if !r.is_empty() {
+                    assert!(block_starts.contains(&r.start), "{r:?} splits a block");
+                    assert!(block_starts.contains(&r.end), "{r:?} splits a block");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_blocks() {
+        let a = tridiag(20);
+        let abmc = Abmc::new(
+            &a,
+            AbmcParams { nblocks: 2, strategy: BlockingStrategy::Contiguous, ..Default::default() },
+        );
+        let b = abmc.apply(&a);
+        let split = TriangularSplit::split(&b).unwrap();
+        let s = Schedule::colored(&abmc, &split, 8);
+        s.validate().unwrap();
+    }
+}

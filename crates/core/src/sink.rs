@@ -1,0 +1,152 @@
+//! Iterate sinks: what to do with each computed entry `x_i[r]`.
+//!
+//! The FB sweeps produce every entry of every iterate exactly once. A
+//! [`Sink`] observes those entries as they are written, which lets the
+//! three MPK use cases share one kernel with zero overhead for the plain
+//! power case:
+//!
+//! * [`NullSink`] — `Aᵏx` only; the result is read from the layout buffers,
+//! * [`CollectSink`] — Krylov-basis mode: store all iterates `x₁..x_k`,
+//! * [`AccumSink`] — generic SSpMV: fold `y[r] += αᵢ·x_i[r]` into the sweep
+//!   so the linear combination costs no extra pass over memory.
+//!
+//! Sinks are called under the kernel's row-ownership discipline: entry
+//! `(i, r)` is emitted by the thread that owns row `r` in the current
+//! phase, so sink writes indexed by `r` are race-free.
+
+use fbmpk_parallel::SharedSlice;
+
+/// Observer of computed iterate entries.
+pub trait Sink: Sync {
+    /// Called once per (iterate `i` in `1..=k`, row `r`) with `x_i[r]`.
+    ///
+    /// # Safety
+    /// The caller (kernel) guarantees `(i, r)` is emitted by the unique
+    /// owner of row `r` in the current barrier phase; implementations may
+    /// write to row-indexed shared storage without synchronization.
+    unsafe fn emit(&self, i: usize, r: usize, v: f64);
+}
+
+/// Discards all entries (plain `Aᵏx`).
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline]
+    unsafe fn emit(&self, _i: usize, _r: usize, _v: f64) {}
+}
+
+/// Collects all iterates into a dense row-major `k x n` matrix
+/// (`basis[(i-1) * n + r] = x_i[r]`) — the Krylov-basis mode.
+pub struct CollectSink<'a> {
+    basis: SharedSlice<'a, f64>,
+    n: usize,
+}
+
+impl<'a> CollectSink<'a> {
+    /// Wraps a buffer for exactly `k` iterates of length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `basis.len() == k * n` — an undersized buffer would
+    /// otherwise be written out of bounds by the kernel's emissions.
+    pub fn new(basis: &'a mut [f64], n: usize, k: usize) -> Self {
+        assert!(n > 0, "iterate length must be positive");
+        assert_eq!(
+            basis.len(),
+            k * n,
+            "basis must hold exactly k = {k} iterates of length n = {n}"
+        );
+        CollectSink { basis: SharedSlice::new(basis), n }
+    }
+}
+
+impl Sink for CollectSink<'_> {
+    #[inline]
+    unsafe fn emit(&self, i: usize, r: usize, v: f64) {
+        debug_assert!(i >= 1);
+        unsafe { self.basis.set((i - 1) * self.n + r, v) }
+    }
+}
+
+/// Accumulates `y[r] += coeffs[i] * x_i[r]` — the SSpMV fold.
+///
+/// `coeffs[0]` (the `α₀ x₀` term) is *not* applied here; the plan seeds `y`
+/// with it before launching the kernel.
+pub struct AccumSink<'a> {
+    y: SharedSlice<'a, f64>,
+    coeffs: &'a [f64],
+}
+
+impl<'a> AccumSink<'a> {
+    /// Wraps the output vector and the coefficient table (indexed by
+    /// iterate number, so `coeffs.len() == k + 1`).
+    pub fn new(y: &'a mut [f64], coeffs: &'a [f64]) -> Self {
+        AccumSink { y: SharedSlice::new(y), coeffs }
+    }
+}
+
+impl Sink for AccumSink<'_> {
+    #[inline]
+    unsafe fn emit(&self, i: usize, r: usize, v: f64) {
+        let c = self.coeffs[i];
+        if c != 0.0 {
+            unsafe { self.y.set(r, self.y.get(r) + c * v) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_places_iterates() {
+        let mut basis = vec![0.0; 6]; // k=2, n=3
+        {
+            let s = CollectSink::new(&mut basis, 3, 2);
+            unsafe {
+                s.emit(1, 0, 10.0);
+                s.emit(1, 2, 12.0);
+                s.emit(2, 1, 21.0);
+            }
+        }
+        assert_eq!(basis, vec![10.0, 0.0, 12.0, 0.0, 21.0, 0.0]);
+    }
+
+    #[test]
+    fn accum_sink_folds_coefficients() {
+        let mut y = vec![1.0; 2];
+        let coeffs = [9.0, 2.0, 0.5];
+        {
+            let s = AccumSink::new(&mut y, &coeffs);
+            unsafe {
+                s.emit(1, 0, 3.0); // y[0] += 2*3
+                s.emit(2, 0, 4.0); // y[0] += 0.5*4
+                s.emit(2, 1, 2.0); // y[1] += 0.5*2
+            }
+        }
+        assert_eq!(y, vec![9.0, 2.0]);
+    }
+
+    #[test]
+    fn accum_sink_skips_zero_coefficients() {
+        let mut y = vec![0.0; 1];
+        let coeffs = [0.0, 0.0];
+        {
+            let s = AccumSink::new(&mut y, &coeffs);
+            unsafe { s.emit(1, 0, f64::NAN) }; // would poison if applied
+        }
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn null_sink_is_noop() {
+        unsafe { NullSink.emit(1, 0, 42.0) };
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k")]
+    fn collect_sink_checks_shape() {
+        let mut b = vec![0.0; 5];
+        CollectSink::new(&mut b, 3, 2);
+    }
+}

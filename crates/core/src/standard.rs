@@ -1,0 +1,223 @@
+//! The standard MPK baseline (paper Algorithm 1).
+//!
+//! `x_i = A·x_{i-1}` with a conventional CSR SpMV per invocation. This is
+//! the comparison point for every speedup in the paper (on ARM the baseline
+//! uses the same tuned SpMV kernel as FBMPK; on x86 the paper uses MKL —
+//! our substitution note lives in DESIGN.md). Parallelization is the
+//! classic row partition: iterates are produced by barrier-separated
+//! rounds, so each SpMV reads a fully-formed input vector.
+
+use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
+use crate::{FbmpkError, Result};
+use fbmpk_parallel::partition::balance_by_weight;
+use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_sparse::Csr;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A prepared standard-MPK executor: matrix + thread pool + row partition.
+pub struct StandardMpk {
+    a: Csr,
+    pool: Arc<ThreadPool>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl StandardMpk {
+    /// Prepares a standard MPK on `nthreads` workers.
+    ///
+    /// # Errors
+    /// Returns [`FbmpkError::NotSquare`] for rectangular matrices.
+    pub fn new(a: &Csr, nthreads: usize) -> Result<Self> {
+        Self::with_pool(a, Arc::new(ThreadPool::new(nthreads)))
+    }
+
+    /// Prepares a standard MPK reusing an existing pool (so baseline and
+    /// FBMPK can share workers in benchmarks).
+    ///
+    /// # Errors
+    /// Returns [`FbmpkError::NotSquare`] for rectangular matrices.
+    pub fn with_pool(a: &Csr, pool: Arc<ThreadPool>) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(FbmpkError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let weights: Vec<usize> = (0..a.nrows()).map(|r| a.row_nnz(r) + 1).collect();
+        let ranges = balance_by_weight(&weights, pool.nthreads());
+        Ok(StandardMpk { a: a.clone(), pool, ranges })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    /// Computes `Aᵏ x₀`.
+    ///
+    /// # Panics
+    /// Panics when `x0.len() != n`.
+    pub fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        if k == 0 {
+            return x0.to_vec();
+        }
+        let mut bufs = (x0.to_vec(), vec![0.0; self.n()]);
+        self.run(&mut bufs, k, &NullSink);
+        if k % 2 == 1 {
+            bufs.1
+        } else {
+            bufs.0
+        }
+    }
+
+    /// Computes all iterates `[A x₀, A² x₀, …, Aᵏ x₀]`.
+    pub fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        let n = self.n();
+        let mut basis = vec![0.0; k * n];
+        if k > 0 {
+            let mut bufs = (x0.to_vec(), vec![0.0; n]);
+            let sink = CollectSink::new(&mut basis, n, k);
+            self.run(&mut bufs, k, &sink);
+        }
+        basis.chunks(n).map(|c| c.to_vec()).collect()
+    }
+
+    /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` (`k = coeffs.len()-1`).
+    pub fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
+        let n = self.n();
+        assert_eq!(x0.len(), n);
+        let k = coeffs.len() - 1;
+        let mut y: Vec<f64> = x0.iter().map(|&v| coeffs[0] * v).collect();
+        if k > 0 {
+            let mut bufs = (x0.to_vec(), vec![0.0; n]);
+            let sink = AccumSink::new(&mut y, coeffs);
+            self.run(&mut bufs, k, &sink);
+        }
+        y
+    }
+
+    /// Executes `k` barrier-separated SpMV rounds, ping-ponging between the
+    /// two buffers. After the call, iterate `k` is in `bufs.1` for odd `k`
+    /// and `bufs.0` for even `k`.
+    fn run<S: Sink>(&self, bufs: &mut (Vec<f64>, Vec<f64>), k: usize, sink: &S) {
+        let n = self.n();
+        assert_eq!(bufs.0.len(), n);
+        assert_eq!(bufs.1.len(), n);
+        let a = &self.a;
+        let barrier = self.pool.barrier();
+        let ranges = &self.ranges;
+        let b0 = SharedSlice::new(&mut bufs.0);
+        let b1 = SharedSlice::new(&mut bufs.1);
+        self.pool.run(&|t| {
+            let row_ptr = a.row_ptr();
+            let col_idx = a.col_idx();
+            let values = a.values();
+            for i in 0..k {
+                let (src, dst) = if i % 2 == 0 { (&b0, &b1) } else { (&b1, &b0) };
+                for r in ranges[t].clone() {
+                    let mut sum = 0.0;
+                    for j in row_ptr[r]..row_ptr[r + 1] {
+                        // SAFETY: src is read-only this round (writes go to
+                        // dst; the barrier separates rounds).
+                        sum += values[j] * unsafe { src.get(col_idx[j] as usize) };
+                    }
+                    // SAFETY: thread t owns rows in ranges[t].
+                    unsafe {
+                        dst.set(r, sum);
+                        sink.emit(i + 1, r, sum);
+                    }
+                }
+                barrier.wait();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::spmv::spmv;
+
+    fn sample() -> Csr {
+        Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 3.0, 3.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0],
+            &[2.0, 0.0, 1.0, 6.0],
+        ])
+    }
+
+    fn reference_power(a: &Csr, x0: &[f64], k: usize) -> Vec<f64> {
+        let mut x = x0.to_vec();
+        let mut y = vec![0.0; x.len()];
+        for _ in 0..k {
+            spmv(a, &x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        x
+    }
+
+    #[test]
+    fn power_matches_reference_serial_and_parallel() {
+        let a = sample();
+        let x0 = [1.0, -2.0, 0.5, 3.0];
+        for t in [1, 2, 4] {
+            let m = StandardMpk::new(&a, t).unwrap();
+            for k in 0..=6 {
+                let got = m.power(&x0, k);
+                let want = reference_power(&a, &x0, k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() / w.abs().max(1.0) < 1e-12, "t={t} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_collects_each_power() {
+        let a = sample();
+        let x0 = [1.0, 1.0, 1.0, 1.0];
+        let m = StandardMpk::new(&a, 2).unwrap();
+        let basis = m.krylov(&x0, 4);
+        assert_eq!(basis.len(), 4);
+        for (i, b) in basis.iter().enumerate() {
+            let want = reference_power(&a, &x0, i + 1);
+            for (g, w) in b.iter().zip(&want) {
+                assert!((g - w).abs() / w.abs().max(1.0) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sspmv_folds_polynomial() {
+        let a = sample();
+        let x0 = [0.5, -1.0, 2.0, 1.0];
+        let m = StandardMpk::new(&a, 3).unwrap();
+        // y = 1*x0 - 2*A x0 + 0.5*A^3 x0
+        let coeffs = [1.0, -2.0, 0.0, 0.5];
+        let y = m.sspmv(&coeffs, &x0);
+        for r in 0..4 {
+            let want = x0[r] - 2.0 * reference_power(&a, &x0, 1)[r]
+                + 0.5 * reference_power(&a, &x0, 3)[r];
+            assert!((y[r] - want).abs() / want.abs().max(1.0) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_zero_is_identity_or_alpha0() {
+        let a = sample();
+        let x0 = [1.0, 2.0, 3.0, 4.0];
+        let m = StandardMpk::new(&a, 1).unwrap();
+        assert_eq!(m.power(&x0, 0), x0.to_vec());
+        assert_eq!(m.sspmv(&[2.0], &x0), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Csr::zero(2, 3);
+        assert!(matches!(StandardMpk::new(&a, 1), Err(FbmpkError::NotSquare { .. })));
+    }
+}

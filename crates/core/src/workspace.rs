@@ -1,0 +1,274 @@
+//! Allocation-free repeated invocation.
+//!
+//! Solvers call the MPK once per outer iteration (power method, Chebyshev
+//! filters, smoothers); allocating `xy`/`tmp`/`out` each call costs more
+//! than the kernel on small systems. [`Workspace`] owns the kernel buffers
+//! and the `*_with` methods on [`FbmpkPlan`] reuse them, so steady-state
+//! invocations perform no heap allocation.
+
+use crate::kernel::run_fbmpk;
+use crate::layout::{BtbXy, SplitXy};
+use crate::plan::{FbmpkPlan, VectorLayout};
+use crate::sink::{AccumSink, NullSink};
+
+/// Reusable kernel buffers for one plan (sized to its dimension).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Interleaved or even-half buffer (length `2n`; split layout uses the
+    /// two halves as separate arrays).
+    xy: Vec<f64>,
+    tmp: Vec<f64>,
+    out: Vec<f64>,
+    /// Permuted-input staging (used when the plan reorders).
+    staged: Vec<f64>,
+    /// Permuted-domain accumulator for `sspmv_with` on reordered plans.
+    acc: Vec<f64>,
+    n: usize,
+}
+
+impl Workspace {
+    /// Allocates buffers for a plan of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            xy: vec![0.0; 2 * n],
+            tmp: vec![0.0; n],
+            out: vec![0.0; n],
+            staged: vec![0.0; n],
+            acc: vec![0.0; n],
+            n,
+        }
+    }
+
+    /// Dimension the workspace was sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl FbmpkPlan {
+    /// Creates a workspace matching this plan.
+    pub fn workspace(&self) -> Workspace {
+        Workspace::new(self.n())
+    }
+
+    /// Like [`FbmpkPlan::power`], but reusing `ws` and writing into `y` —
+    /// no allocation in steady state.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or a workspace sized for a different
+    /// plan.
+    pub fn power_with(&self, ws: &mut Workspace, x0: &[f64], k: usize, y: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(ws.n, n, "workspace sized for a different plan");
+        assert_eq!(x0.len(), n);
+        assert_eq!(y.len(), n);
+        if k == 0 {
+            y.copy_from_slice(x0);
+            return;
+        }
+        // Stage the (possibly permuted) input into the even slots.
+        match self.permutation() {
+            Some(p) => p.apply_vec(x0, &mut ws.staged),
+            None => ws.staged.copy_from_slice(x0),
+        }
+        self.execute_with(ws, k, &NullSink);
+        self.extract_result(ws, k, y);
+    }
+
+    /// Like [`FbmpkPlan::sspmv`], but reusing `ws` and writing into `y`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches, empty `coeffs`, or a foreign workspace.
+    pub fn sspmv_with(&self, ws: &mut Workspace, coeffs: &[f64], x0: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(ws.n, n, "workspace sized for a different plan");
+        assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
+        assert_eq!(x0.len(), n);
+        assert_eq!(y.len(), n);
+        let k = coeffs.len() - 1;
+        match self.permutation() {
+            Some(p) => p.apply_vec(x0, &mut ws.staged),
+            None => ws.staged.copy_from_slice(x0),
+        }
+        // On reordered plans the accumulation happens in the permuted
+        // domain; `ws.acc` is moved out for the duration of the kernel
+        // (the sink borrows it while `execute_with` borrows `ws`) and
+        // moved back afterwards — no allocation in steady state.
+        let mut acc = std::mem::take(&mut ws.acc);
+        let acc_slice: &mut [f64] = if self.permutation().is_some() {
+            acc.resize(n, 0.0);
+            for (ai, &xi) in acc.iter_mut().zip(&ws.staged) {
+                *ai = coeffs[0] * xi;
+            }
+            &mut acc
+        } else {
+            for (yi, &xi) in y.iter_mut().zip(&ws.staged) {
+                *yi = coeffs[0] * xi;
+            }
+            y
+        };
+        if k > 0 {
+            let sink = AccumSink::new(acc_slice, coeffs);
+            self.execute_with_sink_only(ws, k, &sink);
+        }
+        if let Some(p) = self.permutation() {
+            p.unapply_vec(&acc, y);
+        }
+        ws.acc = acc;
+    }
+
+    /// Runs the kernel out of the workspace buffers (input staged in
+    /// `ws.staged`).
+    fn execute_with<S: crate::sink::Sink>(&self, ws: &mut Workspace, k: usize, sink: &S) {
+        let n = self.n();
+        match self.layout() {
+            VectorLayout::BackToBack => {
+                for (i, &v) in ws.staged.iter().enumerate() {
+                    ws.xy[2 * i] = v;
+                }
+                let layout = BtbXy::new(&mut ws.xy);
+                run_fbmpk(self.pool(), self.schedule(), self.split(), &layout, &mut ws.tmp, &mut ws.out, k, sink);
+            }
+            VectorLayout::Split => {
+                let (even, odd) = ws.xy.split_at_mut(n);
+                even[..n].copy_from_slice(&ws.staged);
+                let layout = SplitXy::new(&mut even[..n], &mut odd[..n]);
+                run_fbmpk(self.pool(), self.schedule(), self.split(), &layout, &mut ws.tmp, &mut ws.out, k, sink);
+            }
+        }
+    }
+
+    /// Variant of [`Self::execute_with`] used when only the sink output
+    /// matters (SSpMV): identical execution, named for clarity at call
+    /// sites.
+    fn execute_with_sink_only<S: crate::sink::Sink>(&self, ws: &mut Workspace, k: usize, sink: &S) {
+        self.execute_with(ws, k, sink);
+    }
+
+    /// Copies `x_k` out of the workspace after [`Self::execute_with`].
+    fn extract_result(&self, ws: &Workspace, k: usize, y: &mut [f64]) {
+        let n = self.n();
+        let pick = |i: usize| -> f64 {
+            if k % 2 == 1 {
+                ws.out[i]
+            } else {
+                match self.layout() {
+                    VectorLayout::BackToBack => ws.xy[2 * i],
+                    VectorLayout::Split => ws.xy[i],
+                }
+            }
+        };
+        match self.permutation() {
+            Some(p) => {
+                let order = p.new_of_old();
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi = pick(order[i] as usize);
+                }
+            }
+            None => {
+                for (i, yi) in y.iter_mut().enumerate().take(n) {
+                    *yi = pick(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FbmpkOptions;
+    use fbmpk_reorder::AbmcParams;
+    use fbmpk_sparse::vecops::rel_err_inf;
+
+    fn grid() -> fbmpk_sparse::Csr {
+        fbmpk_gen::poisson::grid2d_5pt(9, 8)
+    }
+
+    fn all_plans(a: &fbmpk_sparse::Csr) -> Vec<(&'static str, FbmpkPlan)> {
+        let abmc = AbmcParams { nblocks: 12, ..Default::default() };
+        vec![
+            ("serial-btb", FbmpkPlan::new(a, FbmpkOptions::default()).unwrap()),
+            (
+                "serial-split",
+                FbmpkPlan::new(
+                    a,
+                    FbmpkOptions { layout: VectorLayout::Split, ..Default::default() },
+                )
+                .unwrap(),
+            ),
+            (
+                "serial-reordered",
+                FbmpkPlan::new(a, FbmpkOptions { reorder: Some(abmc), ..Default::default() })
+                    .unwrap(),
+            ),
+            ("parallel", {
+                let mut o = FbmpkOptions::parallel(3);
+                o.reorder = Some(abmc);
+                FbmpkPlan::new(a, o).unwrap()
+            }),
+            ("parallel-split", {
+                let mut o = FbmpkOptions::parallel(2);
+                o.reorder = Some(abmc);
+                o.layout = VectorLayout::Split;
+                FbmpkPlan::new(a, o).unwrap()
+            }),
+        ]
+    }
+
+    #[test]
+    fn power_with_matches_power() {
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 31) as f64) / 15.0 - 1.0).collect();
+        for (name, plan) in all_plans(&a) {
+            let mut ws = plan.workspace();
+            let mut y = vec![0.0; n];
+            for k in 0..=7 {
+                plan.power_with(&mut ws, &x0, k, &mut y);
+                let want = plan.power(&x0, k);
+                assert_eq!(y, want, "{name} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sspmv_with_matches_sspmv() {
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos()).collect();
+        let coeffs = [0.5, -1.0, 0.25, 0.0, 1.5];
+        for (name, plan) in all_plans(&a) {
+            let mut ws = plan.workspace();
+            let mut y = vec![0.0; n];
+            plan.sspmv_with(&mut ws, &coeffs, &x0, &mut y);
+            let want = plan.sspmv(&coeffs, &x0);
+            assert!(rel_err_inf(&y, &want) < 1e-14, "{name}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_k() {
+        let a = grid();
+        let n = a.nrows();
+        let plan = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let mut ws = plan.workspace();
+        let x0 = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        // Alternate parities and sizes; stale buffer content must not leak.
+        for &k in &[5usize, 2, 7, 1, 4] {
+            plan.power_with(&mut ws, &x0, k, &mut y);
+            assert_eq!(y, plan.power(&x0, k), "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different plan")]
+    fn foreign_workspace_rejected() {
+        let a = grid();
+        let plan = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let mut ws = Workspace::new(3);
+        let mut y = vec![0.0; a.nrows()];
+        plan.power_with(&mut ws, &vec![1.0; a.nrows()], 2, &mut y);
+    }
+}

@@ -1,0 +1,124 @@
+//! Random-walk transition matrices — the `cage14` class.
+//!
+//! The cage matrices model DNA electrophoresis as Markov transition
+//! matrices: numerically unsymmetric, row-stochastic,
+//! ~18 nnz/row for cage14. We reproduce that with a 3D-grid walk extended to
+//! an 18-offset neighborhood whose transition probabilities are drawn
+//! independently per direction and normalized per row.
+
+use fbmpk_sparse::{Coo, Csr};
+use rand::Rng;
+
+/// Parameters for [`cage_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct CageParams {
+    /// Approximate matrix dimension (rounded to a 3D grid).
+    pub n: usize,
+    /// Neighbors per site including self (cage14 ≈ 18). Max 27.
+    pub neighbors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a cage-like row-stochastic transition matrix (unsymmetric).
+pub fn cage_like(p: CageParams) -> Csr {
+    assert!((1..=27).contains(&p.neighbors));
+    let side = (p.n as f64).cbrt().round().max(1.0) as usize;
+    let (nx, ny) = (side, side);
+    let nz = (p.n.div_ceil(nx * ny)).max(1);
+    let n = nx * ny * nz;
+    let mut offs: Vec<(i64, i64, i64)> = Vec::with_capacity(27);
+    for dz in -1i64..=1 {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                offs.push((dx, dy, dz));
+            }
+        }
+    }
+    offs.sort_by_key(|&(x, y, z)| (x.abs() + y.abs() + z.abs(), (x, y, z)));
+    let offs = &offs[..p.neighbors];
+    let mut rng = crate::rng(p.seed);
+    let mut coo = Coo::with_capacity(n, n, n * p.neighbors);
+    let node = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut row: Vec<(usize, f64)> = Vec::with_capacity(p.neighbors);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = node(x, y, z);
+                row.clear();
+                let mut total = 0.0;
+                for &(dx, dy, dz) in offs {
+                    let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if xx < 0
+                        || yy < 0
+                        || zz < 0
+                        || xx >= nx as i64
+                        || yy >= ny as i64
+                        || zz >= nz as i64
+                    {
+                        continue;
+                    }
+                    let j = node(xx as usize, yy as usize, zz as usize);
+                    let w = 0.05 + rng.gen::<f64>();
+                    row.push((j, w));
+                    total += w;
+                }
+                for &(j, w) in &row {
+                    coo.push_unchecked(i, j, w / total);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::stats::MatrixStats;
+
+    #[test]
+    fn rows_are_stochastic() {
+        let a = cage_like(CageParams { n: 1000, neighbors: 18, seed: 3 });
+        for r in 0..a.nrows() {
+            let s: f64 = a.row_vals(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn numerically_unsymmetric() {
+        let a = cage_like(CageParams { n: 1000, neighbors: 18, seed: 3 });
+        assert!(!a.is_symmetric(1e-12));
+        // With a pair-complete neighborhood (7 = self + 6 faces) the
+        // structure is symmetric even though the values are not.
+        let b = cage_like(CageParams { n: 1000, neighbors: 7, seed: 3 });
+        let t = b.transpose();
+        assert_eq!(b.row_ptr(), t.row_ptr());
+        assert_eq!(b.col_idx(), t.col_idx());
+        assert!(!b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn density_near_target() {
+        let a = cage_like(CageParams { n: 8000, neighbors: 18, seed: 3 });
+        let s = MatrixStats::compute(&a);
+        assert!(s.nnz_per_row > 12.0 && s.nnz_per_row <= 18.0, "density {}", s.nnz_per_row);
+    }
+
+    #[test]
+    fn spectral_radius_at_most_one() {
+        // Row-stochastic: ||A||_inf = 1, so power iterates stay bounded.
+        let a = cage_like(CageParams { n: 512, neighbors: 7, seed: 9 });
+        let mut x = vec![1.0; a.nrows()];
+        let mut y = vec![0.0; a.nrows()];
+        for _ in 0..10 {
+            fbmpk_sparse::spmv::spmv(&a, &x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        // A * ones == ones exactly for a stochastic matrix.
+        for &v in &x {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+}

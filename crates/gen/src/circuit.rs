@@ -1,0 +1,113 @@
+//! Circuit-simulation analogs — the `G3_circuit` class.
+//!
+//! Circuit matrices are symmetric, extremely sparse (~4.8 nnz/row for
+//! G3_circuit) and irregular: mostly local chain/grid coupling plus a tail
+//! of longer-range connections. Their low row density makes *vector*
+//! traffic dominate — the case where the paper measures FBMPK's smallest
+//! memory-traffic win (77% ratio at k=9, §V-C).
+
+use fbmpk_sparse::{Coo, Csr};
+use rand::Rng;
+
+/// Parameters for [`circuit_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Target mean nonzeros per row (diagonal included); G3_circuit ≈ 4.8.
+    pub nnz_per_row: f64,
+    /// Fraction of off-diagonal connections that are long-range (uniform
+    /// over the whole index space) instead of near-diagonal.
+    pub long_range_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a symmetric, diagonally dominant circuit-like matrix.
+///
+/// Every node couples to its chain predecessor (guaranteeing an irreducible
+/// structure); remaining connections are drawn near-diagonal or long-range
+/// according to `long_range_frac`.
+pub fn circuit_like(p: CircuitParams) -> Csr {
+    let n = p.n;
+    assert!(n >= 2, "circuit needs at least 2 nodes");
+    let mut rng = crate::rng(p.seed);
+    let mut coo = Coo::with_capacity(n, n, (p.nnz_per_row.ceil() as usize + 2) * n);
+    let mut rowsum = vec![0.0f64; n];
+    // (nnz_per_row - 1) off-diagonals per row total; mirroring means we draw
+    // half that per row. One of them is the fixed chain edge.
+    let per_row = ((p.nnz_per_row - 1.0) / 2.0 - 1.0).max(0.0);
+    let push_sym = |coo: &mut Coo, rowsum: &mut [f64], rng: &mut crate::GenRng, i: usize, j: usize| {
+        if i == j {
+            return;
+        }
+        let v = -crate::offdiag_value(rng);
+        coo.push_unchecked(i, j, v);
+        coo.push_unchecked(j, i, v);
+        rowsum[i] += v.abs();
+        rowsum[j] += v.abs();
+    };
+    for i in 1..n {
+        push_sym(&mut coo, &mut rowsum, &mut rng, i, i - 1);
+        let mut extra = per_row.floor() as usize;
+        if rng.gen::<f64>() < per_row.fract() {
+            extra += 1;
+        }
+        for _ in 0..extra {
+            let j = if rng.gen::<f64>() < p.long_range_frac {
+                rng.gen_range(0..n)
+            } else {
+                // Near-diagonal: within a small window behind i.
+                let w = 32.min(i);
+                if w == 0 {
+                    continue;
+                }
+                i - 1 - rng.gen_range(0..w)
+            };
+            if j != i {
+                push_sym(&mut coo, &mut rowsum, &mut rng, i, j);
+            }
+        }
+    }
+    for (i, &s) in rowsum.iter().enumerate() {
+        coo.push_unchecked(i, i, s * 1.05 + 1.0);
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::stats::MatrixStats;
+
+    #[test]
+    fn g3_circuit_like_density() {
+        let a = circuit_like(CircuitParams { n: 5000, nnz_per_row: 4.83, long_range_frac: 0.2, seed: 11 });
+        let s = MatrixStats::compute(&a);
+        assert!(s.symmetric);
+        // Duplicate folding can remove a few entries; stay within 15%.
+        assert!((s.nnz_per_row - 4.83).abs() / 4.83 < 0.15, "density {}", s.nnz_per_row);
+        assert_eq!(s.diag_coverage, 1.0);
+    }
+
+    #[test]
+    fn chain_guarantees_connectivity_edges() {
+        let a = circuit_like(CircuitParams { n: 100, nnz_per_row: 3.0, long_range_frac: 0.0, seed: 1 });
+        for i in 1..100 {
+            assert!(a.get(i, i - 1) != 0.0, "chain edge {i} missing");
+        }
+    }
+
+    #[test]
+    fn long_range_increases_bandwidth() {
+        let local = circuit_like(CircuitParams { n: 3000, nnz_per_row: 5.0, long_range_frac: 0.0, seed: 2 });
+        let global = circuit_like(CircuitParams { n: 3000, nnz_per_row: 5.0, long_range_frac: 0.9, seed: 2 });
+        assert!(global.bandwidth() > local.bandwidth());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = CircuitParams { n: 500, nnz_per_row: 4.8, long_range_frac: 0.3, seed: 77 };
+        assert_eq!(circuit_like(p), circuit_like(p));
+    }
+}

@@ -1,0 +1,46 @@
+//! # fbmpk-gen
+//!
+//! Synthetic sparse-matrix generators for the FBMPK reproduction.
+//!
+//! The paper evaluates on 14 SuiteSparse matrices (Table II). Those exact
+//! inputs are proprietary-by-download; this crate substitutes generators that
+//! reproduce the *structural knobs the paper's analysis depends on*:
+//!
+//! * dimension `N` and mean row density `nnz/N` (which set the matrix-vs-
+//!   vector traffic balance — the driver of Fig. 9's sparsity dependence),
+//! * symmetry (cage14 and ML_Geer are unsymmetric, the rest symmetric),
+//! * structure class: banded FEM shells, dense-block FEM (audikw-like),
+//!   circuit-style irregular ultra-sparse graphs, and random-walk (cage)
+//!   matrices — which determine bandwidth/locality and ABMC color counts.
+//!
+//! [`suite`] instantiates the paper's Table II at a configurable scale;
+//! individual generators are exposed for custom experiments. All generators
+//! take an explicit seed and are fully deterministic.
+
+pub mod banded;
+pub mod blockfem;
+pub mod cage;
+pub mod circuit;
+pub mod poisson;
+pub mod rmat;
+pub mod suite;
+
+pub use suite::{paper_suite, SuiteEntry};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic RNG used by every generator in this crate.
+pub type GenRng = ChaCha8Rng;
+
+/// Creates the crate's deterministic RNG from a seed.
+pub fn rng(seed: u64) -> GenRng {
+    use rand::SeedableRng;
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Draws a value in `[0.1, 1.0)`; keeping magnitudes bounded away from zero
+/// avoids accidental cancellation in correctness comparisons.
+pub(crate) fn offdiag_value(rng: &mut GenRng) -> f64 {
+    0.1 + 0.9 * rng.gen::<f64>()
+}

@@ -1,0 +1,155 @@
+//! Structured-grid Poisson stencil matrices.
+//!
+//! The classic model problems: 2D 5-point, 3D 7-point and 3D 27-point finite
+//! difference Laplacians. These are the matrices HPCG-class workloads (which
+//! the paper cites as MPK consumers) are built on, and they make good SPD
+//! test inputs because their spectra are known.
+
+use fbmpk_sparse::{Coo, Csr};
+
+/// 2D 5-point Laplacian on an `nx x ny` grid (dimension `nx*ny`).
+///
+/// Row `i = y*nx + x` holds `4` on the diagonal and `-1` for each of the up
+/// to four grid neighbors. SPD.
+pub fn grid2d_5pt(nx: usize, ny: usize) -> Csr {
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            coo.push_unchecked(i, i, 4.0);
+            if x > 0 {
+                coo.push_unchecked(i, i - 1, -1.0);
+            }
+            if x + 1 < nx {
+                coo.push_unchecked(i, i + 1, -1.0);
+            }
+            if y > 0 {
+                coo.push_unchecked(i, i - nx, -1.0);
+            }
+            if y + 1 < ny {
+                coo.push_unchecked(i, i + nx, -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D 7-point Laplacian on an `nx x ny x nz` grid. SPD.
+pub fn grid3d_7pt(nx: usize, ny: usize, nz: usize) -> Csr {
+    let n = nx * ny * nz;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = (z * ny + y) * nx + x;
+                coo.push_unchecked(i, i, 6.0);
+                if x > 0 {
+                    coo.push_unchecked(i, i - 1, -1.0);
+                }
+                if x + 1 < nx {
+                    coo.push_unchecked(i, i + 1, -1.0);
+                }
+                if y > 0 {
+                    coo.push_unchecked(i, i - nx, -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push_unchecked(i, i + nx, -1.0);
+                }
+                if z > 0 {
+                    coo.push_unchecked(i, i - nx * ny, -1.0);
+                }
+                if z + 1 < nz {
+                    coo.push_unchecked(i, i + nx * ny, -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D 27-point stencil on an `nx x ny x nz` grid (all face, edge and corner
+/// neighbors), the stencil HPCG uses. Diagonal `26`, neighbors `-1`. SPD.
+pub fn grid3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr {
+    let n = nx * ny * nz;
+    let mut coo = Coo::with_capacity(n, n, 27 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = (z * ny + y) * nx + x;
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let j = ((zz as usize * ny) + yy as usize) * nx + xx as usize;
+                            if i == j {
+                                coo.push_unchecked(i, i, 26.0);
+                            } else {
+                                coo.push_unchecked(i, j, -1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::stats::MatrixStats;
+
+    #[test]
+    fn grid2d_structure() {
+        let a = grid2d_5pt(4, 3);
+        assert_eq!(a.nrows(), 12);
+        // Interior row has 5 entries.
+        assert_eq!(a.row_nnz(5), 5);
+        // Corner row has 3.
+        assert_eq!(a.row_nnz(0), 3);
+        assert!(a.is_symmetric(0.0));
+        // Row sums are >= 0 (diagonally dominant).
+        for r in 0..a.nrows() {
+            let off: f64 = a.row_vals(r).iter().filter(|&&v| v < 0.0).map(|v| -v).sum();
+            assert!(a.get(r, r) >= off);
+        }
+    }
+
+    #[test]
+    fn grid3d_7pt_structure() {
+        let a = grid3d_7pt(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        assert_eq!(a.row_nnz(13), 7); // center voxel
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn grid3d_27pt_structure() {
+        let a = grid3d_27pt(3, 3, 3);
+        assert_eq!(a.row_nnz(13), 27);
+        assert!(a.is_symmetric(0.0));
+        let s = MatrixStats::compute(&a);
+        assert!(s.diag_coverage == 1.0);
+    }
+
+    #[test]
+    fn degenerate_1d_grids() {
+        let a = grid2d_5pt(5, 1);
+        assert_eq!(a.nrows(), 5);
+        assert_eq!(a.row_nnz(2), 3); // tridiagonal
+        let b = grid3d_7pt(1, 1, 4);
+        assert_eq!(b.bandwidth(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! R-MAT power-law graph matrices (Chakrabarti et al., SDM 2004).
+//!
+//! Table II's caption notes the suite covers "directed weighted graphs".
+//! R-MAT is the standard synthetic generator for that class: recursive
+//! quadrant sampling produces skewed degree distributions — a stress test
+//! for load balancing in the colored parallel schedule (a few very heavy
+//! rows per color).
+
+use fbmpk_sparse::{Coo, Csr};
+use rand::Rng;
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the matrix dimension (`n = 2^scale`).
+    pub scale: u32,
+    /// Average edges per vertex (before duplicate folding).
+    pub edge_factor: usize,
+    /// Quadrant probabilities `(a, b, c)`; `d = 1 - a - b - c`.
+    /// The Graph500 default is `(0.57, 0.19, 0.19)`.
+    pub probs: (f64, f64, f64),
+    /// Mirror each edge to force a symmetric pattern.
+    pub symmetric: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { scale: 10, edge_factor: 8, probs: (0.57, 0.19, 0.19), symmetric: false, seed: 1 }
+    }
+}
+
+/// Generates an R-MAT adjacency matrix with unit diagonal added (so the
+/// triangular split always has a usable `D`).
+pub fn rmat(p: RmatParams) -> Csr {
+    let n = 1usize << p.scale;
+    let (a, b, c) = p.probs;
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
+    let mut rng = crate::rng(p.seed);
+    let m = n * p.edge_factor;
+    let cap = if p.symmetric { 2 * m + n } else { m + n };
+    let mut coo = Coo::with_capacity(n, n, cap);
+    for _ in 0..m {
+        let (mut r, mut cidx) = (0usize, 0usize);
+        for level in (0..p.scale).rev() {
+            let u: f64 = rng.gen();
+            let (dr, dc) = if u < a {
+                (0, 0)
+            } else if u < a + b {
+                (0, 1)
+            } else if u < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            cidx |= dc << level;
+        }
+        if r == cidx {
+            continue; // self-loops handled by the diagonal pass
+        }
+        let w = crate::offdiag_value(&mut rng);
+        coo.push_unchecked(r, cidx, w);
+        if p.symmetric {
+            coo.push_unchecked(cidx, r, w);
+        }
+    }
+    for i in 0..n {
+        coo.push_unchecked(i, i, 1.0);
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::stats::MatrixStats;
+
+    #[test]
+    fn dimension_and_diagonal() {
+        let a = rmat(RmatParams { scale: 8, ..Default::default() });
+        assert_eq!(a.nrows(), 256);
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.diag_coverage, 1.0);
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let a = rmat(RmatParams { scale: 12, edge_factor: 8, ..Default::default() });
+        let s = MatrixStats::compute(&a);
+        // Power-law: max row far above the mean.
+        assert!(
+            (s.max_row_nnz as f64) > 4.0 * s.nnz_per_row,
+            "max {} mean {}",
+            s.max_row_nnz,
+            s.nnz_per_row
+        );
+    }
+
+    #[test]
+    fn symmetric_option() {
+        let a = rmat(RmatParams { scale: 8, symmetric: true, ..Default::default() });
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams { scale: 9, seed: 4, ..Default::default() };
+        assert_eq!(rmat(p), rmat(p));
+    }
+}

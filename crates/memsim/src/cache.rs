@@ -1,0 +1,266 @@
+//! A set-associative write-back, write-allocate LRU cache model.
+//!
+//! Models one cache level at line granularity — enough fidelity for DRAM
+//! traffic accounting (the quantity Fig. 9 measures), while staying fast
+//! enough to replay hundreds of millions of accesses.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// A 32 MiB, 16-way, 64 B-line last-level cache — the ballpark of the
+    /// evaluation platforms in Table I (TX2 32 MB, Xeon 35.75 MB, KP920
+    /// 64 MB).
+    pub fn llc_32m() -> Self {
+        CacheConfig { size_bytes: 32 << 20, line_bytes: 64, assoc: 16 }
+    }
+
+    /// A 32 KiB, 8-way L1.
+    pub fn l1_32k() -> Self {
+        CacheConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8 }
+    }
+
+    /// Number of sets.
+    pub fn nsets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (lines fetched from the next level).
+    pub misses: u64,
+    /// Dirty lines evicted (written to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU timestamp (monotone per cache; u64 never wraps in practice).
+    lru: u64,
+    valid: bool,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+/// Outcome of a cache access, for hierarchy plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access missed and the line was fetched from below.
+    pub miss: bool,
+    /// A dirty victim line (by base address) was evicted.
+    pub writeback: Option<u64>,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    /// Panics on non-power-of-two line size, zero associativity, or a size
+    /// that is not a multiple of `line_bytes * assoc`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.assoc > 0, "associativity must be positive");
+        assert!(
+            cfg.size_bytes.is_multiple_of(cfg.line_bytes * cfg.assoc) && cfg.nsets() > 0,
+            "capacity must be a whole number of sets"
+        );
+        let nsets = cfg.nsets();
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            lines: vec![Line { tag: 0, dirty: false, lru: 0, valid: false }; nsets * cfg.assoc],
+            clock: 0,
+            stats: CacheStats::default(),
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (nsets - 1) as u64,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses the line containing `addr`. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let line_addr = addr >> self.set_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let base = set * self.cfg.assoc;
+        let ways = &mut self.lines[base..base + self.cfg.assoc];
+        // Hit?
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.lru = self.clock;
+                w.dirty |= write;
+                self.stats.hits += 1;
+                return AccessOutcome { miss: false, writeback: None };
+            }
+        }
+        // Miss: pick invalid way or LRU victim.
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("associativity > 0");
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let victim_line = (victim.tag << self.set_mask.count_ones()) | set as u64;
+            writeback = Some(victim_line << self.set_shift);
+        }
+        *victim = Line { tag, dirty: write, lru: self.clock, valid: true };
+        AccessOutcome { miss: true, writeback }
+    }
+
+    /// Flushes all dirty lines, returning how many writebacks occurred
+    /// (end-of-run accounting so resident dirty data is not under-counted).
+    pub fn flush(&mut self) -> u64 {
+        self.flush_lines().len() as u64
+    }
+
+    /// Flushes all dirty lines and returns their base addresses (for
+    /// traffic attribution of the final writeback burst).
+    pub fn flush_lines(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let tag_bits = self.set_mask.count_ones();
+        let nsets = (self.set_mask + 1) as usize;
+        for (idx, l) in self.lines.iter_mut().enumerate() {
+            if l.valid && l.dirty {
+                let set = (idx / self.cfg.assoc) % nsets;
+                let line = (l.tag << tag_bits) | set as u64;
+                out.push(line << self.set_shift);
+                l.dirty = false;
+            }
+            l.valid = false;
+        }
+        self.stats.writebacks += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, assoc: 2 })
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(c.access(0x1000, false).miss);
+        assert!(!c.access(0x1000, false).miss);
+        assert!(!c.access(0x103F, false).miss); // same line
+        assert!(c.access(0x1040, false).miss); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 lines = 256B).
+        let (a, b, d) = (0x0000, 0x0100, 0x0200);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        c.access(d, false); // evicts b (LRU)
+        assert!(!c.access(a, false).miss, "a must survive");
+        assert!(c.access(b, false).miss, "b must have been evicted");
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.access(0x0000, true); // dirty
+        c.access(0x0100, false);
+        let out = c.access(0x0200, false); // evicts dirty 0x0000
+        assert_eq!(out.writeback, Some(0x0000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny();
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        let out = c.access(0x0200, false);
+        assert!(out.miss);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn flush_counts_resident_dirty_lines() {
+        let mut c = tiny();
+        // Three different sets: no capacity eviction before the flush.
+        c.access(0x0000, true); // set 0, dirty
+        c.access(0x0040, true); // set 1, dirty
+        c.access(0x0080, false); // set 2, clean
+        assert_eq!(c.flush(), 2);
+        // After flush, everything misses again.
+        assert!(c.access(0x0000, false).miss);
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_ratio(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 48, assoc: 2 });
+    }
+}

@@ -1,0 +1,437 @@
+//! Traced MPK kernels: replay the exact address streams of the standard
+//! and forward–backward pipelines through the cache hierarchy.
+//!
+//! These mirror `fbmpk::standard` and `fbmpk::kernel` access-for-access
+//! (row pointers, index/value streams, vector gathers, result stores) but
+//! perform no arithmetic — the structure alone determines DRAM traffic.
+//! Replays are single-threaded, like the paper's per-socket LIKWID counts
+//! (traffic is schedule-invariant for barrier-synchronized sweeps up to
+//! boundary effects).
+
+#![allow(clippy::needless_range_loop)] // replay loops index several parallel arrays by j/r
+
+use crate::cache::CacheConfig;
+use crate::hierarchy::{Hierarchy, TrafficClass, TrafficReport};
+use crate::layout::{AddressMap, ArrayRef, Elem};
+use fbmpk_sparse::{Csr, TriangularSplit};
+
+/// Which vector layout the FBMPK replay models (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TracedLayout {
+    /// Interleaved `xy[2n]` (back-to-back).
+    #[default]
+    BackToBack,
+    /// Two separate iterate arrays.
+    Split,
+}
+
+struct CsrRefs {
+    ptr: ArrayRef,
+    col: ArrayRef,
+    val: ArrayRef,
+}
+
+fn place_csr(map: &mut AddressMap, m: &Csr) -> CsrRefs {
+    CsrRefs {
+        ptr: map.alloc(Elem::U64, m.nrows() + 1),
+        col: map.alloc(Elem::U32, m.nnz()),
+        val: map.alloc(Elem::F64, m.nnz()),
+    }
+}
+
+/// Registers an array's span under a traffic class.
+fn tag(h: &mut Hierarchy, a: &ArrayRef, class: TrafficClass) {
+    if !a.is_empty() {
+        h.register_region(a.addr(0), (a.len() * a.elem_bytes()) as u64, class);
+    }
+}
+
+/// Registers all three CSR arrays as matrix traffic.
+fn tag_csr(h: &mut Hierarchy, m: &CsrRefs) {
+    tag(h, &m.ptr, TrafficClass::Matrix);
+    tag(h, &m.col, TrafficClass::Matrix);
+    tag(h, &m.val, TrafficClass::Matrix);
+}
+
+/// Replays `k` standard CSR SpMV invocations (`Aᵏx` via Algorithm 1) and
+/// reports DRAM traffic.
+///
+/// # Panics
+/// Panics when `k == 0` or `a` is not square.
+pub fn trace_standard_mpk(a: &Csr, k: usize, configs: &[CacheConfig]) -> TrafficReport {
+    assert!(k >= 1);
+    assert_eq!(a.nrows(), a.ncols());
+    let n = a.nrows();
+    let mut map = AddressMap::new();
+    let m = place_csr(&mut map, a);
+    let x = map.alloc(Elem::F64, n);
+    let y = map.alloc(Elem::F64, n);
+    let mut h = Hierarchy::new(configs);
+    tag_csr(&mut h, &m);
+    tag(&mut h, &x, TrafficClass::Vector);
+    tag(&mut h, &y, TrafficClass::Vector);
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    for inv in 0..k {
+        let (src, dst) = if inv % 2 == 0 { (&x, &y) } else { (&y, &x) };
+        for r in 0..n {
+            h.access(m.ptr.addr(r), 8, false);
+            h.access(m.ptr.addr(r + 1), 8, false);
+            for j in row_ptr[r]..row_ptr[r + 1] {
+                h.access(m.col.addr(j), 4, false);
+                h.access(m.val.addr(j), 8, false);
+                h.access(src.addr(col_idx[j] as usize), 8, false);
+            }
+            h.access(dst.addr(r), 8, true);
+        }
+    }
+    h.finish()
+}
+
+/// Replays the FBMPK pipeline (head + ⌊k/2⌋ forward/backward rounds +
+/// odd-`k` tail) for the given vector layout and reports DRAM traffic.
+///
+/// ```
+/// use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
+/// let a = fbmpk_gen::poisson::grid3d_27pt(8, 8, 8);
+/// let llc = [CacheConfig { size_bytes: 64 << 10, line_bytes: 64, assoc: 8 }];
+/// let std = trace_standard_mpk(&a, 6, &llc);
+/// let fb = trace_fbmpk(&a, 6, TracedLayout::BackToBack, &llc);
+/// // FBMPK moves less DRAM traffic than the standard pipeline.
+/// assert!(fb.total() < std.total());
+/// ```
+///
+/// # Panics
+/// Panics when `k == 0` or `a` is not square.
+pub fn trace_fbmpk(a: &Csr, k: usize, layout: TracedLayout, configs: &[CacheConfig]) -> TrafficReport {
+    assert!(k >= 1);
+    let split = TriangularSplit::split(a).expect("square matrix");
+    trace_fbmpk_split(&split, k, layout, configs)
+}
+
+/// Like [`trace_fbmpk`] but takes a precomputed split (so callers can reuse
+/// the preprocessing across `k` values, as the plan API does).
+pub fn trace_fbmpk_split(
+    split: &TriangularSplit,
+    k: usize,
+    layout: TracedLayout,
+    configs: &[CacheConfig],
+) -> TrafficReport {
+    assert!(k >= 1);
+    let n = split.n();
+    let mut map = AddressMap::new();
+    let l = place_csr(&mut map, &split.lower);
+    let u = place_csr(&mut map, &split.upper);
+    let d = map.alloc(Elem::F64, n.max(1));
+    let tmp = map.alloc(Elem::F64, n.max(1));
+    // Vector layout: one interleaved array or two separate ones.
+    let (xy, xe, xo) = match layout {
+        TracedLayout::BackToBack => {
+            let xy = map.alloc(Elem::F64, 2 * n.max(1));
+            (Some(xy), None, None)
+        }
+        TracedLayout::Split => {
+            let xe = map.alloc(Elem::F64, n.max(1));
+            let xo = map.alloc(Elem::F64, n.max(1));
+            (None, Some(xe), Some(xo))
+        }
+    };
+    let out = map.alloc(Elem::F64, n.max(1));
+    let even_addr = |i: usize| match layout {
+        TracedLayout::BackToBack => xy.unwrap().addr(2 * i),
+        TracedLayout::Split => xe.unwrap().addr(i),
+    };
+    let odd_addr = |i: usize| match layout {
+        TracedLayout::BackToBack => xy.unwrap().addr(2 * i + 1),
+        TracedLayout::Split => xo.unwrap().addr(i),
+    };
+
+    let mut h = Hierarchy::new(configs);
+    tag_csr(&mut h, &l);
+    tag_csr(&mut h, &u);
+    tag(&mut h, &d, TrafficClass::Matrix);
+    tag(&mut h, &tmp, TrafficClass::Vector);
+    match layout {
+        TracedLayout::BackToBack => tag(&mut h, &xy.unwrap(), TrafficClass::Vector),
+        TracedLayout::Split => {
+            tag(&mut h, &xe.unwrap(), TrafficClass::Vector);
+            tag(&mut h, &xo.unwrap(), TrafficClass::Vector);
+        }
+    }
+    tag(&mut h, &out, TrafficClass::Vector);
+    let l_ptr = split.lower.row_ptr();
+    let l_col = split.lower.col_idx();
+    let u_ptr = split.upper.row_ptr();
+    let u_col = split.upper.col_idx();
+
+    // Head: tmp = U x0.
+    for r in 0..n {
+        h.access(u.ptr.addr(r), 8, false);
+        h.access(u.ptr.addr(r + 1), 8, false);
+        for j in u_ptr[r]..u_ptr[r + 1] {
+            h.access(u.col.addr(j), 4, false);
+            h.access(u.val.addr(j), 8, false);
+            h.access(even_addr(u_col[j] as usize), 8, false);
+        }
+        h.access(tmp.addr(r), 8, true);
+    }
+    let rounds = k / 2;
+    for _ in 0..rounds {
+        // Forward over L.
+        for r in 0..n {
+            h.access(tmp.addr(r), 8, false);
+            h.access(d.addr(r), 8, false);
+            h.access(even_addr(r), 8, false);
+            h.access(l.ptr.addr(r), 8, false);
+            h.access(l.ptr.addr(r + 1), 8, false);
+            for j in l_ptr[r]..l_ptr[r + 1] {
+                h.access(l.col.addr(j), 4, false);
+                h.access(l.val.addr(j), 8, false);
+                h.access(even_addr(l_col[j] as usize), 8, false);
+                h.access(odd_addr(l_col[j] as usize), 8, false);
+            }
+            h.access(odd_addr(r), 8, true);
+            h.access(tmp.addr(r), 8, true);
+        }
+        // Backward over U.
+        for r in (0..n).rev() {
+            h.access(tmp.addr(r), 8, false);
+            h.access(u.ptr.addr(r), 8, false);
+            h.access(u.ptr.addr(r + 1), 8, false);
+            for j in u_ptr[r]..u_ptr[r + 1] {
+                h.access(u.col.addr(j), 4, false);
+                h.access(u.val.addr(j), 8, false);
+                h.access(odd_addr(u_col[j] as usize), 8, false);
+                h.access(even_addr(u_col[j] as usize), 8, false);
+            }
+            h.access(even_addr(r), 8, true);
+            h.access(tmp.addr(r), 8, true);
+        }
+    }
+    if k % 2 == 1 {
+        // Tail: out = tmp + D x_{k-1} + L x_{k-1}.
+        for r in 0..n {
+            h.access(tmp.addr(r), 8, false);
+            h.access(d.addr(r), 8, false);
+            h.access(even_addr(r), 8, false);
+            h.access(l.ptr.addr(r), 8, false);
+            h.access(l.ptr.addr(r + 1), 8, false);
+            for j in l_ptr[r]..l_ptr[r + 1] {
+                h.access(l.col.addr(j), 4, false);
+                h.access(l.val.addr(j), 8, false);
+                h.access(even_addr(l_col[j] as usize), 8, false);
+            }
+            h.access(out.addr(r), 8, true);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cache far smaller than the matrix but large enough for the live
+    /// vectors: the streaming regime where the paper's (k+1)/2k argument
+    /// applies (matrix re-reads hit DRAM, stencil-local gathers hit cache).
+    fn small_llc() -> Vec<CacheConfig> {
+        vec![CacheConfig { size_bytes: 256 << 10, line_bytes: 64, assoc: 8 }]
+    }
+
+    /// A cache that holds everything: only compulsory misses remain.
+    fn huge_llc() -> Vec<CacheConfig> {
+        vec![CacheConfig { size_bytes: 256 << 20, line_bytes: 64, assoc: 16 }]
+    }
+
+    /// 27-point stencil, dense enough (27 nnz/row) that matrix traffic
+    /// dominates. Footprint ~1.3 MB >> 256 KiB cache; vectors (32 KiB)
+    /// stay resident.
+    fn grid() -> Csr {
+        fbmpk_gen::poisson::grid3d_27pt(16, 16, 16)
+    }
+
+    #[test]
+    fn fbmpk_reduces_streaming_traffic_toward_ideal() {
+        let a = grid();
+        for k in [3usize, 6, 9] {
+            let std = trace_standard_mpk(&a, k, &small_llc());
+            let fb = trace_fbmpk(&a, k, TracedLayout::BackToBack, &small_llc());
+            let ratio = fb.total() as f64 / std.total() as f64;
+            let ideal = (k + 1) as f64 / (2 * k) as f64;
+            // The measured ratio sits above the matrix-only ideal (vector
+            // and row_ptr overheads — exactly what Fig. 9 reports) but well
+            // below 1.
+            assert!(
+                ratio > ideal - 0.02 && ratio < 0.95,
+                "k={k}: ratio {ratio:.3} vs ideal {ideal:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_improves_with_k() {
+        let a = grid();
+        let r3 = {
+            let s = trace_standard_mpk(&a, 3, &small_llc());
+            let f = trace_fbmpk(&a, 3, TracedLayout::BackToBack, &small_llc());
+            f.total() as f64 / s.total() as f64
+        };
+        let r9 = {
+            let s = trace_standard_mpk(&a, 9, &small_llc());
+            let f = trace_fbmpk(&a, 9, TracedLayout::BackToBack, &small_llc());
+            f.total() as f64 / s.total() as f64
+        };
+        assert!(r9 < r3, "k=9 ratio {r9:.3} must beat k=3 ratio {r3:.3}");
+    }
+
+    #[test]
+    fn btb_wins_when_gathers_miss_cache() {
+        // BtB pays stride-2 on even-only streams but halves the line count
+        // of the paired even/odd gathers in the merged loops. It wins
+        // exactly when those gathers miss: a wide random band whose x
+        // window (±bw*8 bytes) exceeds the cache. This is the FT 2000+
+        // regime where the paper sees BtB's largest gains (§V-D: small
+        // caches, no L3).
+        let a = fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+            n: 20_000,
+            nnz_per_row: 35.0,
+            bandwidth: 8_000,
+            seed: 3,
+        });
+        let cache = vec![CacheConfig { size_bytes: 64 << 10, line_bytes: 64, assoc: 8 }];
+        let btb = trace_fbmpk(&a, 5, TracedLayout::BackToBack, &cache);
+        let split = trace_fbmpk(&a, 5, TracedLayout::Split, &cache);
+        assert!(
+            btb.total() < split.total(),
+            "btb {} vs split {}",
+            btb.total(),
+            split.total()
+        );
+        // Logical traffic is identical; only cache behavior differs.
+        assert_eq!(btb.logical_bytes, split.logical_bytes);
+    }
+
+    #[test]
+    fn btb_and_split_equal_when_vectors_fit() {
+        // With all vectors resident, layout cannot change DRAM traffic
+        // beyond boundary-line noise.
+        let a = grid();
+        let btb = trace_fbmpk(&a, 4, TracedLayout::BackToBack, &huge_llc());
+        let split = trace_fbmpk(&a, 4, TracedLayout::Split, &huge_llc());
+        let diff = (btb.total() as f64 - split.total() as f64).abs();
+        assert!(diff / (split.total() as f64) < 0.02, "btb {btb:?} split {split:?}");
+    }
+
+    #[test]
+    fn infinite_cache_costs_compulsory_traffic_only() {
+        let a = grid();
+        let k = 6;
+        let std1 = trace_standard_mpk(&a, k, &huge_llc());
+        // Matrix footprint read once + vectors; repeating k never refetches.
+        let matrix_bytes = (a.nnz() * 12 + (a.nrows() + 1) * 8) as u64;
+        assert!(std1.dram_read_bytes < matrix_bytes + 64 * 1024 + 2 * 8 * a.nrows() as u64);
+        let fb = trace_fbmpk(&a, k, TracedLayout::BackToBack, &huge_llc());
+        // FBMPK reads at most the same footprint (split arrays + vectors).
+        assert!(fb.dram_read_bytes <= std1.dram_read_bytes + 64 * 1024);
+    }
+
+    #[test]
+    fn standard_traffic_scales_linearly_in_k_when_streaming() {
+        let a = grid();
+        let t3 = trace_standard_mpk(&a, 3, &small_llc()).total();
+        let t6 = trace_standard_mpk(&a, 6, &small_llc()).total();
+        let ratio = t6 as f64 / t3 as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "k=6/k=3 traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn sparser_matrix_has_higher_fb_ratio() {
+        // §V-C: G3_circuit-like inputs benefit least because vector traffic
+        // dominates.
+        let dense = fbmpk_gen::blockfem::block_fem(fbmpk_gen::blockfem::BlockFemParams {
+            n: 1500,
+            block: 3,
+            neighbors: 27,
+            symmetric: true,
+            seed: 1,
+        });
+        let sparse = fbmpk_gen::circuit::circuit_like(fbmpk_gen::circuit::CircuitParams {
+            n: 1500,
+            nnz_per_row: 4.8,
+            long_range_frac: 0.15,
+            seed: 1,
+        });
+        let k = 9;
+        let r = |m: &Csr| {
+            let s = trace_standard_mpk(m, k, &small_llc());
+            let f = trace_fbmpk(m, k, TracedLayout::BackToBack, &small_llc());
+            f.total() as f64 / s.total() as f64
+        };
+        assert!(r(&sparse) > r(&dense), "sparse {} dense {}", r(&sparse), r(&dense));
+    }
+}
+
+#[cfg(test)]
+mod attribution_tests {
+    use super::*;
+
+    fn llc() -> Vec<CacheConfig> {
+        vec![CacheConfig { size_bytes: 256 << 10, line_bytes: 64, assoc: 8 }]
+    }
+
+    #[test]
+    fn classified_traffic_accounts_for_everything() {
+        let a = fbmpk_gen::poisson::grid3d_27pt(12, 12, 12);
+        let r = trace_standard_mpk(&a, 4, &llc());
+        // Every DRAM byte hits a registered region.
+        assert_eq!(r.matrix_bytes + r.vector_bytes, r.total());
+        assert!(r.matrix_bytes > 0 && r.vector_bytes > 0);
+    }
+
+    #[test]
+    fn sparse_matrices_are_vector_dominated() {
+        // The quantitative core of SV-C: for G3_circuit-class inputs the
+        // vector share of DRAM traffic is large; for block-FEM inputs the
+        // matrix share dominates.
+        let dense = fbmpk_gen::blockfem::block_fem(fbmpk_gen::blockfem::BlockFemParams {
+            n: 6000,
+            block: 3,
+            neighbors: 27,
+            symmetric: true,
+            seed: 1,
+        });
+        let sparse = fbmpk_gen::circuit::circuit_like(fbmpk_gen::circuit::CircuitParams {
+            n: 18_000,
+            nnz_per_row: 4.8,
+            long_range_frac: 0.15,
+            seed: 1,
+        });
+        let k = 6;
+        let fd = trace_fbmpk(&dense, k, TracedLayout::BackToBack, &llc());
+        let fs = trace_fbmpk(&sparse, k, TracedLayout::BackToBack, &llc());
+        assert!(
+            fs.vector_fraction() > 2.0 * fd.vector_fraction(),
+            "sparse {:.2} vs dense {:.2}",
+            fs.vector_fraction(),
+            fd.vector_fraction()
+        );
+        assert!(fd.vector_fraction() < 0.25, "dense input must be matrix-bound");
+    }
+
+    #[test]
+    fn fbmpk_reduces_matrix_traffic_not_vector_traffic() {
+        // The mechanism behind Fig. 9: FBMPK's savings are entirely on the
+        // matrix side; vector traffic does not shrink.
+        let a = fbmpk_gen::poisson::grid3d_27pt(14, 14, 14);
+        let k = 8;
+        let std = trace_standard_mpk(&a, k, &llc());
+        let fb = trace_fbmpk(&a, k, TracedLayout::BackToBack, &llc());
+        assert!(
+            (fb.matrix_bytes as f64) < 0.7 * std.matrix_bytes as f64,
+            "matrix {} vs {}",
+            fb.matrix_bytes,
+            std.matrix_bytes
+        );
+        assert!(fb.vector_bytes >= std.vector_bytes / 2, "vector traffic should not collapse");
+    }
+}

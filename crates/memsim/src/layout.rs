@@ -1,0 +1,122 @@
+//! Address-space layout for replayed kernels.
+//!
+//! Arrays are laid out consecutively, page-aligned, in a synthetic address
+//! space; an [`ArrayRef`] turns an element index into the byte address the
+//! hierarchy simulator sees.
+
+/// Element width of an array in the synthetic address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elem {
+    /// 8-byte floats (`values`, vectors, `d`).
+    F64,
+    /// 4-byte column indices.
+    U32,
+    /// 8-byte row pointers.
+    U64,
+}
+
+impl Elem {
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Elem::F64 | Elem::U64 => 8,
+            Elem::U32 => 4,
+        }
+    }
+}
+
+/// A placed array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayRef {
+    base: u64,
+    elem: Elem,
+    len: usize,
+}
+
+impl ArrayRef {
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    /// Panics (debug) when `i` is out of bounds.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + (i * self.elem.bytes()) as u64
+    }
+
+    /// Element width in bytes.
+    #[inline]
+    pub fn elem_bytes(&self) -> usize {
+        self.elem.bytes()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Bump allocator over the synthetic address space.
+#[derive(Debug, Default)]
+pub struct AddressMap {
+    next: u64,
+}
+
+impl AddressMap {
+    /// Fresh, empty address space.
+    pub fn new() -> Self {
+        AddressMap { next: 0 }
+    }
+
+    /// Places an array of `len` elements, 4 KiB-aligned (so distinct arrays
+    /// never share a cache line, as with real page-aligned allocations).
+    pub fn alloc(&mut self, elem: Elem, len: usize) -> ArrayRef {
+        const ALIGN: u64 = 4096;
+        let base = self.next.div_ceil(ALIGN) * ALIGN;
+        self.next = base + (len * elem.bytes()) as u64;
+        ArrayRef { base, elem, len }
+    }
+
+    /// Total span of the placed arrays.
+    pub fn footprint(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_are_page_aligned_and_disjoint() {
+        let mut m = AddressMap::new();
+        let a = m.alloc(Elem::F64, 10);
+        let b = m.alloc(Elem::U32, 100);
+        assert_eq!(a.addr(0) % 4096, 0);
+        assert_eq!(b.addr(0) % 4096, 0);
+        assert!(b.addr(0) >= a.addr(9) + 8);
+    }
+
+    #[test]
+    fn addressing_respects_element_width() {
+        let mut m = AddressMap::new();
+        let f = m.alloc(Elem::F64, 4);
+        let i = m.alloc(Elem::U32, 4);
+        assert_eq!(f.addr(2) - f.addr(0), 16);
+        assert_eq!(i.addr(2) - i.addr(0), 8);
+        assert_eq!(i.elem_bytes(), 4);
+    }
+
+    #[test]
+    fn footprint_grows() {
+        let mut m = AddressMap::new();
+        assert_eq!(m.footprint(), 0);
+        m.alloc(Elem::F64, 1000);
+        assert!(m.footprint() >= 8000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # fbmpk-memsim
+//!
+//! A memory-hierarchy simulator and traced MPK kernels — the substitute for
+//! the LIKWID DRAM counters the paper uses in §V-C (Fig. 9).
+//!
+//! The paper measures "total amount of data read and write from DRAM"
+//! while running the standard MPK (MKL) and FBMPK. We reproduce the
+//! *measurement* rather than the wall clock: [`kernels`] replays the exact
+//! address streams of both kernels (row pointers, column indices, values,
+//! vector gathers, result stores) through a configurable set-associative
+//! write-back/write-allocate LRU cache hierarchy ([`cache`], [`hierarchy`])
+//! and reports the bytes that cross the last-level cache to memory.
+//!
+//! This captures the two effects §V-C discusses:
+//! * FBMPK's ~`(k+1)/2k` reduction in matrix traffic, and
+//! * the vector-traffic floor that keeps very sparse matrices (G3_circuit)
+//!   from reaching the ideal ratio.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod kernels;
+pub mod layout;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, TrafficReport};
+pub use kernels::{trace_fbmpk, trace_standard_mpk, TracedLayout};

@@ -1,0 +1,28 @@
+//! # fbmpk-parallel
+//!
+//! The parallel-execution substrate for FBMPK's colored kernels.
+//!
+//! The paper parallelizes the forward/backward sweeps with an OpenMP-style
+//! schedule: within one ABMC color all blocks run concurrently; colors are
+//! separated by barriers (paper §III-D/E). Rayon's fork-join model doesn't
+//! express "the *same* long-lived workers iterate colors with barriers in
+//! between", so this crate provides the pieces directly:
+//!
+//! * [`pool::ThreadPool`] — persistent workers that execute one closure per
+//!   worker, SPMD-style, exactly like an `omp parallel` region,
+//! * [`barrier::SenseBarrier`] — a reusable sense-reversing spin barrier for
+//!   the color phase boundaries,
+//! * [`partition`] — contiguous weight-balanced range partitioning (rows are
+//!   assigned by nnz; the paper's "number of blocks for each thread task are
+//!   allocated in advance"),
+//! * [`shared::SharedSlice`] — the unsafe shared-output cell with the
+//!   disjoint-writes contract the colored schedule guarantees.
+
+pub mod barrier;
+pub mod partition;
+pub mod pool;
+pub mod shared;
+
+pub use barrier::SenseBarrier;
+pub use pool::ThreadPool;
+pub use shared::SharedSlice;

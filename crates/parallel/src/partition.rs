@@ -1,0 +1,139 @@
+//! Contiguous weight-balanced partitioning.
+//!
+//! The paper's schedule assigns each thread a contiguous run of blocks per
+//! color, sized "in advance" (Algorithm 2, lines 7/19). Balancing by nonzero
+//! count rather than row count matters for skewed inputs (the R-MAT class):
+//! a thread with a few heavy rows would otherwise serialize each color.
+
+use std::ops::Range;
+
+/// Splits `0..n` into `parts` contiguous ranges of near-equal length.
+/// Trailing ranges may be empty when `parts > n`.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one part");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits items `0..weights.len()` into `parts` contiguous ranges whose
+/// total weights are approximately equal (greedy prefix cut at the ideal
+/// per-part quota). Every item lands in exactly one range; ranges may be
+/// empty.
+pub fn balance_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one part");
+    let total: usize = weights.iter().sum();
+    let n = weights.len();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    let mut assigned = 0usize;
+    for p in 0..parts {
+        let remaining_parts = parts - p;
+        let quota = (total - assigned).div_ceil(remaining_parts);
+        let mut end = start;
+        let mut w = 0usize;
+        // Guarantee progress: each non-final part takes at least one item
+        // while enough items remain for the rest.
+        while end < n && (w < quota || end - start == 0) {
+            // Leave at least one item for each later part when possible.
+            if n - end < remaining_parts && end > start {
+                break;
+            }
+            w += weights[end];
+            end += 1;
+            if w >= quota {
+                break;
+            }
+        }
+        if p == parts - 1 {
+            end = n;
+            w = total - assigned;
+        }
+        out.push(start..end);
+        start = end;
+        assigned += w;
+        acc += w;
+    }
+    debug_assert_eq!(acc, total);
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, p) in [(10, 3), (7, 7), (3, 5), (0, 2), (100, 1)] {
+            let r = chunk_ranges(n, p);
+            assert_eq!(r.len(), p);
+            assert_eq!(r.first().unwrap().start, 0);
+            assert_eq!(r.last().unwrap().end, n);
+            for w in r.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // Sizes differ by at most 1.
+            let lens: Vec<usize> = r.iter().map(|r| r.len()).collect();
+            let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn balance_covers_and_balances_uniform() {
+        let w = vec![1usize; 100];
+        let r = balance_by_weight(&w, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[3].end, 100);
+        for part in &r {
+            assert!(part.len() >= 24 && part.len() <= 26, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn balance_handles_skew() {
+        // One huge item followed by many small ones.
+        let mut w = vec![1usize; 99];
+        w.insert(0, 1000);
+        let r = balance_by_weight(&w, 4);
+        // The heavy item sits alone in part 0.
+        assert_eq!(r[0], 0..1);
+        assert_eq!(r.last().unwrap().end, 100);
+        // All parts contiguous and disjoint.
+        for pair in r.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn balance_more_parts_than_items() {
+        let w = vec![5usize, 5];
+        let r = balance_by_weight(&w, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(r.last().unwrap().end, 2);
+    }
+
+    #[test]
+    fn balance_empty_input() {
+        let r = balance_by_weight(&[], 3);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn balance_single_part_takes_all() {
+        let w = vec![3usize, 1, 4, 1, 5];
+        let r = balance_by_weight(&w, 1);
+        assert_eq!(r, vec![0..5]);
+    }
+}

@@ -1,0 +1,276 @@
+//! A persistent SPMD thread pool.
+//!
+//! [`ThreadPool::run`] executes one closure on every worker simultaneously —
+//! the shape of an `omp parallel` region, which is what the paper's
+//! Algorithm 2 is written against. Workers persist across calls so repeated
+//! kernel invocations (an MPK is called once per power, per solver
+//! iteration) pay no thread-spawn cost.
+//!
+//! The closure receives the worker id and may borrow the caller's stack:
+//! `run` erases the lifetime but does not return until every worker has
+//! finished, which is what makes the erasure sound.
+
+use crate::barrier::SenseBarrier;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Type-erased job pointer. Points at a `&(dyn Fn(usize) + Sync)` that is
+/// guaranteed by [`ThreadPool::run`] to outlive its execution.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and `run` keeps it alive until all workers are done with it.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Bumped once per `run`; workers trigger on changes.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A pool of persistent worker threads executing SPMD regions.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+    barrier: Arc<SenseBarrier>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `nthreads` workers.
+    ///
+    /// `nthreads == 1` creates no OS threads: [`ThreadPool::run`] executes
+    /// inline, so single-threaded baselines measure pure kernel time.
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "pool needs at least one thread");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { epoch: 0, job: None, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        if nthreads > 1 {
+            for tid in 0..nthreads {
+                let inner = Arc::clone(&inner);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("fbmpk-worker-{tid}"))
+                        .spawn(move || worker_loop(&inner, tid))
+                        .expect("spawning pool worker"),
+                );
+            }
+        }
+        ThreadPool { inner, handles, nthreads, barrier: Arc::new(SenseBarrier::new(nthreads)) }
+    }
+
+    /// Number of workers.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The pool-wide barrier, sized to `nthreads`. Inside [`ThreadPool::run`]
+    /// every worker must participate in each `wait` round (the colored
+    /// sweeps call it once per color).
+    pub fn barrier(&self) -> &SenseBarrier {
+        &self.barrier
+    }
+
+    /// Executes `f(thread_id)` on every worker and blocks until all return.
+    ///
+    /// Calls are serialized: a second `run` waits for the first. Panics in
+    /// workers abort the process (they would otherwise deadlock the
+    /// barrier); panics in the inline single-thread path propagate normally.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.nthreads == 1 {
+            f(0);
+            return;
+        }
+        // SAFETY: we erase the lifetime of `f` to store it in the shared
+        // state. `run` does not return until `active == 0`, i.e. every
+        // worker has finished calling it, so the reference never dangles.
+        let ptr: JobPtr = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        let mut st = self.inner.state.lock();
+        // Serialize concurrent callers: wait until any in-flight job has
+        // fully drained before posting ours (the doc promise above).
+        while st.active > 0 {
+            self.inner.done_cv.wait(&mut st);
+        }
+        st.job = Some(ptr);
+        st.active = self.nthreads;
+        st.epoch += 1;
+        self.inner.work_cv.notify_all();
+        while st.active > 0 {
+            self.inner.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        // A concurrent caller may be blocked in the serialization wait
+        // above; done_cv woke only one waiter, so pass the baton.
+        self.inner.done_cv.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                inner.work_cv.wait(&mut st);
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `active` reaches 0,
+        // which we only signal after the call returns.
+        let f = unsafe { &*job.0 };
+        // A panicking worker can never release its barrier slots, so the
+        // only sound recovery is to abort (as documented on `run`).
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))).is_err() {
+            eprintln!("fbmpk-parallel: worker {tid} panicked; aborting");
+            std::process::abort();
+        }
+        let mut st = inner.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            inner.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_once() {
+        for t in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(t);
+            let hits = AtomicUsize::new(0);
+            let ids = Mutex::new(Vec::new());
+            pool.run(&|tid| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                ids.lock().push(tid);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), t);
+            let mut got = ids.into_inner();
+            got.sort_unstable();
+            assert_eq!(got, (0..t).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data = vec![0usize; 3];
+        let cell = Mutex::new(data);
+        pool.run(&|tid| {
+            cell.lock()[tid] = tid * 10;
+        });
+        assert_eq!(cell.into_inner(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_workers() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(&|tid| {
+                sum.fetch_add(tid + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn barrier_coordinates_inside_run() {
+        let pool = ThreadPool::new(4);
+        let stage = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        pool.run(&|_tid| {
+            stage.fetch_add(1, Ordering::SeqCst);
+            pool.barrier().wait();
+            // After the barrier every increment must be visible.
+            if stage.load(Ordering::SeqCst) != 4 {
+                errors.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(errors.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_run_calls_serialize() {
+        // Two threads hammer run() on a shared pool; the per-call counter
+        // sum must be exact — lost updates would reveal overlapping jobs.
+        let pool = std::sync::Arc::new(ThreadPool::new(3));
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(&|_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 2 * 50 * 3);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let mut x = 0;
+        let cell = Mutex::new(&mut x);
+        pool.run(&|_| {
+            **cell.lock() += 1;
+        });
+        assert_eq!(x, 1);
+        assert_eq!(pool.nthreads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_panics() {
+        ThreadPool::new(0);
+    }
+}

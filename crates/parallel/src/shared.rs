@@ -1,0 +1,140 @@
+//! Shared mutable slices with externally-proven disjointness.
+//!
+//! The colored sweeps write `xy[2r]`, `xy[2r+1]` and `tmpvec[r]` for rows
+//! `r` in the executing thread's blocks. Rows partition across threads, and
+//! the ABMC coloring guarantees no thread *reads* a location another thread
+//! of the same color *writes* (that is exactly the distance-1 property the
+//! reorder crate validates). Rust cannot see that proof, so the kernels go
+//! through [`SharedSlice`], which centralizes the unsafety behind one
+//! documented contract instead of scattering raw pointers through kernel
+//! code.
+
+use std::cell::UnsafeCell;
+
+/// A slice that may be written concurrently from multiple threads under an
+/// external disjointness guarantee.
+///
+/// # Safety contract
+///
+/// For the lifetime of the `SharedSlice`:
+///
+/// * two threads must never write the same index without synchronization,
+/// * a thread must not read an index that another thread may be writing in
+///   the same synchronization phase (phases are separated by barriers).
+///
+/// The FBMPK kernels satisfy this via row-partitioning (writes) and valid
+/// ABMC colorings (reads); the `fbmpk-reorder` tests verify the coloring
+/// property itself.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: all access goes through `get`/`set`, whose callers promise the
+// disjointness contract above.
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
+
+impl<'a, T: Copy> SharedSlice<'a, T> {
+    /// Wraps an exclusive slice for shared phase-disciplined access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` -> `&[UnsafeCell<T>]` is sound: UnsafeCell<T>
+        // has the same layout as T, and we hold the unique borrow.
+        let data = unsafe {
+            std::slice::from_raw_parts(slice.as_mut_ptr().cast::<UnsafeCell<T>>(), slice.len())
+        };
+        SharedSlice { data }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// No other thread may be writing index `i` in the current phase.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.data.len());
+        unsafe { *self.data[i].get() }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    /// No other thread may be reading or writing index `i` in the current
+    /// phase.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.data.len());
+        unsafe { *self.data[i].get() = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut v = vec![0usize; 1000];
+        {
+            let s = SharedSlice::new(&mut v);
+            let pool = ThreadPool::new(4);
+            let ranges = crate::partition::chunk_ranges(1000, 4);
+            pool.run(&|tid| {
+                for i in ranges[tid].clone() {
+                    // SAFETY: ranges are disjoint per thread.
+                    unsafe { s.set(i, i * 2) };
+                }
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn phase_separated_read_after_write() {
+        let mut v = vec![0u64; 64];
+        {
+            let s = SharedSlice::new(&mut v);
+            let pool = ThreadPool::new(2);
+            let ranges = crate::partition::chunk_ranges(64, 2);
+            let sums = parking_lot::Mutex::new(vec![0u64; 2]);
+            pool.run(&|tid| {
+                for i in ranges[tid].clone() {
+                    unsafe { s.set(i, 1) };
+                }
+                pool.barrier().wait();
+                // After the barrier everyone may read everything.
+                let mut sum = 0;
+                for i in 0..64 {
+                    sum += unsafe { s.get(i) };
+                }
+                sums.lock()[tid] = sum;
+            });
+            assert_eq!(sums.into_inner(), vec![64, 64]);
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1.0f64; 3];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<f64> = vec![];
+        let s2 = SharedSlice::new(&mut e);
+        assert!(s2.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Undirected adjacency graphs of sparse matrices and their block
+//! quotients.
+//!
+//! Reordering algorithms operate on the *symmetrized structure*
+//! `G(A) = pattern(A) ∪ pattern(Aᵀ)` without self-loops: an edge `{i, j}`
+//! means rows `i` and `j` constrain each other in the sweeps regardless of
+//! which triangle the entry sits in.
+
+use fbmpk_sparse::Csr;
+
+/// An undirected graph in CSR-style adjacency storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Neighbor list offsets, length `n + 1`.
+    xadj: Vec<usize>,
+    /// Concatenated sorted neighbor lists (no self-loops, no duplicates).
+    adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the symmetrized structure graph of a square matrix.
+    ///
+    /// # Panics
+    /// Panics for non-square input.
+    pub fn from_matrix(a: &Csr) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "structure graph needs a square matrix");
+        let n = a.nrows();
+        // Count degree upper bounds: every off-diagonal entry contributes an
+        // edge end at its row and column.
+        let mut deg = vec![0usize; n];
+        for r in 0..n {
+            for &c in a.row_cols(r) {
+                let c = c as usize;
+                if c != r {
+                    deg[r] += 1;
+                    deg[c] += 1;
+                }
+            }
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + deg[i];
+        }
+        let mut adj = vec![0u32; xadj[n]];
+        let mut next = xadj.clone();
+        for r in 0..n {
+            for &c in a.row_cols(r) {
+                let c = c as usize;
+                if c != r {
+                    adj[next[r]] = c as u32;
+                    next[r] += 1;
+                    adj[next[c]] = r as u32;
+                    next[c] += 1;
+                }
+            }
+        }
+        // Sort and dedup each neighbor list in place.
+        let mut out_adj = Vec::with_capacity(adj.len());
+        let mut out_xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            let mut nbrs: Vec<u32> = adj[xadj[i]..xadj[i + 1]].to_vec();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            out_adj.extend_from_slice(&nbrs);
+            out_xadj[i + 1] = out_adj.len();
+        }
+        Graph { xadj: out_xadj, adj: out_adj }
+    }
+
+    /// Builds a graph directly from neighbor lists (for tests and quotient
+    /// construction). Lists are sorted and deduped; self-loops are removed.
+    pub fn from_neighbor_lists(lists: &[Vec<u32>]) -> Self {
+        let mut xadj = vec![0usize; lists.len() + 1];
+        let mut adj = Vec::new();
+        for (i, l) in lists.iter().enumerate() {
+            let mut nbrs: Vec<u32> = l.iter().copied().filter(|&j| j as usize != i).collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            adj.extend_from_slice(&nbrs);
+            xadj[i + 1] = adj.len();
+        }
+        Graph { xadj, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn nedges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Neighbors of vertex `v` (sorted, deduped, no self-loop).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Builds the quotient graph under a vertex-to-block assignment: block
+    /// `B1` and `B2` are adjacent iff some edge joins a vertex of `B1` to a
+    /// vertex of `B2`. `block_of[v]` must be `< nblocks` for all `v`.
+    pub fn quotient(&self, block_of: &[u32], nblocks: usize) -> Graph {
+        assert_eq!(block_of.len(), self.n());
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nblocks];
+        for v in 0..self.n() {
+            let bv = block_of[v] as usize;
+            assert!(bv < nblocks, "block id out of range");
+            for &w in self.neighbors(v) {
+                let bw = block_of[w as usize];
+                if bw as usize != bv {
+                    lists[bv].push(bw);
+                }
+            }
+        }
+        Graph::from_neighbor_lists(&lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        // 0 - 1 - 2 - 3
+        Graph::from_neighbor_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]])
+    }
+
+    #[test]
+    fn from_matrix_symmetrizes_and_drops_diagonal() {
+        // Unsymmetric pattern: entry (0,2) only.
+        let a = Csr::from_dense(&[&[1.0, 0.0, 5.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let g = Graph::from_matrix(&a);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.nedges(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_fold() {
+        // Both (0,1) and (1,0) stored.
+        let a = Csr::from_dense(&[&[0.0, 2.0], &[3.0, 0.0]]);
+        let g = Graph::from_matrix(&a);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.nedges(), 1);
+    }
+
+    #[test]
+    fn path_graph_properties() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.nedges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn quotient_of_path() {
+        let g = path4();
+        // Blocks {0,1} and {2,3}: one inter-block edge (1-2).
+        let q = g.quotient(&[0, 0, 1, 1], 2);
+        assert_eq!(q.n(), 2);
+        assert!(q.has_edge(0, 1));
+        assert_eq!(q.nedges(), 1);
+        // Whole graph in one block: no self-loop.
+        let q1 = g.quotient(&[0, 0, 0, 0], 1);
+        assert_eq!(q1.nedges(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_matrix(&Csr::identity(3));
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.nedges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

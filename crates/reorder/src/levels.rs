@@ -1,0 +1,187 @@
+//! Level scheduling for triangular sweeps (paper §II-C / §VII).
+//!
+//! An alternative to multi-coloring: rows of a lower-triangular system are
+//! grouped by their longest-dependency depth; all rows of one level can run
+//! in parallel, and levels execute in order. The paper lists this as a
+//! complementary parallelization strategy for FBMPK's SYMGS-like sweeps.
+
+use fbmpk_sparse::Csr;
+
+/// A level schedule over the rows of a triangular factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    /// Rows sorted by level (rows of level `l` are
+    /// `order[level_ptr[l]..level_ptr[l+1]]`).
+    pub order: Vec<u32>,
+    /// Level offsets, length `nlevels + 1`.
+    pub level_ptr: Vec<usize>,
+}
+
+impl LevelSchedule {
+    /// Number of levels.
+    pub fn nlevels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Rows of level `l`.
+    pub fn level_rows(&self, l: usize) -> &[u32] {
+        &self.order[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// Width of the widest level — the available parallelism.
+    pub fn max_width(&self) -> usize {
+        (0..self.nlevels()).map(|l| self.level_rows(l).len()).max().unwrap_or(0)
+    }
+}
+
+/// Builds the level schedule of a *strictly lower* triangular matrix:
+/// `level(r) = 1 + max(level(c) for c in row r)`, `level = 0` for rows with
+/// no strict-lower entries. Rows within a level are emitted in ascending
+/// index order.
+///
+/// # Panics
+/// Panics if `l` has entries on or above the diagonal.
+pub fn level_schedule_lower(l: &Csr) -> LevelSchedule {
+    let n = l.nrows();
+    let mut level = vec![0u32; n];
+    let mut maxlevel = 0u32;
+    for r in 0..n {
+        let mut lv = 0u32;
+        for &c in l.row_cols(r) {
+            assert!((c as usize) < r, "level_schedule_lower needs strictly lower input");
+            lv = lv.max(level[c as usize] + 1);
+        }
+        level[r] = lv;
+        maxlevel = maxlevel.max(lv);
+    }
+    let nlevels = if n == 0 { 0 } else { maxlevel as usize + 1 };
+    let mut level_ptr = vec![0usize; nlevels + 1];
+    for &lv in &level {
+        level_ptr[lv as usize + 1] += 1;
+    }
+    for i in 0..nlevels {
+        level_ptr[i + 1] += level_ptr[i];
+    }
+    let mut order = vec![0u32; n];
+    let mut next = level_ptr.clone();
+    for (r, &lv) in level.iter().enumerate() {
+        order[next[lv as usize]] = r as u32;
+        next[lv as usize] += 1;
+    }
+    LevelSchedule { order, level_ptr }
+}
+
+/// Builds the level schedule of a *strictly upper* triangular matrix for a
+/// bottom-up sweep: `level(r) = 1 + max(level(c) for c in row r)` with
+/// dependencies pointing at *larger* indices.
+///
+/// # Panics
+/// Panics if `u` has entries on or below the diagonal.
+pub fn level_schedule_upper(u: &Csr) -> LevelSchedule {
+    let n = u.nrows();
+    let mut level = vec![0u32; n];
+    let mut maxlevel = 0u32;
+    for r in (0..n).rev() {
+        let mut lv = 0u32;
+        for &c in u.row_cols(r) {
+            assert!((c as usize) > r, "level_schedule_upper needs strictly upper input");
+            lv = lv.max(level[c as usize] + 1);
+        }
+        level[r] = lv;
+        maxlevel = maxlevel.max(lv);
+    }
+    let nlevels = if n == 0 { 0 } else { maxlevel as usize + 1 };
+    let mut level_ptr = vec![0usize; nlevels + 1];
+    for &lv in &level {
+        level_ptr[lv as usize + 1] += 1;
+    }
+    for i in 0..nlevels {
+        level_ptr[i + 1] += level_ptr[i];
+    }
+    let mut order = vec![0u32; n];
+    let mut next = level_ptr.clone();
+    for (r, &lv) in level.iter().enumerate() {
+        order[next[lv as usize]] = r as u32;
+        next[lv as usize] += 1;
+    }
+    LevelSchedule { order, level_ptr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::TriangularSplit;
+
+    #[test]
+    fn diagonal_only_is_one_level() {
+        let l = Csr::zero(5, 5);
+        let s = level_schedule_lower(&l);
+        assert_eq!(s.nlevels(), 1);
+        assert_eq!(s.max_width(), 5);
+    }
+
+    #[test]
+    fn chain_is_fully_sequential() {
+        // L with entries (i, i-1): every row depends on the previous.
+        let mut coo = fbmpk_sparse::Coo::new(4, 4);
+        for i in 1..4 {
+            coo.push(i, i - 1, 1.0).unwrap();
+        }
+        let s = level_schedule_lower(&coo.to_csr());
+        assert_eq!(s.nlevels(), 4);
+        assert_eq!(s.max_width(), 1);
+        assert_eq!(s.level_rows(0), &[0]);
+        assert_eq!(s.level_rows(3), &[3]);
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(5, 5);
+        let split = TriangularSplit::split(&a).unwrap();
+        let s = level_schedule_lower(&split.lower);
+        // Each row's level strictly exceeds its dependencies' levels.
+        let mut level_of = [0usize; 25];
+        for l in 0..s.nlevels() {
+            for &r in s.level_rows(l) {
+                level_of[r as usize] = l;
+            }
+        }
+        for (r, c, _) in split.lower.iter() {
+            assert!(level_of[r] > level_of[c]);
+        }
+        // All rows scheduled exactly once.
+        let mut sorted = s.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..25).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn upper_schedule_mirrors_lower() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(5, 5);
+        let split = TriangularSplit::split(&a).unwrap();
+        let s = level_schedule_upper(&split.upper);
+        let mut level_of = [0usize; 25];
+        for l in 0..s.nlevels() {
+            for &r in s.level_rows(l) {
+                level_of[r as usize] = l;
+            }
+        }
+        for (r, c, _) in split.upper.iter() {
+            assert!(level_of[r] > level_of[c]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly lower")]
+    fn rejects_upper_entries() {
+        let bad = Csr::from_dense(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        level_schedule_lower(&bad);
+    }
+
+    #[test]
+    fn empty_matrix_zero_levels() {
+        let s = level_schedule_lower(&Csr::zero(0, 0));
+        assert_eq!(s.nlevels(), 0);
+        assert_eq!(s.max_width(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! BiCGStab (van der Vorst 1992) for unsymmetric systems.
+//!
+//! The suite's unsymmetric members (cage14, ML_Geer) need a Krylov method
+//! that does not require symmetry; BiCGStab is the standard choice and
+//! exercises the engines on general matrices (two SpMVs per iteration).
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpy, dot, norm2};
+
+/// Result of a BiCGStab solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiCgStabResult {
+    /// Approximate solution of `Ax = b`.
+    pub x: Vec<f64>,
+    /// Iterations performed (two SpMVs each).
+    pub iters: usize,
+    /// Final relative residual.
+    pub relres: f64,
+    /// Whether `tol` was reached.
+    pub converged: bool,
+}
+
+/// Solves `Ax = b` with BiCGStab from a zero initial guess.
+///
+/// # Panics
+/// Panics when `b.len() != engine.n()`.
+pub fn bicgstab<E: MpkEngine + ?Sized>(
+    engine: &E,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> BiCgStabResult {
+    assert_eq!(b.len(), engine.n());
+    let n = b.len();
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return BiCgStabResult { x: vec![0.0; n], iters: 0, relres: 0.0, converged: true };
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r0 = r.clone(); // shadow residual
+    let mut p = r.clone();
+    let mut rho = dot(&r0, &r);
+    for it in 1..=max_iters {
+        let v = engine.spmv(&p);
+        let alpha_den = dot(&r0, &v);
+        if alpha_den == 0.0 {
+            return BiCgStabResult { x, iters: it - 1, relres: norm2(&r) / bnorm, converged: false };
+        }
+        let alpha = rho / alpha_den;
+        // s = r - alpha v
+        let mut s = r.clone();
+        axpy(-alpha, &v, &mut s);
+        if norm2(&s) / bnorm <= tol {
+            axpy(alpha, &p, &mut x);
+            return BiCgStabResult { x, iters: it, relres: norm2(&s) / bnorm, converged: true };
+        }
+        let t = engine.spmv(&s);
+        let tt = dot(&t, &t);
+        if tt == 0.0 {
+            return BiCgStabResult { x, iters: it - 1, relres: norm2(&r) / bnorm, converged: false };
+        }
+        let omega = dot(&t, &s) / tt;
+        // x += alpha p + omega s
+        axpy(alpha, &p, &mut x);
+        axpy(omega, &s, &mut x);
+        // r = s - omega t
+        r = s;
+        axpy(-omega, &t, &mut r);
+        let relres = norm2(&r) / bnorm;
+        if relres <= tol {
+            return BiCgStabResult { x, iters: it, relres, converged: true };
+        }
+        let rho_new = dot(&r0, &r);
+        if rho_new == 0.0 || omega == 0.0 {
+            return BiCgStabResult { x, iters: it, relres, converged: false };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        rho = rho_new;
+    }
+    BiCgStabResult { x, iters: max_iters, relres: norm2(&r) / bnorm, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::spmv::spmv_alloc;
+    use fbmpk_sparse::vecops::rel_err_inf;
+
+    #[test]
+    fn solves_unsymmetric_diagonally_dominant_system() {
+        // Cage-like transition matrix shifted to be nonsingular:
+        // (2I - A) with row-stochastic A is strictly diagonally dominant.
+        let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams {
+            n: 512,
+            neighbors: 7,
+            seed: 4,
+        });
+        let n = a.nrows();
+        // Build 2I - A.
+        let mut coo = fbmpk_sparse::Coo::new(n, n);
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, -v).unwrap();
+        }
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        let shifted = coo.to_csr();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let b = spmv_alloc(&shifted, &x_true);
+        let e = StandardMpk::new(&shifted, 1).unwrap();
+        let sol = bicgstab(&e, &b, 1e-11, 2000);
+        assert!(sol.converged, "relres {}", sol.relres);
+        assert!(rel_err_inf(&sol.x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(9, 9);
+        let b: Vec<f64> = (0..81).map(|i| ((i % 4) as f64) - 1.5).collect();
+        let e1 = StandardMpk::new(&a, 1).unwrap();
+        let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let s1 = bicgstab(&e1, &b, 1e-10, 2000);
+        let s2 = bicgstab(&e2, &b, 1e-10, 2000);
+        assert!(s1.converged && s2.converged);
+        assert_eq!(s1.iters, s2.iters);
+        assert!(rel_err_inf(&s1.x, &s2.x) < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let a = fbmpk_sparse::Csr::identity(5);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = bicgstab(&e, &[0.0; 5], 1e-12, 10);
+        assert!(sol.converged);
+        assert_eq!(sol.iters, 0);
+    }
+
+    #[test]
+    fn identity_converges_in_one_iteration() {
+        let a = fbmpk_sparse::Csr::identity(6);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let b = vec![2.0; 6];
+        let sol = bicgstab(&e, &b, 1e-12, 10);
+        assert!(sol.converged);
+        assert!(sol.iters <= 1);
+        assert!(rel_err_inf(&sol.x, &b) < 1e-12);
+    }
+}

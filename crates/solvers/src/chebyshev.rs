@@ -1,0 +1,276 @@
+//! Chebyshev polynomial filters and the Chebyshev semi-iteration.
+//!
+//! Chebyshev-filtered subspace iteration (ChASE, EVSL — both cited by the
+//! paper as MPK consumers) applies `p(A)x` for a degree-`d` Chebyshev
+//! polynomial: exactly the `y = Σ αᵢ Aⁱ x` form FBMPK accelerates, and the
+//! filter's monomial coefficients drive [`fbmpk::MpkEngine::sspmv`]
+//! directly. The semi-iteration solves SPD systems with one SpMV per step
+//! given spectral bounds.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpby, axpy, norm2};
+use fbmpk_sparse::Csr;
+
+/// Gershgorin bounds `(lo, hi)` on the spectrum: every eigenvalue lies in
+/// `[min_i (a_ii - R_i), max_i (a_ii + R_i)]` with `R_i` the off-diagonal
+/// row sum of absolute values.
+pub fn gershgorin_bounds(a: &Csr) -> (f64, f64) {
+    assert_eq!(a.nrows(), a.ncols());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in 0..a.nrows() {
+        let mut d = 0.0;
+        let mut radius = 0.0;
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            if c as usize == r {
+                d = v;
+            } else {
+                radius += v.abs();
+            }
+        }
+        lo = lo.min(d - radius);
+        hi = hi.max(d + radius);
+    }
+    if a.nrows() == 0 {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Monomial coefficients of the scaled-shifted Chebyshev polynomial
+/// `T_d(ℓ(t))` with `ℓ(t) = (2t - (hi+lo)) / (hi - lo)`, returned lowest
+/// degree first (length `d + 1`).
+///
+/// Monomial expansion is numerically fine for the small degrees MPK targets
+/// (`d ≲ 12`); larger filters should use the three-term recurrence.
+///
+/// # Panics
+/// Panics when `hi <= lo`.
+pub fn chebyshev_coeffs(d: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(hi > lo, "need a nonempty interval");
+    let b0 = -(hi + lo) / (hi - lo); // constant term of l(t)
+    let b1 = 2.0 / (hi - lo); // linear term of l(t)
+    // T_0 = 1, T_1 = l(t); T_{k+1} = 2 l T_k - T_{k-1} on coefficient vecs.
+    let mut tkm1 = vec![1.0];
+    if d == 0 {
+        return tkm1;
+    }
+    let mut tk = vec![b0, b1];
+    for _ in 1..d {
+        let mut next = vec![0.0; tk.len() + 1];
+        for (j, &c) in tk.iter().enumerate() {
+            next[j] += 2.0 * b0 * c;
+            next[j + 1] += 2.0 * b1 * c;
+        }
+        for (j, &c) in tkm1.iter().enumerate() {
+            next[j] -= c;
+        }
+        tkm1 = std::mem::replace(&mut tk, next);
+    }
+    tk
+}
+
+/// Applies the degree-`d` Chebyshev filter `T_d(ℓ(A)) x` as a single
+/// SSpMV (one fused pass for FBMPK engines).
+///
+/// ```
+/// use fbmpk::{FbmpkPlan, FbmpkOptions};
+/// use fbmpk_solvers::chebyshev::{chebyshev_filter, gershgorin_bounds};
+/// let a = fbmpk_sparse::Csr::from_dense(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+/// let engine = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+/// let (lo, hi) = gershgorin_bounds(&a);
+/// let y = chebyshev_filter(&engine, &[1.0, 0.0], 4, lo.max(0.1), hi);
+/// assert_eq!(y.len(), 2);
+/// ```
+pub fn chebyshev_filter<E: MpkEngine + ?Sized>(
+    engine: &E,
+    x: &[f64],
+    d: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    let coeffs = chebyshev_coeffs(d, lo, hi);
+    engine.sspmv(&coeffs, x)
+}
+
+/// Result of the Chebyshev semi-iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevSolve {
+    /// Approximate solution of `Ax = b`.
+    pub x: Vec<f64>,
+    /// Iterations performed (one SpMV each).
+    pub iters: usize,
+    /// Final relative residual `‖b - Ax‖ / ‖b‖`.
+    pub relres: f64,
+    /// Whether `tol` was reached.
+    pub converged: bool,
+}
+
+/// The classic three-term Chebyshev iteration for SPD `Ax = b` with
+/// spectral bounds `0 < lo <= λ <= hi` (Saad, *Iterative Methods*, alg.
+/// 12.1). One SpMV and no inner products per step — the textbook
+/// communication-avoiding smoother.
+///
+/// # Panics
+/// Panics when `lo <= 0`, `hi <= lo`, or `b` has the wrong length.
+pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
+    engine: &E,
+    b: &[f64],
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iters: usize,
+) -> ChebyshevSolve {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert_eq!(b.len(), engine.n());
+    let n = b.len();
+    let theta = (hi + lo) / 2.0;
+    let delta = (hi - lo) / 2.0;
+    let sigma1 = theta / delta;
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut rho = 1.0 / sigma1;
+    // d = (1/theta) r
+    let mut dvec: Vec<f64> = r.iter().map(|&v| v / theta).collect();
+    let mut relres = 1.0;
+    for it in 1..=max_iters {
+        axpy(1.0, &dvec, &mut x);
+        let ad = engine.spmv(&dvec);
+        // r -= A d
+        axpy(-1.0, &ad, &mut r);
+        relres = norm2(&r) / bnorm;
+        if relres <= tol {
+            return ChebyshevSolve { x, iters: it, relres, converged: true };
+        }
+        let rho_next = 1.0 / (2.0 * sigma1 - rho);
+        // d = rho_next * rho * d + (2 rho_next / delta) * r
+        let c1 = rho_next * rho;
+        let c2 = 2.0 * rho_next / delta;
+        axpby(c2, &r, c1, &mut dvec);
+        rho = rho_next;
+    }
+    ChebyshevSolve { x, iters: max_iters, relres, converged: relres <= tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::spmv::spmv_alloc;
+
+    fn cheb_scalar(d: usize, lo: f64, hi: f64, t: f64) -> f64 {
+        // Evaluate T_d(l(t)) by the stable three-term recurrence.
+        let l = (2.0 * t - (hi + lo)) / (hi - lo);
+        let (mut a, mut b) = (1.0, l);
+        if d == 0 {
+            return a;
+        }
+        for _ in 1..d {
+            let c = 2.0 * l * b - a;
+            a = b;
+            b = c;
+        }
+        b
+    }
+
+    #[test]
+    fn gershgorin_contains_known_spectrum() {
+        // 1D Laplacian: spectrum in (0, 4); Gershgorin gives [0, 4].
+        let mut coo = fbmpk_sparse::Coo::new(10, 10);
+        for i in 0..10 {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+                coo.push(i - 1, i, -1.0).unwrap();
+            }
+        }
+        let (lo, hi) = gershgorin_bounds(&coo.to_csr());
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 4.0);
+    }
+
+    #[test]
+    fn coeffs_match_recurrence_evaluation() {
+        let (lo, hi) = (0.5, 4.0);
+        for d in 0..=8 {
+            let c = chebyshev_coeffs(d, lo, hi);
+            assert_eq!(c.len(), d + 1);
+            for &t in &[0.5, 1.0, 2.7, 4.0, 5.5] {
+                let direct = cheb_scalar(d, lo, hi, t);
+                let horner: f64 = c.iter().rev().fold(0.0, |acc, &ci| acc * t + ci);
+                assert!(
+                    (direct - horner).abs() < 1e-9 * direct.abs().max(1.0),
+                    "d={d}, t={t}: {direct} vs {horner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_acts_diagonally_on_eigenbasis() {
+        // Diagonal matrix: p(A) x is componentwise p(lambda_i) x_i.
+        let a = Csr::from_dense(&[&[1.0, 0.0, 0.0], &[0.0, 2.5, 0.0], &[0.0, 0.0, 4.0]]);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let x = [1.0, 1.0, 1.0];
+        let (lo, hi, d) = (1.0, 3.0, 6);
+        let y = chebyshev_filter(&e, &x, d, lo, hi);
+        for (i, &lam) in [1.0, 2.5, 4.0].iter().enumerate() {
+            let want = cheb_scalar(d, lo, hi, lam);
+            assert!((y[i] - want).abs() < 1e-8, "lambda={lam}: {} vs {want}", y[i]);
+        }
+        // Outside-interval eigenvalue is amplified (|T_d| > 1 outside),
+        // inside stays bounded by 1: that's the filtering property.
+        assert!(y[2].abs() > 1.0);
+        assert!(y[1].abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn filter_agrees_between_engines() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(7, 6);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (lo, hi) = gershgorin_bounds(&a);
+        let std = StandardMpk::new(&a, 1).unwrap();
+        let fb = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let y1 = chebyshev_filter(&std, &x, 7, lo.max(0.1), hi);
+        let y2 = chebyshev_filter(&fb, &x, 7, lo.max(0.1), hi);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-9 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn semi_iteration_solves_spd_system() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = spmv_alloc(&a, &x_true);
+        // 2D Laplacian bounds: (0, 8); use a positive lower bound.
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = chebyshev_solve(&e, &b, 0.1, 8.0, 1e-10, 2000);
+        assert!(sol.converged, "relres {}", sol.relres);
+        for (u, v) in sol.x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_converge_faster() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let loose = chebyshev_solve(&e, &b, 0.01, 8.0, 1e-8, 5000);
+        let tight = chebyshev_solve(&e, &b, 0.1, 7.7, 1e-8, 5000);
+        assert!(tight.iters < loose.iters, "tight {} loose {}", tight.iters, loose.iters);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn nonpositive_lower_bound_rejected() {
+        let a = Csr::identity(2);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        chebyshev_solve(&e, &[1.0, 1.0], 0.0, 2.0, 1e-8, 10);
+    }
+}

@@ -1,0 +1,211 @@
+//! Restarted GMRES (Saad & Schultz 1986).
+//!
+//! The general-purpose Krylov solver for the suite's unsymmetric members:
+//! Arnoldi with modified Gram–Schmidt builds the basis (one SpMV per
+//! inner step — the loop MPK-style kernels batch), Givens rotations
+//! maintain the QR of the Hessenberg matrix, and the method restarts every
+//! `m` steps to bound memory.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpy, dot, norm2, scale};
+
+/// Result of a GMRES solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmresResult {
+    /// Approximate solution of `Ax = b`.
+    pub x: Vec<f64>,
+    /// Total inner iterations (SpMVs).
+    pub iters: usize,
+    /// Restart cycles used.
+    pub restarts: usize,
+    /// Final relative residual.
+    pub relres: f64,
+    /// Whether `tol` was reached.
+    pub converged: bool,
+}
+
+/// Solves `Ax = b` with GMRES(m) from a zero initial guess.
+///
+/// # Panics
+/// Panics when `m == 0` or `b.len() != engine.n()`.
+pub fn gmres<E: MpkEngine + ?Sized>(
+    engine: &E,
+    b: &[f64],
+    m: usize,
+    tol: f64,
+    max_iters: usize,
+) -> GmresResult {
+    assert!(m >= 1, "restart length must be positive");
+    let n = engine.n();
+    assert_eq!(b.len(), n);
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return GmresResult { x: vec![0.0; n], iters: 0, restarts: 0, relres: 0.0, converged: true };
+    }
+    let mut x = vec![0.0; n];
+    let mut total_iters = 0usize;
+    let mut restarts = 0usize;
+    loop {
+        let mut r = crate::util::residual(engine, b, &x);
+        let beta = norm2(&r);
+        let relres = beta / bnorm;
+        if relres <= tol {
+            return GmresResult { x, iters: total_iters, restarts, relres, converged: true };
+        }
+        if total_iters >= max_iters {
+            return GmresResult { x, iters: total_iters, restarts, relres, converged: false };
+        }
+        scale(1.0 / beta, &mut r);
+        let mut basis: Vec<Vec<f64>> = vec![r];
+        // Hessenberg stored column-wise: h[j] has j+2 entries.
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
+        // Givens rotations and the rotated rhs g.
+        let mut cs: Vec<f64> = Vec::with_capacity(m);
+        let mut sn: Vec<f64> = Vec::with_capacity(m);
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut k = 0usize; // columns completed this cycle
+        for j in 0..m {
+            if total_iters >= max_iters {
+                break;
+            }
+            let mut w = engine.spmv(&basis[j]);
+            total_iters += 1;
+            // Modified Gram–Schmidt.
+            let mut hj = vec![0.0f64; j + 2];
+            for (i, q) in basis.iter().enumerate() {
+                hj[i] = dot(&w, q);
+                axpy(-hj[i], q, &mut w);
+            }
+            let wnorm = norm2(&w);
+            hj[j + 1] = wnorm;
+            // Apply previous rotations to entries 0..=j of the new column
+            // (the subdiagonal entry j+1 is untouched by them).
+            for i in 0..j {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation annihilating the subdiagonal. A fully zero
+            // column (denom == 0) would plant a zero pivot and poison the
+            // back-substitution with Inf/NaN, so stop the cycle before
+            // accepting it: the Krylov space is exhausted.
+            let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
+            if denom == 0.0 {
+                break;
+            }
+            let (c, s) = (hj[j] / denom, hj[j + 1] / denom);
+            cs.push(c);
+            sn.push(s);
+            hj[j] = denom;
+            hj[j + 1] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            h.push(hj);
+            k = j + 1;
+            let inner_relres = g[j + 1].abs() / bnorm;
+            if inner_relres <= tol || wnorm == 0.0 {
+                // Converged inside the cycle, or a lucky breakdown
+                // (invariant subspace reached).
+                break;
+            }
+            scale(1.0 / wnorm, &mut w);
+            basis.push(w);
+        }
+        // Back-substitute y from the k x k triangular system.
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut s = g[i];
+            for (jj, hcol) in h.iter().enumerate().skip(i + 1) {
+                s -= hcol[i] * y[jj];
+            }
+            y[i] = s / h[i][i];
+        }
+        for (j, &yj) in y.iter().enumerate() {
+            axpy(yj, &basis[j], &mut x);
+        }
+        restarts += 1;
+        if total_iters >= max_iters {
+            let relres = crate::util::residual_norm(engine, b, &x) / bnorm;
+            return GmresResult { x, iters: total_iters, restarts, relres, converged: relres <= tol };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::spmv::spmv_alloc;
+    use fbmpk_sparse::vecops::rel_err_inf;
+    use fbmpk_sparse::Csr;
+
+    fn shifted_cage(n: usize) -> Csr {
+        let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n, neighbors: 18, seed: 6 });
+        let nn = a.nrows();
+        let mut coo = fbmpk_sparse::Coo::new(nn, nn);
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, -v).unwrap();
+        }
+        for i in 0..nn {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_unsymmetric_system() {
+        let a = shifted_cage(600);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = spmv_alloc(&a, &x_true);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = gmres(&e, &b, 30, 1e-11, 5000);
+        assert!(sol.converged, "relres {}", sol.relres);
+        assert!(rel_err_inf(&sol.x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn restarting_still_converges() {
+        // Small restart window forces multiple cycles.
+        let a = shifted_cage(400);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = gmres(&e, &b, 5, 1e-10, 10_000);
+        assert!(sol.converged, "relres {}", sol.relres);
+        assert!(sol.restarts >= 1);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
+        let b: Vec<f64> = (0..64).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let e1 = StandardMpk::new(&a, 1).unwrap();
+        let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let s1 = gmres(&e1, &b, 20, 1e-10, 2000);
+        let s2 = gmres(&e2, &b, 20, 1e-10, 2000);
+        assert!(s1.converged && s2.converged);
+        assert!(rel_err_inf(&s1.x, &s2.x) < 1e-8);
+    }
+
+    #[test]
+    fn identity_converges_immediately() {
+        let a = Csr::identity(7);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let b = vec![3.0; 7];
+        let sol = gmres(&e, &b, 10, 1e-12, 100);
+        assert!(sol.converged);
+        assert!(sol.iters <= 2);
+        assert!(rel_err_inf(&sol.x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let a = Csr::identity(4);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = gmres(&e, &[0.0; 4], 10, 1e-12, 10);
+        assert!(sol.converged);
+        assert_eq!(sol.iters, 0);
+    }
+}

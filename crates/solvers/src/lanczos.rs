@@ -1,0 +1,209 @@
+//! Lanczos tridiagonalization and Ritz-value extraction.
+//!
+//! The eigenvalue workloads the paper cites (EVSL, ChASE, templates
+//! literature) are Krylov eigensolvers; Lanczos is their symmetric core.
+//! Each step is one SpMV through the engine; the resulting tridiagonal
+//! matrix's eigenvalues (Ritz values) approximate extremal eigenvalues of
+//! `A`. Full reorthogonalization keeps small runs accurate.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpy, dot, norm2, scale};
+
+/// Output of a Lanczos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanczosResult {
+    /// Diagonal of the tridiagonal matrix (α).
+    pub alpha: Vec<f64>,
+    /// Off-diagonal (β), length `alpha.len() - 1`.
+    pub beta: Vec<f64>,
+    /// Orthonormal Lanczos basis (each of length `n`).
+    pub basis: Vec<Vec<f64>>,
+    /// Whether the recurrence broke down early (invariant subspace found).
+    pub breakdown: bool,
+}
+
+/// Runs `m` Lanczos steps with full reorthogonalization from start vector
+/// `v0`.
+///
+/// # Panics
+/// Panics when `v0` is zero, the wrong length, or `m == 0`.
+pub fn lanczos<E: MpkEngine + ?Sized>(engine: &E, v0: &[f64], m: usize) -> LanczosResult {
+    assert!(m >= 1);
+    assert_eq!(v0.len(), engine.n());
+    let nrm = norm2(v0);
+    assert!(nrm > 0.0, "start vector must be nonzero");
+    let mut q = v0.to_vec();
+    scale(1.0 / nrm, &mut q);
+    let mut basis = vec![q.clone()];
+    let mut alpha = Vec::with_capacity(m);
+    let mut beta = Vec::with_capacity(m.saturating_sub(1));
+    for j in 0..m {
+        let mut w = engine.spmv(&basis[j]);
+        let a = dot(&w, &basis[j]);
+        alpha.push(a);
+        axpy(-a, &basis[j], &mut w);
+        if j > 0 {
+            let b: f64 = beta[j - 1];
+            axpy(-b, &basis[j - 1], &mut w);
+        }
+        // Full reorthogonalization (twice is enough).
+        for _ in 0..2 {
+            for qi in &basis {
+                let c = dot(&w, qi);
+                axpy(-c, qi, &mut w);
+            }
+        }
+        if j + 1 == m {
+            break;
+        }
+        let b = norm2(&w);
+        // Scale-relative breakdown test: an absolute 1e-13 cutoff would
+        // falsely trigger on small-magnitude operators (e.g. 1e-12 * A).
+        let scl = a.abs().max(if j > 0 { beta[j - 1] } else { 0.0 }).max(f64::MIN_POSITIVE);
+        if b < 1e-12 * scl {
+            return LanczosResult { alpha, beta, basis, breakdown: true };
+        }
+        beta.push(b);
+        scale(1.0 / b, &mut w);
+        basis.push(w);
+    }
+    LanczosResult { alpha, beta, basis, breakdown: false }
+}
+
+/// Eigenvalues of the symmetric tridiagonal `(alpha, beta)` matrix via
+/// bisection on the Sturm sequence — ascending order, all of them.
+///
+/// # Panics
+/// Panics when `beta.len() + 1 != alpha.len()`.
+pub fn tridiag_eigenvalues(alpha: &[f64], beta: &[f64]) -> Vec<f64> {
+    let m = alpha.len();
+    assert_eq!(beta.len() + 1, m, "beta must have one fewer entry than alpha");
+    if m == 0 {
+        return Vec::new();
+    }
+    // Gershgorin interval.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..m {
+        let r = (if i > 0 { beta[i - 1].abs() } else { 0.0 })
+            + (if i + 1 < m { beta[i].abs() } else { 0.0 });
+        lo = lo.min(alpha[i] - r);
+        hi = hi.max(alpha[i] + r);
+    }
+    // Sturm count: number of eigenvalues < x.
+    let count = |x: f64| -> usize {
+        let mut cnt = 0usize;
+        let mut d = 1.0f64;
+        for i in 0..m {
+            let b2 = if i > 0 { beta[i - 1] * beta[i - 1] } else { 0.0 };
+            d = alpha[i] - x - b2 / if d != 0.0 { d } else { f64::MIN_POSITIVE };
+            if d < 0.0 {
+                cnt += 1;
+            }
+        }
+        cnt
+    };
+    let mut eigs = Vec::with_capacity(m);
+    for idx in 0..m {
+        let (mut a, mut b) = (lo - 1e-10, hi + 1e-10);
+        for _ in 0..120 {
+            let mid = 0.5 * (a + b);
+            if count(mid) <= idx {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        eigs.push(0.5 * (a + b));
+    }
+    eigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::Csr;
+
+    #[test]
+    fn tridiag_eigs_of_known_matrix() {
+        // tridiag(-1, 2, -1) of size m: eigenvalues 2 - 2cos(pi k/(m+1)).
+        let m = 8;
+        let alpha = vec![2.0; m];
+        let beta = vec![-1.0; m - 1];
+        let eigs = tridiag_eigenvalues(&alpha, &beta);
+        for (k, &e) in eigs.iter().enumerate() {
+            let want =
+                2.0 - 2.0 * (std::f64::consts::PI * (k as f64 + 1.0) / (m as f64 + 1.0)).cos();
+            assert!((e - want).abs() < 1e-8, "eig {k}: {e} vs {want}");
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
+        let n = a.nrows();
+        let v0: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let r = lanczos(&e, &v0, 12);
+        assert!(!r.breakdown);
+        for i in 0..r.basis.len() {
+            for j in 0..=i {
+                let d = dot(&r.basis[i], &r.basis[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-10, "({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn ritz_values_converge_to_extremal_eigenvalues() {
+        // 2D Laplacian on p x q grid: eigenvalues known in closed form.
+        let (p, q) = (9usize, 7usize);
+        let a = fbmpk_gen::poisson::grid2d_5pt(p, q);
+        let pi = std::f64::consts::PI;
+        let mut exact: Vec<f64> = (1..=p)
+            .flat_map(|i| {
+                (1..=q).map(move |j| {
+                    4.0 - 2.0 * (pi * i as f64 / (p as f64 + 1.0)).cos()
+                        - 2.0 * (pi * j as f64 / (q as f64 + 1.0)).cos()
+                })
+            })
+            .collect();
+        exact.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let n = a.nrows();
+        let v0: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
+        let e = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let r = lanczos(&e, &v0, 30);
+        let ritz = tridiag_eigenvalues(&r.alpha, &r.beta);
+        // Extremal Ritz values converge first.
+        let lam_max = exact.last().unwrap();
+        let lam_min = exact.first().unwrap();
+        assert!((ritz.last().unwrap() - lam_max).abs() < 1e-6, "max ritz {}", ritz.last().unwrap());
+        assert!((ritz.first().unwrap() - lam_min).abs() < 1e-4, "min ritz {}", ritz.first().unwrap());
+    }
+
+    #[test]
+    fn breakdown_on_invariant_subspace() {
+        // Start vector = eigenvector of a diagonal matrix: 1-step breakdown.
+        let a = Csr::from_dense(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let r = lanczos(&e, &[1.0, 0.0], 2);
+        assert!(r.breakdown);
+        assert_eq!(r.alpha.len(), 1);
+        assert!((r.alpha[0] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(6, 6);
+        let v0 = vec![1.0; 36];
+        let e1 = StandardMpk::new(&a, 1).unwrap();
+        let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let r1 = lanczos(&e1, &v0, 10);
+        let r2 = lanczos(&e2, &v0, 10);
+        for (x, y) in r1.alpha.iter().zip(&r2.alpha) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # fbmpk-solvers
+//!
+//! Iterative methods built on matrix-power kernels — the application
+//! classes the paper's introduction motivates (eigenvalue problems, linear
+//! equations, multigrid methods). Every solver is written against
+//! [`fbmpk::MpkEngine`], so the same algorithm runs on the standard MPK
+//! baseline or on FBMPK; correctness tests assert both paths agree and the
+//! benchmarks compare their speed end-to-end.
+//!
+//! * [`power`] — blocked power iteration for the dominant eigenvalue,
+//! * [`chebyshev`] — Chebyshev polynomial filters (evaluated as one SSpMV)
+//!   and the classic Chebyshev semi-iteration for SPD systems,
+//! * [`sstep`] — s-step Krylov basis generation (monomial and Newton) and
+//!   a conjugate-gradient reference solver,
+//! * [`bicgstab`](mod@bicgstab) — BiCGStab for the suite's unsymmetric members,
+//! * [`iccg`](mod@iccg) — IC(0) + preconditioned CG, the method ABMC was built for,
+//! * [`gmres`](mod@gmres) — restarted GMRES with MGS Arnoldi and Givens QR,
+//! * [`stationary`] — Jacobi / weighted Jacobi / SOR reference iterations,
+//! * [`lanczos`](mod@lanczos) — Lanczos tridiagonalization with Ritz-value extraction,
+//! * [`multigrid`] — a polynomial-smoothed two-grid solver for the 1-D
+//!   model problem.
+
+pub mod bicgstab;
+pub mod chebyshev;
+pub mod gmres;
+pub mod iccg;
+pub mod lanczos;
+pub mod multigrid;
+pub mod power;
+pub mod sstep;
+pub mod stationary;
+pub mod util;
+
+pub use bicgstab::bicgstab;
+pub use gmres::gmres;
+pub use iccg::{iccg, Ic0};
+pub use chebyshev::{chebyshev_filter, chebyshev_solve, gershgorin_bounds};
+pub use lanczos::{lanczos, tridiag_eigenvalues};
+pub use power::power_iteration;
+pub use util::{residual, residual_norm};
+pub use stationary::{jacobi, sor};
+pub use sstep::{conjugate_gradient, sstep_basis_monomial, sstep_basis_newton};

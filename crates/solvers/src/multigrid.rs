@@ -1,0 +1,277 @@
+//! A polynomial-smoothed two-grid solver for the 1-D model problem.
+//!
+//! Multigrid is the third MPK consumer the paper names (§I, via hypre).
+//! Polynomial smoothers — `x ← x + q(A)(b − Ax)` with a low-degree `q` —
+//! are popular precisely because they batch SpMVs, and evaluating `q(A)r`
+//! is one fused SSpMV for FBMPK. This module implements the classic
+//! two-grid cycle for the 1-D Poisson problem: damped-Jacobi-equivalent
+//! polynomial smoothing, full-weighting restriction, linear interpolation,
+//! and an exact (Thomas) coarse solve.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpy, norm2};
+use fbmpk_sparse::{Coo, Csr};
+
+/// Builds the 1-D Poisson matrix `tridiag(-1, 2, -1)` of dimension `n`.
+pub fn poisson1d(n: usize) -> Csr {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0).expect("in bounds");
+        if i > 0 {
+            coo.push(i, i - 1, -1.0).expect("in bounds");
+            coo.push(i - 1, i, -1.0).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Monomial coefficients of the `m`-step damped-Jacobi error polynomial
+/// applied to the residual: `q(A) = ω Σ_{j<m} (I − ωA)^j`, so that
+/// `x + q(A) r` equals `m` damped-Jacobi sweeps (for unit diagonal scaling
+/// the 1-D Poisson diagonal `2` is folded into `ω`).
+pub fn jacobi_poly_coeffs(m: usize, omega: f64) -> Vec<f64> {
+    assert!(m >= 1);
+    // q(t) = omega * sum_{j=0}^{m-1} (1 - omega t)^j, expanded monomially.
+    let mut sum = vec![0.0; m]; // degree m-1
+    let mut term = vec![0.0; m];
+    term[0] = 1.0; // (1 - omega t)^0
+    for j in 0..m {
+        for (s, &t) in sum.iter_mut().zip(&term) {
+            *s += t;
+        }
+        if j + 1 < m {
+            // term *= (1 - omega t)
+            let mut next = vec![0.0; m];
+            for (deg, &c) in term.iter().enumerate().take(m - 1) {
+                next[deg] += c;
+                next[deg + 1] -= omega * c;
+            }
+            term = next;
+        }
+    }
+    sum.iter().map(|&c| omega * c).collect()
+}
+
+/// A two-grid solver for `A x = b` with `A = poisson1d(n)`, `n` odd.
+pub struct TwoGrid1d<'a, E: MpkEngine + ?Sized> {
+    engine: &'a E,
+    coarse: Csr,
+    n: usize,
+    nc: usize,
+    /// Smoother polynomial coefficients `q` (indexed by power of `A`).
+    q: Vec<f64>,
+    /// Pre/post smoothing applications.
+    smooth_steps: usize,
+}
+
+impl<'a, E: MpkEngine + ?Sized> TwoGrid1d<'a, E> {
+    /// Creates the solver. `engine` must wrap `poisson1d(n)` with `n` odd
+    /// (so the coarse grid has `(n-1)/2` interior points).
+    ///
+    /// # Panics
+    /// Panics when `n` is even or too small.
+    pub fn new(engine: &'a E, smooth_degree: usize, smooth_steps: usize) -> Self {
+        let n = engine.n();
+        assert!(n >= 3 && n % 2 == 1, "need odd n >= 3");
+        let nc = (n - 1) / 2;
+        // Damped Jacobi for tridiag(-1,2,-1): classic omega = 2/3 on the
+        // diagonal-scaled operator => omega/2 applied to A directly.
+        let q = jacobi_poly_coeffs(smooth_degree, 2.0 / 3.0 / 2.0);
+        TwoGrid1d { engine, coarse: poisson1d(nc), n, nc, q, smooth_steps }
+    }
+
+    /// One polynomial smoothing step: `x ← x + q(A)(b − A x)` — the
+    /// residual polynomial is evaluated as a single SSpMV.
+    fn smooth(&self, x: &mut [f64], b: &[f64]) {
+        let r = crate::util::residual(self.engine, b, x);
+        let qr = self.engine.sspmv(&self.q, &r);
+        axpy(1.0, &qr, x);
+    }
+
+    /// Full-weighting restriction of a fine residual to the coarse grid.
+    fn restrict(&self, fine: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; self.nc];
+        for (ic, slot) in c.iter_mut().enumerate() {
+            let i = 2 * ic + 1; // fine index of coarse point ic
+            let left = fine[i - 1];
+            let right = if i + 1 < self.n { fine[i + 1] } else { 0.0 };
+            *slot = 0.25 * left + 0.5 * fine[i] + 0.25 * right;
+        }
+        c
+    }
+
+    /// Linear-interpolation prolongation of a coarse correction.
+    fn prolong(&self, coarse: &[f64]) -> Vec<f64> {
+        let mut f = vec![0.0; self.n];
+        for (ic, &v) in coarse.iter().enumerate() {
+            let i = 2 * ic + 1;
+            f[i] += v;
+            f[i - 1] += 0.5 * v;
+            if i + 1 < self.n {
+                f[i + 1] += 0.5 * v;
+            }
+        }
+        f
+    }
+
+    /// Exact tridiagonal solve on the coarse grid (Thomas algorithm).
+    ///
+    /// The Galerkin coarse operator `R·A_h·P` for full-weighting `R` and
+    /// linear interpolation `P` on `tridiag(-1,2,-1)` works out to
+    /// `(1/4)·tridiag(-1,2,-1)`: applying `A_h` to the hat function gives
+    /// `[-1/2, 0, 1, 0, -1/2]`, and restricting yields `1/2` on the
+    /// diagonal and `-1/4` off it. We therefore solve
+    /// `tridiag(-1,2,-1)·e = 4·(R r)` and the factor 4 is applied below.
+    fn coarse_solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let n = self.nc;
+        // Thomas on tridiag(-1, 2, -1).
+        let mut c = vec![0.0; n]; // superdiagonal after elimination
+        let mut dvec = vec![0.0; n]; // rhs after elimination
+        let mut beta = 2.0;
+        c[0] = -1.0 / beta;
+        dvec[0] = rhs[0] / beta;
+        for i in 1..n {
+            beta = 2.0 + c[i - 1];
+            c[i] = -1.0 / beta;
+            dvec[i] = (rhs[i] + dvec[i - 1]) / beta;
+        }
+        let mut x = vec![0.0; n];
+        x[n - 1] = dvec[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = dvec[i] - c[i] * x[i + 1];
+        }
+        // Galerkin scaling: we solved T e = rhs but the true coarse
+        // operator is T/4 (see the doc comment), so e = 4 * T^{-1} rhs.
+        for v in &mut x {
+            *v *= 4.0;
+        }
+        x
+    }
+
+    /// One V(ν, ν)-cycle. Returns the new residual norm.
+    pub fn cycle(&self, x: &mut [f64], b: &[f64]) -> f64 {
+        for _ in 0..self.smooth_steps {
+            self.smooth(x, b);
+        }
+        let r = crate::util::residual(self.engine, b, x);
+        let rc = self.restrict(&r);
+        let ec = self.coarse_solve(&rc);
+        let ef = self.prolong(&ec);
+        axpy(1.0, &ef, x);
+        for _ in 0..self.smooth_steps {
+            self.smooth(x, b);
+        }
+        crate::util::residual_norm(self.engine, b, x)
+    }
+
+    /// Solves to relative residual `tol`, returning `(x, cycles, relres)`.
+    pub fn solve(&self, b: &[f64], tol: f64, max_cycles: usize) -> (Vec<f64>, usize, f64) {
+        let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+        let mut x = vec![0.0; self.n];
+        for cyc in 1..=max_cycles {
+            let rn = self.cycle(&mut x, b);
+            if rn / bnorm <= tol {
+                return (x, cyc, rn / bnorm);
+            }
+        }
+        let rn = crate::util::residual_norm(self.engine, b, &x);
+        (x, max_cycles, rn / bnorm)
+    }
+
+    /// The coarse-grid operator (exposed for tests).
+    pub fn coarse_matrix(&self) -> &Csr {
+        &self.coarse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::spmv::spmv_alloc;
+
+    #[test]
+    fn jacobi_poly_matches_explicit_sweeps() {
+        // m Jacobi sweeps from x=0: x_m = q(A) b; compare against the
+        // explicit iteration x <- x + omega (b - A x).
+        let n = 31;
+        let a = poisson1d(n);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let omega = 2.0 / 3.0 / 2.0;
+        for m in 1..=4 {
+            let q = jacobi_poly_coeffs(m, omega);
+            let via_poly = e.sspmv(&q, &b);
+            let mut x = vec![0.0; n];
+            for _ in 0..m {
+                let ax = spmv_alloc(&a, &x);
+                for i in 0..n {
+                    x[i] += omega * (b[i] - ax[i]);
+                }
+            }
+            for (u, v) in via_poly.iter().zip(&x) {
+                assert!((u - v).abs() < 1e-10 * v.abs().max(1.0), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_grid_contracts_error() {
+        let n = 127;
+        let a = poisson1d(n);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let mg = TwoGrid1d::new(&e, 2, 1);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64 * 3.0).sin()).collect();
+        let b = spmv_alloc(&a, &x_true);
+        let mut x = vec![0.0; n];
+        let bnorm = fbmpk_sparse::vecops::norm2(&b);
+        let mut prev = bnorm;
+        for _ in 0..6 {
+            let rn = mg.cycle(&mut x, &b);
+            assert!(rn < 0.35 * prev, "cycle did not contract: {rn} vs {prev}");
+            prev = rn;
+        }
+        assert!(prev / bnorm < 1e-3);
+    }
+
+    #[test]
+    fn two_grid_solves_to_tolerance() {
+        let n = 255;
+        let a = poisson1d(n);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let mg = TwoGrid1d::new(&e, 3, 1);
+        let b: Vec<f64> = (0..n).map(|i| if i == n / 2 { 1.0 } else { 0.0 }).collect();
+        let (x, cycles, relres) = mg.solve(&b, 1e-9, 60);
+        assert!(relres <= 1e-9, "relres {relres} after {cycles} cycles");
+        // Verify against a CG solve.
+        let cg = crate::sstep::conjugate_gradient(&e, &b, 1e-12, 10_000);
+        for (u, v) in x.iter().zip(&cg.x) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_in_multigrid() {
+        let n = 63;
+        let a = poisson1d(n);
+        let e1 = StandardMpk::new(&a, 1).unwrap();
+        let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let b = vec![1.0; n];
+        let mg1 = TwoGrid1d::new(&e1, 2, 1);
+        let mg2 = TwoGrid1d::new(&e2, 2, 1);
+        let (x1, c1, _) = mg1.solve(&b, 1e-10, 50);
+        let (x2, c2, _) = mg2.solve(&b, 1e-10, 50);
+        assert_eq!(c1, c2);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn even_n_rejected() {
+        let a = poisson1d(10);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        TwoGrid1d::new(&e, 2, 1);
+    }
+}

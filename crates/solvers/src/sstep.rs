@@ -1,0 +1,250 @@
+//! s-step Krylov bases and a conjugate-gradient reference solver.
+//!
+//! Communication-avoiding Krylov methods (Demmel/Hoemmen/Carson, cited in
+//! the paper's related work) replace `s` sequential SpMVs with one
+//! matrix-powers kernel producing a basis of `K_{s+1}(A, v)`. The basis
+//! generation below is the MPK call; CG is the baseline solver the bases
+//! are validated against.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::{axpy, dot, norm2};
+
+/// Monomial s-step basis `[v, Av, A²v, …, Aˢv]` via one Krylov MPK call.
+pub fn sstep_basis_monomial<E: MpkEngine + ?Sized>(engine: &E, v: &[f64], s: usize) -> Vec<Vec<f64>> {
+    assert_eq!(v.len(), engine.n());
+    let mut basis = Vec::with_capacity(s + 1);
+    basis.push(v.to_vec());
+    basis.extend(engine.krylov(v, s));
+    basis
+}
+
+/// Newton s-step basis `z_{j+1} = (A - θ_j I) z_j` — the better-conditioned
+/// variant used by s-step Lanczos/CG (Carson et al. 2016). Each application
+/// is the SSpMV `(A - θI) z = 1·Az + (-θ)·z`, i.e. one fused FBMPK pass.
+///
+/// # Panics
+/// Panics when `shifts.len() < s`.
+pub fn sstep_basis_newton<E: MpkEngine + ?Sized>(
+    engine: &E,
+    v: &[f64],
+    s: usize,
+    shifts: &[f64],
+) -> Vec<Vec<f64>> {
+    assert!(shifts.len() >= s, "need one shift per basis step");
+    assert_eq!(v.len(), engine.n());
+    let mut basis = Vec::with_capacity(s + 1);
+    basis.push(v.to_vec());
+    for &theta in &shifts[..s] {
+        let prev = basis.last().expect("nonempty");
+        // (A - theta I) prev = -theta * A^0 prev + 1 * A^1 prev.
+        let next = engine.sspmv(&[-theta, 1.0], prev);
+        basis.push(next);
+    }
+    basis
+}
+
+/// Gram matrix `G[i][j] = ⟨basis_i, basis_j⟩` — the quantity s-step methods
+/// compute once per block to replace per-iteration inner products.
+pub fn gram(basis: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let m = basis.len();
+    let mut g = vec![vec![0.0; m]; m];
+    for i in 0..m {
+        for j in i..m {
+            let v = dot(&basis[i], &basis[j]);
+            g[i][j] = v;
+            g[j][i] = v;
+        }
+    }
+    g
+}
+
+/// Result of conjugate gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Approximate solution of `Ax = b`.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iters: usize,
+    /// Final relative residual.
+    pub relres: f64,
+    /// Whether `tol` was reached.
+    pub converged: bool,
+}
+
+/// Plain conjugate gradients for SPD `Ax = b` (zero initial guess).
+///
+/// ```
+/// use fbmpk::StandardMpk;
+/// use fbmpk_solvers::sstep::conjugate_gradient;
+/// let a = fbmpk_gen::poisson::grid2d_5pt(4, 4);
+/// let engine = StandardMpk::new(&a, 1).unwrap();
+/// let sol = conjugate_gradient(&engine, &vec![1.0; 16], 1e-10, 1000);
+/// assert!(sol.converged);
+/// ```
+///
+/// # Panics
+/// Panics when `b` has the wrong length.
+pub fn conjugate_gradient<E: MpkEngine + ?Sized>(
+    engine: &E,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> CgResult {
+    assert_eq!(b.len(), engine.n());
+    let n = b.len();
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return CgResult { x: vec![0.0; n], iters: 0, relres: 0.0, converged: true };
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rr = dot(&r, &r);
+    for it in 1..=max_iters {
+        let ap = engine.spmv(&p);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not SPD (or breakdown): stop with what we have.
+            return CgResult { x, iters: it - 1, relres: rr.sqrt() / bnorm, converged: false };
+        }
+        let alpha = rr / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        let relres = rr_new.sqrt() / bnorm;
+        if relres <= tol {
+            return CgResult { x, iters: it, relres, converged: true };
+        }
+        let beta = rr_new / rr;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rr = rr_new;
+    }
+    CgResult { x, iters: max_iters, relres: rr.sqrt() / bnorm, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+    use fbmpk_sparse::spmv::spmv_alloc;
+
+    fn spd() -> fbmpk_sparse::Csr {
+        fbmpk_gen::poisson::grid2d_5pt(9, 7)
+    }
+
+    #[test]
+    fn monomial_basis_matches_repeated_spmv() {
+        let a = spd();
+        let n = a.nrows();
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let basis = sstep_basis_monomial(&e, &v, 4);
+        assert_eq!(basis.len(), 5);
+        let mut cur = v.clone();
+        for (j, bj) in basis.iter().enumerate() {
+            if j > 0 {
+                cur = spmv_alloc(&a, &cur);
+            }
+            for (u, w) in bj.iter().zip(&cur) {
+                assert!((u - w).abs() < 1e-10 * w.abs().max(1.0), "basis vector {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn newton_basis_satisfies_recurrence() {
+        let a = spd();
+        let n = a.nrows();
+        let v: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let e = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let shifts = [1.0, 3.5, 6.0, 2.0];
+        let basis = sstep_basis_newton(&e, &v, 4, &shifts);
+        for j in 0..4 {
+            let az = spmv_alloc(&a, &basis[j]);
+            for r in 0..n {
+                let want = az[r] - shifts[j] * basis[j][r];
+                assert!(
+                    (basis[j + 1][r] - want).abs() < 1e-10 * want.abs().max(1.0),
+                    "step {j} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newton_basis_better_conditioned_than_monomial() {
+        // Conditioning proxy: ratio of largest/smallest diagonal Gram
+        // entries grows much faster for the monomial basis.
+        let a = spd();
+        let n = a.nrows();
+        let v = vec![1.0; n];
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let s = 6;
+        let mono = sstep_basis_monomial(&e, &v, s);
+        // Shifts spread over the spectrum (Leja-ish for [0, 8]).
+        let shifts = [4.0, 7.5, 0.5, 6.0, 2.0, 5.0];
+        let newt = sstep_basis_newton(&e, &v, s, &shifts);
+        let growth = |basis: &[Vec<f64>]| {
+            let g = gram(basis);
+            let d: Vec<f64> = (0..basis.len()).map(|i| g[i][i]).collect();
+            d.iter().cloned().fold(0.0f64, f64::max) / d.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(growth(&newt) < growth(&mono), "newton {} mono {}", growth(&newt), growth(&mono));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = spd();
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let v = vec![1.0; a.nrows()];
+        let basis = sstep_basis_monomial(&e, &v, 3);
+        let g = gram(&basis);
+        for (i, row) in g.iter().enumerate() {
+            assert!(row[i] > 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, g[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cg_solves_poisson() {
+        let a = spd();
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+        let b = spmv_alloc(&a, &x_true);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = conjugate_gradient(&e, &b, 1e-12, 10 * n);
+        assert!(sol.converged);
+        for (u, v) in sol.x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_engines_agree() {
+        let a = spd();
+        let b = vec![1.0; a.nrows()];
+        let e1 = StandardMpk::new(&a, 1).unwrap();
+        let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let s1 = conjugate_gradient(&e1, &b, 1e-10, 5000);
+        let s2 = conjugate_gradient(&e2, &b, 1e-10, 5000);
+        assert!(s1.converged && s2.converged);
+        assert_eq!(s1.iters, s2.iters);
+        for (u, v) in s1.x.iter().zip(&s2.x) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_trivial() {
+        let a = spd();
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = conjugate_gradient(&e, &vec![0.0; a.nrows()], 1e-12, 10);
+        assert!(sol.converged);
+        assert_eq!(sol.iters, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+}

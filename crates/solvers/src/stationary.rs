@@ -1,0 +1,217 @@
+//! Classical stationary iterations: Jacobi, weighted Jacobi, and SOR/SSOR.
+//!
+//! These are the textbook smoothers/solvers the multigrid and SYMGS
+//! modules generalize; they double as convergence references in tests
+//! (Jacobi and SYMGS bracket most smoother behavior) and exercise the
+//! engines with many small repeated SpMVs — the workload profile where the
+//! plan's workspace reuse matters.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::norm2;
+use fbmpk_sparse::{Csr, TriangularSplit};
+
+/// Result of a stationary solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryResult {
+    /// Approximate solution.
+    pub x: Vec<f64>,
+    /// Sweeps performed.
+    pub iters: usize,
+    /// Final relative residual.
+    pub relres: f64,
+    /// Whether `tol` was reached.
+    pub converged: bool,
+}
+
+/// Weighted Jacobi: `x ← x + ω D⁻¹ (b − A x)` until `‖b−Ax‖/‖b‖ ≤ tol`.
+/// `omega = 1` is classical Jacobi.
+///
+/// # Panics
+/// Panics on length mismatch or zero diagonal.
+pub fn jacobi<E: MpkEngine + ?Sized>(
+    engine: &E,
+    diag: &[f64],
+    b: &[f64],
+    omega: f64,
+    tol: f64,
+    max_iters: usize,
+) -> StationaryResult {
+    let n = engine.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(diag.len(), n);
+    assert!(diag.iter().all(|&d| d != 0.0), "Jacobi requires a nonzero diagonal");
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = vec![0.0; n];
+    for it in 0..max_iters {
+        let ax = engine.spmv(&x);
+        let mut rn = 0.0f64;
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] - ax[i];
+            rn += r[i] * r[i];
+        }
+        let relres = rn.sqrt() / bnorm;
+        // Convergence is tested on the residual of the *current* x, so the
+        // returned (x, relres) pair is consistent.
+        if relres <= tol {
+            return StationaryResult { x, iters: it, relres, converged: true };
+        }
+        for i in 0..n {
+            x[i] += omega * r[i] / diag[i];
+        }
+    }
+    let relres = crate::util::residual_norm(engine, b, &x) / bnorm;
+    StationaryResult { x, iters: max_iters, relres, converged: relres <= tol }
+}
+
+/// Successive over-relaxation: one forward sweep per iteration with
+/// relaxation factor `omega ∈ (0, 2)`; `omega = 1` is Gauss–Seidel.
+/// Operates directly on the triangular split (serial sweep, natural
+/// order — the colored parallel variant lives in `fbmpk::symgs`).
+///
+/// # Panics
+/// Panics on length mismatch, zero diagonal, or `omega` outside `(0, 2)`.
+pub fn sor(
+    split: &TriangularSplit,
+    b: &[f64],
+    omega: f64,
+    tol: f64,
+    max_iters: usize,
+) -> StationaryResult {
+    assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2");
+    let n = split.n();
+    assert_eq!(b.len(), n);
+    assert!(split.diag.iter().all(|&d| d != 0.0), "SOR requires a nonzero diagonal");
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = vec![0.0; n];
+    let l = &split.lower;
+    let u = &split.upper;
+    for it in 1..=max_iters {
+        for r in 0..n {
+            let mut s = b[r];
+            for (&c, &v) in l.row_cols(r).iter().zip(l.row_vals(r)) {
+                s -= v * x[c as usize];
+            }
+            for (&c, &v) in u.row_cols(r).iter().zip(u.row_vals(r)) {
+                s -= v * x[c as usize];
+            }
+            let gs = s / split.diag[r];
+            x[r] = (1.0 - omega) * x[r] + omega * gs;
+        }
+        // Residual check (one extra pass; fine for a reference solver).
+        let relres = residual(split, b, &x) / bnorm;
+        if relres <= tol {
+            return StationaryResult { x, iters: it, relres, converged: true };
+        }
+    }
+    let relres = residual(split, b, &x) / bnorm;
+    StationaryResult { x, iters: max_iters, relres, converged: relres <= tol }
+}
+
+fn residual(split: &TriangularSplit, b: &[f64], x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; split.n()];
+    fbmpk_sparse::spmv::spmv_split(&split.lower, &split.diag, &split.upper, x, &mut ax);
+    for (axi, &bi) in ax.iter_mut().zip(b) {
+        *axi = bi - *axi;
+    }
+    norm2(&ax)
+}
+
+/// Convenience: split `a` and run SOR.
+///
+/// # Panics
+/// See [`sor`]; also panics for non-square `a`.
+pub fn sor_on(a: &Csr, b: &[f64], omega: f64, tol: f64, max_iters: usize) -> StationaryResult {
+    let split = TriangularSplit::split(a).expect("square matrix");
+    sor(&split, b, omega, tol, max_iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::StandardMpk;
+    use fbmpk_sparse::spmv::spmv_alloc;
+    use fbmpk_sparse::vecops::rel_err_inf;
+
+    fn spd() -> Csr {
+        fbmpk_gen::poisson::grid2d_5pt(10, 10)
+    }
+
+    #[test]
+    fn jacobi_converges_on_diagonally_dominant() {
+        let a = fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+            n: 200,
+            nnz_per_row: 7.0,
+            bandwidth: 30,
+            seed: 3,
+        });
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = spmv_alloc(&a, &x_true);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let sol = jacobi(&e, &a.diagonal(), &b, 1.0, 1e-10, 10_000);
+        assert!(sol.converged, "relres {}", sol.relres);
+        assert!(rel_err_inf(&sol.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    fn sor_faster_than_jacobi_on_poisson() {
+        let a = spd();
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let e = StandardMpk::new(&a, 1).unwrap();
+        // Damped Jacobi converges on Poisson (rho(I - w D^-1 A) < 1 for w<1).
+        let jac = jacobi(&e, &a.diagonal(), &b, 0.8, 1e-8, 100_000);
+        let gs = sor_on(&a, &b, 1.0, 1e-8, 100_000);
+        let over = sor_on(&a, &b, 1.5, 1e-8, 100_000);
+        assert!(jac.converged && gs.converged && over.converged);
+        assert!(gs.iters < jac.iters, "GS {} vs Jacobi {}", gs.iters, jac.iters);
+        assert!(over.iters < gs.iters, "SOR(1.5) {} vs GS {}", over.iters, gs.iters);
+    }
+
+    #[test]
+    fn all_methods_agree_on_solution() {
+        let a = spd();
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b = spmv_alloc(&a, &x_true);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let jac = jacobi(&e, &a.diagonal(), &b, 0.8, 1e-11, 200_000);
+        let gs = sor_on(&a, &b, 1.0, 1e-11, 200_000);
+        assert!(jac.converged && gs.converged);
+        assert!(rel_err_inf(&jac.x, &x_true) < 1e-7);
+        assert!(rel_err_inf(&gs.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < omega < 2")]
+    fn sor_rejects_bad_omega() {
+        let a = Csr::identity(3);
+        sor_on(&a, &[1.0; 3], 2.5, 1e-8, 10);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_symgs_half_sweep_semantics() {
+        // One SOR(1.0) forward sweep from zero equals the forward half of
+        // the plan's SYMGS sweep from zero.
+        let a = spd();
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let split = TriangularSplit::split(&a).unwrap();
+        // Forward GS sweep by hand:
+        let mut fwd = vec![0.0; n];
+        for r in 0..n {
+            let mut s = b[r];
+            for (&c, &v) in split.lower.row_cols(r).iter().zip(split.lower.row_vals(r)) {
+                s -= v * fwd[c as usize];
+            }
+            for (&c, &v) in split.upper.row_cols(r).iter().zip(split.upper.row_vals(r)) {
+                s -= v * fwd[c as usize];
+            }
+            fwd[r] = s / split.diag[r];
+        }
+        // SOR with omega=1, one iteration, from zero:
+        let one = sor(&split, &b, 1.0, 0.0, 1);
+        assert_eq!(one.x, fwd);
+    }
+}

@@ -1,0 +1,38 @@
+//! Small helpers shared across the solver implementations.
+
+use fbmpk::MpkEngine;
+use fbmpk_sparse::vecops::norm2;
+
+/// The residual vector `r = b - A x` via one engine SpMV — the idiom every
+/// solver needs at least once per convergence check.
+///
+/// # Panics
+/// Panics when lengths disagree with the engine dimension.
+pub fn residual<E: MpkEngine + ?Sized>(engine: &E, b: &[f64], x: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), engine.n());
+    assert_eq!(x.len(), engine.n());
+    let ax = engine.spmv(x);
+    b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect()
+}
+
+/// `‖b - A x‖₂`.
+pub fn residual_norm<E: MpkEngine + ?Sized>(engine: &E, b: &[f64], x: &[f64]) -> f64 {
+    norm2(&residual(engine, b, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::StandardMpk;
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(4, 4);
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let b = fbmpk_sparse::spmv::spmv_alloc(&a, &x);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        assert!(residual_norm(&e, &b, &x) < 1e-12);
+        let r = residual(&e, &b, &vec![0.0; 16]);
+        assert_eq!(r, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! [`Coo`] is the mutable construction format: entries are appended in any
+//! order, duplicates are folded by summation, and the result is converted to
+//! [`crate::Csr`] for computation. All generators in `fbmpk-gen` and the
+//! Matrix Market reader build through this type.
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Entries may appear in any order and may repeat; [`Coo::to_csr`] sorts and
+/// folds duplicates by summation, matching the usual Matrix Market
+/// "assembled by accumulation" semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty `nrows x ncols` triplet matrix.
+    ///
+    /// # Panics
+    /// Panics if a dimension exceeds `u32::MAX`, the index width used by the
+    /// storage formats in this crate.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "matrix dimensions must fit in u32 indices"
+        );
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut c = Coo::new(nrows, ncols);
+        c.rows.reserve(cap);
+        c.cols.reserve(cap);
+        c.vals.reserve(cap);
+        c
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate folding).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Appends the entry `A[row, col] += val`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::OutOfBounds`] when the coordinate lies outside
+    /// the matrix.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::OutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Appends an entry without bounds checking in release builds.
+    ///
+    /// Intended for generators that prove their own bounds; still
+    /// `debug_assert`s in test builds.
+    pub fn push_unchecked(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Appends `A[row, col] += val` and, when `row != col`, the mirrored
+    /// entry `A[col, row] += val`. Convenience for symmetric assembly.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the raw (unfolded) triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR, sorting entries and folding duplicates by summation.
+    ///
+    /// Entries whose folded value is exactly `0.0` are retained (explicit
+    /// zeros are meaningful for structural analyses such as reordering);
+    /// use [`crate::Csr::drop_zeros`] to prune them.
+    pub fn to_csr(&self) -> crate::Csr {
+        let nnz = self.vals.len();
+        // Counting sort by row: one pass to size rows, one pass to scatter.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let row_start = counts.clone();
+        let mut cols = vec![0u32; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        {
+            let mut next = row_start.clone();
+            for i in 0..nnz {
+                let r = self.rows[i] as usize;
+                let dst = next[r];
+                cols[dst] = self.cols[i];
+                vals[dst] = self.vals[i];
+                next[r] += 1;
+            }
+        }
+        // Sort within each row by column and fold duplicates.
+        let mut out_row_ptr = vec![0usize; self.nrows + 1];
+        let mut out_cols: Vec<u32> = Vec::with_capacity(nnz);
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut idx: Vec<u32> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        for r in 0..self.nrows {
+            let (s, e) = (row_start[r], row_start[r + 1]);
+            idx.clear();
+            idx.extend(cols[s..e].iter().copied());
+            // Stable sort: duplicates fold in insertion order, so mirrored
+            // entries in symmetric assembly sum in the same order and stay
+            // bit-identical across the diagonal. (Buffers are hoisted out
+            // of the loop; this runs once per row of every generated
+            // matrix.)
+            order.clear();
+            order.extend(0..e - s);
+            order.sort_by_key(|&i| idx[i]);
+            let mut last_col: Option<u32> = None;
+            for &i in &order {
+                let c = cols[s + i];
+                let v = vals[s + i];
+                if last_col == Some(c) {
+                    *out_vals.last_mut().unwrap() += v;
+                } else {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                    last_col = Some(c);
+                }
+            }
+            out_row_ptr[r + 1] = out_cols.len();
+        }
+        crate::Csr::from_raw_parts(self.nrows, self.ncols, out_row_ptr, out_cols, out_vals)
+            .expect("Coo::to_csr produced invalid CSR (internal bug)")
+    }
+}
+
+impl FromIterator<(usize, usize, f64)> for Coo {
+    /// Collects triplets, growing the dimensions to fit the largest index.
+    fn from_iter<T: IntoIterator<Item = (usize, usize, f64)>>(iter: T) -> Self {
+        let trip: Vec<_> = iter.into_iter().collect();
+        let nrows = trip.iter().map(|t| t.0 + 1).max().unwrap_or(0);
+        let ncols = trip.iter().map(|t| t.1 + 1).max().unwrap_or(0);
+        let mut coo = Coo::with_capacity(nrows, ncols, trip.len());
+        for (r, c, v) in trip {
+            coo.push(r, c, v).expect("indices bound dimensions by construction");
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut c = Coo::new(3, 3);
+        assert!(c.is_empty());
+        c.push(0, 0, 1.0).unwrap();
+        c.push(2, 1, -2.0).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut c = Coo::new(2, 2);
+        assert!(matches!(c.push(2, 0, 1.0), Err(SparseError::OutOfBounds { .. })));
+        assert!(matches!(c.push(0, 5, 1.0), Err(SparseError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn duplicates_fold_by_sum() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.5).unwrap();
+        c.push(0, 1, 2.5).unwrap();
+        c.push(1, 0, -1.0).unwrap();
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn unsorted_input_sorted_in_csr() {
+        let mut c = Coo::new(2, 4);
+        c.push(0, 3, 3.0).unwrap();
+        c.push(0, 0, 1.0).unwrap();
+        c.push(0, 2, 2.0).unwrap();
+        let m = c.to_csr();
+        assert_eq!(m.row_cols(0), &[0, 2, 3]);
+        assert_eq!(m.row_vals(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut c = Coo::new(3, 3);
+        c.push_sym(0, 2, 5.0).unwrap();
+        c.push_sym(1, 1, 7.0).unwrap();
+        let m = c.to_csr();
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(1, 1), 7.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_index() {
+        let coo: Coo = vec![(0usize, 0usize, 1.0), (4, 2, 2.0)].into_iter().collect();
+        assert_eq!(coo.nrows(), 5);
+        assert_eq!(coo.ncols(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_to_csr() {
+        let c = Coo::new(3, 3);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.nrows(), 3);
+    }
+
+    #[test]
+    fn explicit_zero_retained() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 0.0).unwrap();
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 1);
+    }
+}

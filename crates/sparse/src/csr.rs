@@ -1,0 +1,527 @@
+//! Compressed sparse row (CSR) storage.
+//!
+//! CSR is the format the paper's kernels and its baselines operate on
+//! (Fig. 1 of the paper): `row_ptr[n+1]` row extents, `col_idx[nnz]` column
+//! indices (4-byte), `values[nnz]` nonzero values. Rows are kept sorted by
+//! column, which the forward/backward sweeps of FBMPK rely on.
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (checked by [`Csr::from_raw_parts`] / [`Csr::validate`]):
+///
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[nrows] == col_idx.len() == values.len()`,
+/// * `row_ptr` is monotonically non-decreasing,
+/// * within each row, column indices are strictly increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    ///
+    /// # Errors
+    /// Returns a [`SparseError`] describing the first violated invariant.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Csr { nrows, ncols, row_ptr, col_idx, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from raw arrays without validation.
+    ///
+    /// Intended for internal code paths that construct rows in order; debug
+    /// builds still validate.
+    pub(crate) fn from_raw_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = Csr { nrows, ncols, row_ptr, col_idx, values };
+        debug_assert!(m.validate().is_ok(), "unchecked CSR construction violated invariants");
+        m
+    }
+
+    /// An `n x n` matrix with no stored entries.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from a dense row-major array, storing every
+    /// nonzero element. Intended for tests and examples.
+    ///
+    /// ```
+    /// let a = fbmpk_sparse::Csr::from_dense(&[&[1.0, 0.0], &[2.0, 3.0]]);
+    /// assert_eq!(a.nnz(), 3);
+    /// assert_eq!(a.get(1, 0), 2.0);
+    /// ```
+    pub fn from_dense(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged dense input");
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// Checks every structural invariant; see the type-level docs.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(SparseError::BadRowPtr(format!(
+                "row_ptr has length {} for {} rows",
+                self.row_ptr.len(),
+                self.nrows
+            )));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(SparseError::BadRowPtr("row_ptr[0] != 0".into()));
+        }
+        if *self.row_ptr.last().unwrap() != self.values.len() {
+            return Err(SparseError::BadRowPtr(format!(
+                "row_ptr[n] = {} but nnz = {}",
+                self.row_ptr.last().unwrap(),
+                self.values.len()
+            )));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(SparseError::LengthMismatch(format!(
+                "col_idx {} vs values {}",
+                self.col_idx.len(),
+                self.values.len()
+            )));
+        }
+        for r in 0..self.nrows {
+            let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if s > e {
+                return Err(SparseError::BadRowPtr(format!("row {r} has negative extent")));
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &self.col_idx[s..e] {
+                if c as usize >= self.ncols {
+                    return Err(SparseError::BadColumnIndex(format!(
+                        "row {r} references column {c} >= {}",
+                        self.ncols
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::BadColumnIndex(format!(
+                            "row {r} columns not strictly increasing ({p} then {c})"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array (`nnz` entries).
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array (`nnz` entries).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// The value at `(r, c)`, or `0.0` when the entry is not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.nrows && c < self.ncols, "index out of bounds");
+        match self.row_cols(r).binary_search(&(c as u32)) {
+            Ok(k) => self.row_vals(r)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)` in row-major
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            self.row_cols(r)
+                .iter()
+                .zip(self.row_vals(r))
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// The transpose `Aᵀ` (also CSR; equivalently, a CSC view of `A`).
+    pub fn transpose(&self) -> Csr {
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = row_ptr.clone();
+        for r in 0..self.nrows {
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                let dst = next[c as usize];
+                col_idx[dst] = r as u32;
+                values[dst] = v;
+                next[c as usize] += 1;
+            }
+        }
+        // Row-major scatter visits rows in increasing order, so each
+        // transposed row is already sorted by column.
+        Csr::from_raw_parts_unchecked(self.ncols, self.nrows, row_ptr, col_idx, values)
+    }
+
+    /// Whether the matrix is numerically symmetric within tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Structural asymmetry can still be numerically symmetric when
+            // the extra entries are zero; fall back to a value comparison.
+            return self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() <= tol)
+                && t.iter().all(|(r, c, v)| (self.get(r, c) - v).abs() <= tol);
+        }
+        self.values.iter().zip(&t.values).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns a copy with all explicitly-stored zero entries removed.
+    pub fn drop_zeros(&self) -> Csr {
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        for r in 0..self.nrows {
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_raw_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Converts to a dense row-major `Vec<Vec<f64>>`. Tests/examples only.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for (r, c, v) in self.iter() {
+            d[r][c] += v;
+        }
+        d
+    }
+
+    /// The diagonal as a dense vector (missing entries are `0.0`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for (i, slot) in d.iter_mut().enumerate() {
+            *slot = self.get(i, i);
+        }
+        d
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::DimensionMismatch`] when shapes differ.
+    pub fn add(&self, other: &Csr) -> Result<Csr> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(SparseError::DimensionMismatch(format!(
+                "{}x{} + {}x{}",
+                self.nrows, self.ncols, other.nrows, other.ncols
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        row_ptr.push(0);
+        for r in 0..self.nrows {
+            // Merge two sorted rows.
+            let (ac, av) = (self.row_cols(r), self.row_vals(r));
+            let (bc, bv) = (other.row_cols(r), other.row_vals(r));
+            let (mut i, mut j) = (0, 0);
+            while i < ac.len() || j < bc.len() {
+                if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                    col_idx.push(ac[i]);
+                    values.push(av[i]);
+                    i += 1;
+                } else if i >= ac.len() || bc[j] < ac[i] {
+                    col_idx.push(bc[j]);
+                    values.push(bv[j]);
+                    j += 1;
+                } else {
+                    col_idx.push(ac[i]);
+                    values.push(av[i] + bv[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Csr::from_raw_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values))
+    }
+
+    /// Maximum absolute element-wise difference against `other`.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, other: &Csr) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        let mut m: f64 = 0.0;
+        for (r, c, v) in self.iter() {
+            m = m.max((v - other.get(r, c)).abs());
+        }
+        for (r, c, v) in other.iter() {
+            m = m.max((v - self.get(r, c)).abs());
+        }
+        m
+    }
+
+    /// Structural bandwidth: `max |i - j|` over stored entries.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for (r, c, _) in self.iter() {
+            bw = bw.max(r.abs_diff(c));
+        }
+        bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4x4 example matrix from Fig. 1 of the paper.
+    pub(crate) fn fig1() -> Csr {
+        // [ a . b . ]        a=1 b=2
+        // [ . . . . ]
+        // [ c d . e ]        c=3 d=4 e=5
+        // [ . . f g ]        f=6 g=7
+        Csr::from_raw_parts(
+            4,
+            4,
+            vec![0, 2, 2, 5, 7],
+            vec![0, 2, 0, 1, 3, 2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_layout_matches_paper() {
+        let m = fig1();
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 5, 7]);
+        assert_eq!(m.col_idx(), &[0, 2, 0, 1, 3, 2, 3]);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_row_ptr() {
+        let e = Csr::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPtr(_))));
+        let e = Csr::from_raw_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPtr(_))));
+        let e = Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPtr(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_columns() {
+        let e = Csr::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::BadColumnIndex(_))));
+        let e = Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::BadColumnIndex(_))));
+        let e = Csr::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::BadColumnIndex(_))));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = fig1();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let m = fig1();
+        let t = m.transpose();
+        for (r, c, v) in m.iter() {
+            assert_eq!(t.get(c, r), v);
+        }
+        assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i = Csr::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(2, 2), 1.0);
+        let z = Csr::zero(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.ncols(), 5);
+        z.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = Csr::from_dense(&[&[2.0, 1.0, 0.0], &[1.0, 2.0, 3.0], &[0.0, 3.0, 2.0]]);
+        assert!(s.is_symmetric(0.0));
+        let u = Csr::from_dense(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        assert!(!u.is_symmetric(0.0));
+        let rect = Csr::zero(2, 3);
+        assert!(!rect.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_merges_rows() {
+        let a = Csr::from_dense(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = Csr::from_dense(&[&[0.0, 3.0], &[0.0, 4.0]]);
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(1, 1), 6.0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = Csr::zero(2, 2);
+        let b = Csr::zero(3, 2);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = fig1();
+        let d = m.to_dense();
+        assert_eq!(d[2][3], 5.0);
+        assert_eq!(d[1], vec![0.0; 4]);
+        let rows: Vec<&[f64]> = d.iter().map(|r| r.as_slice()).collect();
+        let m2 = Csr::from_dense(&rows);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn drop_zeros_prunes() {
+        let m = Csr::from_raw_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![0.0, 5.0]).unwrap();
+        let p = m.drop_zeros();
+        assert_eq!(p.nnz(), 1);
+        assert_eq!(p.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn diagonal_and_bandwidth() {
+        let m = fig1();
+        assert_eq!(m.diagonal(), vec![1.0, 0.0, 0.0, 7.0]);
+        assert_eq!(m.bandwidth(), 2);
+        assert_eq!(Csr::identity(4).bandwidth(), 0);
+    }
+
+    #[test]
+    fn max_abs_diff_symmetric_in_args() {
+        let a = Csr::from_dense(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let b = Csr::from_dense(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+        assert_eq!(b.max_abs_diff(&a), 2.0);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! ELLPACK storage (Kincaid et al., ITPACK 2C — paper §VII).
+//!
+//! The paper's future-work list names ELLPACK as a vectorization-friendly
+//! alternative to CSR: every row is padded to the matrix's maximum row
+//! length and stored column-major, so consecutive rows advance in
+//! lock-step. Efficient when row lengths are uniform (stencils); wasteful
+//! on skewed inputs — [`SellCs`](crate::sellcs::SellCs) fixes that with
+//! chunking and σ-sorting.
+
+use crate::Csr;
+
+/// A sparse matrix in ELLPACK format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    nrows: usize,
+    ncols: usize,
+    /// Padded row width (max row nnz).
+    width: usize,
+    /// Column indices, column-major (`col_idx[j * nrows + r]`); padding
+    /// repeats the row's last valid column (value 0) so gathers stay
+    /// in-bounds.
+    col_idx: Vec<u32>,
+    /// Values, column-major; padding slots are `0.0`.
+    values: Vec<f64>,
+    nnz: usize,
+}
+
+impl Ell {
+    /// Converts a CSR matrix to ELLPACK.
+    pub fn from_csr(a: &Csr) -> Self {
+        let nrows = a.nrows();
+        let width = (0..nrows).map(|r| a.row_nnz(r)).max().unwrap_or(0);
+        let mut col_idx = vec![0u32; width * nrows];
+        let mut values = vec![0.0f64; width * nrows];
+        for r in 0..nrows {
+            let cols = a.row_cols(r);
+            let vals = a.row_vals(r);
+            let pad_col = cols.last().copied().unwrap_or(0);
+            for j in 0..width {
+                let slot = j * nrows + r;
+                if j < cols.len() {
+                    col_idx[slot] = cols[j];
+                    values[slot] = vals[j];
+                } else {
+                    col_idx[slot] = pad_col;
+                }
+            }
+        }
+        Ell { nrows, ncols: a.ncols(), width, col_idx, values, nnz: a.nnz() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeros (excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Padded width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Padding overhead `padded / nnz` (∞-free: `1.0` for empty matrices).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            (self.width * self.nrows) as f64 / self.nnz as f64
+        }
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.fill(0.0);
+        for j in 0..self.width {
+            let base = j * self.nrows;
+            for (r, yr) in y.iter_mut().enumerate() {
+                // Padding contributes 0.0 * x[pad_col].
+                *yr += self.values[base + r] * x[self.col_idx[base + r] as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    fn sample() -> Csr {
+        Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = sample();
+        let e = Ell::from_csr(&a);
+        assert_eq!(e.width(), 3);
+        assert_eq!(e.nnz(), a.nnz());
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let mut y1 = vec![0.0; 4];
+        let mut y2 = vec![0.0; 4];
+        spmv(&a, &x, &mut y1);
+        e.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn uniform_rows_no_padding() {
+        let a = fbmpk_gen_stub::tridiag_interior(16);
+        let e = Ell::from_csr(&a);
+        // Tridiagonal: rows have 2..3 entries, width 3.
+        assert_eq!(e.width(), 3);
+        assert!(e.padding_ratio() < 1.1);
+    }
+
+    /// Local tiny generator to avoid a dev-dependency cycle with fbmpk-gen.
+    mod fbmpk_gen_stub {
+        use crate::{Coo, Csr};
+        pub fn tridiag_interior(n: usize) -> Csr {
+            let mut coo = Coo::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 2.0).unwrap();
+                if i > 0 {
+                    coo.push(i, i - 1, -1.0).unwrap();
+                    coo.push(i - 1, i, -1.0).unwrap();
+                }
+            }
+            coo.to_csr()
+        }
+    }
+
+    #[test]
+    fn skewed_rows_pad_heavily() {
+        // One dense row forces width = n.
+        let mut rows = vec![vec![0.0; 32]; 32];
+        rows[0] = vec![1.0; 32];
+        for (i, r) in rows.iter_mut().enumerate().skip(1) {
+            r[i] = 1.0;
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Csr::from_dense(&refs);
+        let e = Ell::from_csr(&a);
+        assert_eq!(e.width(), 32);
+        assert!(e.padding_ratio() > 10.0);
+        // SELL-C-sigma handles the same input with far less padding.
+        let s = crate::sellcs::SellCs::from_csr(&a, 4, 32);
+        assert!(s.padding_ratio() < e.padding_ratio() / 4.0);
+    }
+
+    #[test]
+    fn empty_and_zero_row_matrices() {
+        let z = Ell::from_csr(&Csr::zero(3, 3));
+        assert_eq!(z.width(), 0);
+        assert_eq!(z.padding_ratio(), 1.0);
+        let mut y = vec![9.0; 3];
+        z.spmv(&[1.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

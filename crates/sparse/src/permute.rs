@@ -1,0 +1,290 @@
+//! Row/column permutations and symmetric matrix reordering.
+//!
+//! Reordering methods (ABMC, RCM — paper §II-C, §III-D) produce a
+//! [`Permutation`] that is applied symmetrically: `B = P A Pᵀ`, together
+//! with `Px` for vectors, so that `B (Px) = P (Ax)` — the identity the
+//! round-trip tests verify.
+
+use crate::{Csr, Result, SparseError};
+
+/// A permutation of `0..n`.
+///
+/// Stored as `new_of_old`: `new_of_old[i]` is the new index of old index
+/// `i`. [`Permutation::order`] gives the inverse view (`order[k]` = old
+/// index placed at new position `k`), which is how reordering algorithms
+/// naturally emit their result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation { new_of_old: (0..n as u32).collect() }
+    }
+
+    /// Builds from the `new_of_old` mapping, validating bijectivity.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::BadPermutation`] when the array is not a
+    /// bijection on `0..n`.
+    pub fn from_new_of_old(new_of_old: Vec<u32>) -> Result<Self> {
+        let n = new_of_old.len();
+        let mut seen = vec![false; n];
+        for &p in &new_of_old {
+            let p = p as usize;
+            if p >= n {
+                return Err(SparseError::BadPermutation(format!("index {p} >= {n}")));
+            }
+            if seen[p] {
+                return Err(SparseError::BadPermutation(format!("index {p} repeated")));
+            }
+            seen[p] = true;
+        }
+        Ok(Permutation { new_of_old })
+    }
+
+    /// Builds from an ordering: `order[k]` is the old index placed at new
+    /// position `k` (the natural output of BFS/coloring-based reorderers).
+    ///
+    /// # Errors
+    /// Returns [`SparseError::BadPermutation`] when `order` is not a
+    /// bijection on `0..n`.
+    pub fn from_order(order: &[u32]) -> Result<Self> {
+        let n = order.len();
+        let mut new_of_old = vec![u32::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            let old = old as usize;
+            if old >= n {
+                return Err(SparseError::BadPermutation(format!("index {old} >= {n}")));
+            }
+            if new_of_old[old] != u32::MAX {
+                return Err(SparseError::BadPermutation(format!("index {old} repeated")));
+            }
+            new_of_old[old] = new as u32;
+        }
+        Ok(Permutation { new_of_old })
+    }
+
+    /// Size of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.new_of_old.iter().enumerate().all(|(i, &p)| i as u32 == p)
+    }
+
+    /// New index of old index `i`.
+    #[inline]
+    pub fn new_of(&self, i: usize) -> usize {
+        self.new_of_old[i] as usize
+    }
+
+    /// The raw `new_of_old` mapping.
+    pub fn new_of_old(&self) -> &[u32] {
+        &self.new_of_old
+    }
+
+    /// The ordering view: `order[k]` = old index at new position `k`.
+    pub fn order(&self) -> Vec<u32> {
+        let mut order = vec![0u32; self.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            order[new as usize] = old as u32;
+        }
+        order
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { new_of_old: self.order() }
+    }
+
+    /// Composition `other ∘ self`: first apply `self`, then `other`.
+    ///
+    /// # Panics
+    /// Panics when domain sizes differ.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
+        Permutation {
+            new_of_old: self
+                .new_of_old
+                .iter()
+                .map(|&mid| other.new_of_old[mid as usize])
+                .collect(),
+        }
+    }
+
+    /// Applies to a vector: `out[new_of_old[i]] = x[i]` (i.e. `out = Px`).
+    pub fn apply_vec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for (i, &v) in x.iter().enumerate() {
+            out[self.new_of_old[i] as usize] = v;
+        }
+    }
+
+    /// Applies to a vector, allocating the output.
+    pub fn apply_vec_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.len()];
+        self.apply_vec(x, &mut out);
+        out
+    }
+
+    /// Inverse application: `out[i] = y[new_of_old[i]]` (i.e. `out = P⁻¹y`).
+    pub fn unapply_vec(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = y[self.new_of_old[i] as usize];
+        }
+    }
+
+    /// Inverse application, allocating the output.
+    pub fn unapply_vec_alloc(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; y.len()];
+        self.unapply_vec(y, &mut out);
+        out
+    }
+
+    /// Symmetric permutation `B = P A Pᵀ`: entry `A[i,j]` moves to
+    /// `B[p(i), p(j)]`. This preserves SpMV semantics:
+    /// `B (Px) = P (A x)`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::DimensionMismatch`] for non-square input or a
+    /// size mismatch with the permutation.
+    pub fn permute_symmetric(&self, a: &Csr) -> Result<Csr> {
+        let n = self.len();
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::DimensionMismatch("symmetric permutation needs square matrix".into()));
+        }
+        if a.nrows() != n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "matrix is {}x{} but permutation has size {n}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let order = self.order();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        row_ptr.push(0);
+        let mut rowbuf: Vec<(u32, f64)> = Vec::new();
+        for &old_r in &order {
+            let old_r = old_r as usize;
+            rowbuf.clear();
+            for (&c, &v) in a.row_cols(old_r).iter().zip(a.row_vals(old_r)) {
+                rowbuf.push((self.new_of_old[c as usize], v));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_raw_parts(n, n, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.apply_vec_alloc(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bad_permutations_rejected() {
+        assert!(Permutation::from_new_of_old(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_of_old(vec![0, 5]).is_err());
+        assert!(Permutation::from_order(&[1, 1]).is_err());
+        assert!(Permutation::from_order(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn order_and_new_of_old_are_inverse_views() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let order = p.order();
+        assert_eq!(order, vec![1, 2, 0]);
+        let q = Permutation::from_order(&order).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn inverse_round_trip_on_vectors() {
+        let p = Permutation::from_new_of_old(vec![3, 1, 0, 2]).unwrap();
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let px = p.apply_vec_alloc(&x);
+        assert_eq!(px, vec![30.0, 20.0, 40.0, 10.0]);
+        let back = p.unapply_vec_alloc(&px);
+        assert_eq!(back.to_vec(), x.to_vec());
+        assert_eq!(p.then(&p.inverse()), Permutation::identity(4));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spmv() {
+        let a = Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 0.0, 3.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0],
+            &[2.0, 0.0, 1.0, 6.0],
+        ]);
+        let p = Permutation::from_new_of_old(vec![2, 3, 1, 0]).unwrap();
+        let b = p.permute_symmetric(&a).unwrap();
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let mut ax = vec![0.0; 4];
+        spmv(&a, &x, &mut ax);
+        let px = p.apply_vec_alloc(&x);
+        let mut bpx = vec![0.0; 4];
+        spmv(&b, &px, &mut bpx);
+        let pax = p.apply_vec_alloc(&ax);
+        for (u, v) in bpx.iter().zip(&pax) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_permute_restores_matrix() {
+        let a = Csr::from_dense(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 4.0], &[5.0, 0.0, 6.0]]);
+        let p = Permutation::from_new_of_old(vec![1, 2, 0]).unwrap();
+        let b = p.permute_symmetric(&a).unwrap();
+        let a2 = p.inverse().permute_symmetric(&b).unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn permute_rejects_size_mismatch() {
+        let a = Csr::identity(3);
+        let p = Permutation::identity(4);
+        assert!(p.permute_symmetric(&a).is_err());
+        let rect = Csr::zero(2, 3);
+        let p2 = Permutation::identity(2);
+        assert!(p2.permute_symmetric(&rect).is_err());
+    }
+
+    #[test]
+    fn composition_applies_left_to_right() {
+        let p = Permutation::from_new_of_old(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let pq = p.then(&q);
+        // old 0 -> p: 1 -> q: 0
+        assert_eq!(pq.new_of(0), 0);
+        // old 1 -> p: 2 -> q: 1
+        assert_eq!(pq.new_of(1), 1);
+    }
+}

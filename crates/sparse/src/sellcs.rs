@@ -1,0 +1,296 @@
+//! SELL-C-σ storage (Kreutzer et al., SISC 2014).
+//!
+//! The paper's §VII lists "Sliced ELL" as the future-work storage format for
+//! vectorizing FBMPK. We implement it as an extension: rows are sorted by
+//! length within windows of σ rows, grouped into chunks of C rows, and each
+//! chunk is padded to its longest row and stored column-major so that C rows
+//! advance in lock-step (SIMD-friendly).
+
+use crate::{Csr, Permutation};
+
+/// A sparse matrix in SELL-C-σ format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCs {
+    nrows: usize,
+    ncols: usize,
+    /// Chunk height C.
+    chunk: usize,
+    /// Sorting window σ (multiple of C; `0` means no sorting).
+    sigma: usize,
+    /// Start offset of each chunk in `col_idx`/`values` (len = nchunks + 1).
+    chunk_ptr: Vec<usize>,
+    /// Padded width of each chunk.
+    chunk_width: Vec<usize>,
+    /// Actual nnz of each (possibly permuted) row.
+    row_len: Vec<usize>,
+    /// Column indices, column-major within each chunk; padding uses the
+    /// row's own index with value 0 so gathers stay in-bounds.
+    col_idx: Vec<u32>,
+    /// Values, column-major within each chunk.
+    values: Vec<f64>,
+    /// Row permutation applied by σ-sorting (`new_of_old`); output of
+    /// [`SellCs::spmv`] is in *original* row order.
+    perm: Permutation,
+    /// Cached `perm.order()` view (old row at each new position), so SpMV
+    /// does not rebuild it per call.
+    order: Vec<u32>,
+    nnz: usize,
+}
+
+impl SellCs {
+    /// Converts a CSR matrix into SELL-C-σ.
+    ///
+    /// ```
+    /// use fbmpk_sparse::{Csr, sellcs::SellCs};
+    /// let a = Csr::from_dense(&[&[1.0, 2.0], &[0.0, 3.0]]);
+    /// let s = SellCs::from_csr(&a, 2, 2);
+    /// let mut y = vec![0.0; 2];
+    /// s.spmv(&[1.0, 1.0], &mut y);
+    /// assert_eq!(y, vec![3.0, 3.0]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `c == 0` or `sigma` is nonzero and not a multiple of `c`.
+    pub fn from_csr(a: &Csr, c: usize, sigma: usize) -> Self {
+        assert!(c > 0, "chunk height must be positive");
+        assert!(sigma == 0 || sigma.is_multiple_of(c), "sigma must be a multiple of C");
+        let n = a.nrows();
+        // σ-sorting: within each window of σ rows, order by descending nnz.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        if sigma > 1 {
+            for w in order.chunks_mut(sigma) {
+                w.sort_by_key(|&r| std::cmp::Reverse(a.row_nnz(r as usize)));
+            }
+        }
+        let perm = Permutation::from_order(&order).expect("window sort preserves bijection");
+        let nchunks = n.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
+        let mut chunk_width = Vec::with_capacity(nchunks);
+        let mut row_len = vec![0usize; n];
+        chunk_ptr.push(0);
+        let mut total = 0usize;
+        for ch in 0..nchunks {
+            let lo = ch * c;
+            let hi = ((ch + 1) * c).min(n);
+            let mut w = 0usize;
+            for new_r in lo..hi {
+                let old_r = order[new_r] as usize;
+                let len = a.row_nnz(old_r);
+                row_len[new_r] = len;
+                w = w.max(len);
+            }
+            chunk_width.push(w);
+            total += w * c;
+            chunk_ptr.push(total);
+        }
+        let mut col_idx = vec![0u32; total];
+        let mut values = vec![0.0f64; total];
+        for ch in 0..nchunks {
+            let lo = ch * c;
+            let w = chunk_width[ch];
+            let base = chunk_ptr[ch];
+            for lane in 0..c {
+                let new_r = lo + lane;
+                if new_r >= n {
+                    // Padding lanes of the ragged final chunk: keep col 0.
+                    for j in 0..w {
+                        col_idx[base + j * c + lane] = 0;
+                    }
+                    continue;
+                }
+                let old_r = order[new_r] as usize;
+                let cols = a.row_cols(old_r);
+                let vals = a.row_vals(old_r);
+                for j in 0..w {
+                    let slot = base + j * c + lane;
+                    if j < cols.len() {
+                        col_idx[slot] = cols[j];
+                        values[slot] = vals[j];
+                    } else {
+                        // Pad with the row's first column (or 0) and value 0
+                        // so padded gathers read a valid x element.
+                        col_idx[slot] = cols.first().copied().unwrap_or(0);
+                    }
+                }
+            }
+        }
+        let order = perm.order();
+        SellCs {
+            nrows: n,
+            ncols: a.ncols(),
+            chunk: c,
+            sigma,
+            chunk_ptr,
+            chunk_width,
+            row_len,
+            col_idx,
+            values,
+            perm,
+            order,
+            nnz: a.nnz(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeros (excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total padded slots (including padding) — the storage cost.
+    pub fn padded_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Padding overhead ratio `padded / nnz` (β in the SELL-C-σ paper; 1.0
+    /// is optimal).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.padded_len() as f64 / self.nnz as f64
+        }
+    }
+
+    /// The σ-sorting row permutation.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Computes `y = A x`, with `y` in original row order.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let c = self.chunk;
+        let order = &self.order;
+        for ch in 0..self.chunk_width.len() {
+            let lo = ch * c;
+            let w = self.chunk_width[ch];
+            let base = self.chunk_ptr[ch];
+            let lanes = c.min(self.nrows - lo);
+            let mut acc = [0.0f64; 64];
+            let acc = &mut acc[..lanes.min(64)];
+            if lanes <= 64 {
+                acc.fill(0.0);
+                for j in 0..w {
+                    let col_base = base + j * c;
+                    for (lane, a) in acc.iter_mut().enumerate() {
+                        // Padded slots contribute value 0.
+                        *a += self.values[col_base + lane]
+                            * x[self.col_idx[col_base + lane] as usize];
+                    }
+                }
+                for (lane, &a) in acc.iter().enumerate() {
+                    y[order[lo + lane] as usize] = a;
+                }
+            } else {
+                // Rare large-C fallback: per-lane scalar loop.
+                for lane in 0..lanes {
+                    let mut sum = 0.0;
+                    for j in 0..w {
+                        let slot = base + j * c + lane;
+                        sum += self.values[slot] * x[self.col_idx[slot] as usize];
+                    }
+                    y[order[lo + lane] as usize] = sum;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    fn sample() -> Csr {
+        Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0, 0.0],
+            &[1.0, 0.0, 3.0, 0.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0, 7.0],
+            &[2.0, 0.0, 1.0, 6.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0, 9.0],
+        ])
+    }
+
+    #[test]
+    fn spmv_matches_csr_various_c_sigma() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5, 3.0, 2.0];
+        let mut want = vec![0.0; 5];
+        spmv(&a, &x, &mut want);
+        for (c, sigma) in [(1, 0), (2, 0), (2, 2), (2, 4), (4, 4), (8, 8), (3, 0)] {
+            let s = SellCs::from_csr(&a, c, sigma);
+            let mut got = vec![0.0; 5];
+            s.spmv(&x, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-14, "C={c} sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_padding() {
+        // Alternating long/short rows: without sorting each 2-chunk pads the
+        // short row to the long width; with σ=4 sorting, likes group together.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..8 {
+            let mut r = vec![0.0; 8];
+            if i % 2 == 0 {
+                for v in r.iter_mut() {
+                    *v = 1.0;
+                }
+            } else {
+                r[i] = 1.0;
+            }
+            rows.push(r);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Csr::from_dense(&refs);
+        let unsorted = SellCs::from_csr(&a, 2, 0);
+        let sorted = SellCs::from_csr(&a, 2, 4);
+        assert!(sorted.padding_ratio() < unsorted.padding_ratio());
+        assert_eq!(sorted.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn ragged_final_chunk_handled() {
+        let a = sample(); // 5 rows, C=2 -> final chunk has 1 lane
+        let s = SellCs::from_csr(&a, 2, 0);
+        let x = [1.0; 5];
+        let mut got = vec![0.0; 5];
+        s.spmv(&x, &mut got);
+        let mut want = vec![0.0; 5];
+        spmv(&a, &x, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::zero(4, 4);
+        let s = SellCs::from_csr(&a, 2, 2);
+        assert_eq!(s.padded_len(), 0);
+        assert_eq!(s.padding_ratio(), 1.0);
+        let mut y = vec![1.0; 4];
+        s.spmv(&[0.0; 4], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn sigma_must_be_multiple_of_c() {
+        SellCs::from_csr(&Csr::identity(4), 2, 3);
+    }
+}

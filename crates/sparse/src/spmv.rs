@@ -1,0 +1,207 @@
+//! Reference SpMV kernels.
+//!
+//! These are the serial building blocks: the full-matrix kernel
+//! (Algorithm 1's inner `SpMV` in the paper), a row-range kernel used by the
+//! parallel executors to process one thread's partition, and fused variants
+//! over the triangular split. Parallel drivers live in the `fbmpk` crate.
+
+use crate::Csr;
+
+/// Computes `y = A * x` serially.
+///
+/// ```
+/// use fbmpk_sparse::{Csr, spmv::spmv};
+/// let a = Csr::from_dense(&[&[2.0, 1.0], &[0.0, 3.0]]);
+/// let mut y = vec![0.0; 2];
+/// spmv(&a, &[1.0, 1.0], &mut y);
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// ```
+///
+/// # Panics
+/// Panics when `x.len() != A.ncols()` or `y.len() != A.nrows()`.
+pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "x length must equal ncols");
+    assert_eq!(y.len(), a.nrows(), "y length must equal nrows");
+    spmv_rows(a, x, y, 0, a.nrows());
+}
+
+/// Computes `y[lo..hi] = (A * x)[lo..hi]` — the row-range kernel that
+/// parallel drivers call on each thread's partition.
+///
+/// # Panics
+/// Panics when the range exceeds `A.nrows()` or slice lengths are short.
+pub fn spmv_rows(a: &Csr, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+    assert!(lo <= hi && hi <= a.nrows(), "invalid row range {lo}..{hi}");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for r in lo..hi {
+        let mut sum = 0.0;
+        for j in row_ptr[r]..row_ptr[r + 1] {
+            sum += values[j] * x[col_idx[j] as usize];
+        }
+        y[r] = sum;
+    }
+}
+
+/// Computes `y = A * x`, allocating the output.
+pub fn spmv_alloc(a: &Csr, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    spmv(a, x, &mut y);
+    y
+}
+
+/// Computes `y += A * x` serially (accumulating form).
+pub fn spmv_acc(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for r in 0..a.nrows() {
+        let mut sum = 0.0;
+        for j in row_ptr[r]..row_ptr[r + 1] {
+            sum += values[j] * x[col_idx[j] as usize];
+        }
+        y[r] += sum;
+    }
+}
+
+/// Computes `y = (L + diag(d) + U) * x` from the triangular split without
+/// merging the triangles — the "split SpMV" used by the head/tail stages.
+pub fn spmv_split(lower: &Csr, diag: &[f64], upper: &Csr, x: &[f64], y: &mut [f64]) {
+    let n = diag.len();
+    assert_eq!(lower.nrows(), n);
+    assert_eq!(upper.nrows(), n);
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    for r in 0..n {
+        let mut sum = diag[r] * x[r];
+        for (&c, &v) in lower.row_cols(r).iter().zip(lower.row_vals(r)) {
+            sum += v * x[c as usize];
+        }
+        for (&c, &v) in upper.row_cols(r).iter().zip(upper.row_vals(r)) {
+            sum += v * x[c as usize];
+        }
+        y[r] = sum;
+    }
+}
+
+/// Computes `y = Aᵀ * x` without materializing the transpose (scatter form).
+pub fn spmv_transpose(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.nrows(), "x length must equal nrows for A^T x");
+    assert_eq!(y.len(), a.ncols(), "y length must equal ncols for A^T x");
+    y.fill(0.0);
+    for (r, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            y[c as usize] += v * xv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TriangularSplit;
+
+    fn sample() -> Csr {
+        Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 0.0, 3.0, 0.0],
+            &[0.0, 3.0, 5.0, 1.0],
+            &[2.0, 0.0, 1.0, 6.0],
+        ])
+    }
+
+    fn dense_mv(a: &Csr, x: &[f64]) -> Vec<f64> {
+        a.to_dense()
+            .iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let mut y = vec![0.0; 4];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, dense_mv(&a, &x));
+    }
+
+    #[test]
+    fn spmv_rows_partial_range() {
+        let a = sample();
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let mut y = vec![-9.0; 4];
+        spmv_rows(&a, &x, &mut y, 1, 3);
+        let full = dense_mv(&a, &x);
+        assert_eq!(y[1], full[1]);
+        assert_eq!(y[2], full[2]);
+        // Rows outside the range untouched.
+        assert_eq!(y[0], -9.0);
+        assert_eq!(y[3], -9.0);
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let a = sample();
+        let x = [1.0, 0.0, 0.0, 0.0];
+        let mut y = vec![10.0; 4];
+        spmv_acc(&a, &x, &mut y);
+        assert_eq!(y, vec![14.0, 11.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn spmv_split_equals_full() {
+        let a = sample();
+        let s = TriangularSplit::split(&a).unwrap();
+        let x = [2.0, -1.0, 4.0, 0.5];
+        let mut y1 = vec![0.0; 4];
+        let mut y2 = vec![0.0; 4];
+        spmv(&a, &x, &mut y1);
+        spmv_split(&s.lower, &s.diag, &s.upper, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spmv_transpose_matches_materialized() {
+        let a = Csr::from_dense(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 4.0]]);
+        let x = [1.0, -1.0];
+        let mut y = vec![0.0; 3];
+        spmv_transpose(&a, &x, &mut y);
+        let t = a.transpose();
+        let mut y2 = vec![0.0; 3];
+        spmv(&t, &x, &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn empty_rows_produce_zero() {
+        let a = Csr::zero(3, 3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![5.0; 3];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn spmv_checks_x_len() {
+        let a = sample();
+        let mut y = vec![0.0; 4];
+        spmv(&a, &[1.0], &mut y);
+    }
+
+    #[test]
+    fn spmv_alloc_allocates_correctly() {
+        let a = sample();
+        let x = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(spmv_alloc(&a, &x), dense_mv(&a, &x));
+    }
+}

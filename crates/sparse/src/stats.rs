@@ -1,0 +1,140 @@
+//! Structural matrix statistics — the quantities Table II of the paper
+//! reports for each input (rows, nnz, nnz/row) plus locality-relevant
+//! extras (bandwidth, profile, symmetry).
+
+use crate::Csr;
+
+/// Summary statistics of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+    /// Mean entries per row (`nnz / nrows`), the paper's `#nnz/N` column.
+    pub nnz_per_row: f64,
+    /// Minimum entries in any row.
+    pub min_row_nnz: usize,
+    /// Maximum entries in any row.
+    pub max_row_nnz: usize,
+    /// Structural bandwidth `max |i-j|`.
+    pub bandwidth: usize,
+    /// Mean per-row bandwidth (average distance of the farthest entry) —
+    /// a locality indicator for the forward/backward sweeps.
+    pub avg_row_bandwidth: f64,
+    /// Whether the matrix is numerically symmetric (tol `1e-12`).
+    pub symmetric: bool,
+    /// Fraction of rows with a stored diagonal entry.
+    pub diag_coverage: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `a`.
+    pub fn compute(a: &Csr) -> Self {
+        let nrows = a.nrows();
+        let mut min_row = usize::MAX;
+        let mut max_row = 0usize;
+        let mut bandwidth = 0usize;
+        let mut row_bw_sum = 0.0f64;
+        let mut diag_rows = 0usize;
+        for r in 0..nrows {
+            let k = a.row_nnz(r);
+            min_row = min_row.min(k);
+            max_row = max_row.max(k);
+            let mut row_bw = 0usize;
+            for &c in a.row_cols(r) {
+                let d = r.abs_diff(c as usize);
+                row_bw = row_bw.max(d);
+                if c as usize == r {
+                    diag_rows += 1;
+                }
+            }
+            bandwidth = bandwidth.max(row_bw);
+            row_bw_sum += row_bw as f64;
+        }
+        if nrows == 0 {
+            min_row = 0;
+        }
+        MatrixStats {
+            nrows,
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            nnz_per_row: if nrows == 0 { 0.0 } else { a.nnz() as f64 / nrows as f64 },
+            min_row_nnz: min_row,
+            max_row_nnz: max_row,
+            bandwidth,
+            avg_row_bandwidth: if nrows == 0 { 0.0 } else { row_bw_sum / nrows as f64 },
+            symmetric: a.nrows() == a.ncols() && a.is_symmetric(1e-12),
+            diag_coverage: if nrows == 0 { 0.0 } else { diag_rows as f64 / nrows as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}, nnz={} ({:.2}/row, min {}, max {}), bw={} (avg {:.1}), {}symmetric, diag {:.0}%",
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.nnz_per_row,
+            self.min_row_nnz,
+            self.max_row_nnz,
+            self.bandwidth,
+            self.avg_row_bandwidth,
+            if self.symmetric { "" } else { "un" },
+            self.diag_coverage * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_matrix() {
+        let a = Csr::from_dense(&[
+            &[4.0, 1.0, 0.0, 0.0],
+            &[1.0, 4.0, 1.0, 0.0],
+            &[0.0, 1.0, 4.0, 1.0],
+            &[0.0, 0.0, 1.0, 4.0],
+        ]);
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.nrows, 4);
+        assert_eq!(s.nnz, 10);
+        assert!((s.nnz_per_row - 2.5).abs() < 1e-15);
+        assert_eq!(s.min_row_nnz, 2);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.bandwidth, 1);
+        assert!(s.symmetric);
+        assert_eq!(s.diag_coverage, 1.0);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let s = MatrixStats::compute(&Csr::zero(0, 0));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.nnz_per_row, 0.0);
+        assert_eq!(s.min_row_nnz, 0);
+    }
+
+    #[test]
+    fn unsymmetric_flagged() {
+        let a = Csr::from_dense(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let s = MatrixStats::compute(&a);
+        assert!(!s.symmetric);
+        assert_eq!(s.diag_coverage, 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = MatrixStats::compute(&Csr::identity(3));
+        let txt = format!("{s}");
+        assert!(txt.contains("3x3"));
+        assert!(txt.contains("nnz=3"));
+    }
+}

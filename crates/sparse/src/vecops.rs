@@ -1,0 +1,100 @@
+//! Dense-vector helpers used by the MPK kernels and solvers.
+//!
+//! All functions are panics-on-length-mismatch serial kernels; the solvers
+//! crate builds its BLAS-1 needs out of these.
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product `xᵀ y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Scales `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Maximum absolute difference between two vectors.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+/// Relative ∞-norm error `‖x − y‖∞ / max(‖y‖∞, 1)`, the comparison metric
+/// used throughout the correctness tests.
+pub fn rel_err_inf(x: &[f64], y: &[f64]) -> f64 {
+    max_abs_diff(x, y) / norm_inf(y).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpby(3.0, &x, 0.5, &mut y);
+        assert_eq!(y, [8.0, 16.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn diff_metrics() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+        // Small reference norm: denominator clamps at 1.
+        assert_eq!(rel_err_inf(&[0.5], &[0.0]), 0.5);
+        // Large reference norm scales.
+        assert!((rel_err_inf(&[101.0], &[100.0]) - 0.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a sparse matrix, plan an FBMPK, and compare it with
+//! the standard matrix-power kernel.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+use fbmpk_sparse::vecops::rel_err_inf;
+
+fn main() {
+    // A 2-D Poisson matrix: the "hello world" of sparse linear algebra.
+    let a = fbmpk_gen::poisson::grid2d_5pt(64, 64);
+    let n = a.nrows();
+    println!("matrix: {}", fbmpk_sparse::stats::MatrixStats::compute(&a));
+
+    let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let k = 5;
+
+    // The baseline: k sequential SpMVs (paper Algorithm 1).
+    let baseline = StandardMpk::new(&a, 1).expect("square matrix");
+    let t0 = std::time::Instant::now();
+    let want = baseline.power(&x0, k);
+    let t_base = t0.elapsed();
+
+    // FBMPK, serial pipeline with back-to-back vectors. (On a multicore
+    // host, use `FbmpkOptions::parallel(n)` for the ABMC-colored parallel
+    // pipeline instead.)
+    let plan = FbmpkPlan::new(&a, FbmpkOptions::default()).expect("square matrix");
+    let t0 = std::time::Instant::now();
+    let got = plan.power(&x0, k);
+    let t_fb = t0.elapsed();
+
+    println!("A^{k} x0: baseline {t_base:?}, fbmpk {t_fb:?}");
+    println!("max relative difference: {:.3e}", rel_err_inf(&got, &want));
+    assert!(rel_err_inf(&got, &want) < 1e-10, "kernels disagree");
+
+    // Generic SSpMV: y = x0 - 2 A x0 + A^3 x0 in a single fused pass.
+    let y = plan.sspmv(&[1.0, -2.0, 0.0, 1.0], &x0);
+    println!("sspmv  y = x0 - 2Ax0 + A^3x0: ||y||_inf = {:.6}", fbmpk_sparse::vecops::norm_inf(&y));
+    println!("ok.");
+}

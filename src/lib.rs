@@ -1,0 +1,12 @@
+//! Workspace-root helper crate for the FBMPK reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout; the actual functionality lives
+//! in the `fbmpk*` crates under `crates/`.
+pub use fbmpk;
+pub use fbmpk_gen;
+pub use fbmpk_memsim;
+pub use fbmpk_parallel;
+pub use fbmpk_reorder;
+pub use fbmpk_solvers;
+pub use fbmpk_sparse;

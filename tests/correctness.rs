@@ -1,0 +1,158 @@
+//! Cross-crate correctness: FBMPK must reproduce the standard MPK bit-for-
+//! sanity (to 1e-11 relative) on every matrix class of the paper's suite,
+//! for every configuration axis: serial/parallel, both vector layouts,
+//! odd/even powers, with/without ABMC.
+
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk_reorder::{AbmcParams, BlockingStrategy};
+use fbmpk_sparse::vecops::rel_err_inf;
+
+fn start(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37 % 101) as f64) / 50.0 - 1.0).collect()
+}
+
+#[test]
+fn fbmpk_matches_standard_on_full_suite() {
+    for entry in fbmpk_gen::paper_suite() {
+        let a = entry.generate(0.0005, 9);
+        let n = a.nrows();
+        let x0 = start(n);
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        let mut opts = FbmpkOptions::parallel(3);
+        opts.reorder = Some(AbmcParams { nblocks: (n / 8).max(1), ..Default::default() });
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        for k in [1usize, 4, 5] {
+            let want = baseline.power(&x0, k);
+            let got = plan.power(&x0, k);
+            let err = rel_err_inf(&got, &want);
+            assert!(err < 1e-11, "{} k={k}: err {err:e}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn all_configuration_axes_agree() {
+    let a = fbmpk_gen::suite::suite_entry("pwtk").unwrap().generate(0.002, 4);
+    let n = a.nrows();
+    let x0 = start(n);
+    let baseline = StandardMpk::new(&a, 1).unwrap();
+    let abmc = AbmcParams { nblocks: 32, ..Default::default() };
+    let abmc_contig = AbmcParams { nblocks: 32, strategy: BlockingStrategy::Contiguous, ..abmc };
+    let configs: Vec<(String, FbmpkOptions)> = vec![
+        ("serial/btb/noreorder".into(), FbmpkOptions::default()),
+        (
+            "serial/split/noreorder".into(),
+            FbmpkOptions { layout: VectorLayout::Split, ..Default::default() },
+        ),
+        (
+            "serial/btb/abmc".into(),
+            FbmpkOptions { reorder: Some(abmc), ..Default::default() },
+        ),
+        ("par2/btb/abmc".into(), {
+            let mut o = FbmpkOptions::parallel(2);
+            o.reorder = Some(abmc);
+            o
+        }),
+        ("par4/split/abmc-contig".into(), {
+            let mut o = FbmpkOptions::parallel(4);
+            o.reorder = Some(abmc_contig);
+            o.layout = VectorLayout::Split;
+            o
+        }),
+        ("par8/btb/abmc".into(), {
+            let mut o = FbmpkOptions::parallel(8);
+            o.reorder = Some(abmc);
+            o
+        }),
+    ];
+    for (name, opts) in configs {
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        for k in 1..=8 {
+            let want = baseline.power(&x0, k);
+            let got = plan.power(&x0, k);
+            let err = rel_err_inf(&got, &want);
+            assert!(err < 1e-11, "{name} k={k}: err {err:e}");
+        }
+    }
+}
+
+#[test]
+fn standard_parallel_matches_standard_serial_exactly() {
+    // Row-partitioned standard MPK performs identical arithmetic per row,
+    // so results must be bitwise equal across thread counts.
+    let a = fbmpk_gen::suite::suite_entry("shipsec1").unwrap().generate(0.002, 4);
+    let x0 = start(a.nrows());
+    let serial = StandardMpk::new(&a, 1).unwrap();
+    for t in [2usize, 3, 8] {
+        let par = StandardMpk::new(&a, t).unwrap();
+        for k in [1usize, 3, 6] {
+            assert_eq!(serial.power(&x0, k), par.power(&x0, k), "t={t} k={k}");
+        }
+    }
+}
+
+#[test]
+fn krylov_and_sspmv_consistent_with_power() {
+    let a = fbmpk_gen::suite::suite_entry("G3_circuit").unwrap().generate(0.001, 2);
+    let n = a.nrows();
+    let x0 = start(n);
+    let mut opts = FbmpkOptions::parallel(2);
+    opts.reorder = Some(AbmcParams { nblocks: 16, ..Default::default() });
+    let plan = FbmpkPlan::new(&a, opts).unwrap();
+    let k = 6;
+    let basis = plan.krylov(&x0, k);
+    for (i, b) in basis.iter().enumerate() {
+        let p = plan.power(&x0, i + 1);
+        assert!(rel_err_inf(b, &p) < 1e-11, "iterate {}", i + 1);
+    }
+    // sspmv with a unit coefficient on one power equals that power.
+    for i in 1..=k {
+        let mut coeffs = vec![0.0; k + 1];
+        coeffs[i] = 1.0;
+        let y = plan.sspmv(&coeffs, &x0);
+        assert!(rel_err_inf(&y, &basis[i - 1]) < 1e-11, "coeff on power {i}");
+    }
+}
+
+#[test]
+fn unsymmetric_suite_members_work() {
+    for name in ["cage14", "ML_Geer"] {
+        let a = fbmpk_gen::suite::suite_entry(name).unwrap().generate(0.0008, 6);
+        assert!(!a.is_symmetric(1e-12), "{name} should be unsymmetric");
+        let x0 = start(a.nrows());
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        let mut opts = FbmpkOptions::parallel(2);
+        opts.reorder = Some(AbmcParams::default());
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        for k in [2usize, 7] {
+            let err = rel_err_inf(&plan.power(&x0, k), &baseline.power(&x0, k));
+            assert!(err < 1e-11, "{name} k={k}: {err:e}");
+        }
+    }
+}
+
+#[test]
+fn pre_rcm_composition_is_correct_and_reduces_bandwidth() {
+    use fbmpk_sparse::stats::MatrixStats;
+    // A scrambled matrix: RCM + ABMC must still compute correct powers.
+    let base = fbmpk_gen::suite::suite_entry("G3_circuit").unwrap().generate(0.001, 8);
+    let n = base.nrows();
+    let x0 = start(n);
+    let baseline = StandardMpk::new(&base, 1).unwrap();
+    let mut opts = FbmpkOptions::parallel(3);
+    opts.reorder = Some(AbmcParams { nblocks: 32, ..Default::default() });
+    opts.pre_rcm = true;
+    let plan = FbmpkPlan::new(&base, opts).unwrap();
+    for k in [1usize, 4, 5] {
+        let err = rel_err_inf(&plan.power(&x0, k), &baseline.power(&x0, k));
+        assert!(err < 1e-11, "k={k}: {err:e}");
+    }
+    // RCM pre-pass on the *working* matrix keeps bandwidth bounded: the
+    // split the plan runs on should not be wildly less local than the
+    // RCM-only matrix.
+    let rcm_only = fbmpk_reorder::rcm(&base).permute_symmetric(&base).unwrap();
+    let s_rcm = MatrixStats::compute(&rcm_only);
+    let merged = plan.split().merge();
+    let s_plan = MatrixStats::compute(&merged);
+    assert!(s_plan.nnz == s_rcm.nnz);
+}

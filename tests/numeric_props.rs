@@ -1,0 +1,137 @@
+//! Numeric property tests across the solver stack: triangular solves,
+//! IC(0), and Krylov methods on randomly generated well-conditioned
+//! systems — every path must invert what the matvec does.
+
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk};
+use fbmpk_solvers::bicgstab::bicgstab;
+use fbmpk_solvers::gmres::gmres;
+use fbmpk_solvers::iccg::{iccg, Ic0};
+use fbmpk_solvers::sstep::conjugate_gradient;
+use fbmpk_sparse::spmv::spmv_alloc;
+use fbmpk_sparse::trisolve::{solve_lower, solve_lower_transpose, solve_upper};
+use fbmpk_sparse::vecops::{norm2, rel_err_inf};
+use fbmpk_sparse::{Csr, TriangularSplit};
+use proptest::prelude::*;
+
+/// Random strictly-diagonally-dominant symmetric matrix (hence SPD).
+fn arb_spd() -> impl Strategy<Value = Csr> {
+    (4usize..=40, 1u64..500).prop_map(|(n, seed)| {
+        fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+            n,
+            nnz_per_row: 5.0,
+            bandwidth: (n / 2).max(2),
+            seed,
+        })
+    })
+}
+
+/// Random diagonally dominant unsymmetric matrix.
+fn arb_dd_unsym() -> impl Strategy<Value = Csr> {
+    (27usize..=120, 1u64..500).prop_map(|(n, seed)| {
+        let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n, neighbors: 7, seed });
+        let nn = a.nrows();
+        let mut coo = fbmpk_sparse::Coo::new(nn, nn);
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, -v).unwrap();
+        }
+        for i in 0..nn {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.to_csr()
+    })
+}
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    (0..n).map(|i| (((i as u64).wrapping_mul(seed + 3) % 17) as f64) / 8.0 - 1.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn trisolve_inverts_triangular_matvec(a in arb_spd(), seed in 1u64..100) {
+        let split = TriangularSplit::split(&a).unwrap();
+        let n = split.n();
+        let b = rhs(n, seed);
+        // Lower solve: (L+D) x = b, then multiply back.
+        let mut x = b.clone();
+        solve_lower(&split.lower, &split.diag, &mut x);
+        let mut back = vec![0.0; n];
+        for r in 0..n {
+            back[r] = split.diag[r] * x[r];
+            for (&c, &v) in split.lower.row_cols(r).iter().zip(split.lower.row_vals(r)) {
+                back[r] += v * x[c as usize];
+            }
+        }
+        prop_assert!(rel_err_inf(&back, &b) < 1e-10);
+        // Upper solve symmetric check.
+        let mut xu = b.clone();
+        solve_upper(&split.upper, &split.diag, &mut xu);
+        let mut back_u = vec![0.0; n];
+        for r in 0..n {
+            back_u[r] = split.diag[r] * xu[r];
+            for (&c, &v) in split.upper.row_cols(r).iter().zip(split.upper.row_vals(r)) {
+                back_u[r] += v * xu[c as usize];
+            }
+        }
+        prop_assert!(rel_err_inf(&back_u, &b) < 1e-10);
+    }
+
+    #[test]
+    fn transpose_solve_consistent_with_materialized(a in arb_spd(), seed in 1u64..100) {
+        let split = TriangularSplit::split(&a).unwrap();
+        let b = rhs(split.n(), seed);
+        let mut x1 = b.clone();
+        solve_lower_transpose(&split.lower, &split.diag, &mut x1);
+        let u = split.lower.transpose();
+        let mut x2 = b.clone();
+        solve_upper(&u, &split.diag, &mut x2);
+        prop_assert!(rel_err_inf(&x1, &x2) < 1e-11);
+    }
+
+    #[test]
+    fn ic0_preconditioner_is_spd_action(a in arb_spd(), seed in 1u64..100) {
+        // z = M^{-1} r must satisfy <r, z> > 0 for r != 0 (M SPD), and
+        // applying M back must reproduce r on the exact-pattern part.
+        let ic = Ic0::factor(&a).unwrap();
+        let n = a.nrows();
+        let r = rhs(n, seed);
+        prop_assume!(norm2(&r) > 0.0);
+        let mut z = vec![0.0; n];
+        ic.apply(&r, &mut z);
+        let inner = fbmpk_sparse::vecops::dot(&r, &z);
+        prop_assert!(inner > 0.0, "preconditioner not positive definite: {inner}");
+    }
+
+    #[test]
+    fn krylov_solvers_agree_on_spd(a in arb_spd(), seed in 1u64..100) {
+        let n = a.nrows();
+        let x_true = rhs(n, seed);
+        let b = spmv_alloc(&a, &x_true);
+        prop_assume!(norm2(&b) > 1e-8);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        let cg = conjugate_gradient(&e, &b, 1e-12, 50 * n);
+        let gm = gmres(&e, &b, 30, 1e-12, 50 * n);
+        prop_assert!(cg.converged && gm.converged);
+        prop_assert!(rel_err_inf(&cg.x, &x_true) < 1e-7);
+        prop_assert!(rel_err_inf(&gm.x, &x_true) < 1e-7);
+        let ic = Ic0::factor(&a).unwrap();
+        let pc = iccg(&e, &ic, &b, 1e-12, 50 * n);
+        prop_assert!(pc.converged);
+        prop_assert!(rel_err_inf(&pc.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    fn unsymmetric_solvers_agree(a in arb_dd_unsym(), seed in 1u64..100) {
+        let n = a.nrows();
+        let x_true = rhs(n, seed);
+        let b = spmv_alloc(&a, &x_true);
+        prop_assume!(norm2(&b) > 1e-8);
+        let e = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
+        let bi = bicgstab(&e, &b, 1e-12, 100 * n);
+        let gm = gmres(&e, &b, 25, 1e-12, 100 * n);
+        prop_assert!(bi.converged && gm.converged, "bi {} gm {}", bi.relres, gm.relres);
+        prop_assert!(rel_err_inf(&bi.x, &x_true) < 1e-6);
+        prop_assert!(rel_err_inf(&gm.x, &x_true) < 1e-6);
+    }
+}

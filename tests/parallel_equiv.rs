@@ -1,0 +1,104 @@
+//! Parallel-equivalence stress tests: the colored parallel FBMPK must
+//! produce bitwise-identical results to the serial FBMPK on the *same
+//! reordered matrix* (same arithmetic order per row), and agree with the
+//! baseline across many thread counts, repeated to shake out scheduling
+//! nondeterminism.
+
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk_reorder::AbmcParams;
+use fbmpk_sparse::vecops::rel_err_inf;
+
+fn start(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 71 % 127) as f64) / 63.5 - 1.0).collect()
+}
+
+#[test]
+fn parallel_is_bitwise_deterministic_across_runs() {
+    // Row-wise arithmetic order is fixed by the schedule, so repeated runs
+    // must agree bit-for-bit even with racing threads.
+    let a = fbmpk_gen::suite::suite_entry("Hook_1498").unwrap().generate(0.001, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let mut opts = FbmpkOptions::parallel(4);
+    opts.reorder = Some(AbmcParams { nblocks: 64, ..Default::default() });
+    let plan = FbmpkPlan::new(&a, opts).unwrap();
+    let first = plan.power(&x0, 5);
+    for _ in 0..10 {
+        assert_eq!(plan.power(&x0, 5), first);
+    }
+}
+
+#[test]
+fn parallel_equals_serial_on_same_ordering_bitwise() {
+    // Serial and parallel plans over the same ABMC ordering perform the
+    // same per-row dot products in the same within-row order, so the
+    // results are bitwise equal (the schedule only changes *which thread*
+    // computes a row, never the row's arithmetic).
+    let a = fbmpk_gen::suite::suite_entry("ldoor").unwrap().generate(0.001, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let abmc = AbmcParams { nblocks: 48, ..Default::default() };
+    let serial = FbmpkPlan::new(
+        &a,
+        FbmpkOptions { reorder: Some(abmc), ..Default::default() },
+    )
+    .unwrap();
+    for t in [2usize, 3, 5, 8] {
+        let mut opts = FbmpkOptions::parallel(t);
+        opts.reorder = Some(abmc);
+        let par = FbmpkPlan::new(&a, opts).unwrap();
+        for k in [1usize, 2, 5, 6] {
+            assert_eq!(serial.power(&x0, k), par.power(&x0, k), "t={t} k={k}");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_threads_still_correct() {
+    // More threads than blocks/colors/cores: empty ranges and heavy barrier
+    // traffic must not corrupt results.
+    let a = fbmpk_gen::suite::suite_entry("cant").unwrap().generate(0.01, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let baseline = StandardMpk::new(&a, 1).unwrap();
+    let mut opts = FbmpkOptions::parallel(16);
+    opts.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+    let plan = FbmpkPlan::new(&a, opts).unwrap();
+    let err = rel_err_inf(&plan.power(&x0, 5), &baseline.power(&x0, 5));
+    assert!(err < 1e-11, "err {err:e}");
+}
+
+#[test]
+fn both_layouts_agree_in_parallel() {
+    let a = fbmpk_gen::suite::suite_entry("Flan_1565").unwrap().generate(0.0005, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let abmc = AbmcParams { nblocks: 32, ..Default::default() };
+    let mk = |layout| {
+        let mut o = FbmpkOptions::parallel(3);
+        o.reorder = Some(abmc);
+        o.layout = layout;
+        FbmpkPlan::new(&a, o).unwrap()
+    };
+    let btb = mk(VectorLayout::BackToBack);
+    let split = mk(VectorLayout::Split);
+    for k in [3usize, 4] {
+        // Identical arithmetic, different storage: bitwise equal.
+        assert_eq!(btb.power(&x0, k), split.power(&x0, k), "k={k}");
+    }
+}
+
+#[test]
+fn sspmv_parallel_matches_serial_accumulation() {
+    let a = fbmpk_gen::suite::suite_entry("nlpkkt120").unwrap().generate(0.0003, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let coeffs = [0.25, -1.0, 0.5, 0.0, 2.0, -0.125];
+    let abmc = AbmcParams { nblocks: 40, ..Default::default() };
+    let serial =
+        FbmpkPlan::new(&a, FbmpkOptions { reorder: Some(abmc), ..Default::default() }).unwrap();
+    let mut opts = FbmpkOptions::parallel(4);
+    opts.reorder = Some(abmc);
+    let par = FbmpkPlan::new(&a, opts).unwrap();
+    assert_eq!(serial.sspmv(&coeffs, &x0), par.sspmv(&coeffs, &x0));
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the reordering substrate: permutation algebra,
+//! ABMC schedule soundness, and spectral invariance of symmetric
+//! permutation — the invariants the parallel kernel's safety rests on.
+
+use fbmpk_reorder::{Abmc, AbmcParams, BlockingStrategy};
+use fbmpk_sparse::spmv::spmv;
+use fbmpk_sparse::{Coo, Csr, Permutation};
+use proptest::prelude::*;
+
+fn arb_square(max_n: usize) -> impl Strategy<Value = Csr> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..1.0), 0..n * 3).prop_map(move |trips| {
+            let mut coo = Coo::new(n, n);
+            for (r, c, v) in trips {
+                coo.push(r, c, v).unwrap();
+            }
+            // Guarantee a nonempty diagonal so structure is non-degenerate.
+            for i in 0..n {
+                coo.push(i, i, 1.0).unwrap();
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Deterministic Fisher–Yates permutation from a seed.
+fn seeded_perm(n: usize, seed: u64) -> Permutation {
+    use rand::Rng;
+    let mut rng = fbmpk_gen::rng(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    Permutation::from_order(&order).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutation_roundtrip(a in arb_square(20), seed in 0u64..1000) {
+        let n = a.nrows();
+        let p = seeded_perm(n, seed);
+        let b = p.permute_symmetric(&a).unwrap();
+        let back = p.inverse().permute_symmetric(&b).unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn permutation_commutes_with_spmv(a in arb_square(16), seed in 0u64..100) {
+        let n = a.nrows();
+        let p = seeded_perm(n, seed);
+        let x: Vec<f64> = (0..n).map(|i| (((i as u64 + seed) % 13) as f64) - 6.0).collect();
+        let b = p.permute_symmetric(&a).unwrap();
+        // B (P x) == P (A x)
+        let mut ax = vec![0.0; n];
+        spmv(&a, &x, &mut ax);
+        let px = p.apply_vec_alloc(&x);
+        let mut bpx = vec![0.0; n];
+        spmv(&b, &px, &mut bpx);
+        let pax = p.apply_vec_alloc(&ax);
+        for (u, v) in bpx.iter().zip(&pax) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn abmc_schedule_is_sound_for_random_matrices(
+        a in arb_square(40),
+        nblocks in 1usize..=12,
+        contiguous in proptest::bool::ANY,
+    ) {
+        let strategy = if contiguous { BlockingStrategy::Contiguous } else { BlockingStrategy::Aggregated };
+        let abmc = Abmc::new(&a, AbmcParams { nblocks, strategy, ..Default::default() });
+        let b = abmc.apply(&a);
+        // The property the parallel sweeps rely on: no entry joins two
+        // same-color blocks.
+        prop_assert!(abmc.validate_against(&b).is_ok());
+        // Blocks and colors partition the rows.
+        let rows: usize = (0..abmc.nblocks()).map(|blk| abmc.block_rows(blk).len()).sum();
+        prop_assert_eq!(rows, a.nrows());
+        let blocks: usize = (0..abmc.ncolors()).map(|c| abmc.color_blocks(c).len()).sum();
+        prop_assert_eq!(blocks, abmc.nblocks());
+    }
+
+    #[test]
+    fn abmc_permutation_preserves_entry_multiset(a in arb_square(24), nblocks in 1usize..=8) {
+        let abmc = Abmc::new(&a, AbmcParams { nblocks, ..Default::default() });
+        let b = abmc.apply(&a);
+        prop_assert_eq!(a.nnz(), b.nnz());
+        // Sorted value multisets agree.
+        let mut va: Vec<u64> = a.values().iter().map(|v| v.to_bits()).collect();
+        let mut vb: Vec<u64> = b.values().iter().map(|v| v.to_bits()).collect();
+        va.sort_unstable();
+        vb.sort_unstable();
+        prop_assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn rcm_produces_valid_permutation(a in arb_square(30)) {
+        let p = fbmpk_reorder::rcm(&a);
+        prop_assert_eq!(p.len(), a.nrows());
+        let b = p.permute_symmetric(&a).unwrap();
+        prop_assert_eq!(b.nnz(), a.nnz());
+        let back = p.inverse().permute_symmetric(&b).unwrap();
+        prop_assert_eq!(back, a);
+    }
+}
+
+#[test]
+fn level_schedule_covers_split_triangles() {
+    let a = fbmpk_gen::poisson::grid2d_5pt(6, 6);
+    let split = fbmpk_sparse::TriangularSplit::split(&a).unwrap();
+    let lo = fbmpk_reorder::levels::level_schedule_lower(&split.lower);
+    let up = fbmpk_reorder::levels::level_schedule_upper(&split.upper);
+    assert_eq!(lo.order.len(), 36);
+    assert_eq!(up.order.len(), 36);
+    assert!(lo.max_width() >= 1 && up.max_width() >= 1);
+}
