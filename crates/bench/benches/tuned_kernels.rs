@@ -1,0 +1,81 @@
+//! Benches for the inspector–executor tuning layer: the kernel-variant
+//! space (scalar vs unrolled vs row-split vs SELL-C-σ), the partitioning
+//! strategies (uniform chunks vs weight-balanced vs merge-path), and the
+//! end-to-end tuned plan against the scalar baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbmpk::{TuneOptions, TunedPlan};
+use fbmpk_bench::runner::start_vector;
+use fbmpk_bench::BenchConfig;
+use fbmpk_parallel::partition::{
+    balance_by_weight, chunk_ranges, merge_balance_by_weight, merge_path_partition,
+};
+use fbmpk_sparse::sellcs::SellCs;
+use fbmpk_sparse::spmv::{spmv, spmv_rows_rowsplit, spmv_unrolled4};
+
+fn bench_kernel_variants(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    // One regular mesh matrix and one skewed power-law matrix: the two
+    // regimes the cost model distinguishes.
+    for name in ["pwtk", "cage14"] {
+        let a = fbmpk_gen::suite::suite_entry(name).unwrap().generate(cfg.scale, cfg.seed);
+        let n = a.nrows();
+        let x = start_vector(n);
+        let mut y = vec![0.0; n];
+        let mut group = c.benchmark_group(format!("kernel_variants/{name}"));
+        group.sample_size(20);
+        group.bench_function("csr_scalar", |b| b.iter(|| spmv(&a, &x, &mut y)));
+        group.bench_function("csr_unrolled4", |b| b.iter(|| spmv_unrolled4(&a, &x, &mut y)));
+        group.bench_function("csr_rowsplit", |b| {
+            b.iter(|| spmv_rows_rowsplit(&a, &x, &mut y, 0, n, 4))
+        });
+        let sell = SellCs::from_csr(&a, 8, 64);
+        group.bench_function("sell_8_64", |b| b.iter(|| sell.spmv(&x, &mut y)));
+        group.finish();
+    }
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    let a = fbmpk_gen::suite::suite_entry("cage14").unwrap().generate(cfg.scale, cfg.seed);
+    let n = a.nrows();
+    let weights: Vec<usize> = (0..n).map(|r| a.row_nnz(r) + 1).collect();
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(20);
+    for parts in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("chunk", parts), &parts, |b, &p| {
+            b.iter(|| std::hint::black_box(chunk_ranges(n, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_weight", parts), &parts, |b, &p| {
+            b.iter(|| std::hint::black_box(balance_by_weight(&weights, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_weight", parts), &parts, |b, &p| {
+            b.iter(|| std::hint::black_box(merge_balance_by_weight(&weights, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_row_ptr", parts), &parts, |b, &p| {
+            b.iter(|| std::hint::black_box(merge_path_partition(a.row_ptr(), p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuned_plan(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    for name in ["pwtk", "G3_circuit"] {
+        let a = fbmpk_gen::suite::suite_entry(name).unwrap().generate(cfg.scale, cfg.seed);
+        let n = a.nrows();
+        let x = start_vector(n);
+        let mut y = vec![0.0; n];
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 3 });
+        let mut group = c.benchmark_group(format!("tuned_plan/{name}"));
+        group.sample_size(20);
+        group.bench_function("scalar_baseline", |b| b.iter(|| plan.spmv_scalar(&x, &mut y)));
+        group.bench_function(format!("tuned[{}]", plan.variant()), |b| {
+            b.iter(|| plan.spmv(&x, &mut y))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernel_variants, bench_partitioning, bench_tuned_plan);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! Results are printed as aligned tables and written as CSV under `--out`
 //! (default `EXPERIMENTS_RESULTS/`).
 
-use fbmpk_bench::report::{format_table, write_csv};
+use fbmpk_bench::report::{format_table, write_csv, write_json, Json};
 use fbmpk_bench::runner::{self, MatrixCase};
 use fbmpk_bench::{platform, BenchConfig};
 use std::path::PathBuf;
@@ -57,7 +57,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
+                     \x20      [ablation_blocks|tune] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -67,9 +67,21 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 13] = [
-        "all", "table1", "table2", "fig7", "fig8", "fig9", "fig10", "table3", "table4",
-        "fig11", "fig12", "model", "ablation_blocks",
+    const KNOWN: [&str; 14] = [
+        "all",
+        "table1",
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table3",
+        "table4",
+        "fig11",
+        "fig12",
+        "model",
+        "ablation_blocks",
+        "tune",
     ];
     for e in &experiments {
         if !KNOWN.contains(&e.as_str()) {
@@ -86,9 +98,7 @@ fn f3(v: f64) -> String {
 
 fn main() {
     let args = parse_args();
-    let want = |name: &str| {
-        args.experiments.iter().any(|e| e == name || e == "all")
-    };
+    let want = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
     println!(
         "FBMPK reproduction harness  (scale {}, {} threads, {} reps)\n",
         args.cfg.scale, args.cfg.threads, args.cfg.reps
@@ -115,15 +125,34 @@ fn main() {
         println!("Access-count model (paper SIII-B)");
         println!(
             "{}",
-            format_table(&["k", "standard A-reads", "FB L-reads", "FB U-reads", "FB A-reads", "ideal ratio"], &table)
+            format_table(
+                &["k", "standard A-reads", "FB L-reads", "FB U-reads", "FB A-reads", "ideal ratio"],
+                &table
+            )
         );
-        write_csv(&args.out.join("model.csv"), &["k", "standard_reads", "fb_l", "fb_u", "fb_eff", "ideal"], &table)
-            .expect("write model.csv");
+        write_csv(
+            &args.out.join("model.csv"),
+            &["k", "standard_reads", "fb_l", "fb_u", "fb_eff", "ideal"],
+            &table,
+        )
+        .expect("write model.csv");
     }
 
-    let needs_suite = ["table2", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "fig11", "fig12", "ablation_blocks"]
-        .iter()
-        .any(|e| want(e));
+    let needs_suite = [
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table3",
+        "table4",
+        "fig11",
+        "fig12",
+        "ablation_blocks",
+        "tune",
+    ]
+    .iter()
+    .any(|e| want(e));
     if !needs_suite {
         return;
     }
@@ -161,29 +190,34 @@ fn main() {
     if want("fig7") {
         eprintln!("fig7: FBMPK vs baseline, k = 5 ...");
         let rows = runner::fig7(&args.cfg, &cases);
-        let gm = fbmpk_bench::report::geomean(
-            &rows.iter().map(|r| r.speedup).collect::<Vec<_>>(),
-        );
+        let gm = fbmpk_bench::report::geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
         let mut table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
-                vec![r.name.clone(), format!("{:.6}", r.t_baseline), format!("{:.6}", r.t_fbmpk), f3(r.speedup)]
+                vec![
+                    r.name.clone(),
+                    format!("{:.6}", r.t_baseline),
+                    format!("{:.6}", r.t_fbmpk),
+                    f3(r.speedup),
+                ]
             })
             .collect();
         table.push(vec!["geomean".into(), String::new(), String::new(), f3(gm)]);
         println!("Fig 7 - speedup of FBMPK over baseline MPK (k=5, {} threads)", args.cfg.threads);
         println!("{}", format_table(&["input", "t_baseline[s]", "t_fbmpk[s]", "speedup"], &table));
-        write_csv(&args.out.join("fig7.csv"), &["input", "t_baseline", "t_fbmpk", "speedup"], &table)
-            .expect("write fig7.csv");
+        write_csv(
+            &args.out.join("fig7.csv"),
+            &["input", "t_baseline", "t_fbmpk", "speedup"],
+            &table,
+        )
+        .expect("write fig7.csv");
     }
 
     if want("fig8") {
         eprintln!("fig8: k sweep 3..9 ...");
         let rows = runner::fig8(&args.cfg, &cases);
-        let table: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| vec![r.name.clone(), r.k.to_string(), f3(r.speedup)])
-            .collect();
+        let table: Vec<Vec<String>> =
+            rows.iter().map(|r| vec![r.name.clone(), r.k.to_string(), f3(r.speedup)]).collect();
         println!("Fig 8 - speedup vs power k");
         println!("{}", format_table(&["input", "k", "speedup"], &table));
         // Per-k geomeans (the paper's headline trend).
@@ -272,8 +306,12 @@ fn main() {
             .collect();
         println!("Table IV - storage: split L+U+d vs plain CSR");
         println!("{}", format_table(&["input", "csr[B]", "L+U+d[B]", "ratio"], &table));
-        write_csv(&args.out.join("table4.csv"), &["input", "csr_bytes", "split_bytes", "ratio"], &table)
-            .expect("write table4.csv");
+        write_csv(
+            &args.out.join("table4.csv"),
+            &["input", "csr_bytes", "split_bytes", "ratio"],
+            &table,
+        )
+        .expect("write table4.csv");
     }
 
     if want("fig11") {
@@ -304,7 +342,9 @@ fn main() {
         eprintln!("ablation: ABMC block-count sweep ...");
         let counts = [32usize, 128, 512, 1024, 4096];
         let mut table: Vec<Vec<String>> = Vec::new();
-        for case in cases.iter().filter(|c| ["afshell10", "audikw_1", "G3_circuit"].contains(&c.entry.name)) {
+        for case in
+            cases.iter().filter(|c| ["afshell10", "audikw_1", "G3_circuit"].contains(&c.entry.name))
+        {
             for r in runner::ablation_blocks(&args.cfg, case, &counts) {
                 table.push(vec![
                     r.name.clone(),
@@ -315,7 +355,10 @@ fn main() {
                 ]);
             }
         }
-        println!("Block-count ablation (paper SIII-D trade-off, k=5, {} threads)", args.cfg.threads);
+        println!(
+            "Block-count ablation (paper SIII-D trade-off, k=5, {} threads)",
+            args.cfg.threads
+        );
         println!(
             "{}",
             format_table(&["input", "nblocks", "colors", "max width", "speedup"], &table)
@@ -326,6 +369,103 @@ fn main() {
             &table,
         )
         .expect("write ablation_blocks.csv");
+    }
+
+    if want("tune") {
+        eprintln!("tune: inspector-executor kernel selection ...");
+        let rows = runner::tune(&args.cfg, &cases);
+        let gm = fbmpk_bench::report::geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+        let mut table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.rows.to_string(),
+                    format!("{:.2}", r.mean_row_nnz),
+                    format!("{:.2}", r.row_cv),
+                    r.variant.clone(),
+                    format!("{:.6}", r.t_scalar),
+                    format!("{:.6}", r.t_tuned),
+                    f3(r.speedup),
+                    f3(r.probed_speedup),
+                ]
+            })
+            .collect();
+        table.push(vec![
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            f3(gm),
+            String::new(),
+        ]);
+        println!("Tune - auto-selected SpMV variant vs scalar CSR ({} threads)", args.cfg.threads);
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "rows",
+                    "nnz/row",
+                    "row cv",
+                    "variant",
+                    "t_scalar[s]",
+                    "t_tuned[s]",
+                    "speedup",
+                    "probe x"
+                ],
+                &table
+            )
+        );
+        write_csv(
+            &args.out.join("tune.csv"),
+            &[
+                "input",
+                "rows",
+                "nnz_per_row",
+                "row_cv",
+                "variant",
+                "t_scalar",
+                "t_tuned",
+                "speedup",
+                "probed_speedup",
+            ],
+            &table,
+        )
+        .expect("write tune.csv");
+        let json = Json::obj([
+            ("experiment", Json::from("tune")),
+            ("scale", Json::from(args.cfg.scale)),
+            ("threads", Json::from(args.cfg.threads)),
+            ("reps", Json::from(args.cfg.reps)),
+            ("geomean_speedup", Json::from(gm)),
+            (
+                "matrices",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("rows", Json::from(r.rows)),
+                                ("nnz", Json::from(r.nnz)),
+                                ("mean_row_nnz", Json::from(r.mean_row_nnz)),
+                                ("row_cv", Json::from(r.row_cv)),
+                                ("variant", Json::from(r.variant.as_str())),
+                                ("t_scalar_seconds", Json::from(r.t_scalar)),
+                                ("t_tuned_seconds", Json::from(r.t_tuned)),
+                                ("speedup", Json::from(r.speedup)),
+                                ("probed_speedup", Json::from(r.probed_speedup)),
+                                ("inspect_seconds", Json::from(r.inspect_seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_json(&args.out.join("BENCH_kernels.json"), &json).expect("write BENCH_kernels.json");
     }
 
     if want("fig12") {

@@ -5,10 +5,8 @@
 //! characteristics next to the paper's, so EXPERIMENTS.md can state exactly
 //! what hardware produced our numbers.
 
-use serde::Serialize;
-
 /// Host hardware/software description.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Platform {
     /// CPU model string (from `/proc/cpuinfo` where available).
     pub cpu_model: String,
@@ -36,9 +34,9 @@ pub fn probe() -> Platform {
     let mem_gib = std::fs::read_to_string("/proc/meminfo")
         .ok()
         .and_then(|s| {
-            s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok())
-            })
+            s.lines()
+                .find(|l| l.starts_with("MemTotal"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok()))
         })
         .map(|kb| kb / 1024.0 / 1024.0)
         .unwrap_or(0.0);

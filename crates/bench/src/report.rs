@@ -1,6 +1,5 @@
 //! Result emission: aligned console tables, CSV files, and JSON dumps.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
@@ -35,11 +34,7 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
 ///
 /// # Errors
 /// Propagates I/O failures.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -56,17 +51,146 @@ pub fn write_csv(
     Ok(())
 }
 
-/// Writes any serializable result set as pretty JSON.
+/// A JSON document built by hand (serde is unavailable offline).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Integral values print without a trailing ".0" so the
+                    // output matches what serde_json would have emitted for
+                    // integer-typed fields.
+                    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    Json::Str(k.clone()).render(out, indent + 1);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty-prints the document.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+/// Writes a [`Json`] document as pretty JSON.
 ///
 /// # Errors
-/// Propagates I/O and serialization failures.
-pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+/// Propagates I/O failures.
+pub fn write_json(path: &Path, value: &Json) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let s = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, s)
+    std::fs::write(path, value.to_pretty())
 }
 
 /// Geometric mean of a nonempty slice of positive values.
@@ -84,10 +208,7 @@ mod tests {
     fn table_is_aligned() {
         let t = format_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1.5".into()],
-                vec!["longer-name".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1.5".into()], vec!["longer-name".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -106,6 +227,23 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,\"x,y\"\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_pretty_output() {
+        let doc = Json::obj([
+            ("name", Json::from("a\"b")),
+            ("n", Json::from(42usize)),
+            ("ratio", Json::from(1.5f64)),
+            ("items", Json::Arr(vec![Json::from(1.0), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.to_pretty();
+        assert!(s.contains("\"name\": \"a\\\"b\""));
+        assert!(s.contains("\"n\": 42"));
+        assert!(s.contains("\"ratio\": 1.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
     }
 
     #[test]

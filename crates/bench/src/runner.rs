@@ -6,14 +6,13 @@
 //! preprocessing excluded — §IV-C).
 
 use crate::BenchConfig;
-use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, TuneOptions, TunedPlan, VectorLayout};
 use fbmpk_gen::suite::SuiteEntry;
 use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
 use fbmpk_reorder::{Abmc, AbmcParams};
 use fbmpk_sparse::spmv::spmv;
 use fbmpk_sparse::stats::MatrixStats;
 use fbmpk_sparse::{Csr, TriangularSplit};
-use serde::Serialize;
 use std::time::Instant;
 
 /// A generated suite input.
@@ -82,7 +81,7 @@ pub fn fbmpk_options(n: usize, threads: usize, layout: VectorLayout) -> FbmpkOpt
 // ---------------------------------------------------------------- table 2
 
 /// One row of Table II (paper values + generated realization).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Matrix name.
     pub name: String,
@@ -122,7 +121,7 @@ pub fn table2(cases: &[MatrixCase]) -> Vec<Table2Row> {
 // ----------------------------------------------------------------- fig 7
 
 /// One bar of Fig. 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Matrix name.
     pub name: String,
@@ -144,7 +143,8 @@ pub fn measure_speedup(cfg: &BenchConfig, case: &MatrixCase, k: usize) -> Speedu
     let baseline = StandardMpk::new(a, cfg.threads).expect("square");
     let plan =
         FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::BackToBack)).expect("square");
-    let t_baseline = time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+    let t_baseline =
+        time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
     let t_fbmpk = time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
     SpeedupRow {
         name: case.entry.name.to_string(),
@@ -174,7 +174,7 @@ pub fn fig8(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<SpeedupRow> {
 // ----------------------------------------------------------------- fig 9
 
 /// One bar of Fig. 9.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// Matrix name.
     pub name: String,
@@ -228,7 +228,7 @@ pub fn fig9(cases: &[MatrixCase]) -> Vec<Fig9Row> {
 // ---------------------------------------------------------------- fig 10
 
 /// One matrix of Fig. 10: ablation of the two optimizations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Matrix name.
     pub name: String,
@@ -256,8 +256,10 @@ pub fn fig10(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig10Row> {
                 .expect("square");
             let t_baseline =
                 time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
-            let t_fb = time_geomean(|| std::hint::black_box(fb.power(&x0, k)).truncate(0), cfg.reps);
-            let t_btb = time_geomean(|| std::hint::black_box(btb.power(&x0, k)).truncate(0), cfg.reps);
+            let t_fb =
+                time_geomean(|| std::hint::black_box(fb.power(&x0, k)).truncate(0), cfg.reps);
+            let t_btb =
+                time_geomean(|| std::hint::black_box(btb.power(&x0, k)).truncate(0), cfg.reps);
             Fig10Row {
                 name: c.entry.name.to_string(),
                 t_baseline,
@@ -271,7 +273,7 @@ pub fn fig10(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig10Row> {
 // --------------------------------------------------------------- table 3
 
 /// One row of Table III.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Matrix name.
     pub name: String,
@@ -303,7 +305,7 @@ pub fn table3(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Table3Row> {
 // --------------------------------------------------------------- table 4
 
 /// One row of Table IV.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Matrix name.
     pub name: String,
@@ -337,7 +339,7 @@ pub fn table4(cases: &[MatrixCase]) -> Vec<Table4Row> {
 // ---------------------------------------------------------------- fig 11
 
 /// One bar of Fig. 11.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     /// Matrix name.
     pub name: String,
@@ -377,7 +379,7 @@ pub fn fig11(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig11Row> {
 // ---------------------------------------------------------------- fig 12
 
 /// One point of Fig. 12.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     /// Matrix name.
     pub name: String,
@@ -397,13 +399,20 @@ pub fn fig12(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) -> Vec<
         let n = a.nrows();
         let x0 = start_vector(n);
         let serial_baseline = StandardMpk::new(a, 1).expect("square");
-        let t_serial =
-            time_geomean(|| std::hint::black_box(serial_baseline.power(&x0, k)).truncate(0), cfg.reps);
+        let t_serial = time_geomean(
+            || std::hint::black_box(serial_baseline.power(&x0, k)).truncate(0),
+            cfg.reps,
+        );
         for &t in threads {
-            let plan = FbmpkPlan::new(a, fbmpk_options(n, t, VectorLayout::BackToBack))
-                .expect("square");
-            let tt = time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
-            rows.push(Fig12Row { name: c.entry.name.to_string(), threads: t, speedup: t_serial / tt });
+            let plan =
+                FbmpkPlan::new(a, fbmpk_options(n, t, VectorLayout::BackToBack)).expect("square");
+            let tt =
+                time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+            rows.push(Fig12Row {
+                name: c.entry.name.to_string(),
+                threads: t,
+                speedup: t_serial / tt,
+            });
         }
     }
     rows
@@ -414,7 +423,7 @@ pub fn fig12(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) -> Vec<
 /// One point of the block-count ablation (paper §III-D: "The maximum
 /// number of elements in each block can be set, with a trade-off between
 /// performance and parallelism ... a default of either 512 or 1024").
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BlockAblationRow {
     /// Matrix name.
     pub name: String,
@@ -443,7 +452,8 @@ pub fn ablation_blocks(
     let x0 = start_vector(n);
     let k = 5;
     let baseline = StandardMpk::new(a, cfg.threads).expect("square");
-    let t_base = time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+    let t_base =
+        time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
     counts
         .iter()
         .map(|&nblocks| {
@@ -481,10 +491,76 @@ pub fn ablation_blocks(
         .collect()
 }
 
+// ------------------------------------------------------------------ tune
+
+/// One row of the `repro tune` report: what the inspector–executor layer
+/// selected for a suite matrix and the measured single-SpMV speedup of the
+/// tuned kernel over the scalar CSR reference on the same pool/partition.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    /// Matrix name.
+    pub name: String,
+    /// Dimension.
+    pub rows: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Mean row length (the dominant cost-model feature).
+    pub mean_row_nnz: f64,
+    /// Row-length coefficient of variation.
+    pub row_cv: f64,
+    /// The variant the tuner selected.
+    pub variant: String,
+    /// Scalar CSR seconds per SpMV (geomean).
+    pub t_scalar: f64,
+    /// Tuned-variant seconds per SpMV (geomean).
+    pub t_tuned: f64,
+    /// `t_scalar / t_tuned`.
+    pub speedup: f64,
+    /// Speedup the one-shot micro-probe itself measured during planning.
+    pub probed_speedup: f64,
+    /// One-off inspection + selection cost in seconds.
+    pub inspect_seconds: f64,
+}
+
+/// Runs the auto-tuner on every suite matrix and re-measures the selected
+/// variant against the scalar baseline (probe excluded, like all
+/// preprocessing in the paper's methodology).
+pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
+    cases
+        .iter()
+        .map(|c| {
+            let a = &c.matrix;
+            let n = a.nrows();
+            let plan = TunedPlan::new(
+                a,
+                TuneOptions { nthreads: cfg.threads, probe: true, probe_reps: cfg.reps.max(3) },
+            );
+            let x = start_vector(n);
+            let mut y = vec![0.0; n];
+            let t_scalar = time_geomean(|| plan.spmv_scalar(&x, &mut y), cfg.reps);
+            let t_tuned = time_geomean(|| plan.spmv(&x, &mut y), cfg.reps);
+            let f = plan.features();
+            TuneRow {
+                name: c.entry.name.to_string(),
+                rows: f.n,
+                nnz: f.nnz,
+                mean_row_nnz: f.mean_row_nnz,
+                row_cv: f.row_cv,
+                variant: plan.variant().to_string(),
+                t_scalar,
+                t_tuned,
+                speedup: t_scalar / t_tuned,
+                probed_speedup: plan.report().probed_speedup(),
+                inspect_seconds: plan.report().inspect_seconds,
+            }
+        })
+        .collect()
+}
+
 // ----------------------------------------------------------------- model
 
 /// One row of the access-count validation table (§III-B formulas).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelRow {
     /// Power `k`.
     pub k: usize,
@@ -547,6 +623,9 @@ mod tests {
         assert!(f11.iter().all(|r| r.n_spmvs > 0.0));
         let f12 = fig12(&cfg, &cases, &[1, 2]);
         assert_eq!(f12.len(), 6);
+        let tr = tune(&cfg, &cases);
+        assert_eq!(tr.len(), 3);
+        assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));
     }
 
     #[test]

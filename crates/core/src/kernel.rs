@@ -92,15 +92,31 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
         let u_col = upper.col_idx();
         let u_val = upper.values();
 
-        // Head: tmp = U * x0 (x0 in even slots, read-only here).
+        // Head: tmp = U * x0 (x0 in even slots, read-only here). The row
+        // dot product is 4-way unrolled (independent accumulators keep the
+        // FP pipeline full); the < 4 remainder folds into s0 alone so short
+        // rows stay bit-identical to the scalar loop.
         for r in sched.flat[t].clone() {
-            let mut s = 0.0;
-            for j in u_ptr[r]..u_ptr[r + 1] {
-                // SAFETY: even slots are read-only during the head phase.
-                s += u_val[j] * unsafe { layout.get_even(u_col[j] as usize) };
+            let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
+            let main = hi - (hi - lo) % 4;
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut j = lo;
+            // SAFETY: even slots are read-only during the head phase.
+            unsafe {
+                while j < main {
+                    s0 += u_val[j] * layout.get_even(u_col[j] as usize);
+                    s1 += u_val[j + 1] * layout.get_even(u_col[j + 1] as usize);
+                    s2 += u_val[j + 2] * layout.get_even(u_col[j + 2] as usize);
+                    s3 += u_val[j + 3] * layout.get_even(u_col[j + 3] as usize);
+                    j += 4;
+                }
+                while j < hi {
+                    s0 += u_val[j] * layout.get_even(u_col[j] as usize);
+                    j += 1;
+                }
             }
             // SAFETY: thread t owns rows in flat[t].
-            unsafe { tmp.set(r, s) };
+            unsafe { tmp.set(r, (s0 + s1) + (s2 + s3)) };
         }
         barrier.wait();
 
@@ -113,14 +129,36 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
                     // block processed earlier by this thread).
                     unsafe {
                         let d = diag[r];
-                        let mut sum0 = tmp.get(r) + d * layout.get_even(r);
-                        let mut sum1 = 0.0;
-                        for j in l_ptr[r]..l_ptr[r + 1] {
+                        // Two dot products share one traversal of the L row
+                        // (even and odd streams); each is 2-way unrolled —
+                        // four independent accumulators total, mirroring the
+                        // standalone SpMV's 4-way unroll. The odd remainder
+                        // element folds into the `a` accumulators so rows
+                        // with < 2 nonzeros stay bit-identical to scalar.
+                        let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
+                        let main = hi - (hi - lo) % 2;
+                        let mut sum0a = tmp.get(r) + d * layout.get_even(r);
+                        let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
+                        let mut j = lo;
+                        while j < main {
+                            let c0 = l_col[j] as usize;
+                            let c1 = l_col[j + 1] as usize;
+                            let v0 = l_val[j];
+                            let v1 = l_val[j + 1];
+                            sum0a += v0 * layout.get_even(c0);
+                            sum0b += v1 * layout.get_even(c1);
+                            sum1a += v0 * layout.get_odd(c0);
+                            sum1b += v1 * layout.get_odd(c1);
+                            j += 2;
+                        }
+                        if j < hi {
                             let c = l_col[j] as usize;
                             let v = l_val[j];
-                            sum0 += v * layout.get_even(c);
-                            sum1 += v * layout.get_odd(c);
+                            sum0a += v * layout.get_even(c);
+                            sum1a += v * layout.get_odd(c);
                         }
+                        let sum0 = sum0a + sum0b;
+                        let sum1 = sum1a + sum1b;
                         layout.set_odd(r, sum0); // x_{2p+1}[r]
                         sink.emit(2 * p + 1, r, sum0);
                         tmp.set(r, sum1 + d * sum0); // (L+D) x_{2p+1}
@@ -135,14 +173,32 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
                     // iterate (later color or same block, processed first in
                     // this bottom-up order); odd slots are read-only here.
                     unsafe {
-                        let mut sum0 = tmp.get(r);
-                        let mut sum1 = 0.0;
-                        for j in u_ptr[r]..u_ptr[r + 1] {
+                        // Mirror of the forward sweep: two 2-way unrolled
+                        // dot products over the U row.
+                        let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
+                        let main = hi - (hi - lo) % 2;
+                        let mut sum0a = tmp.get(r);
+                        let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
+                        let mut j = lo;
+                        while j < main {
+                            let c0 = u_col[j] as usize;
+                            let c1 = u_col[j + 1] as usize;
+                            let v0 = u_val[j];
+                            let v1 = u_val[j + 1];
+                            sum0a += v0 * layout.get_odd(c0);
+                            sum0b += v1 * layout.get_odd(c1);
+                            sum1a += v0 * layout.get_even(c0);
+                            sum1b += v1 * layout.get_even(c1);
+                            j += 2;
+                        }
+                        if j < hi {
                             let c = u_col[j] as usize;
                             let v = u_val[j];
-                            sum0 += v * layout.get_odd(c);
-                            sum1 += v * layout.get_even(c);
+                            sum0a += v * layout.get_odd(c);
+                            sum1a += v * layout.get_even(c);
                         }
+                        let sum0 = sum0a + sum0b;
+                        let sum1 = sum1a + sum1b;
                         layout.set_even(r, sum0); // x_{2p+2}[r]
                         sink.emit(2 * p + 2, r, sum0);
                         tmp.set(r, sum1); // U x_{2p+2}: next round's head
@@ -160,10 +216,25 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
                 // SAFETY: even slots and tmp are stable after the final
                 // barrier; out rows in flat[t] are owned by thread t.
                 unsafe {
-                    let mut s = tmp.get(r) + diag[r] * layout.get_even(r);
-                    for j in l_ptr[r]..l_ptr[r + 1] {
-                        s += l_val[j] * layout.get_even(l_col[j] as usize);
+                    // Single dot product: 4-way unroll as in the head, with
+                    // the initial value and remainder folded into s0.
+                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
+                    let main = hi - (hi - lo) % 4;
+                    let mut s0 = tmp.get(r) + diag[r] * layout.get_even(r);
+                    let (mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64);
+                    let mut j = lo;
+                    while j < main {
+                        s0 += l_val[j] * layout.get_even(l_col[j] as usize);
+                        s1 += l_val[j + 1] * layout.get_even(l_col[j + 1] as usize);
+                        s2 += l_val[j + 2] * layout.get_even(l_col[j + 2] as usize);
+                        s3 += l_val[j + 3] * layout.get_even(l_col[j + 3] as usize);
+                        j += 4;
                     }
+                    while j < hi {
+                        s0 += l_val[j] * layout.get_even(l_col[j] as usize);
+                        j += 1;
+                    }
+                    let s = (s0 + s1) + (s2 + s3);
                     out.set(r, s);
                     sink.emit(k, r, s);
                 }

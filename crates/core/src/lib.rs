@@ -39,11 +39,13 @@ pub mod schedule;
 pub mod sink;
 pub mod standard;
 pub mod symgs;
+pub mod tune;
 pub mod workspace;
 
 pub use engine::MpkEngine;
 pub use plan::{FbmpkOptions, FbmpkPlan, VectorLayout};
 pub use standard::StandardMpk;
+pub use tune::{KernelVariant, MatrixFeatures, TuneOptions, TunedPlan};
 pub use workspace::Workspace;
 
 /// Errors from plan construction and kernel invocation.

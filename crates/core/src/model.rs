@@ -160,11 +160,7 @@ mod tests {
         for k in [3usize, 6, 9] {
             let m = TrafficModel::evaluate(&shape, k);
             let ratio = m.matrix_ratio();
-            assert!(
-                (ratio - ideal_ratio(k)).abs() < 0.05,
-                "k={k}: {ratio} vs {}",
-                ideal_ratio(k)
-            );
+            assert!((ratio - ideal_ratio(k)).abs() < 0.05, "k={k}: {ratio} vs {}", ideal_ratio(k));
         }
     }
 

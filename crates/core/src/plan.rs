@@ -108,10 +108,7 @@ impl FbmpkPlan {
             return Err(FbmpkError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
         if options.nthreads == 0 || pool.nthreads() != options.nthreads {
-            return Err(FbmpkError::BadLength {
-                expected: options.nthreads,
-                got: pool.nthreads(),
-            });
+            return Err(FbmpkError::BadLength { expected: options.nthreads, got: pool.nthreads() });
         }
         if options.nthreads > 1 && options.reorder.is_none() {
             return Err(FbmpkError::ParallelNeedsReorder);
@@ -126,9 +123,8 @@ impl FbmpkPlan {
                 // Optional RCM locality pre-pass, composed with ABMC.
                 let (pre_matrix, pre_perm) = if options.pre_rcm {
                     let rcm = fbmpk_reorder::rcm(a);
-                    let m = rcm
-                        .permute_symmetric(a)
-                        .expect("RCM permutation matches matrix dimension");
+                    let m =
+                        rcm.permute_symmetric(a).expect("RCM permutation matches matrix dimension");
                     (m, Some(rcm))
                 } else {
                     (a.clone(), None)
@@ -228,10 +224,7 @@ impl FbmpkPlan {
             let sink = CollectSink::new(&mut basis, self.n, k);
             self.execute(&xp, k, &sink);
         }
-        basis
-            .chunks(self.n)
-            .map(|c| self.permute_out(c.to_vec()))
-            .collect()
+        basis.chunks(self.n).map(|c| self.permute_out(c.to_vec())).collect()
     }
 
     /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` with `k =
@@ -265,7 +258,16 @@ impl FbmpkPlan {
                 }
                 {
                     let layout = BtbXy::new(&mut xy);
-                    run_fbmpk(&self.pool, &self.schedule, &self.split, &layout, &mut tmp, &mut out, k, sink);
+                    run_fbmpk(
+                        &self.pool,
+                        &self.schedule,
+                        &self.split,
+                        &layout,
+                        &mut tmp,
+                        &mut out,
+                        k,
+                        sink,
+                    );
                 }
                 if k % 2 == 1 {
                     out
@@ -278,7 +280,16 @@ impl FbmpkPlan {
                 let mut odd = vec![0.0; n];
                 {
                     let layout = SplitXy::new(&mut even, &mut odd);
-                    run_fbmpk(&self.pool, &self.schedule, &self.split, &layout, &mut tmp, &mut out, k, sink);
+                    run_fbmpk(
+                        &self.pool,
+                        &self.schedule,
+                        &self.split,
+                        &layout,
+                        &mut tmp,
+                        &mut out,
+                        k,
+                        sink,
+                    );
                 }
                 if k % 2 == 1 {
                     out
@@ -317,10 +328,7 @@ mod tests {
     fn opts_matrix() -> Vec<(&'static str, FbmpkOptions)> {
         vec![
             ("serial-btb", FbmpkOptions::default()),
-            (
-                "serial-split",
-                FbmpkOptions { layout: VectorLayout::Split, ..Default::default() },
-            ),
+            ("serial-split", FbmpkOptions { layout: VectorLayout::Split, ..Default::default() }),
             (
                 "serial-reordered",
                 FbmpkOptions {

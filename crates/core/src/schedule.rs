@@ -6,7 +6,7 @@
 //! head/tail stages. Row ranges never split an ABMC block — intra-block
 //! dependencies require a block to stay on one thread.
 
-use fbmpk_parallel::partition::balance_by_weight;
+use fbmpk_parallel::partition::merge_balance_by_weight;
 use fbmpk_reorder::Abmc;
 use fbmpk_sparse::TriangularSplit;
 use std::ops::Range;
@@ -36,7 +36,9 @@ impl Schedule {
 
     /// Builds the colored schedule from an ABMC ordering and the (permuted)
     /// triangular split. Within each color, that color's blocks are
-    /// distributed over threads balanced by `nnz(L) + nnz(U)` per block.
+    /// distributed over threads by merge-path diagonals over per-block
+    /// `nnz(L) + nnz(U)` weights, which bounds each thread's overshoot to
+    /// one block even on skewed inputs. Thread ranges never split a block.
     pub fn colored(abmc: &Abmc, split: &TriangularSplit, nthreads: usize) -> Self {
         assert!(nthreads > 0);
         let n = split.n();
@@ -44,20 +46,23 @@ impl Schedule {
         let mut colors = Vec::with_capacity(abmc.ncolors());
         for c in 0..abmc.ncolors() {
             let blocks: Vec<usize> = abmc.color_blocks(c).collect();
-            let weights: Vec<usize> = blocks
-                .iter()
-                .map(|&b| abmc.block_rows(b).map(row_weight).sum())
-                .collect();
-            let parts = balance_by_weight(&weights, nthreads);
+            let weights: Vec<usize> =
+                blocks.iter().map(|&b| abmc.block_rows(b).map(row_weight).sum()).collect();
+            let parts = merge_balance_by_weight(&weights, nthreads);
             let per_thread: Vec<Range<usize>> = parts
                 .into_iter()
                 .map(|brange| {
                     if brange.is_empty() {
-                        // Empty block range: empty row range at the color edge.
-                        let edge = if brange.start < blocks.len() {
+                        // Empty block range: empty row range at the color
+                        // edge. A color can own fewer blocks than there are
+                        // threads — or none at all — so every index here is
+                        // guarded rather than unwrapped.
+                        let edge = if blocks.is_empty() {
+                            0
+                        } else if brange.start < blocks.len() {
                             abmc.block_rows(blocks[brange.start]).start
                         } else {
-                            abmc.block_rows(*blocks.last().unwrap()).end
+                            abmc.block_rows(*blocks.last().expect("blocks nonempty")).end
                         };
                         edge..edge
                     } else {
@@ -72,7 +77,7 @@ impl Schedule {
         // Head/tail partition: whole rows balanced by nnz, block boundaries
         // irrelevant (those stages have no intra-sweep dependencies).
         let weights: Vec<usize> = (0..n).map(row_weight).collect();
-        let flat = balance_by_weight(&weights, nthreads);
+        let flat = merge_balance_by_weight(&weights, nthreads);
         Schedule { colors, flat, nthreads, n }
     }
 
@@ -189,8 +194,9 @@ mod tests {
         let split = TriangularSplit::split(&b).unwrap();
         let s = Schedule::colored(&abmc, &split, 3);
         // Every thread range boundary must coincide with a block boundary.
-        let block_starts: std::collections::HashSet<usize> =
-            (0..abmc.nblocks()).flat_map(|b| [abmc.block_rows(b).start, abmc.block_rows(b).end]).collect();
+        let block_starts: std::collections::HashSet<usize> = (0..abmc.nblocks())
+            .flat_map(|b| [abmc.block_rows(b).start, abmc.block_rows(b).end])
+            .collect();
         for per_thread in &s.colors {
             for r in per_thread {
                 if !r.is_empty() {
@@ -212,5 +218,31 @@ mod tests {
         let split = TriangularSplit::split(&b).unwrap();
         let s = Schedule::colored(&abmc, &split, 8);
         s.validate().unwrap();
+    }
+
+    /// Regression: a color with fewer blocks than threads produced an
+    /// out-of-bounds `blocks.last().unwrap()` when a trailing empty block
+    /// range was materialized. Exercise nthreads far above nblocks across
+    /// both blocking strategies and several matrix shapes so every color
+    /// hands most threads an empty range.
+    #[test]
+    fn many_threads_few_blocks_per_color() {
+        for n in [4, 7, 20, 33] {
+            let a = tridiag(n);
+            for strategy in [BlockingStrategy::Contiguous, BlockingStrategy::Aggregated] {
+                for nblocks in [1, 2, 3] {
+                    let abmc =
+                        Abmc::new(&a, AbmcParams { nblocks, strategy, ..Default::default() });
+                    let b = abmc.apply(&a);
+                    let split = TriangularSplit::split(&b).unwrap();
+                    for nthreads in [abmc.nblocks() + 1, 16, 64] {
+                        let s = Schedule::colored(&abmc, &split, nthreads);
+                        s.validate().unwrap_or_else(|e| {
+                            panic!("n={n} nblocks={nblocks} nthreads={nthreads}: {e}")
+                        });
+                    }
+                }
+            }
+        }
     }
 }

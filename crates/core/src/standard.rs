@@ -9,7 +9,7 @@
 
 use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
 use crate::{FbmpkError, Result};
-use fbmpk_parallel::partition::balance_by_weight;
+use fbmpk_parallel::partition::merge_path_partition;
 use fbmpk_parallel::{SharedSlice, ThreadPool};
 use fbmpk_sparse::Csr;
 use std::ops::Range;
@@ -40,8 +40,10 @@ impl StandardMpk {
         if a.nrows() != a.ncols() {
             return Err(FbmpkError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
-        let weights: Vec<usize> = (0..a.nrows()).map(|r| a.row_nnz(r) + 1).collect();
-        let ranges = balance_by_weight(&weights, pool.nthreads());
+        // The CSR row_ptr array is already the nnz prefix, and merge-path
+        // coordinates (row index + nnz prefix) reproduce the `nnz + 1`
+        // per-row weight convention exactly.
+        let ranges = merge_path_partition(a.row_ptr(), pool.nthreads());
         Ok(StandardMpk { a: a.clone(), pool, ranges })
     }
 
@@ -200,8 +202,8 @@ mod tests {
         let coeffs = [1.0, -2.0, 0.0, 0.5];
         let y = m.sspmv(&coeffs, &x0);
         for r in 0..4 {
-            let want = x0[r] - 2.0 * reference_power(&a, &x0, 1)[r]
-                + 0.5 * reference_power(&a, &x0, 3)[r];
+            let want =
+                x0[r] - 2.0 * reference_power(&a, &x0, 1)[r] + 0.5 * reference_power(&a, &x0, 3)[r];
             assert!((y[r] - want).abs() / want.abs().max(1.0) < 1e-12);
         }
     }

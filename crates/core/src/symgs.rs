@@ -40,10 +40,7 @@ pub fn run_symgs(
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     assert_eq!(pool.nthreads(), sched.nthreads, "pool/schedule thread count mismatch");
-    assert!(
-        split.diag.iter().all(|&d| d != 0.0),
-        "SYMGS requires a nonzero diagonal"
-    );
+    assert!(split.diag.iter().all(|&d| d != 0.0), "SYMGS requires a nonzero diagonal");
     let x = SharedSlice::new(x);
     let lower = &split.lower;
     let upper = &split.upper;
@@ -198,8 +195,7 @@ mod tests {
         let mut prev_res = f64::INFINITY;
         for sweep in 0..200 {
             plan.symgs_sweep(&b, &mut x);
-            let r: Vec<f64> =
-                spmv_alloc(&a, &x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
+            let r: Vec<f64> = spmv_alloc(&a, &x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
             let rn = norm2(&r);
             assert!(rn <= prev_res * (1.0 + 1e-12), "sweep {sweep} residual grew");
             prev_res = rn;

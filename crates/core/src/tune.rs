@@ -1,0 +1,755 @@
+//! Inspector–executor auto-tuning for SpMV-sequence hot paths.
+//!
+//! OSKI-style: the FBMPK use case (Krylov solvers, polynomial filters)
+//! performs *sequences* of products with one matrix, so a one-off
+//! inspection pass is amortized over many invocations. The inspector
+//! computes structural features, a cost model proposes candidate kernel
+//! variants, and (optionally) a one-shot micro-probe times the candidates
+//! and keeps the fastest. The resulting [`TunedPlan`] is cached by a
+//! structural fingerprint so repeated planning against the same matrix —
+//! the common pattern in solver setup code — costs one hash lookup.
+//!
+//! The variant space:
+//!
+//! * [`KernelVariant::CsrScalar`] — the reference row loop,
+//! * [`KernelVariant::CsrUnrolled4`] — 4 independent accumulators per row,
+//! * [`KernelVariant::CsrRowSplit`] — scalar for short rows, unrolled for
+//!   long ones (skewed row-length distributions),
+//! * [`KernelVariant::SellCs`] — SELL-C-σ chunked storage (regular short
+//!   rows; serial only).
+//!
+//! Parallel execution always partitions rows by merge-path diagonals over
+//! `row_ptr` (see `fbmpk_parallel::partition::merge_path_partition`), so a
+//! thread's share of `rows + nnz` work is bounded regardless of skew.
+
+use fbmpk_parallel::partition::merge_path_partition;
+use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_sparse::sellcs::SellCs;
+use fbmpk_sparse::spmv::{spmv_rows, spmv_rows_rowsplit, spmv_rows_unrolled4};
+use fbmpk_sparse::stats::MatrixStats;
+use fbmpk_sparse::Csr;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Row-length threshold below which the row-split variant keeps the plain
+/// scalar loop (also the unroll width, so the short path is exact-scalar).
+pub const ROWSPLIT_THRESHOLD: usize = 4;
+
+/// Default SELL chunk height C.
+pub const SELL_C: usize = 8;
+
+/// Default SELL sorting window σ (a multiple of [`SELL_C`]).
+pub const SELL_SIGMA: usize = 64;
+
+/// Maximum acceptable SELL padding ratio; beyond this the format wastes
+/// more bandwidth on padding than chunking can recover.
+pub const SELL_MAX_PADDING: f64 = 1.3;
+
+/// The kernel variants the tuner selects among.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Reference scalar CSR row loop.
+    CsrScalar,
+    /// 4-way unrolled CSR row loop.
+    CsrUnrolled4,
+    /// Per-row dispatch: scalar below `threshold` nonzeros, unrolled above.
+    CsrRowSplit {
+        /// Row-length cutoff between the scalar and unrolled paths.
+        threshold: usize,
+    },
+    /// SELL-C-σ chunked execution (serial only).
+    SellCs {
+        /// Chunk height.
+        c: usize,
+        /// Sorting window.
+        sigma: usize,
+    },
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelVariant::CsrScalar => write!(f, "csr-scalar"),
+            KernelVariant::CsrUnrolled4 => write!(f, "csr-unrolled4"),
+            KernelVariant::CsrRowSplit { threshold } => write!(f, "csr-rowsplit(t={threshold})"),
+            KernelVariant::SellCs { c, sigma } => write!(f, "sell-{c}-{sigma}"),
+        }
+    }
+}
+
+/// Structural features the inspector extracts — the cost model's inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixFeatures {
+    /// Dimension.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub mean_row_nnz: f64,
+    /// Variance of nonzeros per row.
+    pub var_row_nnz: f64,
+    /// Coefficient of variation of row lengths (`sqrt(var) / mean`;
+    /// 0 = perfectly regular).
+    pub row_cv: f64,
+    /// Longest row.
+    pub max_row_nnz: usize,
+    /// Structural bandwidth `max |i - j|`.
+    pub bandwidth: usize,
+    /// Numerically symmetric (tol `1e-12`).
+    pub symmetric: bool,
+}
+
+impl MatrixFeatures {
+    /// Inspects `a` in one pass over the structure (plus the symmetry
+    /// check, which the underlying stats routine performs on the values).
+    pub fn inspect(a: &Csr) -> Self {
+        let stats = MatrixStats::compute(a);
+        let n = stats.nrows;
+        let mean = stats.nnz_per_row;
+        let var = if n == 0 {
+            0.0
+        } else {
+            (0..n)
+                .map(|r| {
+                    let d = a.row_nnz(r) as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        MatrixFeatures {
+            n,
+            nnz: stats.nnz,
+            mean_row_nnz: mean,
+            var_row_nnz: var,
+            row_cv: cv,
+            max_row_nnz: stats.max_row_nnz,
+            bandwidth: stats.bandwidth,
+            symmetric: stats.symmetric,
+        }
+    }
+}
+
+/// Tuning controls.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// Worker threads for the executor.
+    pub nthreads: usize,
+    /// Run the one-shot micro-probe (time each candidate, keep the
+    /// fastest). When `false` the cost model's first choice wins.
+    pub probe: bool,
+    /// SpMV repetitions per candidate in the micro-probe.
+    pub probe_reps: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { nthreads: 1, probe: true, probe_reps: 3 }
+    }
+}
+
+/// What the tuner decided and why — surfaced by `repro tune`.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The selected variant.
+    pub variant: KernelVariant,
+    /// `(variant, best seconds per SpMV)` for every probed candidate;
+    /// empty when the probe was disabled.
+    pub probed: Vec<(KernelVariant, f64)>,
+    /// Probe time of the scalar baseline (0 when not probed).
+    pub scalar_seconds: f64,
+    /// Probe time of the selected variant (0 when not probed).
+    pub chosen_seconds: f64,
+    /// SELL padding ratio when a SELL candidate was built.
+    pub sell_padding: Option<f64>,
+    /// Seconds the whole inspection + selection took.
+    pub inspect_seconds: f64,
+}
+
+impl TuneReport {
+    /// Probe-measured speedup of the chosen variant over scalar CSR
+    /// (1.0 when the probe was disabled).
+    pub fn probed_speedup(&self) -> f64 {
+        if self.scalar_seconds > 0.0 && self.chosen_seconds > 0.0 {
+            self.scalar_seconds / self.chosen_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A tuned, reusable SpMV executor: matrix storage (CSR and, when
+/// selected, SELL-C-σ), kernel variant, merge-path row partition, and
+/// worker pool.
+pub struct TunedPlan {
+    a: Csr,
+    sell: Option<SellCs>,
+    variant: KernelVariant,
+    features: MatrixFeatures,
+    ranges: Vec<Range<usize>>,
+    pool: Arc<ThreadPool>,
+    report: TuneReport,
+}
+
+impl TunedPlan {
+    /// Inspects `a`, selects a variant, and builds the executor.
+    ///
+    /// # Panics
+    /// Panics when `a` is rectangular or `options.nthreads == 0`.
+    pub fn new(a: &Csr, options: TuneOptions) -> Self {
+        Self::with_pool(a, options, Arc::new(ThreadPool::new(options.nthreads)))
+    }
+
+    /// Like [`TunedPlan::new`] but reusing an existing pool (whose size
+    /// must equal `options.nthreads`).
+    ///
+    /// # Panics
+    /// Panics on dimension or thread-count mismatches.
+    pub fn with_pool(a: &Csr, options: TuneOptions, pool: Arc<ThreadPool>) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "tuning requires a square matrix");
+        assert!(options.nthreads > 0, "need at least one thread");
+        assert_eq!(pool.nthreads(), options.nthreads, "pool size mismatch");
+        let t0 = Instant::now();
+        let features = MatrixFeatures::inspect(a);
+        let candidates = cost_model_candidates(&features, options.nthreads);
+
+        // Build SELL storage once if any candidate needs it, and drop the
+        // candidate when padding exceeds the profitability bound.
+        let mut sell: Option<SellCs> = None;
+        let mut sell_padding = None;
+        let candidates: Vec<KernelVariant> = candidates
+            .into_iter()
+            .filter(|cand| match *cand {
+                KernelVariant::SellCs { c, sigma } => {
+                    let built = SellCs::from_csr(a, c, sigma);
+                    let ratio = built.padding_ratio();
+                    sell_padding = Some(ratio);
+                    if ratio <= SELL_MAX_PADDING {
+                        sell = Some(built);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => true,
+            })
+            .collect();
+
+        let ranges = merge_path_partition(a.row_ptr(), options.nthreads);
+
+        let (variant, probed) = if options.probe && features.nnz > 0 {
+            probe_candidates(a, sell.as_ref(), &ranges, &pool, &candidates, options.probe_reps)
+        } else {
+            // Cost-model order is best-first; candidates[0] always exists
+            // (the scalar baseline is unconditional).
+            (candidates[0], Vec::new())
+        };
+        if !matches!(variant, KernelVariant::SellCs { .. }) {
+            // Keep SELL storage only when it won; otherwise it is dead weight.
+            sell = None;
+        }
+
+        let scalar_seconds =
+            probed.iter().find(|(v, _)| *v == KernelVariant::CsrScalar).map_or(0.0, |&(_, s)| s);
+        let chosen_seconds = probed.iter().find(|(v, _)| *v == variant).map_or(0.0, |&(_, s)| s);
+        let report = TuneReport {
+            variant,
+            probed,
+            scalar_seconds,
+            chosen_seconds,
+            sell_padding,
+            inspect_seconds: t0.elapsed().as_secs_f64(),
+        };
+        TunedPlan { a: a.clone(), sell, variant, features, ranges, pool, report }
+    }
+
+    /// Returns the cached plan for `a` (building and inserting it on the
+    /// first call). The cache key is a structural+numerical fingerprint of
+    /// the matrix plus the thread count, so distinct matrices or executor
+    /// widths get distinct plans.
+    pub fn cached(a: &Csr, options: TuneOptions) -> Arc<TunedPlan> {
+        type PlanCache = Mutex<HashMap<(u64, usize), Arc<TunedPlan>>>;
+        static CACHE: OnceLock<PlanCache> = OnceLock::new();
+        let key = (fingerprint(a), options.nthreads);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
+            return Arc::clone(plan);
+        }
+        // Build outside the lock: planning can take milliseconds and must
+        // not serialize unrelated lookups.
+        let plan = Arc::new(TunedPlan::new(a, options));
+        let mut guard = cache.lock().expect("tune cache lock");
+        Arc::clone(guard.entry(key).or_insert(plan))
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// The selected kernel variant.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The inspector's features.
+    pub fn features(&self) -> &MatrixFeatures {
+        &self.features
+    }
+
+    /// The tuning report (probe timings, selection rationale inputs).
+    pub fn report(&self) -> &TuneReport {
+        &self.report
+    }
+
+    /// The merge-path row partition the parallel executor uses.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Computes `y = A x` with the tuned kernel.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.a.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.a.nrows(), "y length must equal nrows");
+        if let Some(sell) = &self.sell {
+            sell.spmv(x, y);
+            return;
+        }
+        if self.pool.nthreads() == 1 {
+            run_variant(self.variant, &self.a, x, y, 0, self.a.nrows());
+            return;
+        }
+        let variant = self.variant;
+        let a = &self.a;
+        let ranges = &self.ranges;
+        let shared = SharedSlice::new(y);
+        self.pool.run(&|t| {
+            let r = ranges[t].clone();
+            // SAFETY: ranges are disjoint; thread t writes only rows in
+            // ranges[t], and x is read-only for the whole call.
+            let yt = unsafe { shared.slice_mut(r.clone()) };
+            // The variant kernels index the output by absolute row, so hand
+            // each thread the full-length view of its own rows.
+            run_variant_into(variant, a, x, yt, r.start, r.end);
+        });
+    }
+
+    /// Computes `y = A x` with the scalar reference kernel on the same
+    /// partition and pool — the baseline `repro tune` reports speedups
+    /// against.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn spmv_scalar(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.a.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), self.a.nrows(), "y length must equal nrows");
+        if self.pool.nthreads() == 1 {
+            run_variant(KernelVariant::CsrScalar, &self.a, x, y, 0, self.a.nrows());
+            return;
+        }
+        let a = &self.a;
+        let ranges = &self.ranges;
+        let shared = SharedSlice::new(y);
+        self.pool.run(&|t| {
+            let r = ranges[t].clone();
+            // SAFETY: disjoint ranges per thread, x read-only.
+            let yt = unsafe { shared.slice_mut(r.clone()) };
+            run_variant_into(KernelVariant::CsrScalar, a, x, yt, r.start, r.end);
+        });
+    }
+
+    /// Computes `Aᵏ x₀` by `k` tuned SpMV rounds.
+    pub fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        let mut x = x0.to_vec();
+        if k == 0 {
+            return x;
+        }
+        let mut y = vec![0.0; self.n()];
+        for _ in 0..k {
+            self.spmv(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        x
+    }
+
+    /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` (`k = coeffs.len()-1`)
+    /// as a sequence of tuned SpMVs.
+    ///
+    /// # Panics
+    /// Panics when `coeffs` is empty or `x0.len() != n`.
+    pub fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
+        assert_eq!(x0.len(), self.n(), "x0 length mismatch");
+        let mut acc: Vec<f64> = x0.iter().map(|&v| coeffs[0] * v).collect();
+        let mut x = x0.to_vec();
+        let mut y = vec![0.0; self.n()];
+        for &c in &coeffs[1..] {
+            self.spmv(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+            if c != 0.0 {
+                for (a, &v) in acc.iter_mut().zip(&x) {
+                    *a += c * v;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Orders candidate variants best-first from structural features alone.
+/// The scalar baseline is always present (and always last unless nothing
+/// else applies), so `[0]` is the model's pick when probing is off.
+fn cost_model_candidates(f: &MatrixFeatures, nthreads: usize) -> Vec<KernelVariant> {
+    let mut out = Vec::new();
+    let mean = f.mean_row_nnz;
+    // SELL-C-σ pays off on regular row lengths (low CV keeps padding
+    // small) and is implemented serial-only. `from_csr` cost is bounded by
+    // the padding filter applied by the caller.
+    if nthreads == 1 && f.n >= SELL_SIGMA && mean >= 2.0 && f.row_cv <= 0.6 {
+        out.push(KernelVariant::SellCs { c: SELL_C, sigma: SELL_SIGMA });
+    }
+    // Unrolling needs rows long enough to fill 4 accumulators; skewed
+    // distributions prefer the per-row dispatch so short rows skip the
+    // unroll setup.
+    if mean >= 4.0 {
+        if f.row_cv > 0.5 {
+            out.push(KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD });
+            out.push(KernelVariant::CsrUnrolled4);
+        } else {
+            out.push(KernelVariant::CsrUnrolled4);
+            out.push(KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD });
+        }
+    } else if f.max_row_nnz > 2 * ROWSPLIT_THRESHOLD {
+        // Mostly-short rows with a heavy tail: only the dispatching
+        // variant can win.
+        out.push(KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD });
+    }
+    out.push(KernelVariant::CsrScalar);
+    out
+}
+
+/// Runs the row-range kernel for `variant` writing into a full-length
+/// output slice (`y.len() == a.nrows()`).
+fn run_variant(variant: KernelVariant, a: &Csr, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+    match variant {
+        KernelVariant::CsrScalar => spmv_rows(a, x, y, lo, hi),
+        KernelVariant::CsrUnrolled4 => spmv_rows_unrolled4(a, x, y, lo, hi),
+        KernelVariant::CsrRowSplit { threshold } => spmv_rows_rowsplit(a, x, y, lo, hi, threshold),
+        // SELL has no row-range form; executor handles it before dispatch.
+        KernelVariant::SellCs { .. } => unreachable!("SELL dispatches whole-matrix"),
+    }
+}
+
+/// Like [`run_variant`] but `y` is the sub-slice for rows `lo..hi` only
+/// (the parallel path hands each thread just its own rows).
+fn run_variant_into(
+    variant: KernelVariant,
+    a: &Csr,
+    x: &[f64],
+    y: &mut [f64],
+    lo: usize,
+    hi: usize,
+) {
+    debug_assert_eq!(y.len(), hi - lo);
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    match variant {
+        KernelVariant::CsrScalar => {
+            for r in lo..hi {
+                let mut sum = 0.0;
+                for j in row_ptr[r]..row_ptr[r + 1] {
+                    sum += values[j] * x[col_idx[j] as usize];
+                }
+                y[r - lo] = sum;
+            }
+        }
+        KernelVariant::CsrUnrolled4 => {
+            for r in lo..hi {
+                let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+                y[r - lo] = fbmpk_sparse::spmv::row_dot_unrolled4(&col_idx[s..e], &values[s..e], x);
+            }
+        }
+        KernelVariant::CsrRowSplit { threshold } => {
+            for r in lo..hi {
+                let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+                if e - s <= threshold {
+                    let mut sum = 0.0;
+                    for j in s..e {
+                        sum += values[j] * x[col_idx[j] as usize];
+                    }
+                    y[r - lo] = sum;
+                } else {
+                    y[r - lo] =
+                        fbmpk_sparse::spmv::row_dot_unrolled4(&col_idx[s..e], &values[s..e], x);
+                }
+            }
+        }
+        KernelVariant::SellCs { .. } => unreachable!("SELL dispatches whole-matrix"),
+    }
+}
+
+/// Times each candidate (`reps` SpMVs, keep the best rep) and returns the
+/// fastest plus all measurements.
+fn probe_candidates(
+    a: &Csr,
+    sell: Option<&SellCs>,
+    ranges: &[Range<usize>],
+    pool: &Arc<ThreadPool>,
+    candidates: &[KernelVariant],
+    reps: usize,
+) -> (KernelVariant, Vec<(KernelVariant, f64)>) {
+    let n = a.nrows();
+    // A deterministic, nonzero probe vector; values are irrelevant to
+    // timing but must not be denormal.
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + 0.001 * (i % 97) as f64).collect();
+    let mut y = vec![0.0; n];
+    let reps = reps.max(1);
+    let mut measured = Vec::with_capacity(candidates.len() + 1);
+    let mut run_one = |variant: KernelVariant| -> f64 {
+        let mut best = f64::INFINITY;
+        // One untimed warm-up fills caches and faults pages.
+        run_probe_spmv(variant, a, sell, ranges, pool, &x, &mut y);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            run_probe_spmv(variant, a, sell, ranges, pool, &x, &mut y);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    for &cand in candidates {
+        let secs = run_one(cand);
+        measured.push((cand, secs));
+    }
+    if !measured.iter().any(|(v, _)| *v == KernelVariant::CsrScalar) {
+        let secs = run_one(KernelVariant::CsrScalar);
+        measured.push((KernelVariant::CsrScalar, secs));
+    }
+    let best = measured
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least the scalar candidate")
+        .0;
+    (best, measured)
+}
+
+fn run_probe_spmv(
+    variant: KernelVariant,
+    a: &Csr,
+    sell: Option<&SellCs>,
+    ranges: &[Range<usize>],
+    pool: &Arc<ThreadPool>,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    if let KernelVariant::SellCs { .. } = variant {
+        sell.expect("SELL candidate requires built storage").spmv(x, y);
+        return;
+    }
+    if pool.nthreads() == 1 {
+        run_variant(variant, a, x, y, 0, a.nrows());
+        return;
+    }
+    let shared = SharedSlice::new(y);
+    pool.run(&|t| {
+        let r = ranges[t].clone();
+        // SAFETY: disjoint ranges per thread, x read-only.
+        let yt = unsafe { shared.slice_mut(r.clone()) };
+        run_variant_into(variant, a, x, yt, r.start, r.end);
+    });
+}
+
+/// Structural + numerical fingerprint: FNV-1a over dimensions and the
+/// complete `row_ptr`, `col_idx`, and value-bit streams. Any entry change
+/// — structural or numerical — changes the fingerprint, so a cached plan
+/// can never be served for a modified matrix. Cost is one O(nnz) pass,
+/// comparable to a single SpMV and paid once per cache lookup.
+pub fn fingerprint(a: &Csr) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(a.nrows() as u64);
+    mix(a.ncols() as u64);
+    mix(a.nnz() as u64);
+    for &p in a.row_ptr() {
+        mix(p as u64);
+    }
+    for &c in a.col_idx() {
+        mix(c as u64);
+    }
+    for &v in a.values() {
+        mix(v.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk_sparse::spmv::spmv;
+    use fbmpk_sparse::vecops::rel_err_inf;
+
+    fn grid(n: usize) -> Csr {
+        fbmpk_gen::poisson::grid2d_5pt(n, n)
+    }
+
+    fn skewed(seed: u64) -> Csr {
+        fbmpk_gen::rmat::rmat(fbmpk_gen::rmat::RmatParams {
+            scale: 8,
+            edge_factor: 8,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn tuned_spmv_matches_scalar_all_variants() {
+        let a = grid(12);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        for variant in [
+            KernelVariant::CsrScalar,
+            KernelVariant::CsrUnrolled4,
+            KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD },
+        ] {
+            let mut got = vec![0.0; n];
+            run_variant(variant, &a, &x, &mut got, 0, n);
+            assert!(rel_err_inf(&got, &want) < 1e-12, "{variant}");
+        }
+    }
+
+    #[test]
+    fn tuned_plan_serial_and_parallel_match_reference() {
+        for a in [grid(10), skewed(3)] {
+            let n = a.nrows();
+            let x: Vec<f64> = (0..n).map(|i| 1.0 - 0.01 * (i % 31) as f64).collect();
+            let mut want = vec![0.0; n];
+            spmv(&a, &x, &mut want);
+            for nthreads in [1, 2, 4] {
+                let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe: true, probe_reps: 1 });
+                let mut got = vec![0.0; n];
+                plan.spmv(&x, &mut got);
+                assert!(
+                    rel_err_inf(&got, &want) < 1e-12,
+                    "nthreads={nthreads} variant={}",
+                    plan.variant()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_and_sspmv_match_untuned() {
+        let a = grid(8);
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let baseline = crate::StandardMpk::new(&a, 1).unwrap();
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 2, probe: false, probe_reps: 1 });
+        for k in [1, 2, 5] {
+            let want = baseline.power(&x0, k);
+            let got = plan.power(&x0, k);
+            assert!(rel_err_inf(&got, &want) < 1e-12, "k={k}");
+        }
+        let coeffs = [0.5, -1.0, 0.0, 2.0];
+        let want = baseline.sspmv(&coeffs, &x0);
+        let got = plan.sspmv(&coeffs, &x0);
+        assert!(rel_err_inf(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn cost_model_prefers_rowsplit_on_skew() {
+        let f = MatrixFeatures {
+            n: 1000,
+            nnz: 16_000,
+            mean_row_nnz: 16.0,
+            var_row_nnz: 400.0,
+            row_cv: 1.25,
+            max_row_nnz: 300,
+            bandwidth: 900,
+            symmetric: false,
+        };
+        let c = cost_model_candidates(&f, 4);
+        assert_eq!(c[0], KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD });
+        assert_eq!(*c.last().unwrap(), KernelVariant::CsrScalar);
+        // SELL never offered in parallel mode.
+        assert!(!c.iter().any(|v| matches!(v, KernelVariant::SellCs { .. })));
+    }
+
+    #[test]
+    fn cost_model_offers_sell_for_regular_serial() {
+        let f = MatrixFeatures {
+            n: 4096,
+            nnz: 20_480,
+            mean_row_nnz: 5.0,
+            var_row_nnz: 0.25,
+            row_cv: 0.1,
+            max_row_nnz: 5,
+            bandwidth: 64,
+            symmetric: true,
+        };
+        let c = cost_model_candidates(&f, 1);
+        assert!(matches!(c[0], KernelVariant::SellCs { .. }));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_matrices() {
+        let a = grid(8);
+        let b = grid(9);
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // A values-only change must also be detected.
+        let mut dense = a.to_dense();
+        dense[1][0] += 0.5;
+        let refs: Vec<&[f64]> = dense.iter().map(|r| r.as_slice()).collect();
+        let c = Csr::from_dense(&refs);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn cache_returns_same_plan() {
+        let a = grid(7);
+        let opts = TuneOptions { nthreads: 1, probe: false, probe_reps: 1 };
+        let p1 = TunedPlan::cached(&a, opts);
+        let p2 = TunedPlan::cached(&a, opts);
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup must hit the cache");
+        // A different thread count is a different plan.
+        let p3 = TunedPlan::cached(&a, TuneOptions { nthreads: 2, probe: false, probe_reps: 1 });
+        assert!(!Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn report_has_probe_data() {
+        let a = grid(10);
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 2 });
+        let r = plan.report();
+        assert!(!r.probed.is_empty());
+        assert!(r.probed.iter().any(|(v, _)| *v == KernelVariant::CsrScalar));
+        assert!(r.scalar_seconds > 0.0);
+        assert!(r.chosen_seconds > 0.0);
+        assert!(r.chosen_seconds <= r.scalar_seconds, "probe must pick the fastest");
+        assert!(r.probed_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_tunes_without_panic() {
+        let a = Csr::zero(5, 5);
+        let plan = TunedPlan::new(&a, TuneOptions::default());
+        let mut y = vec![1.0; 5];
+        plan.spmv(&[1.0; 5], &mut y);
+        assert_eq!(y, vec![0.0; 5]);
+    }
+}

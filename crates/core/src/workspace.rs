@@ -127,13 +127,31 @@ impl FbmpkPlan {
                     ws.xy[2 * i] = v;
                 }
                 let layout = BtbXy::new(&mut ws.xy);
-                run_fbmpk(self.pool(), self.schedule(), self.split(), &layout, &mut ws.tmp, &mut ws.out, k, sink);
+                run_fbmpk(
+                    self.pool(),
+                    self.schedule(),
+                    self.split(),
+                    &layout,
+                    &mut ws.tmp,
+                    &mut ws.out,
+                    k,
+                    sink,
+                );
             }
             VectorLayout::Split => {
                 let (even, odd) = ws.xy.split_at_mut(n);
                 even[..n].copy_from_slice(&ws.staged);
                 let layout = SplitXy::new(&mut even[..n], &mut odd[..n]);
-                run_fbmpk(self.pool(), self.schedule(), self.split(), &layout, &mut ws.tmp, &mut ws.out, k, sink);
+                run_fbmpk(
+                    self.pool(),
+                    self.schedule(),
+                    self.split(),
+                    &layout,
+                    &mut ws.tmp,
+                    &mut ws.out,
+                    k,
+                    sink,
+                );
             }
         }
     }

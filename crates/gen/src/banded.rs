@@ -74,7 +74,8 @@ mod tests {
 
     #[test]
     fn hits_target_density_and_band() {
-        let a = banded_symmetric(BandedParams { n: 2000, nnz_per_row: 35.0, bandwidth: 400, seed: 7 });
+        let a =
+            banded_symmetric(BandedParams { n: 2000, nnz_per_row: 35.0, bandwidth: 400, seed: 7 });
         let s = MatrixStats::compute(&a);
         assert_eq!(s.nrows, 2000);
         assert!(
@@ -89,10 +90,16 @@ mod tests {
 
     #[test]
     fn spd_by_diagonal_dominance() {
-        let a = banded_symmetric(BandedParams { n: 300, nnz_per_row: 11.0, bandwidth: 40, seed: 3 });
+        let a =
+            banded_symmetric(BandedParams { n: 300, nnz_per_row: 11.0, bandwidth: 40, seed: 3 });
         for r in 0..a.nrows() {
-            let off: f64 =
-                a.row_cols(r).iter().zip(a.row_vals(r)).filter(|(&c, _)| c as usize != r).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row_cols(r)
+                .iter()
+                .zip(a.row_vals(r))
+                .filter(|(&c, _)| c as usize != r)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(a.get(r, r) > off, "row {r} not dominant");
         }
     }

@@ -132,7 +132,13 @@ mod tests {
     #[test]
     fn audikw_like_density() {
         // audikw_1: 82.3 nnz/row with 3x3 blocks and full 27-neighborhood.
-        let a = block_fem(BlockFemParams { n: 6000, block: 3, neighbors: 27, symmetric: true, seed: 5 });
+        let a = block_fem(BlockFemParams {
+            n: 6000,
+            block: 3,
+            neighbors: 27,
+            symmetric: true,
+            seed: 5,
+        });
         let s = MatrixStats::compute(&a);
         assert!(s.symmetric);
         assert!(s.nnz_per_row > 55.0 && s.nnz_per_row < 85.0, "density {}", s.nnz_per_row);
@@ -141,7 +147,8 @@ mod tests {
 
     #[test]
     fn unsymmetric_variant_structurally_symmetric() {
-        let a = block_fem(BlockFemParams { n: 900, block: 3, neighbors: 7, symmetric: false, seed: 5 });
+        let a =
+            block_fem(BlockFemParams { n: 900, block: 3, neighbors: 7, symmetric: false, seed: 5 });
         assert!(!a.is_symmetric(1e-12));
         // Structure is symmetric: A and A^T share the pattern.
         let t = a.transpose();
@@ -151,7 +158,8 @@ mod tests {
 
     #[test]
     fn block_one_reduces_to_scalar_stencil() {
-        let a = block_fem(BlockFemParams { n: 64, block: 1, neighbors: 7, symmetric: true, seed: 1 });
+        let a =
+            block_fem(BlockFemParams { n: 64, block: 1, neighbors: 7, symmetric: true, seed: 1 });
         let s = MatrixStats::compute(&a);
         assert!(s.nnz_per_row <= 7.0);
         assert!(s.symmetric);
@@ -165,7 +173,8 @@ mod tests {
 
     #[test]
     fn diagonal_dominant_for_solvers() {
-        let a = block_fem(BlockFemParams { n: 500, block: 2, neighbors: 7, symmetric: true, seed: 2 });
+        let a =
+            block_fem(BlockFemParams { n: 500, block: 2, neighbors: 7, symmetric: true, seed: 2 });
         for r in 0..a.nrows() {
             let off: f64 = a
                 .row_cols(r)

@@ -37,16 +37,17 @@ pub fn circuit_like(p: CircuitParams) -> Csr {
     // (nnz_per_row - 1) off-diagonals per row total; mirroring means we draw
     // half that per row. One of them is the fixed chain edge.
     let per_row = ((p.nnz_per_row - 1.0) / 2.0 - 1.0).max(0.0);
-    let push_sym = |coo: &mut Coo, rowsum: &mut [f64], rng: &mut crate::GenRng, i: usize, j: usize| {
-        if i == j {
-            return;
-        }
-        let v = -crate::offdiag_value(rng);
-        coo.push_unchecked(i, j, v);
-        coo.push_unchecked(j, i, v);
-        rowsum[i] += v.abs();
-        rowsum[j] += v.abs();
-    };
+    let push_sym =
+        |coo: &mut Coo, rowsum: &mut [f64], rng: &mut crate::GenRng, i: usize, j: usize| {
+            if i == j {
+                return;
+            }
+            let v = -crate::offdiag_value(rng);
+            coo.push_unchecked(i, j, v);
+            coo.push_unchecked(j, i, v);
+            rowsum[i] += v.abs();
+            rowsum[j] += v.abs();
+        };
     for i in 1..n {
         push_sym(&mut coo, &mut rowsum, &mut rng, i, i - 1);
         let mut extra = per_row.floor() as usize;
@@ -82,7 +83,12 @@ mod tests {
 
     #[test]
     fn g3_circuit_like_density() {
-        let a = circuit_like(CircuitParams { n: 5000, nnz_per_row: 4.83, long_range_frac: 0.2, seed: 11 });
+        let a = circuit_like(CircuitParams {
+            n: 5000,
+            nnz_per_row: 4.83,
+            long_range_frac: 0.2,
+            seed: 11,
+        });
         let s = MatrixStats::compute(&a);
         assert!(s.symmetric);
         // Duplicate folding can remove a few entries; stay within 15%.
@@ -92,7 +98,8 @@ mod tests {
 
     #[test]
     fn chain_guarantees_connectivity_edges() {
-        let a = circuit_like(CircuitParams { n: 100, nnz_per_row: 3.0, long_range_frac: 0.0, seed: 1 });
+        let a =
+            circuit_like(CircuitParams { n: 100, nnz_per_row: 3.0, long_range_frac: 0.0, seed: 1 });
         for i in 1..100 {
             assert!(a.get(i, i - 1) != 0.0, "chain edge {i} missing");
         }
@@ -100,8 +107,18 @@ mod tests {
 
     #[test]
     fn long_range_increases_bandwidth() {
-        let local = circuit_like(CircuitParams { n: 3000, nnz_per_row: 5.0, long_range_frac: 0.0, seed: 2 });
-        let global = circuit_like(CircuitParams { n: 3000, nnz_per_row: 5.0, long_range_frac: 0.9, seed: 2 });
+        let local = circuit_like(CircuitParams {
+            n: 3000,
+            nnz_per_row: 5.0,
+            long_range_frac: 0.0,
+            seed: 2,
+        });
+        let global = circuit_like(CircuitParams {
+            n: 3000,
+            nnz_per_row: 5.0,
+            long_range_frac: 0.9,
+            seed: 2,
+        });
         assert!(global.bandwidth() > local.bandwidth());
     }
 

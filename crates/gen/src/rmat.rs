@@ -27,7 +27,13 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        RmatParams { scale: 10, edge_factor: 8, probs: (0.57, 0.19, 0.19), symmetric: false, seed: 1 }
+        RmatParams {
+            scale: 10,
+            edge_factor: 8,
+            probs: (0.57, 0.19, 0.19),
+            symmetric: false,
+            seed: 1,
+        }
     }
 }
 

@@ -222,12 +222,7 @@ mod tests {
     fn generated_matrices_match_declared_symmetry() {
         for e in paper_suite() {
             let a = e.generate(0.002, 1);
-            assert_eq!(
-                a.is_symmetric(1e-12),
-                e.symmetric,
-                "{} symmetry mismatch",
-                e.name
-            );
+            assert_eq!(a.is_symmetric(1e-12), e.symmetric, "{} symmetry mismatch", e.name);
             a.validate().unwrap();
         }
     }

@@ -103,7 +103,12 @@ pub fn trace_standard_mpk(a: &Csr, k: usize, configs: &[CacheConfig]) -> Traffic
 ///
 /// # Panics
 /// Panics when `k == 0` or `a` is not square.
-pub fn trace_fbmpk(a: &Csr, k: usize, layout: TracedLayout, configs: &[CacheConfig]) -> TrafficReport {
+pub fn trace_fbmpk(
+    a: &Csr,
+    k: usize,
+    layout: TracedLayout,
+    configs: &[CacheConfig],
+) -> TrafficReport {
     assert!(k >= 1);
     let split = TriangularSplit::split(a).expect("square matrix");
     trace_fbmpk_split(&split, k, layout, configs)
@@ -301,12 +306,7 @@ mod tests {
         let cache = vec![CacheConfig { size_bytes: 64 << 10, line_bytes: 64, assoc: 8 }];
         let btb = trace_fbmpk(&a, 5, TracedLayout::BackToBack, &cache);
         let split = trace_fbmpk(&a, 5, TracedLayout::Split, &cache);
-        assert!(
-            btb.total() < split.total(),
-            "btb {} vs split {}",
-            btb.total(),
-            split.total()
-        );
+        assert!(btb.total() < split.total(), "btb {} vs split {}", btb.total(), split.total());
         // Logical traffic is identical; only cache behavior differs.
         assert_eq!(btb.logical_bytes, split.logical_bytes);
     }

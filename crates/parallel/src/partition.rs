@@ -67,6 +67,67 @@ pub fn balance_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Splits items into `parts` contiguous ranges by 2D merge-path search
+/// (the partitioning scheme of merge-based SpMV): conceptually merge the
+/// item boundary list with the per-unit work stream and cut the merged
+/// sequence at `parts` equally spaced diagonals. Each part then carries a
+/// near-equal share of `items + total_weight` combined work, so heavy
+/// items cannot serialize a part the way a row-count split can, and —
+/// unlike a greedy prefix cut — no part can overshoot its quota by more
+/// than the single item straddling its diagonal.
+///
+/// `prefix` is the cumulative weight array of length `n + 1` with
+/// `prefix[0] == 0` (for CSR partitioning this is exactly `row_ptr`).
+/// Returned ranges are contiguous, disjoint, cover `0..n`, and are
+/// non-decreasing; ranges may be empty when `parts` exceeds the work.
+///
+/// # Panics
+/// Panics when `parts == 0`, `prefix` is empty, or `prefix` decreases.
+pub fn merge_path_partition(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one part");
+    assert!(!prefix.is_empty(), "prefix must have at least one entry");
+    debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]), "prefix must be non-decreasing");
+    let n = prefix.len() - 1;
+    let total = prefix[n] - prefix[0];
+    let merge_len = n + total;
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0usize);
+    for k in 1..parts {
+        // Ideal diagonal for cut k, in merged-sequence coordinates.
+        let d = (k * merge_len) / parts;
+        // Largest r with (prefix[r] - prefix[0]) + r <= d. The key
+        // f(r) = prefix[r] - prefix[0] + r is strictly increasing (each
+        // step adds weight + 1), so binary search is exact.
+        let (mut lo, mut hi) = (cuts[k - 1], n);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if prefix[mid] - prefix[0] + mid <= d {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        cuts.push(lo);
+    }
+    cuts.push(n);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Drop-in replacement for [`balance_by_weight`] that cuts by merge-path
+/// diagonals instead of greedy quota filling. Implicitly balances
+/// `weight + 1` per item (item traversal itself costs work), matching the
+/// `nnz + 1` row-weight convention used by the schedulers.
+pub fn merge_balance_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for &w in weights {
+        acc += w;
+        prefix.push(acc);
+    }
+    merge_path_partition(&prefix, parts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +196,93 @@ mod tests {
         let w = vec![3usize, 1, 4, 1, 5];
         let r = balance_by_weight(&w, 1);
         assert_eq!(r, vec![0..5]);
+    }
+
+    /// Checks the structural invariants shared by all partitions: `parts`
+    /// ranges, contiguous, covering `0..n`.
+    fn assert_covers(ranges: &[Range<usize>], n: usize, parts: usize) {
+        assert_eq!(ranges.len(), parts);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn merge_path_covers_uniform() {
+        let w = vec![1usize; 100];
+        let r = merge_balance_by_weight(&w, 4);
+        assert_covers(&r, 100, 4);
+        for part in &r {
+            assert_eq!(part.len(), 25);
+        }
+    }
+
+    #[test]
+    fn merge_path_bounds_overshoot_by_one_item() {
+        // Every cut lands within one item of its ideal diagonal.
+        let weights = vec![1000usize, 1, 1, 1, 500, 1, 1, 1, 1, 1];
+        let parts = 4;
+        let r = merge_balance_by_weight(&weights, parts);
+        assert_covers(&r, weights.len(), parts);
+        let mut prefix = vec![0usize];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let merge_len = weights.len() + prefix[weights.len()];
+        for (k, part) in r.iter().enumerate().take(parts - 1) {
+            let d = ((k + 1) * merge_len) / parts;
+            let at_cut = prefix[part.end] + part.end;
+            assert!(at_cut <= d, "cut {k} overshoots its diagonal");
+            // The next item must cross the diagonal — the cut is maximal.
+            let next =
+                prefix[(part.end + 1).min(weights.len())] + (part.end + 1).min(weights.len());
+            assert!(part.end == weights.len() || next > d, "cut {k} not maximal");
+        }
+    }
+
+    #[test]
+    fn merge_path_heavy_head_isolated() {
+        // Like balance_handles_skew: one huge item, many small.
+        let mut w = vec![1usize; 99];
+        w.insert(0, 1000);
+        let r = merge_balance_by_weight(&w, 4);
+        assert_covers(&r, 100, 4);
+        // The heavy item's part must not also absorb a large tail: it ends
+        // within one item of the first diagonal.
+        assert!(r[0].len() <= 2, "{:?}", r[0]);
+    }
+
+    #[test]
+    fn merge_path_more_parts_than_items() {
+        let r = merge_balance_by_weight(&[5, 5], 4);
+        assert_covers(&r, 2, 4);
+        assert_eq!(r.iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn merge_path_empty_input() {
+        let r = merge_balance_by_weight(&[], 3);
+        assert_covers(&r, 0, 3);
+        assert!(r.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn merge_path_zero_weights() {
+        // All-zero weights degrade to an even row split.
+        let r = merge_balance_by_weight(&[0; 12], 3);
+        assert_covers(&r, 12, 3);
+        for part in &r {
+            assert_eq!(part.len(), 4);
+        }
+    }
+
+    #[test]
+    fn merge_path_accepts_row_ptr_directly() {
+        // A CSR row_ptr array is already a prefix of row nnz counts.
+        let row_ptr = vec![0usize, 3, 3, 10, 12];
+        let r = merge_path_partition(&row_ptr, 2);
+        assert_covers(&r, 4, 2);
     }
 }

@@ -77,6 +77,31 @@ impl<'a, T: Copy> SharedSlice<'a, T> {
         debug_assert!(i < self.data.len());
         unsafe { *self.data[i].get() = v }
     }
+
+    /// Returns an exclusive sub-slice for `range`, so a thread can hand its
+    /// contiguous partition to an ordinary slice-based kernel instead of
+    /// writing element-by-element through [`SharedSlice::set`].
+    ///
+    /// # Safety
+    /// No other thread may read or write any index in `range` for as long
+    /// as the returned slice is alive. Callers typically guarantee this by
+    /// deriving `range` from a disjoint partition.
+    ///
+    /// # Panics
+    /// Panics when `range` exceeds the slice bounds.
+    #[allow(clippy::mut_from_ref)] // the disjointness contract is the point of this type
+    #[inline]
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        assert!(range.start <= range.end && range.end <= self.data.len(), "range out of bounds");
+        // SAFETY: UnsafeCell<T> has T's layout; exclusivity over `range` is
+        // the caller's contract.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.data.as_ptr().add(range.start) as *mut T,
+                range.len(),
+            )
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +149,27 @@ mod tests {
                 sums.lock()[tid] = sum;
             });
             assert_eq!(sums.into_inner(), vec![64, 64]);
+        }
+    }
+
+    #[test]
+    fn disjoint_subslice_writes() {
+        let mut v = vec![0usize; 100];
+        {
+            let s = SharedSlice::new(&mut v);
+            let pool = ThreadPool::new(4);
+            let ranges = crate::partition::chunk_ranges(100, 4);
+            pool.run(&|tid| {
+                let r = ranges[tid].clone();
+                // SAFETY: ranges are disjoint per thread.
+                let sub = unsafe { s.slice_mut(r.clone()) };
+                for (off, x) in sub.iter_mut().enumerate() {
+                    *x = (r.start + off) * 3;
+                }
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 3);
         }
     }
 

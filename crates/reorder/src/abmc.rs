@@ -235,8 +235,7 @@ mod tests {
             assert_eq!(abmc.block_rows(abmc.nblocks() - 1).end, 100);
             let total_rows: usize = (0..abmc.nblocks()).map(|b| abmc.block_rows(b).len()).sum();
             assert_eq!(total_rows, 100);
-            let total_blocks: usize =
-                (0..abmc.ncolors()).map(|c| abmc.color_blocks(c).len()).sum();
+            let total_blocks: usize = (0..abmc.ncolors()).map(|c| abmc.color_blocks(c).len()).sum();
             assert_eq!(total_blocks, abmc.nblocks());
         }
     }

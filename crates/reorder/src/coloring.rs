@@ -146,9 +146,8 @@ mod tests {
     use super::*;
 
     fn cycle(n: usize) -> Graph {
-        let lists: Vec<Vec<u32>> = (0..n)
-            .map(|i| vec![((i + n - 1) % n) as u32, ((i + 1) % n) as u32])
-            .collect();
+        let lists: Vec<Vec<u32>> =
+            (0..n).map(|i| vec![((i + n - 1) % n) as u32, ((i + 1) % n) as u32]).collect();
         Graph::from_neighbor_lists(&lists)
     }
 

@@ -45,7 +45,12 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
         let v = engine.spmv(&p);
         let alpha_den = dot(&r0, &v);
         if alpha_den == 0.0 {
-            return BiCgStabResult { x, iters: it - 1, relres: norm2(&r) / bnorm, converged: false };
+            return BiCgStabResult {
+                x,
+                iters: it - 1,
+                relres: norm2(&r) / bnorm,
+                converged: false,
+            };
         }
         let alpha = rho / alpha_den;
         // s = r - alpha v
@@ -58,7 +63,12 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
         let t = engine.spmv(&s);
         let tt = dot(&t, &t);
         if tt == 0.0 {
-            return BiCgStabResult { x, iters: it - 1, relres: norm2(&r) / bnorm, converged: false };
+            return BiCgStabResult {
+                x,
+                iters: it - 1,
+                relres: norm2(&r) / bnorm,
+                converged: false,
+            };
         }
         let omega = dot(&t, &s) / tt;
         // x += alpha p + omega s

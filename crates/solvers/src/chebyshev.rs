@@ -51,7 +51,7 @@ pub fn chebyshev_coeffs(d: usize, lo: f64, hi: f64) -> Vec<f64> {
     assert!(hi > lo, "need a nonempty interval");
     let b0 = -(hi + lo) / (hi - lo); // constant term of l(t)
     let b1 = 2.0 / (hi - lo); // linear term of l(t)
-    // T_0 = 1, T_1 = l(t); T_{k+1} = 2 l T_k - T_{k-1} on coefficient vecs.
+                              // T_0 = 1, T_1 = l(t); T_{k+1} = 2 l T_k - T_{k-1} on coefficient vecs.
     let mut tkm1 = vec![1.0];
     if d == 0 {
         return tkm1;

@@ -40,7 +40,13 @@ pub fn gmres<E: MpkEngine + ?Sized>(
     assert_eq!(b.len(), n);
     let bnorm = norm2(b);
     if bnorm == 0.0 {
-        return GmresResult { x: vec![0.0; n], iters: 0, restarts: 0, relres: 0.0, converged: true };
+        return GmresResult {
+            x: vec![0.0; n],
+            iters: 0,
+            restarts: 0,
+            relres: 0.0,
+            converged: true,
+        };
     }
     let mut x = vec![0.0; n];
     let mut total_iters = 0usize;
@@ -127,7 +133,13 @@ pub fn gmres<E: MpkEngine + ?Sized>(
         restarts += 1;
         if total_iters >= max_iters {
             let relres = crate::util::residual_norm(engine, b, &x) / bnorm;
-            return GmresResult { x, iters: total_iters, restarts, relres, converged: relres <= tol };
+            return GmresResult {
+                x,
+                iters: total_iters,
+                restarts,
+                relres,
+                converged: relres <= tol,
+            };
         }
     }
 }
@@ -141,7 +153,8 @@ mod tests {
     use fbmpk_sparse::Csr;
 
     fn shifted_cage(n: usize) -> Csr {
-        let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n, neighbors: 18, seed: 6 });
+        let a =
+            fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n, neighbors: 18, seed: 6 });
         let nn = a.nrows();
         let mut coo = fbmpk_sparse::Coo::new(nn, nn);
         for (r, c, v) in a.iter() {

@@ -75,7 +75,7 @@ impl Ic0 {
             for j in rs..re {
                 let c = l.col_idx()[j] as usize;
                 let mut s = lval[j]; // a[r][c] initially
-                // Sparse dot of rows r and c of the factor (columns < c).
+                                     // Sparse dot of rows r and c of the factor (columns < c).
                 let (cs, ce) = (l.row_ptr()[c], l.row_ptr()[c + 1]);
                 let (mut pj, mut pk) = (rs, cs);
                 while pj < j && pk < ce {
@@ -102,14 +102,8 @@ impl Ic0 {
             }
             dval[r] = p.sqrt();
         }
-        let lower = Csr::from_raw_parts(
-            n,
-            n,
-            l.row_ptr().to_vec(),
-            l.col_idx().to_vec(),
-            lval,
-        )
-        .expect("factor shares the validated pattern of tril(A)");
+        let lower = Csr::from_raw_parts(n, n, l.row_ptr().to_vec(), l.col_idx().to_vec(), lval)
+            .expect("factor shares the validated pattern of tril(A)");
         Ok(Ic0 { lower, diag: dval })
     }
 
@@ -235,7 +229,12 @@ mod tests {
         let ad = a.to_dense();
         for i in 0..n {
             for j in 0..n {
-                assert!((m[i][j] - ad[i][j]).abs() < 1e-12, "({i},{j}): {} vs {}", m[i][j], ad[i][j]);
+                assert!(
+                    (m[i][j] - ad[i][j]).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    m[i][j],
+                    ad[i][j]
+                );
             }
         }
     }
@@ -273,12 +272,7 @@ mod tests {
         let pcg = iccg(&e, &ic, &b, 1e-10, 5000);
         let cg = conjugate_gradient(&e, &b, 1e-10, 5000);
         assert!(pcg.converged && cg.converged);
-        assert!(
-            pcg.iters * 2 < cg.iters,
-            "ICCG {} vs CG {} iterations",
-            pcg.iters,
-            cg.iters
-        );
+        assert!(pcg.iters * 2 < cg.iters, "ICCG {} vs CG {} iterations", pcg.iters, cg.iters);
         assert!(rel_err_inf(&pcg.x, &x_true) < 1e-7);
     }
 

@@ -180,7 +180,11 @@ mod tests {
         let lam_max = exact.last().unwrap();
         let lam_min = exact.first().unwrap();
         assert!((ritz.last().unwrap() - lam_max).abs() < 1e-6, "max ritz {}", ritz.last().unwrap());
-        assert!((ritz.first().unwrap() - lam_min).abs() < 1e-4, "min ritz {}", ritz.first().unwrap());
+        assert!(
+            (ritz.first().unwrap() - lam_min).abs() < 1e-4,
+            "min ritz {}",
+            ritz.first().unwrap()
+        );
     }
 
     #[test]

@@ -32,11 +32,11 @@ pub mod stationary;
 pub mod util;
 
 pub use bicgstab::bicgstab;
+pub use chebyshev::{chebyshev_filter, chebyshev_solve, gershgorin_bounds};
 pub use gmres::gmres;
 pub use iccg::{iccg, Ic0};
-pub use chebyshev::{chebyshev_filter, chebyshev_solve, gershgorin_bounds};
 pub use lanczos::{lanczos, tridiag_eigenvalues};
 pub use power::power_iteration;
-pub use util::{residual, residual_norm};
-pub use stationary::{jacobi, sor};
 pub use sstep::{conjugate_gradient, sstep_basis_monomial, sstep_basis_newton};
+pub use stationary::{jacobi, sor};
+pub use util::{residual, residual_norm};

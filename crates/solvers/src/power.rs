@@ -63,7 +63,12 @@ pub fn power_iteration<E: MpkEngine + ?Sized>(
         }
         scale(1.0 / nrm, &mut q);
         if lambda.is_finite() && (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1e-300) {
-            return PowerResult { eigenvalue: new_lambda, eigenvector: q, matvecs, converged: true };
+            return PowerResult {
+                eigenvalue: new_lambda,
+                eigenvector: q,
+                matvecs,
+                converged: true,
+            };
         }
         lambda = new_lambda;
     }

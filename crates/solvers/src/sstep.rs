@@ -10,7 +10,11 @@ use fbmpk::MpkEngine;
 use fbmpk_sparse::vecops::{axpy, dot, norm2};
 
 /// Monomial s-step basis `[v, Av, A²v, …, Aˢv]` via one Krylov MPK call.
-pub fn sstep_basis_monomial<E: MpkEngine + ?Sized>(engine: &E, v: &[f64], s: usize) -> Vec<Vec<f64>> {
+pub fn sstep_basis_monomial<E: MpkEngine + ?Sized>(
+    engine: &E,
+    v: &[f64],
+    s: usize,
+) -> Vec<Vec<f64>> {
     assert_eq!(v.len(), engine.n());
     let mut basis = Vec::with_capacity(s + 1);
     basis.push(v.to_vec());

@@ -32,7 +32,7 @@ mod tests {
         let b = fbmpk_sparse::spmv::spmv_alloc(&a, &x);
         let e = StandardMpk::new(&a, 1).unwrap();
         assert!(residual_norm(&e, &b, &x) < 1e-12);
-        let r = residual(&e, &b, &vec![0.0; 16]);
+        let r = residual(&e, &b, &[0.0; 16]);
         assert_eq!(r, b);
     }
 }

@@ -59,13 +59,7 @@ impl Csr {
 
     /// An `n x n` matrix with no stored entries.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Csr {
-            nrows,
-            ncols,
-            row_ptr: vec![0; nrows + 1],
-            col_idx: Vec::new(),
-            values: Vec::new(),
-        }
+        Csr { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), values: Vec::new() }
     }
 
     /// The `n x n` identity matrix.
@@ -232,10 +226,7 @@ impl Csr {
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_vals(r))
-                .map(move |(&c, &v)| (r, c as usize, v))
+            self.row_cols(r).iter().zip(self.row_vals(r)).map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 

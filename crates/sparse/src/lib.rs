@@ -31,8 +31,8 @@ pub mod sellcs;
 pub mod split;
 pub mod spmm;
 pub mod spmv;
-pub mod trisolve;
 pub mod stats;
+pub mod trisolve;
 pub mod vecops;
 
 pub use coo::Coo;

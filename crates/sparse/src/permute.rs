@@ -114,11 +114,7 @@ impl Permutation {
     pub fn then(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
         Permutation {
-            new_of_old: self
-                .new_of_old
-                .iter()
-                .map(|&mid| other.new_of_old[mid as usize])
-                .collect(),
+            new_of_old: self.new_of_old.iter().map(|&mid| other.new_of_old[mid as usize]).collect(),
         }
     }
 
@@ -164,7 +160,9 @@ impl Permutation {
     pub fn permute_symmetric(&self, a: &Csr) -> Result<Csr> {
         let n = self.len();
         if a.nrows() != a.ncols() {
-            return Err(SparseError::DimensionMismatch("symmetric permutation needs square matrix".into()));
+            return Err(SparseError::DimensionMismatch(
+                "symmetric permutation needs square matrix".into(),
+            ));
         }
         if a.nrows() != n {
             return Err(SparseError::DimensionMismatch(format!(

@@ -88,7 +88,8 @@ impl TriangularSplit {
     /// diagonal explicitly, and `merge(split(A)) == A` otherwise.
     pub fn merge(&self) -> Csr {
         let n = self.n();
-        let nnz = self.lower.nnz() + self.upper.nnz() + self.diag.iter().filter(|&&d| d != 0.0).count();
+        let nnz =
+            self.lower.nnz() + self.upper.nnz() + self.diag.iter().filter(|&&d| d != 0.0).count();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
@@ -193,8 +194,8 @@ mod tests {
         let n = a.nrows();
         // Exact bookkeeping identity derived from Table IV (for a full
         // diagonal): split = csr - 12*n_diag + 8n + 8(n+1).
-        let n_diag = s.diag.iter().filter(|&&d| d != 0.0).count()
-            + 0 * n; // all stored diagonal entries moved out of csr arrays
+        // All stored diagonal entries moved out of the csr arrays.
+        let n_diag = s.diag.iter().filter(|&&d| d != 0.0).count();
         let moved = a.nnz() - s.lower.nnz() - s.upper.nnz();
         assert_eq!(moved, n_diag);
         assert_eq!(split_bytes, csr_bytes - 12 * moved + 8 * n + 8 * (n + 1));

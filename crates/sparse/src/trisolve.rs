@@ -78,11 +78,7 @@ mod tests {
 
     fn lower_system() -> (Csr, Vec<f64>) {
         // (L + D) from a dense lower-triangular matrix.
-        let full = Csr::from_dense(&[
-            &[2.0, 0.0, 0.0],
-            &[1.0, 3.0, 0.0],
-            &[4.0, 5.0, 6.0],
-        ]);
+        let full = Csr::from_dense(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]]);
         let s = TriangularSplit::split(&full).unwrap();
         (s.lower, s.diag)
     }
@@ -100,11 +96,7 @@ mod tests {
 
     #[test]
     fn upper_solve_matches_dense() {
-        let full = Csr::from_dense(&[
-            &[2.0, 1.0, 4.0],
-            &[0.0, 3.0, 5.0],
-            &[0.0, 0.0, 6.0],
-        ]);
+        let full = Csr::from_dense(&[&[2.0, 1.0, 4.0], &[0.0, 3.0, 5.0], &[0.0, 0.0, 6.0]]);
         let s = TriangularSplit::split(&full).unwrap();
         // (U+D) x = [16, 21, 18]: x = [1, 2, 3].
         let mut x = vec![16.0, 21.0, 18.0];

@@ -27,9 +27,8 @@ fn main() {
 
     // Newton basis with shifts spread over the spectrum (Leja-like).
     let (lo, hi) = gershgorin_bounds(&a);
-    let shifts: Vec<f64> = (0..s)
-        .map(|j| lo + (hi - lo) * ((2 * j + 1) as f64) / (2.0 * s as f64))
-        .collect();
+    let shifts: Vec<f64> =
+        (0..s).map(|j| lo + (hi - lo) * ((2 * j + 1) as f64) / (2.0 * s as f64)).collect();
     let t0 = std::time::Instant::now();
     let newt = sstep_basis_newton(&engine, &v, s, &shifts);
     println!("newton basis   ({} vectors) in {:?}", newt.len(), t0.elapsed());

@@ -44,10 +44,7 @@ fn all_configuration_axes_agree() {
             "serial/split/noreorder".into(),
             FbmpkOptions { layout: VectorLayout::Split, ..Default::default() },
         ),
-        (
-            "serial/btb/abmc".into(),
-            FbmpkOptions { reorder: Some(abmc), ..Default::default() },
-        ),
+        ("serial/btb/abmc".into(), FbmpkOptions { reorder: Some(abmc), ..Default::default() }),
         ("par2/btb/abmc".into(), {
             let mut o = FbmpkOptions::parallel(2);
             o.reorder = Some(abmc);

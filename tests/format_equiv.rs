@@ -50,9 +50,8 @@ fn spmm_block_power_matches_fbmpk_krylov() {
     use fbmpk::{FbmpkOptions, FbmpkPlan};
     let a = fbmpk_gen::suite::suite_entry("pwtk").unwrap().generate(0.001, 3);
     let n = a.nrows();
-    let cols: Vec<Vec<f64>> = (0..3)
-        .map(|v| (0..n).map(|i| ((i * (v + 2) % 17) as f64) / 8.0 - 1.0).collect())
-        .collect();
+    let cols: Vec<Vec<f64>> =
+        (0..3).map(|v| (0..n).map(|i| ((i * (v + 2) % 17) as f64) / 8.0 - 1.0).collect()).collect();
     let x = MultiVec::from_columns(&cols);
     let k = 4;
     let y = block_power(&a, &x, k);
@@ -65,7 +64,8 @@ fn spmm_block_power_matches_fbmpk_krylov() {
 
 #[test]
 fn spmm_on_unsymmetric_matrix() {
-    let a = fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n: 300, neighbors: 18, seed: 2 });
+    let a =
+        fbmpk_gen::cage::cage_like(fbmpk_gen::cage::CageParams { n: 300, neighbors: 18, seed: 2 });
     let n = a.nrows();
     let cols = vec![vec![1.0; n], (0..n).map(|i| i as f64 / n as f64).collect()];
     let x = MultiVec::from_columns(&cols);

@@ -62,10 +62,7 @@ fn analytic_model_tracks_simulator_in_streaming_regime() {
     for k in [3usize, 6, 9] {
         let model = TrafficModel::evaluate(&shape, k).total_ratio();
         let sim = traffic_ratio(&a, k);
-        assert!(
-            (model - sim).abs() < 0.15,
-            "k={k}: model {model:.3} vs simulator {sim:.3}"
-        );
+        assert!((model - sim).abs() < 0.15, "k={k}: model {model:.3} vs simulator {sim:.3}");
     }
 }
 

@@ -38,11 +38,8 @@ fn parallel_equals_serial_on_same_ordering_bitwise() {
     let n = a.nrows();
     let x0 = start(n);
     let abmc = AbmcParams { nblocks: 48, ..Default::default() };
-    let serial = FbmpkPlan::new(
-        &a,
-        FbmpkOptions { reorder: Some(abmc), ..Default::default() },
-    )
-    .unwrap();
+    let serial =
+        FbmpkPlan::new(&a, FbmpkOptions { reorder: Some(abmc), ..Default::default() }).unwrap();
     for t in [2usize, 3, 5, 8] {
         let mut opts = FbmpkOptions::parallel(t);
         opts.reorder = Some(abmc);

@@ -11,17 +11,15 @@ use proptest::prelude::*;
 /// dimension 2..=24, density ~25%).
 fn arb_matrix() -> impl Strategy<Value = Csr> {
     (2usize..=24).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (0..n, 0..n, -1.0f64..1.0),
-            0..(n * n / 4).max(1),
+        proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..(n * n / 4).max(1)).prop_map(
+            move |trips| {
+                let mut coo = Coo::new(n, n);
+                for (r, c, v) in trips {
+                    coo.push(r, c, v).unwrap();
+                }
+                coo.to_csr()
+            },
         )
-        .prop_map(move |trips| {
-            let mut coo = Coo::new(n, n);
-            for (r, c, v) in trips {
-                coo.push(r, c, v).unwrap();
-            }
-            coo.to_csr()
-        })
     })
 }
 

@@ -1,0 +1,175 @@
+//! Property-based tests of the tuning layer: merge-path partitioning must
+//! cover the merge sequence exactly once with per-cut overshoot bounded by
+//! one item, every specialized kernel must agree with the scalar CSR
+//! reference, and a tuned plan must be numerically indistinguishable from
+//! the untuned baseline for every entry point.
+
+use fbmpk::{StandardMpk, TuneOptions, TunedPlan};
+use fbmpk_parallel::partition::{merge_balance_by_weight, merge_path_partition};
+use fbmpk_sparse::sellcs::SellCs;
+use fbmpk_sparse::spmv::{spmv, spmv_rows_rowsplit, spmv_unrolled4};
+use fbmpk_sparse::vecops::rel_err_inf;
+use fbmpk_sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+/// Random sparse square matrix (entries in [-1, 1], dimension 1..=32,
+/// density up to ~25%, duplicates merge through COO assembly).
+fn arb_matrix() -> impl Strategy<Value = Csr> {
+    (1usize..=32).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..(n * n / 4).max(1)).prop_map(
+            move |trips| {
+                let mut coo = Coo::new(n, n);
+                for (r, c, v) in trips {
+                    coo.push(r, c, v).unwrap();
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+/// Random nonneg weight array, including empty rows and heavy skew.
+fn arb_weights() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..40, 1..=80)
+}
+
+/// Checks the merge-path invariants for `ranges` over `prefix`:
+/// contiguous exact coverage of all rows (hence all nnz exactly once), and
+/// each interior cut is the *largest* row whose merge coordinate
+/// (`prefix[r] - prefix[0] + r`) does not exceed its ideal diagonal — i.e.
+/// the cut undershoots the perfect split point by less than one merge item
+/// (one row or one nonzero). That bound implies each part's share of
+/// `rows + nnz` work is within one item of the ideal `merge_len / parts`.
+fn check_merge_invariants(prefix: &[usize], parts: usize, ranges: &[std::ops::Range<usize>]) {
+    let n = prefix.len() - 1;
+    let total = prefix[n] - prefix[0];
+    let merge_len = n + total;
+    assert_eq!(ranges.len(), parts);
+    // Exact contiguous coverage: every row (and so every nnz) exactly once.
+    let mut next = 0usize;
+    for r in ranges {
+        assert_eq!(r.start, next);
+        assert!(r.end >= r.start);
+        next = r.end;
+    }
+    assert_eq!(next, n);
+    // Per-cut optimality: cut k is the largest row r with
+    // coord(r) <= d_k, so the split is within one merge item of ideal.
+    let coord = |r: usize| prefix[r] - prefix[0] + r;
+    for (k, r) in ranges.iter().enumerate().take(parts - 1) {
+        let cut = r.end;
+        let d = ((k + 1) * merge_len) / parts;
+        assert!(coord(cut) <= d, "cut {cut} overshoots diagonal {d}");
+        assert!(cut == n || coord(cut + 1) > d, "cut {cut} not maximal for diagonal {d}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_path_covers_once_and_balances(a in arb_matrix(), parts in 1usize..=9) {
+        let ranges = merge_path_partition(a.row_ptr(), parts);
+        check_merge_invariants(a.row_ptr(), parts, &ranges);
+    }
+
+    #[test]
+    fn merge_balance_by_weight_covers_once_and_balances(
+        w in arb_weights(),
+        parts in 1usize..=9,
+    ) {
+        let ranges = merge_balance_by_weight(&w, parts);
+        // Reconstruct the prefix the partitioner derives internally.
+        let mut prefix = vec![0usize];
+        for &x in &w {
+            prefix.push(prefix.last().unwrap() + x);
+        }
+        check_merge_invariants(&prefix, parts, &ranges);
+    }
+
+    #[test]
+    fn unrolled_spmv_equals_scalar(a in arb_matrix(), seed in 0u64..1000) {
+        let n = a.nrows();
+        let x: Vec<f64> =
+            (0..n).map(|i| (((i as u64 + seed) * 2654435761 % 2000) as f64) / 1000.0 - 1.0).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        let mut got = vec![0.0; n];
+        spmv_unrolled4(&a, &x, &mut got);
+        prop_assert!(rel_err_inf(&got, &want) < 1e-12);
+        let mut got2 = vec![0.0; n];
+        spmv_rows_rowsplit(&a, &x, &mut got2, 0, n, 4);
+        prop_assert!(rel_err_inf(&got2, &want) < 1e-12);
+    }
+
+    #[test]
+    fn sellcs_spmv_equals_scalar(a in arb_matrix(), c in 1usize..=8, sigma_mul in 1usize..=4) {
+        let n = a.nrows();
+        let sell = SellCs::from_csr(&a, c, c * sigma_mul);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) / 5.0 - 1.0).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        let mut got = vec![0.0; n];
+        sell.spmv(&x, &mut got);
+        prop_assert!(rel_err_inf(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn tuned_plan_spmv_equals_default(
+        a in arb_matrix(),
+        nthreads in 1usize..=4,
+        probe in proptest::bool::ANY,
+    ) {
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe, probe_reps: 1 });
+        let mut got = vec![0.0; n];
+        plan.spmv(&x, &mut got);
+        prop_assert!(
+            rel_err_inf(&got, &want) < 1e-12,
+            "variant={} nthreads={nthreads}", plan.variant()
+        );
+    }
+
+    #[test]
+    fn tuned_plan_power_and_sspmv_equal_default(
+        a in arb_matrix(),
+        k in 1usize..=5,
+        nthreads in 1usize..=3,
+    ) {
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) / 4.0 - 1.0).collect();
+        let baseline = StandardMpk::new(&a, 1).unwrap();
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe: false, probe_reps: 1 });
+        let want_p = baseline.power(&x0, k);
+        let got_p = plan.power(&x0, k);
+        prop_assert!(rel_err_inf(&got_p, &want_p) < 1e-12);
+        let coeffs: Vec<f64> = (0..=k).map(|i| 1.0 - 0.5 * (i as f64)).collect();
+        let want_s = baseline.sspmv(&coeffs, &x0);
+        let got_s = plan.sspmv(&coeffs, &x0);
+        prop_assert!(rel_err_inf(&got_s, &want_s) < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn probed_serial_plan_matches_scalar(a in arb_matrix()) {
+        // With the probe on, any variant (including SELL-C-σ when it wins)
+        // may be selected; the result must still match the reference.
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 1 });
+        let mut got = vec![0.0; n];
+        plan.spmv(&x, &mut got);
+        prop_assert!(
+            rel_err_inf(&got, &want) < 1e-12,
+            "variant={}", plan.variant()
+        );
+    }
+}
