@@ -66,7 +66,10 @@ fn bench_tuned_plan(c: &mut Criterion) {
         let n = a.nrows();
         let x = start_vector(n);
         let mut y = vec![0.0; n];
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 3 });
+        let plan = TunedPlan::new(
+            &a,
+            TuneOptions { nthreads: 1, probe: true, probe_reps: 3, ..Default::default() },
+        );
         let mut group = c.benchmark_group(format!("tuned_plan/{name}"));
         group.sample_size(20);
         group.bench_function("scalar_baseline", |b| b.iter(|| plan.spmv_scalar(&x, &mut y)));

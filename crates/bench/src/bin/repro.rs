@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT ...] [--scale S] [--threads T] [--reps N] [--out DIR]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
-//!             fig10 | table3 | table4 | fig11 | fig12 | model
+//!             fig10 | table3 | table4 | fig11 | fig12 | model |
+//!             ablation_blocks | tune | sync
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under `--out`
@@ -57,7 +58,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
+                     \x20      [ablation_blocks|tune|sync] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -67,7 +68,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "table2",
@@ -82,6 +83,7 @@ fn parse_args() -> Args {
         "model",
         "ablation_blocks",
         "tune",
+        "sync",
     ];
     for e in &experiments {
         if !KNOWN.contains(&e.as_str()) {
@@ -150,6 +152,7 @@ fn main() {
         "fig12",
         "ablation_blocks",
         "tune",
+        "sync",
     ]
     .iter()
     .any(|e| want(e));
@@ -466,6 +469,110 @@ fn main() {
             ),
         ]);
         write_json(&args.out.join("BENCH_kernels.json"), &json).expect("write BENCH_kernels.json");
+    }
+
+    if want("sync") {
+        let max_threads = args.cfg.threads.max(8);
+        let mut threads = vec![1usize, 2, 4];
+        let mut t = 8;
+        while t <= max_threads {
+            threads.push(t);
+            t *= 2;
+        }
+        eprintln!("sync: barrier vs point-to-point sweep {threads:?} ...");
+        let rows = runner::sync_modes(&args.cfg, &cases, &threads);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "point-to-point produced a result differing from barrier mode"
+        );
+        let gm = fbmpk_bench::report::geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+        let mut table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.threads.to_string(),
+                    r.ncolors.to_string(),
+                    r.nblocks.to_string(),
+                    r.dep_edges.to_string(),
+                    format!("{:.6}", r.t_barrier),
+                    format!("{:.6}", r.t_p2p),
+                    f3(r.speedup),
+                ]
+            })
+            .collect();
+        table.push(vec![
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            f3(gm),
+        ]);
+        println!("Sync - color-barrier vs point-to-point FBMPK (k=5, bit-identical verified)");
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "threads",
+                    "colors",
+                    "blocks",
+                    "dep edges",
+                    "t_barrier[s]",
+                    "t_p2p[s]",
+                    "speedup"
+                ],
+                &table
+            )
+        );
+        write_csv(
+            &args.out.join("sync.csv"),
+            &[
+                "input",
+                "threads",
+                "ncolors",
+                "nblocks",
+                "dep_edges",
+                "t_barrier",
+                "t_p2p",
+                "speedup",
+            ],
+            &table,
+        )
+        .expect("write sync.csv");
+        let json = Json::obj([
+            ("experiment", Json::from("sync")),
+            ("scale", Json::from(args.cfg.scale)),
+            ("reps", Json::from(args.cfg.reps)),
+            ("k", Json::from(5usize)),
+            ("thread_counts", Json::Arr(threads.iter().map(|&t| Json::from(t)).collect())),
+            ("geomean_speedup", Json::from(gm)),
+            ("all_identical", Json::from(true)),
+            (
+                "points",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("threads", Json::from(r.threads)),
+                                ("ncolors", Json::from(r.ncolors)),
+                                ("nblocks", Json::from(r.nblocks)),
+                                ("dep_edges", Json::from(r.dep_edges)),
+                                ("t_barrier_seconds", Json::from(r.t_barrier)),
+                                ("t_p2p_seconds", Json::from(r.t_p2p)),
+                                ("speedup", Json::from(r.speedup)),
+                                ("identical", Json::from(r.identical)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_json(&args.out.join("BENCH_sync.json"), &json).expect("write BENCH_sync.json");
     }
 
     if want("fig12") {

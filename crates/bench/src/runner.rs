@@ -6,7 +6,7 @@
 //! preprocessing excluded — §IV-C).
 
 use crate::BenchConfig;
-use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, TuneOptions, TunedPlan, VectorLayout};
+use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, SyncMode, TuneOptions, TunedPlan, VectorLayout};
 use fbmpk_gen::suite::SuiteEntry;
 use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
 use fbmpk_reorder::{Abmc, AbmcParams};
@@ -74,7 +74,12 @@ pub fn fbmpk_options(n: usize, threads: usize, layout: VectorLayout) -> FbmpkOpt
     if threads == 1 {
         FbmpkOptions { layout, ..Default::default() }
     } else {
-        FbmpkOptions { nthreads: threads, reorder: Some(abmc_params(n)), layout, pre_rcm: false }
+        FbmpkOptions {
+            nthreads: threads,
+            reorder: Some(abmc_params(n)),
+            layout,
+            ..Default::default()
+        }
     }
 }
 
@@ -474,7 +479,7 @@ pub fn ablation_blocks(
                     ..Default::default()
                 }),
                 layout: VectorLayout::BackToBack,
-                pre_rcm: false,
+                ..Default::default()
             };
             let plan = FbmpkPlan::new(a, opts).expect("square");
             let t_fbmpk =
@@ -489,6 +494,79 @@ pub fn ablation_blocks(
             }
         })
         .collect()
+}
+
+// ------------------------------------------------------------------ sync
+
+/// One point of the `repro sync` comparison: barrier-per-color vs
+/// barrier-free point-to-point block synchronization on the same ABMC
+/// reordering and thread count.
+#[derive(Debug, Clone)]
+pub struct SyncRow {
+    /// Matrix name.
+    pub name: String,
+    /// Thread count.
+    pub threads: usize,
+    /// ABMC colors (barriers per sweep in [`SyncMode::ColorBarrier`]).
+    pub ncolors: usize,
+    /// ABMC blocks (synchronization granules in
+    /// [`SyncMode::PointToPoint`]).
+    pub nblocks: usize,
+    /// Directed dependency edges in the per-block wait lists.
+    pub dep_edges: usize,
+    /// FBMPK seconds at `k = 5`, barrier mode.
+    pub t_barrier: f64,
+    /// FBMPK seconds at `k = 5`, point-to-point mode.
+    pub t_p2p: f64,
+    /// `t_barrier / t_p2p` (> 1 means point-to-point wins).
+    pub speedup: f64,
+    /// Whether the two modes produced bit-identical `A^k x0` — must always
+    /// be `true`; reported so a regression is visible in the JSON.
+    pub identical: bool,
+}
+
+/// Measures FBMPK power (`k = 5`) under both [`SyncMode`]s on the same
+/// ABMC reordering, verifying bit-identical results before reporting the
+/// timing ratio. The colored schedule is used even at one thread so both
+/// modes traverse identical block structure at every point of the sweep.
+pub fn sync_modes(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) -> Vec<SyncRow> {
+    let k = 5;
+    let mut rows = Vec::new();
+    for c in cases {
+        let a = &c.matrix;
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        for &t in threads {
+            let base = FbmpkOptions {
+                nthreads: t,
+                reorder: Some(abmc_params(n)),
+                layout: VectorLayout::BackToBack,
+                ..Default::default()
+            };
+            let barrier = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::ColorBarrier, ..base })
+                .expect("square");
+            let p2p = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::PointToPoint, ..base })
+                .expect("square");
+            let identical = barrier.power(&x0, k) == p2p.power(&x0, k);
+            let t_barrier =
+                time_geomean(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
+            let t_p2p =
+                time_geomean(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+            let stats = p2p.stats();
+            rows.push(SyncRow {
+                name: c.entry.name.to_string(),
+                threads: t,
+                ncolors: stats.ncolors,
+                nblocks: stats.nblocks,
+                dep_edges: p2p.block_deps().map_or(0, |d| d.nedges()),
+                t_barrier,
+                t_p2p,
+                speedup: t_barrier / t_p2p,
+                identical,
+            });
+        }
+    }
+    rows
 }
 
 // ------------------------------------------------------------------ tune
@@ -533,7 +611,12 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
             let n = a.nrows();
             let plan = TunedPlan::new(
                 a,
-                TuneOptions { nthreads: cfg.threads, probe: true, probe_reps: cfg.reps.max(3) },
+                TuneOptions {
+                    nthreads: cfg.threads,
+                    probe: true,
+                    probe_reps: cfg.reps.max(3),
+                    ..Default::default()
+                },
             );
             let x = start_vector(n);
             let mut y = vec![0.0; n];
@@ -623,6 +706,9 @@ mod tests {
         assert!(f11.iter().all(|r| r.n_spmvs > 0.0));
         let f12 = fig12(&cfg, &cases, &[1, 2]);
         assert_eq!(f12.len(), 6);
+        let sy = sync_modes(&cfg, &cases[..1], &[1, 2]);
+        assert_eq!(sy.len(), 2);
+        assert!(sy.iter().all(|r| r.identical && r.t_barrier > 0.0 && r.t_p2p > 0.0));
         let tr = tune(&cfg, &cases);
         assert_eq!(tr.len(), 3);
         assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));

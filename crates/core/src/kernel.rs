@@ -37,12 +37,112 @@
 //! — `fbmpk-reorder` validates exactly this property. All writes
 //! (`odd[r]`, `even[r]`, `tmp[r]`, sink emissions) are indexed by rows the
 //! executing thread owns.
+//!
+//! In [`SyncCtx::PointToPoint`] mode the per-color barriers disappear:
+//! each block instead waits on the epoch flags of exactly the predecessor
+//! blocks in its [`fbmpk_reorder::BlockDeps`] wait list (flow **and**
+//! anti dependencies, so the scheme is also safe for in-place SYMGS and
+//! for structurally unsymmetric matrices) and flags itself done
+//! afterwards. Epochs count sweeps within one invocation — forward of
+//! round `p` is `2p+1`, backward `2p+2` — and a same-epoch wait plus
+//! program order on the owning thread subsumes all earlier sweeps. Only
+//! the head→sweep and sweep→tail hand-offs keep a pool barrier (their
+//! flat partition ignores block boundaries).
 
 use crate::layout::XyLayout;
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, SyncCtx};
 use crate::sink::Sink;
-use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_parallel::{SenseBarrier, SharedSlice, ThreadPool};
 use fbmpk_sparse::TriangularSplit;
+
+/// Resets the epoch flags of thread `t`'s own blocks (point-to-point mode
+/// only). Flags are strictly thread-local to their owning thread — only
+/// the owner ever resets or marks a flag — so no cross-thread write races
+/// exist; a barrier between the resets and the first wait (the head
+/// barrier in FBMPK, an explicit one in SYMGS) publishes them.
+pub(crate) fn reset_own_flags(sched: &Schedule, sync: &SyncCtx, t: usize) {
+    if let SyncCtx::PointToPoint { flags, .. } = sync {
+        for per_color in sched.blocks.iter() {
+            for b in per_color[t].clone() {
+                flags.reset_one(b);
+            }
+        }
+    }
+}
+
+/// One forward sweep (colors ascending, rows top-down) under either sync
+/// mode. `epoch` identifies this sweep within the current invocation
+/// (1-based); `row` performs one row update.
+///
+/// Point-to-point mode is deadlock-free because every forward wait
+/// targets a strictly earlier color ([`fbmpk_reorder::BlockDeps`]
+/// validates this), i.e. a block scheduled earlier in every thread's
+/// forward order; both modes execute identical per-row arithmetic in an
+/// order consistent with the same dependences, so results are bitwise
+/// equal.
+pub(crate) fn forward_sweep<F: Fn(usize)>(
+    sched: &Schedule,
+    sync: &SyncCtx,
+    barrier: &SenseBarrier,
+    t: usize,
+    epoch: u64,
+    row: F,
+) {
+    match *sync {
+        SyncCtx::Barrier => {
+            for per_thread in sched.colors.iter() {
+                for r in per_thread[t].clone() {
+                    row(r);
+                }
+                barrier.wait();
+            }
+        }
+        SyncCtx::PointToPoint { deps, flags } => {
+            for per_color in sched.blocks.iter() {
+                for b in per_color[t].clone() {
+                    flags.wait_all(deps.fwd(b), epoch);
+                    for r in sched.block_rows(b) {
+                        row(r);
+                    }
+                    flags.mark(b, epoch);
+                }
+            }
+        }
+    }
+}
+
+/// One backward sweep (colors descending, rows bottom-up); mirror of
+/// [`forward_sweep`] waiting on the later-color dependency lists.
+pub(crate) fn backward_sweep<F: Fn(usize)>(
+    sched: &Schedule,
+    sync: &SyncCtx,
+    barrier: &SenseBarrier,
+    t: usize,
+    epoch: u64,
+    row: F,
+) {
+    match *sync {
+        SyncCtx::Barrier => {
+            for per_thread in sched.colors.iter().rev() {
+                for r in per_thread[t].clone().rev() {
+                    row(r);
+                }
+                barrier.wait();
+            }
+        }
+        SyncCtx::PointToPoint { deps, flags } => {
+            for per_color in sched.blocks.iter().rev() {
+                for b in per_color[t].clone().rev() {
+                    flags.wait_all(deps.bwd(b), epoch);
+                    for r in sched.block_rows(b).rev() {
+                        row(r);
+                    }
+                    flags.mark(b, epoch);
+                }
+            }
+        }
+    }
+}
 
 /// Runs the FBMPK pipeline.
 ///
@@ -54,6 +154,13 @@ use fbmpk_sparse::TriangularSplit;
 ///
 /// `tmp` and `out` must have length `n`. The sink observes every entry of
 /// every iterate `1..=k`.
+///
+/// `sync` selects the intra-sweep synchronization: barriers after every
+/// color, or per-block point-to-point waits (whose dependency lists and
+/// flag table must match this schedule's block structure). Either way the
+/// head hands off to the first sweep, and the last sweep to the tail,
+/// through a pool barrier: those stages run on the flat partition, which
+/// crosses block boundaries.
 ///
 /// # Panics
 /// Panics if `k == 0` or buffer lengths disagree with the schedule.
@@ -67,6 +174,7 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
     out: &mut [f64],
     k: usize,
     sink: &S,
+    sync: &SyncCtx,
 ) {
     assert!(k >= 1, "k must be at least 1 (k = 0 is the identity)");
     let n = split.n();
@@ -74,6 +182,10 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
     assert_eq!(tmp.len(), n);
     assert_eq!(out.len(), n);
     assert_eq!(pool.nthreads(), sched.nthreads, "pool/schedule thread count mismatch");
+    if let SyncCtx::PointToPoint { deps, flags } = sync {
+        assert_eq!(deps.nblocks(), sched.nblocks(), "dependency/schedule block count mismatch");
+        assert_eq!(flags.len(), sched.nblocks(), "flag/schedule block count mismatch");
+    }
 
     let tmp = SharedSlice::new(tmp);
     let out = SharedSlice::new(out);
@@ -92,6 +204,7 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
         let u_col = upper.col_idx();
         let u_val = upper.values();
 
+        reset_own_flags(sched, sync, t);
         // Head: tmp = U * x0 (x0 in even slots, read-only here). The row
         // dot product is 4-way unrolled (independent accumulators keep the
         // FP pipeline full); the < 4 remainder folds into s0 alone so short
@@ -122,93 +235,102 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
 
         for p in 0..rounds {
             // Forward sweep over L, colors ascending.
-            for per_thread in sched.colors.iter() {
-                for r in per_thread[t].clone() {
-                    // SAFETY: tmp[r]/even[r] owned or phase-stable; odd[c]
-                    // for c in L-row r is finished (earlier color or same
-                    // block processed earlier by this thread).
-                    unsafe {
-                        let d = diag[r];
-                        // Two dot products share one traversal of the L row
-                        // (even and odd streams); each is 2-way unrolled —
-                        // four independent accumulators total, mirroring the
-                        // standalone SpMV's 4-way unroll. The odd remainder
-                        // element folds into the `a` accumulators so rows
-                        // with < 2 nonzeros stay bit-identical to scalar.
-                        let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
-                        let main = hi - (hi - lo) % 2;
-                        let mut sum0a = tmp.get(r) + d * layout.get_even(r);
-                        let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
-                        let mut j = lo;
-                        while j < main {
-                            let c0 = l_col[j] as usize;
-                            let c1 = l_col[j + 1] as usize;
-                            let v0 = l_val[j];
-                            let v1 = l_val[j + 1];
-                            sum0a += v0 * layout.get_even(c0);
-                            sum0b += v1 * layout.get_even(c1);
-                            sum1a += v0 * layout.get_odd(c0);
-                            sum1b += v1 * layout.get_odd(c1);
-                            j += 2;
-                        }
-                        if j < hi {
-                            let c = l_col[j] as usize;
-                            let v = l_val[j];
-                            sum0a += v * layout.get_even(c);
-                            sum1a += v * layout.get_odd(c);
-                        }
-                        let sum0 = sum0a + sum0b;
-                        let sum1 = sum1a + sum1b;
-                        layout.set_odd(r, sum0); // x_{2p+1}[r]
-                        sink.emit(2 * p + 1, r, sum0);
-                        tmp.set(r, sum1 + d * sum0); // (L+D) x_{2p+1}
+            forward_sweep(sched, sync, barrier, t, (2 * p + 1) as u64, |r| {
+                // SAFETY: tmp[r]/even[r] owned or phase-stable; odd[c] for
+                // c in L-row r is finished (earlier color — barrier or
+                // flag-waited — or same block processed earlier by this
+                // thread). In point-to-point mode the forward wait also
+                // covers the anti-dependency: earlier-color readers of
+                // this block's odd rows finished their previous backward
+                // sweep before marking this epoch.
+                unsafe {
+                    let d = diag[r];
+                    // Two dot products share one traversal of the L row
+                    // (even and odd streams); each is 2-way unrolled —
+                    // four independent accumulators total, mirroring the
+                    // standalone SpMV's 4-way unroll. The odd remainder
+                    // element folds into the `a` accumulators so rows
+                    // with < 2 nonzeros stay bit-identical to scalar.
+                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
+                    let main = hi - (hi - lo) % 2;
+                    let mut sum0a = tmp.get(r) + d * layout.get_even(r);
+                    let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
+                    let mut j = lo;
+                    while j < main {
+                        let c0 = l_col[j] as usize;
+                        let c1 = l_col[j + 1] as usize;
+                        let v0 = l_val[j];
+                        let v1 = l_val[j + 1];
+                        sum0a += v0 * layout.get_even(c0);
+                        sum0b += v1 * layout.get_even(c1);
+                        sum1a += v0 * layout.get_odd(c0);
+                        sum1b += v1 * layout.get_odd(c1);
+                        j += 2;
                     }
+                    if j < hi {
+                        let c = l_col[j] as usize;
+                        let v = l_val[j];
+                        sum0a += v * layout.get_even(c);
+                        sum1a += v * layout.get_odd(c);
+                    }
+                    let sum0 = sum0a + sum0b;
+                    let sum1 = sum1a + sum1b;
+                    layout.set_odd(r, sum0); // x_{2p+1}[r]
+                    sink.emit(2 * p + 1, r, sum0);
+                    tmp.set(r, sum1 + d * sum0); // (L+D) x_{2p+1}
                 }
-                barrier.wait();
-            }
+            });
             // Backward sweep over U, colors descending, rows bottom-up.
-            for per_thread in sched.colors.iter().rev() {
-                for r in per_thread[t].clone().rev() {
-                    // SAFETY: even[c] for c in U-row r is already the new
-                    // iterate (later color or same block, processed first in
-                    // this bottom-up order); odd slots are read-only here.
-                    unsafe {
-                        // Mirror of the forward sweep: two 2-way unrolled
-                        // dot products over the U row.
-                        let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
-                        let main = hi - (hi - lo) % 2;
-                        let mut sum0a = tmp.get(r);
-                        let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
-                        let mut j = lo;
-                        while j < main {
-                            let c0 = u_col[j] as usize;
-                            let c1 = u_col[j + 1] as usize;
-                            let v0 = u_val[j];
-                            let v1 = u_val[j + 1];
-                            sum0a += v0 * layout.get_odd(c0);
-                            sum0b += v1 * layout.get_odd(c1);
-                            sum1a += v0 * layout.get_even(c0);
-                            sum1b += v1 * layout.get_even(c1);
-                            j += 2;
-                        }
-                        if j < hi {
-                            let c = u_col[j] as usize;
-                            let v = u_val[j];
-                            sum0a += v * layout.get_odd(c);
-                            sum1a += v * layout.get_even(c);
-                        }
-                        let sum0 = sum0a + sum0b;
-                        let sum1 = sum1a + sum1b;
-                        layout.set_even(r, sum0); // x_{2p+2}[r]
-                        sink.emit(2 * p + 2, r, sum0);
-                        tmp.set(r, sum1); // U x_{2p+2}: next round's head
+            backward_sweep(sched, sync, barrier, t, (2 * p + 2) as u64, |r| {
+                // SAFETY: even[c] for c in U-row r is already the new
+                // iterate (later color or same block, processed first in
+                // this bottom-up order); odd slots are read-only here. The
+                // point-to-point backward wait also orders this block's
+                // even-row overwrites after every later-color reader's
+                // forward sweep (the anti-dependency).
+                unsafe {
+                    // Mirror of the forward sweep: two 2-way unrolled
+                    // dot products over the U row.
+                    let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
+                    let main = hi - (hi - lo) % 2;
+                    let mut sum0a = tmp.get(r);
+                    let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
+                    let mut j = lo;
+                    while j < main {
+                        let c0 = u_col[j] as usize;
+                        let c1 = u_col[j + 1] as usize;
+                        let v0 = u_val[j];
+                        let v1 = u_val[j + 1];
+                        sum0a += v0 * layout.get_odd(c0);
+                        sum0b += v1 * layout.get_odd(c1);
+                        sum1a += v0 * layout.get_even(c0);
+                        sum1b += v1 * layout.get_even(c1);
+                        j += 2;
                     }
+                    if j < hi {
+                        let c = u_col[j] as usize;
+                        let v = u_val[j];
+                        sum0a += v * layout.get_odd(c);
+                        sum1a += v * layout.get_even(c);
+                    }
+                    let sum0 = sum0a + sum0b;
+                    let sum1 = sum1a + sum1b;
+                    layout.set_even(r, sum0); // x_{2p+2}[r]
+                    sink.emit(2 * p + 2, r, sum0);
+                    tmp.set(r, sum1); // U x_{2p+2}: next round's head
                 }
-                barrier.wait();
-            }
+            });
         }
 
         if odd_k {
+            // Point-to-point sweeps end without a barrier, but the tail
+            // reads tmp/even across the flat partition, so close the last
+            // sweep (when there was one) with an explicit barrier; the
+            // barrier schedule already ended every color — including the
+            // last — with one.
+            if rounds > 0 && matches!(sync, SyncCtx::PointToPoint { .. }) {
+                barrier.wait();
+            }
             // Tail: x_k = tmp + D x_{k-1} + L x_{k-1} with x_{k-1} in the
             // even slots and tmp = U x_{k-1} from the last backward sweep
             // (or from the head when k == 1).
@@ -301,7 +423,17 @@ mod tests {
         let mut out = vec![0.0; n];
         {
             let layout = BtbXy::new(&mut xy);
-            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &NullSink);
+            run_fbmpk(
+                &pool,
+                &sched,
+                &split,
+                &layout,
+                &mut tmp,
+                &mut out,
+                k,
+                &NullSink,
+                &SyncCtx::Barrier,
+            );
         }
         if k % 2 == 1 {
             out
@@ -340,7 +472,17 @@ mod tests {
             let mut out = vec![0.0; n];
             {
                 let layout = SplitXy::new(&mut even, &mut odd);
-                run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &NullSink);
+                run_fbmpk(
+                    &pool,
+                    &sched,
+                    &split,
+                    &layout,
+                    &mut tmp,
+                    &mut out,
+                    k,
+                    &NullSink,
+                    &SyncCtx::Barrier,
+                );
             }
             let got = if k % 2 == 1 { out } else { even };
             for (g, w) in got.iter().zip(&btb) {
@@ -368,7 +510,17 @@ mod tests {
         {
             let layout = BtbXy::new(&mut xy);
             let sink = CollectSink::new(&mut basis, n, k);
-            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &sink);
+            run_fbmpk(
+                &pool,
+                &sched,
+                &split,
+                &layout,
+                &mut tmp,
+                &mut out,
+                k,
+                &sink,
+                &SyncCtx::Barrier,
+            );
         }
         let want = reference_powers(&a, &x0, k);
         for i in 0..k {
@@ -401,7 +553,17 @@ mod tests {
         {
             let layout = BtbXy::new(&mut xy);
             let sink = AccumSink::new(&mut y, &coeffs);
-            run_fbmpk(&pool, &sched, &split, &layout, &mut tmp, &mut out, k, &sink);
+            run_fbmpk(
+                &pool,
+                &sched,
+                &split,
+                &layout,
+                &mut tmp,
+                &mut out,
+                k,
+                &sink,
+                &SyncCtx::Barrier,
+            );
         }
         let refs = reference_powers(&a, &x0, k);
         for r in 0..n {

@@ -44,6 +44,7 @@ pub mod workspace;
 
 pub use engine::MpkEngine;
 pub use plan::{FbmpkOptions, FbmpkPlan, VectorLayout};
+pub use schedule::{Schedule, SyncCtx, SyncMode};
 pub use standard::StandardMpk;
 pub use tune::{KernelVariant, MatrixFeatures, TuneOptions, TunedPlan};
 pub use workspace::Workspace;

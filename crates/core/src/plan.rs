@@ -9,11 +9,11 @@
 
 use crate::kernel::run_fbmpk;
 use crate::layout::{BtbXy, SplitXy};
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, SyncCtx, SyncMode};
 use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
 use crate::{FbmpkError, Result};
-use fbmpk_parallel::ThreadPool;
-use fbmpk_reorder::{Abmc, AbmcParams};
+use fbmpk_parallel::{BlockFlags, ThreadPool};
+use fbmpk_reorder::{Abmc, AbmcParams, BlockDeps};
 use fbmpk_sparse::{Csr, Permutation, TriangularSplit};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,23 +44,35 @@ pub struct FbmpkOptions {
     /// tends to reduce the quotient-graph color count on irregular inputs.
     /// Only meaningful together with `reorder`.
     pub pre_rcm: bool,
+    /// Intra-sweep synchronization: barrier per color, or barrier-free
+    /// point-to-point block waits (see [`SyncMode`]). Bit-identical
+    /// results either way; point-to-point wins when colors are many or
+    /// narrow.
+    pub sync: SyncMode,
+    /// Pin pool workers to cores at startup (best-effort; see
+    /// [`fbmpk_parallel::affinity`]). Only applies to pools created by
+    /// [`FbmpkPlan::new`] — [`FbmpkPlan::with_pool`] keeps the caller's
+    /// pool as-is.
+    pub pin_threads: bool,
 }
 
 impl Default for FbmpkOptions {
     fn default() -> Self {
-        FbmpkOptions { nthreads: 1, reorder: None, layout: VectorLayout::default(), pre_rcm: false }
+        FbmpkOptions {
+            nthreads: 1,
+            reorder: None,
+            layout: VectorLayout::default(),
+            pre_rcm: false,
+            sync: SyncMode::default(),
+            pin_threads: false,
+        }
     }
 }
 
 impl FbmpkOptions {
     /// Parallel configuration with default ABMC parameters.
     pub fn parallel(nthreads: usize) -> Self {
-        FbmpkOptions {
-            nthreads,
-            reorder: Some(AbmcParams::default()),
-            layout: VectorLayout::default(),
-            pre_rcm: false,
-        }
+        FbmpkOptions { nthreads, reorder: Some(AbmcParams::default()), ..Default::default() }
     }
 }
 
@@ -78,6 +90,13 @@ pub struct PlanStats {
     pub nblocks: usize,
 }
 
+/// Point-to-point synchronization state: per-block wait lists plus the
+/// epoch flag table the sweeps mark and poll.
+struct P2pState {
+    deps: BlockDeps,
+    flags: BlockFlags,
+}
+
 /// A prepared FBMPK executor.
 pub struct FbmpkPlan {
     split: TriangularSplit,
@@ -85,6 +104,8 @@ pub struct FbmpkPlan {
     schedule: Schedule,
     pool: Arc<ThreadPool>,
     layout: VectorLayout,
+    sync: SyncMode,
+    p2p: Option<P2pState>,
     stats: PlanStats,
     n: usize,
 }
@@ -98,7 +119,11 @@ impl FbmpkPlan {
     /// [`FbmpkError::ParallelNeedsReorder`] when `nthreads > 1` without
     /// `reorder`.
     pub fn new(a: &Csr, options: FbmpkOptions) -> Result<Self> {
-        Self::with_pool(a, options, Arc::new(ThreadPool::new(options.nthreads)))
+        Self::with_pool(
+            a,
+            options,
+            Arc::new(ThreadPool::with_affinity(options.nthreads, options.pin_threads)),
+        )
     }
 
     /// Like [`FbmpkPlan::new`] but reusing an existing pool (whose size
@@ -150,7 +175,32 @@ impl FbmpkPlan {
             None => Schedule::serial(n),
         };
         debug_assert!(schedule.validate().is_ok());
-        Ok(FbmpkPlan { split, perm, schedule, pool, layout: options.layout, stats, n })
+        let p2p = match options.sync {
+            SyncMode::ColorBarrier => None,
+            SyncMode::PointToPoint => {
+                // Derive the wait lists from the same (ordering, split)
+                // pair the schedule was built from; the serial fallback
+                // has one barrier-free block with nothing to wait on.
+                let deps = match &abmc {
+                    Some(abmc) => BlockDeps::build(abmc, &split),
+                    None => BlockDeps::trivial(schedule.nblocks()),
+                };
+                debug_assert!(deps.validate().is_ok());
+                let flags = BlockFlags::new(schedule.nblocks());
+                Some(P2pState { deps, flags })
+            }
+        };
+        Ok(FbmpkPlan {
+            split,
+            perm,
+            schedule,
+            pool,
+            layout: options.layout,
+            sync: options.sync,
+            p2p,
+            stats,
+            n,
+        })
     }
 
     /// Matrix dimension.
@@ -192,6 +242,24 @@ impl FbmpkPlan {
     /// The configured iterate-pair layout.
     pub fn layout(&self) -> VectorLayout {
         self.layout
+    }
+
+    /// The configured sweep synchronization mode.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync
+    }
+
+    /// The per-block dependency lists, when the plan runs point-to-point.
+    pub fn block_deps(&self) -> Option<&BlockDeps> {
+        self.p2p.as_ref().map(|s| &s.deps)
+    }
+
+    /// The synchronization context the kernels run under.
+    pub(crate) fn sync_ctx(&self) -> SyncCtx<'_> {
+        match &self.p2p {
+            Some(s) => SyncCtx::PointToPoint { deps: &s.deps, flags: &s.flags },
+            None => SyncCtx::Barrier,
+        }
     }
 
     /// Computes `Aᵏ x₀`.
@@ -267,6 +335,7 @@ impl FbmpkPlan {
                         &mut out,
                         k,
                         sink,
+                        &self.sync_ctx(),
                     );
                 }
                 if k % 2 == 1 {
@@ -289,6 +358,7 @@ impl FbmpkPlan {
                         &mut out,
                         k,
                         sink,
+                        &self.sync_ctx(),
                     );
                 }
                 if k % 2 == 1 {

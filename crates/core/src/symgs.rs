@@ -16,7 +16,8 @@
 //! (stable during this color's phase) or in the same block (processed
 //! sequentially by the owning thread).
 
-use crate::schedule::Schedule;
+use crate::kernel::{backward_sweep, forward_sweep, reset_own_flags};
+use crate::schedule::{Schedule, SyncCtx};
 use fbmpk_parallel::{SharedSlice, ThreadPool};
 use fbmpk_sparse::TriangularSplit;
 
@@ -26,6 +27,13 @@ use fbmpk_sparse::TriangularSplit;
 /// `b` is the right-hand side. The sweep order is the (permuted) row order
 /// encoded by the schedule.
 ///
+/// `sync` selects barrier-per-color or point-to-point block
+/// synchronization. SYMGS updates `x` in place, which is exactly why the
+/// dependency lists carry anti-dependencies: in point-to-point mode a
+/// block may not overwrite its rows until every earlier-color reader of
+/// those rows has passed (forward), and symmetrically backward — the
+/// same-epoch flag wait on the union list guarantees both.
+///
 /// # Panics
 /// Panics on length mismatches or a zero diagonal entry.
 pub fn run_symgs(
@@ -34,6 +42,7 @@ pub fn run_symgs(
     split: &TriangularSplit,
     b: &[f64],
     x: &mut [f64],
+    sync: &SyncCtx,
 ) {
     let n = split.n();
     assert_eq!(sched.n, n, "schedule dimension mismatch");
@@ -41,11 +50,16 @@ pub fn run_symgs(
     assert_eq!(x.len(), n);
     assert_eq!(pool.nthreads(), sched.nthreads, "pool/schedule thread count mismatch");
     assert!(split.diag.iter().all(|&d| d != 0.0), "SYMGS requires a nonzero diagonal");
+    if let SyncCtx::PointToPoint { deps, flags } = sync {
+        assert_eq!(deps.nblocks(), sched.nblocks(), "dependency/schedule block count mismatch");
+        assert_eq!(flags.len(), sched.nblocks(), "flag/schedule block count mismatch");
+    }
     let x = SharedSlice::new(x);
     let lower = &split.lower;
     let upper = &split.upper;
     let diag = &split.diag;
     let barrier = pool.barrier();
+    let p2p = matches!(sync, SyncCtx::PointToPoint { .. });
 
     pool.run(&|t| {
         let l_ptr = lower.row_ptr();
@@ -58,7 +72,8 @@ pub fn run_symgs(
             // SAFETY: row r is owned by this thread in this phase; L-cols
             // are finished (earlier color / earlier in block), U-cols are
             // untouched this phase (later color / later in block) — the
-            // multi-color GS invariant validated by fbmpk-reorder.
+            // multi-color GS invariant validated by fbmpk-reorder, enforced
+            // per color by the barrier or per block by the flag waits.
             unsafe {
                 let mut s = b[r];
                 for j in l_ptr[r]..l_ptr[r + 1] {
@@ -70,20 +85,18 @@ pub fn run_symgs(
                 x.set(r, s / diag[r]);
             }
         };
-        // Forward: colors ascending, rows top-down.
-        for per_thread in sched.colors.iter() {
-            for r in per_thread[t].clone() {
-                update(r);
-            }
+        if p2p {
+            // Unlike FBMPK there is no head stage ahead of the first
+            // sweep, so publish the flag resets explicitly before anyone
+            // starts waiting on them.
+            reset_own_flags(sched, sync, t);
             barrier.wait();
         }
-        // Backward: colors descending, rows bottom-up.
-        for per_thread in sched.colors.iter().rev() {
-            for r in per_thread[t].clone().rev() {
-                update(r);
-            }
-            barrier.wait();
-        }
+        // Forward (epoch 1) then backward (epoch 2); the anti-dependency
+        // halves of the wait lists order the two sweeps against each
+        // other, so no barrier separates them in point-to-point mode.
+        forward_sweep(sched, sync, barrier, t, 1, update);
+        backward_sweep(sched, sync, barrier, t, 2, update);
     });
 }
 
@@ -100,14 +113,15 @@ impl crate::plan::FbmpkPlan {
         let n = self.n();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
+        let sync = self.sync_ctx();
         match self.permutation() {
             Some(p) => {
                 let bp = p.apply_vec_alloc(b);
                 let mut xp = p.apply_vec_alloc(x);
-                run_symgs(self.pool(), self.schedule(), self.split(), &bp, &mut xp);
+                run_symgs(self.pool(), self.schedule(), self.split(), &bp, &mut xp, &sync);
                 p.unapply_vec(&xp, x);
             }
-            None => run_symgs(self.pool(), self.schedule(), self.split(), b, x),
+            None => run_symgs(self.pool(), self.schedule(), self.split(), b, x, &sync),
         }
     }
 }

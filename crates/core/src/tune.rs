@@ -22,8 +22,11 @@
 //! `row_ptr` (see `fbmpk_parallel::partition::merge_path_partition`), so a
 //! thread's share of `rows + nnz` work is bounded regardless of skew.
 
+use crate::plan::{FbmpkOptions, FbmpkPlan};
+use crate::schedule::SyncMode;
 use fbmpk_parallel::partition::merge_path_partition;
 use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_reorder::AbmcParams;
 use fbmpk_sparse::sellcs::SellCs;
 use fbmpk_sparse::spmv::{spmv_rows, spmv_rows_rowsplit, spmv_rows_unrolled4};
 use fbmpk_sparse::stats::MatrixStats;
@@ -143,11 +146,15 @@ pub struct TuneOptions {
     pub probe: bool,
     /// SpMV repetitions per candidate in the micro-probe.
     pub probe_reps: usize,
+    /// Sweep synchronization mode handed to FBMPK plans derived from this
+    /// tuning via [`TunedPlan::fbmpk_plan`]. Plain SpMV has no intra-sweep
+    /// dependencies, so the mode does not affect the tuned executor itself.
+    pub sync: SyncMode,
 }
 
 impl Default for TuneOptions {
     fn default() -> Self {
-        TuneOptions { nthreads: 1, probe: true, probe_reps: 3 }
+        TuneOptions { nthreads: 1, probe: true, probe_reps: 3, sync: SyncMode::default() }
     }
 }
 
@@ -191,6 +198,7 @@ pub struct TunedPlan {
     features: MatrixFeatures,
     ranges: Vec<Range<usize>>,
     pool: Arc<ThreadPool>,
+    sync: SyncMode,
     report: TuneReport,
 }
 
@@ -263,7 +271,16 @@ impl TunedPlan {
             sell_padding,
             inspect_seconds: t0.elapsed().as_secs_f64(),
         };
-        TunedPlan { a: a.clone(), sell, variant, features, ranges, pool, report }
+        TunedPlan {
+            a: a.clone(),
+            sell,
+            variant,
+            features,
+            ranges,
+            pool,
+            sync: options.sync,
+            report,
+        }
     }
 
     /// Returns the cached plan for `a` (building and inserting it on the
@@ -271,9 +288,9 @@ impl TunedPlan {
     /// the matrix plus the thread count, so distinct matrices or executor
     /// widths get distinct plans.
     pub fn cached(a: &Csr, options: TuneOptions) -> Arc<TunedPlan> {
-        type PlanCache = Mutex<HashMap<(u64, usize), Arc<TunedPlan>>>;
+        type PlanCache = Mutex<HashMap<(u64, usize, u8), Arc<TunedPlan>>>;
         static CACHE: OnceLock<PlanCache> = OnceLock::new();
-        let key = (fingerprint(a), options.nthreads);
+        let key = (fingerprint(a), options.nthreads, options.sync as u8);
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
             return Arc::clone(plan);
@@ -308,6 +325,30 @@ impl TunedPlan {
     /// The merge-path row partition the parallel executor uses.
     pub fn ranges(&self) -> &[Range<usize>] {
         &self.ranges
+    }
+
+    /// The sweep synchronization mode plans derived from this tuning use.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync
+    }
+
+    /// Builds an FBMPK plan for the same matrix that *shares* this plan's
+    /// worker pool and inherits its [`SyncMode`] — the bridge from tuned
+    /// plain-SpMV sequences to the fused forward/backward kernel.
+    /// `reorder` supplies the ABMC parameters (required whenever the pool
+    /// is parallel, same as [`FbmpkPlan::new`]).
+    ///
+    /// # Errors
+    /// Propagates [`FbmpkPlan::with_pool`] errors (e.g. a parallel pool
+    /// without reordering).
+    pub fn fbmpk_plan(&self, reorder: Option<AbmcParams>) -> crate::Result<FbmpkPlan> {
+        let options = FbmpkOptions {
+            nthreads: self.pool.nthreads(),
+            reorder,
+            sync: self.sync,
+            ..FbmpkOptions::default()
+        };
+        FbmpkPlan::with_pool(&self.a, options, Arc::clone(&self.pool))
     }
 
     /// Computes `y = A x` with the tuned kernel.
@@ -640,7 +681,10 @@ mod tests {
             let mut want = vec![0.0; n];
             spmv(&a, &x, &mut want);
             for nthreads in [1, 2, 4] {
-                let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe: true, probe_reps: 1 });
+                let plan = TunedPlan::new(
+                    &a,
+                    TuneOptions { nthreads, probe: true, probe_reps: 1, ..Default::default() },
+                );
                 let mut got = vec![0.0; n];
                 plan.spmv(&x, &mut got);
                 assert!(
@@ -658,7 +702,10 @@ mod tests {
         let n = a.nrows();
         let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
         let baseline = crate::StandardMpk::new(&a, 1).unwrap();
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 2, probe: false, probe_reps: 1 });
+        let plan = TunedPlan::new(
+            &a,
+            TuneOptions { nthreads: 2, probe: false, probe_reps: 1, ..Default::default() },
+        );
         for k in [1, 2, 5] {
             let want = baseline.power(&x0, k);
             let got = plan.power(&x0, k);
@@ -722,19 +769,25 @@ mod tests {
     #[test]
     fn cache_returns_same_plan() {
         let a = grid(7);
-        let opts = TuneOptions { nthreads: 1, probe: false, probe_reps: 1 };
+        let opts = TuneOptions { nthreads: 1, probe: false, probe_reps: 1, ..Default::default() };
         let p1 = TunedPlan::cached(&a, opts);
         let p2 = TunedPlan::cached(&a, opts);
         assert!(Arc::ptr_eq(&p1, &p2), "second lookup must hit the cache");
         // A different thread count is a different plan.
-        let p3 = TunedPlan::cached(&a, TuneOptions { nthreads: 2, probe: false, probe_reps: 1 });
+        let p3 = TunedPlan::cached(
+            &a,
+            TuneOptions { nthreads: 2, probe: false, probe_reps: 1, ..Default::default() },
+        );
         assert!(!Arc::ptr_eq(&p1, &p3));
     }
 
     #[test]
     fn report_has_probe_data() {
         let a = grid(10);
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 2 });
+        let plan = TunedPlan::new(
+            &a,
+            TuneOptions { nthreads: 1, probe: true, probe_reps: 2, ..Default::default() },
+        );
         let r = plan.report();
         assert!(!r.probed.is_empty());
         assert!(r.probed.iter().any(|(v, _)| *v == KernelVariant::CsrScalar));

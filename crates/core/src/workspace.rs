@@ -136,6 +136,7 @@ impl FbmpkPlan {
                     &mut ws.out,
                     k,
                     sink,
+                    &self.sync_ctx(),
                 );
             }
             VectorLayout::Split => {
@@ -151,6 +152,7 @@ impl FbmpkPlan {
                     &mut ws.out,
                     k,
                     sink,
+                    &self.sync_ctx(),
                 );
             }
         }

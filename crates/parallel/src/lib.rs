@@ -16,13 +16,20 @@
 //!   assigned by nnz; the paper's "number of blocks for each thread task are
 //!   allocated in advance"),
 //! * [`shared::SharedSlice`] — the unsafe shared-output cell with the
-//!   disjoint-writes contract the colored schedule guarantees.
+//!   disjoint-writes contract the colored schedule guarantees,
+//! * [`sync::BlockFlags`] / [`sync::Backoff`] — per-block epoch flags and
+//!   the bounded spin-then-yield waiter behind the barrier-free
+//!   point-to-point sweep mode,
+//! * [`affinity`] — best-effort worker→core pinning for the pool.
 
+pub mod affinity;
 pub mod barrier;
 pub mod partition;
 pub mod pool;
 pub mod shared;
+pub mod sync;
 
 pub use barrier::SenseBarrier;
 pub use pool::ThreadPool;
 pub use shared::SharedSlice;
+pub use sync::{Backoff, BlockFlags};

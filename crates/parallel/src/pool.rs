@@ -44,10 +44,11 @@ pub struct ThreadPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     nthreads: usize,
     barrier: Arc<SenseBarrier>,
+    pinned: bool,
 }
 
 impl ThreadPool {
-    /// Creates a pool with `nthreads` workers.
+    /// Creates a pool with `nthreads` workers (no affinity pinning).
     ///
     /// `nthreads == 1` creates no OS threads: [`ThreadPool::run`] executes
     /// inline, so single-threaded baselines measure pure kernel time.
@@ -55,6 +56,18 @@ impl ThreadPool {
     /// # Panics
     /// Panics if `nthreads == 0`.
     pub fn new(nthreads: usize) -> Self {
+        Self::with_affinity(nthreads, false)
+    }
+
+    /// Creates a pool, optionally pinning worker `t` to core `t mod cores`
+    /// at startup (see [`crate::affinity`]). Pinning is best-effort: a
+    /// rejected mask leaves the worker floating. The inline single-thread
+    /// pool never pins (that would permanently constrain the *caller's*
+    /// thread).
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0`.
+    pub fn with_affinity(nthreads: usize, pin: bool) -> Self {
         assert!(nthreads > 0, "pool needs at least one thread");
         let inner = Arc::new(Inner {
             state: Mutex::new(State { epoch: 0, job: None, active: 0, shutdown: false }),
@@ -62,23 +75,41 @@ impl ThreadPool {
             done_cv: Condvar::new(),
         });
         let mut handles = Vec::new();
+        let pinned = pin && nthreads > 1;
         if nthreads > 1 {
+            let cores = crate::affinity::available_cores();
             for tid in 0..nthreads {
                 let inner = Arc::clone(&inner);
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("fbmpk-worker-{tid}"))
-                        .spawn(move || worker_loop(&inner, tid))
+                        .spawn(move || {
+                            if pinned {
+                                let _ = crate::affinity::pin_current_thread(tid % cores);
+                            }
+                            worker_loop(&inner, tid)
+                        })
                         .expect("spawning pool worker"),
                 );
             }
         }
-        ThreadPool { inner, handles, nthreads, barrier: Arc::new(SenseBarrier::new(nthreads)) }
+        ThreadPool {
+            inner,
+            handles,
+            nthreads,
+            barrier: Arc::new(SenseBarrier::new(nthreads)),
+            pinned,
+        }
     }
 
     /// Number of workers.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// Whether the workers requested core affinity at startup.
+    pub fn pinned(&self) -> bool {
+        self.pinned
     }
 
     /// The pool-wide barrier, sized to `nthreads`. Inside [`ThreadPool::run`]
@@ -272,5 +303,23 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_threads_panics() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn pinned_pool_runs_correctly() {
+        // Affinity is best-effort; whatever the kernel decided, the pool
+        // must still execute every worker.
+        let pool = ThreadPool::with_affinity(4, true);
+        assert!(pool.pinned());
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 40);
+        // The inline single-thread pool never pins the caller.
+        assert!(!ThreadPool::with_affinity(1, true).pinned());
+        assert!(!ThreadPool::new(3).pinned());
     }
 }

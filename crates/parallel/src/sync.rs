@@ -1,0 +1,233 @@
+//! Point-to-point synchronization primitives for barrier-free sweeps.
+//!
+//! The colored sweeps' baseline synchronization is one pool-wide barrier
+//! per color, which charges every thread for the slowest thread of every
+//! color even though a block only depends on the handful of predecessor
+//! blocks its rows actually reference (Alappat et al., arXiv:2205.01598).
+//! This module provides the two pieces a dependency-driven runtime needs:
+//!
+//! * [`BlockFlags`] — a cache-line-padded table of per-block epoch
+//!   counters. A thread publishes "block `b` is done for epoch `e`" with a
+//!   release store; a consumer spins with acquire loads until its
+//!   predecessors reach the epoch it needs. The release/acquire pair is
+//!   what makes the predecessor's writes to the iterate vectors visible.
+//! * [`Backoff`] — a bounded exponential spin-then-yield waiter shared by
+//!   the flag waits and [`crate::SenseBarrier`], so oversubscribed hosts
+//!   (more threads than cores) degrade to scheduler yields instead of
+//!   burning a full quantum spinning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded exponential backoff: spin in growing bursts, then yield.
+///
+/// The first [`Backoff::snooze`] executes one `spin_loop` hint, the next
+/// two, then four, … up to `2^SPIN_LIMIT`; every snooze after that yields
+/// to the OS scheduler. Waits that resolve in nanoseconds never leave
+/// user space; waits that lose the race to a descheduled predecessor stop
+/// thrashing the core the predecessor needs.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Snoozes past this step yield to the scheduler instead of spinning.
+    pub const SPIN_LIMIT: u32 = 6;
+
+    /// A fresh waiter (starts in the spinning regime).
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Rearms the waiter for a new wait loop.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits a little longer than last time: `2^step` spin hints while
+    /// `step <= SPIN_LIMIT`, a `yield_now` afterwards.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// `true` once the waiter has exhausted its spin budget and fallen
+    /// back to yielding.
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+}
+
+/// One flag per cache line: neighbours in the table must not invalidate
+/// each other when different threads mark adjacent blocks.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Slot(AtomicU64);
+
+/// A per-block atomic epoch table.
+///
+/// Epoch `0` means "not yet produced this kernel invocation"; sweeps mark
+/// a block with the 1-based epoch of the sweep that finished it. Because
+/// every block is owned by one thread for the whole invocation and sweeps
+/// run in epoch order on that thread, `flag[b] >= e` also implies every
+/// earlier epoch of `b` is complete — one counter subsumes per-sweep
+/// ready bits.
+#[derive(Debug)]
+pub struct BlockFlags {
+    slots: Box<[Slot]>,
+}
+
+impl BlockFlags {
+    /// A table of `nblocks` flags, all at epoch `0`.
+    pub fn new(nblocks: usize) -> Self {
+        BlockFlags { slots: (0..nblocks).map(|_| Slot(AtomicU64::new(0))).collect() }
+    }
+
+    /// Number of blocks tracked.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the table tracks no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resets every flag to epoch `0` (single-threaded use, e.g. by the
+    /// caller before launching a parallel region).
+    pub fn reset(&self) {
+        for s in self.slots.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets one flag to epoch `0` (for per-thread resets of owned
+    /// blocks; a barrier must separate the resets from the first wait).
+    #[inline]
+    pub fn reset_one(&self, b: usize) {
+        self.slots[b].0.store(0, Ordering::Relaxed);
+    }
+
+    /// Publishes "block `b` has finished epoch `epoch`". Release ordering:
+    /// pairs with the acquire loads in [`BlockFlags::wait_for`] so the
+    /// marker's preceding writes become visible to waiters.
+    #[inline]
+    pub fn mark(&self, b: usize, epoch: u64) {
+        self.slots[b].0.store(epoch, Ordering::Release);
+    }
+
+    /// Current epoch of block `b` (acquire).
+    #[inline]
+    pub fn load(&self, b: usize) -> u64 {
+        self.slots[b].0.load(Ordering::Acquire)
+    }
+
+    /// Blocks until `flag[b] >= epoch`, spinning with [`Backoff`].
+    #[inline]
+    pub fn wait_for(&self, b: usize, epoch: u64) {
+        let slot = &self.slots[b].0;
+        if slot.load(Ordering::Acquire) >= epoch {
+            return;
+        }
+        let mut backoff = Backoff::new();
+        while slot.load(Ordering::Acquire) < epoch {
+            backoff.snooze();
+        }
+    }
+
+    /// Blocks until every block in `deps` has reached `epoch`.
+    #[inline]
+    pub fn wait_all(&self, deps: &[u32], epoch: u64) {
+        for &d in deps {
+            self.wait_for(d as usize, epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_spins_then_yields() {
+        let mut b = Backoff::new();
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            assert!(!b.is_yielding());
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.snooze(); // stays in the yielding regime without overflowing
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn flags_mark_and_load() {
+        let f = BlockFlags::new(4);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        for b in 0..4 {
+            assert_eq!(f.load(b), 0);
+        }
+        f.mark(2, 7);
+        assert_eq!(f.load(2), 7);
+        f.wait_for(2, 7); // already satisfied: returns immediately
+        f.wait_all(&[2], 3); // lower epoch also satisfied
+        f.reset();
+        assert_eq!(f.load(2), 0);
+        f.mark(1, 5);
+        f.reset_one(1);
+        assert_eq!(f.load(1), 0);
+    }
+
+    #[test]
+    fn wait_for_observes_cross_thread_mark() {
+        let flags = Arc::new(BlockFlags::new(2));
+        let data = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flags), Arc::clone(&data));
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            d2.store(42, Ordering::Relaxed);
+            f2.mark(0, 1);
+        });
+        flags.wait_for(0, 1);
+        // Release/acquire: the data store must be visible after the wait.
+        assert_eq!(data.load(Ordering::Relaxed), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn chained_waits_order_many_threads() {
+        // Thread i waits for block i-1 at epoch 1, then marks block i; the
+        // chain must complete in order regardless of spawn order.
+        const T: usize = 8;
+        let flags = Arc::new(BlockFlags::new(T));
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..T)
+            .rev() // spawn in reverse to maximize real waiting
+            .map(|i| {
+                let flags = Arc::clone(&flags);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    if i > 0 {
+                        flags.wait_for(i - 1, 1);
+                    }
+                    order.lock().unwrap().push(i);
+                    flags.mark(i, 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), (0..T).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,353 @@
+//! Per-block dependency lists for barrier-free colored sweeps.
+//!
+//! The ABMC barrier schedule over-synchronizes: after color `c`, *every*
+//! thread waits for *every* block of `c`, although a block's forward
+//! update only reads the earlier-color blocks its `L` entries actually
+//! reference (and symmetrically for `U` in the backward sweep). This
+//! module derives, from the quotient structure of the permuted triangular
+//! split, the exact per-block wait lists a point-to-point runtime needs
+//! (the level/color-blocking argument of Alappat et al.,
+//! arXiv:2205.01598).
+//!
+//! # What the lists must contain
+//!
+//! For epoch-counted sweeps (one epoch per sweep, same-epoch waits), each
+//! direction needs the union of a *flow* and an *anti* list:
+//!
+//! * forward flow: earlier-color blocks holding columns of `b`'s `L`
+//!   entries — their current-sweep values feed `b`'s update;
+//! * forward anti: earlier-color blocks with `U` entries *into* `b` —
+//!   they read `b`'s rows during the previous backward sweep (FBMPK) or
+//!   the pre-sweep iterate (in-place SymGS), so `b` must not overwrite
+//!   those rows before the readers' current sweep has begun `b`-ward of
+//!   them; waiting for the reader's same-epoch flag is the cheapest
+//!   sufficient condition, and for FBMPK it is implied by program order
+//!   on the reader's owning thread;
+//! * backward flow / anti: the mirror images over `U` / `L`.
+//!
+//! By construction every dependency edge is recorded symmetrically:
+//! `d ∈ fwd(b)  ⇔  b ∈ bwd(d)`. For structurally symmetric matrices flow
+//! and anti coincide and the lists are exactly the quotient-graph
+//! neighbourhoods split by color order.
+
+use crate::abmc::Abmc;
+use fbmpk_sparse::{Csr, TriangularSplit};
+
+/// Per-block wait lists for the forward (ascending colors) and backward
+/// (descending colors) sweeps, in the ABMC block numbering (blocks sorted
+/// by color, ids dense in `0..nblocks`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDeps {
+    /// `fwd[b]` = blocks (all of strictly earlier color) the forward
+    /// sweep of `b` must wait for, sorted ascending, deduplicated.
+    fwd: Vec<Vec<u32>>,
+    /// `bwd[b]` = blocks (all of strictly later color) the backward
+    /// sweep of `b` must wait for, sorted ascending, deduplicated.
+    bwd: Vec<Vec<u32>>,
+    /// Color of each block.
+    color_of: Vec<u32>,
+}
+
+impl BlockDeps {
+    /// Derives the wait lists from an ABMC ordering and the triangular
+    /// split of the **permuted** matrix (the pair every colored
+    /// [`crate::Abmc::validate_against`]-checked schedule is built from).
+    ///
+    /// # Panics
+    /// Panics when the split's dimension disagrees with the ordering.
+    pub fn build(abmc: &Abmc, split: &TriangularSplit) -> Self {
+        let n = split.n();
+        assert_eq!(n, abmc.permutation().len(), "split/ordering dimension mismatch");
+        let nblocks = abmc.nblocks();
+        let mut block_of = vec![0u32; n];
+        for b in 0..nblocks {
+            for r in abmc.block_rows(b) {
+                block_of[r] = b as u32;
+            }
+        }
+        let mut color_of = vec![0u32; nblocks];
+        for c in 0..abmc.ncolors() {
+            for b in abmc.color_blocks(c) {
+                color_of[b] = c as u32;
+            }
+        }
+        let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); nblocks];
+        let mut bwd: Vec<Vec<u32>> = vec![Vec::new(); nblocks];
+        // CSR rows visit each block's rows consecutively, so most
+        // duplicates are adjacent; the tail check keeps the lists short
+        // before the final sort+dedup.
+        let push = |list: &mut Vec<u32>, d: u32| {
+            if list.last() != Some(&d) {
+                list.push(d);
+            }
+        };
+        // L entry (r, c), c < r: under ABMC a cross-block entry joins
+        // strictly ordered colors, so block(c) is earlier-color than
+        // block(r). Forward flow for block(r); backward anti for
+        // block(c) (its backward overwrite must wait for the reader).
+        for_each_entry(&split.lower, |r, c| {
+            let (br, bc) = (block_of[r], block_of[c]);
+            if br != bc {
+                push(&mut fwd[br as usize], bc);
+                push(&mut bwd[bc as usize], br);
+            }
+        });
+        // U entry (r, c), c > r: block(c) is later-color. Backward flow
+        // for block(r); forward anti for block(c).
+        for_each_entry(&split.upper, |r, c| {
+            let (br, bc) = (block_of[r], block_of[c]);
+            if br != bc {
+                push(&mut bwd[br as usize], bc);
+                push(&mut fwd[bc as usize], br);
+            }
+        });
+        for list in fwd.iter_mut().chain(bwd.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        BlockDeps { fwd, bwd, color_of }
+    }
+
+    /// Wait lists for an unordered (single block, single color) schedule:
+    /// every list is empty.
+    pub fn trivial(nblocks: usize) -> Self {
+        BlockDeps {
+            fwd: vec![Vec::new(); nblocks],
+            bwd: vec![Vec::new(); nblocks],
+            color_of: vec![0; nblocks],
+        }
+    }
+
+    /// Number of blocks.
+    pub fn nblocks(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Blocks the forward sweep of `b` waits for (strictly earlier
+    /// colors).
+    #[inline]
+    pub fn fwd(&self, b: usize) -> &[u32] {
+        &self.fwd[b]
+    }
+
+    /// Blocks the backward sweep of `b` waits for (strictly later
+    /// colors).
+    #[inline]
+    pub fn bwd(&self, b: usize) -> &[u32] {
+        &self.bwd[b]
+    }
+
+    /// Color of block `b`.
+    #[inline]
+    pub fn color_of(&self, b: usize) -> u32 {
+        self.color_of[b]
+    }
+
+    /// Total dependency-edge count `Σ_b |fwd(b)|` (== `Σ_b |bwd(b)|`) —
+    /// what each point-to-point sweep inspects, versus the barrier
+    /// schedule's `threads × colors` global waits.
+    pub fn nedges(&self) -> usize {
+        self.fwd.iter().map(Vec::len).sum()
+    }
+
+    /// Structural soundness check, the deps-level analogue of
+    /// [`Abmc::validate_against`]: forward waits point strictly to
+    /// earlier colors and backward waits strictly to later colors (which
+    /// is what makes the point-to-point sweeps deadlock-free: every wait
+    /// targets a block scheduled earlier in that sweep's direction), no
+    /// self-dependencies, lists sorted and duplicate-free, and the two
+    /// directions mutually consistent (`d ∈ fwd(b) ⇔ b ∈ bwd(d)`).
+    pub fn validate(&self) -> Result<(), String> {
+        let nblocks = self.nblocks();
+        if self.bwd.len() != nblocks || self.color_of.len() != nblocks {
+            return Err("inconsistent table lengths".into());
+        }
+        for b in 0..nblocks {
+            for (list, earlier) in [(&self.fwd[b], true), (&self.bwd[b], false)] {
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("block {b}: wait list not sorted/deduplicated"));
+                }
+                for &d in list.iter() {
+                    if d as usize >= nblocks {
+                        return Err(format!("block {b}: dependency {d} out of range"));
+                    }
+                    let (cd, cb) = (self.color_of[d as usize], self.color_of[b]);
+                    if earlier && cd >= cb {
+                        return Err(format!(
+                            "block {b} (color {cb}) forward-waits on block {d} (color {cd})"
+                        ));
+                    }
+                    if !earlier && cd <= cb {
+                        return Err(format!(
+                            "block {b} (color {cb}) backward-waits on block {d} (color {cd})"
+                        ));
+                    }
+                    let mirror =
+                        if earlier { &self.bwd[d as usize] } else { &self.fwd[d as usize] };
+                    if mirror.binary_search(&(b as u32)).is_err() {
+                        return Err(format!("block {b}: dependency on {d} has no mirror edge"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Visits every structural entry `(row, col)` of a CSR matrix.
+fn for_each_entry(m: &Csr, mut f: impl FnMut(usize, usize)) {
+    let ptr = m.row_ptr();
+    let col = m.col_idx();
+    for r in 0..m.nrows() {
+        for &c in &col[ptr[r]..ptr[r + 1]] {
+            f(r, c as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abmc::{AbmcParams, BlockingStrategy};
+    use std::collections::BTreeSet;
+
+    fn tridiag(n: usize) -> Csr {
+        let mut coo = fbmpk_sparse::Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+                coo.push(i - 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Brute-force reference: the union of flow and anti dependencies
+    /// gathered entry-by-entry with sets.
+    fn reference(abmc: &Abmc, split: &TriangularSplit) -> (Vec<BTreeSet<u32>>, Vec<BTreeSet<u32>>) {
+        let n = split.n();
+        let mut block_of = vec![0u32; n];
+        for b in 0..abmc.nblocks() {
+            for r in abmc.block_rows(b) {
+                block_of[r] = b as u32;
+            }
+        }
+        let mut fwd = vec![BTreeSet::new(); abmc.nblocks()];
+        let mut bwd = vec![BTreeSet::new(); abmc.nblocks()];
+        for_each_entry(&split.lower, |r, c| {
+            if block_of[r] != block_of[c] {
+                fwd[block_of[r] as usize].insert(block_of[c]);
+                bwd[block_of[c] as usize].insert(block_of[r]);
+            }
+        });
+        for_each_entry(&split.upper, |r, c| {
+            if block_of[r] != block_of[c] {
+                bwd[block_of[r] as usize].insert(block_of[c]);
+                fwd[block_of[c] as usize].insert(block_of[r]);
+            }
+        });
+        (fwd, bwd)
+    }
+
+    fn check(a: &Csr, params: AbmcParams) -> BlockDeps {
+        let abmc = Abmc::new(a, params);
+        let permuted = abmc.apply(a);
+        // Precondition of the whole construction: the coloring is sound.
+        abmc.validate_against(&permuted).unwrap();
+        let split = TriangularSplit::split(&permuted).unwrap();
+        let deps = BlockDeps::build(&abmc, &split);
+        deps.validate().unwrap();
+        let (fwd, bwd) = reference(&abmc, &split);
+        for b in 0..abmc.nblocks() {
+            assert_eq!(deps.fwd(b), fwd[b].iter().copied().collect::<Vec<_>>().as_slice(), "b={b}");
+            assert_eq!(deps.bwd(b), bwd[b].iter().copied().collect::<Vec<_>>().as_slice(), "b={b}");
+        }
+        deps
+    }
+
+    #[test]
+    fn matches_reference_on_suite_of_shapes() {
+        for (n, nblocks) in [(60, 8), (100, 10), (37, 5)] {
+            let a = tridiag(n);
+            for strategy in [BlockingStrategy::Contiguous, BlockingStrategy::Aggregated] {
+                check(&a, AbmcParams { nblocks, strategy, ..Default::default() });
+            }
+        }
+    }
+
+    #[test]
+    fn unsymmetric_structure_includes_anti_deps() {
+        // cage-like matrices are structurally unsymmetric, so flow-only
+        // lists would differ between directions; the mirror property of
+        // validate() plus the reference comparison pins the union.
+        let a = crate::abmc::Abmc::new(
+            &fbmpk_gen_free_cage(64, 6, 3),
+            AbmcParams { nblocks: 8, ..Default::default() },
+        );
+        let permuted = a.apply(&fbmpk_gen_free_cage(64, 6, 3));
+        a.validate_against(&permuted).unwrap();
+        let split = TriangularSplit::split(&permuted).unwrap();
+        let deps = BlockDeps::build(&a, &split);
+        deps.validate().unwrap();
+        assert!(deps.nedges() > 0);
+    }
+
+    /// A small deterministic unsymmetric matrix (fbmpk-gen is not a
+    /// dependency of this crate).
+    fn fbmpk_gen_free_cage(n: usize, fanout: usize, seed: u64) -> Csr {
+        let mut coo = fbmpk_sparse::Coo::new(n, n);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for r in 0..n {
+            coo.push(r, r, 4.0).unwrap();
+            for _ in 0..fanout {
+                let c = (next() as usize) % n;
+                if c != r {
+                    let _ = coo.push(r, c, -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn tridiagonal_contiguous_deps_are_neighbors() {
+        // Contiguous blocks of a path: block b touches exactly b-1 and
+        // b+1; the forward list keeps only earlier colors, the backward
+        // list only later ones, and their union is the neighbourhood.
+        let a = tridiag(64);
+        let deps = check(
+            &a,
+            AbmcParams { nblocks: 8, strategy: BlockingStrategy::Contiguous, ..Default::default() },
+        );
+        for b in 0..deps.nblocks() {
+            let both: Vec<u32> = deps.fwd(b).iter().chain(deps.bwd(b)).copied().collect();
+            assert!(both.len() <= 2, "path block {b} has {} deps", both.len());
+            assert!(!both.contains(&(b as u32)));
+        }
+    }
+
+    #[test]
+    fn trivial_deps_are_empty_and_valid() {
+        let d = BlockDeps::trivial(1);
+        d.validate().unwrap();
+        assert_eq!(d.nblocks(), 1);
+        assert!(d.fwd(0).is_empty() && d.bwd(0).is_empty());
+        assert_eq!(d.nedges(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_color_order_violation() {
+        let mut d = BlockDeps::trivial(2);
+        // Forge a forward wait on a same-color block.
+        d.fwd[1].push(0);
+        d.bwd[0].push(1);
+        assert!(d.validate().is_err());
+    }
+}

@@ -18,11 +18,13 @@
 pub mod abmc;
 pub mod blocking;
 pub mod coloring;
+pub mod deps;
 pub mod graph;
 pub mod levels;
 pub mod rcm;
 
 pub use abmc::{Abmc, AbmcParams, BlockingStrategy};
 pub use coloring::{greedy_coloring, validate_coloring, ColoringOrdering};
+pub use deps::BlockDeps;
 pub use graph::Graph;
 pub use rcm::rcm;

@@ -1,0 +1,189 @@
+//! Point-to-point synchronization equivalence tests: barrier-free colored
+//! sweeps ([`SyncMode::PointToPoint`]) must be *bit-identical* to the
+//! barrier-per-color schedule and to the serial pipeline on the same ABMC
+//! ordering — the dependency waits only change when a row may start, never
+//! which thread computes it or the within-row arithmetic order.
+//!
+//! Set `FBMPK_TEST_THREADS` to add an extra (oversubscribed) thread count
+//! to every sweep — CI runs the suite with `FBMPK_TEST_THREADS=16` on top
+//! of the default `{1, 2, 4, 8}`.
+
+use fbmpk::{FbmpkOptions, FbmpkPlan, SyncMode};
+use fbmpk_reorder::AbmcParams;
+use proptest::prelude::*;
+
+fn start(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 71 % 127) as f64) / 63.5 - 1.0).collect()
+}
+
+/// Thread counts under test: `{1, 2, 4, 8}` plus `FBMPK_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut t = vec![1usize, 2, 4, 8];
+    if let Some(extra) =
+        std::env::var("FBMPK_TEST_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if extra > 0 && !t.contains(&extra) {
+            t.push(extra);
+        }
+    }
+    t
+}
+
+/// A plan on the given ABMC ordering; `threads == 1` uses the serial pool
+/// but still the colored schedule, so all three variants sweep the exact
+/// same block structure.
+fn plan(a: &fbmpk_sparse::Csr, threads: usize, nblocks: usize, sync: SyncMode) -> FbmpkPlan {
+    let opts = FbmpkOptions {
+        nthreads: threads,
+        reorder: Some(AbmcParams { nblocks, ..Default::default() }),
+        sync,
+        ..Default::default()
+    };
+    FbmpkPlan::new(a, opts).unwrap()
+}
+
+#[test]
+fn p2p_power_bitwise_matches_barrier_and_serial_across_suite() {
+    for (name, scale) in
+        [("cant", 0.002), ("G3_circuit", 0.001), ("Hook_1498", 0.001), ("nlpkkt120", 0.0003)]
+    {
+        let a = fbmpk_gen::suite::suite_entry(name).unwrap().generate(scale, 5);
+        let n = a.nrows();
+        let x0 = start(n);
+        let serial = plan(&a, 1, 64, SyncMode::ColorBarrier);
+        for t in thread_counts() {
+            let barrier = plan(&a, t, 64, SyncMode::ColorBarrier);
+            let p2p = plan(&a, t, 64, SyncMode::PointToPoint);
+            // Both k parities: even k ends on a backward sweep, odd k adds
+            // the tail stage after the last round.
+            for k in [4usize, 5] {
+                let want = serial.power(&x0, k);
+                assert_eq!(barrier.power(&x0, k), want, "{name} t={t} k={k} barrier");
+                assert_eq!(p2p.power(&x0, k), want, "{name} t={t} k={k} p2p");
+            }
+        }
+    }
+}
+
+#[test]
+fn p2p_krylov_and_sspmv_match_barrier_bitwise() {
+    let a = fbmpk_gen::suite::suite_entry("ldoor").unwrap().generate(0.001, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let coeffs = [0.25, -1.0, 0.5, 0.0, 2.0, -0.125];
+    for t in thread_counts() {
+        let barrier = plan(&a, t, 48, SyncMode::ColorBarrier);
+        let p2p = plan(&a, t, 48, SyncMode::PointToPoint);
+        for k in [3usize, 4] {
+            assert_eq!(barrier.krylov(&x0, k), p2p.krylov(&x0, k), "t={t} k={k}");
+        }
+        assert_eq!(barrier.sspmv(&coeffs, &x0), p2p.sspmv(&coeffs, &x0), "t={t}");
+    }
+}
+
+#[test]
+fn p2p_symgs_matches_barrier_bitwise() {
+    // SYMGS updates in place, so this exercises the anti-dependency half
+    // of the wait lists (a block must not overwrite rows an earlier-color
+    // block still reads).
+    let a = fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+        n: 600,
+        nnz_per_row: 11.0,
+        bandwidth: 80,
+        seed: 7,
+    });
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let serial = plan(&a, 1, 32, SyncMode::ColorBarrier);
+    for t in thread_counts() {
+        let barrier = plan(&a, t, 32, SyncMode::ColorBarrier);
+        let p2p = plan(&a, t, 32, SyncMode::PointToPoint);
+        let mut xs = vec![0.0; n];
+        let mut xb = vec![0.0; n];
+        let mut xp = vec![0.0; n];
+        for sweep in 0..3 {
+            serial.symgs_sweep(&b, &mut xs);
+            barrier.symgs_sweep(&b, &mut xb);
+            p2p.symgs_sweep(&b, &mut xp);
+            assert_eq!(xs, xb, "t={t} sweep={sweep} barrier");
+            assert_eq!(xs, xp, "t={t} sweep={sweep} p2p");
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_blocks_per_color_stress() {
+    // Far more threads than blocks: most threads own zero blocks in every
+    // color and must park correctly in both modes (idle threads still hit
+    // the color barriers; in point-to-point they have nothing to mark and
+    // nothing to wait on).
+    let a = fbmpk_gen::suite::suite_entry("cant").unwrap().generate(0.01, 5);
+    let n = a.nrows();
+    let x0 = start(n);
+    let threads = std::env::var("FBMPK_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16)
+        .max(16);
+    let serial = plan(&a, 1, 8, SyncMode::ColorBarrier);
+    let barrier = plan(&a, threads, 8, SyncMode::ColorBarrier);
+    let p2p = plan(&a, threads, 8, SyncMode::PointToPoint);
+    assert!(p2p.schedule().nblocks() < threads, "stress setup requires blocks < threads");
+    for rep in 0..5 {
+        for k in [4usize, 5] {
+            let want = serial.power(&x0, k);
+            assert_eq!(barrier.power(&x0, k), want, "rep={rep} k={k} barrier");
+            assert_eq!(p2p.power(&x0, k), want, "rep={rep} k={k} p2p");
+        }
+    }
+}
+
+/// Random banded SPD-ish systems: small enough to run many cases, varied
+/// enough to hit different color counts, block widths, and thread splits.
+fn arb_banded() -> impl Strategy<Value = fbmpk_sparse::Csr> {
+    (40usize..=220, 3usize..=24, 0u64..1000).prop_map(|(n, bandwidth, seed)| {
+        fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+            n,
+            nnz_per_row: 7.0,
+            bandwidth,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn p2p_power_equals_barrier_on_random_systems(
+        a in arb_banded(),
+        threads in 1usize..=8,
+        nblocks in 2usize..=40,
+        k in 1usize..=6,
+    ) {
+        let n = a.nrows();
+        let x0 = start(n);
+        let barrier = plan(&a, threads, nblocks, SyncMode::ColorBarrier);
+        let p2p = plan(&a, threads, nblocks, SyncMode::PointToPoint);
+        prop_assert_eq!(barrier.power(&x0, k), p2p.power(&x0, k));
+    }
+
+    #[test]
+    fn p2p_symgs_equals_barrier_on_random_systems(
+        a in arb_banded(),
+        threads in 1usize..=8,
+        nblocks in 2usize..=40,
+    ) {
+        let n = a.nrows();
+        let b = start(n);
+        let barrier = plan(&a, threads, nblocks, SyncMode::ColorBarrier);
+        let p2p = plan(&a, threads, nblocks, SyncMode::PointToPoint);
+        let mut xb = vec![0.0; n];
+        let mut xp = vec![0.0; n];
+        for _ in 0..2 {
+            barrier.symgs_sweep(&b, &mut xb);
+            p2p.symgs_sweep(&b, &mut xp);
+        }
+        prop_assert_eq!(xb, xp);
+    }
+}

@@ -124,7 +124,7 @@ proptest! {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
         let mut want = vec![0.0; n];
         spmv(&a, &x, &mut want);
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe, probe_reps: 1 });
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe, probe_reps: 1, ..Default::default() });
         let mut got = vec![0.0; n];
         plan.spmv(&x, &mut got);
         prop_assert!(
@@ -142,7 +142,7 @@ proptest! {
         let n = a.nrows();
         let x0: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) / 4.0 - 1.0).collect();
         let baseline = StandardMpk::new(&a, 1).unwrap();
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe: false, probe_reps: 1 });
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads, probe: false, probe_reps: 1, ..Default::default() });
         let want_p = baseline.power(&x0, k);
         let got_p = plan.power(&x0, k);
         prop_assert!(rel_err_inf(&got_p, &want_p) < 1e-12);
@@ -164,7 +164,7 @@ proptest! {
         let x: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let mut want = vec![0.0; n];
         spmv(&a, &x, &mut want);
-        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 1 });
+        let plan = TunedPlan::new(&a, TuneOptions { nthreads: 1, probe: true, probe_reps: 1, ..Default::default() });
         let mut got = vec![0.0; n];
         plan.spmv(&x, &mut got);
         prop_assert!(
