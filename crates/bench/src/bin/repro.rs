@@ -5,15 +5,19 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
 //!             fig10 | table3 | table4 | fig11 | fig12 | model |
-//!             ablation_blocks | tune | sync
+//!             ablation_blocks | tune | sync | profile
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under `--out`
-//! (default `EXPERIMENTS_RESULTS/`).
+//! (default `EXPERIMENTS_RESULTS/`). `profile` additionally writes
+//! `BENCH_profile.json` (effective bandwidth, traffic-vs-model, wait
+//! fractions, hardware counters) and `profile_trace.json`, a
+//! chrome://tracing / Perfetto-loadable per-thread timeline.
 
 use fbmpk_bench::report::{format_table, write_csv, write_json, Json};
 use fbmpk_bench::runner::{self, MatrixCase};
 use fbmpk_bench::{platform, BenchConfig};
+use fbmpk_obs::MetricValue;
 use std::path::PathBuf;
 
 struct Args {
@@ -58,7 +62,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
+                     \x20      [ablation_blocks|tune|sync|profile] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -68,7 +72,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "table1",
         "table2",
@@ -84,6 +88,7 @@ fn parse_args() -> Args {
         "ablation_blocks",
         "tune",
         "sync",
+        "profile",
     ];
     for e in &experiments {
         if !KNOWN.contains(&e.as_str()) {
@@ -96,6 +101,32 @@ fn parse_args() -> Args {
 
 fn f3(v: f64) -> String {
     format!("{v:.3}")
+}
+
+/// JSON form of one registry metric for `BENCH_profile.json`.
+fn metric_json(m: &MetricValue) -> Json {
+    match m {
+        MetricValue::Counter(v) => Json::from(*v as usize),
+        MetricValue::Gauge(v) => Json::from(*v),
+        MetricValue::Histogram(h) => Json::obj([
+            ("count", Json::from(h.count() as usize)),
+            ("sum", Json::from(h.sum() as usize)),
+            ("min", Json::from(h.min() as usize)),
+            ("max", Json::from(h.max() as usize)),
+            ("mean", Json::from(h.mean())),
+            (
+                "buckets",
+                Json::Arr(
+                    h.nonzero_buckets()
+                        .into_iter()
+                        .map(|(upper, n)| {
+                            Json::Arr(vec![Json::from(upper as usize), Json::from(n as usize)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
 }
 
 fn main() {
@@ -153,6 +184,7 @@ fn main() {
         "ablation_blocks",
         "tune",
         "sync",
+        "profile",
     ]
     .iter()
     .any(|e| want(e));
@@ -445,6 +477,7 @@ fn main() {
             ("threads", Json::from(args.cfg.threads)),
             ("reps", Json::from(args.cfg.reps)),
             ("geomean_speedup", Json::from(gm)),
+            ("platform", platform::probe().to_json()),
             (
                 "matrices",
                 Json::Arr(
@@ -551,6 +584,7 @@ fn main() {
             ("thread_counts", Json::Arr(threads.iter().map(|&t| Json::from(t)).collect())),
             ("geomean_speedup", Json::from(gm)),
             ("all_identical", Json::from(true)),
+            ("platform", platform::probe().to_json()),
             (
                 "points",
                 Json::Arr(
@@ -573,6 +607,166 @@ fn main() {
             ),
         ]);
         write_json(&args.out.join("BENCH_sync.json"), &json).expect("write BENCH_sync.json");
+    }
+
+    if want("profile") {
+        eprintln!("profile: in-kernel spans, bandwidth, hardware counters ...");
+        let (rows, trace, registry) = runner::profile(&args.cfg, &cases);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "a recording plan produced a result differing from its non-recording twin"
+        );
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.threads.to_string(),
+                    r.ncolors.to_string(),
+                    format!("{:.2}", r.bw_barrier_gbs),
+                    format!("{:.2}", r.bw_p2p_gbs),
+                    f3(r.traffic_vs_model),
+                    format!("{:.1}%", r.wait_frac_barrier * 100.0),
+                    format!("{:.1}%", r.wait_frac_p2p * 100.0),
+                    r.hw.as_ref()
+                        .map(|h| format!("{:.2}", h.ipc()))
+                        .unwrap_or_else(|| "n/a".into()),
+                ]
+            })
+            .collect();
+        println!(
+            "Profile - effective matrix bandwidth, traffic vs model, wait fractions (k=5, {} threads)",
+            args.cfg.threads
+        );
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "threads",
+                    "colors",
+                    "bw barrier[GB/s]",
+                    "bw p2p[GB/s]",
+                    "traffic/model",
+                    "wait barrier",
+                    "wait p2p",
+                    "ipc"
+                ],
+                &table
+            )
+        );
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.threads.to_string(),
+                    r.k.to_string(),
+                    r.ncolors.to_string(),
+                    r.nblocks.to_string(),
+                    format!("{:.9}", r.t_barrier),
+                    format!("{:.9}", r.t_p2p),
+                    r.modeled_matrix_bytes.to_string(),
+                    f3(r.bw_barrier_gbs),
+                    f3(r.bw_p2p_gbs),
+                    r.sim_dram_bytes.to_string(),
+                    f3(r.traffic_vs_model),
+                    f3(r.wait_frac_barrier),
+                    f3(r.wait_frac_p2p),
+                    r.identical.to_string(),
+                    r.hw.as_ref().map(|h| h.cycles.to_string()).unwrap_or_default(),
+                    r.hw.as_ref().map(|h| h.instructions.to_string()).unwrap_or_default(),
+                    r.hw.as_ref().map(|h| h.llc_misses.to_string()).unwrap_or_default(),
+                    r.dropped_spans.to_string(),
+                ]
+            })
+            .collect();
+        write_csv(
+            &args.out.join("profile.csv"),
+            &[
+                "input",
+                "threads",
+                "k",
+                "ncolors",
+                "nblocks",
+                "t_barrier",
+                "t_p2p",
+                "modeled_matrix_bytes",
+                "bw_barrier_gbs",
+                "bw_p2p_gbs",
+                "sim_dram_bytes",
+                "traffic_vs_model",
+                "wait_frac_barrier",
+                "wait_frac_p2p",
+                "identical",
+                "hw_cycles",
+                "hw_instructions",
+                "hw_llc_misses",
+                "dropped_spans",
+            ],
+            &csv_rows,
+        )
+        .expect("write profile.csv");
+        let metrics = Json::Obj(
+            registry.snapshot().iter().map(|(k, m)| (k.clone(), metric_json(m))).collect(),
+        );
+        let json = Json::obj([
+            ("experiment", Json::from("profile")),
+            ("scale", Json::from(args.cfg.scale)),
+            ("threads", Json::from(args.cfg.threads)),
+            ("reps", Json::from(args.cfg.reps)),
+            ("k", Json::from(5usize)),
+            ("platform", platform::probe().to_json()),
+            ("metrics", metrics),
+            (
+                "matrices",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("threads", Json::from(r.threads)),
+                                ("ncolors", Json::from(r.ncolors)),
+                                ("nblocks", Json::from(r.nblocks)),
+                                ("t_barrier_seconds", Json::from(r.t_barrier)),
+                                ("t_p2p_seconds", Json::from(r.t_p2p)),
+                                (
+                                    "modeled_matrix_bytes",
+                                    Json::from(r.modeled_matrix_bytes as usize),
+                                ),
+                                ("bw_barrier_gbs", Json::from(r.bw_barrier_gbs)),
+                                ("bw_p2p_gbs", Json::from(r.bw_p2p_gbs)),
+                                ("sim_dram_bytes", Json::from(r.sim_dram_bytes as usize)),
+                                ("traffic_vs_model", Json::from(r.traffic_vs_model)),
+                                ("wait_frac_barrier", Json::from(r.wait_frac_barrier)),
+                                ("wait_frac_p2p", Json::from(r.wait_frac_p2p)),
+                                ("identical", Json::from(r.identical)),
+                                (
+                                    "hw",
+                                    match &r.hw {
+                                        Some(h) => Json::obj([
+                                            ("cycles", Json::from(h.cycles as usize)),
+                                            ("instructions", Json::from(h.instructions as usize)),
+                                            ("llc_misses", Json::from(h.llc_misses as usize)),
+                                            ("ipc", Json::from(h.ipc())),
+                                        ]),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("dropped_spans", Json::from(r.dropped_spans as usize)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_json(&args.out.join("BENCH_profile.json"), &json).expect("write BENCH_profile.json");
+        trace.write(&args.out.join("profile_trace.json")).expect("write profile_trace.json");
+        println!(
+            "profile trace: {} events -> {}",
+            trace.len(),
+            args.out.join("profile_trace.json").display()
+        );
     }
 
     if want("fig12") {

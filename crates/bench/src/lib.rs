@@ -20,6 +20,7 @@
 //! | fig11    | ABMC preprocessing cost in #SpMVs         | [`runner::fig11`]           |
 //! | fig12    | thread scalability, k = 5                 | [`runner::fig12`]           |
 //! | model    | §III-B access-count formulas              | [`runner::model_table`]     |
+//! | profile  | in-kernel spans, bandwidth, hw counters   | [`runner::profile`]         |
 
 pub mod platform;
 pub mod report;

@@ -3,7 +3,26 @@
 //! The paper evaluates on FT 2000+, ThunderX2, Kunpeng 920 and a Xeon Gold
 //! 6230R. We run on whatever host executes the reproduction and record its
 //! characteristics next to the paper's, so EXPERIMENTS.md can state exactly
-//! what hardware produced our numbers.
+//! what hardware produced our numbers — and so bandwidth/traffic numbers
+//! in profile reports are interpretable against the host's cache sizes
+//! and core topology (read from sysfs, absent gracefully elsewhere).
+
+use crate::report::Json;
+
+/// One cache level as sysfs describes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// Cache level (1, 2, 3, …).
+    pub level: u32,
+    /// `Data`, `Instruction`, or `Unified`.
+    pub cache_type: String,
+    /// Size in bytes.
+    pub size_bytes: u64,
+    /// Number of distinct caches of this (level, type) across the machine
+    /// — e.g. one L3 shared by all cores counts 1, per-core L1d counts
+    /// one per core.
+    pub count: usize,
+}
 
 /// Host hardware/software description.
 #[derive(Debug, Clone)]
@@ -12,12 +31,63 @@ pub struct Platform {
     pub cpu_model: String,
     /// Logical CPUs visible to the process.
     pub logical_cpus: usize,
+    /// Physical cores (distinct `core_id` per package; 0 when sysfs is
+    /// unavailable).
+    pub physical_cores: usize,
+    /// CPU packages/sockets (distinct `physical_package_id`; 0 unknown).
+    pub packages: usize,
+    /// Cache hierarchy, deduplicated per (level, type), sorted by level.
+    pub caches: Vec<CacheInfo>,
     /// Target architecture.
     pub arch: &'static str,
     /// Operating system.
     pub os: &'static str,
     /// Total memory in GiB (0 when unknown).
     pub mem_gib: f64,
+}
+
+impl Platform {
+    /// The last-level cache size in bytes (the largest unified cache), or
+    /// 0 when the hierarchy is unknown. The profile harness uses it to
+    /// pick cache-simulator configurations matching the host.
+    pub fn llc_bytes(&self) -> u64 {
+        self.caches
+            .iter()
+            .filter(|c| c.cache_type != "Instruction")
+            .map(|c| c.size_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// JSON form embedded in every report so numbers stay interpretable
+    /// when the JSON travels away from the host that produced it.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cpu_model", Json::from(self.cpu_model.as_str())),
+            ("logical_cpus", Json::from(self.logical_cpus)),
+            ("physical_cores", Json::from(self.physical_cores)),
+            ("packages", Json::from(self.packages)),
+            (
+                "caches",
+                Json::Arr(
+                    self.caches
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("level", Json::from(c.level as usize)),
+                                ("type", Json::from(c.cache_type.as_str())),
+                                ("size_bytes", Json::from(c.size_bytes as usize)),
+                                ("count", Json::from(c.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("arch", Json::from(self.arch)),
+            ("os", Json::from(self.os)),
+            ("mem_gib", Json::from(self.mem_gib)),
+        ])
+    }
 }
 
 /// Probes the current host.
@@ -40,13 +110,104 @@ pub fn probe() -> Platform {
         })
         .map(|kb| kb / 1024.0 / 1024.0)
         .unwrap_or(0.0);
+    let (physical_cores, packages) = probe_topology();
     Platform {
         cpu_model,
         logical_cpus: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        physical_cores,
+        packages,
+        caches: probe_caches(),
         arch: std::env::consts::ARCH,
         os: std::env::consts::OS,
         mem_gib,
     }
+}
+
+/// Reads `(physical cores, packages)` from
+/// `/sys/devices/system/cpu/cpu*/topology`; `(0, 0)` when unavailable.
+fn probe_topology() -> (usize, usize) {
+    let mut cores = std::collections::BTreeSet::new();
+    let mut packages = std::collections::BTreeSet::new();
+    let Ok(entries) = std::fs::read_dir("/sys/devices/system/cpu") else {
+        return (0, 0);
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("cpu") || !name[3..].chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let topo = entry.path().join("topology");
+        let read_id = |f: &str| {
+            std::fs::read_to_string(topo.join(f)).ok().and_then(|s| s.trim().parse::<i64>().ok())
+        };
+        if let (Some(core), Some(pkg)) = (read_id("core_id"), read_id("physical_package_id")) {
+            cores.insert((pkg, core));
+            packages.insert(pkg);
+        }
+    }
+    (cores.len(), packages.len())
+}
+
+/// Reads the cache hierarchy from
+/// `/sys/devices/system/cpu/cpu*/cache/index*`, collapsing identical
+/// (level, type, size) entries across CPUs into one [`CacheInfo`] with a
+/// shared-instance count (distinct `shared_cpu_list` values). Empty when
+/// sysfs is unavailable (non-Linux, sandboxes).
+fn probe_caches() -> Vec<CacheInfo> {
+    // (level, type, size) -> set of shared_cpu_list strings.
+    let mut seen: std::collections::BTreeMap<
+        (u32, String, u64),
+        std::collections::BTreeSet<String>,
+    > = std::collections::BTreeMap::new();
+    let Ok(cpus) = std::fs::read_dir("/sys/devices/system/cpu") else {
+        return Vec::new();
+    };
+    for cpu in cpus.flatten() {
+        let name = cpu.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("cpu") || !name[3..].chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(indices) = std::fs::read_dir(cpu.path().join("cache")) else {
+            continue;
+        };
+        for idx in indices.flatten() {
+            let dir = idx.path();
+            let read = |f: &str| std::fs::read_to_string(dir.join(f)).ok();
+            let Some(level) = read("level").and_then(|s| s.trim().parse::<u32>().ok()) else {
+                continue;
+            };
+            let Some(ty) = read("type").map(|s| s.trim().to_string()) else { continue };
+            let Some(size) = read("size").and_then(|s| parse_cache_size(s.trim())) else {
+                continue;
+            };
+            let shared = read("shared_cpu_list")
+                .map(|s| s.trim().to_string())
+                .unwrap_or_else(|| name.to_string());
+            seen.entry((level, ty, size)).or_default().insert(shared);
+        }
+    }
+    seen.into_iter()
+        .map(|((level, cache_type, size_bytes), instances)| CacheInfo {
+            level,
+            cache_type,
+            size_bytes,
+            count: instances.len(),
+        })
+        .collect()
+}
+
+/// Parses sysfs cache sizes: `"32K"`, `"1024K"`, `"36864K"`, `"2M"`, plain
+/// bytes.
+fn parse_cache_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().map(|v| v * mult)
 }
 
 /// Renders Table I: the paper's four platforms beside the reproduction
@@ -63,6 +224,21 @@ pub fn platform_table() -> String {
         "  host : {} ({} logical cpus, {}, {}, {:.1} GiB RAM)\n",
         host.cpu_model, host.logical_cpus, host.arch, host.os, host.mem_gib
     ));
+    if host.physical_cores > 0 {
+        out.push_str(&format!(
+            "         {} physical cores on {} package(s)\n",
+            host.physical_cores, host.packages
+        ));
+    }
+    for c in &host.caches {
+        out.push_str(&format!(
+            "         L{} {}: {} KiB x{}\n",
+            c.level,
+            c.cache_type,
+            c.size_bytes / 1024,
+            c.count
+        ));
+    }
     out
 }
 
@@ -75,6 +251,17 @@ mod tests {
         let p = probe();
         assert!(p.logical_cpus >= 1);
         assert!(!p.cpu_model.is_empty());
+        // Topology/caches may legitimately be absent (no sysfs); when
+        // present they must be self-consistent.
+        for c in &p.caches {
+            assert!(c.level >= 1);
+            assert!(c.size_bytes > 0);
+            assert!(c.count >= 1);
+        }
+        if p.physical_cores > 0 {
+            assert!(p.packages >= 1);
+            assert!(p.physical_cores >= p.packages);
+        }
     }
 
     #[test]
@@ -83,5 +270,49 @@ mod tests {
         for name in ["FT2000+", "ThunderX2", "KP920", "Xeon", "host"] {
             assert!(t.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_cache_size("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("xK"), None);
+    }
+
+    #[test]
+    fn platform_json_has_cache_and_topology_fields() {
+        let j = probe().to_json();
+        assert!(j.get("cpu_model").is_some());
+        assert!(j.get("caches").and_then(Json::as_array).is_some());
+        assert!(j.get("physical_cores").and_then(Json::as_f64).is_some());
+        // Round-trips through the parser.
+        let text = j.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn llc_is_largest_data_or_unified_cache() {
+        let p = Platform {
+            cpu_model: "x".into(),
+            logical_cpus: 1,
+            physical_cores: 1,
+            packages: 1,
+            caches: vec![
+                CacheInfo { level: 1, cache_type: "Data".into(), size_bytes: 32 << 10, count: 4 },
+                CacheInfo {
+                    level: 1,
+                    cache_type: "Instruction".into(),
+                    size_bytes: 1 << 30,
+                    count: 4,
+                },
+                CacheInfo { level: 3, cache_type: "Unified".into(), size_bytes: 8 << 20, count: 1 },
+            ],
+            arch: "x86_64",
+            os: "linux",
+            mem_gib: 1.0,
+        };
+        assert_eq!(p.llc_bytes(), 8 << 20);
     }
 }

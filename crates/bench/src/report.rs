@@ -150,6 +150,219 @@ impl Json {
         out.push('\n');
         out
     }
+
+    /// Field lookup on an object (None for other variants / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (recursive descent; strict — rejects
+    /// trailing input, trailing commas, and unescaped control characters).
+    /// Used by the profile smoke test to validate emitted trace files
+    /// without a serde dependency.
+    ///
+    /// # Errors
+    /// A human-readable message with the byte offset of the failure.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogates don't appear in our own output; map
+                        // them to the replacement character rather than
+                        // failing on foreign files.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!("unescaped control character at byte {pos}"))
+            }
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Decode exactly one multi-byte UTF-8 scalar; validating
+                // only its own bytes keeps the parser linear in the input.
+                let len = match c {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(format!("invalid UTF-8 at byte {pos}")),
+                };
+                let seq = b
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| format!("truncated UTF-8 at byte {pos}"))?;
+                let s = std::str::from_utf8(seq).map_err(|e| e.to_string())?;
+                out.push(s.chars().next().expect("non-empty by construction"));
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number at byte {start}"))
 }
 
 impl From<&str> for Json {
@@ -193,9 +406,15 @@ pub fn write_json(path: &Path, value: &Json) -> std::io::Result<()> {
     std::fs::write(path, value.to_pretty())
 }
 
-/// Geometric mean of a nonempty slice of positive values.
+/// Geometric mean of a slice of positive values.
+///
+/// An empty slice yields `1.0` — the multiplicative identity — rather
+/// than NaN, so aggregates over experiments that produced no rows (e.g.
+/// a filtered suite) stay finite instead of poisoning JSON reports.
 pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of empty slice");
+    if values.is_empty() {
+        return 1.0;
+    }
     let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
     (s / values.len() as f64).exp()
 }
@@ -253,8 +472,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn geomean_empty_panics() {
-        geomean(&[]);
+    fn geomean_empty_is_identity() {
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn json_parse_round_trip() {
+        let doc = Json::obj([
+            ("name", Json::from("a\"b\\c\nd")),
+            ("n", Json::from(42usize)),
+            ("neg", Json::Num(-1.5e3)),
+            ("flag", Json::from(true)),
+            ("nothing", Json::Null),
+            ("items", Json::Arr(vec![Json::from(1.0), Json::Null, Json::from("x")])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("nested", Json::obj([("k", Json::from(0.25f64))])),
+        ]);
+        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("'single'").is_err());
+    }
+
+    #[test]
+    fn json_accessors() {
+        let doc = Json::obj([
+            ("s", Json::from("hi")),
+            ("v", Json::from(2.0f64)),
+            ("a", Json::Arr(vec![Json::from(1.0)])),
+        ]);
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("v").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("a").and_then(Json::as_array).map(|a| a.len()), Some(1));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.get("s").unwrap().as_f64().is_none());
     }
 }

@@ -6,9 +6,13 @@
 //! preprocessing excluded — §IV-C).
 
 use crate::BenchConfig;
-use fbmpk::{FbmpkOptions, FbmpkPlan, StandardMpk, SyncMode, TuneOptions, TunedPlan, VectorLayout};
+use fbmpk::{
+    FbmpkOptions, FbmpkPlan, ObsOptions, StandardMpk, SyncMode, TuneOptions, TunedPlan,
+    VectorLayout,
+};
 use fbmpk_gen::suite::SuiteEntry;
 use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
+use fbmpk_obs::{HwSample, HwSession, Registry, TraceBuilder};
 use fbmpk_reorder::{Abmc, AbmcParams};
 use fbmpk_sparse::spmv::spmv;
 use fbmpk_sparse::stats::MatrixStats;
@@ -34,10 +38,18 @@ pub fn load_suite(cfg: &BenchConfig) -> Vec<MatrixCase> {
         .collect()
 }
 
-/// Geometric mean of `reps` timings of `f` (after one warmup run) — the
-/// paper's aggregation (§IV-C).
+/// Untimed warmup invocations before the measured repetitions of
+/// [`time_geomean`] — enough to fault in pages, warm caches/branch
+/// predictors, and let frequency scaling settle before the first
+/// measurement enters the geomean.
+pub const WARMUP_REPS: usize = 2;
+
+/// Geometric mean of `reps` timings of `f` (after [`WARMUP_REPS`] warmup
+/// runs) — the paper's aggregation (§IV-C).
 pub fn time_geomean<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    f(); // warmup
+    for _ in 0..WARMUP_REPS {
+        f();
+    }
     let mut log_sum = 0.0;
     let reps = reps.max(1);
     for _ in 0..reps {
@@ -640,6 +652,162 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
         .collect()
 }
 
+// --------------------------------------------------------------- profile
+
+/// One row of the `repro profile` report: in-kernel observability for one
+/// matrix at `k = 5` under both synchronization modes.
+///
+/// Timings come from *non-recording* plans (the production configuration);
+/// wait fractions, traces and hardware counters come from separately built
+/// recording plans whose results are checked bit-identical against the
+/// non-recording ones.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Matrix name.
+    pub name: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Power `k`.
+    pub k: usize,
+    /// ABMC colors.
+    pub ncolors: usize,
+    /// ABMC blocks.
+    pub nblocks: usize,
+    /// Seconds per `A^k x0`, [`SyncMode::ColorBarrier`], recording off.
+    pub t_barrier: f64,
+    /// Seconds per `A^k x0`, [`SyncMode::PointToPoint`], recording off.
+    pub t_p2p: f64,
+    /// Modeled bytes of matrix data streamed per power computation:
+    /// §III-B triangle read counts × split storage footprint.
+    pub modeled_matrix_bytes: u64,
+    /// `modeled_matrix_bytes / t_barrier` in GB/s — the effective matrix
+    /// bandwidth the sweep sustains, comparable to STREAM numbers.
+    pub bw_barrier_gbs: f64,
+    /// Same for point-to-point mode.
+    pub bw_p2p_gbs: f64,
+    /// Simulated DRAM traffic for the same computation (cache replay at
+    /// the scaled LLC) — what a finite cache actually moves.
+    pub sim_dram_bytes: u64,
+    /// `sim_dram_bytes / modeled_matrix_bytes`: > 1 means the vectors and
+    /// cache misses add traffic beyond the compulsory matrix streams.
+    pub traffic_vs_model: f64,
+    /// Fraction of total thread time spent in waits (barrier +
+    /// epoch-spin), barrier mode, from the recorded run.
+    pub wait_frac_barrier: f64,
+    /// Same for point-to-point mode (flag waits).
+    pub wait_frac_p2p: f64,
+    /// Recording plans produced bit-identical `A^k x0` to non-recording
+    /// ones — must always be `true`; reported so a regression is visible.
+    pub identical: bool,
+    /// Hardware counters over one recorded barrier-mode run; `None` when
+    /// `perf_event_open` is unavailable (the model-only degradation path).
+    pub hw: Option<HwSample>,
+    /// Spans lost to ring-buffer overflow across both recorded runs
+    /// (0 unless the span capacity is undersized for `k`/colors).
+    pub dropped_spans: u64,
+}
+
+/// Runs the profiling experiment: times both sync modes without
+/// observability, then re-runs each once with the span recorder enabled to
+/// extract per-thread wait fractions, a chrome://tracing timeline (two
+/// trace processes per matrix, one per sync mode), hardware counters where
+/// available, and registry metrics. Returns the rows plus the accumulated
+/// trace and metrics.
+pub fn profile(
+    cfg: &BenchConfig,
+    cases: &[MatrixCase],
+) -> (Vec<ProfileRow>, TraceBuilder, Registry) {
+    let k = 5;
+    let mut rows = Vec::new();
+    let mut trace = TraceBuilder::new();
+    let registry = Registry::new();
+    for (i, c) in cases.iter().enumerate() {
+        let a = &c.matrix;
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        // The colored schedule even at one thread, like `sync_modes`, so
+        // both modes traverse identical block structure.
+        let base = FbmpkOptions {
+            nthreads: cfg.threads,
+            reorder: Some(abmc_params(n)),
+            layout: VectorLayout::BackToBack,
+            ..Default::default()
+        };
+        let barrier = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::ColorBarrier, ..base })
+            .expect("square");
+        let p2p = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::PointToPoint, ..base })
+            .expect("square");
+        let t_barrier =
+            time_geomean(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
+        let t_p2p = time_geomean(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+
+        // Recording twins: run once each; the barrier run doubles as the
+        // hardware-counter measurement window.
+        let rec = FbmpkOptions { obs: ObsOptions::recording(), ..base };
+        let rb = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::ColorBarrier, ..rec })
+            .expect("square");
+        let rp = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::PointToPoint, ..rec })
+            .expect("square");
+        let session = HwSession::start();
+        let yb = rb.power(&x0, k);
+        let hw = session.as_ref().and_then(HwSession::sample);
+        let yp = rp.power(&x0, k);
+        let identical = yb == barrier.power(&x0, k) && yp == p2p.power(&x0, k);
+
+        let rec_b = rb.recorder().expect("recording plan has a recorder");
+        let rec_p = rp.recorder().expect("recording plan has a recorder");
+        let pid_b = (2 * i + 1) as u32;
+        let pid_p = (2 * i + 2) as u32;
+        trace.add_process(pid_b, &format!("{} / barrier", c.entry.name));
+        trace.add_process(pid_p, &format!("{} / point-to-point", c.entry.name));
+        let spans = trace.add_recorder(pid_b, rec_b) + trace.add_recorder(pid_p, rec_p);
+
+        let modeled = barrier.modeled_matrix_bytes(k);
+        let sim =
+            trace_fbmpk(a, k, TracedLayout::BackToBack, &[scaled_llc(a.nnz() * 12 + 8 * (n + 1))])
+                .total();
+        let dropped_spans = rec_b.total_dropped() + rec_p.total_dropped();
+
+        registry.counter_add("profile.matrices", 1);
+        registry.counter_add("profile.modeled_matrix_bytes", modeled);
+        registry.counter_add("profile.sim_dram_bytes", sim);
+        registry.counter_add("profile.spans_recorded", spans as u64);
+        registry.counter_add("profile.spans_dropped", dropped_spans);
+        registry.gauge_set(&format!("profile.{}.bw_barrier_gbs", c.entry.name), {
+            modeled as f64 / t_barrier / 1e9
+        });
+        for t in 0..rec_b.nthreads() {
+            for s in rec_b.thread_spans(t) {
+                if s.kind.is_wait() {
+                    registry.observe("profile.wait_span_ns", s.duration_ns());
+                }
+            }
+        }
+
+        let stats = barrier.stats();
+        rows.push(ProfileRow {
+            name: c.entry.name.to_string(),
+            threads: cfg.threads,
+            k,
+            ncolors: stats.ncolors,
+            nblocks: stats.nblocks,
+            t_barrier,
+            t_p2p,
+            modeled_matrix_bytes: modeled,
+            bw_barrier_gbs: modeled as f64 / t_barrier / 1e9,
+            bw_p2p_gbs: modeled as f64 / t_p2p / 1e9,
+            sim_dram_bytes: sim,
+            traffic_vs_model: sim as f64 / modeled as f64,
+            wait_frac_barrier: rec_b.wait_fraction(),
+            wait_frac_p2p: rec_p.wait_fraction(),
+            identical,
+            hw,
+            dropped_spans,
+        });
+    }
+    (rows, trace, registry)
+}
+
 // ----------------------------------------------------------------- model
 
 /// One row of the access-count validation table (§III-B formulas).
@@ -712,6 +880,18 @@ mod tests {
         let tr = tune(&cfg, &cases);
         assert_eq!(tr.len(), 3);
         assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));
+        let (pr, trace, registry) = profile(&cfg, &cases[..1]);
+        assert_eq!(pr.len(), 1);
+        let p = &pr[0];
+        assert!(p.identical, "recording changed the numerics");
+        assert!(p.t_barrier > 0.0 && p.t_p2p > 0.0);
+        assert!(p.modeled_matrix_bytes > 0 && p.sim_dram_bytes > 0);
+        assert!(p.traffic_vs_model > 0.0);
+        assert!((0.0..=1.0).contains(&p.wait_frac_barrier), "{}", p.wait_frac_barrier);
+        assert!((0.0..=1.0).contains(&p.wait_frac_p2p), "{}", p.wait_frac_p2p);
+        assert_eq!(p.dropped_spans, 0);
+        assert!(!trace.is_empty());
+        assert!(registry.snapshot().iter().any(|(k, _)| k == "profile.spans_recorded"));
     }
 
     #[test]

@@ -52,6 +52,8 @@
 use crate::layout::XyLayout;
 use crate::schedule::{Schedule, SyncCtx};
 use crate::sink::Sink;
+use fbmpk_obs::recorder::{Span, SpanKind};
+use fbmpk_obs::{NoopProbe, Probe};
 use fbmpk_parallel::{SenseBarrier, SharedSlice, ThreadPool};
 use fbmpk_sparse::TriangularSplit;
 
@@ -80,64 +82,176 @@ pub(crate) fn reset_own_flags(sched: &Schedule, sync: &SyncCtx, t: usize) {
 /// forward order; both modes execute identical per-row arithmetic in an
 /// order consistent with the same dependences, so results are bitwise
 /// equal.
-pub(crate) fn forward_sweep<F: Fn(usize)>(
+pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
     sched: &Schedule,
     sync: &SyncCtx,
     barrier: &SenseBarrier,
     t: usize,
     epoch: u64,
+    probe: &P,
     row: F,
 ) {
+    // Every instrumented path lives behind `if P::ENABLED`; the `else`
+    // branches are the uninstrumented loops verbatim, so the NoopProbe
+    // monomorphization is the original kernel.
     match *sync {
         SyncCtx::Barrier => {
-            for per_thread in sched.colors.iter() {
-                for r in per_thread[t].clone() {
-                    row(r);
+            if P::ENABLED {
+                for (c, per_thread) in sched.colors.iter().enumerate() {
+                    let range = per_thread[t].clone();
+                    let rows = range.len() as u32;
+                    let t0 = probe.now();
+                    for r in range {
+                        row(r);
+                    }
+                    let t1 = probe.now();
+                    let (_, snoozes) = barrier.wait_counted();
+                    let t2 = probe.now();
+                    // SAFETY: `t` is this worker's own lane.
+                    unsafe {
+                        probe.record(
+                            t,
+                            span(SpanKind::Forward, c as u32, Span::NO_ID, rows, t0, t1),
+                        );
+                        probe.record(
+                            t,
+                            span(SpanKind::BarrierWait, c as u32, Span::NO_ID, snoozes, t1, t2),
+                        );
+                    }
                 }
-                barrier.wait();
+            } else {
+                for per_thread in sched.colors.iter() {
+                    for r in per_thread[t].clone() {
+                        row(r);
+                    }
+                    barrier.wait();
+                }
             }
         }
         SyncCtx::PointToPoint { deps, flags } => {
-            for per_color in sched.blocks.iter() {
-                for b in per_color[t].clone() {
-                    flags.wait_all(deps.fwd(b), epoch);
-                    for r in sched.block_rows(b) {
-                        row(r);
+            if P::ENABLED {
+                for (c, per_color) in sched.blocks.iter().enumerate() {
+                    for b in per_color[t].clone() {
+                        let t0 = probe.now();
+                        let snoozes = flags.wait_all_counted(deps.fwd(b), epoch);
+                        let t1 = probe.now();
+                        let block = sched.block_rows(b);
+                        let rows = block.len() as u32;
+                        for r in block {
+                            row(r);
+                        }
+                        flags.mark(b, epoch);
+                        let t2 = probe.now();
+                        // SAFETY: `t` is this worker's own lane.
+                        unsafe {
+                            probe.record(
+                                t,
+                                span(SpanKind::FlagWait, c as u32, b as u32, snoozes, t0, t1),
+                            );
+                            probe.record(
+                                t,
+                                span(SpanKind::Forward, c as u32, b as u32, rows, t1, t2),
+                            );
+                        }
                     }
-                    flags.mark(b, epoch);
+                }
+            } else {
+                for per_color in sched.blocks.iter() {
+                    for b in per_color[t].clone() {
+                        flags.wait_all(deps.fwd(b), epoch);
+                        for r in sched.block_rows(b) {
+                            row(r);
+                        }
+                        flags.mark(b, epoch);
+                    }
                 }
             }
         }
     }
 }
 
+/// Builds a span literal (keeps the instrumentation sites readable).
+#[inline(always)]
+fn span(kind: SpanKind, color: u32, block: u32, detail: u32, start_ns: u64, end_ns: u64) -> Span {
+    Span { kind, color, block, detail, start_ns, end_ns }
+}
+
 /// One backward sweep (colors descending, rows bottom-up); mirror of
 /// [`forward_sweep`] waiting on the later-color dependency lists.
-pub(crate) fn backward_sweep<F: Fn(usize)>(
+pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
     sched: &Schedule,
     sync: &SyncCtx,
     barrier: &SenseBarrier,
     t: usize,
     epoch: u64,
+    probe: &P,
     row: F,
 ) {
     match *sync {
         SyncCtx::Barrier => {
-            for per_thread in sched.colors.iter().rev() {
-                for r in per_thread[t].clone().rev() {
-                    row(r);
+            if P::ENABLED {
+                let ncolors = sched.colors.len();
+                for (i, per_thread) in sched.colors.iter().rev().enumerate() {
+                    let c = (ncolors - 1 - i) as u32;
+                    let range = per_thread[t].clone();
+                    let rows = range.len() as u32;
+                    let t0 = probe.now();
+                    for r in range.rev() {
+                        row(r);
+                    }
+                    let t1 = probe.now();
+                    let (_, snoozes) = barrier.wait_counted();
+                    let t2 = probe.now();
+                    // SAFETY: `t` is this worker's own lane.
+                    unsafe {
+                        probe.record(t, span(SpanKind::Backward, c, Span::NO_ID, rows, t0, t1));
+                        probe.record(
+                            t,
+                            span(SpanKind::BarrierWait, c, Span::NO_ID, snoozes, t1, t2),
+                        );
+                    }
                 }
-                barrier.wait();
+            } else {
+                for per_thread in sched.colors.iter().rev() {
+                    for r in per_thread[t].clone().rev() {
+                        row(r);
+                    }
+                    barrier.wait();
+                }
             }
         }
         SyncCtx::PointToPoint { deps, flags } => {
-            for per_color in sched.blocks.iter().rev() {
-                for b in per_color[t].clone().rev() {
-                    flags.wait_all(deps.bwd(b), epoch);
-                    for r in sched.block_rows(b).rev() {
-                        row(r);
+            if P::ENABLED {
+                let ncolors = sched.blocks.len();
+                for (i, per_color) in sched.blocks.iter().rev().enumerate() {
+                    let c = (ncolors - 1 - i) as u32;
+                    for b in per_color[t].clone().rev() {
+                        let t0 = probe.now();
+                        let snoozes = flags.wait_all_counted(deps.bwd(b), epoch);
+                        let t1 = probe.now();
+                        let block = sched.block_rows(b);
+                        let rows = block.len() as u32;
+                        for r in block.rev() {
+                            row(r);
+                        }
+                        flags.mark(b, epoch);
+                        let t2 = probe.now();
+                        // SAFETY: `t` is this worker's own lane.
+                        unsafe {
+                            probe.record(t, span(SpanKind::FlagWait, c, b as u32, snoozes, t0, t1));
+                            probe.record(t, span(SpanKind::Backward, c, b as u32, rows, t1, t2));
+                        }
                     }
-                    flags.mark(b, epoch);
+                }
+            } else {
+                for per_color in sched.blocks.iter().rev() {
+                    for b in per_color[t].clone().rev() {
+                        flags.wait_all(deps.bwd(b), epoch);
+                        for r in sched.block_rows(b).rev() {
+                            row(r);
+                        }
+                        flags.mark(b, epoch);
+                    }
                 }
             }
         }
@@ -176,6 +290,28 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
     sink: &S,
     sync: &SyncCtx,
 ) {
+    run_fbmpk_probed(pool, sched, split, layout, tmp, out, k, sink, sync, &NoopProbe);
+}
+
+/// [`run_fbmpk`] with an observability probe threaded through every
+/// phase. With [`NoopProbe`] (what [`run_fbmpk`] passes) the probe
+/// parameters monomorphize away and this *is* the uninstrumented kernel;
+/// with [`fbmpk_obs::SpanProbe`] each thread records head/forward/
+/// backward/tail compute spans plus barrier-wait and epoch-flag-wait
+/// spans into its own recorder lane.
+#[allow(clippy::too_many_arguments)] // the kernel signature mirrors Algorithm 2's inputs
+pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
+    pool: &ThreadPool,
+    sched: &Schedule,
+    split: &TriangularSplit,
+    layout: &L,
+    tmp: &mut [f64],
+    out: &mut [f64],
+    k: usize,
+    sink: &S,
+    sync: &SyncCtx,
+    probe: &P,
+) {
     assert!(k >= 1, "k must be at least 1 (k = 0 is the identity)");
     let n = split.n();
     assert_eq!(sched.n, n, "schedule dimension mismatch");
@@ -205,6 +341,8 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
         let u_val = upper.values();
 
         reset_own_flags(sched, sync, t);
+        let head_rows = sched.flat[t].clone().len() as u32;
+        let head_t0 = probe.now();
         // Head: tmp = U * x0 (x0 in even slots, read-only here). The row
         // dot product is 4-way unrolled (independent accumulators keep the
         // FP pipeline full); the < 4 remainder folds into s0 alone so short
@@ -231,11 +369,28 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
             // SAFETY: thread t owns rows in flat[t].
             unsafe { tmp.set(r, (s0 + s1) + (s2 + s3)) };
         }
-        barrier.wait();
+        if P::ENABLED {
+            let t1 = probe.now();
+            let (_, snoozes) = barrier.wait_counted();
+            let t2 = probe.now();
+            // SAFETY: `t` is this worker's own lane.
+            unsafe {
+                probe.record(
+                    t,
+                    span(SpanKind::Head, Span::NO_ID, Span::NO_ID, head_rows, head_t0, t1),
+                );
+                probe.record(
+                    t,
+                    span(SpanKind::BarrierWait, Span::NO_ID, Span::NO_ID, snoozes, t1, t2),
+                );
+            }
+        } else {
+            barrier.wait();
+        }
 
         for p in 0..rounds {
             // Forward sweep over L, colors ascending.
-            forward_sweep(sched, sync, barrier, t, (2 * p + 1) as u64, |r| {
+            forward_sweep(sched, sync, barrier, t, (2 * p + 1) as u64, probe, |r| {
                 // SAFETY: tmp[r]/even[r] owned or phase-stable; odd[c] for
                 // c in L-row r is finished (earlier color — barrier or
                 // flag-waited — or same block processed earlier by this
@@ -281,7 +436,7 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
                 }
             });
             // Backward sweep over U, colors descending, rows bottom-up.
-            backward_sweep(sched, sync, barrier, t, (2 * p + 2) as u64, |r| {
+            backward_sweep(sched, sync, barrier, t, (2 * p + 2) as u64, probe, |r| {
                 // SAFETY: even[c] for c in U-row r is already the new
                 // iterate (later color or same block, processed first in
                 // this bottom-up order); odd slots are read-only here. The
@@ -329,8 +484,22 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
             // barrier schedule already ended every color — including the
             // last — with one.
             if rounds > 0 && matches!(sync, SyncCtx::PointToPoint { .. }) {
-                barrier.wait();
+                if P::ENABLED {
+                    let t0 = probe.now();
+                    let (_, snoozes) = barrier.wait_counted();
+                    let t1 = probe.now();
+                    // SAFETY: `t` is this worker's own lane.
+                    unsafe {
+                        probe.record(
+                            t,
+                            span(SpanKind::BarrierWait, Span::NO_ID, Span::NO_ID, snoozes, t0, t1),
+                        );
+                    }
+                } else {
+                    barrier.wait();
+                }
             }
+            let tail_t0 = probe.now();
             // Tail: x_k = tmp + D x_{k-1} + L x_{k-1} with x_{k-1} in the
             // even slots and tmp = U x_{k-1} from the last backward sweep
             // (or from the head when k == 1).
@@ -359,6 +528,16 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
                     let s = (s0 + s1) + (s2 + s3);
                     out.set(r, s);
                     sink.emit(k, r, s);
+                }
+            }
+            if P::ENABLED {
+                let t1 = probe.now();
+                // SAFETY: `t` is this worker's own lane.
+                unsafe {
+                    probe.record(
+                        t,
+                        span(SpanKind::Tail, Span::NO_ID, Span::NO_ID, head_rows, tail_t0, t1),
+                    );
                 }
             }
         }

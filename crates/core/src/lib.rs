@@ -43,7 +43,7 @@ pub mod tune;
 pub mod workspace;
 
 pub use engine::MpkEngine;
-pub use plan::{FbmpkOptions, FbmpkPlan, VectorLayout};
+pub use plan::{FbmpkOptions, FbmpkPlan, ObsOptions, VectorLayout};
 pub use schedule::{Schedule, SyncCtx, SyncMode};
 pub use standard::StandardMpk;
 pub use tune::{KernelVariant, MatrixFeatures, TuneOptions, TunedPlan};

@@ -7,11 +7,12 @@
 //! in the *original* row numbering; the plan permutes in and out
 //! internally.
 
-use crate::kernel::run_fbmpk;
+use crate::kernel::{run_fbmpk_probed, triangle_reads};
 use crate::layout::{BtbXy, SplitXy};
 use crate::schedule::{Schedule, SyncCtx, SyncMode};
 use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
 use crate::{FbmpkError, Result};
+use fbmpk_obs::{NoopProbe, Probe, Recorder, SpanProbe, DEFAULT_SPAN_CAPACITY};
 use fbmpk_parallel::{BlockFlags, ThreadPool};
 use fbmpk_reorder::{Abmc, AbmcParams, BlockDeps};
 use fbmpk_sparse::{Csr, Permutation, TriangularSplit};
@@ -26,6 +27,35 @@ pub enum VectorLayout {
     BackToBack,
     /// Two independent arrays (the plain "FB" ablation variant).
     Split,
+}
+
+/// In-kernel observability options (see the `fbmpk-obs` crate).
+///
+/// Off by default: the kernels are then monomorphized with the no-op
+/// probe and carry zero instrumentation. When `record` is on, the plan
+/// owns a per-thread span [`Recorder`] and every `power`/`krylov`/
+/// `sspmv`/`symgs_sweep` call appends phase-level compute and wait spans
+/// to it; results are bit-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Record per-thread spans during kernel execution.
+    pub record: bool,
+    /// Per-thread span buffer capacity (spans past it are counted as
+    /// dropped, never reallocated mid-kernel).
+    pub span_capacity: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions { record: false, span_capacity: DEFAULT_SPAN_CAPACITY }
+    }
+}
+
+impl ObsOptions {
+    /// Recording enabled at the default capacity.
+    pub fn recording() -> Self {
+        ObsOptions { record: true, ..Default::default() }
+    }
 }
 
 /// Plan construction options.
@@ -54,6 +84,8 @@ pub struct FbmpkOptions {
     /// [`FbmpkPlan::new`] — [`FbmpkPlan::with_pool`] keeps the caller's
     /// pool as-is.
     pub pin_threads: bool,
+    /// In-kernel observability (off by default — zero overhead).
+    pub obs: ObsOptions,
 }
 
 impl Default for FbmpkOptions {
@@ -65,6 +97,7 @@ impl Default for FbmpkOptions {
             pre_rcm: false,
             sync: SyncMode::default(),
             pin_threads: false,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -106,6 +139,7 @@ pub struct FbmpkPlan {
     layout: VectorLayout,
     sync: SyncMode,
     p2p: Option<P2pState>,
+    recorder: Option<Arc<Recorder>>,
     stats: PlanStats,
     n: usize,
 }
@@ -190,6 +224,11 @@ impl FbmpkPlan {
                 Some(P2pState { deps, flags })
             }
         };
+        let recorder = if options.obs.record {
+            Some(Arc::new(Recorder::new(options.nthreads, options.obs.span_capacity)))
+        } else {
+            None
+        };
         Ok(FbmpkPlan {
             split,
             perm,
@@ -198,6 +237,7 @@ impl FbmpkPlan {
             layout: options.layout,
             sync: options.sync,
             p2p,
+            recorder,
             stats,
             n,
         })
@@ -252,6 +292,35 @@ impl FbmpkPlan {
     /// The per-block dependency lists, when the plan runs point-to-point.
     pub fn block_deps(&self) -> Option<&BlockDeps> {
         self.p2p.as_ref().map(|s| &s.deps)
+    }
+
+    /// The span recorder, when [`ObsOptions::record`] was set. Spans
+    /// accumulate across kernel invocations until [`Recorder::reset`].
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Modeled bytes of matrix data streamed by one `Aᵏx₀` invocation —
+    /// the quantity the paper's ⌈(k+1)/2⌉-reads claim is about, priced
+    /// for this split: each triangle traversal streams 12 bytes per
+    /// stored nonzero (8-byte value + 4-byte column index) plus the
+    /// `8(n+1)`-byte row-pointer array, and the diagonal (`8n` bytes)
+    /// rides along once per `L` traversal (forward sweeps and the tail
+    /// both touch it; the head and backward sweeps run on `U` alone).
+    ///
+    /// Divide measured wall time into this to get effective bandwidth;
+    /// compare against `fbmpk-memsim`'s simulated DRAM traffic to get
+    /// the traffic-vs-model ratio.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn modeled_matrix_bytes(&self, k: usize) -> u64 {
+        let (l_reads, u_reads) = triangle_reads(k);
+        let n = self.n as u64;
+        let tri_bytes = |nnz: u64| 12 * nnz + 8 * (n + 1);
+        let l_bytes = tri_bytes(self.split.lower.nnz() as u64) + 8 * n;
+        let u_bytes = tri_bytes(self.split.upper.nnz() as u64);
+        l_reads as u64 * l_bytes + u_reads as u64 * u_bytes
     }
 
     /// The synchronization context the kernels run under.
@@ -314,7 +383,22 @@ impl FbmpkPlan {
     }
 
     /// Runs the kernel in the permuted domain; returns `x_k` (permuted).
+    /// Dispatches on the recorder so the common (no-recorder) case
+    /// monomorphizes to the uninstrumented kernel.
     fn execute<S: Sink>(&self, x0p: &[f64], k: usize, sink: &S) -> Vec<f64> {
+        match &self.recorder {
+            Some(rec) => self.execute_probed(x0p, k, sink, &SpanProbe::new(rec)),
+            None => self.execute_probed(x0p, k, sink, &NoopProbe),
+        }
+    }
+
+    fn execute_probed<S: Sink, P: Probe>(
+        &self,
+        x0p: &[f64],
+        k: usize,
+        sink: &S,
+        probe: &P,
+    ) -> Vec<f64> {
         let n = self.n;
         let mut tmp = vec![0.0; n];
         let mut out = vec![0.0; n];
@@ -326,7 +410,7 @@ impl FbmpkPlan {
                 }
                 {
                     let layout = BtbXy::new(&mut xy);
-                    run_fbmpk(
+                    run_fbmpk_probed(
                         &self.pool,
                         &self.schedule,
                         &self.split,
@@ -336,6 +420,7 @@ impl FbmpkPlan {
                         k,
                         sink,
                         &self.sync_ctx(),
+                        probe,
                     );
                 }
                 if k % 2 == 1 {
@@ -349,7 +434,7 @@ impl FbmpkPlan {
                 let mut odd = vec![0.0; n];
                 {
                     let layout = SplitXy::new(&mut even, &mut odd);
-                    run_fbmpk(
+                    run_fbmpk_probed(
                         &self.pool,
                         &self.schedule,
                         &self.split,
@@ -359,6 +444,7 @@ impl FbmpkPlan {
                         k,
                         sink,
                         &self.sync_ctx(),
+                        probe,
                     );
                 }
                 if k % 2 == 1 {

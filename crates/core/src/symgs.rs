@@ -18,6 +18,7 @@
 
 use crate::kernel::{backward_sweep, forward_sweep, reset_own_flags};
 use crate::schedule::{Schedule, SyncCtx};
+use fbmpk_obs::{NoopProbe, Probe};
 use fbmpk_parallel::{SharedSlice, ThreadPool};
 use fbmpk_sparse::TriangularSplit;
 
@@ -43,6 +44,21 @@ pub fn run_symgs(
     b: &[f64],
     x: &mut [f64],
     sync: &SyncCtx,
+) {
+    run_symgs_probed(pool, sched, split, b, x, sync, &NoopProbe);
+}
+
+/// [`run_symgs`] with an observability probe threaded through both
+/// sweeps; the [`NoopProbe`] monomorphization (what [`run_symgs`]
+/// passes) is the uninstrumented kernel.
+pub fn run_symgs_probed<P: Probe>(
+    pool: &ThreadPool,
+    sched: &Schedule,
+    split: &TriangularSplit,
+    b: &[f64],
+    x: &mut [f64],
+    sync: &SyncCtx,
+    probe: &P,
 ) {
     let n = split.n();
     assert_eq!(sched.n, n, "schedule dimension mismatch");
@@ -95,8 +111,8 @@ pub fn run_symgs(
         // Forward (epoch 1) then backward (epoch 2); the anti-dependency
         // halves of the wait lists order the two sweeps against each
         // other, so no barrier separates them in point-to-point mode.
-        forward_sweep(sched, sync, barrier, t, 1, update);
-        backward_sweep(sched, sync, barrier, t, 2, update);
+        forward_sweep(sched, sync, barrier, t, 1, probe, update);
+        backward_sweep(sched, sync, barrier, t, 2, probe, update);
     });
 }
 
@@ -110,6 +126,15 @@ impl crate::plan::FbmpkPlan {
     /// # Panics
     /// Panics on length mismatches or a zero diagonal.
     pub fn symgs_sweep(&self, b: &[f64], x: &mut [f64]) {
+        // Same probe dispatch as `power` et al.: recording plans trace
+        // SYMGS sweeps too, everyone else runs the uninstrumented kernel.
+        match self.recorder() {
+            Some(rec) => self.symgs_sweep_probed(b, x, &fbmpk_obs::SpanProbe::new(rec)),
+            None => self.symgs_sweep_probed(b, x, &NoopProbe),
+        }
+    }
+
+    fn symgs_sweep_probed<P: Probe>(&self, b: &[f64], x: &mut [f64], probe: &P) {
         let n = self.n();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -118,10 +143,20 @@ impl crate::plan::FbmpkPlan {
             Some(p) => {
                 let bp = p.apply_vec_alloc(b);
                 let mut xp = p.apply_vec_alloc(x);
-                run_symgs(self.pool(), self.schedule(), self.split(), &bp, &mut xp, &sync);
+                run_symgs_probed(
+                    self.pool(),
+                    self.schedule(),
+                    self.split(),
+                    &bp,
+                    &mut xp,
+                    &sync,
+                    probe,
+                );
                 p.unapply_vec(&xp, x);
             }
-            None => run_symgs(self.pool(), self.schedule(), self.split(), b, x, &sync),
+            None => {
+                run_symgs_probed(self.pool(), self.schedule(), self.split(), b, x, &sync, probe)
+            }
         }
     }
 }

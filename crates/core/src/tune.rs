@@ -22,8 +22,10 @@
 //! `row_ptr` (see `fbmpk_parallel::partition::merge_path_partition`), so a
 //! thread's share of `rows + nnz` work is bounded regardless of skew.
 
-use crate::plan::{FbmpkOptions, FbmpkPlan};
+use crate::plan::{FbmpkOptions, FbmpkPlan, ObsOptions};
 use crate::schedule::SyncMode;
+use fbmpk_obs::recorder::{Span, SpanKind};
+use fbmpk_obs::{NoopProbe, Probe, Recorder, SpanProbe};
 use fbmpk_parallel::partition::merge_path_partition;
 use fbmpk_parallel::{SharedSlice, ThreadPool};
 use fbmpk_reorder::AbmcParams;
@@ -150,11 +152,21 @@ pub struct TuneOptions {
     /// tuning via [`TunedPlan::fbmpk_plan`]. Plain SpMV has no intra-sweep
     /// dependencies, so the mode does not affect the tuned executor itself.
     pub sync: SyncMode,
+    /// In-kernel observability: when recording, each tuned SpMV appends
+    /// one per-thread span to the plan's recorder, and FBMPK plans
+    /// derived via [`TunedPlan::fbmpk_plan`] record too.
+    pub obs: ObsOptions,
 }
 
 impl Default for TuneOptions {
     fn default() -> Self {
-        TuneOptions { nthreads: 1, probe: true, probe_reps: 3, sync: SyncMode::default() }
+        TuneOptions {
+            nthreads: 1,
+            probe: true,
+            probe_reps: 3,
+            sync: SyncMode::default(),
+            obs: ObsOptions::default(),
+        }
     }
 }
 
@@ -199,6 +211,8 @@ pub struct TunedPlan {
     ranges: Vec<Range<usize>>,
     pool: Arc<ThreadPool>,
     sync: SyncMode,
+    obs: ObsOptions,
+    recorder: Option<Arc<Recorder>>,
     report: TuneReport,
 }
 
@@ -271,6 +285,11 @@ impl TunedPlan {
             sell_padding,
             inspect_seconds: t0.elapsed().as_secs_f64(),
         };
+        let recorder = if options.obs.record {
+            Some(Arc::new(Recorder::new(options.nthreads, options.obs.span_capacity)))
+        } else {
+            None
+        };
         TunedPlan {
             a: a.clone(),
             sell,
@@ -279,6 +298,8 @@ impl TunedPlan {
             ranges,
             pool,
             sync: options.sync,
+            obs: options.obs,
+            recorder,
             report,
         }
     }
@@ -288,9 +309,9 @@ impl TunedPlan {
     /// the matrix plus the thread count, so distinct matrices or executor
     /// widths get distinct plans.
     pub fn cached(a: &Csr, options: TuneOptions) -> Arc<TunedPlan> {
-        type PlanCache = Mutex<HashMap<(u64, usize, u8), Arc<TunedPlan>>>;
+        type PlanCache = Mutex<HashMap<(u64, usize, u8, bool), Arc<TunedPlan>>>;
         static CACHE: OnceLock<PlanCache> = OnceLock::new();
-        let key = (fingerprint(a), options.nthreads, options.sync as u8);
+        let key = (fingerprint(a), options.nthreads, options.sync as u8, options.obs.record);
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
             return Arc::clone(plan);
@@ -332,6 +353,11 @@ impl TunedPlan {
         self.sync
     }
 
+    /// The span recorder, when [`ObsOptions::record`] was set.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// Builds an FBMPK plan for the same matrix that *shares* this plan's
     /// worker pool and inherits its [`SyncMode`] — the bridge from tuned
     /// plain-SpMV sequences to the fused forward/backward kernel.
@@ -346,6 +372,7 @@ impl TunedPlan {
             nthreads: self.pool.nthreads(),
             reorder,
             sync: self.sync,
+            obs: self.obs,
             ..FbmpkOptions::default()
         };
         FbmpkPlan::with_pool(&self.a, options, Arc::clone(&self.pool))
@@ -356,14 +383,33 @@ impl TunedPlan {
     /// # Panics
     /// Panics on length mismatches.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        // Dispatch on the recorder: the common (no-recorder) case
+        // monomorphizes to the uninstrumented executor.
+        match &self.recorder {
+            Some(rec) => self.spmv_probed(x, y, &SpanProbe::new(rec)),
+            None => self.spmv_probed(x, y, &NoopProbe),
+        }
+    }
+
+    fn spmv_probed<P: Probe>(&self, x: &[f64], y: &mut [f64], probe: &P) {
         assert_eq!(x.len(), self.a.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.a.nrows(), "y length must equal nrows");
         if let Some(sell) = &self.sell {
+            let t0 = probe.now();
             sell.spmv(x, y);
+            if P::ENABLED {
+                // SAFETY: serial path — lane 0 belongs to this thread.
+                unsafe { probe.record(0, spmv_span(self.a.nrows(), t0, probe.now())) };
+            }
             return;
         }
         if self.pool.nthreads() == 1 {
+            let t0 = probe.now();
             run_variant(self.variant, &self.a, x, y, 0, self.a.nrows());
+            if P::ENABLED {
+                // SAFETY: serial path — lane 0 belongs to this thread.
+                unsafe { probe.record(0, spmv_span(self.a.nrows(), t0, probe.now())) };
+            }
             return;
         }
         let variant = self.variant;
@@ -372,12 +418,17 @@ impl TunedPlan {
         let shared = SharedSlice::new(y);
         self.pool.run(&|t| {
             let r = ranges[t].clone();
+            let t0 = probe.now();
             // SAFETY: ranges are disjoint; thread t writes only rows in
             // ranges[t], and x is read-only for the whole call.
             let yt = unsafe { shared.slice_mut(r.clone()) };
             // The variant kernels index the output by absolute row, so hand
             // each thread the full-length view of its own rows.
             run_variant_into(variant, a, x, yt, r.start, r.end);
+            if P::ENABLED {
+                // SAFETY: `t` is this worker's own lane.
+                unsafe { probe.record(t, spmv_span(r.len(), t0, probe.now())) };
+            }
         });
     }
 
@@ -440,6 +491,19 @@ impl TunedPlan {
             }
         }
         acc
+    }
+}
+
+/// One tuned-SpMV span (serial or one thread's share).
+#[inline(always)]
+fn spmv_span(rows: usize, start_ns: u64, end_ns: u64) -> Span {
+    Span {
+        kind: SpanKind::Spmv,
+        color: Span::NO_ID,
+        block: Span::NO_ID,
+        detail: rows as u32,
+        start_ns,
+        end_ns,
     }
 }
 

@@ -1,0 +1,234 @@
+//! A small metrics registry: counters, gauges, log₂-bucketed histograms.
+//!
+//! The profiling harness uses it to put modeled bytes-of-`A` streamed per
+//! sweep next to measured wall time and the cache simulator's
+//! `TrafficReport`, so effective bandwidth and traffic-vs-model ratios
+//! come out of one uniform table instead of ad-hoc locals. Metrics are
+//! named, insertion-agnostic (stored sorted) and cheap enough to update
+//! from harvest loops; they are *not* meant for the kernel hot path —
+//! that is the span recorder's job.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Exponential (log₂) histogram of `u64` samples: bucket `i` holds
+/// samples whose highest set bit is `i`, i.e. values in `[2^i, 2^{i+1})`
+/// (bucket 0 additionally holds zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        let bucket = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                (hi, c)
+            })
+            .collect()
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Sample distribution (boxed: the bucket array dwarfs the other
+    /// variants).
+    Histogram(Box<Histogram>),
+}
+
+/// A named-metric registry. Thread-safe; lookups are by name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at 0).
+    ///
+    /// # Panics
+    /// Panics when `name` already holds a non-counter metric.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut map = self.inner.lock().expect("metrics registry lock");
+        match map.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("metric '{name}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    ///
+    /// # Panics
+    /// Panics when `name` already holds a non-gauge metric.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut map = self.inner.lock().expect("metrics registry lock");
+        match map.entry(name.to_string()).or_insert(MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into histogram `name` (created empty).
+    ///
+    /// # Panics
+    /// Panics when `name` already holds a non-histogram metric.
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut map = self.inner.lock().expect("metrics registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Box::new(Histogram::new())))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => panic!("metric '{name}' is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.inner
+            .lock()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = Registry::new();
+        reg.counter_add("bytes", 10);
+        reg.counter_add("bytes", 5);
+        reg.gauge_set("ratio", 1.5);
+        reg.gauge_set("ratio", 2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], ("bytes".to_string(), MetricValue::Counter(15)));
+        assert_eq!(snap[1], ("ratio".to_string(), MetricValue::Gauge(2.5)));
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.nonzero_buckets();
+        // 0 and 1 land in bucket 0 (hi=1), 2 and 3 in bucket 1 (hi=3),
+        // 4 in bucket 2 (hi=7), 1000 in bucket 9 (hi=1023).
+        assert_eq!(buckets, vec![(1, 2), (3, 2), (7, 1), (1023, 1)]);
+        assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let reg = Registry::new();
+        reg.observe("wait_ns", 100);
+        reg.observe("wait_ns", 200);
+        match &reg.snapshot()[0].1 {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.sum(), 300);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_rejected() {
+        let reg = Registry::new();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! chrome://tracing ("Trace Event Format") exporter.
+//!
+//! Turns harvested [`Recorder`] lanes into the JSON object format
+//! (`{"traceEvents": [...]}`) that chrome://tracing and Perfetto load
+//! directly: one "complete" event (`ph: "X"`) per span with microsecond
+//! timestamps, one row per thread, one process per (matrix, sync-mode)
+//! profile so ColorBarrier and PointToPoint timelines sit side by side.
+//!
+//! JSON is emitted by hand — the workspace is offline and carries no
+//! serde; the format here is flat enough that string building is clearer
+//! than a dependency anyway. Span names come from [`SpanKind::name`],
+//! which contains no characters needing escaping; process names are
+//! escaped minimally (quotes and backslashes).
+
+use crate::recorder::{Recorder, Span};
+use std::fmt::Write as _;
+
+/// Incrementally builds a chrome://tracing JSON document.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events added so far (metadata + spans).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names process `pid` in the timeline (one process per profiled
+    /// configuration, e.g. `"poisson2d / point-to-point"`).
+    pub fn add_process(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Adds every span from every lane of `rec` under process `pid`,
+    /// thread `t` becoming tid `t`. Returns the number of spans added.
+    pub fn add_recorder(&mut self, pid: u32, rec: &Recorder) -> usize {
+        let mut added = 0;
+        for t in 0..rec.nthreads() {
+            for span in rec.thread_spans(t) {
+                self.add_span(pid, t as u32, &span);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Adds one span as a complete (`ph: "X"`) event.
+    pub fn add_span(&mut self, pid: u32, tid: u32, span: &Span) {
+        let ts_us = span.start_ns as f64 / 1000.0;
+        let dur_us = span.duration_ns() as f64 / 1000.0;
+        let cat = if span.kind.is_wait() { "wait" } else { "compute" };
+        let mut args = String::new();
+        if span.color != Span::NO_ID {
+            let _ = write!(args, "\"color\":{}", span.color);
+        }
+        if span.block != Span::NO_ID {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, "\"block\":{}", span.block);
+        }
+        if !args.is_empty() {
+            args.push(',');
+        }
+        let detail_key = if span.kind.is_wait() { "snoozes" } else { "rows" };
+        let _ = write!(args, "\"{detail_key}\":{}", span.detail);
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts_us},\
+             \"dur\":{dur_us},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+            span.kind.name()
+        ));
+    }
+
+    /// Renders the full document: `{"traceEvents": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes the document to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Span, SpanKind};
+
+    #[test]
+    fn emits_process_metadata_and_complete_events() {
+        let rec = Recorder::new(2, 16);
+        // SAFETY: single-threaded test — each lane index used once at a time.
+        unsafe {
+            rec.record(
+                0,
+                Span {
+                    kind: SpanKind::Forward,
+                    color: 3,
+                    block: Span::NO_ID,
+                    detail: 100,
+                    start_ns: 1000,
+                    end_ns: 2500,
+                },
+            );
+            rec.record(
+                1,
+                Span {
+                    kind: SpanKind::BarrierWait,
+                    color: 3,
+                    block: Span::NO_ID,
+                    detail: 7,
+                    start_ns: 2000,
+                    end_ns: 2200,
+                },
+            );
+        }
+        let mut tb = TraceBuilder::new();
+        tb.add_process(1, "tiny / barrier");
+        let added = tb.add_recorder(1, &rec);
+        assert_eq!(added, 2);
+        let json = tb.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"forward\""));
+        assert!(json.contains("\"cat\":\"compute\""));
+        assert!(json.contains("\"name\":\"barrier-wait\""));
+        assert!(json.contains("\"cat\":\"wait\""));
+        assert!(json.contains("\"ts\":1"));
+        assert!(json.contains("\"dur\":1.5"));
+        assert!(json.contains("\"snoozes\":7"));
+        assert!(json.contains("\"rows\":100"));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn process_names_are_escaped() {
+        let mut tb = TraceBuilder::new();
+        tb.add_process(1, "a\"b\\c");
+        assert!(tb.to_json().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_shape() {
+        let tb = TraceBuilder::new();
+        assert!(tb.is_empty());
+        assert_eq!(tb.len(), 0);
+        assert_eq!(tb.to_json(), "{\"traceEvents\":[\n]}\n");
+    }
+}

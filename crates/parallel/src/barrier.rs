@@ -41,22 +41,34 @@ impl SenseBarrier {
     /// Each participant must call `wait` exactly once per phase; the barrier
     /// is immediately reusable for the next phase.
     pub fn wait(&self) -> bool {
+        self.wait_counted().0
+    }
+
+    /// [`SenseBarrier::wait`], additionally reporting how many
+    /// [`Backoff::snooze`] calls the wait spent (0 for the last arriver
+    /// and for waiters released on their first check). Profiling uses the
+    /// count to distinguish "arrived together" from "spun a long time"
+    /// without adding clock reads to the uninstrumented path.
+    #[inline]
+    pub fn wait_counted(&self) -> (bool, u32) {
         let my_sense = !self.sense.load(Ordering::Relaxed);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arriver: reset the counter, then flip the sense to
             // release the spinners.
             self.remaining.store(self.n, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
-            true
+            (true, 0)
         } else {
             // Bounded exponential backoff: cheap when the peers arrive
             // within the spin budget, scheduler-friendly when a straggler
             // is descheduled (e.g. 64 logical threads on 1 core).
             let mut backoff = Backoff::new();
+            let mut snoozes = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 backoff.snooze();
+                snoozes = snoozes.saturating_add(1);
             }
-            false
+            (false, snoozes)
         }
     }
 }
@@ -73,6 +85,8 @@ mod tests {
         for _ in 0..100 {
             assert!(b.wait());
         }
+        // The sole participant is always the leader and never snoozes.
+        assert_eq!(b.wait_counted(), (true, 0));
     }
 
     #[test]

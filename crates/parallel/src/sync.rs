@@ -131,14 +131,26 @@ impl BlockFlags {
     /// Blocks until `flag[b] >= epoch`, spinning with [`Backoff`].
     #[inline]
     pub fn wait_for(&self, b: usize, epoch: u64) {
+        self.wait_for_counted(b, epoch);
+    }
+
+    /// [`BlockFlags::wait_for`], returning the number of
+    /// [`Backoff::snooze`] calls spent (0 when the flag was already
+    /// satisfied). Profiling uses the count to separate contended from
+    /// immediately-satisfied waits without clock reads on the fast path.
+    #[inline]
+    pub fn wait_for_counted(&self, b: usize, epoch: u64) -> u32 {
         let slot = &self.slots[b].0;
         if slot.load(Ordering::Acquire) >= epoch {
-            return;
+            return 0;
         }
         let mut backoff = Backoff::new();
+        let mut snoozes = 0u32;
         while slot.load(Ordering::Acquire) < epoch {
             backoff.snooze();
+            snoozes = snoozes.saturating_add(1);
         }
+        snoozes
     }
 
     /// Blocks until every block in `deps` has reached `epoch`.
@@ -147,6 +159,17 @@ impl BlockFlags {
         for &d in deps {
             self.wait_for(d as usize, epoch);
         }
+    }
+
+    /// [`BlockFlags::wait_all`], returning the summed snooze count across
+    /// all dependencies.
+    #[inline]
+    pub fn wait_all_counted(&self, deps: &[u32], epoch: u64) -> u32 {
+        let mut snoozes = 0u32;
+        for &d in deps {
+            snoozes = snoozes.saturating_add(self.wait_for_counted(d as usize, epoch));
+        }
+        snoozes
     }
 }
 
@@ -181,6 +204,8 @@ mod tests {
         assert_eq!(f.load(2), 7);
         f.wait_for(2, 7); // already satisfied: returns immediately
         f.wait_all(&[2], 3); // lower epoch also satisfied
+        assert_eq!(f.wait_for_counted(2, 7), 0); // satisfied waits cost no snoozes
+        assert_eq!(f.wait_all_counted(&[2], 3), 0);
         f.reset();
         assert_eq!(f.load(2), 0);
         f.mark(1, 5);
