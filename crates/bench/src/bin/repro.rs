@@ -13,10 +13,27 @@
 //! `BENCH_profile.json` (effective bandwidth, traffic-vs-model, wait
 //! fractions, hardware counters) and `profile_trace.json`, a
 //! chrome://tracing / Perfetto-loadable per-thread timeline.
+//!
+//! Timing experiments (`fig7`, `sync`, `tune`, `profile`) additionally
+//! append one JSONL record per measured configuration to the perf
+//! database (`--db`, default `perf/runs.jsonl` or `FBMPK_PERFDB`), each
+//! carrying the platform fingerprint, git revision, raw samples, robust
+//! statistics and the measured-bandwidth roofline anchor. Reading it
+//! back:
+//!
+//! ```text
+//! repro history                          # trend per matrix x kernel
+//! repro compare <revA> <revB>            # speedup table with CIs
+//! repro gate --baseline <rev> [--current <rev>] [--threshold 0.10]
+//!            [--warn-only]               # exit 1 on regression
+//! repro report [--out-html FILE]         # self-contained HTML report
+//! ```
 
+use fbmpk_bench::perfdb::{self, PerfDb, RecordCtx, RunRecord, RunSpec};
+use fbmpk_bench::perfreport;
 use fbmpk_bench::report::{format_table, write_csv, write_json, Json};
 use fbmpk_bench::runner::{self, MatrixCase};
-use fbmpk_bench::{platform, BenchConfig};
+use fbmpk_bench::{platform, roofline, BenchConfig};
 use fbmpk_obs::MetricValue;
 use std::path::PathBuf;
 
@@ -24,7 +41,18 @@ struct Args {
     experiments: Vec<String>,
     cfg: BenchConfig,
     out: PathBuf,
+    db: PathBuf,
+    no_perfdb: bool,
+    baseline: Option<String>,
+    current: Option<String>,
+    threshold: f64,
+    warn_only: bool,
+    out_html: Option<PathBuf>,
 }
+
+/// Database subcommands — read the perf store instead of running
+/// experiments.
+const DB_COMMANDS: [&str; 4] = ["history", "compare", "gate", "report"];
 
 /// Parses the next argument as a number, exiting with a clean error
 /// message (not a panic) on malformed or missing values.
@@ -42,9 +70,23 @@ fn numeric_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag
     }
 }
 
+fn string_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
 fn parse_args() -> Args {
     let mut cfg = BenchConfig::default();
     let mut out = PathBuf::from("EXPERIMENTS_RESULTS");
+    let mut db = perfdb::default_db_path();
+    let mut no_perfdb = false;
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.10;
+    let mut warn_only = false;
+    let mut out_html = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,16 +95,23 @@ fn parse_args() -> Args {
             "--threads" => cfg.threads = numeric_arg(&mut it, "--threads"),
             "--reps" => cfg.reps = numeric_arg(&mut it, "--reps"),
             "--seed" => cfg.seed = numeric_arg(&mut it, "--seed"),
-            "--out" => {
-                out = PathBuf::from(it.next().unwrap_or_else(|| {
-                    eprintln!("error: --out needs a path");
-                    std::process::exit(2);
-                }))
-            }
+            "--out" => out = PathBuf::from(string_arg(&mut it, "--out")),
+            "--db" => db = PathBuf::from(string_arg(&mut it, "--db")),
+            "--no-perfdb" => no_perfdb = true,
+            "--baseline" => baseline = Some(string_arg(&mut it, "--baseline")),
+            "--current" => current = Some(string_arg(&mut it, "--current")),
+            "--threshold" => threshold = numeric_arg(&mut it, "--threshold"),
+            "--warn-only" => warn_only = true,
+            "--out-html" => out_html = Some(PathBuf::from(string_arg(&mut it, "--out-html"))),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync|profile] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]"
+                     \x20      [ablation_blocks|tune|sync|profile] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
+                     \x20      [--db FILE] [--no-perfdb]\n\
+                     \x20 repro history [--db FILE]\n\
+                     \x20 repro compare REV_A REV_B [--db FILE]\n\
+                     \x20 repro gate --baseline REV [--current REV] [--threshold 0.10] [--warn-only] [--db FILE]\n\
+                     \x20 repro report [--out-html FILE] [--db FILE]"
                 );
                 std::process::exit(0);
             }
@@ -90,13 +139,22 @@ fn parse_args() -> Args {
         "sync",
         "profile",
     ];
-    for e in &experiments {
-        if !KNOWN.contains(&e.as_str()) {
-            eprintln!("error: unknown experiment '{e}' (known: {})", KNOWN.join(", "));
-            std::process::exit(2);
+    // Database subcommands own the remaining positional arguments (e.g.
+    // the two revisions of `compare`), so the experiment-name check does
+    // not apply to them.
+    if !DB_COMMANDS.contains(&experiments[0].as_str()) {
+        for e in &experiments {
+            if !KNOWN.contains(&e.as_str()) {
+                eprintln!(
+                    "error: unknown experiment '{e}' (known: {}, {})",
+                    KNOWN.join(", "),
+                    DB_COMMANDS.join(", ")
+                );
+                std::process::exit(2);
+            }
         }
     }
-    Args { experiments, cfg, out }
+    Args { experiments, cfg, out, db, no_perfdb, baseline, current, threshold, warn_only, out_html }
 }
 
 fn f3(v: f64) -> String {
@@ -129,13 +187,141 @@ fn metric_json(m: &MetricValue) -> Json {
     }
 }
 
+/// Loads the run database, warning (never failing) on skipped lines.
+fn load_db(args: &Args) -> Vec<RunRecord> {
+    let db = PerfDb::new(&args.db);
+    let load = db.load().unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", args.db.display());
+        std::process::exit(2);
+    });
+    if load.skipped_lines > 0 {
+        eprintln!(
+            "perfdb: skipped {} unparseable line(s) in {}",
+            load.skipped_lines,
+            args.db.display()
+        );
+    }
+    load.records
+}
+
+/// Runs one of the database subcommands ([`DB_COMMANDS`]); never returns.
+fn run_db_command(args: &Args) -> ! {
+    let records = load_db(args);
+    match args.experiments[0].as_str() {
+        "history" => print!("{}", perfreport::history_table(&records)),
+        "compare" => {
+            let [rev_a, rev_b] = match &args.experiments[1..] {
+                [a, b] => [a.clone(), b.clone()],
+                _ => {
+                    eprintln!(
+                        "error: compare needs exactly two revisions: repro compare REV_A REV_B"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            let cmp = perfreport::compare(&records, &rev_a, &rev_b);
+            print!("{}", perfreport::compare_table(&cmp, &rev_a, &rev_b));
+        }
+        "gate" => {
+            let baseline = args.baseline.clone().unwrap_or_else(|| {
+                eprintln!("error: gate needs --baseline REV");
+                std::process::exit(2);
+            });
+            let current = args.current.clone().unwrap_or_else(perfdb::git_rev);
+            let cfg = perfreport::GateConfig { rel_threshold: args.threshold };
+            let report = perfreport::gate(&records, &baseline, &current, cfg);
+            print!("{}", perfreport::gate_table(&report, &baseline, &current));
+            if !report.passed() {
+                // Shared CI runners pass --warn-only so noisy-neighbour
+                // regressions don't block merges; FBMPK_GATE_HARD=1
+                // re-arms the hard gate (e.g. on dedicated hardware).
+                let hard =
+                    !args.warn_only || std::env::var("FBMPK_GATE_HARD").as_deref() == Ok("1");
+                if hard {
+                    std::process::exit(1);
+                }
+                eprintln!("gate: regression(s) found, continuing (--warn-only)");
+            }
+        }
+        "report" => {
+            let html = perfreport::html_report(&records);
+            let path = args.out_html.clone().unwrap_or_else(|| args.out.join("perf_report.html"));
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create report dir");
+                }
+            }
+            std::fs::write(&path, html).expect("write HTML report");
+            println!("perf report: {} record(s) -> {}", records.len(), path.display());
+        }
+        other => unreachable!("not a db command: {other}"),
+    }
+    std::process::exit(0);
+}
+
+/// Appends a record for one measured configuration, skipping silently
+/// when the sample vector is empty (nothing honest to persist).
+#[allow(clippy::too_many_arguments)]
+fn push_record(
+    pending: &mut Vec<RunRecord>,
+    ctx: &RecordCtx,
+    experiment: &str,
+    matrix: &str,
+    kernel: &str,
+    sync: Option<&str>,
+    threads: usize,
+    k: Option<usize>,
+    options_fp: u64,
+    wait_frac: Option<f64>,
+    ipc: Option<f64>,
+    modeled_matrix_bytes: Option<u64>,
+    samples: &[f64],
+) {
+    let spec = RunSpec {
+        experiment: experiment.to_string(),
+        matrix: matrix.to_string(),
+        kernel: kernel.to_string(),
+        sync: sync.map(str::to_string),
+        threads,
+        k,
+        options_fp,
+        wait_frac,
+        ipc,
+        modeled_matrix_bytes,
+    };
+    if let Some(rec) = RunRecord::new(ctx, spec, samples) {
+        pending.push(rec);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if DB_COMMANDS.contains(&args.experiments[0].as_str()) {
+        run_db_command(&args);
+    }
     let want = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
     println!(
         "FBMPK reproduction harness  (scale {}, {} threads, {} reps)\n",
         args.cfg.scale, args.cfg.threads, args.cfg.reps
     );
+
+    // Timing experiments persist perfdb records; probe the host identity
+    // and its bandwidth ceilings once for the whole invocation.
+    let records_wanted =
+        !args.no_perfdb && ["fig7", "sync", "tune", "profile"].iter().any(|e| want(e));
+    let perf_ctx = records_wanted.then(|| {
+        let host = platform::probe();
+        eprintln!("measuring host bandwidth ceilings (triad + random gather) ...");
+        let bw = roofline::measure(host.llc_bytes());
+        eprintln!(
+            "  triad {:.1} GB/s, gather {:.1} GB/s ({} MiB working set)",
+            bw.triad_gbs,
+            bw.gather_gbs,
+            bw.working_set_bytes >> 20
+        );
+        RecordCtx::current(host, Some(bw), args.cfg.scale, args.cfg.reps)
+    });
+    let mut pending: Vec<RunRecord> = Vec::new();
 
     if want("table1") {
         println!("{}", platform::platform_table());
@@ -246,6 +432,17 @@ fn main() {
             &table,
         )
         .expect("write fig7.csv");
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                let t = args.cfg.threads;
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
+                    Some(r.k), 0, None, None, None, &r.samples_baseline);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
+                    Some(r.k), r.options_fp, None, None, None, &r.samples_fbmpk);
+            }
+        }
     }
 
     if want("fig8") {
@@ -502,6 +699,20 @@ fn main() {
             ),
         ]);
         write_json(&args.out.join("BENCH_kernels.json"), &json).expect("write BENCH_kernels.json");
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                // One SpMV streams the whole CSR once — the modeled-bytes
+                // anchor for the tuned kernels' roofline fractions.
+                let csr = fbmpk_sparse::TriangularSplit::csr_storage_bytes(r.rows, r.nnz) as u64;
+                let t = args.cfg.threads;
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
+                    None, 0, None, None, Some(csr), &r.samples_scalar);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
+                    None, t, None, 0, None, None, Some(csr), &r.samples_tuned);
+            }
+        }
     }
 
     if want("sync") {
@@ -607,6 +818,18 @@ fn main() {
             ),
         ]);
         write_json(&args.out.join("BENCH_sync.json"), &json).expect("write BENCH_sync.json");
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                let modeled = Some(r.modeled_matrix_bytes);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
+                    r.threads, Some(5), r.options_fp_barrier, None, None, modeled,
+                    &r.samples_barrier);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
+                    r.threads, Some(5), r.options_fp_p2p, None, None, modeled, &r.samples_p2p);
+            }
+        }
     }
 
     if want("profile") {
@@ -767,6 +990,20 @@ fn main() {
             trace.len(),
             args.out.join("profile_trace.json").display()
         );
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                let modeled = Some(r.modeled_matrix_bytes);
+                let ipc = r.hw.as_ref().map(fbmpk_obs::HwSample::ipc);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
+                    r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
+                    modeled, &r.samples_barrier);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
+                    r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
+                    modeled, &r.samples_p2p);
+            }
+        }
     }
 
     if want("fig12") {
@@ -787,6 +1024,22 @@ fn main() {
         println!("{}", format_table(&["input", "threads", "speedup"], &table));
         write_csv(&args.out.join("fig12.csv"), &["input", "threads", "speedup"], &table)
             .expect("write fig12.csv");
+    }
+
+    if !pending.is_empty() {
+        let db = PerfDb::new(&args.db);
+        match db.append_all(&pending) {
+            Ok(()) => println!(
+                "perfdb: appended {} record(s) (rev {}) to {}",
+                pending.len(),
+                pending[0].git_rev,
+                db.path().display()
+            ),
+            // A read-only checkout must not fail the benchmark run.
+            Err(e) => {
+                eprintln!("perfdb: WARNING: could not append to {}: {e}", db.path().display())
+            }
+        }
     }
 
     println!("CSV results written to {}", args.out.display());

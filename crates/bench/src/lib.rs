@@ -22,9 +22,13 @@
 //! | model    | §III-B access-count formulas              | [`runner::model_table`]     |
 //! | profile  | in-kernel spans, bandwidth, hw counters   | [`runner::profile`]         |
 
+pub mod perfdb;
+pub mod perfreport;
 pub mod platform;
 pub mod report;
+pub mod roofline;
 pub mod runner;
+pub mod stats;
 
 /// Shared experiment configuration.
 #[derive(Debug, Clone)]
@@ -52,7 +56,13 @@ impl Default for BenchConfig {
                 .unwrap_or_else(|| {
                     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
                 }),
-            reps: std::env::var("FBMPK_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(7),
+            // Clamped to ≥ 1: experiments rely on this invariant (the
+            // timing layer rejects reps = 0 rather than fabricating data).
+            reps: std::env::var("FBMPK_REPS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(7)
+                .max(1),
             seed: 42,
         }
     }

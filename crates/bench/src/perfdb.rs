@@ -1,0 +1,593 @@
+//! The append-only performance-run database.
+//!
+//! Every benchmark invocation appends one self-describing JSONL record
+//! per measured configuration to `perf/runs.jsonl` (override with
+//! `--db` / `FBMPK_PERFDB`). One record is one line, so a truncated
+//! write — kill -9 mid-append, full disk — can only ever corrupt the
+//! final line, and [`PerfDb::load`] recovers by skipping it. The store
+//! is what turns one-off measurements into decisions (OSKI's offline
+//! data, the paper's achieved-vs-modeled bandwidth argument): `repro
+//! history`, `repro compare` and `repro gate` all read it back.
+//!
+//! Records are keyed by a *stable* configuration fingerprint
+//! ([`fbmpk::Fnv64`], never `DefaultHasher`) over everything that shapes
+//! the measured kernel, so the same configuration hashes identically
+//! across sessions, toolchains, and PRs.
+
+use crate::platform::Platform;
+use crate::report::Json;
+use crate::roofline::BandwidthProbe;
+use crate::stats::SampleSummary;
+use fbmpk::Fnv64;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every record; bump on breaking schema
+/// changes so old readers can skip (not crash on) newer lines.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Database path resolution: `FBMPK_PERFDB` env override, else the
+/// repo-conventional `perf/runs.jsonl` relative to the working dir.
+pub fn default_db_path() -> PathBuf {
+    std::env::var_os("FBMPK_PERFDB")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("perf").join("runs.jsonl"))
+}
+
+/// The git revision to stamp records with: `FBMPK_GIT_REV` override
+/// (CI, tests), else `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("FBMPK_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it — records
+/// sort by file order anyway; the timestamp is informational).
+pub fn unix_time_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Run context shared by every record of one benchmark invocation.
+#[derive(Debug, Clone)]
+pub struct RecordCtx {
+    /// Git revision of the benchmarked tree.
+    pub git_rev: String,
+    /// Host description from the sysfs probe.
+    pub platform: Platform,
+    /// Measured bandwidth ceilings; `None` when the probe was skipped.
+    pub bw: Option<BandwidthProbe>,
+    /// Suite scale factor.
+    pub scale: f64,
+    /// Timed repetitions per measurement.
+    pub reps: usize,
+    /// Record timestamp (seconds since epoch).
+    pub unix_time_s: u64,
+}
+
+impl RecordCtx {
+    /// Context for the current invocation.
+    pub fn current(
+        platform: Platform,
+        bw: Option<BandwidthProbe>,
+        scale: f64,
+        reps: usize,
+    ) -> Self {
+        RecordCtx { git_rev: git_rev(), platform, bw, scale, reps, unix_time_s: unix_time_s() }
+    }
+}
+
+/// What one record measured, minus the context and the samples.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Experiment family (`sync`, `tune`, `profile`, ...).
+    pub experiment: String,
+    /// Suite matrix name.
+    pub matrix: String,
+    /// Kernel identity (`fbmpk`, `standard`, `tuned:csr-unrolled4`, ...).
+    pub kernel: String,
+    /// Synchronization mode (`barrier` / `p2p`) where applicable.
+    pub sync: Option<String>,
+    /// Worker threads.
+    pub threads: usize,
+    /// Power `k` where applicable.
+    pub k: Option<usize>,
+    /// Stable options fingerprint from `fbmpk::FbmpkOptions::
+    /// config_fingerprint` (0 for kernels without plan options).
+    pub options_fp: u64,
+    /// Recorded wait fraction (PR 3 span recorder), when observed.
+    pub wait_frac: Option<f64>,
+    /// Instructions per cycle from hardware counters, when available.
+    pub ipc: Option<f64>,
+    /// §III-B modeled matrix bytes per kernel invocation, when modeled.
+    pub modeled_matrix_bytes: Option<u64>,
+}
+
+impl RunSpec {
+    /// The cross-run grouping key: everything that must match for two
+    /// records to be the *same configuration* — but **not** the git rev,
+    /// timestamp, or measured values, which are what vary across runs.
+    /// `scale` is included: a 0.002-scale matrix and a 0.02-scale matrix
+    /// are different workloads.
+    pub fn config_key(&self, scale: f64) -> String {
+        let mut h = Fnv64::new();
+        h.write_str("run-config-v1")
+            .write_str(&self.experiment)
+            .write_str(&self.matrix)
+            .write_str(&self.kernel)
+            .write_str(self.sync.as_deref().unwrap_or(""))
+            .write_usize(self.threads)
+            .write_u64(self.k.map_or(u64::MAX, |k| k as u64))
+            .write_u64(self.options_fp)
+            .write_f64(scale);
+        format!("{:016x}", h.finish())
+    }
+}
+
+/// One persisted benchmark run: a [`RunSpec`] measured under a
+/// [`RecordCtx`], with raw samples and derived robust statistics.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Schema version of this record.
+    pub schema: u64,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_time_s: u64,
+    /// Git revision of the benchmarked tree.
+    pub git_rev: String,
+    /// What was measured.
+    pub spec: RunSpec,
+    /// Suite scale factor.
+    pub scale: f64,
+    /// Timed repetitions (should equal `samples_s.len()`).
+    pub reps: usize,
+    /// The grouping key (`spec.config_key(scale)`).
+    pub config_key: String,
+    /// Raw per-rep seconds, measurement order.
+    pub samples_s: Vec<f64>,
+    /// Median seconds.
+    pub median_s: f64,
+    /// Median absolute deviation.
+    pub mad_s: f64,
+    /// Bootstrap CI of the median (lower bound).
+    pub ci_lo_s: f64,
+    /// Bootstrap CI of the median (upper bound).
+    pub ci_hi_s: f64,
+    /// Geometric mean seconds (the paper's aggregation, kept for
+    /// continuity with the BENCH_*.json reports).
+    pub geomean_s: f64,
+    /// `modeled_matrix_bytes / median_s / 1e9`, when modeled.
+    pub achieved_gbs: Option<f64>,
+    /// Measured STREAM-triad ceiling at record time.
+    pub triad_gbs: Option<f64>,
+    /// Measured random-gather effective bandwidth at record time.
+    pub gather_gbs: Option<f64>,
+    /// `achieved_gbs / triad_gbs`.
+    pub roofline_frac: Option<f64>,
+    /// Hardware-identity fingerprint ([`Platform::fingerprint`]).
+    pub platform_fp: String,
+    /// CPU model string (human-readable context for the fingerprint).
+    pub cpu_model: String,
+    /// Logical CPUs on the recording host.
+    pub logical_cpus: usize,
+    /// Last-level cache size in bytes (0 = unknown).
+    pub llc_bytes: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from measured samples; `None` when `samples` is
+    /// empty (nothing was measured — there is no honest record to write).
+    pub fn new(ctx: &RecordCtx, spec: RunSpec, samples: &[f64]) -> Option<RunRecord> {
+        let summary = SampleSummary::compute(samples)?;
+        let geomean_s = crate::report::geomean(samples);
+        let achieved_gbs =
+            spec.modeled_matrix_bytes.map(|b| b as f64 / summary.median.max(1e-300) / 1e9);
+        let (triad_gbs, gather_gbs) =
+            ctx.bw.map_or((None, None), |p| (Some(p.triad_gbs), Some(p.gather_gbs)));
+        let roofline_frac = match (achieved_gbs, ctx.bw) {
+            (Some(a), Some(p)) => p.roofline_fraction(a),
+            _ => None,
+        };
+        let config_key = spec.config_key(ctx.scale);
+        Some(RunRecord {
+            schema: SCHEMA_VERSION,
+            unix_time_s: ctx.unix_time_s,
+            git_rev: ctx.git_rev.clone(),
+            spec,
+            scale: ctx.scale,
+            reps: samples.len(),
+            config_key,
+            samples_s: samples.to_vec(),
+            median_s: summary.median,
+            mad_s: summary.mad,
+            ci_lo_s: summary.ci.lo,
+            ci_hi_s: summary.ci.hi,
+            geomean_s,
+            achieved_gbs,
+            triad_gbs,
+            gather_gbs,
+            roofline_frac,
+            platform_fp: ctx.platform.fingerprint(),
+            cpu_model: ctx.platform.cpu_model.clone(),
+            logical_cpus: ctx.platform.logical_cpus,
+            llc_bytes: ctx.platform.llc_bytes(),
+        })
+    }
+
+    /// A short human label for tables: `matrix kernel[/sync] @threads`.
+    pub fn label(&self) -> String {
+        let sync = self.spec.sync.as_deref().map(|s| format!("/{s}")).unwrap_or_default();
+        format!("{} {}{} @{}t", self.spec.matrix, self.spec.kernel, sync, self.spec.threads)
+    }
+
+    fn opt_f64(v: Option<f64>) -> Json {
+        v.map_or(Json::Null, Json::from)
+    }
+
+    /// The JSONL form (one line via [`Json::to_compact`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(self.schema as usize)),
+            ("unix_time_s", Json::from(self.unix_time_s as usize)),
+            ("git_rev", Json::from(self.git_rev.as_str())),
+            ("experiment", Json::from(self.spec.experiment.as_str())),
+            ("matrix", Json::from(self.spec.matrix.as_str())),
+            ("kernel", Json::from(self.spec.kernel.as_str())),
+            ("sync", self.spec.sync.as_deref().map_or(Json::Null, Json::from)),
+            ("threads", Json::from(self.spec.threads)),
+            ("k", self.spec.k.map_or(Json::Null, Json::from)),
+            ("scale", Json::from(self.scale)),
+            ("reps", Json::from(self.reps)),
+            ("options_fp", Json::from(format!("{:016x}", self.spec.options_fp))),
+            ("config_key", Json::from(self.config_key.as_str())),
+            ("samples_s", Json::Arr(self.samples_s.iter().map(|&s| Json::from(s)).collect())),
+            ("median_s", Json::from(self.median_s)),
+            ("mad_s", Json::from(self.mad_s)),
+            ("ci_lo_s", Json::from(self.ci_lo_s)),
+            ("ci_hi_s", Json::from(self.ci_hi_s)),
+            ("geomean_s", Json::from(self.geomean_s)),
+            ("wait_frac", Self::opt_f64(self.spec.wait_frac)),
+            ("ipc", Self::opt_f64(self.spec.ipc)),
+            (
+                "modeled_matrix_bytes",
+                self.spec.modeled_matrix_bytes.map_or(Json::Null, |b| Json::from(b as usize)),
+            ),
+            ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
+            ("triad_gbs", Self::opt_f64(self.triad_gbs)),
+            ("gather_gbs", Self::opt_f64(self.gather_gbs)),
+            ("roofline_frac", Self::opt_f64(self.roofline_frac)),
+            ("platform_fp", Json::from(self.platform_fp.as_str())),
+            ("cpu_model", Json::from(self.cpu_model.as_str())),
+            ("logical_cpus", Json::from(self.logical_cpus)),
+            ("llc_bytes", Json::from(self.llc_bytes as usize)),
+        ])
+    }
+
+    /// Parses one record; `Err` names the first missing/mistyped field.
+    pub fn from_json(j: &Json) -> Result<RunRecord, String> {
+        let str_field = |k: &str| {
+            j.get(k).and_then(Json::as_str).map(str::to_string).ok_or(format!("missing '{k}'"))
+        };
+        let num_field = |k: &str| j.get(k).and_then(Json::as_f64).ok_or(format!("missing '{k}'"));
+        let opt_num = |k: &str| j.get(k).and_then(Json::as_f64);
+        let schema = num_field("schema")? as u64;
+        if schema > SCHEMA_VERSION {
+            return Err(format!("unsupported schema {schema}"));
+        }
+        let samples_s: Vec<f64> = j
+            .get("samples_s")
+            .and_then(Json::as_array)
+            .ok_or("missing 'samples_s'")?
+            .iter()
+            .map(|s| s.as_f64().ok_or("non-numeric sample"))
+            .collect::<Result<_, _>>()?;
+        let spec = RunSpec {
+            experiment: str_field("experiment")?,
+            matrix: str_field("matrix")?,
+            kernel: str_field("kernel")?,
+            sync: j.get("sync").and_then(Json::as_str).map(str::to_string),
+            threads: num_field("threads")? as usize,
+            k: opt_num("k").map(|k| k as usize),
+            options_fp: j
+                .get("options_fp")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(0),
+            wait_frac: opt_num("wait_frac"),
+            ipc: opt_num("ipc"),
+            modeled_matrix_bytes: opt_num("modeled_matrix_bytes").map(|b| b as u64),
+        };
+        Ok(RunRecord {
+            schema,
+            unix_time_s: num_field("unix_time_s")? as u64,
+            git_rev: str_field("git_rev")?,
+            spec,
+            scale: num_field("scale")?,
+            reps: num_field("reps")? as usize,
+            config_key: str_field("config_key")?,
+            samples_s,
+            median_s: num_field("median_s")?,
+            mad_s: num_field("mad_s")?,
+            ci_lo_s: num_field("ci_lo_s")?,
+            ci_hi_s: num_field("ci_hi_s")?,
+            geomean_s: num_field("geomean_s")?,
+            achieved_gbs: opt_num("achieved_gbs"),
+            triad_gbs: opt_num("triad_gbs"),
+            gather_gbs: opt_num("gather_gbs"),
+            roofline_frac: opt_num("roofline_frac"),
+            platform_fp: str_field("platform_fp")?,
+            cpu_model: str_field("cpu_model")?,
+            logical_cpus: num_field("logical_cpus")? as usize,
+            llc_bytes: opt_num("llc_bytes").unwrap_or(0.0) as u64,
+        })
+    }
+}
+
+/// Result of reading the store back.
+#[derive(Debug)]
+pub struct DbLoad {
+    /// Every record that parsed, in file (append) order.
+    pub records: Vec<RunRecord>,
+    /// Lines that failed to parse (truncated tail writes, foreign
+    /// garbage) — skipped, never fatal.
+    pub skipped_lines: usize,
+}
+
+/// Handle to one JSONL run store.
+#[derive(Debug, Clone)]
+pub struct PerfDb {
+    path: PathBuf,
+}
+
+impl PerfDb {
+    /// A handle for `path` (nothing is opened until append/load).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        PerfDb { path: path.into() }
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends records, creating parent directories on first use. Each
+    /// record is written as exactly one `\n`-terminated line. A store
+    /// whose last write was torn (crash mid-append, no trailing newline)
+    /// gets a newline first, so the damage stays confined to the already
+    /// torn line instead of spreading to this append.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn append_all(&self, records: &[RunRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let needs_newline = match std::fs::metadata(&self.path) {
+            Ok(m) if m.len() > 0 => {
+                let mut f = std::fs::File::open(&self.path)?;
+                f.seek(std::io::SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                f.read_exact(&mut last)?;
+                last[0] != b'\n'
+            }
+            _ => false,
+        };
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let mut buf = String::new();
+        if needs_newline {
+            buf.push('\n');
+        }
+        for rec in records {
+            buf.push_str(&rec.to_json().to_compact());
+            buf.push('\n');
+        }
+        f.write_all(buf.as_bytes())?;
+        f.flush()
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn append(&self, record: &RunRecord) -> std::io::Result<()> {
+        self.append_all(std::slice::from_ref(record))
+    }
+
+    /// Reads every parseable record back. A missing file is an empty
+    /// store, and malformed lines (a truncated trailing write, foreign
+    /// text) are counted in [`DbLoad::skipped_lines`] instead of
+    /// poisoning the whole history.
+    ///
+    /// # Errors
+    /// Propagates I/O failures other than "not found".
+    pub fn load(&self) -> std::io::Result<DbLoad> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut records = Vec::new();
+        let mut skipped_lines = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|j| RunRecord::from_json(&j))
+            {
+                Ok(rec) => records.push(rec),
+                Err(_) => skipped_lines += 1,
+            }
+        }
+        Ok(DbLoad { records, skipped_lines })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CacheInfo;
+
+    pub(crate) fn test_platform() -> Platform {
+        Platform {
+            cpu_model: "test-cpu".into(),
+            logical_cpus: 4,
+            physical_cores: 2,
+            packages: 1,
+            caches: vec![CacheInfo {
+                level: 3,
+                cache_type: "Unified".into(),
+                size_bytes: 8 << 20,
+                count: 1,
+            }],
+            arch: "x86_64",
+            os: "linux",
+            mem_gib: 8.0,
+        }
+    }
+
+    pub(crate) fn test_ctx(rev: &str) -> RecordCtx {
+        RecordCtx {
+            git_rev: rev.into(),
+            platform: test_platform(),
+            bw: Some(BandwidthProbe {
+                triad_gbs: 20.0,
+                gather_gbs: 2.0,
+                working_set_bytes: 1 << 20,
+                reps: 1,
+            }),
+            scale: 0.002,
+            reps: 3,
+            unix_time_s: 1_700_000_000,
+        }
+    }
+
+    pub(crate) fn test_spec(matrix: &str, sync: Option<&str>) -> RunSpec {
+        RunSpec {
+            experiment: "sync".into(),
+            matrix: matrix.into(),
+            kernel: "fbmpk".into(),
+            sync: sync.map(str::to_string),
+            threads: 2,
+            k: Some(5),
+            options_fp: 0xabcd,
+            wait_frac: Some(0.125),
+            ipc: None,
+            modeled_matrix_bytes: Some(2_000_000_000),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let ctx = test_ctx("rev1");
+        let rec = RunRecord::new(&ctx, test_spec("poisson2d", Some("barrier")), &[0.1, 0.11, 0.09])
+            .unwrap();
+        let line = rec.to_json().to_compact();
+        assert!(!line.contains('\n'));
+        let back = RunRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back.git_rev, "rev1");
+        assert_eq!(back.config_key, rec.config_key);
+        assert_eq!(back.samples_s, rec.samples_s);
+        assert_eq!(back.median_s, rec.median_s);
+        assert_eq!(back.spec.sync.as_deref(), Some("barrier"));
+        assert_eq!(back.spec.wait_frac, Some(0.125));
+        assert_eq!(back.spec.ipc, None);
+        assert_eq!(back.platform_fp, rec.platform_fp);
+        // modeled 2 GB at 0.1 s median = 20 GB/s = the triad ceiling.
+        assert!((back.achieved_gbs.unwrap() - 20.0).abs() < 1e-9);
+        assert!((back.roofline_frac.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_key_ignores_rev_but_not_config() {
+        let a = test_spec("m", Some("barrier"));
+        let b = test_spec("m", Some("p2p"));
+        assert_eq!(a.config_key(0.002), a.config_key(0.002));
+        assert_ne!(a.config_key(0.002), b.config_key(0.002));
+        assert_ne!(a.config_key(0.002), a.config_key(0.02));
+        let r1 = RunRecord::new(&test_ctx("rev1"), a.clone(), &[0.1]).unwrap();
+        let r2 = RunRecord::new(&test_ctx("rev2"), a, &[0.2]).unwrap();
+        assert_eq!(r1.config_key, r2.config_key);
+    }
+
+    #[test]
+    fn empty_samples_yield_no_record() {
+        assert!(RunRecord::new(&test_ctx("r"), test_spec("m", None), &[]).is_none());
+    }
+
+    #[test]
+    fn missing_bw_degrades_fields_to_null() {
+        let ctx = RecordCtx { bw: None, ..test_ctx("r") };
+        let rec = RunRecord::new(&ctx, test_spec("m", None), &[0.1]).unwrap();
+        assert!(rec.triad_gbs.is_none() && rec.roofline_frac.is_none());
+        assert!(rec.achieved_gbs.is_some(), "modeled bytes alone still give achieved GB/s");
+        let j = rec.to_json();
+        assert_eq!(j.get("triad_gbs"), Some(&Json::Null));
+        assert_eq!(j.get("roofline_frac"), Some(&Json::Null));
+        let back = RunRecord::from_json(&j).unwrap();
+        assert!(back.triad_gbs.is_none());
+    }
+
+    #[test]
+    fn append_load_and_truncated_tail_recovery() {
+        let dir = std::env::temp_dir().join("fbmpk-perfdb-unit");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = PerfDb::new(dir.join("runs.jsonl"));
+        let ctx = test_ctx("rev1");
+        let r1 = RunRecord::new(&ctx, test_spec("a", Some("barrier")), &[0.1, 0.2]).unwrap();
+        let r2 = RunRecord::new(&ctx, test_spec("b", Some("p2p")), &[0.3, 0.4]).unwrap();
+        db.append(&r1).unwrap();
+        db.append(&r2).unwrap();
+        // Simulate a truncated tail write.
+        let mut f = std::fs::OpenOptions::new().append(true).open(db.path()).unwrap();
+        f.write_all(b"{\"schema\":1,\"git_rev\":\"re").unwrap();
+        drop(f);
+        let load = db.load().unwrap();
+        assert_eq!(load.records.len(), 2);
+        assert_eq!(load.skipped_lines, 1);
+        assert_eq!(load.records[0].spec.matrix, "a");
+        assert_eq!(load.records[1].spec.matrix, "b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_store() {
+        let db = PerfDb::new("/nonexistent-dir-for-sure/runs.jsonl");
+        let load = db.load().unwrap();
+        assert!(load.records.is_empty());
+        assert_eq!(load.skipped_lines, 0);
+    }
+
+    #[test]
+    fn newer_schema_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("fbmpk-perfdb-schema");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = PerfDb::new(dir.join("runs.jsonl"));
+        std::fs::write(db.path(), "{\"schema\":999,\"future\":true}\n").unwrap();
+        let load = db.load().unwrap();
+        assert!(load.records.is_empty());
+        assert_eq!(load.skipped_lines, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

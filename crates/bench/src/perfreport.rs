@@ -1,0 +1,716 @@
+//! Reading the run database back: trend tables, revision comparison,
+//! the regression gate, and a self-contained HTML report.
+//!
+//! Everything here is pure data → text so it is unit-testable without
+//! spawning the `repro` binary; the binary's `history` / `compare` /
+//! `gate` / `report` subcommands are thin shells over these functions.
+//!
+//! Gate semantics (deliberately conservative, see DESIGN.md §10): a
+//! configuration *regresses* only when the current median exceeds the
+//! baseline median by more than the relative threshold **and** the two
+//! runs' bootstrap confidence intervals do not overlap. Either test
+//! alone misfires on shared runners — the threshold alone flags noise
+//! spikes, CI separation alone flags microscopic-but-real drifts that
+//! nobody should block a merge on.
+
+use crate::perfdb::RunRecord;
+use crate::report::format_table;
+use crate::stats;
+use std::collections::BTreeSet;
+
+/// One configuration's records in append (chronological) order.
+#[derive(Debug)]
+pub struct ConfigSeries<'a> {
+    /// The grouping key (`RunRecord::config_key`).
+    pub key: String,
+    /// Human label from the newest record.
+    pub label: String,
+    /// Records in file order (oldest first).
+    pub records: Vec<&'a RunRecord>,
+}
+
+/// Groups records by configuration key, preserving first-seen order so
+/// reports are stable across re-renders.
+pub fn group_by_config(records: &[RunRecord]) -> Vec<ConfigSeries<'_>> {
+    let mut series: Vec<ConfigSeries> = Vec::new();
+    for rec in records {
+        match series.iter_mut().find(|s| s.key == rec.config_key) {
+            Some(s) => {
+                s.records.push(rec);
+                s.label = rec.label();
+            }
+            None => series.push(ConfigSeries {
+                key: rec.config_key.clone(),
+                label: rec.label(),
+                records: vec![rec],
+            }),
+        }
+    }
+    series
+}
+
+/// The newest record of `series` for a given git revision.
+pub fn latest_for_rev<'a>(series: &ConfigSeries<'a>, rev: &str) -> Option<&'a RunRecord> {
+    series.records.iter().rev().find(|r| r.git_rev == rev).copied()
+}
+
+/// Seconds rendered with a unit a human can scan (`1.23 ms`, `45.6 µs`).
+pub fn format_time_s(s: f64) -> String {
+    if !s.is_finite() {
+        return "n/a".to_string();
+    }
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// `repro history`: per-configuration trend across revisions.
+pub fn history_table(records: &[RunRecord]) -> String {
+    if records.is_empty() {
+        return "perf history: no records (run some experiments first)\n".to_string();
+    }
+    let mut out = String::new();
+    for series in group_by_config(records) {
+        out.push_str(&format!("## {}  [{}]\n", series.label, series.key));
+        let rows: Vec<Vec<String>> = series
+            .records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.git_rev.clone(),
+                    format!("{}", r.unix_time_s),
+                    format_time_s(r.median_s),
+                    format!("[{} .. {}]", format_time_s(r.ci_lo_s), format_time_s(r.ci_hi_s)),
+                    r.achieved_gbs.map_or("n/a".into(), |g| format!("{g:.2}")),
+                    r.roofline_frac.map_or("n/a".into(), |f| format!("{:.1}%", f * 100.0)),
+                    r.spec.wait_frac.map_or("n/a".into(), |w| format!("{:.1}%", w * 100.0)),
+                    format!("{}", r.reps),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["rev", "time", "median", "95% CI", "GB/s", "roofline", "wait", "reps"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of a revision comparison.
+#[derive(Debug)]
+pub struct CompareRow {
+    /// Human label of the configuration.
+    pub label: String,
+    /// The grouping key.
+    pub config_key: String,
+    /// Baseline (rev A) median seconds.
+    pub median_a: f64,
+    /// Candidate (rev B) median seconds.
+    pub median_b: f64,
+    /// Speedup of B over A (`median_a / median_b`; > 1 = B faster).
+    pub speedup: f64,
+    /// Bootstrap CI of the speedup ratio, when both sides have samples.
+    pub speedup_ci: Option<stats::Ci>,
+}
+
+/// `repro compare`: configurations measured at both revisions, with a
+/// bootstrap CI on each speedup ratio. Configurations recorded on
+/// different hardware (platform fingerprint mismatch) are excluded and
+/// counted in `skipped_platform`.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Matched configurations.
+    pub rows: Vec<CompareRow>,
+    /// Configs present at only one of the two revisions.
+    pub unmatched: usize,
+    /// Configs skipped because the two records came from different
+    /// hardware.
+    pub skipped_platform: usize,
+}
+
+/// Builds the comparison between `rev_a` (baseline) and `rev_b`.
+pub fn compare(records: &[RunRecord], rev_a: &str, rev_b: &str) -> Comparison {
+    let mut rows = Vec::new();
+    let mut unmatched = 0;
+    let mut skipped_platform = 0;
+    for series in group_by_config(records) {
+        let (Some(a), Some(b)) = (latest_for_rev(&series, rev_a), latest_for_rev(&series, rev_b))
+        else {
+            unmatched += 1;
+            continue;
+        };
+        if a.platform_fp != b.platform_fp {
+            skipped_platform += 1;
+            continue;
+        }
+        let speedup_ci = stats::bootstrap_ratio_ci(
+            &a.samples_s,
+            &b.samples_s,
+            stats::DEFAULT_RESAMPLES,
+            stats::DEFAULT_LEVEL,
+        );
+        rows.push(CompareRow {
+            label: series.label.clone(),
+            config_key: series.key.clone(),
+            median_a: a.median_s,
+            median_b: b.median_s,
+            speedup: a.median_s / b.median_s.max(1e-300),
+            speedup_ci,
+        });
+    }
+    Comparison { rows, unmatched, skipped_platform }
+}
+
+/// Renders a [`Comparison`] as an aligned table.
+pub fn compare_table(cmp: &Comparison, rev_a: &str, rev_b: &str) -> String {
+    let mut out = format!("speedup of {rev_b} over {rev_a} (>1 = {rev_b} faster)\n");
+    if cmp.rows.is_empty() {
+        out.push_str("  no configurations measured at both revisions\n");
+    } else {
+        let rows: Vec<Vec<String>> = cmp
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format_time_s(r.median_a),
+                    format_time_s(r.median_b),
+                    format!("{:.3}x", r.speedup),
+                    r.speedup_ci
+                        .as_ref()
+                        .map_or("n/a".into(), |ci| format!("[{:.3} .. {:.3}]", ci.lo, ci.hi)),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(&["config", rev_a, rev_b, "speedup", "95% CI"], &rows));
+    }
+    if cmp.unmatched > 0 {
+        out.push_str(&format!("  ({} config(s) present at only one revision)\n", cmp.unmatched));
+    }
+    if cmp.skipped_platform > 0 {
+        out.push_str(&format!(
+            "  ({} config(s) skipped: recorded on different hardware)\n",
+            cmp.skipped_platform
+        ));
+    }
+    out
+}
+
+/// Gate tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Relative slowdown that must be exceeded (`0.10` = 10 % slower).
+    pub rel_threshold: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { rel_threshold: 0.10 }
+    }
+}
+
+/// One gated configuration.
+#[derive(Debug)]
+pub struct GateRow {
+    /// Human label of the configuration.
+    pub label: String,
+    /// Baseline median seconds.
+    pub base_median: f64,
+    /// Current median seconds.
+    pub cur_median: f64,
+    /// Relative change (`cur/base - 1`; positive = slower).
+    pub rel_change: f64,
+    /// Whether the medians' confidence intervals are disjoint.
+    pub ci_separated: bool,
+    /// The verdict: over threshold **and** CI-separated.
+    pub regressed: bool,
+}
+
+/// Gate verdict over the whole database.
+#[derive(Debug)]
+pub struct GateReport {
+    /// Per-configuration rows (compared configs only).
+    pub rows: Vec<GateRow>,
+    /// Configs present at only one of the two revisions.
+    pub unmatched: usize,
+    /// Configs skipped for hardware mismatch.
+    pub skipped_platform: usize,
+}
+
+impl GateReport {
+    /// Regressed configuration count.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// True when nothing regressed (an empty comparison passes — a gate
+    /// with no baseline data must not block).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+/// `repro gate`: compares `current_rev` against `baseline_rev` and flags
+/// regressions per the two-condition rule documented on this module.
+pub fn gate(
+    records: &[RunRecord],
+    baseline_rev: &str,
+    current_rev: &str,
+    cfg: GateConfig,
+) -> GateReport {
+    let mut rows = Vec::new();
+    let mut unmatched = 0;
+    let mut skipped_platform = 0;
+    for series in group_by_config(records) {
+        let (Some(base), Some(cur)) =
+            (latest_for_rev(&series, baseline_rev), latest_for_rev(&series, current_rev))
+        else {
+            unmatched += 1;
+            continue;
+        };
+        if base.platform_fp != cur.platform_fp {
+            skipped_platform += 1;
+            continue;
+        }
+        let rel_change = cur.median_s / base.median_s.max(1e-300) - 1.0;
+        let base_ci = stats::Ci { lo: base.ci_lo_s, hi: base.ci_hi_s, level: 0.95 };
+        let cur_ci = stats::Ci { lo: cur.ci_lo_s, hi: cur.ci_hi_s, level: 0.95 };
+        let ci_separated = !base_ci.overlaps(&cur_ci);
+        rows.push(GateRow {
+            label: series.label.clone(),
+            base_median: base.median_s,
+            cur_median: cur.median_s,
+            rel_change,
+            ci_separated,
+            regressed: rel_change > cfg.rel_threshold && ci_separated,
+        });
+    }
+    GateReport { rows, unmatched, skipped_platform }
+}
+
+/// Renders a [`GateReport`] as console text.
+pub fn gate_table(report: &GateReport, baseline_rev: &str, current_rev: &str) -> String {
+    let mut out = format!("regression gate: {current_rev} vs baseline {baseline_rev}\n");
+    if report.rows.is_empty() {
+        out.push_str("  no configurations measured at both revisions — gate passes vacuously\n");
+    } else {
+        let rows: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format_time_s(r.base_median),
+                    format_time_s(r.cur_median),
+                    format!("{:+.1}%", r.rel_change * 100.0),
+                    if r.ci_separated { "yes" } else { "no" }.into(),
+                    if r.regressed { "REGRESSED" } else { "ok" }.into(),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["config", "baseline", "current", "change", "CI separated", "verdict"],
+            &rows,
+        ));
+    }
+    if report.unmatched > 0 {
+        out.push_str(&format!("  ({} config(s) present at only one revision)\n", report.unmatched));
+    }
+    if report.skipped_platform > 0 {
+        out.push_str(&format!(
+            "  ({} config(s) skipped: recorded on different hardware)\n",
+            report.skipped_platform
+        ));
+    }
+    out.push_str(&format!(
+        "gate: {} compared, {} regression(s) -> {}\n",
+        report.rows.len(),
+        report.regressions(),
+        if report.passed() { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained HTML report
+// ---------------------------------------------------------------------------
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Inline-SVG trend chart for one configuration: median per record with
+/// a CI whisker per point. Pure geometry — no scripts, no external
+/// resources, so the report opens identically from a CI artifact tarball
+/// or a mail attachment.
+fn trend_svg(series: &ConfigSeries<'_>) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 160.0;
+    const PAD: f64 = 30.0;
+    let recs = &series.records;
+    let hi = recs.iter().map(|r| r.ci_hi_s.max(r.median_s)).fold(0.0f64, f64::max).max(1e-12);
+    let lo = recs.iter().map(|r| r.ci_lo_s.min(r.median_s)).fold(f64::INFINITY, f64::min).min(hi);
+    let span = (hi - lo).max(hi * 0.05).max(1e-15);
+    let x = |i: usize| {
+        if recs.len() <= 1 {
+            W / 2.0
+        } else {
+            PAD + (W - 2.0 * PAD) * i as f64 / (recs.len() - 1) as f64
+        }
+    };
+    let y = |v: f64| H - PAD - (H - 2.0 * PAD) * ((v - lo) / span).clamp(0.0, 1.0);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">"
+    );
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{W}\" height=\"{H}\" fill=\"#fafafa\" stroke=\"#ddd\"/>"
+    ));
+    // Axis labels: best (min) and worst (max) of the plotted range.
+    svg.push_str(&format!(
+        "<text x=\"4\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\">{}</text>\
+         <text x=\"4\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\">{}</text>",
+        y(hi) + 4.0,
+        html_escape(&format_time_s(hi)),
+        y(lo) + 4.0,
+        html_escape(&format_time_s(lo)),
+    ));
+    // CI whiskers.
+    for (i, r) in recs.iter().enumerate() {
+        svg.push_str(&format!(
+            "<line x1=\"{0:.1}\" y1=\"{1:.1}\" x2=\"{0:.1}\" y2=\"{2:.1}\" \
+             stroke=\"#9ecae1\" stroke-width=\"3\"/>",
+            x(i),
+            y(r.ci_lo_s),
+            y(r.ci_hi_s)
+        ));
+    }
+    // Median polyline + points + rev labels.
+    let pts: Vec<String> =
+        recs.iter().enumerate().map(|(i, r)| format!("{:.1},{:.1}", x(i), y(r.median_s))).collect();
+    if pts.len() > 1 {
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"#3182bd\" stroke-width=\"1.5\"/>",
+            pts.join(" ")
+        ));
+    }
+    for (i, r) in recs.iter().enumerate() {
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#3182bd\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" fill=\"#666\" \
+             text-anchor=\"middle\">{}</text>",
+            x(i),
+            y(r.median_s),
+            x(i),
+            H - 8.0,
+            html_escape(&r.git_rev)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Roofline scatter: each configuration's newest achieved GB/s as a
+/// point, with the measured triad and gather ceilings as horizontal
+/// reference lines.
+fn roofline_svg(records: &[RunRecord]) -> Option<String> {
+    const W: f64 = 640.0;
+    const H: f64 = 220.0;
+    const PAD: f64 = 30.0;
+    let series = group_by_config(records);
+    let pts: Vec<(&str, f64)> = series
+        .iter()
+        .filter_map(|s| {
+            let r = s.records.last()?;
+            Some((s.label.as_str(), r.achieved_gbs?))
+        })
+        .collect();
+    if pts.is_empty() {
+        return None;
+    }
+    let last_bw = records.iter().rev().find_map(|r| Some((r.triad_gbs?, r.gather_gbs?)));
+    let top = pts
+        .iter()
+        .map(|&(_, g)| g)
+        .chain(last_bw.iter().map(|&(t, _)| t))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.1;
+    let x = |i: usize| PAD + (W - 2.0 * PAD) * (i as f64 + 0.5) / pts.len() as f64;
+    let y = |v: f64| H - PAD - (H - 2.0 * PAD) * (v / top).clamp(0.0, 1.0);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <rect x=\"0\" y=\"0\" width=\"{W}\" height=\"{H}\" fill=\"#fafafa\" stroke=\"#ddd\"/>"
+    );
+    if let Some((triad, gather)) = last_bw {
+        for (v, name, color) in
+            [(triad, "triad ceiling", "#31a354"), (gather, "gather floor", "#e6550d")]
+        {
+            svg.push_str(&format!(
+                "<line x1=\"{PAD}\" y1=\"{0:.1}\" x2=\"{1:.1}\" y2=\"{0:.1}\" stroke=\"{color}\" \
+                 stroke-dasharray=\"6 3\"/>\
+                 <text x=\"{PAD}\" y=\"{2:.1}\" font-size=\"10\" fill=\"{color}\">{name} \
+                 {v:.1} GB/s</text>",
+                y(v),
+                W - PAD,
+                y(v) - 4.0,
+            ));
+        }
+    }
+    for (i, (label, gbs)) in pts.iter().enumerate() {
+        svg.push_str(&format!(
+            "<circle cx=\"{0:.1}\" cy=\"{1:.1}\" r=\"4\" fill=\"#3182bd\"/>\
+             <text x=\"{0:.1}\" y=\"{2:.1}\" font-size=\"9\" fill=\"#444\" \
+             text-anchor=\"middle\">{3}</text>\
+             <text x=\"{0:.1}\" y=\"{4:.1}\" font-size=\"9\" fill=\"#444\" \
+             text-anchor=\"middle\">{5:.1}</text>",
+            x(i),
+            y(*gbs),
+            H - 8.0,
+            html_escape(label),
+            y(*gbs) - 7.0,
+            gbs,
+        ));
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+/// `repro report`: the whole database as one self-contained HTML page —
+/// inline SVG only, no scripts, no external fetches.
+pub fn html_report(records: &[RunRecord]) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>fbmpk performance history</title>\n\
+         <style>body{font-family:sans-serif;margin:2em;max-width:60em}\
+         h2{border-bottom:1px solid #ddd;padding-bottom:.2em}\
+         code{background:#f3f3f3;padding:0 .3em}</style>\n</head>\n<body>\n\
+         <h1>fbmpk performance history</h1>\n",
+    );
+    let revs: BTreeSet<&str> = records.iter().map(|r| r.git_rev.as_str()).collect();
+    let platforms: BTreeSet<&str> = records.iter().map(|r| r.cpu_model.as_str()).collect();
+    html.push_str(&format!(
+        "<p>{} record(s), {} revision(s), {} platform(s).</p>\n",
+        records.len(),
+        revs.len(),
+        platforms.len()
+    ));
+    if records.is_empty() {
+        html.push_str("<p>The run database is empty — run an experiment first.</p>\n");
+    }
+    if let Some(svg) = roofline_svg(records) {
+        html.push_str("<h2>Roofline: achieved vs measured ceilings</h2>\n");
+        html.push_str(
+            "<p>Achieved GB/s = modeled matrix bytes (§III-B) / measured median seconds; \
+             ceilings are the host's measured STREAM-triad and random-gather bandwidths.</p>\n",
+        );
+        html.push_str(&svg);
+        html.push('\n');
+    }
+    for series in group_by_config(records) {
+        html.push_str(&format!(
+            "<h2>{}</h2>\n<p>config <code>{}</code>, {} run(s)</p>\n",
+            html_escape(&series.label),
+            html_escape(&series.key),
+            series.records.len()
+        ));
+        html.push_str(&trend_svg(&series));
+        html.push('\n');
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfdb::{RecordCtx, RunRecord, RunSpec};
+    use crate::platform::Platform;
+    use crate::roofline::BandwidthProbe;
+
+    fn platform() -> Platform {
+        Platform {
+            cpu_model: "test-cpu".into(),
+            logical_cpus: 4,
+            physical_cores: 2,
+            packages: 1,
+            caches: Vec::new(),
+            arch: "x86_64",
+            os: "linux",
+            mem_gib: 8.0,
+        }
+    }
+
+    fn ctx(rev: &str) -> RecordCtx {
+        RecordCtx {
+            git_rev: rev.into(),
+            platform: platform(),
+            bw: Some(BandwidthProbe {
+                triad_gbs: 20.0,
+                gather_gbs: 2.0,
+                working_set_bytes: 1 << 20,
+                reps: 1,
+            }),
+            scale: 0.002,
+            reps: 5,
+            unix_time_s: 1_700_000_000,
+        }
+    }
+
+    fn spec(matrix: &str) -> RunSpec {
+        RunSpec {
+            experiment: "sync".into(),
+            matrix: matrix.into(),
+            kernel: "fbmpk".into(),
+            sync: Some("barrier".into()),
+            threads: 2,
+            k: Some(5),
+            options_fp: 1,
+            wait_frac: Some(0.1),
+            ipc: None,
+            modeled_matrix_bytes: Some(1_000_000_000),
+        }
+    }
+
+    fn rec(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
+        // Tight, slightly jittered samples around `around_s`.
+        let samples: Vec<f64> =
+            (0..9).map(|i| around_s * (1.0 + 0.002 * (i as f64 - 4.0))).collect();
+        RunRecord::new(&ctx(rev), spec(matrix), &samples).unwrap()
+    }
+
+    #[test]
+    fn history_groups_by_config_and_orders_chronologically() {
+        let records = vec![rec("r1", "a", 0.1), rec("r1", "b", 0.2), rec("r2", "a", 0.09)];
+        let series = group_by_config(&records);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].records.len(), 2);
+        assert_eq!(series[0].records[0].git_rev, "r1");
+        assert_eq!(series[0].records[1].git_rev, "r2");
+        let t = history_table(&records);
+        assert!(t.contains("a fbmpk/barrier @2t"));
+        assert!(t.contains("roofline"));
+    }
+
+    #[test]
+    fn compare_reports_speedups_with_ci() {
+        let records = vec![rec("r1", "a", 0.2), rec("r2", "a", 0.1), rec("r1", "only-r1", 0.3)];
+        let cmp = compare(&records, "r1", "r2");
+        assert_eq!(cmp.rows.len(), 1);
+        assert_eq!(cmp.unmatched, 1);
+        let row = &cmp.rows[0];
+        assert!((row.speedup - 2.0).abs() < 0.05, "speedup {}", row.speedup);
+        let ci = row.speedup_ci.as_ref().unwrap();
+        assert!(ci.lo > 1.5 && ci.hi < 2.5, "ci [{} .. {}]", ci.lo, ci.hi);
+        let table = compare_table(&cmp, "r1", "r2");
+        assert!(table.contains("speedup"));
+        assert!(table.contains('x'));
+    }
+
+    #[test]
+    fn gate_flags_real_regressions_only() {
+        // Config "slow" regresses 50 %; config "same" is identical noise.
+        let records = vec![
+            rec("base", "slow", 0.10),
+            rec("base", "same", 0.10),
+            rec("cur", "slow", 0.15),
+            rec("cur", "same", 0.10),
+        ];
+        let report = gate(&records, "base", "cur", GateConfig::default());
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.regressions(), 1);
+        assert!(!report.passed());
+        let slow = report.rows.iter().find(|r| r.label.starts_with("slow")).unwrap();
+        assert!(slow.regressed && slow.ci_separated);
+        let same = report.rows.iter().find(|r| r.label.starts_with("same")).unwrap();
+        assert!(!same.regressed);
+        let text = gate_table(&report, "base", "cur");
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_needs_both_threshold_and_ci_separation() {
+        // 12% over threshold but hugely noisy samples -> overlapping CIs
+        // -> not a regression.
+        let noisy = |rev: &str, base: f64| {
+            let samples: Vec<f64> =
+                (0..9).map(|i| base * (1.0 + 0.4 * ((i % 3) as f64 - 1.0))).collect();
+            RunRecord::new(&ctx(rev), spec("noisy"), &samples).unwrap()
+        };
+        let records = vec![noisy("base", 0.10), noisy("cur", 0.112)];
+        let report = gate(&records, "base", "cur", GateConfig::default());
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.rows[0].rel_change > 0.10);
+        assert!(!report.rows[0].ci_separated);
+        assert!(report.passed(), "noisy overlap must not gate");
+    }
+
+    #[test]
+    fn gate_passes_vacuously_with_no_common_configs() {
+        let records = vec![rec("base", "a", 0.1)];
+        let report = gate(&records, "base", "cur", GateConfig::default());
+        assert!(report.rows.is_empty());
+        assert_eq!(report.unmatched, 1);
+        assert!(report.passed());
+        assert!(gate_table(&report, "base", "cur").contains("vacuously"));
+    }
+
+    #[test]
+    fn gate_skips_cross_platform_comparisons() {
+        let mut other = rec("cur", "a", 0.5);
+        other.platform_fp = "ffffffffffffffff".into();
+        let records = vec![rec("base", "a", 0.1), other];
+        let report = gate(&records, "base", "cur", GateConfig::default());
+        assert!(report.rows.is_empty());
+        assert_eq!(report.skipped_platform, 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn html_report_is_self_contained_and_balanced() {
+        let records = vec![rec("r1", "a", 0.1), rec("r2", "a", 0.09), rec("r1", "b", 0.2)];
+        let html = html_report(&records);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        // Balanced svg tags, one trend chart per config + roofline.
+        let opens = html.matches("<svg").count();
+        let closes = html.matches("</svg>").count();
+        assert_eq!(opens, closes);
+        assert_eq!(opens, 3);
+        // Self-contained: no scripts, no external fetches (the only URL
+        // is the SVG xmlns declaration).
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("src="));
+        assert!(!html.contains("href="));
+        assert!(!html.to_lowercase().contains("nan"));
+        // Escaping: a label with markup-significant chars can't break out.
+        let mut hostile = rec("r<evil>", "m&m", 0.1);
+        hostile.cpu_model = "<b>cpu</b>".into();
+        let h = html_report(&[hostile]);
+        assert!(!h.contains("<evil>"));
+        assert!(h.contains("&lt;evil&gt;") || h.contains("r&lt;evil&gt;"));
+    }
+
+    #[test]
+    fn html_report_survives_empty_db() {
+        let html = html_report(&[]);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("empty"));
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(format_time_s(2.5), "2.500 s");
+        assert_eq!(format_time_s(0.0025), "2.500 ms");
+        assert_eq!(format_time_s(2.5e-6), "2.5 µs");
+        assert_eq!(format_time_s(f64::NAN), "n/a");
+    }
+}

@@ -8,6 +8,11 @@
 //! and core topology (read from sysfs, absent gracefully elsewhere).
 
 use crate::report::Json;
+use std::path::Path;
+
+/// The real sysfs CPU root this module reads in production; tests point
+/// the `*_at` probes at a fabricated directory tree instead.
+pub const SYSFS_CPU_ROOT: &str = "/sys/devices/system/cpu";
 
 /// One cache level as sysfs describes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,32 +66,64 @@ impl Platform {
 
     /// JSON form embedded in every report so numbers stay interpretable
     /// when the JSON travels away from the host that produced it.
+    ///
+    /// Topology and cache facts that sysfs could not provide (containers
+    /// with a masked `/sys`, partial ARM firmware tables, non-Linux
+    /// hosts) are emitted as `null` — the record survives with explicit
+    /// unknowns instead of being skipped or carrying fake zeroes.
     pub fn to_json(&self) -> Json {
+        let opt_count = |v: usize| if v == 0 { Json::Null } else { Json::from(v) };
         Json::obj([
             ("cpu_model", Json::from(self.cpu_model.as_str())),
             ("logical_cpus", Json::from(self.logical_cpus)),
-            ("physical_cores", Json::from(self.physical_cores)),
-            ("packages", Json::from(self.packages)),
+            ("physical_cores", opt_count(self.physical_cores)),
+            ("packages", opt_count(self.packages)),
             (
                 "caches",
-                Json::Arr(
-                    self.caches
-                        .iter()
-                        .map(|c| {
-                            Json::obj([
-                                ("level", Json::from(c.level as usize)),
-                                ("type", Json::from(c.cache_type.as_str())),
-                                ("size_bytes", Json::from(c.size_bytes as usize)),
-                                ("count", Json::from(c.count)),
-                            ])
-                        })
-                        .collect(),
-                ),
+                if self.caches.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Arr(
+                        self.caches
+                            .iter()
+                            .map(|c| {
+                                Json::obj([
+                                    ("level", Json::from(c.level as usize)),
+                                    ("type", Json::from(c.cache_type.as_str())),
+                                    ("size_bytes", Json::from(c.size_bytes as usize)),
+                                    ("count", Json::from(c.count)),
+                                ])
+                            })
+                            .collect(),
+                    )
+                },
             ),
             ("arch", Json::from(self.arch)),
             ("os", Json::from(self.os)),
             ("mem_gib", Json::from(self.mem_gib)),
         ])
+    }
+
+    /// Short stable fingerprint of the hardware identity — the perf
+    /// database keys cross-run comparisons on it so numbers from
+    /// different machines are never gated against each other. Hashes the
+    /// facts that determine memory behaviour (model, counts, cache
+    /// hierarchy, arch), not volatile ones like total free memory.
+    pub fn fingerprint(&self) -> String {
+        let mut h = fbmpk::Fnv64::new();
+        h.write_str("platform-v1")
+            .write_str(&self.cpu_model)
+            .write_usize(self.logical_cpus)
+            .write_usize(self.physical_cores)
+            .write_usize(self.packages)
+            .write_str(self.arch);
+        for c in &self.caches {
+            h.write_u64(c.level as u64)
+                .write_str(&c.cache_type)
+                .write_u64(c.size_bytes)
+                .write_usize(c.count);
+        }
+        format!("{:016x}", h.finish())
     }
 }
 
@@ -110,25 +147,27 @@ pub fn probe() -> Platform {
         })
         .map(|kb| kb / 1024.0 / 1024.0)
         .unwrap_or(0.0);
-    let (physical_cores, packages) = probe_topology();
+    let (physical_cores, packages) = probe_topology_at(Path::new(SYSFS_CPU_ROOT));
     Platform {
         cpu_model,
         logical_cpus: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
         physical_cores,
         packages,
-        caches: probe_caches(),
+        caches: probe_caches_at(Path::new(SYSFS_CPU_ROOT)),
         arch: std::env::consts::ARCH,
         os: std::env::consts::OS,
         mem_gib,
     }
 }
 
-/// Reads `(physical cores, packages)` from
-/// `/sys/devices/system/cpu/cpu*/topology`; `(0, 0)` when unavailable.
-fn probe_topology() -> (usize, usize) {
+/// Reads `(physical cores, packages)` from `<cpu_root>/cpu*/topology`;
+/// `(0, 0)` when the root or the topology files are absent. Public with
+/// an explicit root so the container/partial-sysfs degradation paths are
+/// unit-testable against a fabricated directory tree.
+pub fn probe_topology_at(cpu_root: &Path) -> (usize, usize) {
     let mut cores = std::collections::BTreeSet::new();
     let mut packages = std::collections::BTreeSet::new();
-    let Ok(entries) = std::fs::read_dir("/sys/devices/system/cpu") else {
+    let Ok(entries) = std::fs::read_dir(cpu_root) else {
         return (0, 0);
     };
     for entry in entries.flatten() {
@@ -149,18 +188,19 @@ fn probe_topology() -> (usize, usize) {
     (cores.len(), packages.len())
 }
 
-/// Reads the cache hierarchy from
-/// `/sys/devices/system/cpu/cpu*/cache/index*`, collapsing identical
-/// (level, type, size) entries across CPUs into one [`CacheInfo`] with a
-/// shared-instance count (distinct `shared_cpu_list` values). Empty when
-/// sysfs is unavailable (non-Linux, sandboxes).
-fn probe_caches() -> Vec<CacheInfo> {
+/// Reads the cache hierarchy from `<cpu_root>/cpu*/cache/index*`,
+/// collapsing identical (level, type, size) entries across CPUs into one
+/// [`CacheInfo`] with a shared-instance count (distinct `shared_cpu_list`
+/// values). Empty when the root is unavailable (non-Linux, sandboxes) or
+/// the per-CPU `cache` directories are missing (containers, partial ARM
+/// sysfs) — callers degrade to `null` fields, never skipped records.
+pub fn probe_caches_at(cpu_root: &Path) -> Vec<CacheInfo> {
     // (level, type, size) -> set of shared_cpu_list strings.
     let mut seen: std::collections::BTreeMap<
         (u32, String, u64),
         std::collections::BTreeSet<String>,
     > = std::collections::BTreeMap::new();
-    let Ok(cpus) = std::fs::read_dir("/sys/devices/system/cpu") else {
+    let Ok(cpus) = std::fs::read_dir(cpu_root) else {
         return Vec::new();
     };
     for cpu in cpus.flatten() {
@@ -285,11 +325,112 @@ mod tests {
     fn platform_json_has_cache_and_topology_fields() {
         let j = probe().to_json();
         assert!(j.get("cpu_model").is_some());
-        assert!(j.get("caches").and_then(Json::as_array).is_some());
-        assert!(j.get("physical_cores").and_then(Json::as_f64).is_some());
+        // Fields are always present; unknown values degrade to null.
+        let caches = j.get("caches").unwrap();
+        assert!(caches.as_array().is_some() || *caches == Json::Null);
+        let cores = j.get("physical_cores").unwrap();
+        assert!(cores.as_f64().is_some() || *cores == Json::Null);
         // Round-trips through the parser.
         let text = j.to_pretty();
         assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    /// Builds a two-CPU fake sysfs tree; `with_cache` controls whether
+    /// the per-CPU `cache/index*` directories exist (containers and some
+    /// ARM firmware expose topology but no cache hierarchy).
+    fn fake_sysfs(root: &std::path::Path, with_cache: bool) {
+        for cpu in 0..2 {
+            let topo = root.join(format!("cpu{cpu}/topology"));
+            std::fs::create_dir_all(&topo).unwrap();
+            std::fs::write(topo.join("core_id"), format!("{cpu}\n")).unwrap();
+            std::fs::write(topo.join("physical_package_id"), "0\n").unwrap();
+            if with_cache {
+                let idx = root.join(format!("cpu{cpu}/cache/index0"));
+                std::fs::create_dir_all(&idx).unwrap();
+                std::fs::write(idx.join("level"), "1\n").unwrap();
+                std::fs::write(idx.join("type"), "Data\n").unwrap();
+                std::fs::write(idx.join("size"), "32K\n").unwrap();
+                std::fs::write(idx.join("shared_cpu_list"), format!("{cpu}\n")).unwrap();
+            }
+        }
+        // Non-CPU entries that must be ignored, like the real sysfs has.
+        std::fs::create_dir_all(root.join("cpufreq")).unwrap();
+    }
+
+    #[test]
+    fn fake_sysfs_root_probes_topology_and_caches() {
+        let root = std::env::temp_dir().join("fbmpk-fake-sysfs-full");
+        std::fs::remove_dir_all(&root).ok();
+        fake_sysfs(&root, true);
+        assert_eq!(probe_topology_at(&root), (2, 1));
+        let caches = probe_caches_at(&root);
+        assert_eq!(caches.len(), 1);
+        assert_eq!(caches[0].size_bytes, 32 * 1024);
+        assert_eq!(caches[0].count, 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_cache_dirs_degrade_to_null_fields_not_skipped_records() {
+        let root = std::env::temp_dir().join("fbmpk-fake-sysfs-nocache");
+        std::fs::remove_dir_all(&root).ok();
+        fake_sysfs(&root, false);
+        // Topology still read; caches empty rather than an error.
+        assert_eq!(probe_topology_at(&root), (2, 1));
+        assert!(probe_caches_at(&root).is_empty());
+        // A platform built from that state serializes with explicit
+        // nulls — the record survives.
+        let p = Platform {
+            cpu_model: "container-cpu".into(),
+            logical_cpus: 2,
+            physical_cores: 0,
+            packages: 0,
+            caches: probe_caches_at(&root),
+            arch: "aarch64",
+            os: "linux",
+            mem_gib: 0.0,
+        };
+        let j = p.to_json();
+        assert_eq!(j.get("caches"), Some(&Json::Null));
+        assert_eq!(j.get("physical_cores"), Some(&Json::Null));
+        assert_eq!(j.get("packages"), Some(&Json::Null));
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+        assert_eq!(p.llc_bytes(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn absent_root_probes_to_unknowns() {
+        let root = std::env::temp_dir().join("fbmpk-fake-sysfs-does-not-exist");
+        assert_eq!(probe_topology_at(&root), (0, 0));
+        assert!(probe_caches_at(&root).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_cache_sensitive() {
+        let mut p = Platform {
+            cpu_model: "x".into(),
+            logical_cpus: 4,
+            physical_cores: 2,
+            packages: 1,
+            caches: vec![CacheInfo {
+                level: 3,
+                cache_type: "Unified".into(),
+                size_bytes: 8 << 20,
+                count: 1,
+            }],
+            arch: "x86_64",
+            os: "linux",
+            mem_gib: 16.0,
+        };
+        let a = p.fingerprint();
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, p.fingerprint());
+        // Memory total is volatile and excluded.
+        p.mem_gib = 32.0;
+        assert_eq!(a, p.fingerprint());
+        p.caches[0].size_bytes = 16 << 20;
+        assert_ne!(a, p.fingerprint());
     }
 
     #[test]

@@ -151,6 +151,46 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no padding — the JSONL form the perf
+    /// database appends, where one record must stay one line so a
+    /// truncated tail write can only ever corrupt the final record.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact(&mut out);
+        out
+    }
+
+    fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_compact(out);
+                    out.push(':');
+                    v.render_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both modes (numbers already
+            // emit `null` for NaN/±inf, strings escape control chars — so
+            // a compact line can never contain a raw newline).
+            other => other.render(out, 0),
+        }
+    }
+
     /// Field lookup on an object (None for other variants / missing keys).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -171,6 +211,14 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -499,6 +547,45 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("{\"a\":1} trailing").is_err());
         assert!(Json::parse("'single'").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null_not_invalid_literals() {
+        // A naive `format!("{v}")` would write `NaN`/`inf`, which no JSON
+        // parser accepts; both render modes must degrade to `null`.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(v).to_compact(), "null");
+            assert_eq!(Json::Num(v).to_pretty(), "null\n");
+        }
+        let doc = Json::obj([("t", Json::Num(f64::NAN)), ("ok", Json::from(1.5f64))]);
+        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        assert_eq!(parsed.get("t"), Some(&Json::Null));
+        assert_eq!(parsed.get("ok").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn float_values_round_trip_exactly() {
+        for v in [1.5e-300, 0.1 + 0.2, 9.0e15, -1.0 / 3.0, 6.02214076e23, 1e-12] {
+            let parsed = Json::parse(&Json::Num(v).to_compact()).unwrap();
+            assert_eq!(parsed.as_f64(), Some(v), "round-trip broke for {v}");
+        }
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = Json::obj([
+            ("name", Json::from("a\"b\nc")),
+            ("n", Json::from(42usize)),
+            ("xs", Json::Arr(vec![Json::from(1.5), Json::Null, Json::from(true)])),
+            ("nested", Json::obj([("k", Json::Arr(vec![]))])),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "JSONL record must stay one line: {line:?}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(
+            line,
+            "{\"name\":\"a\\\"b\\nc\",\"n\":42,\"xs\":[1.5,null,true],\"nested\":{\"k\":[]}}"
+        );
     }
 
     #[test]

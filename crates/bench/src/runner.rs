@@ -44,20 +44,66 @@ pub fn load_suite(cfg: &BenchConfig) -> Vec<MatrixCase> {
 /// measurement enters the geomean.
 pub const WARMUP_REPS: usize = 2;
 
-/// Geometric mean of `reps` timings of `f` (after [`WARMUP_REPS`] warmup
-/// runs) — the paper's aggregation (§IV-C).
-pub fn time_geomean<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+/// A timing measurement that could not produce a number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// `reps == 0` was requested — there is no honest value to return,
+    /// and silently substituting one (the old behaviour clamped to 1 and
+    /// timed anyway) hides a caller bug.
+    ZeroReps,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::ZeroReps => write!(f, "timing requested with reps = 0"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// The result of one timing measurement: the paper's geomean aggregate
+/// (§IV-C) *plus* every raw per-rep sample, in measurement order — the
+/// perf database persists the samples so later analyses (bootstrap CIs,
+/// cross-revision ratio tests) are not limited to one precomputed
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Geometric mean over [`Timing::samples`].
+    pub geomean: f64,
+    /// Per-rep wall-clock seconds (each clamped to ≥ 1 ps so a pathological
+    /// zero-length measurement cannot poison log-space aggregation).
+    pub samples: Vec<f64>,
+}
+
+/// Times `reps` invocations of `f` (after [`WARMUP_REPS`] untimed warmup
+/// runs) and returns the geomean together with the raw samples.
+///
+/// # Errors
+/// [`TimingError::ZeroReps`] when `reps == 0`.
+pub fn time_geomean<F: FnMut()>(mut f: F, reps: usize) -> Result<Timing, TimingError> {
+    if reps == 0 {
+        return Err(TimingError::ZeroReps);
+    }
     for _ in 0..WARMUP_REPS {
         f();
     }
-    let mut log_sum = 0.0;
-    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        log_sum += t0.elapsed().as_secs_f64().max(1e-12).ln();
+        samples.push(t0.elapsed().as_secs_f64().max(1e-12));
     }
-    (log_sum / reps as f64).exp()
+    let geomean = crate::report::geomean(&samples);
+    Ok(Timing { geomean, samples })
+}
+
+/// Experiment-internal shorthand: [`BenchConfig`] clamps `reps` to ≥ 1 at
+/// construction, so inside the experiment functions `reps == 0` is
+/// unreachable and the error arm would only obscure the measurement code.
+fn timed<F: FnMut()>(f: F, reps: usize) -> Timing {
+    time_geomean(f, reps).expect("BenchConfig guarantees reps >= 1")
 }
 
 /// Deterministic non-trivial start vector.
@@ -150,6 +196,12 @@ pub struct SpeedupRow {
     pub t_fbmpk: f64,
     /// `t_baseline / t_fbmpk`.
     pub speedup: f64,
+    /// Raw per-rep baseline seconds (for the perf database).
+    pub samples_baseline: Vec<f64>,
+    /// Raw per-rep FBMPK seconds.
+    pub samples_fbmpk: Vec<f64>,
+    /// Stable fingerprint of the FBMPK plan options (perf-database key).
+    pub options_fp: u64,
 }
 
 /// Measures FBMPK vs the standard baseline for one matrix and power.
@@ -158,17 +210,20 @@ pub fn measure_speedup(cfg: &BenchConfig, case: &MatrixCase, k: usize) -> Speedu
     let n = a.nrows();
     let x0 = start_vector(n);
     let baseline = StandardMpk::new(a, cfg.threads).expect("square");
-    let plan =
-        FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::BackToBack)).expect("square");
-    let t_baseline =
-        time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
-    let t_fbmpk = time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+    let opts = fbmpk_options(n, cfg.threads, VectorLayout::BackToBack);
+    let options_fp = opts.config_fingerprint();
+    let plan = FbmpkPlan::new(a, opts).expect("square");
+    let baseline_t = timed(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+    let fbmpk_t = timed(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
     SpeedupRow {
         name: case.entry.name.to_string(),
         k,
-        t_baseline,
-        t_fbmpk,
-        speedup: t_baseline / t_fbmpk,
+        t_baseline: baseline_t.geomean,
+        t_fbmpk: fbmpk_t.geomean,
+        speedup: baseline_t.geomean / fbmpk_t.geomean,
+        samples_baseline: baseline_t.samples,
+        samples_fbmpk: fbmpk_t.samples,
+        options_fp,
     }
 }
 
@@ -272,11 +327,12 @@ pub fn fig10(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig10Row> {
             let btb = FbmpkPlan::new(a, fbmpk_options(n, cfg.threads, VectorLayout::BackToBack))
                 .expect("square");
             let t_baseline =
-                time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+                timed(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps)
+                    .geomean;
             let t_fb =
-                time_geomean(|| std::hint::black_box(fb.power(&x0, k)).truncate(0), cfg.reps);
+                timed(|| std::hint::black_box(fb.power(&x0, k)).truncate(0), cfg.reps).geomean;
             let t_btb =
-                time_geomean(|| std::hint::black_box(btb.power(&x0, k)).truncate(0), cfg.reps);
+                timed(|| std::hint::black_box(btb.power(&x0, k)).truncate(0), cfg.reps).geomean;
             Fig10Row {
                 name: c.entry.name.to_string(),
                 t_baseline,
@@ -312,8 +368,8 @@ pub fn table3(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Table3Row> {
             let x = start_vector(n);
             let xp = abmc.permutation().apply_vec_alloc(&x);
             let mut y = vec![0.0; n];
-            let t_orig = time_geomean(|| spmv(a, &x, &mut y), cfg.reps);
-            let t_abmc = time_geomean(|| spmv(&b, &xp, &mut y), cfg.reps);
+            let t_orig = timed(|| spmv(a, &x, &mut y), cfg.reps).geomean;
+            let t_abmc = timed(|| spmv(&b, &xp, &mut y), cfg.reps).geomean;
             Table3Row { name: c.entry.name.to_string(), ratio: t_orig / t_abmc }
         })
         .collect()
@@ -382,7 +438,7 @@ pub fn fig11(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<Fig11Row> {
             let reorder_seconds = t0.elapsed().as_secs_f64();
             let x = start_vector(n);
             let mut y = vec![0.0; n];
-            let spmv_seconds = time_geomean(|| spmv(a, &x, &mut y), cfg.reps);
+            let spmv_seconds = timed(|| spmv(a, &x, &mut y), cfg.reps).geomean;
             Fig11Row {
                 name: c.entry.name.to_string(),
                 reorder_seconds,
@@ -416,15 +472,14 @@ pub fn fig12(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) -> Vec<
         let n = a.nrows();
         let x0 = start_vector(n);
         let serial_baseline = StandardMpk::new(a, 1).expect("square");
-        let t_serial = time_geomean(
-            || std::hint::black_box(serial_baseline.power(&x0, k)).truncate(0),
-            cfg.reps,
-        );
+        let t_serial =
+            timed(|| std::hint::black_box(serial_baseline.power(&x0, k)).truncate(0), cfg.reps)
+                .geomean;
         for &t in threads {
             let plan =
                 FbmpkPlan::new(a, fbmpk_options(n, t, VectorLayout::BackToBack)).expect("square");
             let tt =
-                time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+                timed(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps).geomean;
             rows.push(Fig12Row {
                 name: c.entry.name.to_string(),
                 threads: t,
@@ -470,7 +525,7 @@ pub fn ablation_blocks(
     let k = 5;
     let baseline = StandardMpk::new(a, cfg.threads).expect("square");
     let t_base =
-        time_geomean(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps);
+        timed(|| std::hint::black_box(baseline.power(&x0, k)).truncate(0), cfg.reps).geomean;
     counts
         .iter()
         .map(|&nblocks| {
@@ -495,7 +550,7 @@ pub fn ablation_blocks(
             };
             let plan = FbmpkPlan::new(a, opts).expect("square");
             let t_fbmpk =
-                time_geomean(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+                timed(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps).geomean;
             BlockAblationRow {
                 name: case.entry.name.to_string(),
                 nblocks,
@@ -535,6 +590,16 @@ pub struct SyncRow {
     /// Whether the two modes produced bit-identical `A^k x0` — must always
     /// be `true`; reported so a regression is visible in the JSON.
     pub identical: bool,
+    /// Raw per-rep barrier-mode seconds (for the perf database).
+    pub samples_barrier: Vec<f64>,
+    /// Raw per-rep point-to-point seconds.
+    pub samples_p2p: Vec<f64>,
+    /// §III-B modeled matrix bytes per `A^k x0` (same for both modes).
+    pub modeled_matrix_bytes: u64,
+    /// Stable fingerprint of the barrier-mode plan options.
+    pub options_fp_barrier: u64,
+    /// Stable fingerprint of the point-to-point plan options.
+    pub options_fp_p2p: u64,
 }
 
 /// Measures FBMPK power (`k = 5`) under both [`SyncMode`]s on the same
@@ -555,15 +620,14 @@ pub fn sync_modes(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) ->
                 layout: VectorLayout::BackToBack,
                 ..Default::default()
             };
-            let barrier = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::ColorBarrier, ..base })
-                .expect("square");
-            let p2p = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::PointToPoint, ..base })
-                .expect("square");
+            let barrier_opts = FbmpkOptions { sync: SyncMode::ColorBarrier, ..base };
+            let p2p_opts = FbmpkOptions { sync: SyncMode::PointToPoint, ..base };
+            let barrier = FbmpkPlan::new(a, barrier_opts).expect("square");
+            let p2p = FbmpkPlan::new(a, p2p_opts).expect("square");
             let identical = barrier.power(&x0, k) == p2p.power(&x0, k);
-            let t_barrier =
-                time_geomean(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
-            let t_p2p =
-                time_geomean(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+            let barrier_t =
+                timed(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
+            let p2p_t = timed(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
             let stats = p2p.stats();
             rows.push(SyncRow {
                 name: c.entry.name.to_string(),
@@ -571,10 +635,15 @@ pub fn sync_modes(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) ->
                 ncolors: stats.ncolors,
                 nblocks: stats.nblocks,
                 dep_edges: p2p.block_deps().map_or(0, |d| d.nedges()),
-                t_barrier,
-                t_p2p,
-                speedup: t_barrier / t_p2p,
+                t_barrier: barrier_t.geomean,
+                t_p2p: p2p_t.geomean,
+                speedup: barrier_t.geomean / p2p_t.geomean,
                 identical,
+                samples_barrier: barrier_t.samples,
+                samples_p2p: p2p_t.samples,
+                modeled_matrix_bytes: barrier.modeled_matrix_bytes(k),
+                options_fp_barrier: barrier_opts.config_fingerprint(),
+                options_fp_p2p: p2p_opts.config_fingerprint(),
             });
         }
     }
@@ -610,6 +679,10 @@ pub struct TuneRow {
     pub probed_speedup: f64,
     /// One-off inspection + selection cost in seconds.
     pub inspect_seconds: f64,
+    /// Raw per-rep scalar-CSR seconds (for the perf database).
+    pub samples_scalar: Vec<f64>,
+    /// Raw per-rep tuned-variant seconds.
+    pub samples_tuned: Vec<f64>,
 }
 
 /// Runs the auto-tuner on every suite matrix and re-measures the selected
@@ -632,8 +705,8 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
             );
             let x = start_vector(n);
             let mut y = vec![0.0; n];
-            let t_scalar = time_geomean(|| plan.spmv_scalar(&x, &mut y), cfg.reps);
-            let t_tuned = time_geomean(|| plan.spmv(&x, &mut y), cfg.reps);
+            let scalar_t = timed(|| plan.spmv_scalar(&x, &mut y), cfg.reps);
+            let tuned_t = timed(|| plan.spmv(&x, &mut y), cfg.reps);
             let f = plan.features();
             TuneRow {
                 name: c.entry.name.to_string(),
@@ -642,11 +715,13 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
                 mean_row_nnz: f.mean_row_nnz,
                 row_cv: f.row_cv,
                 variant: plan.variant().to_string(),
-                t_scalar,
-                t_tuned,
-                speedup: t_scalar / t_tuned,
+                t_scalar: scalar_t.geomean,
+                t_tuned: tuned_t.geomean,
+                speedup: scalar_t.geomean / tuned_t.geomean,
                 probed_speedup: plan.report().probed_speedup(),
                 inspect_seconds: plan.report().inspect_seconds,
+                samples_scalar: scalar_t.samples,
+                samples_tuned: tuned_t.samples,
             }
         })
         .collect()
@@ -705,6 +780,14 @@ pub struct ProfileRow {
     /// Spans lost to ring-buffer overflow across both recorded runs
     /// (0 unless the span capacity is undersized for `k`/colors).
     pub dropped_spans: u64,
+    /// Raw per-rep barrier-mode seconds (for the perf database).
+    pub samples_barrier: Vec<f64>,
+    /// Raw per-rep point-to-point seconds.
+    pub samples_p2p: Vec<f64>,
+    /// Stable fingerprint of the barrier-mode plan options.
+    pub options_fp_barrier: u64,
+    /// Stable fingerprint of the point-to-point plan options.
+    pub options_fp_p2p: u64,
 }
 
 /// Runs the profiling experiment: times both sync modes without
@@ -733,13 +816,13 @@ pub fn profile(
             layout: VectorLayout::BackToBack,
             ..Default::default()
         };
-        let barrier = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::ColorBarrier, ..base })
-            .expect("square");
-        let p2p = FbmpkPlan::new(a, FbmpkOptions { sync: SyncMode::PointToPoint, ..base })
-            .expect("square");
-        let t_barrier =
-            time_geomean(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
-        let t_p2p = time_geomean(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+        let barrier_opts = FbmpkOptions { sync: SyncMode::ColorBarrier, ..base };
+        let p2p_opts = FbmpkOptions { sync: SyncMode::PointToPoint, ..base };
+        let barrier = FbmpkPlan::new(a, barrier_opts).expect("square");
+        let p2p = FbmpkPlan::new(a, p2p_opts).expect("square");
+        let barrier_t = timed(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
+        let p2p_t = timed(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+        let (t_barrier, t_p2p) = (barrier_t.geomean, p2p_t.geomean);
 
         // Recording twins: run once each; the barrier run doubles as the
         // hardware-counter measurement window.
@@ -803,6 +886,10 @@ pub fn profile(
             identical,
             hw,
             dropped_spans,
+            samples_barrier: barrier_t.samples,
+            samples_p2p: p2p_t.samples,
+            options_fp_barrier: barrier_opts.config_fingerprint(),
+            options_fp_p2p: p2p_opts.config_fingerprint(),
         });
     }
     (rows, trace, registry)
@@ -916,8 +1003,14 @@ mod tests {
     }
 
     #[test]
-    fn geomean_timer_positive() {
-        let t = time_geomean(|| std::thread::sleep(std::time::Duration::from_micros(50)), 2);
-        assert!(t > 0.0);
+    fn geomean_timer_returns_samples_and_rejects_zero_reps() {
+        let t =
+            time_geomean(|| std::thread::sleep(std::time::Duration::from_micros(50)), 2).unwrap();
+        assert!(t.geomean > 0.0);
+        assert_eq!(t.samples.len(), 2);
+        assert!(t.samples.iter().all(|&s| s > 0.0));
+        // The geomean is derived from exactly those samples.
+        assert!((t.geomean - crate::report::geomean(&t.samples)).abs() <= 1e-12 * t.geomean);
+        assert_eq!(time_geomean(|| (), 0).unwrap_err(), TimingError::ZeroReps);
     }
 }

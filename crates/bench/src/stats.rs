@@ -1,0 +1,237 @@
+//! Robust statistics for benchmark samples.
+//!
+//! Per-rep wall-clock samples on shared machines are contaminated by
+//! scheduler noise, frequency transitions, and neighbour interference —
+//! all one-sided (things only get *slower*). Means and standard
+//! deviations are dragged by that tail, so the perf database summarizes
+//! every run with the median, the median absolute deviation (MAD), and a
+//! percentile-bootstrap confidence interval of the median. The bootstrap
+//! is a real resampling loop over the vendored deterministic RNG — same
+//! samples, same interval, on every host.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed seed for the bootstrap RNG: results must be reproducible from
+/// the samples alone, with no ambient state (clock, host entropy).
+const BOOTSTRAP_SEED: u64 = 0x5eed_f00d_cafe_d00d;
+
+/// Default bootstrap resample count. 1000 puts the Monte-Carlo error of a
+/// 95% percentile interval well under the scheduler noise it measures.
+pub const DEFAULT_RESAMPLES: usize = 1000;
+
+/// Default two-sided confidence level.
+pub const DEFAULT_LEVEL: f64 = 0.95;
+
+/// Median of `xs`; `None` when empty.
+///
+/// Sorts a copy — benchmark sample vectors are tens of entries, not
+/// millions, so O(n log n) beats quickselect's constant factor here.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("benchmark samples must not be NaN"));
+    let n = v.len();
+    Some(if n % 2 == 1 { v[n / 2] } else { 0.5 * (v[n / 2 - 1] + v[n / 2]) })
+}
+
+/// Median absolute deviation from the median; `None` when empty.
+///
+/// Reported raw (no 1.4826 normal-consistency factor): timing noise is
+/// asymmetric, so pretending it estimates a Gaussian σ would mislead.
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let m = median(xs)?;
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// A two-sided percentile interval from a bootstrap distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ci {
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// The two-sided confidence level the bounds correspond to.
+    pub level: f64,
+}
+
+impl Ci {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the two intervals share any point.
+    pub fn overlaps(&self, other: &Ci) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Draws one resample (with replacement) of `xs` into `buf` and returns
+/// its median.
+fn resample_median(xs: &[f64], buf: &mut Vec<f64>, rng: &mut SmallRng) -> f64 {
+    buf.clear();
+    for _ in 0..xs.len() {
+        buf.push(xs[rng.gen_range(0..xs.len())]);
+    }
+    median(buf).expect("resample of a non-empty slice is non-empty")
+}
+
+/// Percentile interval of a sorted bootstrap distribution.
+fn percentile_interval(mut boots: Vec<f64>, level: f64) -> Ci {
+    boots.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistics must not be NaN"));
+    let n = boots.len();
+    let alpha = (1.0 - level) / 2.0;
+    let at = |q: f64| {
+        let idx = (q * (n - 1) as f64).round() as usize;
+        boots[idx.min(n - 1)]
+    };
+    Ci { lo: at(alpha), hi: at(1.0 - alpha), level }
+}
+
+/// Percentile-bootstrap confidence interval of the median of `xs`.
+///
+/// `None` when `xs` is empty or `resamples == 0`. A single sample yields
+/// the degenerate interval `[x, x]` — correct, if not informative.
+pub fn bootstrap_median_ci(xs: &[f64], resamples: usize, level: f64) -> Option<Ci> {
+    if xs.is_empty() || resamples == 0 || !(0.0..1.0).contains(&(1.0 - level)) {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(BOOTSTRAP_SEED ^ xs.len() as u64);
+    let mut buf = Vec::with_capacity(xs.len());
+    let boots: Vec<f64> = (0..resamples).map(|_| resample_median(xs, &mut buf, &mut rng)).collect();
+    Some(percentile_interval(boots, level))
+}
+
+/// Percentile-bootstrap confidence interval of `median(num) / median(den)`
+/// — the speedup statistic `repro compare` reports. Both sides are
+/// resampled independently per bootstrap iteration.
+pub fn bootstrap_ratio_ci(num: &[f64], den: &[f64], resamples: usize, level: f64) -> Option<Ci> {
+    if num.is_empty() || den.is_empty() || resamples == 0 {
+        return None;
+    }
+    let mut rng =
+        SmallRng::seed_from_u64(BOOTSTRAP_SEED ^ ((num.len() as u64) << 32 | den.len() as u64));
+    let mut buf = Vec::with_capacity(num.len().max(den.len()));
+    let boots: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let n = resample_median(num, &mut buf, &mut rng);
+            let d = resample_median(den, &mut buf, &mut rng);
+            n / d.max(1e-300)
+        })
+        .collect();
+    Some(percentile_interval(boots, level))
+}
+
+/// Convenience bundle: every summary statistic the perf database stores
+/// for one sample vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    /// Median seconds.
+    pub median: f64,
+    /// Median absolute deviation.
+    pub mad: f64,
+    /// Bootstrap CI of the median at [`DEFAULT_LEVEL`].
+    pub ci: Ci,
+}
+
+impl SampleSummary {
+    /// Summarizes `xs`; `None` when empty.
+    pub fn compute(xs: &[f64]) -> Option<SampleSummary> {
+        Some(SampleSummary {
+            median: median(xs)?,
+            mad: mad(xs)?,
+            ci: bootstrap_median_ci(xs, DEFAULT_RESAMPLES, DEFAULT_LEVEL)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn mad_resists_outliers() {
+        // One huge outlier barely moves median/MAD, wrecks mean/stddev.
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let dirty = [1.0, 1.1, 0.9, 1.05, 100.0];
+        assert!((median(&dirty).unwrap() - median(&clean).unwrap()).abs() < 0.11);
+        assert!(mad(&dirty).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_median_and_is_deterministic() {
+        let xs: Vec<f64> = (0..20).map(|i| 1.0 + 0.01 * (i % 7) as f64).collect();
+        let ci = bootstrap_median_ci(&xs, 500, 0.95).unwrap();
+        let m = median(&xs).unwrap();
+        assert!(ci.lo <= m && m <= ci.hi, "{ci:?} vs median {m}");
+        assert_eq!(ci, bootstrap_median_ci(&xs, 500, 0.95).unwrap());
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        // Same noise distribution, 8 vs 128 samples: the median's
+        // sampling error — and so its bootstrap CI — must tighten.
+        use rand::rngs::SmallRng;
+        let noisy = |n: usize| -> Vec<f64> {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..n).map(|_| 1.0 + 0.2 * rng.gen::<f64>()).collect()
+        };
+        let small = bootstrap_median_ci(&noisy(8), 800, 0.95).unwrap();
+        let large = bootstrap_median_ci(&noisy(128), 800, 0.95).unwrap();
+        assert!(
+            large.width() < small.width(),
+            "CI failed to shrink: {} -> {}",
+            small.width(),
+            large.width()
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(bootstrap_median_ci(&[], 100, 0.95).is_none());
+        assert!(bootstrap_median_ci(&[1.0], 0, 0.95).is_none());
+        let one = bootstrap_median_ci(&[2.0], 100, 0.95).unwrap();
+        assert_eq!((one.lo, one.hi), (2.0, 2.0));
+        assert!(bootstrap_ratio_ci(&[], &[1.0], 100, 0.95).is_none());
+    }
+
+    #[test]
+    fn ratio_ci_centers_on_true_ratio() {
+        let a: Vec<f64> = (0..16).map(|i| 2.0 + 0.01 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..16).map(|i| 1.0 + 0.01 * (i % 5) as f64).collect();
+        let ci = bootstrap_ratio_ci(&a, &b, 500, 0.95).unwrap();
+        assert!(ci.lo > 1.5 && ci.hi < 2.5, "{ci:?}");
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = Ci { lo: 1.0, hi: 2.0, level: 0.95 };
+        let b = Ci { lo: 1.5, hi: 3.0, level: 0.95 };
+        let c = Ci { lo: 2.5, hi: 3.0, level: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn sample_summary_bundles() {
+        let s = SampleSummary::compute(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mad, 1.0);
+        assert!(s.ci.lo <= 2.0 && s.ci.hi >= 2.0);
+        assert!(SampleSummary::compute(&[]).is_none());
+    }
+}

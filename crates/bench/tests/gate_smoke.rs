@@ -1,0 +1,225 @@
+//! End-to-end smoke tests for the perf-database subcommands of the
+//! `repro` binary: the gate must demonstrably exit nonzero on a
+//! fabricated regression, exit zero on identical re-runs, honor
+//! `--warn-only`/`FBMPK_GATE_HARD`, and the HTML report must be written
+//! and self-contained. One test also runs a real (tiny) experiment and
+//! checks that records with platform fingerprint, git rev, raw samples
+//! and roofline fields were appended.
+
+use fbmpk_bench::perfdb::{PerfDb, RecordCtx, RunRecord, RunSpec};
+use fbmpk_bench::platform::{CacheInfo, Platform};
+use fbmpk_bench::report::Json;
+use fbmpk_bench::roofline::BandwidthProbe;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fbmpk-gate-smoke-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fab_platform() -> Platform {
+    Platform {
+        cpu_model: "smoke-cpu".into(),
+        logical_cpus: 4,
+        physical_cores: 2,
+        packages: 1,
+        caches: vec![CacheInfo {
+            level: 3,
+            cache_type: "Unified".into(),
+            size_bytes: 8 << 20,
+            count: 1,
+        }],
+        arch: "x86_64",
+        os: "linux",
+        mem_gib: 8.0,
+    }
+}
+
+fn fab_ctx(rev: &str) -> RecordCtx {
+    RecordCtx {
+        git_rev: rev.into(),
+        platform: fab_platform(),
+        bw: Some(BandwidthProbe {
+            triad_gbs: 20.0,
+            gather_gbs: 2.0,
+            working_set_bytes: 1 << 20,
+            reps: 1,
+        }),
+        scale: 0.002,
+        reps: 9,
+        unix_time_s: 1_700_000_000,
+    }
+}
+
+/// A tight sample cloud around `around_s` (±0.4 % spread).
+fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
+    let samples: Vec<f64> = (0..9).map(|i| around_s * (1.0 + 0.001 * (i as f64 - 4.0))).collect();
+    let spec = RunSpec {
+        experiment: "sync".into(),
+        matrix: matrix.into(),
+        kernel: "fbmpk".into(),
+        sync: Some("barrier".into()),
+        threads: 2,
+        k: Some(5),
+        options_fp: 7,
+        wait_frac: Some(0.1),
+        ipc: None,
+        modeled_matrix_bytes: Some(1_000_000_000),
+    };
+    RunRecord::new(&fab_ctx(rev), spec, &samples).unwrap()
+}
+
+fn repro(db: &Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .arg("--db")
+        .arg(db)
+        .env_remove("FBMPK_GATE_HARD")
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn gate_fails_on_fabricated_regression_and_passes_on_identical_rerun() {
+    let dir = test_dir("gate");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    // Baseline, then a 50 % regression on one config at rev "cur".
+    db.append_all(&[
+        fab_record("base", "poisson2d", 0.10),
+        fab_record("base", "tri-band", 0.20),
+        fab_record("cur", "poisson2d", 0.15),
+        fab_record("cur", "tri-band", 0.20),
+    ])
+    .unwrap();
+
+    let out = repro(db.path(), &["gate", "--baseline", "base", "--current", "cur"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "gate must exit nonzero on a regression:\n{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    // --warn-only downgrades the same regression to exit 0.
+    let out = repro(db.path(), &["gate", "--baseline", "base", "--current", "cur", "--warn-only"]);
+    assert!(out.status.success(), "--warn-only must not fail the process");
+
+    // An identical re-run (same numbers under a new rev) passes clean.
+    db.append_all(&[fab_record("cur2", "poisson2d", 0.10), fab_record("cur2", "tri-band", 0.20)])
+        .unwrap();
+    let out = repro(db.path(), &["gate", "--baseline", "base", "--current", "cur2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "identical re-run regressed?\n{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_hard_env_overrides_warn_only() {
+    let dir = test_dir("gate-hard");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    db.append_all(&[fab_record("base", "m", 0.10), fab_record("cur", "m", 0.18)]).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["gate", "--baseline", "base", "--current", "cur", "--warn-only"])
+        .arg("--db")
+        .arg(db.path())
+        .env("FBMPK_GATE_HARD", "1")
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "FBMPK_GATE_HARD=1 must re-arm the hard gate");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_without_baseline_data_passes_vacuously() {
+    let dir = test_dir("gate-empty");
+    let db = dir.join("runs.jsonl"); // never created
+    let out = repro(&db, &["gate", "--baseline", "nope", "--current", "alsono"]);
+    assert!(out.status.success(), "an empty store must not block");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn history_compare_and_report_subcommands_work() {
+    let dir = test_dir("readers");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    db.append_all(&[fab_record("r1", "poisson2d", 0.20), fab_record("r2", "poisson2d", 0.10)])
+        .unwrap();
+
+    let out = repro(db.path(), &["history"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("poisson2d"), "{stdout}");
+    assert!(stdout.contains("r1") && stdout.contains("r2"), "{stdout}");
+
+    let out = repro(db.path(), &["compare", "r1", "r2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2.0"), "expected ~2x speedup:\n{stdout}");
+
+    let html_path = dir.join("perf.html");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["report", "--out-html"])
+        .arg(&html_path)
+        .arg("--db")
+        .arg(db.path())
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let html = std::fs::read_to_string(&html_path).expect("report written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg") && html.contains("</svg>"));
+    assert!(!html.contains("<script"));
+    assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The real pipeline: a tiny `fig7` run must append perfdb records
+/// carrying platform fingerprint, git rev, raw samples, and the
+/// roofline/bandwidth fields.
+#[test]
+fn tiny_experiment_run_appends_self_describing_records() {
+    let dir = test_dir("e2e");
+    let db_path = dir.join("runs.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig7", "--scale", "0.0005", "--reps", "2", "--threads", "2", "--seed", "1"])
+        .arg("--out")
+        .arg(dir.join("results"))
+        .arg("--db")
+        .arg(&db_path)
+        .env("FBMPK_BW_BYTES", "2097152") // 2 MiB probe: speed over fidelity
+        .env("FBMPK_GIT_REV", "e2e-test-rev")
+        .output()
+        .expect("spawn repro");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fig7 run failed:\n{stderr}");
+
+    let text = std::fs::read_to_string(&db_path).expect("db written");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    // 14 suite matrices x 2 kernels.
+    assert_eq!(lines.len(), 28, "one record per measured configuration");
+    for line in &lines {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line: {e}\n{line}"));
+        assert_eq!(j.get("git_rev").and_then(Json::as_str), Some("e2e-test-rev"));
+        assert_eq!(j.get("experiment").and_then(Json::as_str), Some("fig7"));
+        let fp = j.get("platform_fp").and_then(Json::as_str).expect("platform_fp");
+        assert_eq!(fp.len(), 16);
+        let samples = j.get("samples_s").and_then(Json::as_array).expect("samples_s");
+        assert_eq!(samples.len(), 2);
+        assert!(samples.iter().all(|s| s.as_f64().is_some_and(|v| v > 0.0)));
+        assert!(j.get("median_s").and_then(Json::as_f64).is_some_and(|v| v > 0.0));
+        // Bandwidth ceilings were probed, so both are recorded …
+        assert!(j.get("triad_gbs").and_then(Json::as_f64).is_some_and(|v| v > 0.0));
+        assert!(j.get("gather_gbs").and_then(Json::as_f64).is_some_and(|v| v > 0.0));
+        // … and the roofline fields exist (null here: fig7 rows carry no
+        // modeled-bytes anchor; sync/profile records populate them).
+        assert!(j.get("roofline_frac").is_some());
+        assert!(j.get("achieved_gbs").is_some());
+    }
+    // The store round-trips through the typed loader too.
+    let load = PerfDb::new(&db_path).load().unwrap();
+    assert_eq!(load.records.len(), 28);
+    assert_eq!(load.skipped_lines, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

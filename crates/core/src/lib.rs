@@ -31,6 +31,7 @@
 //! ```
 
 pub mod engine;
+pub mod fingerprint;
 pub mod kernel;
 pub mod layout;
 pub mod model;
@@ -43,6 +44,7 @@ pub mod tune;
 pub mod workspace;
 
 pub use engine::MpkEngine;
+pub use fingerprint::Fnv64;
 pub use plan::{FbmpkOptions, FbmpkPlan, ObsOptions, VectorLayout};
 pub use schedule::{Schedule, SyncCtx, SyncMode};
 pub use standard::StandardMpk;

@@ -676,28 +676,20 @@ fn run_probe_spmv(
 /// can never be served for a modified matrix. Cost is one O(nnz) pass,
 /// comparable to a single SpMV and paid once per cache lookup.
 pub fn fingerprint(a: &Csr) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(a.nrows() as u64);
-    mix(a.ncols() as u64);
-    mix(a.nnz() as u64);
+    let mut h = crate::fingerprint::Fnv64::new();
+    h.write_usize(a.nrows());
+    h.write_usize(a.ncols());
+    h.write_usize(a.nnz());
     for &p in a.row_ptr() {
-        mix(p as u64);
+        h.write_usize(p);
     }
     for &c in a.col_idx() {
-        mix(c as u64);
+        h.write_u64(c as u64);
     }
     for &v in a.values() {
-        mix(v.to_bits());
+        h.write_f64(v);
     }
-    h
+    h.finish()
 }
 
 #[cfg(test)]

@@ -29,11 +29,13 @@
 pub mod metrics;
 pub mod perf;
 pub mod recorder;
+pub mod summary;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricValue, Registry};
 pub use perf::{HwSample, HwSession};
 pub use recorder::{Recorder, Span, SpanKind, SpanProbe};
+pub use summary::{KindSummary, ObsSummary};
 pub use trace::TraceBuilder;
 
 /// Default per-thread span capacity: 64 Ki spans ≈ 2 MiB per thread,

@@ -1,0 +1,123 @@
+//! Cross-run summaries of recorded kernel executions.
+//!
+//! A [`Recorder`] holds raw per-thread spans; everything downstream of a
+//! single run (the perf database, regression gating, HTML reports) wants
+//! a small, owned digest instead of the span buffers. [`ObsSummary`]
+//! captures exactly the numbers the `fbmpk-bench` perf records persist,
+//! so the extraction logic lives next to the recorder rather than being
+//! re-derived by every consumer.
+
+use crate::recorder::{Recorder, SpanKind};
+
+/// Aggregate of one kind of span across every lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindSummary {
+    /// Which span kind this row aggregates.
+    pub kind: SpanKind,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Owned digest of everything a [`Recorder`] captured in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSummary {
+    /// Lanes (pool workers) the recorder served.
+    pub nthreads: usize,
+    /// Spans recorded across all lanes.
+    pub spans: u64,
+    /// Spans lost to lane overflow.
+    pub dropped_spans: u64,
+    /// Total recorded span nanoseconds across all lanes.
+    pub total_ns: u64,
+    /// Nanoseconds of that total spent in synchronization waits.
+    pub wait_ns: u64,
+    /// `wait_ns / total_ns` (0.0 when nothing was recorded).
+    pub wait_fraction: f64,
+    /// Per-kind aggregates in [`SpanKind::ALL`] order.
+    pub kinds: Vec<KindSummary>,
+}
+
+impl ObsSummary {
+    /// Digests `rec`'s currently published spans.
+    pub fn from_recorder(rec: &Recorder) -> Self {
+        let kinds: Vec<KindSummary> = rec
+            .kind_totals()
+            .into_iter()
+            .map(|(kind, count, total_ns)| KindSummary { kind, count, total_ns })
+            .collect();
+        let spans = kinds.iter().map(|k| k.count).sum();
+        let total_ns = kinds.iter().map(|k| k.total_ns).sum();
+        let wait_ns = kinds.iter().filter(|k| k.kind.is_wait()).map(|k| k.total_ns).sum();
+        ObsSummary {
+            nthreads: rec.nthreads(),
+            spans,
+            dropped_spans: rec.total_dropped(),
+            total_ns,
+            wait_ns,
+            wait_fraction: if total_ns == 0 { 0.0 } else { wait_ns as f64 / total_ns as f64 },
+            kinds,
+        }
+    }
+
+    /// Total nanoseconds recorded for one span kind.
+    pub fn kind_ns(&self, kind: SpanKind) -> u64 {
+        self.kinds.iter().find(|k| k.kind == kind).map_or(0, |k| k.total_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn summary_matches_recorder_aggregates() {
+        let rec = Recorder::new(2, 8);
+        // SAFETY: single-threaded test, distinct lanes.
+        unsafe {
+            rec.record(
+                0,
+                Span { kind: SpanKind::Forward, start_ns: 0, end_ns: 300, ..Span::zeroed() },
+            );
+            rec.record(
+                1,
+                Span { kind: SpanKind::BarrierWait, start_ns: 0, end_ns: 100, ..Span::zeroed() },
+            );
+        }
+        let s = ObsSummary::from_recorder(&rec);
+        assert_eq!(s.nthreads, 2);
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.dropped_spans, 0);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.wait_ns, 100);
+        assert!((s.wait_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(s.kind_ns(SpanKind::Forward), 300);
+        assert_eq!(s.kind_ns(SpanKind::BarrierWait), 100);
+        assert_eq!(s.kind_ns(SpanKind::Tail), 0);
+        assert!((s.wait_fraction - rec.wait_fraction()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_recorder_summarizes_to_zeroes() {
+        let rec = Recorder::new(1, 4);
+        let s = ObsSummary::from_recorder(&rec);
+        assert_eq!(s.spans, 0);
+        assert_eq!(s.total_ns, 0);
+        assert_eq!(s.wait_fraction, 0.0);
+    }
+
+    #[test]
+    fn dropped_spans_surface_in_summary() {
+        let rec = Recorder::new(1, 1);
+        // SAFETY: single-threaded test.
+        unsafe {
+            rec.record(0, Span { start_ns: 0, end_ns: 1, ..Span::zeroed() });
+            rec.record(0, Span { start_ns: 1, end_ns: 2, ..Span::zeroed() });
+        }
+        let s = ObsSummary::from_recorder(&rec);
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.dropped_spans, 1);
+    }
+}

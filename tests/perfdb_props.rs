@@ -1,0 +1,191 @@
+//! Cross-crate integration tests for the performance-history subsystem:
+//! the perf database, robust statistics, and report generation as seen
+//! through the public `fbmpk_bench` API (the same surface the `repro`
+//! binary and external tooling consume).
+
+use fbmpk_bench::perfdb::{DbLoad, PerfDb, RecordCtx, RunRecord, RunSpec};
+use fbmpk_bench::platform::{CacheInfo, Platform};
+use fbmpk_bench::roofline::BandwidthProbe;
+use fbmpk_bench::{perfreport, stats};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fbmpk-perfdb-props-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn platform() -> Platform {
+    Platform {
+        cpu_model: "itest-cpu".into(),
+        logical_cpus: 8,
+        physical_cores: 4,
+        packages: 1,
+        caches: vec![CacheInfo {
+            level: 2,
+            cache_type: "Unified".into(),
+            size_bytes: 1 << 20,
+            count: 4,
+        }],
+        arch: "x86_64",
+        os: "linux",
+        mem_gib: 16.0,
+    }
+}
+
+fn ctx(rev: &str) -> RecordCtx {
+    RecordCtx {
+        git_rev: rev.into(),
+        platform: platform(),
+        bw: Some(BandwidthProbe {
+            triad_gbs: 25.0,
+            gather_gbs: 3.0,
+            working_set_bytes: 1 << 22,
+            reps: 2,
+        }),
+        scale: 0.01,
+        reps: 5,
+        unix_time_s: 1_750_000_000,
+    }
+}
+
+fn spec(matrix: &str, kernel: &str) -> RunSpec {
+    RunSpec {
+        experiment: "sync".into(),
+        matrix: matrix.into(),
+        kernel: kernel.into(),
+        sync: Some("p2p".into()),
+        threads: 4,
+        k: Some(5),
+        options_fp: 0xdead_beef,
+        wait_frac: Some(0.05),
+        ipc: Some(1.7),
+        modeled_matrix_bytes: Some(500_000_000),
+    }
+}
+
+fn record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
+    let samples: Vec<f64> = (0..7).map(|i| around_s * (1.0 + 0.002 * (i as f64 - 3.0))).collect();
+    RunRecord::new(&ctx(rev), spec(matrix, "fbmpk"), &samples).unwrap()
+}
+
+#[test]
+fn append_then_load_round_trips_every_field_that_feeds_reports() {
+    let dir = test_dir("roundtrip");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    let original = vec![record("aaa", "poisson2d", 0.02), record("aaa", "tri-band", 0.04)];
+    db.append_all(&original).unwrap();
+
+    let DbLoad { records, skipped_lines } = db.load().unwrap();
+    assert_eq!(skipped_lines, 0);
+    assert_eq!(records.len(), 2);
+    for (a, b) in original.iter().zip(&records) {
+        assert_eq!(a.git_rev, b.git_rev);
+        assert_eq!(a.config_key, b.config_key);
+        assert_eq!(a.platform_fp, b.platform_fp);
+        assert_eq!(a.samples_s, b.samples_s);
+        assert_eq!(a.median_s, b.median_s);
+        assert_eq!(a.ci_lo_s, b.ci_lo_s);
+        assert_eq!(a.ci_hi_s, b.ci_hi_s);
+        assert_eq!(a.spec.matrix, b.spec.matrix);
+        assert_eq!(a.spec.options_fp, b.spec.options_fp);
+        assert_eq!(a.spec.modeled_matrix_bytes, b.spec.modeled_matrix_bytes);
+        assert_eq!(a.achieved_gbs, b.achieved_gbs);
+        assert_eq!(a.roofline_frac, b.roofline_frac);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_trailing_line_is_skipped_and_later_appends_continue() {
+    let dir = test_dir("torn");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    db.append(&record("aaa", "m1", 0.02)).unwrap();
+    // Simulate a crash mid-append: a torn, unterminated half-record.
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(db.path()).unwrap();
+        write!(f, "{{\"schema\":1,\"git_rev\":\"tor").unwrap();
+    }
+    // The loader recovers everything before the tear.
+    let load = db.load().unwrap();
+    assert_eq!(load.records.len(), 1);
+    assert_eq!(load.skipped_lines, 1);
+
+    // The next append starts cleanly on its own line and both healthy
+    // records survive a reload.
+    db.append(&record("bbb", "m1", 0.02)).unwrap();
+    let load = db.load().unwrap();
+    assert_eq!(load.records.len(), 2, "append after a torn line must still parse");
+    assert_eq!(load.records[1].git_rev, "bbb");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bootstrap_ci_tightens_as_samples_accumulate() {
+    // Deterministic "noisy" samples from a fixed recurrence.
+    let noisy = |n: usize| -> Vec<f64> {
+        let mut x = 0.7_f64;
+        (0..n)
+            .map(|_| {
+                x = (x * 997.0 + 0.1234).fract();
+                0.01 * (1.0 + 0.2 * x)
+            })
+            .collect()
+    };
+    let few = stats::bootstrap_median_ci(&noisy(8), stats::DEFAULT_RESAMPLES, 0.95).unwrap();
+    let many = stats::bootstrap_median_ci(&noisy(256), stats::DEFAULT_RESAMPLES, 0.95).unwrap();
+    assert!(
+        many.width() < few.width(),
+        "CI must shrink with more samples: {} vs {}",
+        many.width(),
+        few.width()
+    );
+}
+
+#[test]
+fn gate_flags_only_genuine_regressions_across_the_public_api() {
+    let mut records = vec![
+        record("base", "m1", 0.010),
+        record("base", "m2", 0.020),
+        // m1 regresses 40 %, m2 is unchanged.
+        record("cur", "m1", 0.014),
+        record("cur", "m2", 0.020),
+    ];
+    let gate =
+        perfreport::gate(&records, "base", "cur", perfreport::GateConfig { rel_threshold: 0.10 });
+    assert!(!gate.passed());
+    assert_eq!(gate.regressions(), 1);
+    let reg = gate.rows.iter().find(|r| r.regressed).unwrap();
+    assert!(reg.label.contains("m1"));
+
+    // Records from different hardware never gate against each other.
+    let mut foreign = record("cur2", "m1", 0.050);
+    foreign.platform_fp = "ffffffffffffffff".into();
+    records.push(foreign);
+    let gate =
+        perfreport::gate(&records, "base", "cur2", perfreport::GateConfig { rel_threshold: 0.10 });
+    assert!(gate.passed(), "cross-platform comparison must be skipped, not failed");
+    std::fs::remove_dir_all(std::env::temp_dir().join("fbmpk-perfdb-props-gate")).ok();
+}
+
+#[test]
+fn html_report_renders_from_loaded_records() {
+    let dir = test_dir("html");
+    let db = PerfDb::new(dir.join("runs.jsonl"));
+    db.append_all(&[
+        record("r1", "poisson2d", 0.030),
+        record("r2", "poisson2d", 0.015),
+        record("r2", "tri-band", 0.040),
+    ])
+    .unwrap();
+    let records = db.load().unwrap().records;
+    let html = perfreport::html_report(&records);
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("poisson2d"));
+    // Self-contained: no scripts, no external fetches.
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("src=") && !html.contains("href="));
+    std::fs::remove_dir_all(&dir).ok();
+}
