@@ -275,6 +275,7 @@ fn push_record(
     wait_frac: Option<f64>,
     ipc: Option<f64>,
     modeled_matrix_bytes: Option<u64>,
+    fallbacks: Option<u64>,
     samples: &[f64],
 ) {
     let spec = RunSpec {
@@ -288,6 +289,7 @@ fn push_record(
         wait_frac,
         ipc,
         modeled_matrix_bytes,
+        fallbacks,
     };
     if let Some(rec) = RunRecord::new(ctx, spec, samples) {
         pending.push(rec);
@@ -437,10 +439,10 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
-                    Some(r.k), 0, None, None, None, &r.samples_baseline);
+                    Some(r.k), 0, None, None, None, None, &r.samples_baseline);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp, None, None, None, &r.samples_fbmpk);
+                    Some(r.k), r.options_fp, None, None, None, None, &r.samples_fbmpk);
             }
         }
     }
@@ -707,10 +709,10 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
-                    None, 0, None, None, Some(csr), &r.samples_scalar);
+                    None, 0, None, None, Some(csr), None, &r.samples_scalar);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
-                    None, t, None, 0, None, None, Some(csr), &r.samples_tuned);
+                    None, t, None, 0, None, None, Some(csr), None, &r.samples_tuned);
             }
         }
     }
@@ -823,11 +825,12 @@ fn main() {
                 let modeled = Some(r.modeled_matrix_bytes);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
-                    r.threads, Some(5), r.options_fp_barrier, None, None, modeled,
+                    r.threads, Some(5), r.options_fp_barrier, None, None, modeled, None,
                     &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
-                    r.threads, Some(5), r.options_fp_p2p, None, None, modeled, &r.samples_p2p);
+                    r.threads, Some(5), r.options_fp_p2p, None, None, modeled,
+                    Some(r.fallbacks), &r.samples_p2p);
             }
         }
     }
@@ -997,11 +1000,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
-                    modeled, &r.samples_barrier);
+                    modeled, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
-                    modeled, &r.samples_p2p);
+                    modeled, None, &r.samples_p2p);
             }
         }
     }

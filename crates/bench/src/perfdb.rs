@@ -116,6 +116,11 @@ pub struct RunSpec {
     pub ipc: Option<f64>,
     /// §III-B modeled matrix bytes per kernel invocation, when modeled.
     pub modeled_matrix_bytes: Option<u64>,
+    /// Stall-watchdog fallbacks during the measured reps (point-to-point
+    /// plans with `FallbackPolicy::ColorBarrier`). Nonzero marks the
+    /// samples as degraded: some reps ran under the barrier schedule, so
+    /// the timing no longer characterizes the p2p configuration.
+    pub fallbacks: Option<u64>,
 }
 
 impl RunSpec {
@@ -266,6 +271,7 @@ impl RunRecord {
                 "modeled_matrix_bytes",
                 self.spec.modeled_matrix_bytes.map_or(Json::Null, |b| Json::from(b as usize)),
             ),
+            ("fallbacks", self.spec.fallbacks.map_or(Json::Null, |n| Json::from(n as usize))),
             ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
             ("triad_gbs", Self::opt_f64(self.triad_gbs)),
             ("gather_gbs", Self::opt_f64(self.gather_gbs)),
@@ -310,6 +316,7 @@ impl RunRecord {
             wait_frac: opt_num("wait_frac"),
             ipc: opt_num("ipc"),
             modeled_matrix_bytes: opt_num("modeled_matrix_bytes").map(|b| b as u64),
+            fallbacks: opt_num("fallbacks").map(|n| n as u64),
         };
         Ok(RunRecord {
             schema,
@@ -494,6 +501,7 @@ mod tests {
             wait_frac: Some(0.125),
             ipc: None,
             modeled_matrix_bytes: Some(2_000_000_000),
+            fallbacks: Some(1),
         }
     }
 

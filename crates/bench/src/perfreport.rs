@@ -575,6 +575,7 @@ mod tests {
             wait_frac: Some(0.1),
             ipc: None,
             modeled_matrix_bytes: Some(1_000_000_000),
+            fallbacks: None,
         }
     }
 

@@ -600,6 +600,10 @@ pub struct SyncRow {
     pub options_fp_barrier: u64,
     /// Stable fingerprint of the point-to-point plan options.
     pub options_fp_p2p: u64,
+    /// Stall-watchdog fallbacks the point-to-point plan recorded during
+    /// the measured reps (0 on a healthy run; nonzero marks the samples
+    /// as degraded — some reps executed under the barrier schedule).
+    pub fallbacks: u64,
 }
 
 /// Measures FBMPK power (`k = 5`) under both [`SyncMode`]s on the same
@@ -644,6 +648,7 @@ pub fn sync_modes(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) ->
                 modeled_matrix_bytes: barrier.modeled_matrix_bytes(k),
                 options_fp_barrier: barrier_opts.config_fingerprint(),
                 options_fp_p2p: p2p_opts.config_fingerprint(),
+                fallbacks: p2p.fallbacks(),
             });
         }
     }

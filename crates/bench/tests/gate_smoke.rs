@@ -68,6 +68,7 @@ fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
         wait_frac: Some(0.1),
         ipc: None,
         modeled_matrix_bytes: Some(1_000_000_000),
+        fallbacks: None,
     };
     RunRecord::new(&fab_ctx(rev), spec, &samples).unwrap()
 }

@@ -8,7 +8,7 @@
 //! Rust releases, which would silently split one configuration's history
 //! into disjoint keys after a toolchain upgrade.
 
-use crate::plan::{FbmpkOptions, VectorLayout};
+use crate::plan::{FallbackPolicy, FbmpkOptions, VectorLayout};
 use crate::schedule::SyncMode;
 use fbmpk_reorder::{AbmcParams, BlockingStrategy, ColoringOrdering};
 
@@ -88,6 +88,13 @@ fn layout_tag(layout: VectorLayout) -> u64 {
     }
 }
 
+fn fallback_tag(policy: FallbackPolicy) -> u64 {
+    match policy {
+        FallbackPolicy::Error => 1,
+        FallbackPolicy::ColorBarrier => 2,
+    }
+}
+
 fn blocking_tag(strategy: BlockingStrategy) -> u64 {
     match strategy {
         BlockingStrategy::Contiguous => 1,
@@ -124,7 +131,14 @@ impl FbmpkOptions {
             .write_u64(self.pre_rcm as u64)
             .write_u64(sync_tag(self.sync))
             .write_u64(self.pin_threads as u64)
-            .write_u64(self.obs.record as u64);
+            .write_u64(self.obs.record as u64)
+            .write_u64(fallback_tag(self.fallback))
+            // Watchdog deadline: a run that can time out and fall back is
+            // a different measurement configuration than one that can't.
+            .write_u64(match self.watchdog_ms {
+                None => u64::MAX,
+                Some(ms) => ms,
+            });
         match &self.reorder {
             None => {
                 h.write_u64(0);

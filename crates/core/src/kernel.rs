@@ -54,7 +54,7 @@ use crate::schedule::{Schedule, SyncCtx};
 use crate::sink::Sink;
 use fbmpk_obs::recorder::{Span, SpanKind};
 use fbmpk_obs::{NoopProbe, Probe};
-use fbmpk_parallel::{SenseBarrier, SharedSlice, ThreadPool};
+use fbmpk_parallel::{fault, SharedSlice, ThreadPool};
 use fbmpk_sparse::TriangularSplit;
 
 /// Resets the epoch flags of thread `t`'s own blocks (point-to-point mode
@@ -85,12 +85,14 @@ pub(crate) fn reset_own_flags(sched: &Schedule, sync: &SyncCtx, t: usize) {
 pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
     sched: &Schedule,
     sync: &SyncCtx,
-    barrier: &SenseBarrier,
+    pool: &ThreadPool,
     t: usize,
     epoch: u64,
     probe: &P,
     row: F,
 ) {
+    let barrier = pool.barrier();
+    let progress = pool.progress();
     // Every instrumented path lives behind `if P::ENABLED`; the `else`
     // branches are the uninstrumented loops verbatim, so the NoopProbe
     // monomorphization is the original kernel.
@@ -98,6 +100,8 @@ pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
         SyncCtx::Barrier => {
             if P::ENABLED {
                 for (c, per_thread) in sched.colors.iter().enumerate() {
+                    progress.set_site(t, c as u32, None);
+                    fault::at_color(t, c);
                     let range = per_thread[t].clone();
                     let rows = range.len() as u32;
                     let t0 = probe.now();
@@ -120,7 +124,9 @@ pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
                     }
                 }
             } else {
-                for per_thread in sched.colors.iter() {
+                for (c, per_thread) in sched.colors.iter().enumerate() {
+                    progress.set_site(t, c as u32, None);
+                    fault::at_color(t, c);
                     for r in per_thread[t].clone() {
                         row(r);
                     }
@@ -131,16 +137,20 @@ pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
         SyncCtx::PointToPoint { deps, flags } => {
             if P::ENABLED {
                 for (c, per_color) in sched.blocks.iter().enumerate() {
+                    fault::at_color(t, c);
                     for b in per_color[t].clone() {
+                        progress.set_site(t, c as u32, Some(b as u32));
                         let t0 = probe.now();
-                        let snoozes = flags.wait_all_counted(deps.fwd(b), epoch);
+                        let snoozes = flags.wait_all_counted_from(t, deps.fwd(b), epoch);
                         let t1 = probe.now();
                         let block = sched.block_rows(b);
                         let rows = block.len() as u32;
                         for r in block {
                             row(r);
                         }
-                        flags.mark(b, epoch);
+                        if fault::before_mark(t, b, epoch) {
+                            flags.mark(b, epoch);
+                        }
                         let t2 = probe.now();
                         // SAFETY: `t` is this worker's own lane.
                         unsafe {
@@ -156,13 +166,17 @@ pub(crate) fn forward_sweep<F: Fn(usize), P: Probe>(
                     }
                 }
             } else {
-                for per_color in sched.blocks.iter() {
+                for (c, per_color) in sched.blocks.iter().enumerate() {
+                    fault::at_color(t, c);
                     for b in per_color[t].clone() {
-                        flags.wait_all(deps.fwd(b), epoch);
+                        progress.set_site(t, c as u32, Some(b as u32));
+                        flags.wait_all_counted_from(t, deps.fwd(b), epoch);
                         for r in sched.block_rows(b) {
                             row(r);
                         }
-                        flags.mark(b, epoch);
+                        if fault::before_mark(t, b, epoch) {
+                            flags.mark(b, epoch);
+                        }
                     }
                 }
             }
@@ -181,18 +195,22 @@ fn span(kind: SpanKind, color: u32, block: u32, detail: u32, start_ns: u64, end_
 pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
     sched: &Schedule,
     sync: &SyncCtx,
-    barrier: &SenseBarrier,
+    pool: &ThreadPool,
     t: usize,
     epoch: u64,
     probe: &P,
     row: F,
 ) {
+    let barrier = pool.barrier();
+    let progress = pool.progress();
     match *sync {
         SyncCtx::Barrier => {
             if P::ENABLED {
                 let ncolors = sched.colors.len();
                 for (i, per_thread) in sched.colors.iter().rev().enumerate() {
                     let c = (ncolors - 1 - i) as u32;
+                    progress.set_site(t, c, None);
+                    fault::at_color(t, c as usize);
                     let range = per_thread[t].clone();
                     let rows = range.len() as u32;
                     let t0 = probe.now();
@@ -212,7 +230,11 @@ pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
                     }
                 }
             } else {
-                for per_thread in sched.colors.iter().rev() {
+                let ncolors = sched.colors.len();
+                for (i, per_thread) in sched.colors.iter().rev().enumerate() {
+                    let c = ncolors - 1 - i;
+                    progress.set_site(t, c as u32, None);
+                    fault::at_color(t, c);
                     for r in per_thread[t].clone().rev() {
                         row(r);
                     }
@@ -225,16 +247,20 @@ pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
                 let ncolors = sched.blocks.len();
                 for (i, per_color) in sched.blocks.iter().rev().enumerate() {
                     let c = (ncolors - 1 - i) as u32;
+                    fault::at_color(t, c as usize);
                     for b in per_color[t].clone().rev() {
+                        progress.set_site(t, c, Some(b as u32));
                         let t0 = probe.now();
-                        let snoozes = flags.wait_all_counted(deps.bwd(b), epoch);
+                        let snoozes = flags.wait_all_counted_from(t, deps.bwd(b), epoch);
                         let t1 = probe.now();
                         let block = sched.block_rows(b);
                         let rows = block.len() as u32;
                         for r in block.rev() {
                             row(r);
                         }
-                        flags.mark(b, epoch);
+                        if fault::before_mark(t, b, epoch) {
+                            flags.mark(b, epoch);
+                        }
                         let t2 = probe.now();
                         // SAFETY: `t` is this worker's own lane.
                         unsafe {
@@ -244,13 +270,19 @@ pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
                     }
                 }
             } else {
-                for per_color in sched.blocks.iter().rev() {
+                let ncolors = sched.blocks.len();
+                for (i, per_color) in sched.blocks.iter().rev().enumerate() {
+                    let c = ncolors - 1 - i;
+                    fault::at_color(t, c);
                     for b in per_color[t].clone().rev() {
-                        flags.wait_all(deps.bwd(b), epoch);
+                        progress.set_site(t, c as u32, Some(b as u32));
+                        flags.wait_all_counted_from(t, deps.bwd(b), epoch);
                         for r in sched.block_rows(b).rev() {
                             row(r);
                         }
-                        flags.mark(b, epoch);
+                        if fault::before_mark(t, b, epoch) {
+                            flags.mark(b, epoch);
+                        }
                     }
                 }
             }
@@ -276,6 +308,12 @@ pub(crate) fn backward_sweep<F: Fn(usize), P: Probe>(
 /// through a pool barrier: those stages run on the flat partition, which
 /// crosses block boundaries.
 ///
+/// # Errors
+/// Returns [`crate::FbmpkError::WorkerPanicked`] when a worker closure
+/// panics mid-kernel (peers unwind via the pool's poison latch and the
+/// pool stays reusable), and [`crate::FbmpkError::Stalled`] when a
+/// point-to-point wait exceeds the watchdog deadline attached to `flags`.
+///
 /// # Panics
 /// Panics if `k == 0` or buffer lengths disagree with the schedule.
 #[allow(clippy::too_many_arguments)] // the kernel signature mirrors Algorithm 2's inputs
@@ -289,8 +327,8 @@ pub fn run_fbmpk<L: XyLayout, S: Sink>(
     k: usize,
     sink: &S,
     sync: &SyncCtx,
-) {
-    run_fbmpk_probed(pool, sched, split, layout, tmp, out, k, sink, sync, &NoopProbe);
+) -> crate::Result<()> {
+    run_fbmpk_probed(pool, sched, split, layout, tmp, out, k, sink, sync, &NoopProbe)
 }
 
 /// [`run_fbmpk`] with an observability probe threaded through every
@@ -311,7 +349,7 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
     sink: &S,
     sync: &SyncCtx,
     probe: &P,
-) {
+) -> crate::Result<()> {
     assert!(k >= 1, "k must be at least 1 (k = 0 is the identity)");
     let n = split.n();
     assert_eq!(sched.n, n, "schedule dimension mismatch");
@@ -332,7 +370,7 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
     let rounds = k / 2;
     let odd_k = k % 2 == 1;
 
-    pool.run(&|t| {
+    pool.try_run(&|t| {
         let l_ptr = lower.row_ptr();
         let l_col = lower.col_idx();
         let l_val = lower.values();
@@ -390,7 +428,7 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
 
         for p in 0..rounds {
             // Forward sweep over L, colors ascending.
-            forward_sweep(sched, sync, barrier, t, (2 * p + 1) as u64, probe, |r| {
+            forward_sweep(sched, sync, pool, t, (2 * p + 1) as u64, probe, |r| {
                 // SAFETY: tmp[r]/even[r] owned or phase-stable; odd[c] for
                 // c in L-row r is finished (earlier color — barrier or
                 // flag-waited — or same block processed earlier by this
@@ -436,7 +474,7 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
                 }
             });
             // Backward sweep over U, colors descending, rows bottom-up.
-            backward_sweep(sched, sync, barrier, t, (2 * p + 2) as u64, probe, |r| {
+            backward_sweep(sched, sync, pool, t, (2 * p + 2) as u64, probe, |r| {
                 // SAFETY: even[c] for c in U-row r is already the new
                 // iterate (later color or same block, processed first in
                 // this bottom-up order); odd slots are read-only here. The
@@ -541,7 +579,8 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
                 }
             }
         }
-    });
+    })
+    .map_err(crate::FbmpkError::from)
 }
 
 /// Counts the matrix-element reads the pipeline performs for a given `k` —
@@ -612,7 +651,8 @@ mod tests {
                 k,
                 &NullSink,
                 &SyncCtx::Barrier,
-            );
+            )
+            .unwrap();
         }
         if k % 2 == 1 {
             out
@@ -661,7 +701,8 @@ mod tests {
                     k,
                     &NullSink,
                     &SyncCtx::Barrier,
-                );
+                )
+                .unwrap();
             }
             let got = if k % 2 == 1 { out } else { even };
             for (g, w) in got.iter().zip(&btb) {
@@ -699,7 +740,8 @@ mod tests {
                 k,
                 &sink,
                 &SyncCtx::Barrier,
-            );
+            )
+            .unwrap();
         }
         let want = reference_powers(&a, &x0, k);
         for i in 0..k {
@@ -742,7 +784,8 @@ mod tests {
                 k,
                 &sink,
                 &SyncCtx::Barrier,
-            );
+            )
+            .unwrap();
         }
         let refs = reference_powers(&a, &x0, k);
         for r in 0..n {

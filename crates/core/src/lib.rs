@@ -45,7 +45,9 @@ pub mod workspace;
 
 pub use engine::MpkEngine;
 pub use fingerprint::Fnv64;
-pub use plan::{FbmpkOptions, FbmpkPlan, ObsOptions, VectorLayout};
+pub use plan::{
+    FallbackPolicy, FbmpkOptions, FbmpkPlan, ObsOptions, VectorLayout, DEFAULT_WATCHDOG_MS,
+};
 pub use schedule::{Schedule, SyncCtx, SyncMode};
 pub use standard::StandardMpk;
 pub use tune::{KernelVariant, MatrixFeatures, TuneOptions, TunedPlan};
@@ -63,6 +65,33 @@ pub enum FbmpkError {
     ParallelNeedsReorder,
     /// An underlying sparse-matrix operation failed.
     Sparse(String),
+    /// A pool worker panicked during a kernel invocation. Peers unwound
+    /// via the poison latch; the pool (and plan) remain usable.
+    WorkerPanicked {
+        /// Worker id whose closure panicked.
+        thread: usize,
+        /// Color of the last compute unit the worker started, if known.
+        color: Option<u32>,
+        /// Block of that unit (point-to-point schedules only).
+        block: Option<u32>,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A point-to-point wait exceeded the stall watchdog deadline
+    /// (`FbmpkOptions::watchdog_ms` / `FBMPK_WATCHDOG_MS`).
+    Stalled {
+        /// Worker id that timed out.
+        thread: usize,
+        /// Block whose epoch flag never arrived.
+        block: usize,
+        /// Epoch the waiter needed.
+        epoch: u64,
+        /// Milliseconds spent waiting past the spin budget.
+        waited_ms: u64,
+        /// Per-thread diagnostic dump (who waits on what, last started
+        /// compute unit per thread).
+        dump: String,
+    },
 }
 
 impl std::fmt::Display for FbmpkError {
@@ -78,6 +107,23 @@ impl std::fmt::Display for FbmpkError {
                 write!(f, "parallel FBMPK requires ABMC reordering (set options.reorder)")
             }
             FbmpkError::Sparse(m) => write!(f, "sparse error: {m}"),
+            FbmpkError::WorkerPanicked { thread, color, block, payload } => {
+                write!(f, "worker {thread} panicked")?;
+                if let Some(c) = color {
+                    write!(f, " at color {c}")?;
+                }
+                if let Some(b) = block {
+                    write!(f, " block {b}")?;
+                }
+                write!(f, ": {payload}")
+            }
+            FbmpkError::Stalled { thread, block, epoch, waited_ms, dump } => {
+                write!(
+                    f,
+                    "worker {thread} stalled {waited_ms} ms waiting for block {block} \
+                     epoch {epoch}\n{dump}"
+                )
+            }
         }
     }
 }
@@ -87,6 +133,19 @@ impl std::error::Error for FbmpkError {}
 impl From<fbmpk_sparse::SparseError> for FbmpkError {
     fn from(e: fbmpk_sparse::SparseError) -> Self {
         FbmpkError::Sparse(e.to_string())
+    }
+}
+
+impl From<fbmpk_parallel::WorkerFault> for FbmpkError {
+    fn from(f: fbmpk_parallel::WorkerFault) -> Self {
+        match f.cause {
+            fbmpk_parallel::FaultCause::Panic { payload } => {
+                FbmpkError::WorkerPanicked { thread: f.thread, color: f.color, block: f.block, payload }
+            }
+            fbmpk_parallel::FaultCause::Stall { block, epoch, waited_ms, dump } => {
+                FbmpkError::Stalled { thread: f.thread, block, epoch, waited_ms, dump }
+            }
+        }
     }
 }
 

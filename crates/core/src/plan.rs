@@ -12,10 +12,12 @@ use crate::layout::{BtbXy, SplitXy};
 use crate::schedule::{Schedule, SyncCtx, SyncMode};
 use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
 use crate::{FbmpkError, Result};
+use fbmpk_obs::recorder::{Span, SpanKind};
 use fbmpk_obs::{NoopProbe, Probe, Recorder, SpanProbe, DEFAULT_SPAN_CAPACITY};
 use fbmpk_parallel::{BlockFlags, ThreadPool};
 use fbmpk_reorder::{Abmc, AbmcParams, BlockDeps};
 use fbmpk_sparse::{Csr, Permutation, TriangularSplit};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,6 +60,46 @@ impl ObsOptions {
     }
 }
 
+/// What to do when the stall watchdog fires during a point-to-point
+/// invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Surface the stall as [`FbmpkError::Stalled`] and let the caller
+    /// decide.
+    #[default]
+    Error,
+    /// Transparently re-execute the invocation under the per-color
+    /// barrier schedule (which carries no cross-block flag waits, so a
+    /// lost or delayed flag publish cannot recur), record the
+    /// degradation, and return the fallback's result. Panics are never
+    /// retried — a deterministic panic would just fire again.
+    ColorBarrier,
+}
+
+/// Stall-watchdog deadline used when neither
+/// [`FbmpkOptions::watchdog_ms`] nor the `FBMPK_WATCHDOG_MS` environment
+/// variable overrides it.
+pub const DEFAULT_WATCHDOG_MS: u64 = 10_000;
+
+/// Resolves the effective watchdog deadline: an explicit option wins,
+/// then `FBMPK_WATCHDOG_MS`, then [`DEFAULT_WATCHDOG_MS`]. `0` disables
+/// the deadline (waits still observe the poison latch).
+fn resolved_watchdog_ms(opt: Option<u64>) -> u64 {
+    match opt {
+        Some(ms) => ms,
+        None => std::env::var("FBMPK_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_WATCHDOG_MS),
+    }
+}
+
+/// Structural input validation runs in debug builds always, and in
+/// release builds when `FBMPK_VALIDATE` is set (to anything but `0`).
+pub(crate) fn validate_inputs_enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("FBMPK_VALIDATE").is_some_and(|v| v != "0")
+}
+
 /// Plan construction options.
 #[derive(Debug, Clone, Copy)]
 pub struct FbmpkOptions {
@@ -86,6 +128,13 @@ pub struct FbmpkOptions {
     pub pin_threads: bool,
     /// In-kernel observability (off by default — zero overhead).
     pub obs: ObsOptions,
+    /// Stall-watchdog deadline for point-to-point waits, in milliseconds.
+    /// `None` defers to `FBMPK_WATCHDOG_MS` / [`DEFAULT_WATCHDOG_MS`];
+    /// `Some(0)` disables the deadline (waits still observe the poison
+    /// latch, so a peer's panic always unblocks them).
+    pub watchdog_ms: Option<u64>,
+    /// What to do when the watchdog fires (see [`FallbackPolicy`]).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for FbmpkOptions {
@@ -98,6 +147,8 @@ impl Default for FbmpkOptions {
             sync: SyncMode::default(),
             pin_threads: false,
             obs: ObsOptions::default(),
+            watchdog_ms: None,
+            fallback: FallbackPolicy::default(),
         }
     }
 }
@@ -142,6 +193,11 @@ pub struct FbmpkPlan {
     recorder: Option<Arc<Recorder>>,
     stats: PlanStats,
     n: usize,
+    watchdog_ms: u64,
+    fallback: FallbackPolicy,
+    /// Times a stalled point-to-point invocation was re-executed under
+    /// the barrier schedule (the `ColorBarrier` fallback policy).
+    fallbacks: AtomicU64,
 }
 
 impl FbmpkPlan {
@@ -171,6 +227,12 @@ impl FbmpkPlan {
         }
         if options.nthreads > 1 && options.reorder.is_none() {
             return Err(FbmpkError::ParallelNeedsReorder);
+        }
+        // Structural validation of untrusted input (sorted in-bounds
+        // columns, monotone row pointers, finite values): always in debug
+        // builds, opt-in via FBMPK_VALIDATE in release.
+        if validate_inputs_enabled() {
+            a.validate()?;
         }
         let n = a.nrows();
         let mut stats = PlanStats::default();
@@ -209,6 +271,7 @@ impl FbmpkPlan {
             None => Schedule::serial(n),
         };
         debug_assert!(schedule.validate().is_ok());
+        let watchdog_ms = resolved_watchdog_ms(options.watchdog_ms);
         let p2p = match options.sync {
             SyncMode::ColorBarrier => None,
             SyncMode::PointToPoint => {
@@ -220,7 +283,15 @@ impl FbmpkPlan {
                     None => BlockDeps::trivial(schedule.nblocks()),
                 };
                 debug_assert!(deps.validate().is_ok());
-                let flags = BlockFlags::new(schedule.nblocks());
+                let mut flags = BlockFlags::new(schedule.nblocks());
+                // Wire the flag waits into the pool's fault runtime: they
+                // observe the poison latch, report to the progress table,
+                // and time out after the watchdog deadline.
+                flags.attach_runtime(
+                    Arc::clone(pool.poison()),
+                    Arc::clone(pool.progress()),
+                    watchdog_ms,
+                );
                 Some(P2pState { deps, flags })
             }
         };
@@ -240,6 +311,9 @@ impl FbmpkPlan {
             recorder,
             stats,
             n,
+            watchdog_ms,
+            fallback: options.fallback,
+            fallbacks: AtomicU64::new(0),
         })
     }
 
@@ -331,6 +405,98 @@ impl FbmpkPlan {
         }
     }
 
+    /// The effective stall-watchdog deadline in milliseconds (0 when
+    /// disabled).
+    pub fn watchdog_ms(&self) -> u64 {
+        self.watchdog_ms
+    }
+
+    /// The configured watchdog fallback policy.
+    pub fn fallback_policy(&self) -> FallbackPolicy {
+        self.fallback
+    }
+
+    /// How many invocations fell back to the barrier schedule after a
+    /// stall (only ever nonzero under [`FallbackPolicy::ColorBarrier`]).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Whether a stalled invocation can be retried on the barrier
+    /// schedule: point-to-point mode with the `ColorBarrier` policy.
+    pub(crate) fn can_fallback(&self) -> bool {
+        self.p2p.is_some() && self.fallback == FallbackPolicy::ColorBarrier
+    }
+
+    /// Runs `attempt` under the plan's own sync context; when it stalls
+    /// and the policy allows, re-runs it once under the barrier schedule.
+    ///
+    /// The closure must rebuild all per-attempt state (output buffers,
+    /// accumulating sinks) itself — a stalled attempt leaves its buffers
+    /// partially written. Only [`FbmpkError::Stalled`] triggers the
+    /// retry: the barrier schedule publishes no block flags, so a lost or
+    /// delayed flag publish cannot recur there, whereas a panic would.
+    pub(crate) fn with_fallback<T>(
+        &self,
+        mut attempt: impl FnMut(&SyncCtx) -> Result<T>,
+    ) -> Result<T> {
+        match attempt(&self.sync_ctx()) {
+            Ok(v) => Ok(v),
+            Err(e @ FbmpkError::Stalled { .. }) if self.can_fallback() => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.note_fault(&e, true);
+                attempt(&SyncCtx::Barrier)
+            }
+            Err(e) => {
+                self.note_fault(&e, false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Records a fault into the recorder (zero-duration `Poison`/
+    /// `Watchdog` marker span) and, when falling back, echoes the
+    /// diagnostic dump to stderr — the error value is consumed by the
+    /// retry, so this is its only escape hatch.
+    pub(crate) fn note_fault(&self, e: &FbmpkError, falling_back: bool) {
+        if falling_back {
+            eprintln!("fbmpk: {e}\nfbmpk: retrying under the ColorBarrier schedule");
+        }
+        let Some(rec) = &self.recorder else { return };
+        let (kind, thread, color, block, detail) = match e {
+            FbmpkError::Stalled { thread, block, waited_ms, .. } => (
+                SpanKind::Watchdog,
+                *thread,
+                Span::NO_ID,
+                *block as u32,
+                (*waited_ms).min(u32::MAX as u64) as u32,
+            ),
+            FbmpkError::WorkerPanicked { thread, color, block, .. } => (
+                SpanKind::Poison,
+                *thread,
+                color.unwrap_or(Span::NO_ID),
+                block.unwrap_or(Span::NO_ID),
+                0,
+            ),
+            _ => return,
+        };
+        let now = rec.now_ns();
+        let t = thread.min(rec.nthreads() - 1);
+        // SAFETY: the kernel invocation already returned, so no worker is
+        // recording; this thread transiently owns every lane.
+        unsafe {
+            rec.record(t, Span { kind, color, block, detail, start_ns: now, end_ns: now });
+        }
+    }
+
+    /// Error-path bookkeeping for callers that bypass
+    /// [`Self::with_fallback`] (the in-place SYMGS sweep).
+    pub(crate) fn note_outcome<T>(&self, r: &Result<T>) {
+        if let Err(e) = r {
+            self.note_fault(e, false);
+        }
+    }
+
     /// Computes `Aᵏ x₀`.
     ///
     /// Allocates working buffers per call for convenience; hot loops
@@ -338,57 +504,93 @@ impl FbmpkPlan {
     /// [`FbmpkPlan::power_with`] with a reused [`crate::Workspace`].
     ///
     /// # Panics
-    /// Panics when `x0.len() != n`.
+    /// Panics when `x0.len() != n` or on a worker fault (use
+    /// [`FbmpkPlan::try_power`] for the fallible form).
     pub fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        self.try_power(x0, k).unwrap_or_else(|e| panic!("fbmpk: power kernel failed: {e}"))
+    }
+
+    /// Fallible [`power`](Self::power): worker panics and watchdog stalls
+    /// come back as typed errors. Under
+    /// [`FallbackPolicy::ColorBarrier`] a stalled point-to-point
+    /// invocation is transparently re-executed on the barrier schedule
+    /// (bit-identical results) before any error surfaces.
+    pub fn try_power(&self, x0: &[f64], k: usize) -> Result<Vec<f64>> {
         assert_eq!(x0.len(), self.n, "x0 length mismatch");
         if k == 0 {
-            return x0.to_vec();
+            return Ok(x0.to_vec());
         }
         let xp = self.permute_in(x0);
-        let result = self.execute(&xp, k, &NullSink);
-        self.permute_out(result)
+        let result = self.with_fallback(|sync| self.execute(&xp, k, &NullSink, sync))?;
+        Ok(self.permute_out(result))
     }
 
     /// Computes the Krylov iterates `[A x₀, …, Aᵏ x₀]`.
+    ///
+    /// # Panics
+    /// Panics on a worker fault (use [`FbmpkPlan::try_krylov`]).
     pub fn krylov(&self, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        self.try_krylov(x0, k).unwrap_or_else(|e| panic!("fbmpk: krylov kernel failed: {e}"))
+    }
+
+    /// Fallible [`krylov`](Self::krylov); see [`FbmpkPlan::try_power`]
+    /// for the error and fallback semantics.
+    pub fn try_krylov(&self, x0: &[f64], k: usize) -> Result<Vec<Vec<f64>>> {
         assert_eq!(x0.len(), self.n, "x0 length mismatch");
         if k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let xp = self.permute_in(x0);
-        let mut basis = vec![0.0; k * self.n];
-        {
-            let sink = CollectSink::new(&mut basis, self.n, k);
-            self.execute(&xp, k, &sink);
-        }
-        basis.chunks(self.n).map(|c| self.permute_out(c.to_vec())).collect()
+        // The basis is (re)built inside the attempt: a stalled attempt
+        // leaves it partially written.
+        let basis = self.with_fallback(|sync| {
+            let mut basis = vec![0.0; k * self.n];
+            {
+                let sink = CollectSink::new(&mut basis, self.n, k);
+                self.execute(&xp, k, &sink, sync)?;
+            }
+            Ok(basis)
+        })?;
+        Ok(basis.chunks(self.n).map(|c| self.permute_out(c.to_vec())).collect())
     }
 
     /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` with `k =
     /// coeffs.len() - 1`, folding the combination into the sweeps.
     ///
     /// # Panics
-    /// Panics when `coeffs` is empty or `x0.len() != n`.
+    /// Panics when `coeffs` is empty, `x0.len() != n`, or on a worker
+    /// fault (use [`FbmpkPlan::try_sspmv`]).
     pub fn sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Vec<f64> {
+        self.try_sspmv(coeffs, x0).unwrap_or_else(|e| panic!("fbmpk: sspmv kernel failed: {e}"))
+    }
+
+    /// Fallible [`sspmv`](Self::sspmv); see [`FbmpkPlan::try_power`] for
+    /// the error and fallback semantics.
+    pub fn try_sspmv(&self, coeffs: &[f64], x0: &[f64]) -> Result<Vec<f64>> {
         assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
         assert_eq!(x0.len(), self.n, "x0 length mismatch");
         let k = coeffs.len() - 1;
         let xp = self.permute_in(x0);
-        let mut y: Vec<f64> = xp.iter().map(|&v| coeffs[0] * v).collect();
-        if k > 0 {
-            let sink = AccumSink::new(&mut y, coeffs);
-            self.execute(&xp, k, &sink);
-        }
-        self.permute_out(y)
+        // The accumulator is rebuilt per attempt: AccumSink adds into it
+        // as the sweeps run, so a stalled attempt taints it.
+        let y = self.with_fallback(|sync| {
+            let mut y: Vec<f64> = xp.iter().map(|&v| coeffs[0] * v).collect();
+            if k > 0 {
+                let sink = AccumSink::new(&mut y, coeffs);
+                self.execute(&xp, k, &sink, sync)?;
+            }
+            Ok(y)
+        })?;
+        Ok(self.permute_out(y))
     }
 
     /// Runs the kernel in the permuted domain; returns `x_k` (permuted).
     /// Dispatches on the recorder so the common (no-recorder) case
     /// monomorphizes to the uninstrumented kernel.
-    fn execute<S: Sink>(&self, x0p: &[f64], k: usize, sink: &S) -> Vec<f64> {
+    fn execute<S: Sink>(&self, x0p: &[f64], k: usize, sink: &S, sync: &SyncCtx) -> Result<Vec<f64>> {
         match &self.recorder {
-            Some(rec) => self.execute_probed(x0p, k, sink, &SpanProbe::new(rec)),
-            None => self.execute_probed(x0p, k, sink, &NoopProbe),
+            Some(rec) => self.execute_probed(x0p, k, sink, sync, &SpanProbe::new(rec)),
+            None => self.execute_probed(x0p, k, sink, sync, &NoopProbe),
         }
     }
 
@@ -397,8 +599,9 @@ impl FbmpkPlan {
         x0p: &[f64],
         k: usize,
         sink: &S,
+        sync: &SyncCtx,
         probe: &P,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>> {
         let n = self.n;
         let mut tmp = vec![0.0; n];
         let mut out = vec![0.0; n];
@@ -419,15 +622,15 @@ impl FbmpkPlan {
                         &mut out,
                         k,
                         sink,
-                        &self.sync_ctx(),
+                        sync,
                         probe,
-                    );
+                    )?;
                 }
-                if k % 2 == 1 {
+                Ok(if k % 2 == 1 {
                     out
                 } else {
                     (0..n).map(|i| xy[2 * i]).collect()
-                }
+                })
             }
             VectorLayout::Split => {
                 let mut even = x0p.to_vec();
@@ -443,15 +646,11 @@ impl FbmpkPlan {
                         &mut out,
                         k,
                         sink,
-                        &self.sync_ctx(),
+                        sync,
                         probe,
-                    );
+                    )?;
                 }
-                if k % 2 == 1 {
-                    out
-                } else {
-                    even
-                }
+                Ok(if k % 2 == 1 { out } else { even })
             }
         }
     }

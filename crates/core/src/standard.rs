@@ -40,6 +40,11 @@ impl StandardMpk {
         if a.nrows() != a.ncols() {
             return Err(FbmpkError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
+        // Same validation gate as `FbmpkPlan`: debug builds always,
+        // release builds when FBMPK_VALIDATE is set.
+        if crate::plan::validate_inputs_enabled() {
+            a.validate()?;
+        }
         // The CSR row_ptr array is already the nnz prefix, and merge-path
         // coordinates (row index + nnz prefix) reproduce the `nnz + 1`
         // per-row weight convention exactly.

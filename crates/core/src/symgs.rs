@@ -35,6 +35,11 @@ use fbmpk_sparse::TriangularSplit;
 /// those rows has passed (forward), and symmetrically backward — the
 /// same-epoch flag wait on the union list guarantees both.
 ///
+/// # Errors
+/// Returns [`crate::FbmpkError::WorkerPanicked`] or
+/// [`crate::FbmpkError::Stalled`] when a worker dies or a point-to-point
+/// wait times out; `x` may then hold a partially updated iterate.
+///
 /// # Panics
 /// Panics on length mismatches or a zero diagonal entry.
 pub fn run_symgs(
@@ -44,8 +49,8 @@ pub fn run_symgs(
     b: &[f64],
     x: &mut [f64],
     sync: &SyncCtx,
-) {
-    run_symgs_probed(pool, sched, split, b, x, sync, &NoopProbe);
+) -> crate::Result<()> {
+    run_symgs_probed(pool, sched, split, b, x, sync, &NoopProbe)
 }
 
 /// [`run_symgs`] with an observability probe threaded through both
@@ -59,7 +64,7 @@ pub fn run_symgs_probed<P: Probe>(
     x: &mut [f64],
     sync: &SyncCtx,
     probe: &P,
-) {
+) -> crate::Result<()> {
     let n = split.n();
     assert_eq!(sched.n, n, "schedule dimension mismatch");
     assert_eq!(b.len(), n);
@@ -77,7 +82,7 @@ pub fn run_symgs_probed<P: Probe>(
     let barrier = pool.barrier();
     let p2p = matches!(sync, SyncCtx::PointToPoint { .. });
 
-    pool.run(&|t| {
+    pool.try_run(&|t| {
         let l_ptr = lower.row_ptr();
         let l_col = lower.col_idx();
         let l_val = lower.values();
@@ -111,9 +116,10 @@ pub fn run_symgs_probed<P: Probe>(
         // Forward (epoch 1) then backward (epoch 2); the anti-dependency
         // halves of the wait lists order the two sweeps against each
         // other, so no barrier separates them in point-to-point mode.
-        forward_sweep(sched, sync, barrier, t, 1, probe, update);
-        backward_sweep(sched, sync, barrier, t, 2, probe, update);
-    });
+        forward_sweep(sched, sync, pool, t, 1, probe, update);
+        backward_sweep(sched, sync, pool, t, 2, probe, update);
+    })
+    .map_err(crate::FbmpkError::from)
 }
 
 impl crate::plan::FbmpkPlan {
@@ -124,38 +130,93 @@ impl crate::plan::FbmpkPlan {
     /// iteration / HPCG smoother.
     ///
     /// # Panics
-    /// Panics on length mismatches or a zero diagonal.
+    /// Panics on length mismatches, a zero diagonal, or a worker fault
+    /// (use [`FbmpkPlan::try_symgs_sweep`](crate::plan::FbmpkPlan::try_symgs_sweep)
+    /// for the fallible form).
     pub fn symgs_sweep(&self, b: &[f64], x: &mut [f64]) {
+        self.try_symgs_sweep(b, x)
+            .unwrap_or_else(|e| panic!("fbmpk: SYMGS sweep failed: {e}"));
+    }
+
+    /// Fallible [`symgs_sweep`](Self::symgs_sweep): worker panics and
+    /// watchdog stalls come back as typed errors instead of panicking.
+    /// Under [`crate::FallbackPolicy::ColorBarrier`] a stalled
+    /// point-to-point sweep is transparently re-executed on the barrier
+    /// schedule; `x` is only committed when an attempt succeeds.
+    pub fn try_symgs_sweep(&self, b: &[f64], x: &mut [f64]) -> crate::Result<()> {
         // Same probe dispatch as `power` et al.: recording plans trace
         // SYMGS sweeps too, everyone else runs the uninstrumented kernel.
         match self.recorder() {
-            Some(rec) => self.symgs_sweep_probed(b, x, &fbmpk_obs::SpanProbe::new(rec)),
-            None => self.symgs_sweep_probed(b, x, &NoopProbe),
+            Some(rec) => self.try_symgs_sweep_probed(b, x, &fbmpk_obs::SpanProbe::new(rec)),
+            None => self.try_symgs_sweep_probed(b, x, &NoopProbe),
         }
     }
 
-    fn symgs_sweep_probed<P: Probe>(&self, b: &[f64], x: &mut [f64], probe: &P) {
+    fn try_symgs_sweep_probed<P: Probe>(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        probe: &P,
+    ) -> crate::Result<()> {
         let n = self.n();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
-        let sync = self.sync_ctx();
         match self.permutation() {
             Some(p) => {
                 let bp = p.apply_vec_alloc(b);
-                let mut xp = p.apply_vec_alloc(x);
-                run_symgs_probed(
+                // Each attempt rebuilds xp from the untouched caller `x`,
+                // so a fallback retry restarts from the pristine iterate.
+                let xp = self.with_fallback(|sync| {
+                    let mut xp = p.apply_vec_alloc(x);
+                    run_symgs_probed(
+                        self.pool(),
+                        self.schedule(),
+                        self.split(),
+                        &bp,
+                        &mut xp,
+                        sync,
+                        probe,
+                    )?;
+                    Ok(xp)
+                })?;
+                p.unapply_vec(&xp, x);
+                Ok(())
+            }
+            None if self.can_fallback() => {
+                // In-place sweep, but a retry needs the pristine iterate:
+                // work on a scratch copy and commit on success only.
+                let xn = self.with_fallback(|sync| {
+                    let mut xn = x.to_vec();
+                    run_symgs_probed(
+                        self.pool(),
+                        self.schedule(),
+                        self.split(),
+                        b,
+                        &mut xn,
+                        sync,
+                        probe,
+                    )?;
+                    Ok(xn)
+                })?;
+                x.copy_from_slice(&xn);
+                Ok(())
+            }
+            None => {
+                // No fallback possible: sweep in place, zero extra copies
+                // (an error leaves x partially updated, as documented on
+                // `run_symgs`).
+                let sync = self.sync_ctx();
+                let r = run_symgs_probed(
                     self.pool(),
                     self.schedule(),
                     self.split(),
-                    &bp,
-                    &mut xp,
+                    b,
+                    x,
                     &sync,
                     probe,
                 );
-                p.unapply_vec(&xp, x);
-            }
-            None => {
-                run_symgs_probed(self.pool(), self.schedule(), self.split(), b, x, &sync, probe)
+                self.note_outcome(&r);
+                r
             }
         }
     }

@@ -9,6 +9,7 @@
 use crate::kernel::run_fbmpk;
 use crate::layout::{BtbXy, SplitXy};
 use crate::plan::{FbmpkPlan, VectorLayout};
+use crate::schedule::SyncCtx;
 use crate::sink::{AccumSink, NullSink};
 
 /// Reusable kernel buffers for one plan (sized to its dimension).
@@ -55,31 +56,65 @@ impl FbmpkPlan {
     /// no allocation in steady state.
     ///
     /// # Panics
-    /// Panics on length mismatches or a workspace sized for a different
-    /// plan.
+    /// Panics on length mismatches, a workspace sized for a different
+    /// plan, or a worker fault (use [`FbmpkPlan::try_power_with`]).
     pub fn power_with(&self, ws: &mut Workspace, x0: &[f64], k: usize, y: &mut [f64]) {
+        self.try_power_with(ws, x0, k, y)
+            .unwrap_or_else(|e| panic!("fbmpk: power kernel failed: {e}"));
+    }
+
+    /// Fallible [`power_with`](Self::power_with); worker faults come back
+    /// as typed errors, and stalled point-to-point invocations retry on
+    /// the barrier schedule under
+    /// [`crate::FallbackPolicy::ColorBarrier`]. `y` is only written on
+    /// success.
+    pub fn try_power_with(
+        &self,
+        ws: &mut Workspace,
+        x0: &[f64],
+        k: usize,
+        y: &mut [f64],
+    ) -> crate::Result<()> {
         let n = self.n();
         assert_eq!(ws.n, n, "workspace sized for a different plan");
         assert_eq!(x0.len(), n);
         assert_eq!(y.len(), n);
         if k == 0 {
             y.copy_from_slice(x0);
-            return;
+            return Ok(());
         }
-        // Stage the (possibly permuted) input into the even slots.
+        // Stage the (possibly permuted) input into the even slots. The
+        // kernel never writes `ws.staged`, so a fallback retry restages
+        // from it and starts clean.
         match self.permutation() {
             Some(p) => p.apply_vec(x0, &mut ws.staged),
             None => ws.staged.copy_from_slice(x0),
         }
-        self.execute_with(ws, k, &NullSink);
+        self.with_fallback(|sync| self.execute_with(ws, k, &NullSink, sync))?;
         self.extract_result(ws, k, y);
+        Ok(())
     }
 
     /// Like [`FbmpkPlan::sspmv`], but reusing `ws` and writing into `y`.
     ///
     /// # Panics
-    /// Panics on length mismatches, empty `coeffs`, or a foreign workspace.
+    /// Panics on length mismatches, empty `coeffs`, a foreign workspace,
+    /// or a worker fault (use [`FbmpkPlan::try_sspmv_with`]).
     pub fn sspmv_with(&self, ws: &mut Workspace, coeffs: &[f64], x0: &[f64], y: &mut [f64]) {
+        self.try_sspmv_with(ws, coeffs, x0, y)
+            .unwrap_or_else(|e| panic!("fbmpk: sspmv kernel failed: {e}"));
+    }
+
+    /// Fallible [`sspmv_with`](Self::sspmv_with); see
+    /// [`FbmpkPlan::try_power_with`] for the error and fallback
+    /// semantics. On error `y` may hold a partial accumulation.
+    pub fn try_sspmv_with(
+        &self,
+        ws: &mut Workspace,
+        coeffs: &[f64],
+        x0: &[f64],
+        y: &mut [f64],
+    ) -> crate::Result<()> {
         let n = self.n();
         assert_eq!(ws.n, n, "workspace sized for a different plan");
         assert!(!coeffs.is_empty(), "need at least the alpha_0 coefficient");
@@ -95,31 +130,47 @@ impl FbmpkPlan {
         // (the sink borrows it while `execute_with` borrows `ws`) and
         // moved back afterwards — no allocation in steady state.
         let mut acc = std::mem::take(&mut ws.acc);
-        let acc_slice: &mut [f64] = if self.permutation().is_some() {
-            acc.resize(n, 0.0);
-            for (ai, &xi) in acc.iter_mut().zip(&ws.staged) {
-                *ai = coeffs[0] * xi;
+        let permuted = self.permutation().is_some();
+        let r = self.with_fallback(|sync| {
+            // The accumulator is reinitialized inside the attempt: the
+            // sink adds into it as the sweeps run, so a stalled attempt
+            // taints it and the retry must start from coeffs[0]·x.
+            let acc_slice: &mut [f64] = if permuted {
+                acc.resize(n, 0.0);
+                for (ai, &xi) in acc.iter_mut().zip(&ws.staged) {
+                    *ai = coeffs[0] * xi;
+                }
+                &mut acc
+            } else {
+                for (yi, &xi) in y.iter_mut().zip(&ws.staged) {
+                    *yi = coeffs[0] * xi;
+                }
+                &mut *y
+            };
+            if k > 0 {
+                let sink = AccumSink::new(acc_slice, coeffs);
+                self.execute_with_sink_only(ws, k, &sink, sync)?;
             }
-            &mut acc
-        } else {
-            for (yi, &xi) in y.iter_mut().zip(&ws.staged) {
-                *yi = coeffs[0] * xi;
+            Ok(())
+        });
+        if r.is_ok() {
+            if let Some(p) = self.permutation() {
+                p.unapply_vec(&acc, y);
             }
-            y
-        };
-        if k > 0 {
-            let sink = AccumSink::new(acc_slice, coeffs);
-            self.execute_with_sink_only(ws, k, &sink);
-        }
-        if let Some(p) = self.permutation() {
-            p.unapply_vec(&acc, y);
         }
         ws.acc = acc;
+        r
     }
 
     /// Runs the kernel out of the workspace buffers (input staged in
     /// `ws.staged`).
-    fn execute_with<S: crate::sink::Sink>(&self, ws: &mut Workspace, k: usize, sink: &S) {
+    fn execute_with<S: crate::sink::Sink>(
+        &self,
+        ws: &mut Workspace,
+        k: usize,
+        sink: &S,
+        sync: &SyncCtx,
+    ) -> crate::Result<()> {
         let n = self.n();
         match self.layout() {
             VectorLayout::BackToBack => {
@@ -136,8 +187,8 @@ impl FbmpkPlan {
                     &mut ws.out,
                     k,
                     sink,
-                    &self.sync_ctx(),
-                );
+                    sync,
+                )
             }
             VectorLayout::Split => {
                 let (even, odd) = ws.xy.split_at_mut(n);
@@ -152,8 +203,8 @@ impl FbmpkPlan {
                     &mut ws.out,
                     k,
                     sink,
-                    &self.sync_ctx(),
-                );
+                    sync,
+                )
             }
         }
     }
@@ -161,8 +212,14 @@ impl FbmpkPlan {
     /// Variant of [`Self::execute_with`] used when only the sink output
     /// matters (SSpMV): identical execution, named for clarity at call
     /// sites.
-    fn execute_with_sink_only<S: crate::sink::Sink>(&self, ws: &mut Workspace, k: usize, sink: &S) {
-        self.execute_with(ws, k, sink);
+    fn execute_with_sink_only<S: crate::sink::Sink>(
+        &self,
+        ws: &mut Workspace,
+        k: usize,
+        sink: &S,
+        sync: &SyncCtx,
+    ) -> crate::Result<()> {
+        self.execute_with(ws, k, sink, sync)
     }
 
     /// Copies `x_k` out of the workspace after [`Self::execute_with`].

@@ -39,6 +39,13 @@ pub enum SpanKind {
     FlagWait,
     /// One tuned standalone SpMV (a thread's row range).
     Spmv,
+    /// A worker fault was latched (panic isolation fired). Zero-duration
+    /// marker recorded after the run by the runtime, not by workers.
+    Poison,
+    /// A stall watchdog expired (and, under the `ColorBarrier` fallback
+    /// policy, the invocation was re-executed on the barrier schedule).
+    /// Zero-duration marker; `detail` holds the milliseconds waited.
+    Watchdog,
 }
 
 impl SpanKind {
@@ -52,6 +59,8 @@ impl SpanKind {
             SpanKind::BarrierWait => "barrier-wait",
             SpanKind::FlagWait => "flag-wait",
             SpanKind::Spmv => "spmv",
+            SpanKind::Poison => "poison",
+            SpanKind::Watchdog => "watchdog",
         }
     }
 
@@ -61,7 +70,7 @@ impl SpanKind {
     }
 
     /// Every kind, in declaration order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Head,
         SpanKind::Forward,
         SpanKind::Backward,
@@ -69,6 +78,8 @@ impl SpanKind {
         SpanKind::BarrierWait,
         SpanKind::FlagWait,
         SpanKind::Spmv,
+        SpanKind::Poison,
+        SpanKind::Watchdog,
     ];
 }
 
@@ -254,7 +265,7 @@ impl Recorder {
 
     /// `(count, total_ns)` per [`SpanKind`] across every lane, in
     /// [`SpanKind::ALL`] order.
-    pub fn kind_totals(&self) -> [(SpanKind, u64, u64); 7] {
+    pub fn kind_totals(&self) -> [(SpanKind, u64, u64); 9] {
         let mut out = SpanKind::ALL.map(|k| (k, 0u64, 0u64));
         for t in 0..self.nthreads() {
             for s in self.thread_spans(t) {

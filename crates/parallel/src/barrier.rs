@@ -9,14 +9,20 @@
 //! yields after — so oversubscribed hosts (more threads than cores) still
 //! make progress without burning whole quanta.
 
+use crate::poison::{Poison, PoisonUnwind};
 use crate::sync::Backoff;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A reusable barrier for a fixed set of `n` participants.
 pub struct SenseBarrier {
     n: usize,
     remaining: AtomicUsize,
     sense: AtomicBool,
+    /// When present, spinners poll this fault latch: a peer that panicked
+    /// (or stalled out) will never arrive, so waiters unwind with
+    /// [`PoisonUnwind`] instead of spinning forever.
+    poison: Option<Arc<Poison>>,
 }
 
 impl SenseBarrier {
@@ -25,13 +31,33 @@ impl SenseBarrier {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
+        Self::with_poison(n, None)
+    }
+
+    /// Creates a barrier whose waiters additionally observe `poison`
+    /// (see [`SenseBarrier::wait`] for the unwind contract).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_poison(n: usize, poison: Option<Arc<Poison>>) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
-        SenseBarrier { n, remaining: AtomicUsize::new(n), sense: AtomicBool::new(false) }
+        SenseBarrier { n, remaining: AtomicUsize::new(n), sense: AtomicBool::new(false), poison }
     }
 
     /// Number of participants.
     pub fn participants(&self) -> usize {
         self.n
+    }
+
+    /// Restores `remaining` to `n` after a faulted phase.
+    ///
+    /// Only sound once every participant has stopped touching the barrier
+    /// (the pool calls this after the parallel region has fully drained).
+    /// The sense word is deliberately left alone: a phase's sense only
+    /// flips when all `n` arrive, so after a fault it still matches what
+    /// the next phase's arrivers will negate against.
+    pub fn reset(&self) {
+        self.remaining.store(self.n, Ordering::Relaxed);
     }
 
     /// Blocks until all `n` participants have called `wait` for the current
@@ -40,6 +66,11 @@ impl SenseBarrier {
     ///
     /// Each participant must call `wait` exactly once per phase; the barrier
     /// is immediately reusable for the next phase.
+    ///
+    /// When the barrier was built with a [`Poison`] latch and the latch is
+    /// set while waiting, the wait unwinds with [`PoisonUnwind`] — a peer
+    /// has faulted and this phase can never complete. The pool's
+    /// `catch_unwind` absorbs the sentinel.
     pub fn wait(&self) -> bool {
         self.wait_counted().0
     }
@@ -65,6 +96,11 @@ impl SenseBarrier {
             let mut backoff = Backoff::new();
             let mut snoozes = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if let Some(p) = &self.poison {
+                    if p.is_set() {
+                        std::panic::resume_unwind(Box::new(PoisonUnwind));
+                    }
+                }
                 backoff.snooze();
                 snoozes = snoozes.saturating_add(1);
             }
@@ -146,6 +182,37 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_participants_panics() {
         SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn poisoned_wait_unwinds_and_reset_restores_service() {
+        use crate::poison::{FaultCause, Poison, PoisonUnwind, WorkerFault};
+        let poison = Arc::new(Poison::new());
+        let barrier = Arc::new(SenseBarrier::with_poison(2, Some(Arc::clone(&poison))));
+        let b2 = Arc::clone(&barrier);
+        let h = std::thread::spawn(move || {
+            // The peer never arrives; only the poison latch can release us.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.wait();
+            }))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        poison.publish(WorkerFault {
+            thread: 1,
+            color: None,
+            block: None,
+            cause: FaultCause::Panic { payload: "peer died".into() },
+        });
+        let payload = h.join().unwrap().expect_err("wait must unwind on poison");
+        assert!(payload.downcast_ref::<PoisonUnwind>().is_some());
+        // After the fault is taken and the barrier reset, a full phase
+        // completes normally again.
+        assert!(poison.take().is_some());
+        barrier.reset();
+        let b2 = Arc::clone(&barrier);
+        let h = std::thread::spawn(move || b2.wait());
+        barrier.wait();
+        h.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Deterministic fault injection for the fault-tolerance test suite.
+//!
+//! The recovery paths in this crate — poison propagation, the stall
+//! watchdog, barrier reset — only matter when something goes wrong, and
+//! "something goes wrong" never happens in an ordinary test run. This
+//! module makes faults reproducible: a [`FaultPlan`] names exact injection
+//! sites (worker × color for panics, block × epoch for publish faults) and
+//! the kernel sweeps call the two hook functions at those sites.
+//!
+//! The hooks compile to empty `#[inline(always)]` stubs unless the
+//! `fault-inject` feature is enabled, so production builds carry zero
+//! cost and zero attack surface. With the feature on, a plan is installed
+//! either programmatically ([`install`]) or from the `FBMPK_FAULT`
+//! environment variable ([`install_from_env`]).
+//!
+//! # `FBMPK_FAULT` grammar
+//!
+//! `;`-separated fault specs, each one of:
+//!
+//! * `panic:T:C` — worker `T` panics on starting color `C`,
+//! * `delay:B:E:MS` — the publish of block `B`'s epoch-`E` flag is delayed
+//!   by `MS` milliseconds,
+//! * `skip:B:E` — the publish of block `B`'s epoch-`E` flag never happens
+//!   (downstream waiters stall until the watchdog fires).
+//!
+//! Example: `FBMPK_FAULT="panic:1:2;delay:0:3:50"`.
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Worker `thread` panics when it starts color `color`.
+    PanicAt {
+        /// Worker id to kill.
+        thread: usize,
+        /// Color index whose start triggers the panic.
+        color: usize,
+    },
+    /// The epoch-`epoch` flag publish of block `block` is delayed.
+    DelayMark {
+        /// Block whose publish is delayed.
+        block: usize,
+        /// Epoch of the delayed publish.
+        epoch: u64,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+    /// The epoch-`epoch` flag publish of block `block` is dropped.
+    SkipMark {
+        /// Block whose publish is dropped.
+        block: usize,
+        /// Epoch of the dropped publish.
+        epoch: u64,
+    },
+}
+
+/// A parsed set of faults to inject into one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, applied independently (a site matching several faults
+    /// applies all of them).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parses the `FBMPK_FAULT` grammar (see the module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        fn num<T: std::str::FromStr>(part: Option<&str>, what: &str, spec: &str) -> Result<T, String> {
+            part.ok_or_else(|| format!("fault spec '{spec}': missing {what}"))?
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault spec '{spec}': bad {what}"))
+        }
+        let mut faults = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut fields = part.split(':');
+            let kind = fields.next().unwrap_or("");
+            let fault = match kind {
+                "panic" => Fault::PanicAt {
+                    thread: num(fields.next(), "thread", part)?,
+                    color: num(fields.next(), "color", part)?,
+                },
+                "delay" => Fault::DelayMark {
+                    block: num(fields.next(), "block", part)?,
+                    epoch: num(fields.next(), "epoch", part)?,
+                    ms: num(fields.next(), "delay ms", part)?,
+                },
+                "skip" => Fault::SkipMark {
+                    block: num(fields.next(), "block", part)?,
+                    epoch: num(fields.next(), "epoch", part)?,
+                },
+                other => return Err(format!("fault spec '{part}': unknown kind '{other}'")),
+            };
+            if let Some(extra) = fields.next() {
+                return Err(format!("fault spec '{part}': trailing field '{extra}'"));
+            }
+            faults.push(fault);
+        }
+        Ok(FaultPlan { faults })
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod active {
+    use super::{Fault, FaultPlan};
+    use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+
+    // std locks (not the vendored parking_lot subset): the harness needs
+    // RwLock, and poisoned guards are recovered explicitly because the
+    // whole point of the suite is to panic while holding state.
+    static ACTIVE: RwLock<Option<FaultPlan>> = RwLock::new(None);
+    static SITE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Keeps the installed plan alive; dropping it uninstalls the plan and
+    /// releases the injection lock so the next test can install its own.
+    pub struct FaultGuard {
+        _site: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+    }
+
+    /// Installs `plan` for the duration of the returned guard. Serializes
+    /// callers: two concurrent installs (e.g. parallel tests) queue on an
+    /// internal lock rather than clobbering each other's plan.
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        let site = SITE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+        FaultGuard { _site: site }
+    }
+
+    /// Installs the plan described by `FBMPK_FAULT`, if the variable is
+    /// set and non-empty.
+    ///
+    /// # Panics
+    /// Panics when the variable is set but does not parse — a CI matrix
+    /// entry with a typo must fail loudly, not run fault-free.
+    pub fn install_from_env() -> Option<FaultGuard> {
+        let spec = std::env::var("FBMPK_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => Some(install(plan)),
+            Err(e) => panic!("FBMPK_FAULT: {e}"),
+        }
+    }
+
+    /// Kernel hook: worker `thread` is starting color `color`.
+    pub fn at_color(thread: usize, color: usize) {
+        let guard = ACTIVE.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(plan) = guard.as_ref() {
+            for f in &plan.faults {
+                if let Fault::PanicAt { thread: t, color: c } = f {
+                    if *t == thread && *c == color {
+                        // Real panic (not a sentinel): this is the
+                        // original fault the runtime must isolate.
+                        panic!("fault-inject: worker {thread} panicked at color {color}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kernel hook: worker `thread` is about to publish block `block` at
+    /// `epoch`. Returns `false` when the publish must be dropped; a delay
+    /// fault sleeps here before returning.
+    pub fn before_mark(_thread: usize, block: usize, epoch: u64) -> bool {
+        let guard = ACTIVE.read().unwrap_or_else(PoisonError::into_inner);
+        let Some(plan) = guard.as_ref() else { return true };
+        let mut publish = true;
+        for f in &plan.faults {
+            match f {
+                Fault::DelayMark { block: b, epoch: e, ms } if *b == block && *e == epoch => {
+                    std::thread::sleep(std::time::Duration::from_millis(*ms));
+                }
+                Fault::SkipMark { block: b, epoch: e } if *b == block && *e == epoch => {
+                    publish = false;
+                }
+                _ => {}
+            }
+        }
+        publish
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use active::{at_color, before_mark, install, install_from_env, FaultGuard};
+
+/// Kernel hook: worker `thread` is starting color `color` (no-op without
+/// the `fault-inject` feature).
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn at_color(_thread: usize, _color: usize) {}
+
+/// Kernel hook: worker `thread` is about to publish block `block` at
+/// `epoch`; `true` means "publish" (always, without the `fault-inject`
+/// feature).
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn before_mark(_thread: usize, _block: usize, _epoch: u64) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let plan = FaultPlan::parse("panic:1:2; delay:0:3:50 ;skip:4:6").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::PanicAt { thread: 1, color: 2 },
+                Fault::DelayMark { block: 0, epoch: 3, ms: 50 },
+                Fault::SkipMark { block: 4, epoch: 6 },
+            ]
+        );
+        assert_eq!(FaultPlan::parse("").unwrap().faults, vec![]);
+        assert_eq!(FaultPlan::parse(" ; ").unwrap().faults, vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["panic:1", "panic:x:2", "delay:0:3", "warp:1:2", "skip:4:6:9", "panic"] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must not parse");
+        }
+        assert!(FaultPlan::parse("panic:1:2;warp:3").unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn stubs_or_hooks_default_to_publish() {
+        // Without an installed plan the hooks must be inert regardless of
+        // whether the feature is compiled in.
+        at_color(0, 0);
+        assert!(before_mark(0, 0, 1));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn installed_plan_drives_hooks_and_uninstalls_on_drop() {
+        let plan = FaultPlan::parse("panic:1:2;skip:3:4;delay:5:6:1").unwrap();
+        {
+            let _guard = install(plan);
+            at_color(1, 1); // wrong color: no fire
+            at_color(0, 2); // wrong thread: no fire
+            let err = std::panic::catch_unwind(|| at_color(1, 2))
+                .expect_err("matching site must panic");
+            assert!(crate::poison::payload_string(err.as_ref()).contains("color 2"));
+            assert!(!before_mark(0, 3, 4), "skip site must drop the publish");
+            assert!(before_mark(0, 3, 5), "other epochs unaffected");
+            assert!(before_mark(0, 5, 6), "delay still publishes");
+        }
+        // Guard dropped: everything back to inert.
+        at_color(1, 2);
+        assert!(before_mark(0, 3, 4));
+    }
+}

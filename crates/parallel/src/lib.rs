@@ -20,16 +20,24 @@
 //! * [`sync::BlockFlags`] / [`sync::Backoff`] — per-block epoch flags and
 //!   the bounded spin-then-yield waiter behind the barrier-free
 //!   point-to-point sweep mode,
+//! * [`poison`] — the shared fault latch and progress table behind panic
+//!   isolation and the stall watchdog ([`ThreadPool::try_run`] returns the
+//!   first [`poison::WorkerFault`] instead of hanging or aborting),
+//! * [`fault`] — a deterministic fault-injection harness (compiled in only
+//!   under the `fault-inject` feature) driving the recovery-path tests,
 //! * [`affinity`] — best-effort worker→core pinning for the pool.
 
 pub mod affinity;
 pub mod barrier;
+pub mod fault;
 pub mod partition;
+pub mod poison;
 pub mod pool;
 pub mod shared;
 pub mod sync;
 
 pub use barrier::SenseBarrier;
+pub use poison::{FaultCause, Poison, PoisonUnwind, ProgressTable, ThreadProgress, WorkerFault};
 pub use pool::ThreadPool;
 pub use shared::SharedSlice;
 pub use sync::{Backoff, BlockFlags};

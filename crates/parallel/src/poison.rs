@@ -1,0 +1,364 @@
+//! Shared fault state for panic isolation and stall detection.
+//!
+//! The point-to-point sweeps (see [`crate::sync`]) replace the global
+//! barrier with per-block epoch flags — exactly the structure where one
+//! panicked or wedged worker leaves every downstream block spinning
+//! forever. This module provides the pieces that make such faults
+//! *detectable and survivable*:
+//!
+//! * [`Poison`] — a cache-line-padded fault word every wait loop polls.
+//!   The first faulting worker publishes its identity here (first writer
+//!   wins); peers observe the word inside [`crate::SenseBarrier::wait`]
+//!   and [`crate::BlockFlags::wait_for`] and unwind instead of spinning.
+//! * [`PoisonUnwind`] — the sentinel panic payload peers unwind with.
+//!   [`crate::ThreadPool`] recognizes it and does not report a secondary
+//!   unwind as a fault of its own.
+//! * [`ProgressTable`] — one padded slot per worker recording the last
+//!   compute unit started and the flag currently waited on; the stall
+//!   watchdog snapshots it to build the diagnostic dump.
+//!
+//! Poison checks live only on wait *slow paths* (a flag already satisfied
+//! or a barrier already released costs nothing extra), which is what keeps
+//! the zero-fault overhead inside the <2% bound `tests/obs_props.rs`
+//! enforces.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel panic payload used by waiters escaping a poisoned wait.
+///
+/// Escapes are raised with `std::panic::resume_unwind` so the global panic
+/// hook stays silent: only the *primary* fault (a real panic, or the
+/// watchdog report) produces output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonUnwind;
+
+/// Why a worker faulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The worker's closure panicked; the payload is the stringified
+    /// panic message.
+    Panic {
+        /// Panic payload rendered to a string (`&str`/`String` payloads
+        /// verbatim, anything else a placeholder).
+        payload: String,
+    },
+    /// A point-to-point wait exceeded its watchdog deadline.
+    Stall {
+        /// Block whose epoch flag never arrived.
+        block: usize,
+        /// Epoch the waiter needed.
+        epoch: u64,
+        /// Milliseconds spent in the yielding regime before giving up.
+        waited_ms: u64,
+        /// Preformatted diagnostic dump (per-thread wait/progress state).
+        dump: String,
+    },
+}
+
+/// One worker's fault, as returned by [`crate::ThreadPool::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Worker id that faulted first.
+    pub thread: usize,
+    /// Color of the last compute unit the worker started, if any.
+    pub color: Option<u32>,
+    /// Block of the last compute unit the worker started (point-to-point
+    /// schedules only).
+    pub block: Option<u32>,
+    /// What happened.
+    pub cause: FaultCause,
+}
+
+/// Renders a caught panic payload for [`FaultCause::Panic`].
+pub fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The poison word lives alone on its cache line: every waiter polls it on
+/// the slow path, and sharing a line with unrelated hot state would turn
+/// each unrelated write into fleet-wide invalidations.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedFlag(AtomicU64);
+
+/// Shared first-fault latch for one [`crate::ThreadPool`].
+///
+/// `state` is `0` while healthy; a faulting worker CASes it to a nonzero
+/// tag (first writer wins) and deposits the full [`WorkerFault`] in
+/// `detail`. Waiters poll `state` with relaxed loads — they only need the
+/// *fact* of the fault, never the detail — and unwind with
+/// [`PoisonUnwind`] when it goes nonzero.
+#[derive(Default)]
+pub struct Poison {
+    state: PaddedFlag,
+    detail: Mutex<Option<WorkerFault>>,
+}
+
+impl std::fmt::Debug for Poison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poison").field("set", &self.is_set()).finish()
+    }
+}
+
+impl Poison {
+    /// A clean poison latch.
+    pub fn new() -> Self {
+        Poison::default()
+    }
+
+    /// `true` once any worker has faulted (relaxed; pair every positive
+    /// answer with an unwind, not with data reads).
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.state.0.load(Ordering::Relaxed) != 0
+    }
+
+    /// Publishes `fault` if no fault is set yet; later callers lose the
+    /// race and their fault is dropped (the first fault is the root cause,
+    /// everything after is fallout).
+    pub fn publish(&self, fault: WorkerFault) {
+        if self.state.0.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+            *self.detail.lock() = Some(fault);
+            // Release the detail before flipping to "readable": takers
+            // gate on state == 2.
+            self.state.0.store(2, Ordering::Release);
+        }
+    }
+
+    /// Takes the fault and resets the latch to clean (called by the pool
+    /// after the parallel region has fully drained — no concurrent
+    /// publishers remain).
+    pub fn take(&self) -> Option<WorkerFault> {
+        if self.state.0.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        // A publisher may have won the CAS but not yet stored the detail;
+        // spin the handful of nanoseconds until state reaches 2.
+        while self.state.0.load(Ordering::Acquire) != 2 {
+            std::hint::spin_loop();
+        }
+        let fault = self.detail.lock().take();
+        self.state.0.store(0, Ordering::Release);
+        fault
+    }
+}
+
+/// Packs `(color, block)` into one word: `0` means "no unit started yet".
+fn pack_site(color: u32, block: Option<u32>) -> u64 {
+    let b = block.map_or(0u64, |b| (b as u64) + 1);
+    (((color as u64) + 1) << 32) | b
+}
+
+fn unpack_site(site: u64) -> Option<(u32, Option<u32>)> {
+    if site == 0 {
+        return None;
+    }
+    let color = ((site >> 32) - 1) as u32;
+    let block = match site & 0xffff_ffff {
+        0 => None,
+        b => Some((b - 1) as u32),
+    };
+    Some((color, block))
+}
+
+const WAIT_TAG: u64 = 1 << 63;
+
+/// Per-worker progress slot. Both words are written relaxed by the owning
+/// worker only; readers (the watchdog dump, the pool's fault report) take
+/// an advisory snapshot — exactness across threads is not required, the
+/// dump is diagnostic.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct ProgressSlot {
+    /// Last compute unit started: [`pack_site`] encoding.
+    site: AtomicU64,
+    /// Current flag wait: `WAIT_TAG | block << 32 | epoch`, or `0`.
+    wait: AtomicU64,
+}
+
+/// Advisory snapshot of one worker's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadProgress {
+    /// `(color, block)` of the last compute unit started.
+    pub site: Option<(u32, Option<u32>)>,
+    /// `(block, epoch)` of the flag wait in progress, if any.
+    pub waiting_on: Option<(usize, u64)>,
+}
+
+/// One progress slot per pool worker, cache-line padded.
+#[derive(Debug)]
+pub struct ProgressTable {
+    slots: Box<[ProgressSlot]>,
+}
+
+impl ProgressTable {
+    /// A table for `nthreads` workers, all idle.
+    pub fn new(nthreads: usize) -> Self {
+        ProgressTable { slots: (0..nthreads).map(|_| ProgressSlot::default()).collect() }
+    }
+
+    /// Number of worker slots.
+    pub fn nthreads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records that worker `t` started the compute unit `(color, block)`.
+    #[inline]
+    pub fn set_site(&self, t: usize, color: u32, block: Option<u32>) {
+        self.slots[t].site.store(pack_site(color, block), Ordering::Relaxed);
+    }
+
+    /// Records that worker `t` entered the slow path of a wait on
+    /// `(block, epoch)`.
+    #[inline]
+    pub fn begin_wait(&self, t: usize, block: usize, epoch: u64) {
+        self.slots[t].wait.store(WAIT_TAG | ((block as u64) << 32) | epoch, Ordering::Relaxed);
+    }
+
+    /// Clears worker `t`'s wait record.
+    #[inline]
+    pub fn end_wait(&self, t: usize) {
+        self.slots[t].wait.store(0, Ordering::Relaxed);
+    }
+
+    /// Advisory snapshot of worker `t`.
+    pub fn snapshot(&self, t: usize) -> ThreadProgress {
+        let site = unpack_site(self.slots[t].site.load(Ordering::Relaxed));
+        let w = self.slots[t].wait.load(Ordering::Relaxed);
+        let waiting_on = if w & WAIT_TAG != 0 {
+            Some((((w & !WAIT_TAG) >> 32) as usize, w & 0xffff_ffff))
+        } else {
+            None
+        };
+        ThreadProgress { site, waiting_on }
+    }
+
+    /// Resets every slot to idle (single-threaded use between runs).
+    pub fn clear(&self) {
+        for s in self.slots.iter() {
+            s.site.store(0, Ordering::Relaxed);
+            s.wait.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the table as the per-thread lines of a stall dump.
+    pub fn dump_lines(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for t in 0..self.nthreads() {
+            let p = self.snapshot(t);
+            let _ = write!(out, "  thread {t}: ");
+            match p.site {
+                Some((c, Some(b))) => {
+                    let _ = write!(out, "last started color {c} block {b}");
+                }
+                Some((c, None)) => {
+                    let _ = write!(out, "last started color {c}");
+                }
+                None => {
+                    let _ = write!(out, "no compute unit started");
+                }
+            }
+            match p.waiting_on {
+                Some((b, e)) => {
+                    let _ = writeln!(out, "; waiting on block {b} epoch {e}");
+                }
+                None => {
+                    let _ = writeln!(out, "; not waiting");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fault_wins_and_take_resets() {
+        let p = Poison::new();
+        assert!(!p.is_set());
+        assert!(p.take().is_none());
+        let f1 = WorkerFault {
+            thread: 1,
+            color: Some(3),
+            block: None,
+            cause: FaultCause::Panic { payload: "boom".into() },
+        };
+        let f2 = WorkerFault {
+            thread: 2,
+            color: None,
+            block: None,
+            cause: FaultCause::Panic { payload: "later".into() },
+        };
+        p.publish(f1.clone());
+        p.publish(f2);
+        assert!(p.is_set());
+        assert_eq!(p.take(), Some(f1));
+        assert!(!p.is_set());
+        assert!(p.take().is_none());
+    }
+
+    #[test]
+    fn progress_roundtrip() {
+        let t = ProgressTable::new(3);
+        assert_eq!(t.nthreads(), 3);
+        assert_eq!(t.snapshot(0), ThreadProgress { site: None, waiting_on: None });
+        t.set_site(0, 4, Some(7));
+        t.set_site(1, 0, None);
+        t.begin_wait(2, 9, 5);
+        assert_eq!(t.snapshot(0).site, Some((4, Some(7))));
+        assert_eq!(t.snapshot(1).site, Some((0, None)));
+        assert_eq!(t.snapshot(2).waiting_on, Some((9, 5)));
+        t.end_wait(2);
+        assert_eq!(t.snapshot(2).waiting_on, None);
+        let dump = t.dump_lines();
+        assert!(dump.contains("thread 0: last started color 4 block 7"));
+        assert!(dump.contains("thread 2: no compute unit started"));
+        t.clear();
+        assert_eq!(t.snapshot(0), ThreadProgress { site: None, waiting_on: None });
+    }
+
+    #[test]
+    fn payload_strings() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(payload_string(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(payload_string(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(payload_string(s.as_ref()), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn concurrent_publish_keeps_exactly_one() {
+        let p = std::sync::Arc::new(Poison::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    p.publish(WorkerFault {
+                        thread: t,
+                        color: None,
+                        block: None,
+                        cause: FaultCause::Panic { payload: format!("t{t}") },
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = p.take().expect("one fault must survive");
+        assert!(got.thread < 8);
+        assert!(!p.is_set());
+    }
+}

@@ -11,6 +11,7 @@
 //! finished, which is what makes the erasure sound.
 
 use crate::barrier::SenseBarrier;
+use crate::poison::{payload_string, FaultCause, Poison, PoisonUnwind, ProgressTable, WorkerFault};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -36,6 +37,12 @@ struct Inner {
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// First-fault latch shared with the barrier and any attached
+    /// [`crate::BlockFlags`]: a panicked or stalled worker publishes here,
+    /// peers observe it inside their waits and unwind.
+    poison: Arc<Poison>,
+    /// Per-worker progress slots feeding the stall diagnostic dump.
+    progress: Arc<ProgressTable>,
 }
 
 /// A pool of persistent worker threads executing SPMD regions.
@@ -69,10 +76,14 @@ impl ThreadPool {
     /// Panics if `nthreads == 0`.
     pub fn with_affinity(nthreads: usize, pin: bool) -> Self {
         assert!(nthreads > 0, "pool needs at least one thread");
+        let poison = Arc::new(Poison::new());
+        let progress = Arc::new(ProgressTable::new(nthreads));
         let inner = Arc::new(Inner {
             state: Mutex::new(State { epoch: 0, job: None, active: 0, shutdown: false }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            poison: Arc::clone(&poison),
+            progress: Arc::clone(&progress),
         });
         let mut handles = Vec::new();
         let pinned = pin && nthreads > 1;
@@ -97,7 +108,7 @@ impl ThreadPool {
             inner,
             handles,
             nthreads,
-            barrier: Arc::new(SenseBarrier::new(nthreads)),
+            barrier: Arc::new(SenseBarrier::with_poison(nthreads, Some(poison))),
             pinned,
         }
     }
@@ -119,18 +130,65 @@ impl ThreadPool {
         &self.barrier
     }
 
+    /// The pool's first-fault latch. Plan builders clone it into
+    /// [`crate::BlockFlags::attach_runtime`] so point-to-point waits
+    /// observe the same poison the barrier does.
+    pub fn poison(&self) -> &Arc<Poison> {
+        &self.inner.poison
+    }
+
+    /// The pool's per-worker progress table (one slot per worker). Kernel
+    /// code records compute-unit starts here; the stall watchdog snapshots
+    /// it for the diagnostic dump.
+    pub fn progress(&self) -> &Arc<ProgressTable> {
+        &self.inner.progress
+    }
+
     /// Executes `f(thread_id)` on every worker and blocks until all return.
     ///
-    /// Calls are serialized: a second `run` waits for the first. Panics in
-    /// workers abort the process (they would otherwise deadlock the
-    /// barrier); panics in the inline single-thread path propagate normally.
+    /// Calls are serialized: a second `run` waits for the first. A worker
+    /// fault (panic, or watchdog stall) is re-raised here as a panic in
+    /// the calling thread; use [`ThreadPool::try_run`] to receive it as a
+    /// value instead.
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(fault) = self.try_run(f) {
+            match fault.cause {
+                FaultCause::Panic { payload } => {
+                    panic!("fbmpk-parallel: worker {} panicked: {payload}", fault.thread)
+                }
+                FaultCause::Stall { block, epoch, waited_ms, dump } => panic!(
+                    "fbmpk-parallel: worker {} stalled {waited_ms} ms on block {block} \
+                     epoch {epoch}\n{dump}",
+                    fault.thread
+                ),
+            }
+        }
+    }
+
+    /// Executes `f(thread_id)` on every worker; returns the first worker
+    /// fault instead of panicking.
+    ///
+    /// Fault recovery contract: when any worker panics or a watchdog
+    /// deadline expires, the fault is published to the pool's poison latch;
+    /// every peer blocked in [`SenseBarrier::wait`] or a runtime-attached
+    /// [`crate::BlockFlags`] wait observes it and unwinds, so the region
+    /// always drains. `try_run` then clears the poison, resets the barrier,
+    /// and returns `Err(fault)` — the pool is immediately reusable. Workers
+    /// wedged in non-waiting code (an infinite loop in `f`) are out of
+    /// scope: nothing can unwind a thread that never checks.
+    pub fn try_run(&self, f: &(dyn Fn(usize) + Sync)) -> Result<(), WorkerFault> {
         if self.nthreads == 1 {
-            f(0);
-            return;
+            self.inner.progress.clear();
+            return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0))) {
+                Ok(()) => match self.inner.poison.take() {
+                    None => Ok(()),
+                    Some(fault) => Err(fault),
+                },
+                Err(payload) => Err(self.inline_fault(payload)),
+            };
         }
         // SAFETY: we erase the lifetime of `f` to store it in the shared
-        // state. `run` does not return until `active == 0`, i.e. every
+        // state. `try_run` does not return until `active == 0`, i.e. every
         // worker has finished calling it, so the reference never dangles.
         let ptr: JobPtr = JobPtr(unsafe {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
@@ -141,6 +199,9 @@ impl ThreadPool {
         while st.active > 0 {
             self.inner.done_cv.wait(&mut st);
         }
+        // No workers are active and we hold the lock: safe to reset the
+        // observation state left by a previous (possibly faulted) run.
+        self.inner.progress.clear();
         st.job = Some(ptr);
         st.active = self.nthreads;
         st.epoch += 1;
@@ -149,9 +210,40 @@ impl ThreadPool {
             self.inner.done_cv.wait(&mut st);
         }
         st.job = None;
+        // Collect any fault and repair the barrier *before* handing the
+        // baton to a concurrent caller, so the next run starts clean.
+        let fault = self.inner.poison.take();
+        if fault.is_some() {
+            self.barrier.reset();
+        }
         // A concurrent caller may be blocked in the serialization wait
         // above; done_cv woke only one waiter, so pass the baton.
         self.inner.done_cv.notify_one();
+        drop(st);
+        match fault {
+            None => Ok(()),
+            Some(fault) => Err(fault),
+        }
+    }
+
+    /// Converts a payload caught on the inline (single-thread) path into a
+    /// [`WorkerFault`]: a [`PoisonUnwind`] sentinel means the detail is in
+    /// the poison latch (watchdog stalls publish before unwinding);
+    /// anything else is the original panic.
+    fn inline_fault(&self, payload: Box<dyn std::any::Any + Send>) -> WorkerFault {
+        let latched = self.inner.poison.take();
+        if payload.downcast_ref::<PoisonUnwind>().is_some() {
+            if let Some(fault) = latched {
+                return fault;
+            }
+        }
+        let site = self.inner.progress.snapshot(0).site;
+        WorkerFault {
+            thread: 0,
+            color: site.map(|(c, _)| c),
+            block: site.and_then(|(_, b)| b),
+            cause: FaultCause::Panic { payload: payload_string(payload.as_ref()) },
+        }
     }
 }
 
@@ -184,14 +276,22 @@ fn worker_loop(inner: &Inner, tid: usize) {
                 inner.work_cv.wait(&mut st);
             }
         };
-        // SAFETY: `run` keeps the closure alive until `active` reaches 0,
-        // which we only signal after the call returns.
+        // SAFETY: `try_run` keeps the closure alive until `active` reaches
+        // 0, which we only signal after the call returns.
         let f = unsafe { &*job.0 };
-        // A panicking worker can never release its barrier slots, so the
-        // only sound recovery is to abort (as documented on `run`).
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))).is_err() {
-            eprintln!("fbmpk-parallel: worker {tid} panicked; aborting");
-            std::process::abort();
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))) {
+            // A PoisonUnwind sentinel is a peer escaping an already-
+            // published fault; anything else is the original panic and
+            // must be published so waiting peers unwind too.
+            if payload.downcast_ref::<PoisonUnwind>().is_none() {
+                let site = inner.progress.snapshot(tid).site;
+                inner.poison.publish(WorkerFault {
+                    thread: tid,
+                    color: site.map(|(c, _)| c),
+                    block: site.and_then(|(_, b)| b),
+                    cause: FaultCause::Panic { payload: payload_string(payload.as_ref()) },
+                });
+            }
         }
         let mut st = inner.state.lock();
         st.active -= 1;
@@ -303,6 +403,91 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_threads_panics() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_pool_reusable() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .try_run(&|tid| {
+                if tid == 2 {
+                    panic!("injected failure");
+                }
+                // Peers block on the poisoned barrier: they must unwind,
+                // not spin forever behind the dead worker.
+                pool.barrier().wait();
+            })
+            .expect_err("the fault must surface");
+        assert_eq!(err.thread, 2);
+        match err.cause {
+            FaultCause::Panic { payload } => assert!(payload.contains("injected failure")),
+            other => panic!("expected a panic fault, got {other:?}"),
+        }
+        // The pool must be immediately reusable, barrier included.
+        for _ in 0..3 {
+            let hits = AtomicUsize::new(0);
+            pool.run(&|_tid| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                pool.barrier().wait();
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+        }
+    }
+
+    #[test]
+    fn panic_without_waiting_peers_still_drains() {
+        // Peers finish without ever waiting: the faulted region must still
+        // drain and report, and clean runs must still succeed after.
+        let pool = ThreadPool::new(3);
+        let err = pool
+            .try_run(&|tid| {
+                if tid == 0 {
+                    panic!("early death");
+                }
+            })
+            .expect_err("fault must surface");
+        assert_eq!(err.thread, 0);
+        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn inline_pool_reports_panic_as_fault() {
+        let pool = ThreadPool::new(1);
+        let err = pool.try_run(&|_| panic!("solo failure")).expect_err("fault must surface");
+        assert_eq!(err.thread, 0);
+        match err.cause {
+            FaultCause::Panic { payload } => assert!(payload.contains("solo failure")),
+            other => panic!("expected a panic fault, got {other:?}"),
+        }
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 panicked")]
+    fn run_repanics_on_worker_fault() {
+        ThreadPool::new(1).run(&|_| panic!("boom"));
+    }
+
+    #[test]
+    fn fault_site_comes_from_progress_table() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .try_run(&|tid| {
+                pool.progress().set_site(tid, 5, Some(tid as u32));
+                if tid == 1 {
+                    panic!("sited failure");
+                }
+                pool.barrier().wait();
+            })
+            .expect_err("fault must surface");
+        assert_eq!(err.thread, 1);
+        assert_eq!(err.color, Some(5));
+        assert_eq!(err.block, Some(1));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   (more threads than cores) degrade to scheduler yields instead of
 //!   burning a full quantum spinning.
 
+use crate::poison::{FaultCause, Poison, PoisonUnwind, ProgressTable, WorkerFault};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Bounded exponential backoff: spin in growing bursts, then yield.
 ///
@@ -70,6 +73,20 @@ impl Backoff {
 #[derive(Debug)]
 struct Slot(AtomicU64);
 
+/// Fault-observation state a [`BlockFlags`] table can carry: the pool's
+/// poison latch (peers unwind instead of spinning behind a dead producer),
+/// the per-thread progress table (feeds the stall dump), and the watchdog
+/// deadline. All checks live on the wait *slow path* only — an
+/// already-satisfied flag still costs exactly one acquire load.
+#[derive(Debug, Clone)]
+pub struct WaitRuntime {
+    poison: Arc<Poison>,
+    progress: Arc<ProgressTable>,
+    /// Milliseconds a wait may sit in the yielding regime before it is
+    /// declared a stall. `0` disables the deadline (poison checks only).
+    deadline_ms: u64,
+}
+
 /// A per-block atomic epoch table.
 ///
 /// Epoch `0` means "not yet produced this kernel invocation"; sweeps mark
@@ -81,12 +98,27 @@ struct Slot(AtomicU64);
 #[derive(Debug)]
 pub struct BlockFlags {
     slots: Box<[Slot]>,
+    runtime: Option<WaitRuntime>,
 }
 
 impl BlockFlags {
     /// A table of `nblocks` flags, all at epoch `0`.
     pub fn new(nblocks: usize) -> Self {
-        BlockFlags { slots: (0..nblocks).map(|_| Slot(AtomicU64::new(0))).collect() }
+        BlockFlags { slots: (0..nblocks).map(|_| Slot(AtomicU64::new(0))).collect(), runtime: None }
+    }
+
+    /// Attaches fault-observation state to every wait on this table: the
+    /// waits poll `poison` (unwinding with [`PoisonUnwind`] when set),
+    /// record themselves in `progress`, and declare a stall after
+    /// `deadline_ms` milliseconds in the yielding regime (`0` disables the
+    /// deadline). Plan builders call this once, before the table is shared.
+    pub fn attach_runtime(
+        &mut self,
+        poison: Arc<Poison>,
+        progress: Arc<ProgressTable>,
+        deadline_ms: u64,
+    ) {
+        self.runtime = Some(WaitRuntime { poison, progress, deadline_ms });
     }
 
     /// Number of blocks tracked.
@@ -140,17 +172,23 @@ impl BlockFlags {
     /// immediately-satisfied waits without clock reads on the fast path.
     #[inline]
     pub fn wait_for_counted(&self, b: usize, epoch: u64) -> u32 {
-        let slot = &self.slots[b].0;
-        if slot.load(Ordering::Acquire) >= epoch {
+        self.wait_for_counted_from(UNTRACKED, b, epoch)
+    }
+
+    /// [`BlockFlags::wait_for_counted`], identifying the waiting worker so
+    /// an attached [`WaitRuntime`] can record the wait in the progress
+    /// table and attribute a stall to the right thread.
+    ///
+    /// With a runtime attached, the slow path polls the poison latch
+    /// (unwinding with [`PoisonUnwind`] when a peer has faulted) and, once
+    /// the deadline expires, publishes a [`FaultCause::Stall`] carrying a
+    /// diagnostic dump and unwinds itself.
+    #[inline]
+    pub fn wait_for_counted_from(&self, t: usize, b: usize, epoch: u64) -> u32 {
+        if self.slots[b].0.load(Ordering::Acquire) >= epoch {
             return 0;
         }
-        let mut backoff = Backoff::new();
-        let mut snoozes = 0u32;
-        while slot.load(Ordering::Acquire) < epoch {
-            backoff.snooze();
-            snoozes = snoozes.saturating_add(1);
-        }
-        snoozes
+        self.wait_slow(t, b, epoch)
     }
 
     /// Blocks until every block in `deps` has reached `epoch`.
@@ -165,13 +203,83 @@ impl BlockFlags {
     /// all dependencies.
     #[inline]
     pub fn wait_all_counted(&self, deps: &[u32], epoch: u64) -> u32 {
+        self.wait_all_counted_from(UNTRACKED, deps, epoch)
+    }
+
+    /// [`BlockFlags::wait_all_counted`] with the waiting worker identified
+    /// (see [`BlockFlags::wait_for_counted_from`]).
+    #[inline]
+    pub fn wait_all_counted_from(&self, t: usize, deps: &[u32], epoch: u64) -> u32 {
         let mut snoozes = 0u32;
         for &d in deps {
-            snoozes = snoozes.saturating_add(self.wait_for_counted(d as usize, epoch));
+            snoozes = snoozes.saturating_add(self.wait_for_counted_from(t, d as usize, epoch));
         }
         snoozes
     }
+
+    /// Contended-wait loop, kept out of the inlined fast path.
+    #[cold]
+    fn wait_slow(&self, t: usize, b: usize, epoch: u64) -> u32 {
+        let slot = &self.slots[b].0;
+        let rt = self.runtime.as_ref();
+        let tracked = rt.is_some_and(|r| t < r.progress.nthreads());
+        if let (true, Some(r)) = (tracked, rt) {
+            r.progress.begin_wait(t, b, epoch);
+        }
+        let mut backoff = Backoff::new();
+        let mut snoozes = 0u32;
+        // The deadline clock starts at the first scheduler yield: waits
+        // that resolve inside the spin budget never read a clock at all.
+        let mut yield_start: Option<Instant> = None;
+        while slot.load(Ordering::Acquire) < epoch {
+            if let Some(r) = rt {
+                if r.poison.is_set() {
+                    std::panic::resume_unwind(Box::new(PoisonUnwind));
+                }
+                if r.deadline_ms > 0 && backoff.is_yielding() {
+                    let start = *yield_start.get_or_insert_with(Instant::now);
+                    let waited_ms = start.elapsed().as_millis() as u64;
+                    if waited_ms >= r.deadline_ms {
+                        self.declare_stall(r, t, b, epoch, waited_ms);
+                    }
+                }
+            }
+            backoff.snooze();
+            snoozes = snoozes.saturating_add(1);
+        }
+        if let (true, Some(r)) = (tracked, rt) {
+            r.progress.end_wait(t);
+        }
+        snoozes
+    }
+
+    /// Publishes a stall fault with a diagnostic dump and unwinds. Never
+    /// returns.
+    fn declare_stall(&self, rt: &WaitRuntime, t: usize, b: usize, epoch: u64, waited_ms: u64) -> ! {
+        use std::fmt::Write;
+        let mut dump = String::new();
+        let _ = writeln!(
+            dump,
+            "fbmpk watchdog: thread {t} waited {waited_ms} ms for block {b} epoch {epoch} \
+             (flag at {})",
+            self.load(b)
+        );
+        dump.push_str(&rt.progress.dump_lines());
+        let site = if t < rt.progress.nthreads() { rt.progress.snapshot(t).site } else { None };
+        rt.poison.publish(WorkerFault {
+            thread: t,
+            color: site.map(|(c, _)| c),
+            block: site.and_then(|(_, bl)| bl),
+            cause: FaultCause::Stall { block: b, epoch, waited_ms, dump },
+        });
+        std::panic::resume_unwind(Box::new(PoisonUnwind));
+    }
 }
+
+/// Thread id passed by the legacy (un-identified) wait entry points; never
+/// a valid progress-table index, so such waits are poison-checked but not
+/// recorded.
+const UNTRACKED: usize = usize::MAX;
 
 #[cfg(test)]
 mod tests {
@@ -227,6 +335,76 @@ mod tests {
         // Release/acquire: the data store must be visible after the wait.
         assert_eq!(data.load(Ordering::Relaxed), 42);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn watchdog_declares_stall_with_dump() {
+        let poison = Arc::new(Poison::new());
+        let progress = Arc::new(ProgressTable::new(2));
+        let mut flags = BlockFlags::new(4);
+        flags.attach_runtime(Arc::clone(&poison), Arc::clone(&progress), 50);
+        progress.set_site(1, 2, Some(3));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flags.wait_for_counted_from(1, 0, 1); // block 0 is never marked
+        }))
+        .expect_err("expired deadline must unwind");
+        assert!(payload.downcast_ref::<PoisonUnwind>().is_some());
+        let fault = poison.take().expect("stall must be published");
+        assert_eq!(fault.thread, 1);
+        assert_eq!(fault.color, Some(2));
+        assert_eq!(fault.block, Some(3));
+        match fault.cause {
+            FaultCause::Stall { block, epoch, waited_ms, dump } => {
+                assert_eq!((block, epoch), (0, 1));
+                assert!(waited_ms >= 50, "deadline fired early: {waited_ms} ms");
+                assert!(dump.contains("thread 1"), "dump: {dump}");
+                assert!(dump.contains("waiting on block 0 epoch 1"), "dump: {dump}");
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_flag_wait_unwinds_without_deadline() {
+        let poison = Arc::new(Poison::new());
+        let progress = Arc::new(ProgressTable::new(1));
+        let mut flags = BlockFlags::new(1);
+        // deadline 0: poison checks only — the wait must still escape.
+        flags.attach_runtime(Arc::clone(&poison), progress, 0);
+        let flags = Arc::new(flags);
+        let f2 = Arc::clone(&flags);
+        let h = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f2.wait_for_counted_from(0, 0, 1);
+            }))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        poison.publish(crate::poison::WorkerFault {
+            thread: 0,
+            color: None,
+            block: None,
+            cause: FaultCause::Panic { payload: "peer".into() },
+        });
+        let payload = h.join().unwrap().expect_err("poison must release the waiter");
+        assert!(payload.downcast_ref::<PoisonUnwind>().is_some());
+    }
+
+    #[test]
+    fn satisfied_wait_ignores_runtime() {
+        let poison = Arc::new(Poison::new());
+        let progress = Arc::new(ProgressTable::new(1));
+        let mut flags = BlockFlags::new(1);
+        flags.attach_runtime(Arc::clone(&poison), Arc::clone(&progress), 1);
+        poison.publish(crate::poison::WorkerFault {
+            thread: 0,
+            color: None,
+            block: None,
+            cause: FaultCause::Panic { payload: "stale".into() },
+        });
+        flags.mark(0, 5);
+        // Fast path: already-satisfied waits never consult poison.
+        assert_eq!(flags.wait_for_counted_from(0, 0, 5), 0);
+        assert_eq!(progress.snapshot(0).waiting_on, None);
     }
 
     #[test]

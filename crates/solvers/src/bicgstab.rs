@@ -4,6 +4,7 @@
 //! that does not require symmetry; BiCGStab is the standard choice and
 //! exercises the engines on general matrices (two SpMVs per iteration).
 
+use crate::SolverError;
 use fbmpk::MpkEngine;
 use fbmpk_sparse::vecops::{axpy, dot, norm2};
 
@@ -22,6 +23,17 @@ pub struct BiCgStabResult {
 
 /// Solves `Ax = b` with BiCGStab from a zero initial guess.
 ///
+/// The recurrence is guarded: a NaN/Inf iterate or an exactly-zero pivot
+/// quantity (`rho`, `omega`, `r0·v`) triggers one restart — the shadow
+/// residual is re-seeded from the current true residual, which is the
+/// standard recovery for the Lanczos-breakdown failure mode — and a second
+/// breakdown is reported as [`SolverError::Breakdown`] naming the quantity.
+///
+/// # Errors
+/// Returns [`SolverError::Breakdown`] when the recurrence breaks down
+/// after the restart attempt, or immediately on non-finite quantities
+/// (those recur deterministically, so a restart cannot help).
+///
 /// # Panics
 /// Panics when `b.len() != engine.n()`.
 pub fn bicgstab<E: MpkEngine + ?Sized>(
@@ -29,70 +41,95 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
     b: &[f64],
     tol: f64,
     max_iters: usize,
-) -> BiCgStabResult {
+) -> Result<BiCgStabResult, SolverError> {
     assert_eq!(b.len(), engine.n());
     let n = b.len();
     let bnorm = norm2(b);
     if bnorm == 0.0 {
-        return BiCgStabResult { x: vec![0.0; n], iters: 0, relres: 0.0, converged: true };
+        return Ok(BiCgStabResult { x: vec![0.0; n], iters: 0, relres: 0.0, converged: true });
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
-    let r0 = r.clone(); // shadow residual
-    let mut p = r.clone();
-    let mut rho = dot(&r0, &r);
-    for it in 1..=max_iters {
-        let v = engine.spmv(&p);
-        let alpha_den = dot(&r0, &v);
-        if alpha_den == 0.0 {
-            return BiCgStabResult {
-                x,
-                iters: it - 1,
-                relres: norm2(&r) / bnorm,
-                converged: false,
-            };
-        }
-        let alpha = rho / alpha_den;
-        // s = r - alpha v
-        let mut s = r.clone();
-        axpy(-alpha, &v, &mut s);
-        if norm2(&s) / bnorm <= tol {
+    let mut it = 0usize;
+    let mut restarts = 0usize;
+    'restart: loop {
+        let r0 = r.clone(); // shadow residual
+        let mut p = r.clone();
+        let mut rho = dot(&r0, &r);
+        while it < max_iters {
+            it += 1;
+            let v = engine.spmv(&p);
+            let alpha_den = dot(&r0, &v);
+            if !alpha_den.is_finite() {
+                return Err(SolverError::Breakdown { iter: it, quantity: "r0·v (alpha)" });
+            }
+            if alpha_den == 0.0 {
+                if restarts == 0 {
+                    restarts += 1;
+                    continue 'restart;
+                }
+                return Err(SolverError::Breakdown { iter: it, quantity: "r0·v (alpha)" });
+            }
+            let alpha = rho / alpha_den;
+            // s = r - alpha v
+            let mut s = r.clone();
+            axpy(-alpha, &v, &mut s);
+            let snorm = norm2(&s);
+            if !snorm.is_finite() {
+                return Err(SolverError::Breakdown { iter: it, quantity: "iterate s" });
+            }
+            if snorm / bnorm <= tol {
+                axpy(alpha, &p, &mut x);
+                return Ok(BiCgStabResult { x, iters: it, relres: snorm / bnorm, converged: true });
+            }
+            let t = engine.spmv(&s);
+            let tt = dot(&t, &t);
+            if !tt.is_finite() {
+                return Err(SolverError::Breakdown { iter: it, quantity: "t·t (omega)" });
+            }
+            if tt == 0.0 {
+                // A s = 0 with s != 0: bank the alpha step, then restart
+                // from the current residual once.
+                axpy(alpha, &p, &mut x);
+                r = s;
+                if restarts == 0 {
+                    restarts += 1;
+                    continue 'restart;
+                }
+                return Err(SolverError::Breakdown { iter: it, quantity: "t·t (omega)" });
+            }
+            let omega = dot(&t, &s) / tt;
+            // x += alpha p + omega s
             axpy(alpha, &p, &mut x);
-            return BiCgStabResult { x, iters: it, relres: norm2(&s) / bnorm, converged: true };
+            axpy(omega, &s, &mut x);
+            // r = s - omega t
+            r = s;
+            axpy(-omega, &t, &mut r);
+            let relres = norm2(&r) / bnorm;
+            if !relres.is_finite() {
+                return Err(SolverError::Breakdown { iter: it, quantity: "residual norm" });
+            }
+            if relres <= tol {
+                return Ok(BiCgStabResult { x, iters: it, relres, converged: true });
+            }
+            let rho_new = dot(&r0, &r);
+            if rho_new == 0.0 || omega == 0.0 {
+                if restarts == 0 {
+                    restarts += 1;
+                    continue 'restart;
+                }
+                let quantity = if rho_new == 0.0 { "rho" } else { "omega" };
+                return Err(SolverError::Breakdown { iter: it, quantity });
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            // p = r + beta (p - omega v)
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            rho = rho_new;
         }
-        let t = engine.spmv(&s);
-        let tt = dot(&t, &t);
-        if tt == 0.0 {
-            return BiCgStabResult {
-                x,
-                iters: it - 1,
-                relres: norm2(&r) / bnorm,
-                converged: false,
-            };
-        }
-        let omega = dot(&t, &s) / tt;
-        // x += alpha p + omega s
-        axpy(alpha, &p, &mut x);
-        axpy(omega, &s, &mut x);
-        // r = s - omega t
-        r = s;
-        axpy(-omega, &t, &mut r);
-        let relres = norm2(&r) / bnorm;
-        if relres <= tol {
-            return BiCgStabResult { x, iters: it, relres, converged: true };
-        }
-        let rho_new = dot(&r0, &r);
-        if rho_new == 0.0 || omega == 0.0 {
-            return BiCgStabResult { x, iters: it, relres, converged: false };
-        }
-        let beta = (rho_new / rho) * (alpha / omega);
-        // p = r + beta (p - omega v)
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
-        }
-        rho = rho_new;
+        return Ok(BiCgStabResult { x, iters: max_iters, relres: norm2(&r) / bnorm, converged: false });
     }
-    BiCgStabResult { x, iters: max_iters, relres: norm2(&r) / bnorm, converged: false }
 }
 
 #[cfg(test)]
@@ -124,7 +161,7 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
         let b = spmv_alloc(&shifted, &x_true);
         let e = StandardMpk::new(&shifted, 1).unwrap();
-        let sol = bicgstab(&e, &b, 1e-11, 2000);
+        let sol = bicgstab(&e, &b, 1e-11, 2000).unwrap();
         assert!(sol.converged, "relres {}", sol.relres);
         assert!(rel_err_inf(&sol.x, &x_true) < 1e-8);
     }
@@ -135,8 +172,8 @@ mod tests {
         let b: Vec<f64> = (0..81).map(|i| ((i % 4) as f64) - 1.5).collect();
         let e1 = StandardMpk::new(&a, 1).unwrap();
         let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
-        let s1 = bicgstab(&e1, &b, 1e-10, 2000);
-        let s2 = bicgstab(&e2, &b, 1e-10, 2000);
+        let s1 = bicgstab(&e1, &b, 1e-10, 2000).unwrap();
+        let s2 = bicgstab(&e2, &b, 1e-10, 2000).unwrap();
         assert!(s1.converged && s2.converged);
         assert_eq!(s1.iters, s2.iters);
         assert!(rel_err_inf(&s1.x, &s2.x) < 1e-9);
@@ -146,7 +183,7 @@ mod tests {
     fn zero_rhs_trivial() {
         let a = fbmpk_sparse::Csr::identity(5);
         let e = StandardMpk::new(&a, 1).unwrap();
-        let sol = bicgstab(&e, &[0.0; 5], 1e-12, 10);
+        let sol = bicgstab(&e, &[0.0; 5], 1e-12, 10).unwrap();
         assert!(sol.converged);
         assert_eq!(sol.iters, 0);
     }
@@ -156,9 +193,35 @@ mod tests {
         let a = fbmpk_sparse::Csr::identity(6);
         let e = StandardMpk::new(&a, 1).unwrap();
         let b = vec![2.0; 6];
-        let sol = bicgstab(&e, &b, 1e-12, 10);
+        let sol = bicgstab(&e, &b, 1e-12, 10).unwrap();
         assert!(sol.converged);
         assert!(sol.iters <= 1);
         assert!(rel_err_inf(&sol.x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn persistent_breakdown_is_typed_after_one_restart() {
+        // Rotation matrix: r0·(A r0) = 0 for r0 = e1, and the restart
+        // re-seeds to the same residual, so the breakdown recurs.
+        let a = fbmpk_sparse::Csr::from_dense(&[&[0.0, 1.0], &[-1.0, 0.0]]);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        match bicgstab(&e, &[1.0, 0.0], 1e-12, 10) {
+            Err(SolverError::Breakdown { iter, quantity }) => {
+                assert_eq!(iter, 2, "one restart attempt before the error");
+                assert!(quantity.contains("alpha"), "{quantity}");
+            }
+            other => panic!("expected Breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_to_non_finite_is_typed() {
+        // Entries near f64::MAX overflow the very first inner products.
+        let a = fbmpk_sparse::Csr::from_dense(&[&[1e308, 0.0], &[0.0, 1e308]]);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        match bicgstab(&e, &[1e308, 1e308], 1e-12, 10) {
+            Err(SolverError::Breakdown { iter: 1, .. }) => {}
+            other => panic!("expected Breakdown at iter 1, got {other:?}"),
+        }
     }
 }

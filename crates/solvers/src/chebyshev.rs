@@ -7,6 +7,7 @@
 //! directly. The semi-iteration solves SPD systems with one SpMV per step
 //! given spectral bounds.
 
+use crate::SolverError;
 use fbmpk::MpkEngine;
 use fbmpk_sparse::vecops::{axpby, axpy, norm2};
 use fbmpk_sparse::Csr;
@@ -112,6 +113,11 @@ pub struct ChebyshevSolve {
 /// 12.1). One SpMV and no inner products per step — the textbook
 /// communication-avoiding smoother.
 ///
+/// # Errors
+/// Returns [`SolverError::Breakdown`] when the residual norm goes
+/// non-finite — the fixed coefficient recurrence has no way to recover
+/// from a NaN/Inf iterate (bad spectral bounds or a NaN in `A`/`b`).
+///
 /// # Panics
 /// Panics when `lo <= 0`, `hi <= lo`, or `b` has the wrong length.
 pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
@@ -121,7 +127,7 @@ pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
     hi: f64,
     tol: f64,
     max_iters: usize,
-) -> ChebyshevSolve {
+) -> Result<ChebyshevSolve, SolverError> {
     assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
     assert_eq!(b.len(), engine.n());
     let n = b.len();
@@ -141,8 +147,11 @@ pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
         // r -= A d
         axpy(-1.0, &ad, &mut r);
         relres = norm2(&r) / bnorm;
+        if !relres.is_finite() {
+            return Err(SolverError::Breakdown { iter: it, quantity: "residual norm" });
+        }
         if relres <= tol {
-            return ChebyshevSolve { x, iters: it, relres, converged: true };
+            return Ok(ChebyshevSolve { x, iters: it, relres, converged: true });
         }
         let rho_next = 1.0 / (2.0 * sigma1 - rho);
         // d = rho_next * rho * d + (2 rho_next / delta) * r
@@ -151,7 +160,7 @@ pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
         axpby(c2, &r, c1, &mut dvec);
         rho = rho_next;
     }
-    ChebyshevSolve { x, iters: max_iters, relres, converged: relres <= tol }
+    Ok(ChebyshevSolve { x, iters: max_iters, relres, converged: relres <= tol })
 }
 
 #[cfg(test)]
@@ -249,7 +258,7 @@ mod tests {
         let b = spmv_alloc(&a, &x_true);
         // 2D Laplacian bounds: (0, 8); use a positive lower bound.
         let e = StandardMpk::new(&a, 1).unwrap();
-        let sol = chebyshev_solve(&e, &b, 0.1, 8.0, 1e-10, 2000);
+        let sol = chebyshev_solve(&e, &b, 0.1, 8.0, 1e-10, 2000).unwrap();
         assert!(sol.converged, "relres {}", sol.relres);
         for (u, v) in sol.x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-7);
@@ -261,8 +270,8 @@ mod tests {
         let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
         let b = vec![1.0; a.nrows()];
         let e = StandardMpk::new(&a, 1).unwrap();
-        let loose = chebyshev_solve(&e, &b, 0.01, 8.0, 1e-8, 5000);
-        let tight = chebyshev_solve(&e, &b, 0.1, 7.7, 1e-8, 5000);
+        let loose = chebyshev_solve(&e, &b, 0.01, 8.0, 1e-8, 5000).unwrap();
+        let tight = chebyshev_solve(&e, &b, 0.1, 7.7, 1e-8, 5000).unwrap();
         assert!(tight.iters < loose.iters, "tight {} loose {}", tight.iters, loose.iters);
     }
 
@@ -271,6 +280,16 @@ mod tests {
     fn nonpositive_lower_bound_rejected() {
         let a = Csr::identity(2);
         let e = StandardMpk::new(&a, 1).unwrap();
-        chebyshev_solve(&e, &[1.0, 1.0], 0.0, 2.0, 1e-8, 10);
+        let _ = chebyshev_solve(&e, &[1.0, 1.0], 0.0, 2.0, 1e-8, 10);
+    }
+
+    #[test]
+    fn nan_rhs_is_typed_breakdown() {
+        let a = Csr::identity(2);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        match chebyshev_solve(&e, &[f64::NAN, 1.0], 0.5, 2.0, 1e-8, 10) {
+            Err(SolverError::Breakdown { iter: 1, quantity: "residual norm" }) => {}
+            other => panic!("expected breakdown at iter 1, got {other:?}"),
+        }
     }
 }

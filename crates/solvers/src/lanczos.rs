@@ -6,6 +6,7 @@
 //! matrix's eigenvalues (Ritz values) approximate extremal eigenvalues of
 //! `A`. Full reorthogonalization keeps small runs accurate.
 
+use crate::SolverError;
 use fbmpk::MpkEngine;
 use fbmpk_sparse::vecops::{axpy, dot, norm2, scale};
 
@@ -25,9 +26,23 @@ pub struct LanczosResult {
 /// Runs `m` Lanczos steps with full reorthogonalization from start vector
 /// `v0`.
 ///
+/// An exact invariant subspace (tiny `beta`) is a *benign* early exit and
+/// is reported through the `breakdown` flag, not an error: the Ritz values
+/// computed so far are exact. A NaN/Inf recurrence coefficient, by
+/// contrast, poisons every later step and is reported as
+/// [`SolverError::Breakdown`].
+///
+/// # Errors
+/// Returns [`SolverError::Breakdown`] when `alpha` or `beta` goes
+/// non-finite (NaN/Inf in the operator or an overflowing iterate).
+///
 /// # Panics
 /// Panics when `v0` is zero, the wrong length, or `m == 0`.
-pub fn lanczos<E: MpkEngine + ?Sized>(engine: &E, v0: &[f64], m: usize) -> LanczosResult {
+pub fn lanczos<E: MpkEngine + ?Sized>(
+    engine: &E,
+    v0: &[f64],
+    m: usize,
+) -> Result<LanczosResult, SolverError> {
     assert!(m >= 1);
     assert_eq!(v0.len(), engine.n());
     let nrm = norm2(v0);
@@ -40,6 +55,9 @@ pub fn lanczos<E: MpkEngine + ?Sized>(engine: &E, v0: &[f64], m: usize) -> Lancz
     for j in 0..m {
         let mut w = engine.spmv(&basis[j]);
         let a = dot(&w, &basis[j]);
+        if !a.is_finite() {
+            return Err(SolverError::Breakdown { iter: j + 1, quantity: "alpha" });
+        }
         alpha.push(a);
         axpy(-a, &basis[j], &mut w);
         if j > 0 {
@@ -57,17 +75,20 @@ pub fn lanczos<E: MpkEngine + ?Sized>(engine: &E, v0: &[f64], m: usize) -> Lancz
             break;
         }
         let b = norm2(&w);
+        if !b.is_finite() {
+            return Err(SolverError::Breakdown { iter: j + 1, quantity: "beta" });
+        }
         // Scale-relative breakdown test: an absolute 1e-13 cutoff would
         // falsely trigger on small-magnitude operators (e.g. 1e-12 * A).
         let scl = a.abs().max(if j > 0 { beta[j - 1] } else { 0.0 }).max(f64::MIN_POSITIVE);
         if b < 1e-12 * scl {
-            return LanczosResult { alpha, beta, basis, breakdown: true };
+            return Ok(LanczosResult { alpha, beta, basis, breakdown: true });
         }
         beta.push(b);
         scale(1.0 / b, &mut w);
         basis.push(w);
     }
-    LanczosResult { alpha, beta, basis, breakdown: false }
+    Ok(LanczosResult { alpha, beta, basis, breakdown: false })
 }
 
 /// Eigenvalues of the symmetric tridiagonal `(alpha, beta)` matrix via
@@ -145,7 +166,7 @@ mod tests {
         let n = a.nrows();
         let v0: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
         let e = StandardMpk::new(&a, 1).unwrap();
-        let r = lanczos(&e, &v0, 12);
+        let r = lanczos(&e, &v0, 12).unwrap();
         assert!(!r.breakdown);
         for i in 0..r.basis.len() {
             for j in 0..=i {
@@ -153,6 +174,19 @@ mod tests {
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((d - want).abs() < 1e-10, "({i},{j}) = {d}");
             }
+        }
+    }
+
+    #[test]
+    fn overflowing_operator_is_typed_breakdown() {
+        // Finite entries near f64::MAX: the first alpha inner product
+        // overflows to infinity (matrix validation passes, the recurrence
+        // cannot).
+        let a = Csr::from_dense(&[&[1e308, 1e308], &[1e308, 1e308]]);
+        let e = StandardMpk::new(&a, 1).unwrap();
+        match lanczos(&e, &[1.0, 1.0], 4) {
+            Err(SolverError::Breakdown { iter: 1, quantity: "alpha" }) => {}
+            other => panic!("expected alpha breakdown at iter 1, got {other:?}"),
         }
     }
 
@@ -174,7 +208,7 @@ mod tests {
         let n = a.nrows();
         let v0: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
         let e = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
-        let r = lanczos(&e, &v0, 30);
+        let r = lanczos(&e, &v0, 30).unwrap();
         let ritz = tridiag_eigenvalues(&r.alpha, &r.beta);
         // Extremal Ritz values converge first.
         let lam_max = exact.last().unwrap();
@@ -192,7 +226,7 @@ mod tests {
         // Start vector = eigenvector of a diagonal matrix: 1-step breakdown.
         let a = Csr::from_dense(&[&[2.0, 0.0], &[0.0, 5.0]]);
         let e = StandardMpk::new(&a, 1).unwrap();
-        let r = lanczos(&e, &[1.0, 0.0], 2);
+        let r = lanczos(&e, &[1.0, 0.0], 2).unwrap();
         assert!(r.breakdown);
         assert_eq!(r.alpha.len(), 1);
         assert!((r.alpha[0] - 2.0).abs() < 1e-14);
@@ -204,8 +238,8 @@ mod tests {
         let v0 = vec![1.0; 36];
         let e1 = StandardMpk::new(&a, 1).unwrap();
         let e2 = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
-        let r1 = lanczos(&e1, &v0, 10);
-        let r2 = lanczos(&e2, &v0, 10);
+        let r1 = lanczos(&e1, &v0, 10).unwrap();
+        let r2 = lanczos(&e2, &v0, 10).unwrap();
         for (x, y) in r1.alpha.iter().zip(&r2.alpha) {
             assert!((x - y).abs() < 1e-10);
         }

@@ -31,6 +31,37 @@ pub mod sstep;
 pub mod stationary;
 pub mod util;
 
+/// Errors produced by the iterative solvers.
+///
+/// A *breakdown* is a recurrence quantity that went non-finite (NaN/Inf
+/// iterate) or exactly zero where the method divides by it (`rho`, `omega`,
+/// `beta`). The solvers detect these instead of silently iterating on
+/// garbage; BiCGStab additionally attempts one restart (re-seeding the
+/// shadow residual) before reporting the breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The recurrence hit an unrecoverable quantity at iteration `iter`
+    /// (1-based). `quantity` names what broke down.
+    Breakdown {
+        /// Iteration (1-based) at which the breakdown was detected.
+        iter: usize,
+        /// Human-readable name of the offending quantity.
+        quantity: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Breakdown { iter, quantity } => {
+                write!(f, "solver breakdown at iteration {iter}: {quantity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 pub use bicgstab::bicgstab;
 pub use chebyshev::{chebyshev_filter, chebyshev_solve, gershgorin_bounds};
 pub use gmres::gmres;

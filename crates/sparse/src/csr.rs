@@ -133,7 +133,7 @@ impl Csr {
                 return Err(SparseError::BadRowPtr(format!("row {r} has negative extent")));
             }
             let mut prev: Option<u32> = None;
-            for &c in &self.col_idx[s..e] {
+            for (&c, &v) in self.col_idx[s..e].iter().zip(&self.values[s..e]) {
                 if c as usize >= self.ncols {
                     return Err(SparseError::BadColumnIndex(format!(
                         "row {r} references column {c} >= {}",
@@ -146,6 +146,9 @@ impl Csr {
                             "row {r} columns not strictly increasing ({p} then {c})"
                         )));
                     }
+                }
+                if !v.is_finite() {
+                    return Err(SparseError::NonFiniteValue { row: r, col: c as usize });
                 }
                 prev = Some(c);
             }
@@ -413,6 +416,14 @@ mod tests {
         assert!(matches!(e, Err(SparseError::BadRowPtr(_))));
         let e = Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
         assert!(matches!(e, Err(SparseError::BadRowPtr(_))));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_values() {
+        let e = Csr::from_raw_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, f64::NAN]);
+        assert!(matches!(e, Err(SparseError::NonFiniteValue { row: 0, col: 1 })));
+        let e = Csr::from_raw_parts(1, 1, vec![0, 1], vec![0], vec![f64::INFINITY]);
+        assert!(matches!(e, Err(SparseError::NonFiniteValue { row: 0, col: 0 })));
     }
 
     #[test]

@@ -23,66 +23,79 @@ pub enum MmSymmetry {
 /// how SpMV benchmarks consume SuiteSparse matrices. `pattern` matrices get
 /// value `1.0` per entry.
 ///
+/// The reader treats the stream as untrusted input: every malformed line —
+/// bad header, unparsable size line, short or non-numeric entries, 0-based
+/// or out-of-range indices, duplicate coordinates, non-finite values, or a
+/// truncated file — is reported as a typed error carrying the 1-based line
+/// number where parsing failed.
+///
 /// # Errors
-/// Returns [`SparseError::Parse`] on malformed input and [`SparseError::Io`]
-/// on read failures.
+/// Returns [`SparseError::ParseAt`] (with the offending line number) on
+/// malformed lines, [`SparseError::Parse`] on stream-level problems (empty
+/// stream, entry-count mismatch against the size line), and
+/// [`SparseError::Io`] on read failures.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
-    let mut lines = reader.lines();
-    let header = loop {
+    let at = |line: usize, msg: String| SparseError::ParseAt { line, msg };
+    let mut lines = reader.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (header_no, header) = loop {
         match lines.next() {
-            Some(Ok(l)) => {
+            Some((no, Ok(l))) => {
                 if !l.trim().is_empty() {
-                    break l;
+                    break (no, l);
                 }
             }
-            Some(Err(e)) => return Err(SparseError::Io(e.to_string())),
+            Some((_, Err(e))) => return Err(SparseError::Io(e.to_string())),
             None => return Err(SparseError::Parse("empty stream".into())),
         }
     };
     let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
-        return Err(SparseError::Parse(format!("bad header: {header}")));
+        return Err(at(header_no, format!("bad header: {header}")));
     }
     if h[2] != "coordinate" {
-        return Err(SparseError::Parse(format!("unsupported format {}, only coordinate", h[2])));
+        return Err(at(header_no, format!("unsupported format {}, only coordinate", h[2])));
     }
     let field = h[3].as_str();
     if !matches!(field, "real" | "integer" | "pattern") {
-        return Err(SparseError::Parse(format!("unsupported field type {field}")));
+        return Err(at(header_no, format!("unsupported field type {field}")));
     }
     let sym = match h[4].as_str() {
         "general" => MmSymmetry::General,
         "symmetric" => MmSymmetry::Symmetric,
-        other => return Err(SparseError::Parse(format!("unsupported symmetry {other}"))),
+        other => return Err(at(header_no, format!("unsupported symmetry {other}"))),
     };
 
     // Size line: first non-comment, non-empty line.
-    let size_line = loop {
+    let (size_no, size_line) = loop {
         match lines.next() {
-            Some(Ok(l)) => {
+            Some((no, Ok(l))) => {
                 let t = l.trim();
                 if !t.is_empty() && !t.starts_with('%') {
-                    break l;
+                    break (no, l);
                 }
             }
-            Some(Err(e)) => return Err(SparseError::Io(e.to_string())),
+            Some((_, Err(e))) => return Err(SparseError::Io(e.to_string())),
             None => return Err(SparseError::Parse("missing size line".into())),
         }
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size line: {size_line}"))))
+        .map(|t| t.parse().map_err(|_| at(size_no, format!("bad size line: {size_line}"))))
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
-        return Err(SparseError::Parse(format!("size line needs 3 fields: {size_line}")));
+        return Err(at(size_no, format!("size line needs 3 fields: {size_line}")));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
     // Trusting the header nnz for the reservation would let a malformed
     // file request absurd allocations; clamp and let Coo grow as needed.
     let cap = if sym == MmSymmetry::Symmetric { nnz.saturating_mul(2) } else { nnz };
     let mut coo = Coo::with_capacity(nrows, ncols, cap.min(1 << 24));
+    // Duplicate coordinates in a coordinate file are ambiguous (some
+    // tools sum them, some take the last); reject them outright with the
+    // offending line rather than guess. Capacity is clamped like `coo`'s.
+    let mut seen_coords = std::collections::HashSet::with_capacity(nnz.min(1 << 24));
     let mut seen = 0usize;
-    for line in lines {
+    for (no, line) in lines {
         let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
@@ -92,22 +105,34 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
         let r: usize = it
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse(format!("bad entry: {t}")))?;
+            .ok_or_else(|| at(no, format!("bad row index in entry: {t}")))?;
         let c: usize = it
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse(format!("bad entry: {t}")))?;
+            .ok_or_else(|| at(no, format!("bad column index in entry: {t}")))?;
         let v: f64 = if field == "pattern" {
             1.0
         } else {
             it.next()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| SparseError::Parse(format!("bad entry value: {t}")))?
+                .ok_or_else(|| at(no, format!("bad entry value: {t}")))?
         };
         if r == 0 || c == 0 {
-            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+            return Err(at(no, "matrix market indices are 1-based".into()));
         }
         let (r, c) = (r - 1, c - 1);
+        if r >= nrows || c >= ncols {
+            return Err(at(
+                no,
+                format!("entry ({}, {}) outside {nrows}x{ncols} matrix", r + 1, c + 1),
+            ));
+        }
+        if !v.is_finite() {
+            return Err(at(no, format!("non-finite value {v} at entry ({}, {})", r + 1, c + 1)));
+        }
+        if !seen_coords.insert((r, c)) {
+            return Err(at(no, format!("duplicate entry ({}, {})", r + 1, c + 1)));
+        }
         match sym {
             MmSymmetry::General => coo.push(r, c, v)?,
             MmSymmetry::Symmetric => coo.push_sym(r, c, v)?,
@@ -115,7 +140,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(SparseError::Parse(format!("expected {nnz} entries, found {seen}")));
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {seen} (truncated or padded stream)"
+        )));
     }
     Ok(coo.to_csr())
 }
@@ -196,6 +223,69 @@ mod tests {
         assert!(read_matrix_market(zero_based.as_bytes()).is_err());
         let array = "%%MatrixMarket matrix array real general\n2 2\n";
         assert!(read_matrix_market(array.as_bytes()).is_err());
+    }
+
+    fn parse_line_of(src: &str) -> usize {
+        match read_matrix_market(src.as_bytes()) {
+            Err(SparseError::ParseAt { line, .. }) => line,
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_reports_its_line() {
+        assert_eq!(parse_line_of("nonsense\n1 1 0\n"), 1);
+        // Leading blank lines still count toward the physical line number.
+        assert_eq!(parse_line_of("\n\nnonsense\n1 1 0\n"), 3);
+        assert_eq!(parse_line_of("%%MatrixMarket matrix array real general\n2 2\n"), 1);
+        assert_eq!(parse_line_of("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"), 1);
+        assert_eq!(parse_line_of("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"), 1);
+    }
+
+    #[test]
+    fn bad_size_line_reports_its_line() {
+        let src = "%%MatrixMarket matrix coordinate real general\n% note\nnot numbers\n";
+        assert_eq!(parse_line_of(src), 3);
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert_eq!(parse_line_of(short), 2);
+    }
+
+    #[test]
+    fn bad_entries_report_their_line() {
+        let head = "%%MatrixMarket matrix coordinate real general\n3 3 2\n";
+        // Non-numeric row index.
+        assert_eq!(parse_line_of(&format!("{head}1 1 1.0\nx 2 1.0\n")), 4);
+        // Missing value field.
+        assert_eq!(parse_line_of(&format!("{head}1 1 1.0\n2 2\n")), 4);
+        // Non-numeric value.
+        assert_eq!(parse_line_of(&format!("{head}1 1 one\n2 2 1.0\n")), 3);
+        // 0-based index.
+        assert_eq!(parse_line_of(&format!("{head}0 1 1.0\n2 2 1.0\n")), 3);
+        // Comment lines between entries still count physically.
+        assert_eq!(parse_line_of(&format!("{head}1 1 1.0\n% pad\nx 2 1.0\n")), 5);
+    }
+
+    #[test]
+    fn out_of_range_duplicate_and_nonfinite_entries_rejected() {
+        let head = "%%MatrixMarket matrix coordinate real general\n2 2 2\n";
+        assert_eq!(parse_line_of(&format!("{head}1 1 1.0\n3 1 1.0\n")), 4);
+        assert_eq!(parse_line_of(&format!("{head}1 1 1.0\n1 3 1.0\n")), 4);
+        assert_eq!(parse_line_of(&format!("{head}1 2 1.0\n1 2 2.0\n")), 4);
+        assert_eq!(parse_line_of(&format!("{head}1 1 nan\n1 2 1.0\n")), 3);
+        assert_eq!(parse_line_of(&format!("{head}1 1 inf\n1 2 1.0\n")), 3);
+    }
+
+    #[test]
+    fn truncated_stream_is_typed() {
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        match read_matrix_market(short.as_bytes()) {
+            Err(SparseError::Parse(m)) => assert!(m.contains("expected 2 entries"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        match read_matrix_market("".as_bytes()) {
+            Err(SparseError::Parse(m)) => assert!(m.contains("empty"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

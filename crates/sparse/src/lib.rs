@@ -58,6 +58,11 @@ pub enum SparseError {
     BadPermutation(String),
     /// A Matrix Market stream could not be parsed.
     Parse(String),
+    /// A Matrix Market stream had a malformed line (`line` is 1-based,
+    /// counting every physical line including comments).
+    ParseAt { line: usize, msg: String },
+    /// A stored value was NaN or infinite where a finite one is required.
+    NonFiniteValue { row: usize, col: usize },
     /// An I/O error occurred (message only, to keep the error `Clone`).
     Io(String),
 }
@@ -74,6 +79,10 @@ impl std::fmt::Display for SparseError {
             SparseError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
             SparseError::BadPermutation(m) => write!(f, "invalid permutation: {m}"),
             SparseError::Parse(m) => write!(f, "parse error: {m}"),
+            SparseError::ParseAt { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
             SparseError::Io(m) => write!(f, "io error: {m}"),
         }
     }

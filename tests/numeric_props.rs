@@ -128,7 +128,7 @@ proptest! {
         let b = spmv_alloc(&a, &x_true);
         prop_assume!(norm2(&b) > 1e-8);
         let e = FbmpkPlan::new(&a, FbmpkOptions::default()).unwrap();
-        let bi = bicgstab(&e, &b, 1e-12, 100 * n);
+        let bi = bicgstab(&e, &b, 1e-12, 100 * n).unwrap();
         let gm = gmres(&e, &b, 25, 1e-12, 100 * n);
         prop_assert!(bi.converged && gm.converged, "bi {} gm {}", bi.relres, gm.relres);
         prop_assert!(rel_err_inf(&bi.x, &x_true) < 1e-6);

@@ -63,6 +63,7 @@ fn spec(matrix: &str, kernel: &str) -> RunSpec {
         wait_frac: Some(0.05),
         ipc: Some(1.7),
         modeled_matrix_bytes: Some(500_000_000),
+        fallbacks: None,
     }
 }
 

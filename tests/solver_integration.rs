@@ -49,7 +49,7 @@ fn chebyshev_solver_on_fbmpk_solves_spd_suite_matrix() {
     let (lo, hi) = gershgorin_bounds(&a);
     assert!(lo > 0.0, "suite generators are strictly diagonally dominant");
     let e = parallel_plan(&a);
-    let sol = chebyshev_solve(&e, &b, lo, hi, 1e-10, 20_000);
+    let sol = chebyshev_solve(&e, &b, lo, hi, 1e-10, 20_000).unwrap();
     assert!(sol.converged, "relres {}", sol.relres);
     assert!(rel_err_inf(&sol.x, &x_true) < 1e-6);
 }
@@ -60,7 +60,7 @@ fn cg_and_chebyshev_agree() {
     let b: Vec<f64> = (0..144).map(|i| ((i % 5) as f64) - 2.0).collect();
     let e = parallel_plan(&a);
     let cg = conjugate_gradient(&e, &b, 1e-11, 5000);
-    let ch = chebyshev_solve(&e, &b, 0.05, 8.0, 1e-11, 50_000);
+    let ch = chebyshev_solve(&e, &b, 0.05, 8.0, 1e-11, 50_000).unwrap();
     assert!(cg.converged && ch.converged);
     assert!(rel_err_inf(&cg.x, &ch.x) < 1e-7);
 }
