@@ -1,0 +1,96 @@
+//! Scalar vs unrolled vs SIMD kernel micro-benches (DESIGN.md §12).
+//!
+//! Three groups, one per storage/stream shape the lane kernels cover:
+//!
+//! * `simd_spmv` — plain CSR row dots (scalar, 4-way unrolled, dispatched
+//!   lanes) on a suite matrix,
+//! * `simd_btb` — the FB-sweep dual-stream dot over an interleaved
+//!   `xy[2n]` vector, scalar fallback vs dispatched,
+//! * `simd_sell` — SELL-C-σ chunk MAC, scalar fallback vs dispatched.
+//!
+//! Run with and without `--features simd` to compare the fallback against
+//! the vector paths; on hosts without AVX2/NEON the dispatched rows
+//! measure the (bit-identical) scalar lanes, so the comparison is a no-op
+//! rather than a lie.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbmpk_bench::runner::start_vector;
+use fbmpk_bench::BenchConfig;
+use fbmpk_sparse::sellcs::SellCs;
+use fbmpk_sparse::simd;
+use fbmpk_sparse::spmv::{spmv_rows, spmv_rows_unrolled4};
+
+fn suite_matrix() -> fbmpk_sparse::Csr {
+    let cfg = BenchConfig::smoke();
+    fbmpk_gen::suite::suite_entry("pwtk").unwrap().generate(cfg.scale, cfg.seed)
+}
+
+fn bench_spmv_variants(c: &mut Criterion) {
+    let a = suite_matrix();
+    let n = a.nrows();
+    let x = start_vector(n);
+    let mut y = vec![0.0; n];
+    let mut group = c.benchmark_group("simd_spmv");
+    group.sample_size(20);
+    group.bench_function("scalar", |b| b.iter(|| spmv_rows(&a, &x, &mut y, 0, n)));
+    group.bench_function("unrolled4", |b| b.iter(|| spmv_rows_unrolled4(&a, &x, &mut y, 0, n)));
+    group.bench_function(simd::detect().tag(), |b| {
+        b.iter(|| simd::spmv_rows_simd(&a, &x, &mut y, 0, n))
+    });
+    group.finish();
+}
+
+fn bench_btb_dual_dot(c: &mut Criterion) {
+    let a = suite_matrix();
+    let n = a.nrows();
+    let xy: Vec<f64> = (0..2 * n).map(|i| 1.0 + 0.001 * (i % 97) as f64).collect();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    let mut group = c.benchmark_group("simd_btb");
+    group.sample_size(20);
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..n {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                let (e, o) =
+                    simd::btb_dual_dot_scalar(&col_idx[lo..hi], &values[lo..hi], &xy, 0.0, 0.0);
+                acc += e + o;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function(simd::detect().tag(), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..n {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                let (e, o) = simd::btb_dual_dot(&col_idx[lo..hi], &values[lo..hi], &xy, 0.0, 0.0);
+                acc += e + o;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sell_mac(c: &mut Criterion) {
+    let a = suite_matrix();
+    let n = a.nrows();
+    let s = SellCs::from_csr(&a, 8, 64);
+    let x = start_vector(n);
+    let mut y = vec![0.0; n];
+    let mut group = c.benchmark_group("simd_sell");
+    group.sample_size(20);
+    // SellCs::spmv dispatches internally; the scalar row is the whole-CSR
+    // scalar loop as the format-free baseline.
+    group.bench_function("csr-scalar", |b| b.iter(|| spmv_rows(&a, &x, &mut y, 0, n)));
+    group.bench_function(format!("sell-{}", simd::detect().tag()), |b| {
+        b.iter(|| s.spmv(&x, &mut y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv_variants, bench_btb_dual_dot, bench_sell_mac);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
 //!             fig10 | table3 | table4 | fig11 | fig12 | model |
-//!             ablation_blocks | tune | sync | profile
+//!             ablation_blocks | tune | sync | profile | blocking
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under `--out`
@@ -14,7 +14,8 @@
 //! fractions, hardware counters) and `profile_trace.json`, a
 //! chrome://tracing / Perfetto-loadable per-thread timeline.
 //!
-//! Timing experiments (`fig7`, `sync`, `tune`, `profile`) additionally
+//! Timing experiments (`fig7`, `sync`, `tune`, `profile`, `blocking`)
+//! additionally
 //! append one JSONL record per measured configuration to the perf
 //! database (`--db`, default `perf/runs.jsonl` or `FBMPK_PERFDB`), each
 //! carrying the platform fingerprint, git revision, raw samples, robust
@@ -106,7 +107,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync|profile] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
+                     \x20      [ablation_blocks|tune|sync|profile|blocking] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
                      \x20      [--db FILE] [--no-perfdb]\n\
                      \x20 repro history [--db FILE]\n\
                      \x20 repro compare REV_A REV_B [--db FILE]\n\
@@ -121,7 +122,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
         "table1",
         "table2",
@@ -138,6 +139,7 @@ fn parse_args() -> Args {
         "tune",
         "sync",
         "profile",
+        "blocking",
     ];
     // Database subcommands own the remaining positional arguments (e.g.
     // the two revisions of `compare`), so the experiment-name check does
@@ -276,6 +278,7 @@ fn push_record(
     ipc: Option<f64>,
     modeled_matrix_bytes: Option<u64>,
     fallbacks: Option<u64>,
+    blocking: Option<&str>,
     samples: &[f64],
 ) {
     let spec = RunSpec {
@@ -290,6 +293,10 @@ fn push_record(
         ipc,
         modeled_matrix_bytes,
         fallbacks,
+        // Every in-process kernel runs at the one detected level, so the
+        // axis is recorded unconditionally.
+        simd: Some(fbmpk_sparse::simd::detect().tag().to_string()),
+        blocking: blocking.map(str::to_string),
     };
     if let Some(rec) = RunRecord::new(ctx, spec, samples) {
         pending.push(rec);
@@ -310,7 +317,7 @@ fn main() {
     // Timing experiments persist perfdb records; probe the host identity
     // and its bandwidth ceilings once for the whole invocation.
     let records_wanted =
-        !args.no_perfdb && ["fig7", "sync", "tune", "profile"].iter().any(|e| want(e));
+        !args.no_perfdb && ["fig7", "sync", "tune", "profile", "blocking"].iter().any(|e| want(e));
     let perf_ctx = records_wanted.then(|| {
         let host = platform::probe();
         eprintln!("measuring host bandwidth ceilings (triad + random gather) ...");
@@ -373,6 +380,7 @@ fn main() {
         "tune",
         "sync",
         "profile",
+        "blocking",
     ]
     .iter()
     .any(|e| want(e));
@@ -439,10 +447,10 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
-                    Some(r.k), 0, None, None, None, None, &r.samples_baseline);
+                    Some(r.k), 0, None, None, None, None, None, &r.samples_baseline);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp, None, None, None, None, &r.samples_fbmpk);
+                    Some(r.k), r.options_fp, None, None, None, None, None, &r.samples_fbmpk);
             }
         }
     }
@@ -676,6 +684,7 @@ fn main() {
             ("threads", Json::from(args.cfg.threads)),
             ("reps", Json::from(args.cfg.reps)),
             ("geomean_speedup", Json::from(gm)),
+            ("simd", Json::from(fbmpk_sparse::simd::detect().tag())),
             ("platform", platform::probe().to_json()),
             (
                 "matrices",
@@ -691,6 +700,9 @@ fn main() {
                                 ("variant", Json::from(r.variant.as_str())),
                                 ("t_scalar_seconds", Json::from(r.t_scalar)),
                                 ("t_tuned_seconds", Json::from(r.t_tuned)),
+                                ("t_unrolled4_seconds", Json::from(r.t_unrolled4)),
+                                ("t_simd_seconds", Json::from(r.t_simd)),
+                                ("simd_speedup", Json::from(r.t_scalar / r.t_simd)),
                                 ("speedup", Json::from(r.speedup)),
                                 ("probed_speedup", Json::from(r.probed_speedup)),
                                 ("inspect_seconds", Json::from(r.inspect_seconds)),
@@ -709,10 +721,95 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
-                    None, 0, None, None, Some(csr), None, &r.samples_scalar);
+                    None, 0, None, None, Some(csr), None, None, &r.samples_scalar);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
-                    None, t, None, 0, None, None, Some(csr), None, &r.samples_tuned);
+                    None, t, None, 0, None, None, Some(csr), None, None, &r.samples_tuned);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "tune", &r.name, "csr-unrolled4", None, t,
+                    None, 0, None, None, Some(csr), None, None, &r.samples_unrolled4);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "tune", &r.name, &format!("csr-simd:{}", r.simd),
+                    None, t, None, 0, None, None, Some(csr), None, None, &r.samples_simd);
+            }
+        }
+    }
+
+    if want("blocking") {
+        eprintln!("blocking: streaming vs level-blocked FBMPK, k = 8 ...");
+        let rows = runner::blocking(&args.cfg, &cases);
+        assert!(
+            rows.iter().all(|r| r.agrees),
+            "level-blocked execution diverged from streaming beyond 1e-9"
+        );
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nlevels.to_string(),
+                    r.tile_powers.to_string(),
+                    r.tile_powers_sim.to_string(),
+                    format!("{:.6}", r.t_streaming),
+                    format!("{:.6}", r.t_blocked),
+                    f3(r.speedup),
+                    r.dram_read_streaming.to_string(),
+                    r.dram_read_blocked.to_string(),
+                    f3(r.dram_read_blocked as f64 / r.dram_read_streaming as f64),
+                ]
+            })
+            .collect();
+        println!(
+            "Blocking - level-blocked wavefront vs streaming FBMPK (k=8, {} threads)",
+            args.cfg.threads
+        );
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "levels",
+                    "band kb",
+                    "sim kb",
+                    "t_stream[s]",
+                    "t_blocked[s]",
+                    "speedup",
+                    "dram_rd_stream[B]",
+                    "dram_rd_blocked[B]",
+                    "rd ratio"
+                ],
+                &table
+            )
+        );
+        write_csv(
+            &args.out.join("blocking.csv"),
+            &[
+                "input",
+                "levels",
+                "tile_powers",
+                "tile_powers_sim",
+                "t_streaming",
+                "t_blocked",
+                "speedup",
+                "dram_read_streaming",
+                "dram_read_blocked",
+                "read_ratio",
+            ],
+            &table,
+        )
+        .expect("write blocking.csv");
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                let t = args.cfg.threads;
+                let modeled = Some(r.modeled_matrix_bytes);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
+                    Some(r.k), r.options_fp_streaming, None, None, modeled, None,
+                    Some("streaming"), &r.samples_streaming);
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
+                    Some(r.k), r.options_fp_blocked, None, None, modeled, None,
+                    Some("level-blocked"), &r.samples_blocked);
             }
         }
     }
@@ -826,11 +923,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(5), r.options_fp_barrier, None, None, modeled, None,
-                    &r.samples_barrier);
+                    None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp_p2p, None, None, modeled,
-                    Some(r.fallbacks), &r.samples_p2p);
+                    Some(r.fallbacks), None, &r.samples_p2p);
             }
         }
     }
@@ -1000,11 +1097,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
-                    modeled, None, &r.samples_barrier);
+                    modeled, None, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
-                    modeled, None, &r.samples_p2p);
+                    modeled, None, None, &r.samples_p2p);
             }
         }
     }

@@ -121,6 +121,12 @@ pub struct RunSpec {
     /// samples as degraded: some reps ran under the barrier schedule, so
     /// the timing no longer characterizes the p2p configuration.
     pub fallbacks: Option<u64>,
+    /// SIMD level the kernel executed with (`fbmpk_sparse::SimdLevel::
+    /// tag()`: `"scalar"` / `"avx2"` / `"neon"`), when applicable.
+    pub simd: Option<String>,
+    /// Cache-blocking mode (`BlockingMode::tag()`: `"streaming"` /
+    /// `"level-blocked"`), when applicable.
+    pub blocking: Option<String>,
 }
 
 impl RunSpec {
@@ -131,11 +137,13 @@ impl RunSpec {
     /// are different workloads.
     pub fn config_key(&self, scale: f64) -> String {
         let mut h = Fnv64::new();
-        h.write_str("run-config-v1")
+        h.write_str("run-config-v2")
             .write_str(&self.experiment)
             .write_str(&self.matrix)
             .write_str(&self.kernel)
             .write_str(self.sync.as_deref().unwrap_or(""))
+            .write_str(self.simd.as_deref().unwrap_or(""))
+            .write_str(self.blocking.as_deref().unwrap_or(""))
             .write_usize(self.threads)
             .write_u64(self.k.map_or(u64::MAX, |k| k as u64))
             .write_u64(self.options_fp)
@@ -272,6 +280,8 @@ impl RunRecord {
                 self.spec.modeled_matrix_bytes.map_or(Json::Null, |b| Json::from(b as usize)),
             ),
             ("fallbacks", self.spec.fallbacks.map_or(Json::Null, |n| Json::from(n as usize))),
+            ("simd", self.spec.simd.as_deref().map_or(Json::Null, Json::from)),
+            ("blocking", self.spec.blocking.as_deref().map_or(Json::Null, Json::from)),
             ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
             ("triad_gbs", Self::opt_f64(self.triad_gbs)),
             ("gather_gbs", Self::opt_f64(self.gather_gbs)),
@@ -317,6 +327,10 @@ impl RunRecord {
             ipc: opt_num("ipc"),
             modeled_matrix_bytes: opt_num("modeled_matrix_bytes").map(|b| b as u64),
             fallbacks: opt_num("fallbacks").map(|n| n as u64),
+            // Absent on pre-v2 lines (and on kernels without the axes) —
+            // old histories keep loading.
+            simd: j.get("simd").and_then(Json::as_str).map(str::to_string),
+            blocking: j.get("blocking").and_then(Json::as_str).map(str::to_string),
         };
         Ok(RunRecord {
             schema,
@@ -502,6 +516,8 @@ mod tests {
             ipc: None,
             modeled_matrix_bytes: Some(2_000_000_000),
             fallbacks: Some(1),
+            simd: Some("avx2".into()),
+            blocking: Some("streaming".into()),
         }
     }
 
@@ -520,6 +536,8 @@ mod tests {
         assert_eq!(back.spec.sync.as_deref(), Some("barrier"));
         assert_eq!(back.spec.wait_frac, Some(0.125));
         assert_eq!(back.spec.ipc, None);
+        assert_eq!(back.spec.simd.as_deref(), Some("avx2"));
+        assert_eq!(back.spec.blocking.as_deref(), Some("streaming"));
         assert_eq!(back.platform_fp, rec.platform_fp);
         // modeled 2 GB at 0.1 s median = 20 GB/s = the triad ceiling.
         assert!((back.achieved_gbs.unwrap() - 20.0).abs() < 1e-9);
@@ -536,6 +554,29 @@ mod tests {
         let r1 = RunRecord::new(&test_ctx("rev1"), a.clone(), &[0.1]).unwrap();
         let r2 = RunRecord::new(&test_ctx("rev2"), a, &[0.2]).unwrap();
         assert_eq!(r1.config_key, r2.config_key);
+    }
+
+    #[test]
+    fn config_key_distinguishes_simd_and_blocking() {
+        let a = test_spec("m", None);
+        let mut b = a.clone();
+        b.simd = Some("scalar".into());
+        let mut c = a.clone();
+        c.blocking = Some("level-blocked".into());
+        assert_ne!(a.config_key(0.002), b.config_key(0.002), "simd axis must split keys");
+        assert_ne!(a.config_key(0.002), c.config_key(0.002), "blocking axis must split keys");
+    }
+
+    #[test]
+    fn lines_without_simd_axes_still_parse() {
+        // Pre-v2 records have no simd/blocking fields at all.
+        let rec = RunRecord::new(&test_ctx("rev1"), test_spec("m", None), &[0.1, 0.2]).unwrap();
+        let line = rec.to_json().to_compact();
+        let stripped = line.replace(",\"simd\":\"avx2\",\"blocking\":\"streaming\"", "");
+        assert_ne!(line, stripped, "test must actually remove the fields");
+        let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(back.spec.simd, None);
+        assert_eq!(back.spec.blocking, None);
     }
 
     #[test]

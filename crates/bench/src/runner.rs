@@ -7,15 +7,18 @@
 
 use crate::BenchConfig;
 use fbmpk::{
-    FbmpkOptions, FbmpkPlan, ObsOptions, StandardMpk, SyncMode, TuneOptions, TunedPlan,
-    VectorLayout,
+    probe_llc_bytes, BlockingMode, FbmpkOptions, FbmpkPlan, KernelVariant, LevelBlockPlan,
+    ObsOptions, StandardMpk, SyncMode, TuneOptions, TunedPlan, VectorLayout,
 };
 use fbmpk_gen::suite::SuiteEntry;
-use fbmpk_memsim::{trace_fbmpk, trace_standard_mpk, CacheConfig, TracedLayout};
+use fbmpk_memsim::{
+    trace_fbmpk, trace_level_blocked, trace_standard_mpk, CacheConfig, TracedLayout,
+};
 use fbmpk_obs::{HwSample, HwSession, Registry, TraceBuilder};
 use fbmpk_reorder::{Abmc, AbmcParams};
 use fbmpk_sparse::spmv::spmv;
 use fbmpk_sparse::stats::MatrixStats;
+use fbmpk_sparse::vecops::rel_err_inf;
 use fbmpk_sparse::{Csr, TriangularSplit};
 use std::time::Instant;
 
@@ -688,6 +691,17 @@ pub struct TuneRow {
     pub samples_scalar: Vec<f64>,
     /// Raw per-rep tuned-variant seconds.
     pub samples_tuned: Vec<f64>,
+    /// Detected SIMD dispatch level ("scalar", "avx2", "neon").
+    pub simd: String,
+    /// 4-way-unrolled CSR seconds per SpMV (geomean) on the same pool.
+    pub t_unrolled4: f64,
+    /// Explicit lane-kernel CSR seconds per SpMV (geomean) on the same
+    /// pool, whatever [`fbmpk_sparse::simd::detect`] resolves to.
+    pub t_simd: f64,
+    /// Raw per-rep unrolled-CSR seconds.
+    pub samples_unrolled4: Vec<f64>,
+    /// Raw per-rep lane-kernel seconds.
+    pub samples_simd: Vec<f64>,
 }
 
 /// Runs the auto-tuner on every suite matrix and re-measures the selected
@@ -712,6 +726,11 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
             let mut y = vec![0.0; n];
             let scalar_t = timed(|| plan.spmv_scalar(&x, &mut y), cfg.reps);
             let tuned_t = timed(|| plan.spmv(&x, &mut y), cfg.reps);
+            let unrolled_t =
+                timed(|| plan.spmv_with(KernelVariant::CsrUnrolled4, &x, &mut y), cfg.reps);
+            let simd_level = plan.simd_level();
+            let simd_variant = KernelVariant::CsrSimd { width: simd_level.width() };
+            let simd_t = timed(|| plan.spmv_with(simd_variant, &x, &mut y), cfg.reps);
             let f = plan.features();
             TuneRow {
                 name: c.entry.name.to_string(),
@@ -727,9 +746,116 @@ pub fn tune(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<TuneRow> {
                 inspect_seconds: plan.report().inspect_seconds,
                 samples_scalar: scalar_t.samples,
                 samples_tuned: tuned_t.samples,
+                simd: simd_level.tag().to_string(),
+                t_unrolled4: unrolled_t.geomean,
+                t_simd: simd_t.geomean,
+                samples_unrolled4: unrolled_t.samples,
+                samples_simd: simd_t.samples,
             }
         })
         .collect()
+}
+
+// -------------------------------------------------------------- blocking
+
+/// One row of the `repro blocking` report: streaming vs level-blocked
+/// FBMPK execution at one power, plus the cache simulator's DRAM read
+/// bytes for the same two schedules.
+#[derive(Debug, Clone)]
+pub struct BlockingRow {
+    /// Matrix name.
+    pub name: String,
+    /// Power `k`.
+    pub k: usize,
+    /// Resolved powers-per-stage band (`kb`) the auto-sizer picked for
+    /// the probed host LLC (what the timed execution ran with).
+    pub tile_powers: usize,
+    /// Band re-resolved for the *simulated* LLC of the traffic replay —
+    /// the simulator's cache is scaled to the matrix, so the schedule
+    /// must be sized for it, not for the host. `1` means the auto-sizer
+    /// found no shell window worth holding (blocking degenerates to
+    /// streaming stages).
+    pub tile_powers_sim: usize,
+    /// BFS shell count of the wavefront schedule.
+    pub nlevels: usize,
+    /// Streaming FBMPK seconds (geomean).
+    pub t_streaming: f64,
+    /// Level-blocked seconds (geomean).
+    pub t_blocked: f64,
+    /// `t_streaming / t_blocked`.
+    pub speedup: f64,
+    /// Whether the two schedules agree within `1e-9` relative error
+    /// (they associate differently, so bit-identity is not expected).
+    pub agrees: bool,
+    /// Simulated DRAM read bytes, streaming FBMPK.
+    pub dram_read_streaming: u64,
+    /// Simulated DRAM read bytes, level-blocked wavefront.
+    pub dram_read_blocked: u64,
+    /// Raw per-rep streaming seconds (for the perf database).
+    pub samples_streaming: Vec<f64>,
+    /// Raw per-rep level-blocked seconds.
+    pub samples_blocked: Vec<f64>,
+    /// Config fingerprint of the streaming options.
+    pub options_fp_streaming: u64,
+    /// Config fingerprint of the level-blocked options.
+    pub options_fp_blocked: u64,
+    /// Modeled matrix bytes of the streaming schedule (roofline anchor).
+    pub modeled_matrix_bytes: u64,
+}
+
+/// Measures streaming vs level-blocked FBMPK at `k = 8` (deep enough
+/// that the wavefront re-streams the matrix at least twice less often on
+/// cache-resident bands) and replays both schedules through the cache
+/// simulator for the DRAM-traffic claim of DESIGN.md §12.
+pub fn blocking(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<BlockingRow> {
+    let k = 8usize;
+    let mut rows = Vec::new();
+    for c in cases {
+        let a = &c.matrix;
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let stream_opts = fbmpk_options(n, cfg.threads, VectorLayout::BackToBack);
+        let mut blocked_opts = stream_opts;
+        blocked_opts.blocking = BlockingMode::LevelBlocked { tile_powers: None };
+        let streaming = FbmpkPlan::new(a, stream_opts).expect("square");
+        let blocked = FbmpkPlan::new(a, blocked_opts).expect("square");
+        let want = streaming.power(&x0, k);
+        let got = blocked.power(&x0, k);
+        let agrees = rel_err_inf(&got, &want) < 1e-9;
+        let stream_t =
+            timed(|| std::hint::black_box(streaming.power(&x0, k)).truncate(0), cfg.reps);
+        let blocked_t = timed(|| std::hint::black_box(blocked.power(&x0, k)).truncate(0), cfg.reps);
+        // Re-derive the band the plan's auto-sizer resolved so the
+        // simulator replays the same schedule shape.
+        let lb = LevelBlockPlan::new(a, cfg.threads, None, probe_llc_bytes());
+        let kb = lb.resolve_tile_powers(k);
+        let llc = [scaled_llc(a.nnz() * 12 + 8 * (a.nrows() + 1))];
+        // The replayed schedule must be sized for the simulated cache,
+        // exactly as the auto-sizer would on a machine with that LLC.
+        let kb_sim = LevelBlockPlan::new(a, cfg.threads, None, llc[0].size_bytes as u64)
+            .resolve_tile_powers(k);
+        let sim_stream = trace_fbmpk(a, k, TracedLayout::BackToBack, &llc);
+        let sim_blocked = trace_level_blocked(a, k, kb_sim, &llc);
+        rows.push(BlockingRow {
+            name: c.entry.name.to_string(),
+            k,
+            tile_powers: kb,
+            tile_powers_sim: kb_sim,
+            nlevels: lb.levels().nlevels(),
+            t_streaming: stream_t.geomean,
+            t_blocked: blocked_t.geomean,
+            speedup: stream_t.geomean / blocked_t.geomean,
+            agrees,
+            dram_read_streaming: sim_stream.dram_read_bytes,
+            dram_read_blocked: sim_blocked.dram_read_bytes,
+            samples_streaming: stream_t.samples,
+            samples_blocked: blocked_t.samples,
+            options_fp_streaming: stream_opts.config_fingerprint(),
+            options_fp_blocked: blocked_opts.config_fingerprint(),
+            modeled_matrix_bytes: streaming.modeled_matrix_bytes(k),
+        });
+    }
+    rows
 }
 
 // --------------------------------------------------------------- profile

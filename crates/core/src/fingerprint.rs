@@ -8,6 +8,7 @@
 //! Rust releases, which would silently split one configuration's history
 //! into disjoint keys after a toolchain upgrade.
 
+use crate::levelblock::BlockingMode;
 use crate::plan::{FallbackPolicy, FbmpkOptions, VectorLayout};
 use crate::schedule::SyncMode;
 use fbmpk_reorder::{AbmcParams, BlockingStrategy, ColoringOrdering};
@@ -102,6 +103,18 @@ fn blocking_tag(strategy: BlockingStrategy) -> u64 {
     }
 }
 
+/// Stable `(mode, tile_powers)` encoding for [`BlockingMode`]
+/// (`u64::MAX` = auto-sized band; the field is meaningless for
+/// streaming but still folded so the protocol stays fixed-width).
+fn blocking_mode_tag(mode: BlockingMode) -> (u64, u64) {
+    match mode {
+        BlockingMode::Streaming => (1, u64::MAX),
+        BlockingMode::LevelBlocked { tile_powers } => {
+            (2, tile_powers.map_or(u64::MAX, |t| t as u64))
+        }
+    }
+}
+
 fn ordering_tag(ordering: ColoringOrdering) -> u64 {
     match ordering {
         ColoringOrdering::Natural => 1,
@@ -119,14 +132,21 @@ fn write_abmc(h: &mut Fnv64, params: &AbmcParams) {
 
 impl FbmpkOptions {
     /// Stable fingerprint of every option that shapes the executed
-    /// kernel: thread count, reorder parameters, layout, pre-RCM, and
-    /// synchronization mode. Observability and pinning flags are
-    /// *included* too — a recording run and a pinned run are different
-    /// measurement configurations and must not share a history key.
+    /// kernel: thread count, reorder parameters, layout, pre-RCM,
+    /// synchronization mode, and cache-blocking mode. Observability and
+    /// pinning flags are *included* too — a recording run and a pinned
+    /// run are different measurement configurations and must not share a
+    /// history key. The runtime-detected SIMD lane width is folded as
+    /// well: the same options executed with AVX2 lanes and with the
+    /// scalar fallback are different kernels.
     pub fn config_fingerprint(&self) -> u64 {
+        let (blocking, tile_powers) = blocking_mode_tag(self.blocking);
         let mut h = Fnv64::new();
-        h.write_str("fbmpk-options-v1")
+        h.write_str("fbmpk-options-v2")
             .write_usize(self.nthreads)
+            .write_u64(blocking)
+            .write_u64(tile_powers)
+            .write_u64(fbmpk_sparse::simd::detect().width() as u64)
             .write_u64(layout_tag(self.layout))
             .write_u64(self.pre_rcm as u64)
             .write_u64(sync_tag(self.sync))
@@ -135,10 +155,7 @@ impl FbmpkOptions {
             .write_u64(fallback_tag(self.fallback))
             // Watchdog deadline: a run that can time out and fall back is
             // a different measurement configuration than one that can't.
-            .write_u64(match self.watchdog_ms {
-                None => u64::MAX,
-                Some(ms) => ms,
-            });
+            .write_u64(self.watchdog_ms.unwrap_or(u64::MAX));
         match &self.reorder {
             None => {
                 h.write_u64(0);
@@ -197,6 +214,18 @@ mod tests {
             }
         }
         assert_eq!(base.config_fingerprint(), FbmpkOptions::default().config_fingerprint());
+    }
+
+    #[test]
+    fn blocking_mode_changes_fingerprint() {
+        let base = FbmpkOptions::default();
+        let auto =
+            FbmpkOptions { blocking: BlockingMode::LevelBlocked { tile_powers: None }, ..base };
+        let fixed =
+            FbmpkOptions { blocking: BlockingMode::LevelBlocked { tile_powers: Some(3) }, ..base };
+        assert_ne!(base.config_fingerprint(), auto.config_fingerprint());
+        assert_ne!(auto.config_fingerprint(), fixed.config_fingerprint());
+        assert_ne!(base.config_fingerprint(), fixed.config_fingerprint());
     }
 
     #[test]

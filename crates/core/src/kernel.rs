@@ -370,6 +370,16 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
     let rounds = k / 2;
     let odd_k = k % 2 == 1;
 
+    // With the `simd` feature on and a vector unit detected at runtime, the
+    // sweeps gather whole rows through the layout's base pointers using the
+    // dispatched kernels of `fbmpk_sparse::simd` (bit-identical to the
+    // unrolled scalar loops below by construction). Layouts that keep
+    // `vector_bases` at `None` (e.g. access-tracing ones) stay on the
+    // accessor path regardless of the feature.
+    #[cfg(feature = "simd")]
+    let simd_bases: Option<crate::layout::LayoutBases> =
+        if fbmpk_sparse::simd::detect().is_accelerated() { layout.vector_bases() } else { None };
+
     pool.try_run(&|t| {
         let l_ptr = lower.row_ptr();
         let l_col = lower.col_idx();
@@ -387,6 +397,31 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
         // rows stay bit-identical to the scalar loop.
         for r in sched.flat[t].clone() {
             let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
+            #[cfg(feature = "simd")]
+            if let Some(bases) = simd_bases {
+                use crate::layout::LayoutBases;
+                // SAFETY: even slots are read-only during the head phase
+                // (the pointer-kernel contract); thread t owns tmp rows in
+                // flat[t]. Seeding lane 0 with 0.0 is the scalar `s0 = 0.0`.
+                unsafe {
+                    let s = match bases {
+                        LayoutBases::Btb(xy) => fbmpk_sparse::simd::btb_even_dot_ptr(
+                            &u_col[lo..hi],
+                            &u_val[lo..hi],
+                            xy.0,
+                            0.0,
+                        ),
+                        LayoutBases::Split { even, .. } => fbmpk_sparse::simd::row_dot_ptr(
+                            &u_col[lo..hi],
+                            &u_val[lo..hi],
+                            even.0,
+                            0.0,
+                        ),
+                    };
+                    tmp.set(r, s);
+                }
+                continue;
+            }
             let main = hi - (hi - lo) % 4;
             let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
             let mut j = lo;
@@ -438,13 +473,44 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
                 // sweep before marking this epoch.
                 unsafe {
                     let d = diag[r];
+                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
+                    #[cfg(feature = "simd")]
+                    if let Some(bases) = simd_bases {
+                        use crate::layout::LayoutBases;
+                        // Dual dot with the even stream seeded by
+                        // tmp[r] + d·x_even[r] — exactly `sum0a`'s scalar
+                        // initialization below.
+                        let init_even = tmp.get(r) + d * layout.get_even(r);
+                        let (sum0, sum1) = match bases {
+                            LayoutBases::Btb(xy) => fbmpk_sparse::simd::btb_dual_dot_ptr(
+                                &l_col[lo..hi],
+                                &l_val[lo..hi],
+                                xy.0,
+                                init_even,
+                                0.0,
+                            ),
+                            LayoutBases::Split { even, odd } => {
+                                fbmpk_sparse::simd::split_dual_dot_ptr(
+                                    &l_col[lo..hi],
+                                    &l_val[lo..hi],
+                                    even.0,
+                                    odd.0,
+                                    init_even,
+                                    0.0,
+                                )
+                            }
+                        };
+                        layout.set_odd(r, sum0); // x_{2p+1}[r]
+                        sink.emit(2 * p + 1, r, sum0);
+                        tmp.set(r, sum1 + d * sum0); // (L+D) x_{2p+1}
+                        return;
+                    }
                     // Two dot products share one traversal of the L row
                     // (even and odd streams); each is 2-way unrolled —
                     // four independent accumulators total, mirroring the
                     // standalone SpMV's 4-way unroll. The odd remainder
                     // element folds into the `a` accumulators so rows
                     // with < 2 nonzeros stay bit-identical to scalar.
-                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
                     let main = hi - (hi - lo) % 2;
                     let mut sum0a = tmp.get(r) + d * layout.get_even(r);
                     let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
@@ -482,9 +548,40 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
                 // even-row overwrites after every later-color reader's
                 // forward sweep (the anti-dependency).
                 unsafe {
+                    let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
+                    #[cfg(feature = "simd")]
+                    if let Some(bases) = simd_bases {
+                        use crate::layout::LayoutBases;
+                        // Mirror of the forward branch with the streams
+                        // swapped: the *odd* stream carries tmp[r] (scalar
+                        // `sum0a` below), the even stream starts at zero, so
+                        // the kernel's (even, odd) return is (sum1, sum0).
+                        let (sum1, sum0) = match bases {
+                            LayoutBases::Btb(xy) => fbmpk_sparse::simd::btb_dual_dot_ptr(
+                                &u_col[lo..hi],
+                                &u_val[lo..hi],
+                                xy.0,
+                                0.0,
+                                tmp.get(r),
+                            ),
+                            LayoutBases::Split { even, odd } => {
+                                fbmpk_sparse::simd::split_dual_dot_ptr(
+                                    &u_col[lo..hi],
+                                    &u_val[lo..hi],
+                                    even.0,
+                                    odd.0,
+                                    0.0,
+                                    tmp.get(r),
+                                )
+                            }
+                        };
+                        layout.set_even(r, sum0); // x_{2p+2}[r]
+                        sink.emit(2 * p + 2, r, sum0);
+                        tmp.set(r, sum1); // U x_{2p+2}: next round's head
+                        return;
+                    }
                     // Mirror of the forward sweep: two 2-way unrolled
                     // dot products over the U row.
-                    let (lo, hi) = (u_ptr[r], u_ptr[r + 1]);
                     let main = hi - (hi - lo) % 2;
                     let mut sum0a = tmp.get(r);
                     let (mut sum0b, mut sum1a, mut sum1b) = (0.0f64, 0.0f64, 0.0f64);
@@ -545,9 +642,33 @@ pub fn run_fbmpk_probed<L: XyLayout, S: Sink, P: Probe>(
                 // SAFETY: even slots and tmp are stable after the final
                 // barrier; out rows in flat[t] are owned by thread t.
                 unsafe {
+                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
+                    #[cfg(feature = "simd")]
+                    if let Some(bases) = simd_bases {
+                        use crate::layout::LayoutBases;
+                        // Lane 0 seeded with tmp[r] + d·x_{k-1}[r] — the
+                        // scalar `s0` initialization below.
+                        let init = tmp.get(r) + diag[r] * layout.get_even(r);
+                        let s = match bases {
+                            LayoutBases::Btb(xy) => fbmpk_sparse::simd::btb_even_dot_ptr(
+                                &l_col[lo..hi],
+                                &l_val[lo..hi],
+                                xy.0,
+                                init,
+                            ),
+                            LayoutBases::Split { even, .. } => fbmpk_sparse::simd::row_dot_ptr(
+                                &l_col[lo..hi],
+                                &l_val[lo..hi],
+                                even.0,
+                                init,
+                            ),
+                        };
+                        out.set(r, s);
+                        sink.emit(k, r, s);
+                        continue;
+                    }
                     // Single dot product: 4-way unroll as in the head, with
                     // the initial value and remainder folded into s0.
-                    let (lo, hi) = (l_ptr[r], l_ptr[r + 1]);
                     let main = hi - (hi - lo) % 4;
                     let mut s0 = tmp.get(r) + diag[r] * layout.get_even(r);
                     let (mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64);

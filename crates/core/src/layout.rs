@@ -14,6 +14,36 @@
 
 use fbmpk_parallel::SharedSlice;
 
+/// A raw `f64` base pointer that may cross thread boundaries.
+///
+/// Wraps `SharedSlice::base_ptr()` output so the sweep closures (which the
+/// thread pool requires to be `Sync`) can capture it. Every dereference must
+/// follow the originating [`SharedSlice`]'s phase-disciplined contract; the
+/// wrapper only carries the address.
+#[derive(Clone, Copy)]
+pub struct RawBase(pub *const f64);
+
+// SAFETY: the pointer is only dereferenced inside kernels that uphold the
+// SharedSlice contract (row-disjoint writes, phase-separated reads), which
+// is exactly the guarantee that makes the SharedSlice itself Sync.
+unsafe impl Send for RawBase {}
+unsafe impl Sync for RawBase {}
+
+/// Base pointers of a layout's underlying storage, for the whole-row SIMD
+/// kernels that cannot go through the per-element accessors.
+#[derive(Clone, Copy)]
+pub enum LayoutBases {
+    /// One interleaved buffer: even at `2i`, odd at `2i+1`.
+    Btb(RawBase),
+    /// Two independent buffers.
+    Split {
+        /// Even-iterate buffer base.
+        even: RawBase,
+        /// Odd-iterate buffer base.
+        odd: RawBase,
+    },
+}
+
 /// Accessors for the even/odd iterate pair, shared across worker threads.
 ///
 /// # Safety
@@ -41,6 +71,17 @@ pub trait XyLayout: Sync {
     /// # Safety
     /// Caller owns row `i` in this phase.
     unsafe fn set_odd(&self, i: usize, v: f64);
+    /// Base pointers of the underlying storage, so the SIMD sweep kernels
+    /// can gather whole rows instead of calling the per-element accessors.
+    /// Reads through them carry the same contract as [`XyLayout::get_even`]
+    /// / [`XyLayout::get_odd`].
+    ///
+    /// Defaults to `None`, which keeps the kernel on the accessor path —
+    /// required for layouts whose accessors have side effects (e.g. the
+    /// memory-simulator's traced layout, which records every access).
+    fn vector_bases(&self) -> Option<LayoutBases> {
+        None
+    }
 }
 
 /// Two independent arrays (the "FB" ablation variant, no BtB).
@@ -74,6 +115,13 @@ impl XyLayout for SplitXy<'_> {
     unsafe fn set_odd(&self, i: usize, v: f64) {
         unsafe { self.odd.set(i, v) }
     }
+    #[inline]
+    fn vector_bases(&self) -> Option<LayoutBases> {
+        Some(LayoutBases::Split {
+            even: RawBase(self.even.base_ptr()),
+            odd: RawBase(self.odd.base_ptr()),
+        })
+    }
 }
 
 /// The paper's back-to-back interleaved array: even iterate at `xy[2i]`,
@@ -106,6 +154,10 @@ impl XyLayout for BtbXy<'_> {
     #[inline]
     unsafe fn set_odd(&self, i: usize, v: f64) {
         unsafe { self.xy.set(2 * i + 1, v) }
+    }
+    #[inline]
+    fn vector_bases(&self) -> Option<LayoutBases> {
+        Some(LayoutBases::Btb(RawBase(self.xy.base_ptr())))
     }
 }
 

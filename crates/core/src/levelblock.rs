@@ -1,0 +1,455 @@
+//! Level-blocked (cache-blocked) execution of `Aᵏ x₀`.
+//!
+//! The streaming FBMPK pipeline reads the matrix ⌈(k+1)/2⌉ times. When the
+//! matrix exceeds the last-level cache but a *band of BFS shells* does not,
+//! a different trade wins: group rows into breadth-first-search shells of
+//! the symmetrized pattern ([`fbmpk_reorder::levels::bfs_level_schedule`]),
+//! then advance a moving wavefront that computes `tile_powers` consecutive
+//! powers of each shell before its matrix rows leave cache. Every matrix
+//! row is then streamed from DRAM only ⌈k / tile_powers⌉ times — below the
+//! FBMPK bound once `tile_powers > 2` — at the cost of extra
+//! synchronization and a BFS preprocessing pass.
+//!
+//! # Wavefront schedule
+//!
+//! Shells have the containment property: computing `(A x)[r]` for rows of
+//! shell `j` reads only `x` entries of shells `j−1 ..= j+1`. One *stage*
+//! advances all shells through `kb = tile_powers` powers; within a stage,
+//! *step* `s` runs substeps `(q, j = s + 1 − q)` for stage-local powers
+//! `q = 1..=kb` in ascending order. The dependencies of `(q, j)` are
+//! `(q−1, j+1)` (earlier substep of the same step), `(q−1, j)` (step
+//! `s−1`) and `(q−1, j−1)` (step `s−2`) — all complete, so a pool barrier
+//! after each substep is the only synchronization needed. Power `p` lives
+//! in ring buffer `p mod (kb+1)`; exactly `kb+1` powers are live per stage,
+//! so no live value is ever overwritten.
+//!
+//! The per-power, per-row results are emitted through the same [`Sink`]
+//! interface as the streaming kernels, so `power`/`krylov`/`sspmv` all
+//! work unchanged on top of either execution mode.
+
+use crate::sink::Sink;
+use fbmpk_obs::recorder::{Span, SpanKind};
+use fbmpk_obs::Probe;
+use fbmpk_parallel::{SharedSlice, ThreadPool};
+use fbmpk_reorder::levels::{bfs_level_schedule, LevelSchedule};
+use fbmpk_sparse::Csr;
+use std::ops::Range;
+
+/// How `Aᵏ x₀` traverses memory (the new execution axis next to
+/// [`crate::SyncMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockingMode {
+    /// The forward–backward streaming pipeline (paper Algorithm 2):
+    /// ⌈(k+1)/2⌉ matrix reads, no extra preprocessing.
+    #[default]
+    Streaming,
+    /// BFS-shell wavefront blocking: ⌈k / tile_powers⌉ matrix reads with
+    /// the shell band held in cache across powers.
+    LevelBlocked {
+        /// Powers advanced per stage (`kb`). `None` picks the largest band
+        /// whose working set fits the probed last-level cache.
+        tile_powers: Option<usize>,
+    },
+}
+
+impl BlockingMode {
+    /// Stable lowercase tag for fingerprints and perf-DB records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BlockingMode::Streaming => "streaming",
+            BlockingMode::LevelBlocked { .. } => "level-blocked",
+        }
+    }
+}
+
+/// Fallback LLC capacity when no sysfs cache hierarchy is readable.
+pub const DEFAULT_LLC_BYTES: u64 = 32 * 1024 * 1024;
+
+/// Parses a sysfs cache size string (`"512K"`, `"32768K"`, `"8M"`).
+fn parse_cache_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.trim().parse::<u64>().ok().map(|v| v * mult)
+}
+
+/// Capacity of the last-level cache in bytes.
+///
+/// Resolution order: the `FBMPK_LLC_BYTES` environment variable (exact
+/// byte count — also the test/CI override), then the deepest
+/// unified/data cache under
+/// `/sys/devices/system/cpu/cpu0/cache/index*/`, then
+/// [`DEFAULT_LLC_BYTES`]. Not cached: callers probe once per plan build.
+pub fn probe_llc_bytes() -> u64 {
+    if let Ok(v) = std::env::var("FBMPK_LLC_BYTES") {
+        if let Ok(b) = v.trim().parse::<u64>() {
+            if b > 0 {
+                return b;
+            }
+        }
+    }
+    let mut best: Option<(u32, u64)> = None;
+    for idx in 0..10 {
+        let dir = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let Ok(ty) = std::fs::read_to_string(format!("{dir}/type")) else { break };
+        let ty = ty.trim();
+        if ty != "Unified" && ty != "Data" {
+            continue;
+        }
+        let Some(level) = std::fs::read_to_string(format!("{dir}/level"))
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Some(size) =
+            std::fs::read_to_string(format!("{dir}/size")).ok().and_then(|v| parse_cache_size(&v))
+        else {
+            continue;
+        };
+        if best.is_none_or(|(bl, _)| level > bl) {
+            best = Some((level, size));
+        }
+    }
+    best.map(|(_, size)| size).unwrap_or(DEFAULT_LLC_BYTES)
+}
+
+/// Prepared state for level-blocked execution: the working matrix, its BFS
+/// shells, and nnz-balanced per-shell thread partitions.
+pub struct LevelBlockPlan {
+    a: Csr,
+    levels: LevelSchedule,
+    /// `parts[l][t]` — thread `t`'s slice of shell `l`, as a range into
+    /// `levels.order`.
+    parts: Vec<Vec<Range<usize>>>,
+    tile_powers: Option<usize>,
+    llc_bytes: u64,
+}
+
+impl LevelBlockPlan {
+    /// Builds the shells and partitions for `a` (in the numbering the
+    /// kernels run in — i.e. already permuted when the plan reorders).
+    pub fn new(a: &Csr, nthreads: usize, tile_powers: Option<usize>, llc_bytes: u64) -> Self {
+        assert!(nthreads >= 1);
+        let levels = bfs_level_schedule(a);
+        let row_ptr = a.row_ptr();
+        let mut parts = Vec::with_capacity(levels.nlevels());
+        for l in 0..levels.nlevels() {
+            let (lo, hi) = (levels.level_ptr[l], levels.level_ptr[l + 1]);
+            // Greedy nnz-balanced contiguous split (each row weighted
+            // nnz + 1 so empty rows still cost something).
+            let total: usize = levels.order[lo..hi]
+                .iter()
+                .map(|&r| row_ptr[r as usize + 1] - row_ptr[r as usize] + 1)
+                .sum();
+            let mut ranges = Vec::with_capacity(nthreads);
+            let mut cursor = lo;
+            let mut acc = 0usize;
+            for t in 0..nthreads {
+                let target = (total * (t + 1)) / nthreads;
+                let start = cursor;
+                while cursor < hi && acc < target {
+                    let r = levels.order[cursor] as usize;
+                    acc += row_ptr[r + 1] - row_ptr[r] + 1;
+                    cursor += 1;
+                }
+                ranges.push(start..cursor);
+            }
+            // Weight rounding may leave a tail; fold it into the last
+            // thread so every row is owned exactly once.
+            ranges.last_mut().expect("nthreads >= 1").end = hi;
+            parts.push(ranges);
+        }
+        LevelBlockPlan { a: a.clone(), levels, parts, tile_powers, llc_bytes }
+    }
+
+    /// The BFS shells.
+    pub fn levels(&self) -> &LevelSchedule {
+        &self.levels
+    }
+
+    /// The LLC capacity the auto band sizing targets.
+    pub fn llc_bytes(&self) -> u64 {
+        self.llc_bytes
+    }
+
+    /// The band size (`kb`) one `Aᵏx₀` invocation will use: an explicit
+    /// `tile_powers` clamped to `1..=k`, otherwise the largest band whose
+    /// moving working set — `kb` shells of matrix rows (12 bytes per
+    /// nonzero) plus their vector slots (`(kb+1) + 2` live values per
+    /// row: the ring buffers and the gather halo) — fits half the LLC
+    /// (the other half absorbs conflict misses and shared data).
+    pub fn resolve_tile_powers(&self, k: usize) -> usize {
+        assert!(k >= 1);
+        if let Some(kb) = self.tile_powers {
+            return kb.clamp(1, k);
+        }
+        let row_ptr = self.a.row_ptr();
+        let mut max_shell_bytes = 0u64;
+        for l in 0..self.levels.nlevels() {
+            let rows = self.levels.level_rows(l);
+            let nnz: usize =
+                rows.iter().map(|&r| row_ptr[r as usize + 1] - row_ptr[r as usize]).sum();
+            // Matrix: 8-byte value + 4-byte column per nonzero; vector
+            // slots priced per power below.
+            max_shell_bytes = max_shell_bytes.max(12 * nnz as u64 + 8 * rows.len() as u64);
+        }
+        if max_shell_bytes == 0 {
+            return k;
+        }
+        let target = self.llc_bytes / 2;
+        ((target / max_shell_bytes) as usize).clamp(1, k)
+    }
+
+    /// Runs the wavefront: computes `Aᵏ x₀` (in the plan's numbering),
+    /// emitting every intermediate power through `sink`.
+    ///
+    /// # Errors
+    /// [`crate::FbmpkError::WorkerPanicked`] when a worker closure panics.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`, `x0p.len()` mismatches, or the pool size
+    /// disagrees with the partitioning.
+    pub fn run_probed<S: Sink, P: Probe>(
+        &self,
+        pool: &ThreadPool,
+        x0p: &[f64],
+        k: usize,
+        sink: &S,
+        probe: &P,
+    ) -> crate::Result<Vec<f64>> {
+        assert!(k >= 1, "k must be at least 1 (k = 0 is the identity)");
+        let n = self.a.nrows();
+        assert_eq!(x0p.len(), n, "x0 length mismatch");
+        if !self.parts.is_empty() {
+            assert_eq!(self.parts[0].len(), pool.nthreads(), "pool/partition thread mismatch");
+        }
+        let kb = self.resolve_tile_powers(k);
+        let nb = kb + 1;
+        let mut bufs: Vec<Vec<f64>> = (0..nb).map(|_| vec![0.0; n]).collect();
+        bufs[0].copy_from_slice(x0p);
+        {
+            let shared: Vec<SharedSlice<f64>> =
+                bufs.iter_mut().map(|b| SharedSlice::new(b.as_mut_slice())).collect();
+            let row_ptr = self.a.row_ptr();
+            let col_idx = self.a.col_idx();
+            let values = self.a.values();
+            let order = &self.levels.order;
+            let nlevels = self.levels.nlevels();
+            let barrier = pool.barrier();
+            #[cfg(feature = "simd")]
+            let use_simd = fbmpk_sparse::simd::detect().is_accelerated();
+            pool.try_run(&|t| {
+                let mut base = 0usize;
+                let mut stage = 0u32;
+                while base < k {
+                    let kb_eff = kb.min(k - base);
+                    let t0 = probe.now();
+                    for s in 0..(nlevels + kb_eff).saturating_sub(1) {
+                        for q in 1..=kb_eff {
+                            if let Some(j) = (s + 1).checked_sub(q) {
+                                if j < nlevels {
+                                    let p = base + q;
+                                    let src = &shared[(p - 1) % nb];
+                                    let dst = &shared[p % nb];
+                                    #[cfg(feature = "simd")]
+                                    let src_base = src.base_ptr();
+                                    for idx in self.parts[j][t].clone() {
+                                        let r = order[idx] as usize;
+                                        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                                        // SAFETY: the wavefront order plus
+                                        // the per-substep barrier guarantee
+                                        // power p-1 of shells j-1..=j+1 is
+                                        // final before any row of shell j
+                                        // reads it, and thread t owns the
+                                        // dst rows of its partition.
+                                        unsafe {
+                                            #[cfg(feature = "simd")]
+                                            if use_simd {
+                                                let sum = fbmpk_sparse::simd::row_dot_ptr(
+                                                    &col_idx[lo..hi],
+                                                    &values[lo..hi],
+                                                    src_base,
+                                                    0.0,
+                                                );
+                                                dst.set(r, sum);
+                                                sink.emit(p, r, sum);
+                                                continue;
+                                            }
+                                            // 4-way unrolled dot, matching
+                                            // the SIMD lowering and the
+                                            // streaming kernels' accumulator
+                                            // shape bit-for-bit.
+                                            let main = hi - (hi - lo) % 4;
+                                            let (mut s0, mut s1, mut s2, mut s3) =
+                                                (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                                            let mut jj = lo;
+                                            while jj < main {
+                                                s0 += values[jj] * src.get(col_idx[jj] as usize);
+                                                s1 += values[jj + 1]
+                                                    * src.get(col_idx[jj + 1] as usize);
+                                                s2 += values[jj + 2]
+                                                    * src.get(col_idx[jj + 2] as usize);
+                                                s3 += values[jj + 3]
+                                                    * src.get(col_idx[jj + 3] as usize);
+                                                jj += 4;
+                                            }
+                                            while jj < hi {
+                                                s0 += values[jj] * src.get(col_idx[jj] as usize);
+                                                jj += 1;
+                                            }
+                                            let sum = (s0 + s1) + (s2 + s3);
+                                            dst.set(r, sum);
+                                            sink.emit(p, r, sum);
+                                        }
+                                    }
+                                }
+                            }
+                            // Substep barrier: publishes this substep's rows
+                            // to the same-step successor substep. Every
+                            // thread runs the identical (s, q) iteration
+                            // space, so arrival counts always match.
+                            barrier.wait();
+                        }
+                    }
+                    if P::ENABLED {
+                        let t1 = probe.now();
+                        // SAFETY: `t` is this worker's own recorder lane.
+                        unsafe {
+                            probe.record(
+                                t,
+                                Span {
+                                    kind: SpanKind::Tile,
+                                    color: stage,
+                                    block: Span::NO_ID,
+                                    detail: kb_eff as u32,
+                                    start_ns: t0,
+                                    end_ns: t1,
+                                },
+                            );
+                        }
+                    }
+                    base += kb_eff;
+                    stage += 1;
+                }
+            })
+            .map_err(crate::FbmpkError::from)?;
+        }
+        Ok(std::mem::take(&mut bufs[k % nb]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, NullSink};
+    use fbmpk_obs::NoopProbe;
+    use fbmpk_sparse::spmv::spmv;
+
+    fn reference_powers(a: &Csr, x0: &[f64], k: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        let mut x = x0.to_vec();
+        for _ in 0..k {
+            let mut y = vec![0.0; x.len()];
+            spmv(a, &x, &mut y);
+            out.push(y.clone());
+            x = y;
+        }
+        out
+    }
+
+    #[test]
+    fn wavefront_matches_reference_all_k_and_bands() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(9, 6);
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) * 0.25 - 2.0).collect();
+        let pool = ThreadPool::new(1);
+        for kb in [1, 2, 3, 5] {
+            let plan = LevelBlockPlan::new(&a, 1, Some(kb), DEFAULT_LLC_BYTES);
+            for k in 1..=7 {
+                let want = reference_powers(&a, &x0, k).pop().unwrap();
+                let got = plan.run_probed(&pool, &x0, k, &NullSink, &NoopProbe).unwrap();
+                for (g, w) in got.iter().zip(&want) {
+                    let scale = w.abs().max(1.0);
+                    assert!((g - w).abs() / scale < 1e-12, "kb={kb} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_parallel_matches_serial() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(8, 8);
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let k = 5;
+        let serial = LevelBlockPlan::new(&a, 1, Some(3), DEFAULT_LLC_BYTES)
+            .run_probed(&ThreadPool::new(1), &x0, k, &NullSink, &NoopProbe)
+            .unwrap();
+        let parallel = LevelBlockPlan::new(&a, 3, Some(3), DEFAULT_LLC_BYTES)
+            .run_probed(&ThreadPool::new(3), &x0, k, &NullSink, &NoopProbe)
+            .unwrap();
+        // Same per-row dot products in the same order — bitwise equal.
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn wavefront_sink_sees_every_power() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(5, 5);
+        let n = a.nrows();
+        let x0 = vec![1.0; n];
+        let k = 4;
+        let plan = LevelBlockPlan::new(&a, 1, Some(2), DEFAULT_LLC_BYTES);
+        let pool = ThreadPool::new(1);
+        let mut basis = vec![0.0; k * n];
+        {
+            let sink = CollectSink::new(&mut basis, n, k);
+            plan.run_probed(&pool, &x0, k, &sink, &NoopProbe).unwrap();
+        }
+        let want = reference_powers(&a, &x0, k);
+        for p in 0..k {
+            for r in 0..n {
+                let w = want[p][r];
+                let g = basis[p * n + r];
+                assert!((g - w).abs() / w.abs().max(1.0) < 1e-12, "power {} row {r}", p + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_band_respects_llc() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(16, 16);
+        // A tiny LLC forces kb = 1; a huge one allows kb = k.
+        let tiny = LevelBlockPlan::new(&a, 1, None, 1024);
+        assert_eq!(tiny.resolve_tile_powers(6), 1);
+        let huge = LevelBlockPlan::new(&a, 1, None, 1 << 40);
+        assert_eq!(huge.resolve_tile_powers(6), 6);
+        // Explicit tile_powers is clamped to 1..=k.
+        let fixed = LevelBlockPlan::new(&a, 1, Some(100), DEFAULT_LLC_BYTES);
+        assert_eq!(fixed.resolve_tile_powers(4), 4);
+    }
+
+    #[test]
+    fn parse_cache_sizes() {
+        assert_eq!(parse_cache_size("512K"), Some(512 * 1024));
+        assert_eq!(parse_cache_size("8M"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_cache_size(" 32768K\n"), Some(32768 * 1024));
+        assert_eq!(parse_cache_size("123"), Some(123));
+        assert_eq!(parse_cache_size("bogus"), None);
+    }
+
+    #[test]
+    fn probe_llc_env_override() {
+        // The env var is the deterministic path; sysfs availability varies.
+        std::env::set_var("FBMPK_LLC_BYTES", "262144");
+        assert_eq!(probe_llc_bytes(), 262144);
+        std::env::remove_var("FBMPK_LLC_BYTES");
+        assert!(probe_llc_bytes() > 0);
+    }
+}

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod fingerprint;
 pub mod kernel;
 pub mod layout;
+pub mod levelblock;
 pub mod model;
 pub mod plan;
 pub mod schedule;
@@ -45,6 +46,7 @@ pub mod workspace;
 
 pub use engine::MpkEngine;
 pub use fingerprint::Fnv64;
+pub use levelblock::{probe_llc_bytes, BlockingMode, LevelBlockPlan};
 pub use plan::{
     FallbackPolicy, FbmpkOptions, FbmpkPlan, ObsOptions, VectorLayout, DEFAULT_WATCHDOG_MS,
 };
@@ -139,9 +141,12 @@ impl From<fbmpk_sparse::SparseError> for FbmpkError {
 impl From<fbmpk_parallel::WorkerFault> for FbmpkError {
     fn from(f: fbmpk_parallel::WorkerFault) -> Self {
         match f.cause {
-            fbmpk_parallel::FaultCause::Panic { payload } => {
-                FbmpkError::WorkerPanicked { thread: f.thread, color: f.color, block: f.block, payload }
-            }
+            fbmpk_parallel::FaultCause::Panic { payload } => FbmpkError::WorkerPanicked {
+                thread: f.thread,
+                color: f.color,
+                block: f.block,
+                payload,
+            },
             fbmpk_parallel::FaultCause::Stall { block, epoch, waited_ms, dump } => {
                 FbmpkError::Stalled { thread: f.thread, block, epoch, waited_ms, dump }
             }

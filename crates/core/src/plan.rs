@@ -9,6 +9,7 @@
 
 use crate::kernel::{run_fbmpk_probed, triangle_reads};
 use crate::layout::{BtbXy, SplitXy};
+use crate::levelblock::{probe_llc_bytes, BlockingMode, LevelBlockPlan};
 use crate::schedule::{Schedule, SyncCtx, SyncMode};
 use crate::sink::{AccumSink, CollectSink, NullSink, Sink};
 use crate::{FbmpkError, Result};
@@ -135,6 +136,13 @@ pub struct FbmpkOptions {
     pub watchdog_ms: Option<u64>,
     /// What to do when the watchdog fires (see [`FallbackPolicy`]).
     pub fallback: FallbackPolicy,
+    /// Memory traversal of the power kernels: the streaming
+    /// forward–backward pipeline, or BFS-shell level blocking that holds a
+    /// band of shells in cache across `tile_powers` consecutive powers
+    /// (see [`BlockingMode`]). Level blocking pays a BFS preprocessing
+    /// pass and denser synchronization; it wins when the matrix greatly
+    /// exceeds the LLC and `k >= 4`.
+    pub blocking: BlockingMode,
 }
 
 impl Default for FbmpkOptions {
@@ -149,6 +157,7 @@ impl Default for FbmpkOptions {
             obs: ObsOptions::default(),
             watchdog_ms: None,
             fallback: FallbackPolicy::default(),
+            blocking: BlockingMode::default(),
         }
     }
 }
@@ -189,6 +198,8 @@ pub struct FbmpkPlan {
     pool: Arc<ThreadPool>,
     layout: VectorLayout,
     sync: SyncMode,
+    blocking: BlockingMode,
+    levelblock: Option<LevelBlockPlan>,
     p2p: Option<P2pState>,
     recorder: Option<Arc<Recorder>>,
     stats: PlanStats,
@@ -266,6 +277,17 @@ impl FbmpkPlan {
         let t0 = Instant::now();
         let split = TriangularSplit::split(&working)?;
         stats.split_seconds = t0.elapsed().as_secs_f64();
+        // Level-blocked mode preprocesses the working (permuted) matrix
+        // into BFS shells once, amortized like the reorder itself.
+        let levelblock = match options.blocking {
+            BlockingMode::Streaming => None,
+            BlockingMode::LevelBlocked { tile_powers } => Some(LevelBlockPlan::new(
+                &working,
+                options.nthreads,
+                tile_powers,
+                probe_llc_bytes(),
+            )),
+        };
         let schedule = match &abmc {
             Some(abmc) => Schedule::colored(abmc, &split, options.nthreads),
             None => Schedule::serial(n),
@@ -307,6 +329,8 @@ impl FbmpkPlan {
             pool,
             layout: options.layout,
             sync: options.sync,
+            blocking: options.blocking,
+            levelblock,
             p2p,
             recorder,
             stats,
@@ -361,6 +385,17 @@ impl FbmpkPlan {
     /// The configured sweep synchronization mode.
     pub fn sync_mode(&self) -> SyncMode {
         self.sync
+    }
+
+    /// The configured memory-traversal mode.
+    pub fn blocking_mode(&self) -> BlockingMode {
+        self.blocking
+    }
+
+    /// The level-blocking state (shells, band sizing), when the plan runs
+    /// level-blocked.
+    pub fn level_block(&self) -> Option<&LevelBlockPlan> {
+        self.levelblock.as_ref()
     }
 
     /// The per-block dependency lists, when the plan runs point-to-point.
@@ -587,7 +622,13 @@ impl FbmpkPlan {
     /// Runs the kernel in the permuted domain; returns `x_k` (permuted).
     /// Dispatches on the recorder so the common (no-recorder) case
     /// monomorphizes to the uninstrumented kernel.
-    fn execute<S: Sink>(&self, x0p: &[f64], k: usize, sink: &S, sync: &SyncCtx) -> Result<Vec<f64>> {
+    fn execute<S: Sink>(
+        &self,
+        x0p: &[f64],
+        k: usize,
+        sink: &S,
+        sync: &SyncCtx,
+    ) -> Result<Vec<f64>> {
         match &self.recorder {
             Some(rec) => self.execute_probed(x0p, k, sink, sync, &SpanProbe::new(rec)),
             None => self.execute_probed(x0p, k, sink, sync, &NoopProbe),
@@ -602,6 +643,13 @@ impl FbmpkPlan {
         sync: &SyncCtx,
         probe: &P,
     ) -> Result<Vec<f64>> {
+        // Level-blocked mode replaces the whole streaming pipeline with
+        // the BFS-shell wavefront (sinks see every power either way). It
+        // runs on per-substep barriers only, so the point-to-point sync
+        // context and its fallback machinery don't apply.
+        if let Some(lb) = &self.levelblock {
+            return lb.run_probed(&self.pool, x0p, k, sink, probe);
+        }
         let n = self.n;
         let mut tmp = vec![0.0; n];
         let mut out = vec![0.0; n];
@@ -626,11 +674,7 @@ impl FbmpkPlan {
                         probe,
                     )?;
                 }
-                Ok(if k % 2 == 1 {
-                    out
-                } else {
-                    (0..n).map(|i| xy[2 * i]).collect()
-                })
+                Ok(if k % 2 == 1 { out } else { (0..n).map(|i| xy[2 * i]).collect() })
             }
             VectorLayout::Split => {
                 let mut even = x0p.to_vec();
@@ -700,6 +744,19 @@ mod tests {
                 let mut o = FbmpkOptions::parallel(4);
                 o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
                 o.layout = VectorLayout::Split;
+                o
+            }),
+            (
+                "serial-levelblocked",
+                FbmpkOptions {
+                    blocking: BlockingMode::LevelBlocked { tile_powers: Some(3) },
+                    ..Default::default()
+                },
+            ),
+            ("parallel-2-levelblocked", {
+                let mut o = FbmpkOptions::parallel(2);
+                o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+                o.blocking = BlockingMode::LevelBlocked { tile_powers: None };
                 o
             }),
         ]

@@ -134,8 +134,7 @@ impl crate::plan::FbmpkPlan {
     /// (use [`FbmpkPlan::try_symgs_sweep`](crate::plan::FbmpkPlan::try_symgs_sweep)
     /// for the fallible form).
     pub fn symgs_sweep(&self, b: &[f64], x: &mut [f64]) {
-        self.try_symgs_sweep(b, x)
-            .unwrap_or_else(|e| panic!("fbmpk: SYMGS sweep failed: {e}"));
+        self.try_symgs_sweep(b, x).unwrap_or_else(|e| panic!("fbmpk: SYMGS sweep failed: {e}"));
     }
 
     /// Fallible [`symgs_sweep`](Self::symgs_sweep): worker panics and

@@ -15,6 +15,9 @@
 //! * [`KernelVariant::CsrUnrolled4`] — 4 independent accumulators per row,
 //! * [`KernelVariant::CsrRowSplit`] — scalar for short rows, unrolled for
 //!   long ones (skewed row-length distributions),
+//! * [`KernelVariant::CsrSimd`] — lane-vectorized row dot products
+//!   (offered only when [`fbmpk_sparse::simd::detect`] finds an
+//!   accelerated instruction set),
 //! * [`KernelVariant::SellCs`] — SELL-C-σ chunked storage (regular short
 //!   rows; serial only).
 //!
@@ -22,14 +25,17 @@
 //! `row_ptr` (see `fbmpk_parallel::partition::merge_path_partition`), so a
 //! thread's share of `rows + nnz` work is bounded regardless of skew.
 
+use crate::levelblock::{probe_llc_bytes, LevelBlockPlan};
 use crate::plan::{FbmpkOptions, FbmpkPlan, ObsOptions};
 use crate::schedule::SyncMode;
+use crate::sink::NullSink;
 use fbmpk_obs::recorder::{Span, SpanKind};
 use fbmpk_obs::{NoopProbe, Probe, Recorder, SpanProbe};
 use fbmpk_parallel::partition::merge_path_partition;
 use fbmpk_parallel::{SharedSlice, ThreadPool};
 use fbmpk_reorder::AbmcParams;
 use fbmpk_sparse::sellcs::SellCs;
+use fbmpk_sparse::simd::{self, SimdLevel};
 use fbmpk_sparse::spmv::{spmv_rows, spmv_rows_rowsplit, spmv_rows_unrolled4};
 use fbmpk_sparse::stats::MatrixStats;
 use fbmpk_sparse::Csr;
@@ -64,6 +70,13 @@ pub enum KernelVariant {
         /// Row-length cutoff between the scalar and unrolled paths.
         threshold: usize,
     },
+    /// Lane-vectorized row dot products via `fbmpk_sparse::simd`.
+    CsrSimd {
+        /// Vector width in f64 lanes of the instruction set the cost model
+        /// saw when it offered this candidate (descriptive; dispatch always
+        /// follows the runtime-detected level).
+        width: usize,
+    },
     /// SELL-C-σ chunked execution (serial only).
     SellCs {
         /// Chunk height.
@@ -79,6 +92,7 @@ impl std::fmt::Display for KernelVariant {
             KernelVariant::CsrScalar => write!(f, "csr-scalar"),
             KernelVariant::CsrUnrolled4 => write!(f, "csr-unrolled4"),
             KernelVariant::CsrRowSplit { threshold } => write!(f, "csr-rowsplit(t={threshold})"),
+            KernelVariant::CsrSimd { width } => write!(f, "csr-simd{width}"),
             KernelVariant::SellCs { c, sigma } => write!(f, "sell-{c}-{sigma}"),
         }
     }
@@ -207,12 +221,18 @@ pub struct TunedPlan {
     a: Csr,
     sell: Option<SellCs>,
     variant: KernelVariant,
+    simd: SimdLevel,
     features: MatrixFeatures,
     ranges: Vec<Range<usize>>,
     pool: Arc<ThreadPool>,
     sync: SyncMode,
     obs: ObsOptions,
     recorder: Option<Arc<Recorder>>,
+    /// BFS-shell blocking plan for [`TunedPlan::power`], built lazily on
+    /// the first deep-power call (the BFS costs an O(nnz) pass that plain
+    /// SpMV users should not pay). `None` inside means "built, not
+    /// profitable on this matrix".
+    levelblock: OnceLock<Option<LevelBlockPlan>>,
     report: TuneReport,
 }
 
@@ -236,7 +256,8 @@ impl TunedPlan {
         assert_eq!(pool.nthreads(), options.nthreads, "pool size mismatch");
         let t0 = Instant::now();
         let features = MatrixFeatures::inspect(a);
-        let candidates = cost_model_candidates(&features, options.nthreads);
+        let simd_level = simd::detect();
+        let candidates = cost_model_candidates(&features, options.nthreads, simd_level);
 
         // Build SELL storage once if any candidate needs it, and drop the
         // candidate when padding exceeds the profitability bound.
@@ -294,24 +315,34 @@ impl TunedPlan {
             a: a.clone(),
             sell,
             variant,
+            simd: simd_level,
             features,
             ranges,
             pool,
             sync: options.sync,
             obs: options.obs,
             recorder,
+            levelblock: OnceLock::new(),
             report,
         }
     }
 
     /// Returns the cached plan for `a` (building and inserting it on the
     /// first call). The cache key is a structural+numerical fingerprint of
-    /// the matrix plus the thread count, so distinct matrices or executor
-    /// widths get distinct plans.
+    /// the matrix plus the thread count and the detected SIMD level, so
+    /// distinct matrices, executor widths, or CPU feature sets (e.g. a
+    /// plan serialized under `FBMPK_SIMD=scalar` and reloaded with AVX2
+    /// enabled) get distinct plans.
     pub fn cached(a: &Csr, options: TuneOptions) -> Arc<TunedPlan> {
-        type PlanCache = Mutex<HashMap<(u64, usize, u8, bool), Arc<TunedPlan>>>;
+        type PlanCache = Mutex<HashMap<(u64, usize, u8, u8, bool), Arc<TunedPlan>>>;
         static CACHE: OnceLock<PlanCache> = OnceLock::new();
-        let key = (fingerprint(a), options.nthreads, options.sync as u8, options.obs.record);
+        let key = (
+            fingerprint(a),
+            options.nthreads,
+            options.sync as u8,
+            simd::detect() as u8,
+            options.obs.record,
+        );
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
             return Arc::clone(plan);
@@ -331,6 +362,13 @@ impl TunedPlan {
     /// The selected kernel variant.
     pub fn variant(&self) -> KernelVariant {
         self.variant
+    }
+
+    /// The SIMD level detected when this plan was built (also part of the
+    /// [`TunedPlan::cached`] key, so a feature-set change invalidates
+    /// cached tunings).
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// The inspector's features.
@@ -439,10 +477,26 @@ impl TunedPlan {
     /// # Panics
     /// Panics on length mismatches.
     pub fn spmv_scalar(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_with(KernelVariant::CsrScalar, x, y);
+    }
+
+    /// Computes `y = A x` with an explicit CSR kernel variant on the same
+    /// partition and pool — the harness's scalar/unrolled/SIMD comparison
+    /// rows all run through here so only the inner kernel differs.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or a [`KernelVariant::SellCs`] variant
+    /// (SELL needs built chunk storage; use [`TunedPlan::spmv`] on a plan
+    /// that selected it).
+    pub fn spmv_with(&self, variant: KernelVariant, x: &[f64], y: &mut [f64]) {
+        assert!(
+            !matches!(variant, KernelVariant::SellCs { .. }),
+            "SELL has no row-range form; spmv_with takes CSR variants only"
+        );
         assert_eq!(x.len(), self.a.ncols(), "x length must equal ncols");
         assert_eq!(y.len(), self.a.nrows(), "y length must equal nrows");
         if self.pool.nthreads() == 1 {
-            run_variant(KernelVariant::CsrScalar, &self.a, x, y, 0, self.a.nrows());
+            run_variant(variant, &self.a, x, y, 0, self.a.nrows());
             return;
         }
         let a = &self.a;
@@ -452,12 +506,28 @@ impl TunedPlan {
             let r = ranges[t].clone();
             // SAFETY: disjoint ranges per thread, x read-only.
             let yt = unsafe { shared.slice_mut(r.clone()) };
-            run_variant_into(KernelVariant::CsrScalar, a, x, yt, r.start, r.end);
+            run_variant_into(variant, a, x, yt, r.start, r.end);
         });
     }
 
-    /// Computes `Aᵏ x₀` by `k` tuned SpMV rounds.
+    /// Computes `Aᵏ x₀` by `k` tuned SpMV rounds — or, for deep powers
+    /// (`k >= 4`) where the BFS-shell working set fits the last-level
+    /// cache, by the level-blocked wavefront schedule, which streams the
+    /// matrix only `⌈k / kb⌉` times instead of `k`.
     pub fn power(&self, x0: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(x0.len(), self.n(), "x0 length mismatch");
+        if k >= 4 {
+            if let Some(lb) = self.level_block_for(k) {
+                let run = match &self.recorder {
+                    Some(rec) => lb.run_probed(&self.pool, x0, k, &NullSink, &SpanProbe::new(rec)),
+                    None => lb.run_probed(&self.pool, x0, k, &NullSink, &NoopProbe),
+                };
+                if let Ok(out) = run {
+                    return out;
+                }
+                // A worker fault degrades to the streaming rounds below.
+            }
+        }
         let mut x = x0.to_vec();
         if k == 0 {
             return x;
@@ -468,6 +538,27 @@ impl TunedPlan {
             std::mem::swap(&mut x, &mut y);
         }
         x
+    }
+
+    /// The level-blocking plan when it is profitable for this `k`: built
+    /// once per tuned plan, and used only when the auto-sized band covers
+    /// at least two powers (otherwise the wavefront degenerates to
+    /// barrier-heavy streaming with no traffic savings).
+    fn level_block_for(&self, k: usize) -> Option<&LevelBlockPlan> {
+        let lb = self
+            .levelblock
+            .get_or_init(|| {
+                if self.features.nnz == 0 {
+                    return None;
+                }
+                let lb =
+                    LevelBlockPlan::new(&self.a, self.pool.nthreads(), None, probe_llc_bytes());
+                // A single shell means the whole matrix is one tile —
+                // blocking cannot beat streaming there.
+                (lb.levels().nlevels() >= 2).then_some(lb)
+            })
+            .as_ref()?;
+        (lb.resolve_tile_powers(k) >= 2).then_some(lb)
     }
 
     /// Computes `y = Σ_{i=0..=k} coeffs[i] · Aⁱ x₀` (`k = coeffs.len()-1`)
@@ -507,10 +598,15 @@ fn spmv_span(rows: usize, start_ns: u64, end_ns: u64) -> Span {
     }
 }
 
-/// Orders candidate variants best-first from structural features alone.
-/// The scalar baseline is always present (and always last unless nothing
-/// else applies), so `[0]` is the model's pick when probing is off.
-fn cost_model_candidates(f: &MatrixFeatures, nthreads: usize) -> Vec<KernelVariant> {
+/// Orders candidate variants best-first from structural features plus the
+/// detected SIMD level. The scalar baseline is always present (and always
+/// last unless nothing else applies), so `[0]` is the model's pick when
+/// probing is off.
+fn cost_model_candidates(
+    f: &MatrixFeatures,
+    nthreads: usize,
+    simd: SimdLevel,
+) -> Vec<KernelVariant> {
     let mut out = Vec::new();
     let mean = f.mean_row_nnz;
     // SELL-C-σ pays off on regular row lengths (low CV keeps padding
@@ -518,6 +614,11 @@ fn cost_model_candidates(f: &MatrixFeatures, nthreads: usize) -> Vec<KernelVaria
     // the padding filter applied by the caller.
     if nthreads == 1 && f.n >= SELL_SIGMA && mean >= 2.0 && f.row_cv <= 0.6 {
         out.push(KernelVariant::SellCs { c: SELL_C, sigma: SELL_SIGMA });
+    }
+    // Vector lanes need rows long enough to fill at least one gather;
+    // below that the lane setup dominates and the scalar paths win.
+    if simd.is_accelerated() && mean >= 4.0 {
+        out.push(KernelVariant::CsrSimd { width: simd.width() });
     }
     // Unrolling needs rows long enough to fill 4 accumulators; skewed
     // distributions prefer the per-row dispatch so short rows skip the
@@ -546,6 +647,7 @@ fn run_variant(variant: KernelVariant, a: &Csr, x: &[f64], y: &mut [f64], lo: us
         KernelVariant::CsrScalar => spmv_rows(a, x, y, lo, hi),
         KernelVariant::CsrUnrolled4 => spmv_rows_unrolled4(a, x, y, lo, hi),
         KernelVariant::CsrRowSplit { threshold } => spmv_rows_rowsplit(a, x, y, lo, hi, threshold),
+        KernelVariant::CsrSimd { .. } => simd::spmv_rows_simd(a, x, y, lo, hi),
         // SELL has no row-range form; executor handles it before dispatch.
         KernelVariant::SellCs { .. } => unreachable!("SELL dispatches whole-matrix"),
     }
@@ -594,6 +696,12 @@ fn run_variant_into(
                     y[r - lo] =
                         fbmpk_sparse::spmv::row_dot_unrolled4(&col_idx[s..e], &values[s..e], x);
                 }
+            }
+        }
+        KernelVariant::CsrSimd { .. } => {
+            for r in lo..hi {
+                let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+                y[r - lo] = simd::row_dot(&col_idx[s..e], &values[s..e], x);
             }
         }
         KernelVariant::SellCs { .. } => unreachable!("SELL dispatches whole-matrix"),
@@ -785,7 +893,7 @@ mod tests {
             bandwidth: 900,
             symmetric: false,
         };
-        let c = cost_model_candidates(&f, 4);
+        let c = cost_model_candidates(&f, 4, SimdLevel::Scalar);
         assert_eq!(c[0], KernelVariant::CsrRowSplit { threshold: ROWSPLIT_THRESHOLD });
         assert_eq!(*c.last().unwrap(), KernelVariant::CsrScalar);
         // SELL never offered in parallel mode.
@@ -804,8 +912,117 @@ mod tests {
             bandwidth: 64,
             symmetric: true,
         };
-        let c = cost_model_candidates(&f, 1);
+        let c = cost_model_candidates(&f, 1, SimdLevel::Scalar);
         assert!(matches!(c[0], KernelVariant::SellCs { .. }));
+    }
+
+    #[test]
+    fn cost_model_offers_simd_only_when_accelerated() {
+        let f = MatrixFeatures {
+            n: 1000,
+            nnz: 8_000,
+            mean_row_nnz: 8.0,
+            var_row_nnz: 1.0,
+            row_cv: 0.125,
+            max_row_nnz: 10,
+            bandwidth: 100,
+            symmetric: true,
+        };
+        let with = cost_model_candidates(&f, 4, SimdLevel::Avx2);
+        assert!(
+            with.contains(&KernelVariant::CsrSimd { width: 4 }),
+            "accelerated level must offer the SIMD variant: {with:?}"
+        );
+        let simd_pos =
+            with.iter().position(|v| matches!(v, KernelVariant::CsrSimd { .. })).unwrap();
+        let unrolled_pos = with.iter().position(|v| *v == KernelVariant::CsrUnrolled4).unwrap();
+        assert!(simd_pos < unrolled_pos, "SIMD ranks above unrolled when available");
+        let without = cost_model_candidates(&f, 4, SimdLevel::Scalar);
+        assert!(
+            !without.iter().any(|v| matches!(v, KernelVariant::CsrSimd { .. })),
+            "scalar level must not offer the SIMD variant"
+        );
+        // Short rows never offer SIMD even on accelerated hardware.
+        let short = MatrixFeatures { mean_row_nnz: 2.0, ..f };
+        let c = cost_model_candidates(&short, 4, SimdLevel::Avx2);
+        assert!(!c.iter().any(|v| matches!(v, KernelVariant::CsrSimd { .. })));
+    }
+
+    #[test]
+    fn simd_variant_matches_scalar_reference() {
+        for a in [grid(12), skewed(7)] {
+            let n = a.nrows();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+            let mut want = vec![0.0; n];
+            spmv(&a, &x, &mut want);
+            let width = fbmpk_sparse::simd::detect().width();
+            let mut got = vec![0.0; n];
+            run_variant(KernelVariant::CsrSimd { width }, &a, &x, &mut got, 0, n);
+            assert!(rel_err_inf(&got, &want) < 1e-12);
+            // The sub-slice executor form used by the parallel path.
+            let mut got2 = vec![0.0; n / 2];
+            run_variant_into(KernelVariant::CsrSimd { width }, &a, &x, &mut got2, 0, n / 2);
+            assert_eq!(&got[..n / 2], &got2[..], "full and sub-slice forms must agree");
+        }
+    }
+
+    #[test]
+    fn tuned_plan_with_simd_variant_runs_parallel() {
+        let a = grid(16);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.05).collect();
+        let mut want = vec![0.0; n];
+        spmv(&a, &x, &mut want);
+        for nthreads in [1, 3] {
+            let mut plan = TunedPlan::new(
+                &a,
+                TuneOptions { nthreads, probe: false, probe_reps: 1, ..Default::default() },
+            );
+            // Force the SIMD variant regardless of what the model picked so
+            // the executor path is covered on every host.
+            plan.variant = KernelVariant::CsrSimd { width: plan.simd_level().width() };
+            plan.sell = None;
+            let mut got = vec![0.0; n];
+            plan.spmv(&x, &mut got);
+            assert!(rel_err_inf(&got, &want) < 1e-12, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn deep_power_uses_level_blocking_and_matches_reference() {
+        // Elongated grid: many narrow BFS shells, so the auto band under
+        // the default LLC easily covers >= 2 powers.
+        let a = fbmpk_gen::poisson::grid2d_5pt(4, 200);
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let baseline = crate::StandardMpk::new(&a, 1).unwrap();
+        for nthreads in [1, 2] {
+            let plan = TunedPlan::new(
+                &a,
+                TuneOptions { nthreads, probe: false, probe_reps: 1, ..Default::default() },
+            );
+            assert!(
+                plan.level_block_for(6).is_some(),
+                "narrow-shell matrix at k=6 must engage level blocking"
+            );
+            for k in [4, 5, 6, 9] {
+                let want = baseline.power(&x0, k);
+                let got = plan.power(&x0, k);
+                assert!(rel_err_inf(&got, &want) < 1e-11, "nthreads={nthreads} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shallow_power_skips_level_blocking() {
+        let a = grid(8);
+        let plan = TunedPlan::new(
+            &a,
+            TuneOptions { nthreads: 1, probe: false, probe_reps: 1, ..Default::default() },
+        );
+        // k < 4 never consults the blocking plan; the lazy cell stays empty.
+        let _ = plan.power(&vec![1.0; plan.n()], 3);
+        assert!(plan.levelblock.get().is_none(), "k=3 must not build the BFS plan");
     }
 
     #[test]

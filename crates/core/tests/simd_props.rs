@@ -1,0 +1,188 @@
+//! Property tests for the SIMD lane kernels and the vectorized FBMPK
+//! pipeline.
+//!
+//! # The ULP bound is zero
+//!
+//! The lane kernels are constructed for *bit-identity* with the pre-SIMD
+//! scalar kernels, not mere closeness: they use separate multiply and add
+//! (never FMA), keep one independent accumulator per lane exactly like the
+//! 4-way unrolled scalar loops, fold the remainder into lane 0, and reduce
+//! with a fixed-shape pairwise tree. Every agreement assertion below is
+//! therefore `to_bits` equality — if a refactor introduces FMA or reorders
+//! the reduction, these properties fail rather than drifting quietly.
+//!
+//! Pipeline-level properties compare FBMPK (and the level-blocked
+//! wavefront) against the standard MPK reference; those use a relative
+//! tolerance because the *algorithms* associate differently, SIMD or not.
+//!
+//! The whole suite runs in both feature states (`--features simd` and
+//! default) in CI; under the scalar fallback the dispatched kernels are
+//! trivially the scalar kernels, under AVX2/NEON the same assertions pin
+//! the vector paths.
+
+use fbmpk::{BlockingMode, FbmpkOptions, FbmpkPlan, StandardMpk, VectorLayout};
+use fbmpk_reorder::AbmcParams;
+use fbmpk_sparse::simd;
+use fbmpk_sparse::spmv::row_dot_unrolled4;
+use fbmpk_sparse::vecops::rel_err_inf;
+use fbmpk_sparse::Csr;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// One sparse row (`cols`, `vals`) plus a gather source `x` of length `n`.
+fn row_case() -> impl Strategy<Value = (Vec<u32>, Vec<f64>, Vec<f64>)> {
+    (1usize..200, 0usize..48).prop_flat_map(|(n, len)| {
+        (
+            collection::vec(0u32..n as u32, len),
+            collection::vec(-100f64..100.0, len),
+            collection::vec(-100f64..100.0, n),
+        )
+    })
+}
+
+/// A suite matrix drawn from three structurally different generators:
+/// a 5-point Poisson grid (regular short rows), a random banded matrix
+/// (medium rows, local structure), and an R-MAT graph (skewed degrees).
+fn gen_matrix(family: usize, size: usize, seed: u64) -> Csr {
+    match family % 3 {
+        0 => fbmpk_gen::poisson::grid2d_5pt(size, size + 3),
+        1 => fbmpk_gen::banded::banded_symmetric(fbmpk_gen::banded::BandedParams {
+            n: size * 16,
+            nnz_per_row: 6.0,
+            bandwidth: size * 4,
+            seed,
+        }),
+        _ => fbmpk_gen::rmat::rmat(fbmpk_gen::rmat::RmatParams {
+            scale: 6,
+            edge_factor: 4,
+            seed,
+            ..Default::default()
+        }),
+    }
+}
+
+/// A deterministic, structure-exercising start vector.
+fn x0_for(n: usize, seed: u64) -> Vec<f64> {
+    (0..n).map(|i| ((i as u64 * 13 + seed) % 17) as f64 - 8.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dispatched row dot == scalar lane fallback == pre-SIMD unrolled
+    /// kernel, all bit-for-bit (the 0-ULP contract).
+    #[test]
+    fn row_dot_bit_identical_across_dispatch(case in row_case()) {
+        let (cols, vals, x) = case;
+        let dispatched = simd::row_dot(&cols, &vals, &x);
+        let scalar = simd::row_dot_scalar(&cols, &vals, &x);
+        let pre_pr = row_dot_unrolled4(&cols, &vals, &x);
+        prop_assert_eq!(dispatched.to_bits(), scalar.to_bits());
+        prop_assert_eq!(scalar.to_bits(), pre_pr.to_bits());
+    }
+
+    /// The BtB kernels: the dispatched even-only and dual-stream dots are
+    /// bit-identical to their scalar fallbacks, and the split-layout dual
+    /// dot agrees bitwise with the interleaved one on the same logical
+    /// vectors.
+    #[test]
+    fn btb_and_split_dots_bit_identical(
+        case in row_case(),
+        init_even in -10f64..10.0,
+        init_odd in -10f64..10.0,
+    ) {
+        let (cols, vals, x) = case;
+        let n = x.len();
+        // Interleave x (even slots) with a shifted copy (odd slots).
+        let xy: Vec<f64> = (0..2 * n)
+            .map(|i| if i % 2 == 0 { x[i / 2] } else { x[i / 2] * 0.5 - 1.0 })
+            .collect();
+        let xe: Vec<f64> = (0..n).map(|i| xy[2 * i]).collect();
+        let xo: Vec<f64> = (0..n).map(|i| xy[2 * i + 1]).collect();
+
+        let even = simd::btb_even_dot(&cols, &vals, &xy, init_even);
+        let even_scalar = simd::btb_even_dot_scalar(&cols, &vals, &xy, init_even);
+        prop_assert_eq!(even.to_bits(), even_scalar.to_bits());
+
+        let dual = simd::btb_dual_dot(&cols, &vals, &xy, init_even, init_odd);
+        let dual_scalar = simd::btb_dual_dot_scalar(&cols, &vals, &xy, init_even, init_odd);
+        prop_assert_eq!(dual.0.to_bits(), dual_scalar.0.to_bits());
+        prop_assert_eq!(dual.1.to_bits(), dual_scalar.1.to_bits());
+
+        let split = simd::split_dual_dot(&cols, &vals, &xe, &xo, init_even, init_odd);
+        prop_assert_eq!(split.0.to_bits(), dual.0.to_bits());
+        prop_assert_eq!(split.1.to_bits(), dual.1.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full FBMPK pipeline agrees with the standard MPK reference for
+    /// every generator family, both `k` parities (head-only, tail), both
+    /// vector layouts, and serial plus parallel thread counts — whatever
+    /// SIMD level the host dispatches to.
+    #[test]
+    fn fbmpk_matches_standard_across_configs(
+        family in 0usize..3,
+        size in 4usize..10,
+        k in 1usize..9,
+        tsel in 0usize..3,
+        lsel in 0usize..2,
+        seed in 0u64..1024,
+    ) {
+        let a = gen_matrix(family, size, seed);
+        let nthreads = [1, 2, 4][tsel];
+        let opts = FbmpkOptions {
+            nthreads,
+            reorder: (nthreads > 1)
+                .then(|| AbmcParams { nblocks: 8, ..Default::default() }),
+            layout: if lsel == 0 { VectorLayout::BackToBack } else { VectorLayout::Split },
+            ..Default::default()
+        };
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        let reference = StandardMpk::new(&a, 1).unwrap();
+        let x0 = x0_for(a.nrows(), seed);
+        let got = plan.power(&x0, k);
+        let want = reference.power(&x0, k);
+        prop_assert!(
+            rel_err_inf(&got, &want) < 1e-9,
+            "family={} k={} nthreads={} layout={}",
+            family, k, nthreads, lsel
+        );
+    }
+
+    /// Level-blocked execution computes the same powers as streaming for
+    /// every band size, including the auto-sized one.
+    #[test]
+    fn level_blocked_matches_standard_across_bands(
+        family in 0usize..3,
+        size in 4usize..10,
+        k in 4usize..9,
+        tsel in 0usize..2,
+        band in 0usize..4,
+        seed in 0u64..1024,
+    ) {
+        let a = gen_matrix(family, size, seed);
+        let nthreads = [1, 2][tsel];
+        let opts = FbmpkOptions {
+            nthreads,
+            reorder: (nthreads > 1)
+                .then(|| AbmcParams { nblocks: 8, ..Default::default() }),
+            blocking: BlockingMode::LevelBlocked {
+                tile_powers: (band > 0).then_some(band),
+            },
+            ..Default::default()
+        };
+        let plan = FbmpkPlan::new(&a, opts).unwrap();
+        let reference = StandardMpk::new(&a, 1).unwrap();
+        let x0 = x0_for(a.nrows(), seed);
+        let got = plan.power(&x0, k);
+        let want = reference.power(&x0, k);
+        prop_assert!(
+            rel_err_inf(&got, &want) < 1e-9,
+            "family={} k={} nthreads={} band={}",
+            family, k, nthreads, band
+        );
+    }
+}

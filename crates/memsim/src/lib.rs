@@ -23,4 +23,4 @@ pub mod layout;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{Hierarchy, TrafficReport};
-pub use kernels::{trace_fbmpk, trace_standard_mpk, TracedLayout};
+pub use kernels::{trace_fbmpk, trace_level_blocked, trace_standard_mpk, TracedLayout};

@@ -46,6 +46,10 @@ pub enum SpanKind {
     /// policy, the invocation was re-executed on the barrier schedule).
     /// Zero-duration marker; `detail` holds the milliseconds waited.
     Watchdog,
+    /// One level-blocked wavefront stage: a thread's share of advancing
+    /// the BFS-shell tiles through a band of powers. `color` holds the
+    /// stage index, `detail` the number of powers in the band.
+    Tile,
 }
 
 impl SpanKind {
@@ -61,6 +65,7 @@ impl SpanKind {
             SpanKind::Spmv => "spmv",
             SpanKind::Poison => "poison",
             SpanKind::Watchdog => "watchdog",
+            SpanKind::Tile => "tile",
         }
     }
 
@@ -70,7 +75,7 @@ impl SpanKind {
     }
 
     /// Every kind, in declaration order.
-    pub const ALL: [SpanKind; 9] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Head,
         SpanKind::Forward,
         SpanKind::Backward,
@@ -80,6 +85,7 @@ impl SpanKind {
         SpanKind::Spmv,
         SpanKind::Poison,
         SpanKind::Watchdog,
+        SpanKind::Tile,
     ];
 }
 
@@ -265,7 +271,7 @@ impl Recorder {
 
     /// `(count, total_ns)` per [`SpanKind`] across every lane, in
     /// [`SpanKind::ALL`] order.
-    pub fn kind_totals(&self) -> [(SpanKind, u64, u64); 9] {
+    pub fn kind_totals(&self) -> [(SpanKind, u64, u64); 10] {
         let mut out = SpanKind::ALL.map(|k| (k, 0u64, 0u64));
         for t in 0..self.nthreads() {
             for s in self.thread_spans(t) {

@@ -64,7 +64,11 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Parses the `FBMPK_FAULT` grammar (see the module docs).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        fn num<T: std::str::FromStr>(part: Option<&str>, what: &str, spec: &str) -> Result<T, String> {
+        fn num<T: std::str::FromStr>(
+            part: Option<&str>,
+            what: &str,
+            spec: &str,
+        ) -> Result<T, String> {
             part.ok_or_else(|| format!("fault spec '{spec}': missing {what}"))?
                 .trim()
                 .parse()
@@ -251,8 +255,8 @@ mod tests {
             let _guard = install(plan);
             at_color(1, 1); // wrong color: no fire
             at_color(0, 2); // wrong thread: no fire
-            let err = std::panic::catch_unwind(|| at_color(1, 2))
-                .expect_err("matching site must panic");
+            let err =
+                std::panic::catch_unwind(|| at_color(1, 2)).expect_err("matching site must panic");
             assert!(crate::poison::payload_string(err.as_ref()).contains("color 2"));
             assert!(!before_mark(0, 3, 4), "skip site must drop the publish");
             assert!(before_mark(0, 3, 5), "other epochs unaffected");

@@ -78,6 +78,17 @@ impl<'a, T: Copy> SharedSlice<'a, T> {
         unsafe { *self.data[i].get() = v }
     }
 
+    /// Base pointer of the underlying storage. Obtaining the pointer is
+    /// safe; every read or write through it must follow the same
+    /// phase-disciplined contract as [`SharedSlice::get`] /
+    /// [`SharedSlice::set`]. Used by the SIMD sweep kernels, which process
+    /// a whole row per call and therefore cannot go through the
+    /// per-element accessors.
+    #[inline]
+    pub fn base_ptr(&self) -> *const T {
+        self.data.as_ptr() as *const T
+    }
+
     /// Returns an exclusive sub-slice for `range`, so a thread can hand its
     /// contiguous partition to an ordinary slice-based kernel instead of
     /// writing element-by-element through [`SharedSlice::set`].

@@ -107,6 +107,60 @@ pub fn level_schedule_upper(u: &Csr) -> LevelSchedule {
     LevelSchedule { order, level_ptr }
 }
 
+/// Groups rows into breadth-first-search shells of the *symmetrized*
+/// sparsity pattern, starting from row 0 (unreached components seed new
+/// searches). Every edge of `A` (and of `Aᵀ`) connects rows in the same or
+/// adjacent shells, so computing `(A x)[r]` for rows of shell `j` touches
+/// only `x` entries of shells `j−1..=j+1` — the containment property the
+/// level-blocked matrix-power schedule relies on to advance a shell through
+/// multiple powers while its neighborhood is cache-resident.
+///
+/// Returns the shells as a [`LevelSchedule`]; rows within a shell keep
+/// ascending index order.
+pub fn bfs_level_schedule(a: &Csr) -> LevelSchedule {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "bfs_level_schedule needs a square matrix");
+    // Symmetrize the pattern: BFS must follow edges both ways or a directed
+    // edge could jump shells in the unexplored direction.
+    let at = a.transpose();
+    let mut level = vec![u32::MAX; n];
+    let mut maxlevel = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for seed in 0..n {
+        if level[seed] != u32::MAX {
+            continue;
+        }
+        level[seed] = 0;
+        queue.push_back(seed);
+        while let Some(r) = queue.pop_front() {
+            let lv = level[r];
+            maxlevel = maxlevel.max(lv);
+            for &c in a.row_cols(r).iter().chain(at.row_cols(r)) {
+                let c = c as usize;
+                if level[c] == u32::MAX {
+                    level[c] = lv + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    let nlevels = if n == 0 { 0 } else { maxlevel as usize + 1 };
+    let mut level_ptr = vec![0usize; nlevels + 1];
+    for &lv in &level {
+        level_ptr[lv as usize + 1] += 1;
+    }
+    for i in 0..nlevels {
+        level_ptr[i + 1] += level_ptr[i];
+    }
+    let mut order = vec![0u32; n];
+    let mut next = level_ptr.clone();
+    for (r, &lv) in level.iter().enumerate() {
+        order[next[lv as usize]] = r as u32;
+        next[lv as usize] += 1;
+    }
+    LevelSchedule { order, level_ptr }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +237,62 @@ mod tests {
         let s = level_schedule_lower(&Csr::zero(0, 0));
         assert_eq!(s.nlevels(), 0);
         assert_eq!(s.max_width(), 0);
+    }
+
+    #[test]
+    fn bfs_shells_span_at_most_one_level() {
+        let a = fbmpk_gen::poisson::grid2d_5pt(7, 9);
+        let s = bfs_level_schedule(&a);
+        let n = a.nrows();
+        let mut level_of = vec![usize::MAX; n];
+        for l in 0..s.nlevels() {
+            for &r in s.level_rows(l) {
+                level_of[r as usize] = l;
+            }
+        }
+        // Every row scheduled exactly once.
+        let mut sorted = s.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<u32>>());
+        // The containment property: every edge connects adjacent shells.
+        for (r, c, _) in a.iter() {
+            let (lr, lc) = (level_of[r], level_of[c]);
+            assert!(lr.abs_diff(lc) <= 1, "edge ({r}, {c}) spans shells {lr} -> {lc}");
+        }
+    }
+
+    #[test]
+    fn bfs_covers_disconnected_components() {
+        // Two disjoint 2-chains: 0-1 and 2-3.
+        let mut coo = fbmpk_sparse::Coo::new(4, 4);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(2, 3, 1.0).unwrap();
+        coo.push(3, 2, 1.0).unwrap();
+        let s = bfs_level_schedule(&coo.to_csr());
+        assert_eq!(s.nlevels(), 2);
+        let mut sorted = s.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_empty_matrix() {
+        let s = bfs_level_schedule(&Csr::zero(0, 0));
+        assert_eq!(s.nlevels(), 0);
+    }
+
+    #[test]
+    fn bfs_follows_directed_edges_both_ways() {
+        // Strictly lower chain: edges only point backwards, but the BFS
+        // symmetrizes, so shells advance one hop per level anyway.
+        let mut coo = fbmpk_sparse::Coo::new(4, 4);
+        for i in 1..4 {
+            coo.push(i, i - 1, 1.0).unwrap();
+        }
+        let s = bfs_level_schedule(&coo.to_csr());
+        assert_eq!(s.nlevels(), 4);
+        assert_eq!(s.level_rows(0), &[0]);
+        assert_eq!(s.level_rows(3), &[3]);
     }
 }

@@ -128,7 +128,12 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
             }
             rho = rho_new;
         }
-        return Ok(BiCgStabResult { x, iters: max_iters, relres: norm2(&r) / bnorm, converged: false });
+        return Ok(BiCgStabResult {
+            x,
+            iters: max_iters,
+            relres: norm2(&r) / bnorm,
+            converged: false,
+        });
     }
 }
 

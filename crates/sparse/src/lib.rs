@@ -17,6 +17,8 @@
 //! * [`vecops`] — dense-vector helpers used by the solvers,
 //! * [`sellcs`]/[`ell`] — SELL-C-σ and ELLPACK, the vector-friendly
 //!   formats the paper lists as future work,
+//! * [`simd`] — the portable SIMD lane abstraction (AVX2/NEON behind the
+//!   `simd` feature, bit-identical scalar fallback otherwise),
 //! * [`spmm`] — sparse × multi-vector products for block Krylov methods.
 //!
 //! Index convention: column indices are stored as `u32` (4-byte `int`, as in
@@ -28,6 +30,7 @@ pub mod ell;
 pub mod io;
 pub mod permute;
 pub mod sellcs;
+pub mod simd;
 pub mod split;
 pub mod spmm;
 pub mod spmv;

@@ -186,11 +186,15 @@ impl SellCs {
                 acc.fill(0.0);
                 for j in 0..w {
                     let col_base = base + j * c;
-                    for (lane, a) in acc.iter_mut().enumerate() {
-                        // Padded slots contribute value 0.
-                        *a += self.values[col_base + lane]
-                            * x[self.col_idx[col_base + lane] as usize];
-                    }
+                    // Padded slots contribute value 0. The MAC is lane-wise,
+                    // so the dispatched vector lowering is bit-identical to
+                    // the scalar loop it replaced.
+                    crate::simd::sell_mac(
+                        &self.values[col_base..col_base + acc.len()],
+                        &self.col_idx[col_base..col_base + acc.len()],
+                        x,
+                        acc,
+                    );
                 }
                 for (lane, &a) in acc.iter().enumerate() {
                     y[order[lo + lane] as usize] = a;

@@ -1,0 +1,1291 @@
+//! Portable SIMD lane abstraction for the sweep kernels.
+//!
+//! The FBMPK inner loops (CSR row dots, the SELL-C-σ chunk MAC and the
+//! forward/backward dual dots over the BtB-interleaved `xy[2n]` vector) are
+//! expressed here once against a lane-width-generic wrapper, [`Lanes`], and
+//! lowered three ways:
+//!
+//! * a **scalar fallback** that is *bit-identical* to the pre-existing
+//!   unrolled kernels (`spmv::row_dot_unrolled4` and the hand-merged loops
+//!   in `fbmpk::kernel`): same accumulator count, same per-lane operation
+//!   order, same `(s0 + s1) + (s2 + s3)` reduction tree, remainder folded
+//!   into lane 0;
+//! * **AVX2** (`x86_64`, runtime-detected) using 4 × f64 vectors;
+//! * **NEON** (`aarch64` baseline) using 2 × f64 vector pairs that mirror
+//!   the same four logical accumulators.
+//!
+//! Bit-compatibility is a hard invariant, not best-effort: the vector paths
+//! deliberately use separate multiply and add intrinsics (**no FMA**) and a
+//! fixed pairwise reduction, so every lane performs exactly the IEEE-754
+//! operations of its scalar counterpart in the same order. The existing
+//! bit-identity suites therefore pass with the `simd` feature both on and
+//! off, and SIMD-vs-scalar agreement is exact (0 ULP) rather than merely
+//! bounded.
+//!
+//! # Safety
+//!
+//! The `unsafe` in this module is (a) calling `#[target_feature]` functions,
+//! guarded by [`detect`]'s runtime CPUID check, (b) unaligned vector
+//! loads/stores of `vals`/`acc` slices whose bounds are asserted at function
+//! entry, and (c) the `*_ptr` kernel family, which gathers through a raw
+//! base pointer. The pointer variants exist because the sweep kernels read
+//! vectors other threads are concurrently writing (under the `SharedSlice`
+//! phase discipline); materializing a `&[f64]` over that storage would be
+//! aliasing UB, so the kernels take `SharedSlice::base_ptr()` and inherit
+//! its contract — the caller proves every `cols[j]` slot is in bounds and
+//! race-free for the current phase. The safe slice entry points
+//! ([`btb_even_dot`], [`btb_dual_dot`], [`split_dual_dot`], [`row_dot`],
+//! [`sell_mac`]) assert all bounds before forwarding.
+//!
+//! Dispatch is decided once per process by [`detect`] (cached in a
+//! `OnceLock`): the `simd` cargo feature gates compilation, the
+//! `FBMPK_SIMD` environment variable (`scalar` / `off` / `0`) forces the
+//! scalar path at runtime, and only scalar can be forced — a vector level
+//! that the CPU does not report is never selected, so the `target_feature`
+//! contract always holds.
+
+use crate::Csr;
+use std::sync::OnceLock;
+
+/// The instruction-set level the dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar fallback (also used when the `simd` feature is off
+    /// or `FBMPK_SIMD=scalar`).
+    Scalar,
+    /// x86-64 AVX2, 4 × f64 lanes.
+    Avx2,
+    /// AArch64 NEON, 2 × f64 lanes (paired to mirror 4 accumulators).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Vector width in f64 lanes (1 for scalar).
+    pub fn width(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Avx2 => 4,
+            SimdLevel::Neon => 2,
+        }
+    }
+
+    /// Stable lowercase tag, used in fingerprints and perf-DB records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// `true` when a vector path (not the scalar fallback) is active.
+    pub fn is_accelerated(self) -> bool {
+        !matches!(self, SimdLevel::Scalar)
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+
+/// Returns the SIMD level used by every dispatching kernel in this module.
+///
+/// Probed once per process: `Scalar` when the `simd` cargo feature is off
+/// or `FBMPK_SIMD` is `scalar`/`off`/`0`; otherwise the best level the CPU
+/// reports (AVX2 via CPUID on x86-64, NEON unconditionally on aarch64 where
+/// it is architecturally baseline).
+pub fn detect() -> SimdLevel {
+    *LEVEL.get_or_init(|| {
+        if !cfg!(feature = "simd") {
+            return SimdLevel::Scalar;
+        }
+        if let Ok(v) = std::env::var("FBMPK_SIMD") {
+            if matches!(v.as_str(), "scalar" | "off" | "0") {
+                return SimdLevel::Scalar;
+            }
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        {
+            return SimdLevel::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdLevel::Scalar
+    })
+}
+
+/// A `W`-wide bundle of f64 lanes — the portable value type the scalar
+/// fallbacks are written against. `W` must be a power of two.
+///
+/// Each lane is an independent IEEE-754 accumulator: [`Lanes::mul_acc`] is
+/// a lane-wise `self += a * b` with separate multiply and add (never fused),
+/// and [`Lanes::reduce_tree`] folds adjacent pairs — for `W = 4` exactly
+/// `(l0 + l1) + (l2 + l3)`, the reduction the unrolled scalar kernels use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lanes<const W: usize>(pub [f64; W]);
+
+impl<const W: usize> Lanes<W> {
+    /// All lanes set to `v`.
+    pub const fn splat(v: f64) -> Self {
+        Lanes([v; W])
+    }
+
+    /// All lanes zero.
+    pub const fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Loads the first `W` elements of `v`.
+    ///
+    /// # Panics
+    /// Panics when `v.len() < W`.
+    #[inline(always)]
+    pub fn load(v: &[f64]) -> Self {
+        Lanes(std::array::from_fn(|i| v[i]))
+    }
+
+    /// Gathers `x[idx[i]]` into lane `i`.
+    ///
+    /// # Panics
+    /// Panics when `idx.len() < W` or an index is out of range.
+    #[inline(always)]
+    pub fn gather(x: &[f64], idx: &[u32]) -> Self {
+        Lanes(std::array::from_fn(|i| x[idx[i] as usize]))
+    }
+
+    /// Gathers `xy[2 * idx[i] + off]` into lane `i` — the strided load over
+    /// a BtB-interleaved vector (`off = 0` for even slots, `1` for odd).
+    ///
+    /// # Panics
+    /// Panics when `idx.len() < W` or a slot is out of range.
+    #[inline(always)]
+    pub fn gather_btb(xy: &[f64], idx: &[u32], off: usize) -> Self {
+        Lanes(std::array::from_fn(|i| xy[2 * idx[i] as usize + off]))
+    }
+
+    /// Lane-wise `self += a * b` with separate multiply and add (no FMA).
+    #[inline(always)]
+    pub fn mul_acc(&mut self, a: Self, b: Self) {
+        for i in 0..W {
+            self.0[i] += a.0[i] * b.0[i];
+        }
+    }
+
+    /// Pairwise reduction: adjacent lanes are summed each round, so for
+    /// `W = 4` the result is exactly `(l0 + l1) + (l2 + l3)`.
+    #[inline(always)]
+    pub fn reduce_tree(self) -> f64 {
+        debug_assert!(W.is_power_of_two(), "Lanes width must be a power of two");
+        let mut buf = self.0;
+        let mut w = W;
+        while w > 1 {
+            for i in 0..w / 2 {
+                buf[i] = buf[2 * i] + buf[2 * i + 1];
+            }
+            w /= 2;
+        }
+        if W == 0 {
+            0.0
+        } else {
+            buf[0]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar fallbacks (always compiled; bit-identical to the unrolled kernels).
+// ---------------------------------------------------------------------------
+
+/// Scalar-fallback row dot, written against [`Lanes<4>`]. Bit-identical to
+/// [`crate::spmv::row_dot_unrolled4`]: four independent accumulators, the
+/// remainder folded into lane 0, `(s0 + s1) + (s2 + s3)` reduction.
+#[inline(always)]
+pub fn row_dot_scalar(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let len = cols.len();
+    let main = len - len % 4;
+    let mut acc = Lanes::<4>::zero();
+    let mut j = 0;
+    while j < main {
+        acc.mul_acc(Lanes::load(&vals[j..j + 4]), Lanes::gather(x, &cols[j..j + 4]));
+        j += 4;
+    }
+    while j < len {
+        acc.0[0] += vals[j] * x[cols[j] as usize];
+        j += 1;
+    }
+    acc.reduce_tree()
+}
+
+/// Scalar-fallback even-slot dot over a BtB-interleaved vector `xy[2n]`:
+/// `init + Σ vals[j] · xy[2·cols[j]]`, with the same accumulator layout as
+/// the head/tail stages of `fbmpk::kernel` (`init` seeds lane 0).
+#[inline(always)]
+pub fn btb_even_dot_scalar(cols: &[u32], vals: &[f64], xy: &[f64], init: f64) -> f64 {
+    let len = cols.len();
+    let main = len - len % 4;
+    let mut acc = Lanes::<4>::zero();
+    acc.0[0] = init;
+    let mut j = 0;
+    while j < main {
+        acc.mul_acc(Lanes::load(&vals[j..j + 4]), Lanes::gather_btb(xy, &cols[j..j + 4], 0));
+        j += 4;
+    }
+    while j < len {
+        acc.0[0] += vals[j] * xy[2 * cols[j] as usize];
+        j += 1;
+    }
+    acc.reduce_tree()
+}
+
+/// Scalar-fallback dual dot over a BtB-interleaved vector: returns
+/// `(init_even + Σ v·xy[2c], init_odd + Σ v·xy[2c+1])`.
+///
+/// Mirrors the 2-way merged loop of the forward/backward sweeps: two
+/// (even, odd) accumulator pairs, pairs of nonzeros processed per
+/// iteration, the odd remainder folded into the first pair, and the final
+/// sums `a + b` per stream.
+#[inline(always)]
+pub fn btb_dual_dot_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    xy: &[f64],
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    let len = cols.len();
+    let main = len - len % 2;
+    let mut acc_a = Lanes::<2>([init_even, init_odd]);
+    let mut acc_b = Lanes::<2>::zero();
+    let mut j = 0;
+    while j < main {
+        let c0 = 2 * cols[j] as usize;
+        let c1 = 2 * cols[j + 1] as usize;
+        acc_a.mul_acc(Lanes::splat(vals[j]), Lanes([xy[c0], xy[c0 + 1]]));
+        acc_b.mul_acc(Lanes::splat(vals[j + 1]), Lanes([xy[c1], xy[c1 + 1]]));
+        j += 2;
+    }
+    if j < len {
+        let c = 2 * cols[j] as usize;
+        acc_a.0[0] += vals[j] * xy[c];
+        acc_a.0[1] += vals[j] * xy[c + 1];
+    }
+    (acc_a.0[0] + acc_b.0[0], acc_a.0[1] + acc_b.0[1])
+}
+
+/// Scalar-fallback dual dot over split even/odd vectors — the `SplitXy`
+/// layout counterpart of [`btb_dual_dot_scalar`], same accumulator shape.
+#[inline(always)]
+pub fn split_dual_dot_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    xe: &[f64],
+    xo: &[f64],
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    let len = cols.len();
+    let main = len - len % 2;
+    let mut acc_a = Lanes::<2>([init_even, init_odd]);
+    let mut acc_b = Lanes::<2>::zero();
+    let mut j = 0;
+    while j < main {
+        let c0 = cols[j] as usize;
+        let c1 = cols[j + 1] as usize;
+        acc_a.mul_acc(Lanes::splat(vals[j]), Lanes([xe[c0], xo[c0]]));
+        acc_b.mul_acc(Lanes::splat(vals[j + 1]), Lanes([xe[c1], xo[c1]]));
+        j += 2;
+    }
+    if j < len {
+        let c = cols[j] as usize;
+        acc_a.0[0] += vals[j] * xe[c];
+        acc_a.0[1] += vals[j] * xo[c];
+    }
+    (acc_a.0[0] + acc_b.0[0], acc_a.0[1] + acc_b.0[1])
+}
+
+/// Scalar-fallback SELL chunk MAC: `acc[l] += vals[l] · x[cols[l]]` for
+/// every lane `l < acc.len()`. Lane-wise, so any vector lowering of it is
+/// bit-identical by construction.
+#[inline(always)]
+pub fn sell_mac_scalar(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+    for (l, a) in acc.iter_mut().enumerate() {
+        *a += vals[l] * x[cols[l] as usize];
+    }
+}
+
+// Raw-pointer twins of the scalar fallbacks. The sweep kernels read the
+// `xy`/`tmp` vectors through `SharedSlice` base pointers (forming a `&[f64]`
+// over storage other threads are writing would be aliasing UB), so the
+// dispatchable kernels below take `*const f64` and these replicate the exact
+// slice-fallback operation order through raw reads.
+
+/// # Safety
+/// `x.add(cols[j])` valid for reads for every `j`; no concurrent writer of
+/// those locations in this phase (the `SharedSlice` contract).
+#[inline(always)]
+unsafe fn row_dot_ptr_scalar(cols: &[u32], vals: &[f64], x: *const f64, init: f64) -> f64 {
+    let len = cols.len();
+    let main = len - len % 4;
+    let mut acc = Lanes::<4>::zero();
+    acc.0[0] = init;
+    let mut j = 0;
+    // SAFETY: reads valid per the function contract.
+    unsafe {
+        while j < main {
+            acc.mul_acc(
+                Lanes::load(&vals[j..j + 4]),
+                Lanes(std::array::from_fn(|i| *x.add(cols[j + i] as usize))),
+            );
+            j += 4;
+        }
+        while j < len {
+            acc.0[0] += vals[j] * *x.add(cols[j] as usize);
+            j += 1;
+        }
+    }
+    acc.reduce_tree()
+}
+
+/// # Safety
+/// As [`row_dot_ptr_scalar`] with slots `xy[2·cols[j]]`.
+#[inline(always)]
+unsafe fn btb_even_dot_ptr_scalar(cols: &[u32], vals: &[f64], xy: *const f64, init: f64) -> f64 {
+    let len = cols.len();
+    let main = len - len % 4;
+    let mut acc = Lanes::<4>::zero();
+    acc.0[0] = init;
+    let mut j = 0;
+    // SAFETY: reads valid per the function contract.
+    unsafe {
+        while j < main {
+            acc.mul_acc(
+                Lanes::load(&vals[j..j + 4]),
+                Lanes(std::array::from_fn(|i| *xy.add(2 * cols[j + i] as usize))),
+            );
+            j += 4;
+        }
+        while j < len {
+            acc.0[0] += vals[j] * *xy.add(2 * cols[j] as usize);
+            j += 1;
+        }
+    }
+    acc.reduce_tree()
+}
+
+/// # Safety
+/// As [`row_dot_ptr_scalar`] with slots `xy[2·cols[j]]`, `xy[2·cols[j]+1]`.
+#[inline(always)]
+unsafe fn btb_dual_dot_ptr_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    xy: *const f64,
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    let len = cols.len();
+    let main = len - len % 2;
+    let mut acc_a = Lanes::<2>([init_even, init_odd]);
+    let mut acc_b = Lanes::<2>::zero();
+    let mut j = 0;
+    // SAFETY: reads valid per the function contract.
+    unsafe {
+        while j < main {
+            let c0 = 2 * cols[j] as usize;
+            let c1 = 2 * cols[j + 1] as usize;
+            acc_a.mul_acc(Lanes::splat(vals[j]), Lanes([*xy.add(c0), *xy.add(c0 + 1)]));
+            acc_b.mul_acc(Lanes::splat(vals[j + 1]), Lanes([*xy.add(c1), *xy.add(c1 + 1)]));
+            j += 2;
+        }
+        if j < len {
+            let c = 2 * cols[j] as usize;
+            acc_a.0[0] += vals[j] * *xy.add(c);
+            acc_a.0[1] += vals[j] * *xy.add(c + 1);
+        }
+    }
+    (acc_a.0[0] + acc_b.0[0], acc_a.0[1] + acc_b.0[1])
+}
+
+/// # Safety
+/// As [`row_dot_ptr_scalar`] for both `xe` and `xo`.
+#[inline(always)]
+unsafe fn split_dual_dot_ptr_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    xe: *const f64,
+    xo: *const f64,
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    let len = cols.len();
+    let main = len - len % 2;
+    let mut acc_a = Lanes::<2>([init_even, init_odd]);
+    let mut acc_b = Lanes::<2>::zero();
+    let mut j = 0;
+    // SAFETY: reads valid per the function contract.
+    unsafe {
+        while j < main {
+            let c0 = cols[j] as usize;
+            let c1 = cols[j + 1] as usize;
+            acc_a.mul_acc(Lanes::splat(vals[j]), Lanes([*xe.add(c0), *xo.add(c0)]));
+            acc_b.mul_acc(Lanes::splat(vals[j + 1]), Lanes([*xe.add(c1), *xo.add(c1)]));
+            j += 2;
+        }
+        if j < len {
+            let c = cols[j] as usize;
+            acc_a.0[0] += vals[j] * *xe.add(c);
+            acc_a.0[1] += vals[j] * *xo.add(c);
+        }
+    }
+    (acc_a.0[0] + acc_b.0[0], acc_a.0[1] + acc_b.0[1])
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 lowering (x86-64, runtime-detected).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// 4-accumulator row dot.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (guaranteed when reached via
+    /// [`super::detect`]). `vals.len() >= cols.len()` is asserted; gathers
+    /// are bounds-checked.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: AVX2 is available per the function contract; the loadu
+        // stays within `vals` because `main <= len <= vals.len()`.
+        unsafe {
+            let mut acc = _mm256_setzero_pd();
+            let mut j = 0;
+            while j < main {
+                let xv = _mm256_set_pd(
+                    x[cols[j + 3] as usize],
+                    x[cols[j + 2] as usize],
+                    x[cols[j + 1] as usize],
+                    x[cols[j] as usize],
+                );
+                let vv = _mm256_loadu_pd(vals.as_ptr().add(j));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                j += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            while j < len {
+                lanes[0] += vals[j] * x[cols[j] as usize];
+                j += 1;
+            }
+            (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+        }
+    }
+
+    /// Row dot through a raw base pointer, lane 0 seeded with `init`.
+    ///
+    /// # Safety
+    /// AVX2 must be supported; `x.add(cols[j])` must be valid for reads for
+    /// every `j`, with no concurrent writer of those locations in this
+    /// phase (the `SharedSlice` contract).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_dot_ptr(cols: &[u32], vals: &[f64], x: *const f64, init: f64) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: AVX2 per contract; gathers valid per the pointer
+        // contract; the loadu stays within `vals`.
+        unsafe {
+            let mut acc = _mm256_set_pd(0.0, 0.0, 0.0, init);
+            let mut j = 0;
+            while j < main {
+                let xv = _mm256_set_pd(
+                    *x.add(cols[j + 3] as usize),
+                    *x.add(cols[j + 2] as usize),
+                    *x.add(cols[j + 1] as usize),
+                    *x.add(cols[j] as usize),
+                );
+                let vv = _mm256_loadu_pd(vals.as_ptr().add(j));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                j += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            while j < len {
+                lanes[0] += vals[j] * *x.add(cols[j] as usize);
+                j += 1;
+            }
+            (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+        }
+    }
+
+    /// Even-slot dot over a BtB vector base pointer; lane 0 seeded with
+    /// `init`.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] with slots `xy[2·cols[j]]`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn btb_even_dot_ptr(cols: &[u32], vals: &[f64], xy: *const f64, init: f64) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: see `row_dot_ptr`.
+        unsafe {
+            let mut acc = _mm256_set_pd(0.0, 0.0, 0.0, init);
+            let mut j = 0;
+            while j < main {
+                let xv = _mm256_set_pd(
+                    *xy.add(2 * cols[j + 3] as usize),
+                    *xy.add(2 * cols[j + 2] as usize),
+                    *xy.add(2 * cols[j + 1] as usize),
+                    *xy.add(2 * cols[j] as usize),
+                );
+                let vv = _mm256_loadu_pd(vals.as_ptr().add(j));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                j += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            while j < len {
+                lanes[0] += vals[j] * *xy.add(2 * cols[j] as usize);
+                j += 1;
+            }
+            (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+        }
+    }
+
+    /// Dual (even, odd) dot over a BtB vector base pointer. Lanes
+    /// `[evenA, oddA, evenB, oddB]` mirror the scalar accumulator pairs
+    /// exactly.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] with slots `xy[2·cols[j]]` and `xy[2·cols[j]+1]`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn btb_dual_dot_ptr(
+        cols: &[u32],
+        vals: &[f64],
+        xy: *const f64,
+        init_even: f64,
+        init_odd: f64,
+    ) -> (f64, f64) {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 2;
+        // SAFETY: see `row_dot_ptr`; the pair load is two adjacent slots.
+        unsafe {
+            let mut acc = _mm256_set_pd(0.0, 0.0, init_odd, init_even);
+            let mut j = 0;
+            while j < main {
+                let p0 = _mm_loadu_pd(xy.add(2 * cols[j] as usize));
+                let p1 = _mm_loadu_pd(xy.add(2 * cols[j + 1] as usize));
+                let xv = _mm256_set_m128d(p1, p0);
+                let vv = _mm256_set_pd(vals[j + 1], vals[j + 1], vals[j], vals[j]);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                j += 2;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            if j < len {
+                let c = 2 * cols[j] as usize;
+                lanes[0] += vals[j] * *xy.add(c);
+                lanes[1] += vals[j] * *xy.add(c + 1);
+            }
+            (lanes[0] + lanes[2], lanes[1] + lanes[3])
+        }
+    }
+
+    /// Dual (even, odd) dot over split vector base pointers.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] for both `xe` and `xo`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn split_dual_dot_ptr(
+        cols: &[u32],
+        vals: &[f64],
+        xe: *const f64,
+        xo: *const f64,
+        init_even: f64,
+        init_odd: f64,
+    ) -> (f64, f64) {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 2;
+        // SAFETY: see `row_dot_ptr`.
+        unsafe {
+            let mut acc = _mm256_set_pd(0.0, 0.0, init_odd, init_even);
+            let mut j = 0;
+            while j < main {
+                let c0 = cols[j] as usize;
+                let c1 = cols[j + 1] as usize;
+                let xv = _mm256_set_pd(*xo.add(c1), *xe.add(c1), *xo.add(c0), *xe.add(c0));
+                let vv = _mm256_set_pd(vals[j + 1], vals[j + 1], vals[j], vals[j]);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+                j += 2;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            if j < len {
+                let c = cols[j] as usize;
+                lanes[0] += vals[j] * *xe.add(c);
+                lanes[1] += vals[j] * *xo.add(c);
+            }
+            (lanes[0] + lanes[2], lanes[1] + lanes[3])
+        }
+    }
+
+    /// SELL chunk MAC over `acc.len()` lanes.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; `vals.len() >= acc.len()` and
+    /// `cols.len() >= acc.len()` are asserted, gathers bounds-checked.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sell_mac(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+        let w = acc.len();
+        assert!(vals.len() >= w && cols.len() >= w);
+        let main = w - w % 4;
+        // SAFETY: AVX2 per contract; loads/stores stay within `vals`/`acc`
+        // because `main <= w <= vals.len()` and `w == acc.len()`.
+        unsafe {
+            let mut i = 0;
+            while i < main {
+                let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+                let v = _mm256_loadu_pd(vals.as_ptr().add(i));
+                let xv = _mm256_set_pd(
+                    x[cols[i + 3] as usize],
+                    x[cols[i + 2] as usize],
+                    x[cols[i + 1] as usize],
+                    x[cols[i] as usize],
+                );
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(a, _mm256_mul_pd(v, xv)));
+                i += 4;
+            }
+            while i < w {
+                acc[i] += vals[i] * x[cols[i] as usize];
+                i += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON lowering (aarch64; NEON is architecturally baseline there).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    use core::arch::aarch64::*;
+
+    #[inline(always)]
+    unsafe fn pair(lo: f64, hi: f64) -> float64x2_t {
+        let buf = [lo, hi];
+        // SAFETY: `buf` is a valid 2-element f64 array.
+        unsafe { vld1q_f64(buf.as_ptr()) }
+    }
+
+    /// 4-accumulator row dot as two NEON pairs `[s0, s1]`, `[s2, s3]`.
+    ///
+    /// # Safety
+    /// NEON is baseline on aarch64; all gathers are bounds-checked.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: NEON per contract; loads built from bounds-checked reads.
+        unsafe {
+            let mut acc01 = vdupq_n_f64(0.0);
+            let mut acc23 = vdupq_n_f64(0.0);
+            let mut j = 0;
+            while j < main {
+                let x01 = pair(x[cols[j] as usize], x[cols[j + 1] as usize]);
+                let x23 = pair(x[cols[j + 2] as usize], x[cols[j + 3] as usize]);
+                let v01 = pair(vals[j], vals[j + 1]);
+                let v23 = pair(vals[j + 2], vals[j + 3]);
+                acc01 = vaddq_f64(acc01, vmulq_f64(v01, x01));
+                acc23 = vaddq_f64(acc23, vmulq_f64(v23, x23));
+                j += 4;
+            }
+            let mut s0 = vgetq_lane_f64::<0>(acc01);
+            let s1 = vgetq_lane_f64::<1>(acc01);
+            let s2 = vgetq_lane_f64::<0>(acc23);
+            let s3 = vgetq_lane_f64::<1>(acc23);
+            while j < len {
+                s0 += vals[j] * x[cols[j] as usize];
+                j += 1;
+            }
+            (s0 + s1) + (s2 + s3)
+        }
+    }
+
+    /// Row dot through a raw base pointer, `s0` seeded with `init`.
+    ///
+    /// # Safety
+    /// `x.add(cols[j])` must be valid for reads for every `j`, with no
+    /// concurrent writer of those locations in this phase.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn row_dot_ptr(cols: &[u32], vals: &[f64], x: *const f64, init: f64) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: gathers valid per the pointer contract.
+        unsafe {
+            let mut acc01 = pair(init, 0.0);
+            let mut acc23 = vdupq_n_f64(0.0);
+            let mut j = 0;
+            while j < main {
+                let x01 = pair(*x.add(cols[j] as usize), *x.add(cols[j + 1] as usize));
+                let x23 = pair(*x.add(cols[j + 2] as usize), *x.add(cols[j + 3] as usize));
+                let v01 = pair(vals[j], vals[j + 1]);
+                let v23 = pair(vals[j + 2], vals[j + 3]);
+                acc01 = vaddq_f64(acc01, vmulq_f64(v01, x01));
+                acc23 = vaddq_f64(acc23, vmulq_f64(v23, x23));
+                j += 4;
+            }
+            let mut s0 = vgetq_lane_f64::<0>(acc01);
+            let s1 = vgetq_lane_f64::<1>(acc01);
+            let s2 = vgetq_lane_f64::<0>(acc23);
+            let s3 = vgetq_lane_f64::<1>(acc23);
+            while j < len {
+                s0 += vals[j] * *x.add(cols[j] as usize);
+                j += 1;
+            }
+            (s0 + s1) + (s2 + s3)
+        }
+    }
+
+    /// Even-slot dot over a BtB vector base pointer; `s0` seeded with
+    /// `init`.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] with slots `xy[2·cols[j]]`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn btb_even_dot_ptr(cols: &[u32], vals: &[f64], xy: *const f64, init: f64) -> f64 {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 4;
+        // SAFETY: see `row_dot_ptr`.
+        unsafe {
+            let mut acc01 = pair(init, 0.0);
+            let mut acc23 = vdupq_n_f64(0.0);
+            let mut j = 0;
+            while j < main {
+                let x01 = pair(*xy.add(2 * cols[j] as usize), *xy.add(2 * cols[j + 1] as usize));
+                let x23 =
+                    pair(*xy.add(2 * cols[j + 2] as usize), *xy.add(2 * cols[j + 3] as usize));
+                let v01 = pair(vals[j], vals[j + 1]);
+                let v23 = pair(vals[j + 2], vals[j + 3]);
+                acc01 = vaddq_f64(acc01, vmulq_f64(v01, x01));
+                acc23 = vaddq_f64(acc23, vmulq_f64(v23, x23));
+                j += 4;
+            }
+            let mut s0 = vgetq_lane_f64::<0>(acc01);
+            let s1 = vgetq_lane_f64::<1>(acc01);
+            let s2 = vgetq_lane_f64::<0>(acc23);
+            let s3 = vgetq_lane_f64::<1>(acc23);
+            while j < len {
+                s0 += vals[j] * *xy.add(2 * cols[j] as usize);
+                j += 1;
+            }
+            (s0 + s1) + (s2 + s3)
+        }
+    }
+
+    /// Dual (even, odd) dot over a BtB vector base pointer; accumulator
+    /// pairs `[evenA, oddA]`, `[evenB, oddB]` mirror the scalar layout.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] with slots `xy[2·cols[j]]` and `xy[2·cols[j]+1]`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn btb_dual_dot_ptr(
+        cols: &[u32],
+        vals: &[f64],
+        xy: *const f64,
+        init_even: f64,
+        init_odd: f64,
+    ) -> (f64, f64) {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 2;
+        // SAFETY: see `row_dot_ptr`; the pair load is two adjacent slots.
+        unsafe {
+            let mut acc_a = pair(init_even, init_odd);
+            let mut acc_b = vdupq_n_f64(0.0);
+            let mut j = 0;
+            while j < main {
+                let p0 = vld1q_f64(xy.add(2 * cols[j] as usize));
+                let p1 = vld1q_f64(xy.add(2 * cols[j + 1] as usize));
+                acc_a = vaddq_f64(acc_a, vmulq_f64(vdupq_n_f64(vals[j]), p0));
+                acc_b = vaddq_f64(acc_b, vmulq_f64(vdupq_n_f64(vals[j + 1]), p1));
+                j += 2;
+            }
+            let mut even_a = vgetq_lane_f64::<0>(acc_a);
+            let mut odd_a = vgetq_lane_f64::<1>(acc_a);
+            let even_b = vgetq_lane_f64::<0>(acc_b);
+            let odd_b = vgetq_lane_f64::<1>(acc_b);
+            if j < len {
+                let c = 2 * cols[j] as usize;
+                even_a += vals[j] * *xy.add(c);
+                odd_a += vals[j] * *xy.add(c + 1);
+            }
+            (even_a + even_b, odd_a + odd_b)
+        }
+    }
+
+    /// Dual (even, odd) dot over split vector base pointers.
+    ///
+    /// # Safety
+    /// As [`row_dot_ptr`] for both `xe` and `xo`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn split_dual_dot_ptr(
+        cols: &[u32],
+        vals: &[f64],
+        xe: *const f64,
+        xo: *const f64,
+        init_even: f64,
+        init_odd: f64,
+    ) -> (f64, f64) {
+        assert!(vals.len() >= cols.len());
+        let len = cols.len();
+        let main = len - len % 2;
+        // SAFETY: see `row_dot_ptr`.
+        unsafe {
+            let mut acc_a = pair(init_even, init_odd);
+            let mut acc_b = vdupq_n_f64(0.0);
+            let mut j = 0;
+            while j < main {
+                let c0 = cols[j] as usize;
+                let c1 = cols[j + 1] as usize;
+                acc_a = vaddq_f64(
+                    acc_a,
+                    vmulq_f64(vdupq_n_f64(vals[j]), pair(*xe.add(c0), *xo.add(c0))),
+                );
+                acc_b = vaddq_f64(
+                    acc_b,
+                    vmulq_f64(vdupq_n_f64(vals[j + 1]), pair(*xe.add(c1), *xo.add(c1))),
+                );
+                j += 2;
+            }
+            let mut even_a = vgetq_lane_f64::<0>(acc_a);
+            let mut odd_a = vgetq_lane_f64::<1>(acc_a);
+            let even_b = vgetq_lane_f64::<0>(acc_b);
+            let odd_b = vgetq_lane_f64::<1>(acc_b);
+            if j < len {
+                let c = cols[j] as usize;
+                even_a += vals[j] * *xe.add(c);
+                odd_a += vals[j] * *xo.add(c);
+            }
+            (even_a + even_b, odd_a + odd_b)
+        }
+    }
+
+    /// SELL chunk MAC over `acc.len()` lanes, two lanes per vector op.
+    ///
+    /// # Safety
+    /// As [`row_dot`]; `vals.len() >= acc.len()` and `cols.len() >=
+    /// acc.len()` are asserted.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sell_mac(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+        let w = acc.len();
+        assert!(vals.len() >= w && cols.len() >= w);
+        let main = w - w % 2;
+        // SAFETY: see `row_dot`; loads/stores stay within `acc`.
+        unsafe {
+            let mut i = 0;
+            while i < main {
+                let a = vld1q_f64(acc.as_ptr().add(i));
+                let v = pair(vals[i], vals[i + 1]);
+                let xv = pair(x[cols[i] as usize], x[cols[i + 1] as usize]);
+                vst1q_f64(acc.as_mut_ptr().add(i), vaddq_f64(a, vmulq_f64(v, xv)));
+                i += 2;
+            }
+            while i < w {
+                acc[i] += vals[i] * x[cols[i] as usize];
+                i += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points.
+// ---------------------------------------------------------------------------
+
+/// Dot product of one CSR row with `x`, lowered per [`detect`]. Bit-identical
+/// to [`crate::spmv::row_dot_unrolled4`] on every path.
+#[inline]
+pub fn row_dot(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    match detect() {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `detect` returned Avx2 only after a positive CPUID probe.
+        SimdLevel::Avx2 => unsafe { avx2::row_dot(cols, vals, x) },
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::row_dot(cols, vals, x) },
+        _ => row_dot_scalar(cols, vals, x),
+    }
+}
+
+/// Row dot through a raw base pointer with lane 0 seeded by `init`, lowered
+/// per [`detect`] — the sweep-kernel entry point for the head (`init = 0`)
+/// and tail (`init = tmp[r] + d·x[r]`) stages, whose vectors live behind
+/// `SharedSlice` and must not be reborrowed as `&[f64]`.
+///
+/// # Safety
+/// `x.add(cols[j])` must be valid for reads for every `j`, and no other
+/// thread may write any of those locations in the current synchronization
+/// phase (the `SharedSlice` contract). `vals.len() >= cols.len()`.
+#[inline]
+pub unsafe fn row_dot_ptr(cols: &[u32], vals: &[f64], x: *const f64, init: f64) -> f64 {
+    debug_assert!(vals.len() >= cols.len());
+    // SAFETY: forwarded caller contract; vector arms additionally guarded by
+    // `detect`'s runtime probe.
+    unsafe {
+        match detect() {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdLevel::Avx2 => avx2::row_dot_ptr(cols, vals, x, init),
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            SimdLevel::Neon => neon::row_dot_ptr(cols, vals, x, init),
+            _ => row_dot_ptr_scalar(cols, vals, x, init),
+        }
+    }
+}
+
+/// Even-slot dot over a BtB-interleaved vector base pointer, lowered per
+/// [`detect`].
+///
+/// # Safety
+/// As [`row_dot_ptr`] with slots `xy[2·cols[j]]`.
+#[inline]
+pub unsafe fn btb_even_dot_ptr(cols: &[u32], vals: &[f64], xy: *const f64, init: f64) -> f64 {
+    debug_assert!(vals.len() >= cols.len());
+    // SAFETY: forwarded caller contract; vector arms guarded by `detect`.
+    unsafe {
+        match detect() {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdLevel::Avx2 => avx2::btb_even_dot_ptr(cols, vals, xy, init),
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            SimdLevel::Neon => neon::btb_even_dot_ptr(cols, vals, xy, init),
+            _ => btb_even_dot_ptr_scalar(cols, vals, xy, init),
+        }
+    }
+}
+
+/// Dual (even, odd) dot over a BtB-interleaved vector base pointer, lowered
+/// per [`detect`] — the merged forward/backward sweep inner loop.
+///
+/// # Safety
+/// As [`row_dot_ptr`] with slots `xy[2·cols[j]]` and `xy[2·cols[j]+1]`.
+#[inline]
+pub unsafe fn btb_dual_dot_ptr(
+    cols: &[u32],
+    vals: &[f64],
+    xy: *const f64,
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    debug_assert!(vals.len() >= cols.len());
+    // SAFETY: forwarded caller contract; vector arms guarded by `detect`.
+    unsafe {
+        match detect() {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdLevel::Avx2 => avx2::btb_dual_dot_ptr(cols, vals, xy, init_even, init_odd),
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            SimdLevel::Neon => neon::btb_dual_dot_ptr(cols, vals, xy, init_even, init_odd),
+            _ => btb_dual_dot_ptr_scalar(cols, vals, xy, init_even, init_odd),
+        }
+    }
+}
+
+/// Dual (even, odd) dot over split even/odd vector base pointers, lowered
+/// per [`detect`].
+///
+/// # Safety
+/// As [`row_dot_ptr`] for both `xe` and `xo`.
+#[inline]
+pub unsafe fn split_dual_dot_ptr(
+    cols: &[u32],
+    vals: &[f64],
+    xe: *const f64,
+    xo: *const f64,
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    debug_assert!(vals.len() >= cols.len());
+    // SAFETY: forwarded caller contract; vector arms guarded by `detect`.
+    unsafe {
+        match detect() {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            SimdLevel::Avx2 => avx2::split_dual_dot_ptr(cols, vals, xe, xo, init_even, init_odd),
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            SimdLevel::Neon => neon::split_dual_dot_ptr(cols, vals, xe, xo, init_even, init_odd),
+            _ => split_dual_dot_ptr_scalar(cols, vals, xe, xo, init_even, init_odd),
+        }
+    }
+}
+
+/// Asserts every column of `cols` addresses a valid (even, odd) slot pair of
+/// the BtB vector `xy`.
+fn assert_btb_bounds(cols: &[u32], vals: &[f64], xy: &[f64]) {
+    assert!(vals.len() >= cols.len());
+    assert!(xy.len().is_multiple_of(2), "BtB vector length must be even");
+    let n = xy.len() / 2;
+    assert!(cols.iter().all(|&c| (c as usize) < n), "column index out of range");
+}
+
+/// Even-slot dot over a BtB-interleaved vector, lowered per [`detect`].
+/// Safe slice entry point: asserts bounds, then forwards to
+/// [`btb_even_dot_ptr`].
+#[inline]
+pub fn btb_even_dot(cols: &[u32], vals: &[f64], xy: &[f64], init: f64) -> f64 {
+    assert_btb_bounds(cols, vals, xy);
+    // SAFETY: all slots just asserted in range; `xy` is an exclusive slice.
+    unsafe { btb_even_dot_ptr(cols, vals, xy.as_ptr(), init) }
+}
+
+/// Dual (even, odd) dot over a BtB-interleaved vector, lowered per
+/// [`detect`]. Safe slice entry point: asserts bounds, then forwards to
+/// [`btb_dual_dot_ptr`].
+#[inline]
+pub fn btb_dual_dot(
+    cols: &[u32],
+    vals: &[f64],
+    xy: &[f64],
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    assert_btb_bounds(cols, vals, xy);
+    // SAFETY: all slots just asserted in range; `xy` is an exclusive slice.
+    unsafe { btb_dual_dot_ptr(cols, vals, xy.as_ptr(), init_even, init_odd) }
+}
+
+/// Dual (even, odd) dot over split even/odd vectors, lowered per [`detect`].
+/// Safe slice entry point: asserts bounds, then forwards to
+/// [`split_dual_dot_ptr`].
+#[inline]
+pub fn split_dual_dot(
+    cols: &[u32],
+    vals: &[f64],
+    xe: &[f64],
+    xo: &[f64],
+    init_even: f64,
+    init_odd: f64,
+) -> (f64, f64) {
+    assert!(vals.len() >= cols.len());
+    let n = xe.len().min(xo.len());
+    assert!(cols.iter().all(|&c| (c as usize) < n), "column index out of range");
+    // SAFETY: all indices just asserted in range of both exclusive slices.
+    unsafe { split_dual_dot_ptr(cols, vals, xe.as_ptr(), xo.as_ptr(), init_even, init_odd) }
+}
+
+/// SELL chunk MAC (`acc[l] += vals[l] · x[cols[l]]`), lowered per
+/// [`detect`].
+#[inline]
+pub fn sell_mac(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+    match detect() {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `detect` returned Avx2 only after a positive CPUID probe.
+        SimdLevel::Avx2 => unsafe { avx2::sell_mac(vals, cols, x, acc) },
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { neon::sell_mac(vals, cols, x, acc) },
+        _ => sell_mac_scalar(vals, cols, x, acc),
+    }
+}
+
+/// Computes `y[lo..hi] = (A x)[lo..hi]` with the dispatched row dot — the
+/// SIMD counterpart of [`crate::spmv::spmv_rows_unrolled4`].
+///
+/// # Panics
+/// Panics when the range exceeds `A.nrows()` or slice lengths are short.
+pub fn spmv_rows_simd(a: &Csr, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+    assert!(lo <= hi && hi <= a.nrows(), "invalid row range {lo}..{hi}");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for r in lo..hi {
+        let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+        y[r] = row_dot(&col_idx[s..e], &values[s..e], x);
+    }
+}
+
+/// Row-split variant: rows with at most `threshold` nonzeros use the plain
+/// scalar loop (bit-identical to [`crate::spmv::spmv_rows`]), longer rows
+/// the dispatched row dot.
+///
+/// # Panics
+/// Panics when the range exceeds `A.nrows()` or slice lengths are short.
+pub fn spmv_rows_rowsplit_simd(
+    a: &Csr,
+    x: &[f64],
+    y: &mut [f64],
+    lo: usize,
+    hi: usize,
+    threshold: usize,
+) {
+    assert!(lo <= hi && hi <= a.nrows(), "invalid row range {lo}..{hi}");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for r in lo..hi {
+        let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+        if e - s <= threshold {
+            let mut sum = 0.0;
+            for j in s..e {
+                sum += values[j] * x[col_idx[j] as usize];
+            }
+            y[r] = sum;
+        } else {
+            y[r] = row_dot(&col_idx[s..e], &values[s..e], x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::row_dot_unrolled4;
+
+    /// Deterministic pseudo-random row of `len` nonzeros over `n` columns.
+    fn sample_row(len: usize, n: usize, seed: u64) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut cols: Vec<u32> = (0..len).map(|_| (next() % n as u64) as u32).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let vals: Vec<f64> =
+            (0..cols.len()).map(|_| (next() % 2000) as f64 / 997.0 - 1.0).collect();
+        let x: Vec<f64> = (0..n).map(|_| (next() % 2000) as f64 / 991.0 - 1.0).collect();
+        (cols, vals, x)
+    }
+
+    #[test]
+    fn scalar_fallback_matches_unrolled4_exactly() {
+        for len in 0..24 {
+            let (cols, vals, x) = sample_row(len, 64, len as u64 + 3);
+            let want = row_dot_unrolled4(&cols, &vals, &x);
+            let got = row_dot_scalar(&cols, &vals, &x);
+            assert_eq!(got.to_bits(), want.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dispatched_row_dot_matches_unrolled4_exactly() {
+        // Holds on every lowering: the vector paths replicate the scalar
+        // accumulator layout, so agreement is 0 ULP, not approximate.
+        for len in 0..40 {
+            let (cols, vals, x) = sample_row(len, 128, len as u64 + 11);
+            let want = row_dot_unrolled4(&cols, &vals, &x);
+            let got = row_dot(&cols, &vals, &x);
+            assert_eq!(got.to_bits(), want.to_bits(), "len {len} level {}", detect());
+        }
+    }
+
+    #[test]
+    fn btb_dots_match_scalar_fallback_exactly() {
+        for len in 0..40 {
+            let (cols, vals, x) = sample_row(len, 96, len as u64 + 29);
+            // Interleave an even/odd pair stream from x.
+            let xy: Vec<f64> = x.iter().flat_map(|&v| [v, v * 0.5 - 0.25]).collect();
+            let (init_e, init_o) = (0.75, -1.25);
+            let want_even = btb_even_dot_scalar(&cols, &vals, &xy, init_e);
+            let got_even = btb_even_dot(&cols, &vals, &xy, init_e);
+            assert_eq!(got_even.to_bits(), want_even.to_bits(), "even len {len}");
+            let want = btb_dual_dot_scalar(&cols, &vals, &xy, init_e, init_o);
+            let got = btb_dual_dot(&cols, &vals, &xy, init_e, init_o);
+            assert_eq!(got.0.to_bits(), want.0.to_bits(), "dual even len {len}");
+            assert_eq!(got.1.to_bits(), want.1.to_bits(), "dual odd len {len}");
+            // Split layout agrees with BtB given the same logical vectors.
+            let xe: Vec<f64> = xy.iter().step_by(2).copied().collect();
+            let xo: Vec<f64> = xy.iter().skip(1).step_by(2).copied().collect();
+            let got_split = split_dual_dot(&cols, &vals, &xe, &xo, init_e, init_o);
+            assert_eq!(got_split.0.to_bits(), want.0.to_bits(), "split even len {len}");
+            assert_eq!(got_split.1.to_bits(), want.1.to_bits(), "split odd len {len}");
+        }
+    }
+
+    #[test]
+    fn sell_mac_matches_scalar_fallback_exactly() {
+        for w in 0..12 {
+            let (cols, vals, x) = sample_row(w + 8, 64, w as u64 + 41);
+            let w = w.min(cols.len());
+            let mut acc_scalar: Vec<f64> = (0..w).map(|i| i as f64 * 0.125 - 0.5).collect();
+            let mut acc_simd = acc_scalar.clone();
+            sell_mac_scalar(&vals, &cols, &x, &mut acc_scalar);
+            sell_mac(&vals, &cols, &x, &mut acc_simd);
+            for (a, b) in acc_simd.iter().zip(&acc_scalar) {
+                assert_eq!(a.to_bits(), b.to_bits(), "w {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_reduce_tree_is_fixed_shape() {
+        let l = Lanes::<4>([1.0e16, 1.0, -1.0e16, 3.0]);
+        // (1e16 + 1) + (-1e16 + 3) — not the left-to-right sum.
+        assert_eq!(l.reduce_tree(), (1.0e16 + 1.0) + (-1.0e16 + 3.0));
+        assert_eq!(Lanes::<2>([2.0, 3.0]).reduce_tree(), 5.0);
+        assert_eq!(Lanes::<1>([7.0]).reduce_tree(), 7.0);
+    }
+
+    #[test]
+    fn lanes_gather_btb_reads_strided_slots() {
+        let xy = [10.0, -10.0, 20.0, -20.0, 30.0, -30.0];
+        let idx = [2u32, 0];
+        assert_eq!(Lanes::<2>::gather_btb(&xy, &idx, 0).0, [30.0, 10.0]);
+        assert_eq!(Lanes::<2>::gather_btb(&xy, &idx, 1).0, [-30.0, -10.0]);
+    }
+
+    #[test]
+    fn detect_is_stable_and_consistent() {
+        let a = detect();
+        let b = detect();
+        assert_eq!(a, b);
+        assert_eq!(a.is_accelerated(), a.width() > 1);
+        if !cfg!(feature = "simd") {
+            assert_eq!(a, SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn spmv_rows_simd_matches_unrolled() {
+        use crate::spmv::{spmv_rows_rowsplit, spmv_rows_unrolled4};
+        let a = {
+            let mut coo = crate::Coo::new(12, 12);
+            for r in 0..12usize {
+                for c in 0..=r {
+                    if (r + 2 * c) % 3 != 0 {
+                        coo.push(r, c, 0.1 + r as f64 * 0.3 - c as f64 * 0.07).unwrap();
+                    }
+                }
+            }
+            coo.to_csr()
+        };
+        let x: Vec<f64> = (0..12).map(|i| 1.0 - 0.2 * i as f64).collect();
+        let mut want = vec![0.0; 12];
+        spmv_rows_unrolled4(&a, &x, &mut want, 0, 12);
+        let mut got = vec![0.0; 12];
+        spmv_rows_simd(&a, &x, &mut got, 0, 12);
+        assert_eq!(got, want);
+        let mut want_rs = vec![0.0; 12];
+        spmv_rows_rowsplit(&a, &x, &mut want_rs, 0, 12, 4);
+        let mut got_rs = vec![0.0; 12];
+        spmv_rows_rowsplit_simd(&a, &x, &mut got_rs, 0, 12, 4);
+        assert_eq!(got_rs, want_rs);
+    }
+}

@@ -29,7 +29,8 @@ fn main() {
 
     let engine = FbmpkPlan::new(&a, FbmpkOptions::parallel(2)).expect("square");
     let t0 = std::time::Instant::now();
-    let sol = chebyshev_solve(&engine, &b, lo, hi, 1e-10, 50_000).expect("no breakdown on SPD input");
+    let sol =
+        chebyshev_solve(&engine, &b, lo, hi, 1e-10, 50_000).expect("no breakdown on SPD input");
     println!(
         "Chebyshev semi-iteration: {} iters, relres {:.3e}, {:?}, error {:.3e}",
         sol.iters,

@@ -46,7 +46,8 @@ fn main() {
     // Chebyshev semi-iteration with Gershgorin bounds.
     let (lo, hi) = gershgorin_bounds(&a);
     let t0 = std::time::Instant::now();
-    let ch = chebyshev_solve(&plan, &b, lo.max(1e-3), hi, tol, 100_000).expect("no breakdown on SPD input");
+    let ch = chebyshev_solve(&plan, &b, lo.max(1e-3), hi, tol, 100_000)
+        .expect("no breakdown on SPD input");
     println!("Chebyshev  : {} iters, relres {:.2e}, {:?}", ch.iters, ch.relres, t0.elapsed());
 
     // CG reference.

@@ -165,9 +165,8 @@ mod injected {
         let want = barrier_plan(&a, 4).power(&x0, 5);
         let plan = hardened_plan(&a, 4, 2_000, FallbackPolicy::Error);
         {
-            let _guard = install(FaultPlan {
-                faults: vec![Fault::PanicAt { thread: 1, color: 0 }],
-            });
+            let _guard =
+                install(FaultPlan { faults: vec![Fault::PanicAt { thread: 1, color: 0 }] });
             match plan.try_power(&x0, 5) {
                 Err(FbmpkError::WorkerPanicked { thread: 1, payload, .. }) => {
                     assert!(payload.contains("fault-inject"), "{payload}");
@@ -214,9 +213,8 @@ mod injected {
         let x0 = start(a.nrows());
         let want = barrier_plan(&a, 4).power(&x0, 5);
         let plan = hardened_plan(&a, 4, 2_000, FallbackPolicy::Error);
-        let _guard = install(FaultPlan {
-            faults: vec![Fault::DelayMark { block: 0, epoch: 1, ms: 30 }],
-        });
+        let _guard =
+            install(FaultPlan { faults: vec![Fault::DelayMark { block: 0, epoch: 1, ms: 30 }] });
         // A delay shorter than the deadline is ordinary slowness: the
         // waiters spin it out and the result is untouched.
         assert_eq!(plan.try_power(&x0, 5).unwrap(), want);
@@ -239,8 +237,8 @@ mod injected {
         let x0 = start(a.nrows());
         let want = barrier_plan(&a, 4).power(&x0, 5);
         let plan = hardened_plan(&a, 4, 500, FallbackPolicy::ColorBarrier);
-        let _guard = fbmpk_parallel::fault::install_from_env()
-            .expect("FBMPK_FAULT is set and non-empty");
+        let _guard =
+            fbmpk_parallel::fault::install_from_env().expect("FBMPK_FAULT is set and non-empty");
         match plan.try_power(&x0, 5) {
             Ok(got) => assert_eq!(got, want, "recovered run must be bit-identical"),
             Err(FbmpkError::WorkerPanicked { .. }) => {}
