@@ -5,7 +5,8 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
 //!             fig10 | table3 | table4 | fig11 | fig12 | model |
-//!             ablation_blocks | tune | sync | profile | blocking
+//!             ablation_blocks | tune | sync | profile | blocking |
+//!             partition
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under `--out`
@@ -14,8 +15,8 @@
 //! fractions, hardware counters) and `profile_trace.json`, a
 //! chrome://tracing / Perfetto-loadable per-thread timeline.
 //!
-//! Timing experiments (`fig7`, `sync`, `tune`, `profile`, `blocking`)
-//! additionally
+//! Timing experiments (`fig7`, `sync`, `tune`, `profile`, `blocking`,
+//! `partition`) additionally
 //! append one JSONL record per measured configuration to the perf
 //! database (`--db`, default `perf/runs.jsonl` or `FBMPK_PERFDB`), each
 //! carrying the platform fingerprint, git revision, raw samples, robust
@@ -107,7 +108,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync|profile|blocking] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
+                     \x20      [ablation_blocks|tune|sync|profile|blocking|partition] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
                      \x20      [--db FILE] [--no-perfdb]\n\
                      \x20 repro history [--db FILE]\n\
                      \x20 repro compare REV_A REV_B [--db FILE]\n\
@@ -122,7 +123,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "all",
         "table1",
         "table2",
@@ -140,6 +141,7 @@ fn parse_args() -> Args {
         "sync",
         "profile",
         "blocking",
+        "partition",
     ];
     // Database subcommands own the remaining positional arguments (e.g.
     // the two revisions of `compare`), so the experiment-name check does
@@ -278,6 +280,7 @@ fn push_record(
     ipc: Option<f64>,
     modeled_matrix_bytes: Option<u64>,
     fallbacks: Option<u64>,
+    cut_edges: Option<u64>,
     blocking: Option<&str>,
     samples: &[f64],
 ) {
@@ -293,6 +296,7 @@ fn push_record(
         ipc,
         modeled_matrix_bytes,
         fallbacks,
+        cut_edges,
         // Every in-process kernel runs at the one detected level, so the
         // axis is recorded unconditionally.
         simd: Some(fbmpk_sparse::simd::detect().tag().to_string()),
@@ -316,8 +320,8 @@ fn main() {
 
     // Timing experiments persist perfdb records; probe the host identity
     // and its bandwidth ceilings once for the whole invocation.
-    let records_wanted =
-        !args.no_perfdb && ["fig7", "sync", "tune", "profile", "blocking"].iter().any(|e| want(e));
+    let records_wanted = !args.no_perfdb
+        && ["fig7", "sync", "tune", "profile", "blocking", "partition"].iter().any(|e| want(e));
     let perf_ctx = records_wanted.then(|| {
         let host = platform::probe();
         eprintln!("measuring host bandwidth ceilings (triad + random gather) ...");
@@ -381,6 +385,7 @@ fn main() {
         "sync",
         "profile",
         "blocking",
+        "partition",
     ]
     .iter()
     .any(|e| want(e));
@@ -447,10 +452,10 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
-                    Some(r.k), 0, None, None, None, None, None, &r.samples_baseline);
+                    Some(r.k), 0, None, None, None, None, None, None, &r.samples_baseline);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp, None, None, None, None, None, &r.samples_fbmpk);
+                    Some(r.k), r.options_fp, None, None, None, None, None, None, &r.samples_fbmpk);
             }
         }
     }
@@ -721,16 +726,16 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
-                    None, 0, None, None, Some(csr), None, None, &r.samples_scalar);
+                    None, 0, None, None, Some(csr), None, None, None, &r.samples_scalar);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
-                    None, t, None, 0, None, None, Some(csr), None, None, &r.samples_tuned);
+                    None, t, None, 0, None, None, Some(csr), None, None, None, &r.samples_tuned);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-unrolled4", None, t,
-                    None, 0, None, None, Some(csr), None, None, &r.samples_unrolled4);
+                    None, 0, None, None, Some(csr), None, None, None, &r.samples_unrolled4);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("csr-simd:{}", r.simd),
-                    None, t, None, 0, None, None, Some(csr), None, None, &r.samples_simd);
+                    None, t, None, 0, None, None, Some(csr), None, None, None, &r.samples_simd);
             }
         }
     }
@@ -804,11 +809,11 @@ fn main() {
                 let modeled = Some(r.modeled_matrix_bytes);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp_streaming, None, None, modeled, None,
+                    Some(r.k), r.options_fp_streaming, None, None, modeled, None, None,
                     Some("streaming"), &r.samples_streaming);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp_blocked, None, None, modeled, None,
+                    Some(r.k), r.options_fp_blocked, None, None, modeled, None, None,
                     Some("level-blocked"), &r.samples_blocked);
             }
         }
@@ -923,11 +928,141 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(5), r.options_fp_barrier, None, None, modeled, None,
-                    None, &r.samples_barrier);
+                    None, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp_p2p, None, None, modeled,
-                    Some(r.fallbacks), None, &r.samples_p2p);
+                    Some(r.fallbacks), None, None, &r.samples_p2p);
+            }
+        }
+    }
+
+    if want("partition") {
+        eprintln!("partition: blocking-strategy comparison under p2p sync, k = 5 ...");
+        let rows = runner::partition(&args.cfg, &cases);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "a blocking strategy's p2p run diverged from its barrier/recording twins"
+        );
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.strategy.clone(),
+                    r.nblocks.to_string(),
+                    r.ncolors.to_string(),
+                    r.cut_edges.to_string(),
+                    r.dep_edges.to_string(),
+                    format!("{:.2}", r.balance),
+                    format!("{:.6}", r.t_p2p),
+                    format!("{:.2}", r.gbs),
+                    format!("{:.1}%", r.wait_frac * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "Partition - blocking strategies under point-to-point sync (k=5, {} threads)",
+            args.cfg.threads
+        );
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "strategy",
+                    "blocks",
+                    "colors",
+                    "cut edges",
+                    "dep edges",
+                    "balance",
+                    "t_p2p[s]",
+                    "GB/s",
+                    "wait"
+                ],
+                &table
+            )
+        );
+        // Headline: per-matrix cut-edge reduction of the multilevel
+        // partitioner over block aggregation.
+        let mut summary: Vec<Vec<String>> = Vec::new();
+        for c in rows.chunks(3) {
+            let cut = |tag: &str| c.iter().find(|r| r.strategy == tag).map_or(0, |r| r.cut_edges);
+            let (agg, ml) = (cut("aggregated"), cut("multilevel"));
+            summary.push(vec![
+                c[0].name.clone(),
+                agg.to_string(),
+                ml.to_string(),
+                if agg > 0 {
+                    format!("{:.1}%", 100.0 * (1.0 - ml as f64 / agg as f64))
+                } else {
+                    "n/a".into()
+                },
+            ]);
+        }
+        println!("Partition summary - multilevel cut edges vs aggregated");
+        println!(
+            "{}",
+            format_table(&["input", "cut aggregated", "cut multilevel", "reduction"], &summary)
+        );
+        write_csv(
+            &args.out.join("partition.csv"),
+            &[
+                "input",
+                "strategy",
+                "nblocks",
+                "ncolors",
+                "cut_edges",
+                "dep_edges",
+                "balance",
+                "t_p2p",
+                "gbs",
+                "wait_frac",
+            ],
+            &table,
+        )
+        .expect("write partition.csv");
+        let json = Json::obj([
+            ("experiment", Json::from("partition")),
+            ("scale", Json::from(args.cfg.scale)),
+            ("threads", Json::from(args.cfg.threads)),
+            ("reps", Json::from(args.cfg.reps)),
+            ("k", Json::from(5usize)),
+            ("all_identical", Json::from(true)),
+            ("platform", platform::probe().to_json()),
+            (
+                "points",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("strategy", Json::from(r.strategy.as_str())),
+                                ("threads", Json::from(r.threads)),
+                                ("nblocks", Json::from(r.nblocks)),
+                                ("ncolors", Json::from(r.ncolors)),
+                                ("cut_edges", Json::from(r.cut_edges)),
+                                ("dep_edges", Json::from(r.dep_edges)),
+                                ("balance", Json::from(r.balance)),
+                                ("t_p2p_seconds", Json::from(r.t_p2p)),
+                                ("gbs", Json::from(r.gbs)),
+                                ("wait_frac", Json::from(r.wait_frac)),
+                                ("identical", Json::from(r.identical)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_json(&args.out.join("BENCH_partition.json"), &json)
+            .expect("write BENCH_partition.json");
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "partition", &r.name, "fbmpk", Some("p2p"),
+                    r.threads, Some(5), r.options_fp, Some(r.wait_frac), None,
+                    Some(r.modeled_matrix_bytes), Some(r.fallbacks),
+                    Some(r.cut_edges as u64), Some(&r.strategy), &r.samples);
             }
         }
     }
@@ -1097,11 +1232,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
-                    modeled, None, None, &r.samples_barrier);
+                    modeled, None, None, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
-                    modeled, None, None, &r.samples_p2p);
+                    modeled, None, None, None, &r.samples_p2p);
             }
         }
     }

@@ -127,6 +127,11 @@ pub struct RunSpec {
     /// Cache-blocking mode (`BlockingMode::tag()`: `"streaming"` /
     /// `"level-blocked"`), when applicable.
     pub blocking: Option<String>,
+    /// Cross-block dependency edges cut by the plan's blocking partition
+    /// (informational, like `wait_frac`: the partitioner identity is
+    /// already in `options_fp`, so the count does not join the config
+    /// key — it explains wait behavior, it does not define the config).
+    pub cut_edges: Option<u64>,
 }
 
 impl RunSpec {
@@ -280,6 +285,7 @@ impl RunRecord {
                 self.spec.modeled_matrix_bytes.map_or(Json::Null, |b| Json::from(b as usize)),
             ),
             ("fallbacks", self.spec.fallbacks.map_or(Json::Null, |n| Json::from(n as usize))),
+            ("cut_edges", self.spec.cut_edges.map_or(Json::Null, |n| Json::from(n as usize))),
             ("simd", self.spec.simd.as_deref().map_or(Json::Null, Json::from)),
             ("blocking", self.spec.blocking.as_deref().map_or(Json::Null, Json::from)),
             ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
@@ -331,6 +337,7 @@ impl RunRecord {
             // old histories keep loading.
             simd: j.get("simd").and_then(Json::as_str).map(str::to_string),
             blocking: j.get("blocking").and_then(Json::as_str).map(str::to_string),
+            cut_edges: opt_num("cut_edges").map(|n| n as u64),
         };
         Ok(RunRecord {
             schema,
@@ -518,6 +525,7 @@ mod tests {
             fallbacks: Some(1),
             simd: Some("avx2".into()),
             blocking: Some("streaming".into()),
+            cut_edges: Some(123),
         }
     }
 
@@ -538,6 +546,7 @@ mod tests {
         assert_eq!(back.spec.ipc, None);
         assert_eq!(back.spec.simd.as_deref(), Some("avx2"));
         assert_eq!(back.spec.blocking.as_deref(), Some("streaming"));
+        assert_eq!(back.spec.cut_edges, Some(123));
         assert_eq!(back.platform_fp, rec.platform_fp);
         // modeled 2 GB at 0.1 s median = 20 GB/s = the triad ceiling.
         assert!((back.achieved_gbs.unwrap() - 20.0).abs() < 1e-9);
@@ -577,6 +586,20 @@ mod tests {
         let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
         assert_eq!(back.spec.simd, None);
         assert_eq!(back.spec.blocking, None);
+    }
+
+    #[test]
+    fn lines_without_cut_edges_still_parse() {
+        // Records written before the partitioning work carry no
+        // cut_edges field; they must keep loading (and keep their
+        // config keys, which never included it).
+        let rec = RunRecord::new(&test_ctx("rev1"), test_spec("m", None), &[0.1, 0.2]).unwrap();
+        let line = rec.to_json().to_compact();
+        let stripped = line.replace(",\"cut_edges\":123", "");
+        assert_ne!(line, stripped, "test must actually remove the field");
+        let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(back.spec.cut_edges, None);
+        assert_eq!(back.config_key, rec.config_key, "cut_edges never joins the key");
     }
 
     #[test]

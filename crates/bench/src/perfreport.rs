@@ -576,6 +576,7 @@ mod tests {
             ipc: None,
             modeled_matrix_bytes: Some(1_000_000_000),
             fallbacks: None,
+            cut_edges: None,
             simd: None,
             blocking: None,
         }

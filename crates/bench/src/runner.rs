@@ -15,7 +15,9 @@ use fbmpk_memsim::{
     trace_fbmpk, trace_level_blocked, trace_standard_mpk, CacheConfig, TracedLayout,
 };
 use fbmpk_obs::{HwSample, HwSession, Registry, TraceBuilder};
-use fbmpk_reorder::{Abmc, AbmcParams};
+use fbmpk_reorder::{
+    balance_ratio, cut_edges, multilevel_blocks, Abmc, AbmcParams, BlockingStrategy, Graph,
+};
 use fbmpk_sparse::spmv::spmv;
 use fbmpk_sparse::stats::MatrixStats;
 use fbmpk_sparse::vecops::rel_err_inf;
@@ -658,6 +660,154 @@ pub fn sync_modes(cfg: &BenchConfig, cases: &[MatrixCase], threads: &[usize]) ->
     rows
 }
 
+// ------------------------------------------------------------- partition
+
+/// One row of the `repro partition` comparison: one blocking strategy's
+/// partition quality (cut edges, balance) and its point-to-point sweep
+/// behavior (wait-list edges, wait fraction, bandwidth) on one matrix.
+#[derive(Debug, Clone)]
+pub struct PartitionRow {
+    /// Matrix name.
+    pub name: String,
+    /// Blocking strategy tag (`contiguous` / `aggregated` / `multilevel`).
+    pub strategy: String,
+    /// Thread count.
+    pub threads: usize,
+    /// ABMC blocks produced.
+    pub nblocks: usize,
+    /// ABMC colors produced.
+    pub ncolors: usize,
+    /// Undirected row-structure edges cut by the partition — the
+    /// objective the multilevel partitioner minimizes.
+    pub cut_edges: usize,
+    /// Directed dependency edges in the P2P per-block wait lists (what
+    /// the cut edges become after coloring).
+    pub dep_edges: usize,
+    /// Heaviest block weight over the mean (1.0 = perfectly balanced).
+    pub balance: f64,
+    /// Point-to-point FBMPK seconds at `k = 5` (geomean).
+    pub t_p2p: f64,
+    /// `modeled_matrix_bytes / t_p2p / 1e9`.
+    pub gbs: f64,
+    /// Fraction of thread time in flag waits, from a recording twin.
+    pub wait_frac: f64,
+    /// P2P, barrier, and recording runs all produced bit-identical
+    /// `A^k x0` for this strategy — must always be `true`.
+    pub identical: bool,
+    /// Raw per-rep p2p seconds (for the perf database).
+    pub samples: Vec<f64>,
+    /// Stable fingerprint of the p2p plan options.
+    pub options_fp: u64,
+    /// §III-B modeled matrix bytes per invocation.
+    pub modeled_matrix_bytes: u64,
+    /// Stall-watchdog fallbacks during the measured reps.
+    pub fallbacks: u64,
+}
+
+/// Stable lowercase tag for a blocking strategy (table and perf-DB
+/// kernel labels).
+pub fn strategy_tag(s: BlockingStrategy) -> &'static str {
+    match s {
+        BlockingStrategy::Contiguous => "contiguous",
+        BlockingStrategy::Aggregated => "aggregated",
+        BlockingStrategy::Multilevel => "multilevel",
+    }
+}
+
+/// Compares the three ABMC blocking strategies under point-to-point
+/// synchronization at `k = 5`: partition quality (cut edges, balance),
+/// the dependency-edge count the cut induces, the recorded flag-wait
+/// fraction, and the achieved bandwidth. Each strategy's p2p run is
+/// verified bit-identical to its barrier and recording twins before any
+/// timing is reported.
+pub fn partition(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<PartitionRow> {
+    let k = 5;
+    let mut rows = Vec::new();
+    // The paper suite's irregular entries (G3_circuit, cage14) plus a
+    // synthetic symmetric R-MAT power-law graph — the second irregular
+    // class the partitioner targets, absent from Table II.
+    let rmat_scale = ((2_000_000.0 * cfg.scale).max(256.0).log2().round() as u32).clamp(8, 20);
+    let rmat = fbmpk_gen::rmat::rmat(fbmpk_gen::rmat::RmatParams {
+        scale: rmat_scale,
+        edge_factor: 8,
+        symmetric: true,
+        seed: cfg.seed.max(1),
+        ..Default::default()
+    });
+    let named: Vec<(&str, &Csr)> = cases
+        .iter()
+        .map(|c| (c.entry.name, &c.matrix))
+        .chain(std::iter::once(("rmat", &rmat)))
+        .collect();
+    for (case_name, a) in named {
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        let g = Graph::from_matrix(a);
+        let nblocks = abmc_params(n).nblocks;
+        for strategy in [
+            BlockingStrategy::Contiguous,
+            BlockingStrategy::Aggregated,
+            BlockingStrategy::Multilevel,
+        ] {
+            let params = AbmcParams { nblocks, strategy, ..Default::default() };
+            // The same Blocking `Abmc::new` builds, evaluated on the
+            // original row-structure graph.
+            let blocking = match strategy {
+                BlockingStrategy::Contiguous => {
+                    fbmpk_reorder::blocking::contiguous_blocks(n, nblocks)
+                }
+                BlockingStrategy::Aggregated => fbmpk_reorder::blocking::aggregated_blocks(
+                    &g,
+                    fbmpk_reorder::blocking::block_size_for_count(n, nblocks),
+                ),
+                BlockingStrategy::Multilevel => multilevel_blocks(&g, nblocks),
+            };
+            let cut = cut_edges(&g, &blocking);
+            let balance = balance_ratio(&g, &blocking);
+            let p2p_opts = FbmpkOptions {
+                nthreads: cfg.threads,
+                reorder: Some(params),
+                layout: VectorLayout::BackToBack,
+                sync: SyncMode::PointToPoint,
+                ..Default::default()
+            };
+            let barrier_opts = FbmpkOptions { sync: SyncMode::ColorBarrier, ..p2p_opts };
+            let p2p = FbmpkPlan::new(a, p2p_opts).expect("square");
+            let barrier = FbmpkPlan::new(a, barrier_opts).expect("square");
+            let want = p2p.power(&x0, k);
+            let identical = want == barrier.power(&x0, k);
+            let t = timed(|| std::hint::black_box(p2p.power(&x0, k)).truncate(0), cfg.reps);
+            // Recording twin: one instrumented run for the wait fraction,
+            // checked bit-identical to the production configuration.
+            let rec = FbmpkPlan::new(a, FbmpkOptions { obs: ObsOptions::recording(), ..p2p_opts })
+                .expect("square");
+            let identical = identical && rec.power(&x0, k) == want;
+            let wait_frac = rec.recorder().expect("recording plan has a recorder").wait_fraction();
+            let stats = p2p.stats();
+            let modeled = p2p.modeled_matrix_bytes(k);
+            rows.push(PartitionRow {
+                name: case_name.to_string(),
+                strategy: strategy_tag(strategy).to_string(),
+                threads: cfg.threads,
+                nblocks: stats.nblocks,
+                ncolors: stats.ncolors,
+                cut_edges: cut,
+                dep_edges: p2p.block_deps().map_or(0, |d| d.nedges()),
+                balance,
+                t_p2p: t.geomean,
+                gbs: modeled as f64 / t.geomean / 1e9,
+                wait_frac,
+                identical,
+                samples: t.samples,
+                options_fp: p2p_opts.config_fingerprint(),
+                modeled_matrix_bytes: modeled,
+                fallbacks: p2p.fallbacks(),
+            });
+        }
+    }
+    rows
+}
+
 // ------------------------------------------------------------------ tune
 
 /// One row of the `repro tune` report: what the inspector–executor layer
@@ -1095,6 +1245,12 @@ mod tests {
         let sy = sync_modes(&cfg, &cases[..1], &[1, 2]);
         assert_eq!(sy.len(), 2);
         assert!(sy.iter().all(|r| r.identical && r.t_barrier > 0.0 && r.t_p2p > 0.0));
+        let pa = partition(&cfg, &cases[..1]);
+        assert_eq!(pa.len(), 6, "three strategies per matrix, suite case + rmat");
+        assert!(pa.iter().any(|r| r.name == "rmat"), "synthetic rmat case appended");
+        assert!(pa.iter().all(|r| r.identical), "strategy run not bit-identical: {pa:?}");
+        assert!(pa.iter().all(|r| r.t_p2p > 0.0 && r.gbs > 0.0 && r.balance >= 1.0));
+        assert!(pa.iter().all(|r| (0.0..=1.0).contains(&r.wait_frac)));
         let tr = tune(&cfg, &cases);
         assert_eq!(tr.len(), 3);
         assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));

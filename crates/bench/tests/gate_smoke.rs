@@ -69,6 +69,7 @@ fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
         ipc: None,
         modeled_matrix_bytes: Some(1_000_000_000),
         fallbacks: None,
+        cut_edges: None,
         simd: None,
         blocking: None,
     };

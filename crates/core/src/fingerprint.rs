@@ -100,6 +100,7 @@ fn blocking_tag(strategy: BlockingStrategy) -> u64 {
     match strategy {
         BlockingStrategy::Contiguous => 1,
         BlockingStrategy::Aggregated => 2,
+        BlockingStrategy::Multilevel => 3,
     }
 }
 
@@ -142,7 +143,10 @@ impl FbmpkOptions {
     pub fn config_fingerprint(&self) -> u64 {
         let (blocking, tile_powers) = blocking_mode_tag(self.blocking);
         let mut h = Fnv64::new();
-        h.write_str("fbmpk-options-v2")
+        // v3 adds the NUMA first-touch placement axis (and the multilevel
+        // partitioner as blocking tag 3); the version bump keeps v2-keyed
+        // histories from silently mixing with differently-shaped configs.
+        h.write_str("fbmpk-options-v3")
             .write_usize(self.nthreads)
             .write_u64(blocking)
             .write_u64(tile_powers)
@@ -151,6 +155,7 @@ impl FbmpkOptions {
             .write_u64(self.pre_rcm as u64)
             .write_u64(sync_tag(self.sync))
             .write_u64(self.pin_threads as u64)
+            .write_u64(self.numa_first_touch as u64)
             .write_u64(self.obs.record as u64)
             .write_u64(fallback_tag(self.fallback))
             // Watchdog deadline: a run that can time out and fall back is
@@ -201,12 +206,14 @@ mod tests {
         let sync = FbmpkOptions { sync: SyncMode::PointToPoint, ..base };
         let layout = FbmpkOptions { layout: VectorLayout::Split, ..base };
         let reorder = FbmpkOptions { reorder: Some(AbmcParams::default()), ..base };
+        let numa = FbmpkOptions { numa_first_touch: true, ..base };
         let fps = [
             base.config_fingerprint(),
             threads.config_fingerprint(),
             sync.config_fingerprint(),
             layout.config_fingerprint(),
             reorder.config_fingerprint(),
+            numa.config_fingerprint(),
         ];
         for (i, a) in fps.iter().enumerate() {
             for b in &fps[i + 1..] {
@@ -226,6 +233,22 @@ mod tests {
         assert_ne!(base.config_fingerprint(), auto.config_fingerprint());
         assert_ne!(auto.config_fingerprint(), fixed.config_fingerprint());
         assert_ne!(base.config_fingerprint(), fixed.config_fingerprint());
+    }
+
+    #[test]
+    fn blocking_strategy_changes_fingerprint() {
+        let mk = |strategy| FbmpkOptions {
+            reorder: Some(AbmcParams { strategy, ..Default::default() }),
+            ..Default::default()
+        };
+        let fps = [
+            mk(BlockingStrategy::Contiguous).config_fingerprint(),
+            mk(BlockingStrategy::Aggregated).config_fingerprint(),
+            mk(BlockingStrategy::Multilevel).config_fingerprint(),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[1], fps[2]);
+        assert_ne!(fps[0], fps[2]);
     }
 
     #[test]

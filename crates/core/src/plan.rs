@@ -127,6 +127,15 @@ pub struct FbmpkOptions {
     /// [`FbmpkPlan::new`] — [`FbmpkPlan::with_pool`] keeps the caller's
     /// pool as-is.
     pub pin_threads: bool,
+    /// NUMA-aware first-touch placement of the kernel buffers and the
+    /// per-triangle CSR arrays: on parallel plans, pool workers fault in
+    /// equal contiguous shares of each allocation so its pages land on
+    /// the memory node of a worker that will stream them (workers pin
+    /// node-locally under `pin_threads`; see
+    /// [`fbmpk_parallel::numa::NumaTopology`]). Off by default. Results
+    /// are bit-identical either way — only page placement changes — and
+    /// serial plans ignore the flag entirely.
+    pub numa_first_touch: bool,
     /// In-kernel observability (off by default — zero overhead).
     pub obs: ObsOptions,
     /// Stall-watchdog deadline for point-to-point waits, in milliseconds.
@@ -154,6 +163,7 @@ impl Default for FbmpkOptions {
             pre_rcm: false,
             sync: SyncMode::default(),
             pin_threads: false,
+            numa_first_touch: false,
             obs: ObsOptions::default(),
             watchdog_ms: None,
             fallback: FallbackPolicy::default(),
@@ -206,6 +216,7 @@ pub struct FbmpkPlan {
     n: usize,
     watchdog_ms: u64,
     fallback: FallbackPolicy,
+    numa_first_touch: bool,
     /// Times a stalled point-to-point invocation was re-executed under
     /// the barrier schedule (the `ColorBarrier` fallback policy).
     fallbacks: AtomicU64,
@@ -275,7 +286,10 @@ impl FbmpkPlan {
             None => (std::borrow::Cow::Borrowed(a), None, None),
         };
         let t0 = Instant::now();
-        let split = TriangularSplit::split(&working)?;
+        let mut split = TriangularSplit::split(&working)?;
+        if options.numa_first_touch && options.nthreads > 1 {
+            split = first_touch_split(&pool, split);
+        }
         stats.split_seconds = t0.elapsed().as_secs_f64();
         // Level-blocked mode preprocesses the working (permuted) matrix
         // into BFS shells once, amortized like the reorder itself.
@@ -337,6 +351,7 @@ impl FbmpkPlan {
             n,
             watchdog_ms,
             fallback: options.fallback,
+            numa_first_touch: options.numa_first_touch,
             fallbacks: AtomicU64::new(0),
         })
     }
@@ -651,11 +666,11 @@ impl FbmpkPlan {
             return lb.run_probed(&self.pool, x0p, k, sink, probe);
         }
         let n = self.n;
-        let mut tmp = vec![0.0; n];
-        let mut out = vec![0.0; n];
+        let mut tmp = self.alloc_zeroed(n);
+        let mut out = self.alloc_zeroed(n);
         match self.layout {
             VectorLayout::BackToBack => {
-                let mut xy = vec![0.0; 2 * n];
+                let mut xy = self.alloc_zeroed(2 * n);
                 for (i, &v) in x0p.iter().enumerate() {
                     xy[2 * i] = v;
                 }
@@ -678,7 +693,7 @@ impl FbmpkPlan {
             }
             VectorLayout::Split => {
                 let mut even = x0p.to_vec();
-                let mut odd = vec![0.0; n];
+                let mut odd = self.alloc_zeroed(n);
                 {
                     let layout = SplitXy::new(&mut even, &mut odd);
                     run_fbmpk_probed(
@@ -711,6 +726,109 @@ impl FbmpkPlan {
             Some(p) => p.unapply_vec_alloc(&y),
             None => y,
         }
+    }
+
+    /// Whether this plan first-touches its buffers from the pool workers.
+    pub fn numa_first_touch(&self) -> bool {
+        self.numa_first_touch
+    }
+
+    /// Allocates a zeroed kernel buffer. With
+    /// [`FbmpkOptions::numa_first_touch`] on a parallel plan, pool
+    /// workers zero equal contiguous shares, so under Linux's first-touch
+    /// policy each page lands on the memory node of a worker that will
+    /// stream it (node-major pinning keeps consecutive workers
+    /// node-local). The contents are identical either way — all zeros —
+    /// so kernel results cannot differ.
+    pub(crate) fn alloc_zeroed(&self, len: usize) -> Vec<f64> {
+        if !self.numa_first_touch || self.pool.nthreads() <= 1 || len == 0 {
+            return vec![0.0; len];
+        }
+        first_touch_zeroed(&self.pool, len)
+    }
+}
+
+/// A raw pointer the first-touch closures share across workers; safe
+/// because every worker writes a disjoint element range. (The accessor
+/// keeps closures capturing the `Sync` wrapper rather than the pointer
+/// field itself, which precise capture would otherwise pull out.)
+struct FirstTouchPtr<T>(*mut T);
+unsafe impl<T> Sync for FirstTouchPtr<T> {}
+
+impl<T> FirstTouchPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Zero-fills a fresh `len`-element buffer with each pool worker writing
+/// its own contiguous share (the first-touch placement protocol).
+fn first_touch_zeroed(pool: &ThreadPool, len: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = Vec::with_capacity(len);
+    let nthreads = pool.nthreads();
+    let chunk = len.div_ceil(nthreads);
+    let ptr = FirstTouchPtr(v.as_mut_ptr());
+    pool.run(&|t| {
+        let start = (t * chunk).min(len);
+        let end = ((t + 1) * chunk).min(len);
+        if start < end {
+            // SAFETY: per-worker ranges are disjoint, lie within the
+            // reserved capacity, and all-zero bits are a valid f64 (0.0).
+            unsafe { std::ptr::write_bytes(ptr.get().add(start), 0, end - start) };
+        }
+    });
+    // SAFETY: the workers above zero-initialized all `len` elements.
+    unsafe { v.set_len(len) };
+    v
+}
+
+/// Copies `src` into a fresh buffer whose pages the pool workers
+/// first-touch (each copies its own contiguous share).
+fn first_touch_copy<T: Copy + Sync>(pool: &ThreadPool, src: &[T]) -> Vec<T> {
+    let len = src.len();
+    let mut v: Vec<T> = Vec::with_capacity(len);
+    let nthreads = pool.nthreads();
+    let chunk = len.div_ceil(nthreads);
+    let ptr = FirstTouchPtr(v.as_mut_ptr());
+    pool.run(&|t| {
+        let start = (t * chunk).min(len);
+        let end = ((t + 1) * chunk).min(len);
+        if start < end {
+            // SAFETY: disjoint in-capacity destination ranges; the source
+            // is read-only for the whole call.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(start),
+                    ptr.get().add(start),
+                    end - start,
+                )
+            };
+        }
+    });
+    // SAFETY: the workers above wrote all `len` elements.
+    unsafe { v.set_len(len) };
+    v
+}
+
+/// Rebuilds the split's per-triangle CSR arrays (and the diagonal) into
+/// worker-first-touched storage. Values and structure are copied bitwise,
+/// so the rebuilt split is exactly the old one — only page placement
+/// differs.
+fn first_touch_split(pool: &Arc<ThreadPool>, split: TriangularSplit) -> TriangularSplit {
+    let ft_csr = |m: &Csr| -> Csr {
+        Csr::from_raw_parts(
+            m.nrows(),
+            m.ncols(),
+            first_touch_copy(pool, m.row_ptr()),
+            first_touch_copy(pool, m.col_idx()),
+            first_touch_copy(pool, m.values()),
+        )
+        .expect("first-touch copy preserves CSR invariants")
+    };
+    TriangularSplit {
+        lower: ft_csr(&split.lower),
+        diag: first_touch_copy(pool, &split.diag),
+        upper: ft_csr(&split.upper),
     }
 }
 
@@ -757,6 +875,12 @@ mod tests {
                 let mut o = FbmpkOptions::parallel(2);
                 o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
                 o.blocking = BlockingMode::LevelBlocked { tile_powers: None };
+                o
+            }),
+            ("parallel-3-numa-first-touch", {
+                let mut o = FbmpkOptions::parallel(3);
+                o.reorder = Some(AbmcParams { nblocks: 8, ..Default::default() });
+                o.numa_first_touch = true;
                 o
             }),
         ]
@@ -853,6 +977,36 @@ mod tests {
         assert!(s.ncolors >= 2);
         assert!(s.nblocks >= 8);
         assert!(s.reorder_seconds >= 0.0);
+    }
+
+    #[test]
+    fn numa_first_touch_is_bit_identical() {
+        // First-touch placement changes page residency, never values:
+        // every kernel must return the same bits as the default allocator,
+        // for every blocking strategy.
+        let a = grid();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 11 % 17) as f64) - 8.0).collect();
+        for strategy in [
+            fbmpk_reorder::BlockingStrategy::Contiguous,
+            fbmpk_reorder::BlockingStrategy::Aggregated,
+            fbmpk_reorder::BlockingStrategy::Multilevel,
+        ] {
+            let mut base = FbmpkOptions::parallel(3);
+            base.reorder = Some(AbmcParams { nblocks: 8, strategy, ..Default::default() });
+            let mut ft = base;
+            ft.numa_first_touch = true;
+            let plain = FbmpkPlan::new(&a, base).unwrap();
+            let touched = FbmpkPlan::new(&a, ft).unwrap();
+            assert_eq!(plain.split(), touched.split(), "{strategy:?}: split must copy bitwise");
+            for k in 1..=5 {
+                assert_eq!(plain.power(&x0, k), touched.power(&x0, k), "{strategy:?} k={k}");
+            }
+            let mut ws = touched.workspace();
+            let mut y = vec![0.0; n];
+            touched.power_with(&mut ws, &x0, 4, &mut y);
+            assert_eq!(y, plain.power(&x0, 4), "{strategy:?}: workspace path");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use fbmpk_obs::recorder::{Span, SpanKind};
 use fbmpk_obs::{NoopProbe, Probe, Recorder, SpanProbe};
 use fbmpk_parallel::partition::merge_path_partition;
 use fbmpk_parallel::{SharedSlice, ThreadPool};
-use fbmpk_reorder::AbmcParams;
+use fbmpk_reorder::{AbmcParams, BlockingStrategy, Graph};
 use fbmpk_sparse::sellcs::SellCs;
 use fbmpk_sparse::simd::{self, SimdLevel};
 use fbmpk_sparse::spmv::{spmv_rows, spmv_rows_rowsplit, spmv_rows_unrolled4};
@@ -170,6 +170,14 @@ pub struct TuneOptions {
     /// one per-thread span to the plan's recorder, and FBMPK plans
     /// derived via [`TunedPlan::fbmpk_plan`] record too.
     pub obs: ObsOptions,
+    /// ABMC blocking strategy for FBMPK plans derived via
+    /// [`TunedPlan::fbmpk_plan_auto`]. `None` (the default) lets the
+    /// cut-edge cost model choose: the strategy whose partition cuts the
+    /// fewest row-structure edges — and therefore induces the fewest
+    /// cross-block P2P dependency waits — wins. The choice is part of
+    /// the [`TunedPlan::cached`] key, so explicit and auto-selected
+    /// tunings never share a cache slot.
+    pub abmc_blocking: Option<BlockingStrategy>,
 }
 
 impl Default for TuneOptions {
@@ -180,7 +188,19 @@ impl Default for TuneOptions {
             probe_reps: 3,
             sync: SyncMode::default(),
             obs: ObsOptions::default(),
+            abmc_blocking: None,
         }
+    }
+}
+
+/// Stable cache tag for the partitioner axis of [`TunedPlan::cached`]
+/// (0 = auto-select by cut edges).
+fn partitioner_tag(s: Option<BlockingStrategy>) -> u8 {
+    match s {
+        None => 0,
+        Some(BlockingStrategy::Contiguous) => 1,
+        Some(BlockingStrategy::Aggregated) => 2,
+        Some(BlockingStrategy::Multilevel) => 3,
     }
 }
 
@@ -233,6 +253,12 @@ pub struct TunedPlan {
     /// SpMV users should not pay). `None` inside means "built, not
     /// profitable on this matrix".
     levelblock: OnceLock<Option<LevelBlockPlan>>,
+    /// Explicit strategy override from [`TuneOptions::abmc_blocking`].
+    abmc_blocking: Option<BlockingStrategy>,
+    /// Lazily-resolved cut-edge comparison (built on the first
+    /// [`TunedPlan::blocking_strategy`] call without an override; the
+    /// partitions cost O(nnz·levels) that plain-SpMV users never pay).
+    selected_blocking: OnceLock<(BlockingStrategy, Vec<(BlockingStrategy, usize)>)>,
     report: TuneReport,
 }
 
@@ -323,6 +349,8 @@ impl TunedPlan {
             obs: options.obs,
             recorder,
             levelblock: OnceLock::new(),
+            abmc_blocking: options.abmc_blocking,
+            selected_blocking: OnceLock::new(),
             report,
         }
     }
@@ -334,7 +362,7 @@ impl TunedPlan {
     /// plan serialized under `FBMPK_SIMD=scalar` and reloaded with AVX2
     /// enabled) get distinct plans.
     pub fn cached(a: &Csr, options: TuneOptions) -> Arc<TunedPlan> {
-        type PlanCache = Mutex<HashMap<(u64, usize, u8, u8, bool), Arc<TunedPlan>>>;
+        type PlanCache = Mutex<HashMap<(u64, usize, u8, u8, bool, u8), Arc<TunedPlan>>>;
         static CACHE: OnceLock<PlanCache> = OnceLock::new();
         let key = (
             fingerprint(a),
@@ -342,6 +370,7 @@ impl TunedPlan {
             options.sync as u8,
             simd::detect() as u8,
             options.obs.record,
+            partitioner_tag(options.abmc_blocking),
         );
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
@@ -414,6 +443,36 @@ impl TunedPlan {
             ..FbmpkOptions::default()
         };
         FbmpkPlan::with_pool(&self.a, options, Arc::clone(&self.pool))
+    }
+
+    /// The ABMC blocking strategy the tuner picks for `nblocks` blocks:
+    /// the [`TuneOptions::abmc_blocking`] override when set, otherwise
+    /// the strategy whose partition cuts the fewest row-structure edges
+    /// (see [`select_blocking_strategy`]). The comparison runs once per
+    /// tuned plan and is cached for the first `nblocks` asked.
+    pub fn blocking_strategy(&self, nblocks: usize) -> BlockingStrategy {
+        if let Some(s) = self.abmc_blocking {
+            return s;
+        }
+        self.selected_blocking.get_or_init(|| select_blocking_strategy(&self.a, nblocks)).0
+    }
+
+    /// The per-strategy cut-edge counts behind the auto selection —
+    /// `None` until [`TunedPlan::blocking_strategy`] has resolved them
+    /// (or forever, under an explicit override).
+    pub fn blocking_cut_edges(&self) -> Option<&[(BlockingStrategy, usize)]> {
+        self.selected_blocking.get().map(|(_, cuts)| cuts.as_slice())
+    }
+
+    /// Like [`TunedPlan::fbmpk_plan`], with ABMC parameters assembled
+    /// from `nblocks` and the tuner-selected blocking strategy.
+    ///
+    /// # Errors
+    /// Propagates [`FbmpkPlan::with_pool`] errors.
+    pub fn fbmpk_plan_auto(&self, nblocks: usize) -> crate::Result<FbmpkPlan> {
+        let params =
+            AbmcParams { nblocks, strategy: self.blocking_strategy(nblocks), ..Default::default() };
+        self.fbmpk_plan(Some(params))
     }
 
     /// Computes `y = A x` with the tuned kernel.
@@ -778,6 +837,40 @@ fn run_probe_spmv(
     });
 }
 
+/// Compares the three ABMC blocking strategies on `a`'s row-structure
+/// graph by cut-edge count and returns the winner plus every candidate's
+/// count. A cut edge is an adjacency between rows in different blocks —
+/// exactly the structure that becomes a cross-block dependency (and a
+/// point-to-point flag wait) after coloring, so fewer cut edges means
+/// fewer waits and better block-local reuse. Ties prefer the cheaper
+/// build, in order contiguous → aggregated → multilevel. Each candidate
+/// builds the same `Blocking` that [`fbmpk_reorder::Abmc::new`] would,
+/// so the counts describe the partitions actually executed.
+pub fn select_blocking_strategy(
+    a: &Csr,
+    nblocks: usize,
+) -> (BlockingStrategy, Vec<(BlockingStrategy, usize)>) {
+    use fbmpk_reorder::blocking::{aggregated_blocks, block_size_for_count, contiguous_blocks};
+    use fbmpk_reorder::{cut_edges, multilevel_blocks};
+    let n = a.nrows();
+    if n == 0 || nblocks <= 1 {
+        // One block (or nothing) cuts no edges anywhere; take the trivial
+        // partition without building graphs.
+        return (BlockingStrategy::Contiguous, Vec::new());
+    }
+    let g = Graph::from_matrix(a);
+    let cuts = vec![
+        (BlockingStrategy::Contiguous, cut_edges(&g, &contiguous_blocks(n, nblocks))),
+        (
+            BlockingStrategy::Aggregated,
+            cut_edges(&g, &aggregated_blocks(&g, block_size_for_count(n, nblocks))),
+        ),
+        (BlockingStrategy::Multilevel, cut_edges(&g, &multilevel_blocks(&g, nblocks))),
+    ];
+    let best = cuts.iter().min_by_key(|&&(_, c)| c).expect("three candidates").0;
+    (best, cuts)
+}
+
 /// Structural + numerical fingerprint: FNV-1a over dimensions and the
 /// complete `row_ptr`, `col_idx`, and value-bit streams. Any entry change
 /// — structural or numerical — changes the fingerprint, so a cached plan
@@ -1023,6 +1116,65 @@ mod tests {
         // k < 4 never consults the blocking plan; the lazy cell stays empty.
         let _ = plan.power(&vec![1.0; plan.n()], 3);
         assert!(plan.levelblock.get().is_none(), "k=3 must not build the BFS plan");
+    }
+
+    #[test]
+    fn strategy_selection_compares_all_three_by_cut_edges() {
+        let a = skewed(11);
+        let (best, cuts) = select_blocking_strategy(&a, 32);
+        assert_eq!(cuts.len(), 3, "all three strategies evaluated");
+        let best_cut = cuts.iter().find(|(s, _)| *s == best).unwrap().1;
+        assert!(cuts.iter().all(|&(_, c)| best_cut <= c), "winner has the minimum cut: {cuts:?}");
+        // Deterministic: same matrix, same answer.
+        assert_eq!(select_blocking_strategy(&a, 32), (best, cuts));
+        // Degenerate sizes take the trivial partition without graph work.
+        assert_eq!(select_blocking_strategy(&a, 1).0, BlockingStrategy::Contiguous);
+        assert_eq!(select_blocking_strategy(&Csr::zero(0, 0), 4).1, Vec::new());
+    }
+
+    #[test]
+    fn tuned_plan_resolves_strategy_lazily_and_derives_plans() {
+        let a = skewed(4);
+        let plan = TunedPlan::new(
+            &a,
+            TuneOptions { nthreads: 2, probe: false, probe_reps: 1, ..Default::default() },
+        );
+        assert!(plan.blocking_cut_edges().is_none(), "no comparison before first ask");
+        let chosen = plan.blocking_strategy(32);
+        let cuts = plan.blocking_cut_edges().expect("comparison resolved");
+        assert_eq!(cuts.len(), 3);
+        assert_eq!(plan.blocking_strategy(32), chosen, "cached choice is stable");
+        // The derived FBMPK plan runs and matches the reference.
+        let fb = plan.fbmpk_plan_auto(32).unwrap();
+        let n = a.nrows();
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 3 % 13) as f64) - 6.0).collect();
+        let want = crate::StandardMpk::new(&a, 1).unwrap().power(&x0, 4);
+        assert!(rel_err_inf(&fb.power(&x0, 4), &want) < 1e-11);
+        // An explicit override bypasses the comparison entirely.
+        let forced = TunedPlan::new(
+            &a,
+            TuneOptions {
+                nthreads: 2,
+                probe: false,
+                probe_reps: 1,
+                abmc_blocking: Some(BlockingStrategy::Multilevel),
+                ..Default::default()
+            },
+        );
+        assert_eq!(forced.blocking_strategy(32), BlockingStrategy::Multilevel);
+        assert!(forced.blocking_cut_edges().is_none());
+    }
+
+    #[test]
+    fn cache_distinguishes_partitioner_tag() {
+        let a = grid(7);
+        let base = TuneOptions { nthreads: 1, probe: false, probe_reps: 1, ..Default::default() };
+        let auto = TunedPlan::cached(&a, base);
+        let forced = TunedPlan::cached(
+            &a,
+            TuneOptions { abmc_blocking: Some(BlockingStrategy::Multilevel), ..base },
+        );
+        assert!(!Arc::ptr_eq(&auto, &forced), "override must not share the auto cache slot");
     }
 
     #[test]

@@ -47,9 +47,21 @@ impl Workspace {
 }
 
 impl FbmpkPlan {
-    /// Creates a workspace matching this plan.
+    /// Creates a workspace matching this plan. When the plan was built
+    /// with [`crate::FbmpkOptions::numa_first_touch`], the buffers are
+    /// zeroed by the pool workers in equal contiguous shares, so their
+    /// pages are first-touched (and hence placed) on the memory node of
+    /// the workers that stream them.
     pub fn workspace(&self) -> Workspace {
-        Workspace::new(self.n())
+        let n = self.n();
+        Workspace {
+            xy: self.alloc_zeroed(2 * n),
+            tmp: self.alloc_zeroed(n),
+            out: self.alloc_zeroed(n),
+            staged: self.alloc_zeroed(n),
+            acc: self.alloc_zeroed(n),
+            n,
+        }
     }
 
     /// Like [`FbmpkPlan::power`], but reusing `ws` and writing into `y` —

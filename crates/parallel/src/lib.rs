@@ -25,11 +25,14 @@
 //!   first [`poison::WorkerFault`] instead of hanging or aborting),
 //! * [`fault`] — a deterministic fault-injection harness (compiled in only
 //!   under the `fault-inject` feature) driving the recovery-path tests,
-//! * [`affinity`] — best-effort worker→core pinning for the pool.
+//! * [`affinity`] — best-effort worker→core pinning for the pool,
+//! * [`numa`] — sysfs node-topology detection and the node-major worker
+//!   ordering behind NUMA-local pinning and first-touch placement.
 
 pub mod affinity;
 pub mod barrier;
 pub mod fault;
+pub mod numa;
 pub mod partition;
 pub mod poison;
 pub mod pool;
@@ -37,6 +40,7 @@ pub mod shared;
 pub mod sync;
 
 pub use barrier::SenseBarrier;
+pub use numa::NumaTopology;
 pub use poison::{FaultCause, Poison, PoisonUnwind, ProgressTable, ThreadProgress, WorkerFault};
 pub use pool::ThreadPool;
 pub use shared::SharedSlice;

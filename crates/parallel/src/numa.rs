@@ -1,0 +1,247 @@
+//! NUMA node topology detection and node-aware worker→core ordering.
+//!
+//! On multi-socket machines the sweeps' bandwidth ceiling is per-node:
+//! a worker streaming pages resident on the *other* node pays the
+//! interconnect. Two pieces make the runtime node-aware without any
+//! libnuma dependency:
+//!
+//! * **Topology** — parsed from sysfs (`/sys/devices/system/node/
+//!   node*/cpulist`), the same interface `numactl --hardware` reads.
+//!   Anything unexpected (no sysfs, masked nodes, cpu-less memory
+//!   nodes, parse errors) degrades to a single node covering
+//!   `available_cores()`, which reproduces today's behavior exactly.
+//! * **Node-major cpu order** — [`NumaTopology::cpu_order`] lists cpus
+//!   node by node, so pinning worker `t` to `order[t % len]` packs
+//!   consecutive workers onto the same node. Combined with contiguous
+//!   per-worker ranges in the kernels and first-touch initialization of
+//!   shared buffers (each worker faults in its own range), pages land on
+//!   the node of the worker that sweeps them. On a single node the
+//!   order is `0..cores`, bit-identical to the previous `t % cores`
+//!   pinning.
+
+use std::path::Path;
+
+/// Per-node cpu inventory (node ids dense in `0..nnodes`, each with at
+/// least one cpu).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaTopology {
+    nodes: Vec<Vec<usize>>,
+}
+
+impl NumaTopology {
+    /// Detects the topology from the standard sysfs root. Every failure
+    /// mode degrades to [`NumaTopology::single_node`].
+    pub fn detect() -> Self {
+        Self::from_sysfs_root(Path::new("/sys/devices/system/node"))
+    }
+
+    /// Detects from an explicit sysfs-style root (`node<N>/cpulist`
+    /// files) — the testable entry behind [`NumaTopology::detect`]. A
+    /// missing/empty/unparsable tree, or one that yields fewer than two
+    /// cpu-bearing nodes, degrades to [`NumaTopology::single_node`].
+    pub fn from_sysfs_root(root: &Path) -> Self {
+        Self::try_from_sysfs(root).unwrap_or_else(Self::single_node)
+    }
+
+    fn try_from_sysfs(root: &Path) -> Option<Self> {
+        let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for entry in std::fs::read_dir(root).ok()? {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let Some(id) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok()) else {
+                continue;
+            };
+            let text = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            let cpus = parse_cpulist(&text)?;
+            if !cpus.is_empty() {
+                nodes.push((id, cpus));
+            }
+        }
+        // Memory-only nodes were dropped above; fewer than two cpu-bearing
+        // nodes means placement cannot matter — degrade.
+        if nodes.len() < 2 {
+            return None;
+        }
+        nodes.sort_by_key(|&(id, _)| id);
+        Some(NumaTopology { nodes: nodes.into_iter().map(|(_, cpus)| cpus).collect() })
+    }
+
+    /// The degradation topology: one node holding `0..available_cores()`
+    /// — [`NumaTopology::cpu_order`] then reproduces the historical
+    /// `tid % cores` pinning exactly.
+    pub fn single_node() -> Self {
+        NumaTopology { nodes: vec![(0..crate::affinity::available_cores()).collect()] }
+    }
+
+    /// An injected topology for tests (multi-node machines are not
+    /// available in CI). Nodes with no cpus are rejected.
+    ///
+    /// # Panics
+    /// Panics when `nodes` is empty or any node has no cpus.
+    pub fn from_nodes(nodes: Vec<Vec<usize>>) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!(nodes.iter().all(|n| !n.is_empty()), "every node needs a cpu");
+        NumaTopology { nodes }
+    }
+
+    /// Number of cpu-bearing nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether placement is moot (one node).
+    pub fn is_single_node(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Cpus of node `i`.
+    pub fn node_cpus(&self, i: usize) -> &[usize] {
+        &self.nodes[i]
+    }
+
+    /// Total cpus across all nodes.
+    pub fn ncpus(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+
+    /// Node-major cpu order: all of node 0's cpus, then node 1's, … —
+    /// pin worker `t` to `order[t % order.len()]` and consecutive
+    /// workers pack node-locally, so each worker's contiguous data range
+    /// is first-touched (and later streamed) on one node.
+    pub fn cpu_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.ncpus());
+        for node in &self.nodes {
+            order.extend_from_slice(node);
+        }
+        order
+    }
+
+    /// The node worker `tid` lands on under node-major pinning (workers
+    /// beyond the cpu count wrap).
+    pub fn node_of_worker(&self, tid: usize) -> usize {
+        let mut idx = tid % self.ncpus().max(1);
+        for (n, node) in self.nodes.iter().enumerate() {
+            if idx < node.len() {
+                return n;
+            }
+            idx -= node.len();
+        }
+        0
+    }
+}
+
+/// Parses a kernel cpulist (`"0-3,8-11,17"`) into ascending cpu ids.
+/// Returns `None` on any malformed token; an empty/whitespace list is
+/// `Some(vec![])` (cpu-less memory nodes report an empty cpulist).
+pub fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
+    let s = s.trim();
+    let mut cpus = Vec::new();
+    if s.is_empty() {
+        return Some(cpus);
+    }
+    for token in s.split(',') {
+        let token = token.trim();
+        match token.split_once('-') {
+            None => cpus.push(token.parse().ok()?),
+            Some((lo, hi)) => {
+                let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse::<usize>().ok()?);
+                if hi < lo {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    Some(cpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ranges_and_singletons() {
+        assert_eq!(parse_cpulist("0-3,8-11"), Some(vec![0, 1, 2, 3, 8, 9, 10, 11]));
+        assert_eq!(parse_cpulist("5"), Some(vec![5]));
+        assert_eq!(parse_cpulist(" 0-1 , 4 \n"), Some(vec![0, 1, 4]));
+        assert_eq!(parse_cpulist(""), Some(vec![]));
+        assert_eq!(parse_cpulist("\n"), Some(vec![]));
+        assert_eq!(parse_cpulist("3-1"), None);
+        assert_eq!(parse_cpulist("a-b"), None);
+        assert_eq!(parse_cpulist("0,,2"), None);
+    }
+
+    #[test]
+    fn detect_never_panics_and_has_cpus() {
+        let t = NumaTopology::detect();
+        assert!(t.nnodes() >= 1);
+        assert!(t.ncpus() >= 1);
+        assert_eq!(t.cpu_order().len(), t.ncpus());
+    }
+
+    #[test]
+    fn absent_sysfs_degrades_to_single_node() {
+        // The satellite degradation test: no sysfs tree at all.
+        let t = NumaTopology::from_sysfs_root(Path::new("/nonexistent-sysfs-root-for-sure"));
+        assert!(t.is_single_node());
+        assert_eq!(t, NumaTopology::single_node());
+        // And the degraded order is exactly the historical pinning order.
+        let cores = crate::affinity::available_cores();
+        assert_eq!(t.cpu_order(), (0..cores).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_node_sysfs_also_degrades_bit_identically() {
+        // A tree with one cpu-bearing node (the common workstation/CI
+        // case) must behave exactly like no tree: order = 0..cores.
+        let dir = std::env::temp_dir().join("fbmpk-numa-single");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("node0")).unwrap();
+        std::fs::write(dir.join("node0").join("cpulist"), "0-127\n").unwrap();
+        let t = NumaTopology::from_sysfs_root(&dir);
+        assert_eq!(t, NumaTopology::single_node());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_node_sysfs_yields_node_major_order() {
+        let dir = std::env::temp_dir().join("fbmpk-numa-two");
+        std::fs::remove_dir_all(&dir).ok();
+        for (node, list) in [("node0", "0-3\n"), ("node1", "4-7\n"), ("node9", "")] {
+            std::fs::create_dir_all(dir.join(node)).unwrap();
+            std::fs::write(dir.join(node).join("cpulist"), list).unwrap();
+        }
+        // Unrelated entries must be ignored.
+        std::fs::create_dir_all(dir.join("possible")).ok();
+        let t = NumaTopology::from_sysfs_root(&dir);
+        assert_eq!(t.nnodes(), 2, "cpu-less node9 dropped");
+        assert_eq!(t.node_cpus(0), &[0, 1, 2, 3]);
+        assert_eq!(t.node_cpus(1), &[4, 5, 6, 7]);
+        assert_eq!(t.cpu_order(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interleaved_cpu_ids_pack_by_node() {
+        // Real two-socket boxes often interleave: node0 = even, node1 =
+        // odd. Node-major order must group them, not zig-zag.
+        let t = NumaTopology::from_nodes(vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]]);
+        assert_eq!(t.cpu_order(), vec![0, 2, 4, 6, 1, 3, 5, 7]);
+        assert_eq!(t.node_of_worker(0), 0);
+        assert_eq!(t.node_of_worker(3), 0);
+        assert_eq!(t.node_of_worker(4), 1);
+        assert_eq!(t.node_of_worker(7), 1);
+        // Oversubscribed workers wrap.
+        assert_eq!(t.node_of_worker(8), 0);
+        assert_eq!(t.node_of_worker(12), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "every node needs a cpu")]
+    fn from_nodes_rejects_empty_node() {
+        NumaTopology::from_nodes(vec![vec![0], vec![]]);
+    }
+}

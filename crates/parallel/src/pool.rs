@@ -66,8 +66,13 @@ impl ThreadPool {
         Self::with_affinity(nthreads, false)
     }
 
-    /// Creates a pool, optionally pinning worker `t` to core `t mod cores`
-    /// at startup (see [`crate::affinity`]). Pinning is best-effort: a
+    /// Creates a pool, optionally pinning workers at startup (see
+    /// [`crate::affinity`]). Workers are assigned cores in the NUMA
+    /// node-major order of [`crate::numa::NumaTopology::cpu_order`]:
+    /// consecutive worker ids pack onto the same node, so contiguous
+    /// per-worker data ranges stay node-local; on a single-node machine
+    /// the order degrades to `0..cores` and worker `t` lands on core
+    /// `t mod cores`, exactly as before. Pinning is best-effort: a
     /// rejected mask leaves the worker floating. The inline single-thread
     /// pool never pins (that would permanently constrain the *caller's*
     /// thread).
@@ -88,15 +93,22 @@ impl ThreadPool {
         let mut handles = Vec::new();
         let pinned = pin && nthreads > 1;
         if nthreads > 1 {
-            let cores = crate::affinity::available_cores();
+            // One sysfs read per pool; empty when not pinning.
+            let cpu_order: Arc<Vec<usize>> = Arc::new(if pinned {
+                crate::numa::NumaTopology::detect().cpu_order()
+            } else {
+                Vec::new()
+            });
             for tid in 0..nthreads {
                 let inner = Arc::clone(&inner);
+                let cpu_order = Arc::clone(&cpu_order);
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("fbmpk-worker-{tid}"))
                         .spawn(move || {
-                            if pinned {
-                                let _ = crate::affinity::pin_current_thread(tid % cores);
+                            if pinned && !cpu_order.is_empty() {
+                                let core = cpu_order[tid % cpu_order.len()];
+                                let _ = crate::affinity::pin_current_thread(core);
                             }
                             worker_loop(&inner, tid)
                         })

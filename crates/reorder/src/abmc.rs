@@ -11,6 +11,7 @@
 use crate::blocking::{aggregated_blocks, block_size_for_count, contiguous_blocks, Blocking};
 use crate::coloring::{greedy_coloring, validate_coloring, Coloring, ColoringOrdering};
 use crate::graph::Graph;
+use crate::partition::multilevel_blocks;
 use fbmpk_sparse::{Csr, Permutation};
 
 /// How rows are aggregated into blocks before coloring.
@@ -23,6 +24,11 @@ pub enum BlockingStrategy {
     /// blocking; re-groups irregular matrices).
     #[default]
     Aggregated,
+    /// Multilevel edge-cut partitioning ([`crate::partition`]): minimizes
+    /// cross-block entries, i.e. the dependency edges the barrier-free
+    /// point-to-point sweep waits on. Costs more at plan time than the
+    /// other two; pays off on irregular structure.
+    Multilevel,
 }
 
 /// Parameters for [`Abmc::new`].
@@ -91,6 +97,7 @@ impl Abmc {
             BlockingStrategy::Aggregated => {
                 aggregated_blocks(&g, block_size_for_count(n, params.nblocks))
             }
+            BlockingStrategy::Multilevel => multilevel_blocks(&g, params.nblocks),
         };
         let quotient = g.quotient(&blocking.block_of, blocking.nblocks);
         let coloring = greedy_coloring(&quotient, params.ordering);
@@ -226,7 +233,11 @@ mod tests {
     #[test]
     fn offsets_partition_rows_and_blocks() {
         let a = tridiag(100);
-        for strategy in [BlockingStrategy::Contiguous, BlockingStrategy::Aggregated] {
+        for strategy in [
+            BlockingStrategy::Contiguous,
+            BlockingStrategy::Aggregated,
+            BlockingStrategy::Multilevel,
+        ] {
             let abmc = Abmc::new(
                 &a,
                 AbmcParams { nblocks: 10, strategy, ordering: ColoringOrdering::Natural },

@@ -25,8 +25,13 @@ pub struct Blocking {
 
 impl Blocking {
     /// Members of each block, in ascending vertex order.
+    ///
+    /// Block sizes are counted first so every member list is allocated at
+    /// its exact final capacity — on large matrices the old grow-as-you-go
+    /// version spent most of its time reallocating the big blocks.
     pub fn members(&self) -> Vec<Vec<u32>> {
-        let mut m = vec![Vec::new(); self.nblocks];
+        let sizes = self.sizes();
+        let mut m: Vec<Vec<u32>> = sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
         for (v, &b) in self.block_of.iter().enumerate() {
             m[b as usize].push(v as u32);
         }
@@ -87,6 +92,12 @@ pub fn contiguous_blocks(n: usize, nblocks: usize) -> Blocking {
 /// absorbing unassigned neighbors breadth-first until `block_size` vertices
 /// are collected (Iwashita et al.'s algebraic blocking). Produces graph-
 /// compact blocks on irregular matrices where index blocks would scatter.
+///
+/// Deterministic by construction: seeds are taken in ascending vertex
+/// order, and every BFS tie (which neighbor to absorb next) breaks by
+/// vertex order because [`Graph::neighbors`] lists are sorted — the same
+/// graph always yields the same `Blocking`, so plans and their
+/// fingerprint-keyed caches are reproducible across runs.
 ///
 /// # Panics
 /// Panics if `block_size == 0`.
@@ -227,6 +238,35 @@ mod tests {
             }
             assert_eq!(seen.len(), members.len(), "block not connected");
         }
+    }
+
+    #[test]
+    fn aggregated_blocks_are_deterministic() {
+        // Same graph -> identical assignment, including when the graph is
+        // rebuilt from scratch (exercises the sorted-neighbor tie-break,
+        // not accidental allocator/iteration-order stability).
+        let g1 = grid_graph(9, 7);
+        let g2 = grid_graph(9, 7);
+        let a = aggregated_blocks(&g1, 6);
+        let b = aggregated_blocks(&g2, 6);
+        assert_eq!(a.block_of, b.block_of);
+        assert_eq!(a.nblocks, b.nblocks);
+    }
+
+    #[test]
+    fn members_match_block_of_and_preallocate_exactly() {
+        let g = grid_graph(12, 5);
+        let blocking = aggregated_blocks(&g, 7);
+        let members = blocking.members();
+        assert_eq!(members.len(), blocking.nblocks);
+        for (b, list) in members.iter().enumerate() {
+            assert_eq!(list.len(), blocking.sizes()[b]);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "ascending vertex order");
+            for &v in list {
+                assert_eq!(blocking.block_of[v as usize], b as u32);
+            }
+        }
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), g.n());
     }
 
     #[test]

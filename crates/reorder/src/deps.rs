@@ -150,6 +150,25 @@ impl BlockDeps {
         self.fwd.iter().map(Vec::len).sum()
     }
 
+    /// Cut/wait statistics of the dependency structure — the evidence a
+    /// blocking strategy is judged by: fewer and shorter wait lists mean
+    /// fewer flag spins per point-to-point sweep.
+    pub fn stats(&self) -> DepStats {
+        let nblocks = self.nblocks();
+        let nedges = self.nedges();
+        let max_fwd_waits = self.fwd.iter().map(Vec::len).max().unwrap_or(0);
+        let max_bwd_waits = self.bwd.iter().map(Vec::len).max().unwrap_or(0);
+        let waiting_blocks = self.fwd.iter().filter(|l| !l.is_empty()).count();
+        DepStats {
+            nblocks,
+            nedges,
+            mean_waits: if nblocks == 0 { 0.0 } else { nedges as f64 / nblocks as f64 },
+            max_fwd_waits,
+            max_bwd_waits,
+            waiting_blocks,
+        }
+    }
+
     /// Structural soundness check, the deps-level analogue of
     /// [`Abmc::validate_against`]: forward waits point strictly to
     /// earlier colors and backward waits strictly to later colors (which
@@ -192,6 +211,25 @@ impl BlockDeps {
         }
         Ok(())
     }
+}
+
+/// Summary statistics of a [`BlockDeps`] wait structure (see
+/// [`BlockDeps::stats`]): how much point-to-point synchronization a
+/// blocking strategy left in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepStats {
+    /// Number of blocks.
+    pub nblocks: usize,
+    /// Total directed dependency edges (`Σ_b |fwd(b)|`).
+    pub nedges: usize,
+    /// Mean forward wait-list length per block.
+    pub mean_waits: f64,
+    /// Longest forward wait list (the worst single block's fan-in).
+    pub max_fwd_waits: usize,
+    /// Longest backward wait list.
+    pub max_bwd_waits: usize,
+    /// Blocks with at least one forward wait (the rest start instantly).
+    pub waiting_blocks: usize,
 }
 
 /// Visits every structural entry `(row, col)` of a CSR matrix.
@@ -270,7 +308,11 @@ mod tests {
     fn matches_reference_on_suite_of_shapes() {
         for (n, nblocks) in [(60, 8), (100, 10), (37, 5)] {
             let a = tridiag(n);
-            for strategy in [BlockingStrategy::Contiguous, BlockingStrategy::Aggregated] {
+            for strategy in [
+                BlockingStrategy::Contiguous,
+                BlockingStrategy::Aggregated,
+                BlockingStrategy::Multilevel,
+            ] {
                 check(&a, AbmcParams { nblocks, strategy, ..Default::default() });
             }
         }
@@ -340,6 +382,24 @@ mod tests {
         assert_eq!(d.nblocks(), 1);
         assert!(d.fwd(0).is_empty() && d.bwd(0).is_empty());
         assert_eq!(d.nedges(), 0);
+        let s = d.stats();
+        assert_eq!((s.nedges, s.max_fwd_waits, s.waiting_blocks), (0, 0, 0));
+    }
+
+    #[test]
+    fn stats_summarize_wait_lists() {
+        let a = tridiag(64);
+        let deps = check(
+            &a,
+            AbmcParams { nblocks: 8, strategy: BlockingStrategy::Contiguous, ..Default::default() },
+        );
+        let s = deps.stats();
+        assert_eq!(s.nblocks, 8);
+        assert_eq!(s.nedges, deps.nedges());
+        assert!(s.mean_waits > 0.0);
+        assert!(s.max_fwd_waits >= 1 && s.max_bwd_waits >= 1);
+        assert!(s.waiting_blocks >= 1 && s.waiting_blocks <= s.nblocks);
+        assert!((s.mean_waits - s.nedges as f64 / 8.0).abs() < 1e-12);
     }
 
     #[test]

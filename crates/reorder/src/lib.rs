@@ -13,7 +13,9 @@
 //!
 //! Also provided: reverse Cuthill–McKee (the locality baseline the paper
 //! cites), level scheduling (the alternative the paper's §VII discusses),
-//! and the undirected adjacency/quotient-graph machinery they share.
+//! multilevel edge-cut partitioning ([`partition`], the cut-minimizing
+//! third blocking strategy), and the undirected adjacency/quotient-graph
+//! machinery they share.
 
 pub mod abmc;
 pub mod blocking;
@@ -21,10 +23,12 @@ pub mod coloring;
 pub mod deps;
 pub mod graph;
 pub mod levels;
+pub mod partition;
 pub mod rcm;
 
 pub use abmc::{Abmc, AbmcParams, BlockingStrategy};
 pub use coloring::{greedy_coloring, validate_coloring, ColoringOrdering};
-pub use deps::BlockDeps;
+pub use deps::{BlockDeps, DepStats};
 pub use graph::Graph;
+pub use partition::{balance_ratio, cut_edges, multilevel_blocks};
 pub use rcm::rcm;

@@ -64,6 +64,7 @@ fn spec(matrix: &str, kernel: &str) -> RunSpec {
         ipc: Some(1.7),
         modeled_matrix_bytes: Some(500_000_000),
         fallbacks: None,
+        cut_edges: None,
         simd: Some("avx2".into()),
         blocking: Some("streaming".into()),
     }
