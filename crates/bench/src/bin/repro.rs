@@ -50,6 +50,7 @@ struct Args {
     threshold: f64,
     warn_only: bool,
     out_html: Option<PathBuf>,
+    top: fbmpk_bench::top::TopConfig,
 }
 
 /// Database subcommands — read the perf store instead of running
@@ -89,10 +90,20 @@ fn parse_args() -> Args {
     let mut threshold = 0.10;
     let mut warn_only = false;
     let mut out_html = None;
+    let mut top = fbmpk_bench::top::TopConfig::default();
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--addr" => {
+                let v = string_arg(&mut it, "--addr");
+                top.addr = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --addr needs HOST:PORT, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--interval-ms" => top.interval_ms = numeric_arg(&mut it, "--interval-ms"),
+            "--frames" => top.frames = Some(numeric_arg(&mut it, "--frames")),
             "--scale" => cfg.scale = numeric_arg(&mut it, "--scale"),
             "--threads" => cfg.threads = numeric_arg(&mut it, "--threads"),
             "--reps" => cfg.reps = numeric_arg(&mut it, "--reps"),
@@ -113,7 +124,8 @@ fn parse_args() -> Args {
                      \x20 repro history [--db FILE]\n\
                      \x20 repro compare REV_A REV_B [--db FILE]\n\
                      \x20 repro gate --baseline REV [--current REV] [--threshold 0.10] [--warn-only] [--db FILE]\n\
-                     \x20 repro report [--out-html FILE] [--db FILE]"
+                     \x20 repro report [--out-html FILE] [--db FILE]\n\
+                     \x20 repro top [--addr HOST:PORT] [--interval-ms N] [--frames N]"
                 );
                 std::process::exit(0);
             }
@@ -145,8 +157,8 @@ fn parse_args() -> Args {
     ];
     // Database subcommands own the remaining positional arguments (e.g.
     // the two revisions of `compare`), so the experiment-name check does
-    // not apply to them.
-    if !DB_COMMANDS.contains(&experiments[0].as_str()) {
+    // not apply to them; `top` has no positional arguments at all.
+    if !DB_COMMANDS.contains(&experiments[0].as_str()) && experiments[0] != "top" {
         for e in &experiments {
             if !KNOWN.contains(&e.as_str()) {
                 eprintln!(
@@ -158,7 +170,19 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { experiments, cfg, out, db, no_perfdb, baseline, current, threshold, warn_only, out_html }
+    Args {
+        experiments,
+        cfg,
+        out,
+        db,
+        no_perfdb,
+        baseline,
+        current,
+        threshold,
+        warn_only,
+        out_html,
+        top,
+    }
 }
 
 fn f3(v: f64) -> String {
@@ -280,6 +304,7 @@ fn push_record(
     ipc: Option<f64>,
     modeled_matrix_bytes: Option<u64>,
     fallbacks: Option<u64>,
+    watchdog_fires: Option<u64>,
     cut_edges: Option<u64>,
     blocking: Option<&str>,
     samples: &[f64],
@@ -296,6 +321,7 @@ fn push_record(
         ipc,
         modeled_matrix_bytes,
         fallbacks,
+        watchdog_fires,
         cut_edges,
         // Every in-process kernel runs at the one detected level, so the
         // axis is recorded unconditionally.
@@ -312,11 +338,37 @@ fn main() {
     if DB_COMMANDS.contains(&args.experiments[0].as_str()) {
         run_db_command(&args);
     }
+    if args.experiments[0] == "top" {
+        // Fall back to the endpoint variable so `repro top` with no
+        // flags attaches to a job started with FBMPK_METRICS_ADDR (only
+        // useful with an explicit port; a job bound to port 0 prints its
+        // actual address on stderr — pass that via --addr).
+        let mut cfg = args.top.clone();
+        if cfg.addr.is_none() {
+            cfg.addr = std::env::var("FBMPK_METRICS_ADDR")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|a: &std::net::SocketAddr| a.port() != 0);
+        }
+        match fbmpk_bench::top::run(&cfg) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("repro top: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let want = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
     println!(
         "FBMPK reproduction harness  (scale {}, {} threads, {} reps)\n",
         args.cfg.scale, args.cfg.threads, args.cfg.reps
     );
+    // Bring the metrics endpoint up before any measurement so a scraper
+    // (curl, `repro top`, the monitor-smoke CI job) can attach from the
+    // first second of the run rather than after the first plan builds.
+    if let Some(addr) = fbmpk::telemetry::resolved_metrics_addr(None) {
+        fbmpk::telemetry::ensure_endpoint(addr);
+    }
 
     // Timing experiments persist perfdb records; probe the host identity
     // and its bandwidth ceilings once for the whole invocation.
@@ -452,10 +504,11 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
-                    Some(r.k), 0, None, None, None, None, None, None, &r.samples_baseline);
+                    Some(r.k), 0, None, None, None, None, None, None, None, &r.samples_baseline);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp, None, None, None, None, None, None, &r.samples_fbmpk);
+                    Some(r.k), r.options_fp, None, None, None, None, None, None, None,
+                    &r.samples_fbmpk);
             }
         }
     }
@@ -726,16 +779,18 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
-                    None, 0, None, None, Some(csr), None, None, None, &r.samples_scalar);
+                    None, 0, None, None, Some(csr), None, None, None, None, &r.samples_scalar);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
-                    None, t, None, 0, None, None, Some(csr), None, None, None, &r.samples_tuned);
+                    None, t, None, 0, None, None, Some(csr), None, None, None, None,
+                    &r.samples_tuned);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-unrolled4", None, t,
-                    None, 0, None, None, Some(csr), None, None, None, &r.samples_unrolled4);
+                    None, 0, None, None, Some(csr), None, None, None, None, &r.samples_unrolled4);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("csr-simd:{}", r.simd),
-                    None, t, None, 0, None, None, Some(csr), None, None, None, &r.samples_simd);
+                    None, t, None, 0, None, None, Some(csr), None, None, None, None,
+                    &r.samples_simd);
             }
         }
     }
@@ -809,11 +864,11 @@ fn main() {
                 let modeled = Some(r.modeled_matrix_bytes);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp_streaming, None, None, modeled, None, None,
+                    Some(r.k), r.options_fp_streaming, None, None, modeled, None, None, None,
                     Some("streaming"), &r.samples_streaming);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp_blocked, None, None, modeled, None, None,
+                    Some(r.k), r.options_fp_blocked, None, None, modeled, None, None, None,
                     Some("level-blocked"), &r.samples_blocked);
             }
         }
@@ -928,11 +983,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(5), r.options_fp_barrier, None, None, modeled, None,
-                    None, None, &r.samples_barrier);
+                    None, None, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp_p2p, None, None, modeled,
-                    Some(r.fallbacks), None, None, &r.samples_p2p);
+                    Some(r.fallbacks), None, None, None, &r.samples_p2p);
             }
         }
     }
@@ -1061,7 +1116,7 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "partition", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp, Some(r.wait_frac), None,
-                    Some(r.modeled_matrix_bytes), Some(r.fallbacks),
+                    Some(r.modeled_matrix_bytes), Some(r.fallbacks), None,
                     Some(r.cut_edges as u64), Some(&r.strategy), &r.samples);
             }
         }
@@ -1069,7 +1124,8 @@ fn main() {
 
     if want("profile") {
         eprintln!("profile: in-kernel spans, bandwidth, hardware counters ...");
-        let (rows, trace, registry) = runner::profile(&args.cfg, &cases);
+        let roofline_gbs = perf_ctx.as_ref().and_then(|c| c.bw.map(|b| b.triad_gbs));
+        let (rows, trace, registry) = runner::profile(&args.cfg, &cases, roofline_gbs);
         assert!(
             rows.iter().all(|r| r.identical),
             "a recording plan produced a result differing from its non-recording twin"
@@ -1089,6 +1145,8 @@ fn main() {
                     r.hw.as_ref()
                         .map(|h| format!("{:.2}", h.ipc()))
                         .unwrap_or_else(|| "n/a".into()),
+                    r.fallbacks.to_string(),
+                    r.watchdog_fires.to_string(),
                 ]
             })
             .collect();
@@ -1108,7 +1166,9 @@ fn main() {
                     "traffic/model",
                     "wait barrier",
                     "wait p2p",
-                    "ipc"
+                    "ipc",
+                    "fallbacks",
+                    "wd fires"
                 ],
                 &table
             )
@@ -1136,6 +1196,9 @@ fn main() {
                     r.hw.as_ref().map(|h| h.instructions.to_string()).unwrap_or_default(),
                     r.hw.as_ref().map(|h| h.llc_misses.to_string()).unwrap_or_default(),
                     r.dropped_spans.to_string(),
+                    r.fallbacks.to_string(),
+                    r.watchdog_fires.to_string(),
+                    r.fault_injection_hits.to_string(),
                 ]
             })
             .collect();
@@ -1161,6 +1224,9 @@ fn main() {
                 "hw_instructions",
                 "hw_llc_misses",
                 "dropped_spans",
+                "fallbacks",
+                "watchdog_fires",
+                "fault_injection_hits",
             ],
             &csv_rows,
         )
@@ -1212,6 +1278,12 @@ fn main() {
                                     },
                                 ),
                                 ("dropped_spans", Json::from(r.dropped_spans as usize)),
+                                ("fallbacks", Json::from(r.fallbacks as usize)),
+                                ("watchdog_fires", Json::from(r.watchdog_fires as usize)),
+                                (
+                                    "fault_injection_hits",
+                                    Json::from(r.fault_injection_hits as usize),
+                                ),
                             ])
                         })
                         .collect(),
@@ -1232,11 +1304,13 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
-                    modeled, None, None, None, &r.samples_barrier);
+                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None, None,
+                    &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
-                    modeled, None, None, None, &r.samples_p2p);
+                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None, None,
+                    &r.samples_p2p);
             }
         }
     }

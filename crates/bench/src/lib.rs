@@ -29,6 +29,7 @@ pub mod report;
 pub mod roofline;
 pub mod runner;
 pub mod stats;
+pub mod top;
 
 /// Shared experiment configuration.
 #[derive(Debug, Clone)]

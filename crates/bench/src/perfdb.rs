@@ -132,6 +132,12 @@ pub struct RunSpec {
     /// already in `options_fp`, so the count does not join the config
     /// key — it explains wait behavior, it does not define the config).
     pub cut_edges: Option<u64>,
+    /// Stall-watchdog fires during the measured reps (process-wide delta
+    /// over the measurement window). Informational like `fallbacks`:
+    /// nonzero flags the samples as having run through the recovery path.
+    /// Excluded from the config key — absent on pre-existing lines, which
+    /// keep parsing.
+    pub watchdog_fires: Option<u64>,
 }
 
 impl RunSpec {
@@ -285,6 +291,10 @@ impl RunRecord {
                 self.spec.modeled_matrix_bytes.map_or(Json::Null, |b| Json::from(b as usize)),
             ),
             ("fallbacks", self.spec.fallbacks.map_or(Json::Null, |n| Json::from(n as usize))),
+            (
+                "watchdog_fires",
+                self.spec.watchdog_fires.map_or(Json::Null, |n| Json::from(n as usize)),
+            ),
             ("cut_edges", self.spec.cut_edges.map_or(Json::Null, |n| Json::from(n as usize))),
             ("simd", self.spec.simd.as_deref().map_or(Json::Null, Json::from)),
             ("blocking", self.spec.blocking.as_deref().map_or(Json::Null, Json::from)),
@@ -338,6 +348,7 @@ impl RunRecord {
             simd: j.get("simd").and_then(Json::as_str).map(str::to_string),
             blocking: j.get("blocking").and_then(Json::as_str).map(str::to_string),
             cut_edges: opt_num("cut_edges").map(|n| n as u64),
+            watchdog_fires: opt_num("watchdog_fires").map(|n| n as u64),
         };
         Ok(RunRecord {
             schema,
@@ -526,6 +537,7 @@ mod tests {
             simd: Some("avx2".into()),
             blocking: Some("streaming".into()),
             cut_edges: Some(123),
+            watchdog_fires: Some(2),
         }
     }
 

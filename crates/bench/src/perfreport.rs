@@ -579,6 +579,7 @@ mod tests {
             cut_edges: None,
             simd: None,
             blocking: None,
+            watchdog_fires: None,
         }
     }
 

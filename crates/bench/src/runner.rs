@@ -1069,6 +1069,14 @@ pub struct ProfileRow {
     pub options_fp_barrier: u64,
     /// Stable fingerprint of the point-to-point plan options.
     pub options_fp_p2p: u64,
+    /// Watchdog→barrier fallbacks across all four plans of this row
+    /// (nonzero marks the p2p samples as degraded).
+    pub fallbacks: u64,
+    /// Process-wide stall-watchdog fires during this row's measurements.
+    pub watchdog_fires: u64,
+    /// Deterministic fault-injection sites hit during this row (always 0
+    /// without the `fault-inject` feature).
+    pub fault_injection_hits: u64,
 }
 
 /// Runs the profiling experiment: times both sync modes without
@@ -1080,11 +1088,21 @@ pub struct ProfileRow {
 pub fn profile(
     cfg: &BenchConfig,
     cases: &[MatrixCase],
+    roofline_gbs: Option<f64>,
 ) -> (Vec<ProfileRow>, TraceBuilder, Registry) {
     let k = 5;
     let mut rows = Vec::new();
     let mut trace = TraceBuilder::new();
     let registry = Registry::new();
+    // Plan-construction phase spans (inspection, partitioning, leveling)
+    // land in the chrome://tracing timeline next to the kernel spans.
+    fbmpk_obs::phases::set_recording(true);
+    let live = fbmpk_obs::live::enabled();
+    if let (true, Some(ceiling)) = (live, roofline_gbs) {
+        fbmpk_obs::live::global()
+            .gauge("fbmpk_bench_roofline_gbs", "Measured STREAM-triad bandwidth ceiling", 1)
+            .set(0, ceiling);
+    }
     for (i, c) in cases.iter().enumerate() {
         let a = &c.matrix;
         let n = a.nrows();
@@ -1099,6 +1117,8 @@ pub fn profile(
         };
         let barrier_opts = FbmpkOptions { sync: SyncMode::ColorBarrier, ..base };
         let p2p_opts = FbmpkOptions { sync: SyncMode::PointToPoint, ..base };
+        let (arms0, fires0) = fbmpk_parallel::sync::watchdog_stats();
+        let inject0 = fbmpk_parallel::fault::injection_hits();
         let barrier = FbmpkPlan::new(a, barrier_opts).expect("square");
         let p2p = FbmpkPlan::new(a, p2p_opts).expect("square");
         let barrier_t = timed(|| std::hint::black_box(barrier.power(&x0, k)).truncate(0), cfg.reps);
@@ -1132,14 +1152,43 @@ pub fn profile(
                 .total();
         let dropped_spans = rec_b.total_dropped() + rec_p.total_dropped();
 
+        let (arms1, fires1) = fbmpk_parallel::sync::watchdog_stats();
+        let watchdog_fires = fires1 - fires0;
+        let fault_injection_hits = fbmpk_parallel::fault::injection_hits() - inject0;
+        let fallbacks = barrier.fallbacks() + p2p.fallbacks() + rb.fallbacks() + rp.fallbacks();
+
         registry.counter_add("profile.matrices", 1);
         registry.counter_add("profile.modeled_matrix_bytes", modeled);
         registry.counter_add("profile.sim_dram_bytes", sim);
         registry.counter_add("profile.spans_recorded", spans as u64);
         registry.counter_add("profile.spans_dropped", dropped_spans);
+        registry.counter_add("profile.fallbacks", fallbacks);
+        registry.counter_add("profile.watchdog_arms", arms1 - arms0);
+        registry.counter_add("profile.watchdog_fires", watchdog_fires);
+        registry.counter_add("profile.fault_injection_hits", fault_injection_hits);
         registry.gauge_set(&format!("profile.{}.bw_barrier_gbs", c.entry.name), {
             modeled as f64 / t_barrier / 1e9
         });
+        if live {
+            // Feed the `repro top` dashboard: the current matrix's
+            // effective bandwidth against the measured triad ceiling.
+            let reg = fbmpk_obs::live::global();
+            let achieved = modeled as f64 / t_barrier / 1e9;
+            reg.gauge(
+                "fbmpk_bench_achieved_gbs",
+                "Effective matrix bandwidth of the matrix being profiled",
+                1,
+            )
+            .set(0, achieved);
+            if let Some(ceiling) = roofline_gbs.filter(|&c| c > 0.0) {
+                reg.gauge(
+                    "fbmpk_bench_roofline_fraction",
+                    "Achieved bandwidth over the STREAM-triad ceiling",
+                    1,
+                )
+                .set(0, achieved / ceiling);
+            }
+        }
         for t in 0..rec_b.nthreads() {
             for s in rec_b.thread_spans(t) {
                 if s.kind.is_wait() {
@@ -1171,8 +1220,15 @@ pub fn profile(
             samples_p2p: p2p_t.samples,
             options_fp_barrier: barrier_opts.config_fingerprint(),
             options_fp_p2p: p2p_opts.config_fingerprint(),
+            fallbacks,
+            watchdog_fires,
+            fault_injection_hits,
         });
     }
+    let phase_pid = (2 * cases.len() + 1) as u32;
+    trace.add_process(phase_pid, "plan phases");
+    fbmpk_obs::phases::add_to_trace(&mut trace, phase_pid);
+    fbmpk_obs::phases::set_recording(false);
     (rows, trace, registry)
 }
 
@@ -1254,10 +1310,13 @@ mod tests {
         let tr = tune(&cfg, &cases);
         assert_eq!(tr.len(), 3);
         assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));
-        let (pr, trace, registry) = profile(&cfg, &cases[..1]);
+        let (pr, trace, registry) = profile(&cfg, &cases[..1], Some(10.0));
         assert_eq!(pr.len(), 1);
         let p = &pr[0];
         assert!(p.identical, "recording changed the numerics");
+        assert_eq!(p.fallbacks, 0, "healthy run must not fall back");
+        assert_eq!(p.watchdog_fires, 0, "healthy run must not trip the watchdog");
+        assert_eq!(p.fault_injection_hits, 0);
         assert!(p.t_barrier > 0.0 && p.t_p2p > 0.0);
         assert!(p.modeled_matrix_bytes > 0 && p.sim_dram_bytes > 0);
         assert!(p.traffic_vs_model > 0.0);

@@ -72,6 +72,7 @@ fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
         cut_edges: None,
         simd: None,
         blocking: None,
+        watchdog_fires: None,
     };
     RunRecord::new(&fab_ctx(rev), spec, &samples).unwrap()
 }

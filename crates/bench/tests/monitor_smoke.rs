@@ -1,0 +1,163 @@
+//! Monitor smoke: spawn a real `repro profile` run with
+//! `FBMPK_METRICS_ADDR=127.0.0.1:0`, pick the bound port off the child's
+//! stderr banner, scrape the live endpoint *mid-run*, and assert every
+//! required metric family is present — with the workload families
+//! (sweeps, phase time) strictly nonzero. This is the end-to-end proof
+//! that a running job is observable from outside the process.
+
+use fbmpk_obs::expo::{self, ParsedExposition};
+use fbmpk_obs::serve;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Families that must be present in any mid-run scrape. The first two
+/// must also be nonzero once the child has swept at least one plan.
+const NONZERO_FAMILIES: [&str; 2] = ["fbmpk_sweep_invocations_total", "fbmpk_phase_seconds_total"];
+const PRESENT_FAMILIES: [&str; 6] = [
+    "fbmpk_achieved_gbs",
+    "fbmpk_wait_fraction",
+    "fbmpk_fallbacks_total",
+    "fbmpk_watchdog_arms_total",
+    "fbmpk_watchdog_fires_total",
+    "fbmpk_fault_injection_hits_total",
+];
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// Streams the child's stderr off-thread so the pipe never backs up,
+/// keeping every line for failure diagnostics.
+struct StderrTail {
+    rx: std::sync::mpsc::Receiver<String>,
+    seen: Vec<String>,
+}
+
+impl StderrTail {
+    fn new(child: &mut Child) -> Self {
+        let stderr = child.stderr.take().expect("stderr piped");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        StderrTail { rx, seen: Vec::new() }
+    }
+
+    fn drain(&mut self) -> String {
+        while let Ok(line) = self.rx.try_recv() {
+            self.seen.push(line);
+        }
+        self.seen.join("\n")
+    }
+
+    /// Waits for the endpoint banner and returns the bound address.
+    /// Fails fast if the child dies first.
+    fn wait_for_banner(&mut self, child: &mut Child, deadline: Duration) -> SocketAddr {
+        const BANNER: &str = "fbmpk: serving metrics on ";
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline {
+            match self.rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(line) => {
+                    if let Some(addr) = line.strip_prefix(BANNER) {
+                        return addr.trim().parse().expect("banner carries a socket address");
+                    }
+                    self.seen.push(line);
+                }
+                Err(_) => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        // Give the reader thread a beat to flush the tail.
+                        std::thread::sleep(Duration::from_millis(100));
+                        panic!(
+                            "repro exited ({status}) before serving metrics; stderr:\n{}",
+                            self.drain()
+                        );
+                    }
+                }
+            }
+        }
+        panic!("no metrics banner within {deadline:?}; stderr so far:\n{}", self.drain());
+    }
+}
+
+fn families_ready(p: &ParsedExposition) -> bool {
+    PRESENT_FAMILIES.iter().all(|f| p.families.contains_key(*f))
+        && NONZERO_FAMILIES.iter().all(|f| p.sum(f) > 0.0)
+}
+
+#[test]
+fn live_endpoint_is_scrapable_mid_run_with_required_families() {
+    let out_dir = std::env::temp_dir().join("fbmpk-monitor-smoke");
+    std::fs::remove_dir_all(&out_dir).ok();
+    // Generous reps keep the child sweeping long past our assertions, so
+    // the scrape genuinely happens mid-run; KillOnDrop reaps it after.
+    let child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["profile", "--scale", "0.004", "--threads", "2", "--reps", "40", "--no-perfdb"])
+        .arg("--out")
+        .arg(&out_dir)
+        .env("FBMPK_METRICS_ADDR", "127.0.0.1:0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro profile");
+    let mut child = KillOnDrop(child);
+    let mut tail = StderrTail::new(&mut child.0);
+
+    let addr = tail.wait_for_banner(&mut child.0, Duration::from_secs(60));
+
+    // Poll-scrape until the workload families are live. The endpoint is
+    // up before the first matrix, so early scrapes legitimately see
+    // zero sweeps — keep polling until the kernel work shows up.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut last = String::new();
+    loop {
+        if let Ok(Some(status)) = child.0.try_wait() {
+            std::thread::sleep(Duration::from_millis(100));
+            panic!(
+                "repro exited ({status}) before families went live; stderr:\n{}\nlast scrape:\n{last}",
+                tail.drain()
+            );
+        }
+        // Transient connect/read failures race with server accept:
+        // retry until the deadline.
+        if let Ok(text) = serve::scrape(addr, Duration::from_secs(2)) {
+            let parsed = expo::parse(&text)
+                .unwrap_or_else(|e| panic!("mid-run exposition must parse: {e}\n{text}"));
+            if families_ready(&parsed) {
+                // Beyond presence: the scrape is internally coherent.
+                for f in PRESENT_FAMILIES {
+                    assert!(
+                        !parsed.samples_of(f).is_empty(),
+                        "family {f} declared but sampleless:\n{text}"
+                    );
+                }
+                let waits = parsed.samples_of("fbmpk_wait_fraction");
+                assert!(
+                    waits.iter().all(|s| (0.0..=1.0).contains(&s.value)),
+                    "wait fraction out of [0,1]:\n{text}"
+                );
+                assert!(
+                    parsed.sum("fbmpk_fault_injection_hits_total") == 0.0,
+                    "fault injection fired in a plain profile run:\n{text}"
+                );
+                break;
+            }
+            last = text;
+        }
+        assert!(Instant::now() < deadline, "families never went live; last scrape:\n{last}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    drop(child);
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -134,8 +134,12 @@ impl LevelBlockPlan {
     /// Builds the shells and partitions for `a` (in the numbering the
     /// kernels run in — i.e. already permuted when the plan reorders).
     pub fn new(a: &Csr, nthreads: usize, tile_powers: Option<usize>, llc_bytes: u64) -> Self {
+        let _span = fbmpk_obs::phases::span("levelblock.build");
         assert!(nthreads >= 1);
-        let levels = bfs_level_schedule(a);
+        let levels = {
+            let _bfs = fbmpk_obs::phases::span("levelblock.bfs");
+            bfs_level_schedule(a)
+        };
         let row_ptr = a.row_ptr();
         let mut parts = Vec::with_capacity(levels.nlevels());
         for l in 0..levels.nlevels() {

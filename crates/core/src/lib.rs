@@ -41,6 +41,7 @@ pub mod schedule;
 pub mod sink;
 pub mod standard;
 pub mod symgs;
+pub mod telemetry;
 pub mod tune;
 pub mod workspace;
 

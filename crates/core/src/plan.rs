@@ -152,6 +152,15 @@ pub struct FbmpkOptions {
     /// pass and denser synchronization; it wins when the matrix greatly
     /// exceeds the LLC and `k >= 4`.
     pub blocking: BlockingMode,
+    /// Address for the Prometheus text-exposition endpoint (port `0`
+    /// picks a free port; the bound address is logged to stderr). `None`
+    /// defers to the `FBMPK_METRICS_ADDR` environment variable; with
+    /// neither set there is no endpoint, no live telemetry, and zero
+    /// overhead. Setting an address implies span recording
+    /// ([`ObsOptions::record`]) so wait fractions are observable. The
+    /// endpoint is process-global: the first plan to request one binds
+    /// it, later plans join it.
+    pub metrics_addr: Option<std::net::SocketAddr>,
 }
 
 impl Default for FbmpkOptions {
@@ -168,6 +177,7 @@ impl Default for FbmpkOptions {
             watchdog_ms: None,
             fallback: FallbackPolicy::default(),
             blocking: BlockingMode::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -218,8 +228,13 @@ pub struct FbmpkPlan {
     fallback: FallbackPolicy,
     numa_first_touch: bool,
     /// Times a stalled point-to-point invocation was re-executed under
-    /// the barrier schedule (the `ColorBarrier` fallback policy).
-    fallbacks: AtomicU64,
+    /// the barrier schedule (the `ColorBarrier` fallback policy). Shared
+    /// with the live-telemetry collector, which may outlive neither but
+    /// must not borrow the plan.
+    fallbacks: Arc<AtomicU64>,
+    /// Scrape-time collector for the live exposition endpoint; `None`
+    /// unless an endpoint is attached at plan build.
+    telemetry: Option<Arc<crate::telemetry::PlanTelemetry>>,
 }
 
 impl FbmpkPlan {
@@ -256,12 +271,14 @@ impl FbmpkPlan {
         if validate_inputs_enabled() {
             a.validate()?;
         }
+        let _build_span = fbmpk_obs::phases::span("plan.build");
         let n = a.nrows();
         let mut stats = PlanStats::default();
         // `working` is only needed to build the split; avoid cloning the
         // input in the unreordered path.
         let (working, perm, abmc): (std::borrow::Cow<Csr>, _, _) = match options.reorder {
             Some(params) => {
+                let _span = fbmpk_obs::phases::span("plan.reorder");
                 let t0 = Instant::now();
                 // Optional RCM locality pre-pass, composed with ABMC.
                 let (pre_matrix, pre_perm) = if options.pre_rcm {
@@ -286,10 +303,14 @@ impl FbmpkPlan {
             None => (std::borrow::Cow::Borrowed(a), None, None),
         };
         let t0 = Instant::now();
-        let mut split = TriangularSplit::split(&working)?;
-        if options.numa_first_touch && options.nthreads > 1 {
-            split = first_touch_split(&pool, split);
-        }
+        let split = {
+            let _span = fbmpk_obs::phases::span("plan.split");
+            let mut s = TriangularSplit::split(&working)?;
+            if options.numa_first_touch && options.nthreads > 1 {
+                s = first_touch_split(&pool, s);
+            }
+            s
+        };
         stats.split_seconds = t0.elapsed().as_secs_f64();
         // Level-blocked mode preprocesses the working (permuted) matrix
         // into BFS shells once, amortized like the reorder itself.
@@ -302,9 +323,12 @@ impl FbmpkPlan {
                 probe_llc_bytes(),
             )),
         };
-        let schedule = match &abmc {
-            Some(abmc) => Schedule::colored(abmc, &split, options.nthreads),
-            None => Schedule::serial(n),
+        let schedule = {
+            let _span = fbmpk_obs::phases::span("plan.schedule");
+            match &abmc {
+                Some(abmc) => Schedule::colored(abmc, &split, options.nthreads),
+                None => Schedule::serial(n),
+            }
         };
         debug_assert!(schedule.validate().is_ok());
         let watchdog_ms = resolved_watchdog_ms(options.watchdog_ms);
@@ -331,8 +355,25 @@ impl FbmpkPlan {
                 Some(P2pState { deps, flags })
             }
         };
-        let recorder = if options.obs.record {
+        // Live-telemetry endpoint: an explicit option or FBMPK_METRICS_ADDR
+        // binds the process-global exposition listener (idempotent) and
+        // implies span recording so wait fractions are scrape-able.
+        let metrics_on = match crate::telemetry::resolved_metrics_addr(options.metrics_addr) {
+            Some(addr) => crate::telemetry::ensure_endpoint(addr).is_some(),
+            None => false,
+        };
+        let recorder = if options.obs.record || metrics_on {
             Some(Arc::new(Recorder::new(options.nthreads, options.obs.span_capacity)))
+        } else {
+            None
+        };
+        let fallbacks = Arc::new(AtomicU64::new(0));
+        let telemetry = if metrics_on || fbmpk_obs::live::enabled() {
+            Some(crate::telemetry::PlanTelemetry::register(
+                options.nthreads,
+                recorder.clone(),
+                Arc::clone(&fallbacks),
+            ))
         } else {
             None
         };
@@ -352,7 +393,8 @@ impl FbmpkPlan {
             watchdog_ms,
             fallback: options.fallback,
             numa_first_touch: options.numa_first_touch,
-            fallbacks: AtomicU64::new(0),
+            fallbacks,
+            telemetry,
         })
     }
 
@@ -644,10 +686,17 @@ impl FbmpkPlan {
         sink: &S,
         sync: &SyncCtx,
     ) -> Result<Vec<f64>> {
-        match &self.recorder {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
+        let result = match &self.recorder {
             Some(rec) => self.execute_probed(x0p, k, sink, sync, &SpanProbe::new(rec)),
             None => self.execute_probed(x0p, k, sink, sync, &NoopProbe),
+        };
+        // One invocation-granularity stats update (never per color/row):
+        // feeds the endpoint's achieved-GB/s and invocation counters.
+        if let (Some(tele), Some(t0), Ok(_)) = (&self.telemetry, t0, &result) {
+            tele.sweeps().record(self.modeled_matrix_bytes(k), t0.elapsed().as_nanos() as u64);
         }
+        result
     }
 
     fn execute_probed<S: Sink, P: Probe>(

@@ -1,0 +1,341 @@
+//! Live-telemetry wiring for plans: the glue between [`FbmpkPlan`]'s
+//! runtime state and the `fbmpk-obs` live registry / exposition endpoint.
+//!
+//! Two collectors feed the endpoint:
+//!
+//! * [`PlanTelemetry`] — one per live plan, registered as a `Weak` source
+//!   so a dropped plan vanishes from scrapes. Exposes sweep throughput
+//!   (invocations, modeled §III-B bytes, busy time, derived achieved
+//!   GB/s), per-kind/per-color wait time from the span recorder, per-thread
+//!   wait fractions, and the barrier-fallback counter.
+//! * a process-wide source (registered once) for state that is global by
+//!   construction: watchdog arms/fires, fault-injection hits.
+//!
+//! The endpoint itself starts from [`resolved_metrics_addr`]:
+//! `FbmpkOptions::metrics_addr` wins, else the `FBMPK_METRICS_ADDR`
+//! environment variable. When either is set, plan construction calls
+//! [`ensure_endpoint`], which binds the listener once per process and
+//! flips the live gate on; with neither set the whole module costs one
+//! relaxed bool per plan build.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use fbmpk_obs::live::{self, FamilySnapshot, LiveSample, LiveSource, MetricKind, SampleValue};
+use fbmpk_obs::recorder::SpanKind;
+use fbmpk_obs::Recorder;
+
+/// Resolves the exposition-endpoint address: an explicit option wins,
+/// then `FBMPK_METRICS_ADDR` (e.g. `127.0.0.1:9184`, port `0` picks a
+/// free port). `None` means no endpoint and zero live overhead.
+pub fn resolved_metrics_addr(opt: Option<SocketAddr>) -> Option<SocketAddr> {
+    opt.or_else(|| std::env::var("FBMPK_METRICS_ADDR").ok().and_then(|v| v.trim().parse().ok()))
+}
+
+/// Starts the process-global endpoint (idempotent) and registers the
+/// process-wide collector. Returns the bound address; logs and returns
+/// `None` on bind failure — an unobservable run beats no run.
+pub fn ensure_endpoint(addr: SocketAddr) -> Option<SocketAddr> {
+    ensure_process_source();
+    match fbmpk_obs::serve::ensure_global(addr) {
+        Ok(bound) => Some(bound),
+        Err(e) => {
+            eprintln!("fbmpk: metrics endpoint on {addr} failed: {e}");
+            None
+        }
+    }
+}
+
+/// Accumulating sweep-side stats a plan updates once per kernel
+/// invocation (never per row or per color).
+#[derive(Debug, Default)]
+pub struct SweepStats {
+    invocations: AtomicU64,
+    modeled_bytes: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl SweepStats {
+    /// Records one finished invocation that streamed `modeled_bytes` of
+    /// matrix data over `busy_ns` of wall time.
+    pub fn record(&self, modeled_bytes: u64, busy_ns: u64) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.modeled_bytes.fetch_add(modeled_bytes, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+    }
+
+    /// Lifetime effective bandwidth in GB/s (0.0 before the first
+    /// invocation).
+    pub fn achieved_gbs(&self) -> f64 {
+        let ns = self.busy_ns.load(Ordering::Relaxed);
+        if ns == 0 {
+            return 0.0;
+        }
+        self.modeled_bytes.load(Ordering::Relaxed) as f64 / ns as f64
+    }
+}
+
+/// Per-plan scrape-time collector (see the module docs). Held as an
+/// `Arc` by the plan and as a `Weak` by the live registry.
+pub struct PlanTelemetry {
+    /// Monotone plan id distinguishing concurrent plans in labels.
+    id: u64,
+    nthreads: usize,
+    recorder: Option<Arc<Recorder>>,
+    fallbacks: Arc<AtomicU64>,
+    sweeps: SweepStats,
+}
+
+impl PlanTelemetry {
+    /// Builds and registers a collector for one plan.
+    pub fn register(
+        nthreads: usize,
+        recorder: Option<Arc<Recorder>>,
+        fallbacks: Arc<AtomicU64>,
+    ) -> Arc<PlanTelemetry> {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        let tele = Arc::new(PlanTelemetry {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            nthreads,
+            recorder,
+            fallbacks,
+            sweeps: SweepStats::default(),
+        });
+        let dyn_arc: Arc<dyn LiveSource> = Arc::clone(&tele) as Arc<dyn LiveSource>;
+        live::global().register_source(Arc::downgrade(&dyn_arc));
+        tele
+    }
+
+    /// The sweep-side stats sink.
+    pub fn sweeps(&self) -> &SweepStats {
+        &self.sweeps
+    }
+
+    fn plan_label(&self) -> (String, String) {
+        ("plan".to_string(), self.id.to_string())
+    }
+}
+
+impl LiveSource for PlanTelemetry {
+    fn collect(&self) -> Vec<FamilySnapshot> {
+        let plan = self.plan_label();
+        let mut fams = vec![
+            counter_family(
+                "fbmpk_sweep_invocations_total",
+                "Completed power/krylov/sspmv kernel invocations",
+                vec![plan.clone()],
+                self.sweeps.invocations.load(Ordering::Relaxed),
+            ),
+            counter_family(
+                "fbmpk_modeled_bytes_total",
+                "Modeled matrix bytes streamed (paper \u{2308}(k+1)/2\u{2309} traffic model)",
+                vec![plan.clone()],
+                self.sweeps.modeled_bytes.load(Ordering::Relaxed),
+            ),
+            gauge_family(
+                "fbmpk_busy_seconds_total",
+                "Wall time inside kernel invocations",
+                MetricKind::Counter,
+                vec![plan.clone()],
+                self.sweeps.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            ),
+            gauge_family(
+                "fbmpk_achieved_gbs",
+                "Lifetime effective bandwidth: modeled bytes over busy time",
+                MetricKind::Gauge,
+                vec![plan.clone()],
+                self.sweeps.achieved_gbs(),
+            ),
+            counter_family(
+                "fbmpk_fallbacks_total",
+                "Stalled invocations re-executed under the barrier schedule",
+                vec![plan.clone()],
+                self.fallbacks.load(Ordering::Relaxed),
+            ),
+        ];
+        if let Some(rec) = &self.recorder {
+            fams.push(gauge_family(
+                "fbmpk_wait_fraction",
+                "Fraction of recorded span time spent in synchronization waits",
+                MetricKind::Gauge,
+                vec![plan.clone()],
+                rec.wait_fraction(),
+            ));
+            // Per-thread wait fractions for the dashboard's worker rows.
+            let mut thread_samples = Vec::with_capacity(self.nthreads);
+            for t in 0..self.nthreads.min(rec.nthreads()) {
+                let (wait, total) = rec.thread_wait_total_ns(t);
+                let frac = if total == 0 { 0.0 } else { wait as f64 / total as f64 };
+                thread_samples.push(LiveSample {
+                    labels: vec![plan.clone(), ("thread".to_string(), t.to_string())],
+                    value: SampleValue::Gauge(frac),
+                });
+            }
+            fams.push(FamilySnapshot {
+                name: "fbmpk_thread_wait_fraction".to_string(),
+                help: "Per-worker synchronization-wait fraction".to_string(),
+                kind: MetricKind::Gauge,
+                samples: thread_samples,
+            });
+            // Per-(kind, color) wait time: the per-color flag/barrier
+            // accounting the paper's §V analysis slices on.
+            let mut by_color: std::collections::BTreeMap<(&'static str, u32), u64> =
+                std::collections::BTreeMap::new();
+            for t in 0..rec.nthreads() {
+                for s in rec.thread_spans(t) {
+                    if !s.kind.is_wait() {
+                        continue;
+                    }
+                    let kind = match s.kind {
+                        SpanKind::FlagWait => "flag",
+                        SpanKind::BarrierWait => "barrier",
+                        _ => "other",
+                    };
+                    *by_color.entry((kind, s.color)).or_insert(0) += s.duration_ns();
+                }
+            }
+            if !by_color.is_empty() {
+                fams.push(FamilySnapshot {
+                    name: "fbmpk_wait_seconds_total".to_string(),
+                    help: "Synchronization-wait time by kind and color".to_string(),
+                    kind: MetricKind::Counter,
+                    samples: by_color
+                        .into_iter()
+                        .map(|((kind, color), ns)| LiveSample {
+                            labels: vec![
+                                plan.clone(),
+                                ("kind".to_string(), kind.to_string()),
+                                ("color".to_string(), color_label(color)),
+                            ],
+                            value: SampleValue::Gauge(ns as f64 / 1e9),
+                        })
+                        .collect(),
+                });
+            }
+            fams.push(counter_family(
+                "fbmpk_spans_dropped_total",
+                "Spans dropped by full recorder lanes",
+                vec![plan],
+                rec.total_dropped(),
+            ));
+        }
+        fams
+    }
+}
+
+fn color_label(color: u32) -> String {
+    if color == fbmpk_obs::Span::NO_ID {
+        "none".to_string()
+    } else {
+        color.to_string()
+    }
+}
+
+fn counter_family(name: &str, help: &str, labels: Vec<(String, String)>, v: u64) -> FamilySnapshot {
+    FamilySnapshot {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind: MetricKind::Counter,
+        samples: vec![LiveSample { labels, value: SampleValue::Counter(v) }],
+    }
+}
+
+fn gauge_family(
+    name: &str,
+    help: &str,
+    kind: MetricKind,
+    labels: Vec<(String, String)>,
+    v: f64,
+) -> FamilySnapshot {
+    FamilySnapshot {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind,
+        samples: vec![LiveSample { labels, value: SampleValue::Gauge(v) }],
+    }
+}
+
+/// Watchdog and fault-injection accounting is process-global in
+/// `fbmpk-parallel`; one process-wide source mirrors it to the endpoint.
+struct ProcessTelemetry;
+
+impl LiveSource for ProcessTelemetry {
+    fn collect(&self) -> Vec<FamilySnapshot> {
+        let (arms, fires) = fbmpk_parallel::sync::watchdog_stats();
+        vec![
+            counter_family(
+                "fbmpk_watchdog_arms_total",
+                "Waits that entered the yielding regime with a deadline armed",
+                Vec::new(),
+                arms,
+            ),
+            counter_family(
+                "fbmpk_watchdog_fires_total",
+                "Stalls declared by the watchdog",
+                Vec::new(),
+                fires,
+            ),
+            counter_family(
+                "fbmpk_fault_injection_hits_total",
+                "Injected faults that triggered at a matching site",
+                Vec::new(),
+                fbmpk_parallel::fault::injection_hits(),
+            ),
+        ]
+    }
+}
+
+/// Registers the process-wide collector exactly once.
+pub fn ensure_process_source() {
+    static SOURCE: OnceLock<()> = OnceLock::new();
+    SOURCE.get_or_init(|| {
+        let arc: Arc<dyn LiveSource> = Arc::new(ProcessTelemetry);
+        live::global().register_source(Arc::downgrade(&arc));
+        // Keep the strong reference alive for process lifetime.
+        std::mem::forget(arc);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_stats_derive_bandwidth() {
+        let s = SweepStats::default();
+        assert_eq!(s.achieved_gbs(), 0.0);
+        s.record(2_000_000_000, 1_000_000_000);
+        // 2e9 bytes / 1e9 ns = 2 bytes/ns = 2 GB/s.
+        assert!((s.achieved_gbs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_telemetry_collects_core_families() {
+        let fallbacks = Arc::new(AtomicU64::new(3));
+        let tele = PlanTelemetry::register(2, None, Arc::clone(&fallbacks));
+        tele.sweeps().record(100, 50);
+        let fams = tele.collect();
+        let names: Vec<&str> = fams.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"fbmpk_sweep_invocations_total"));
+        assert!(names.contains(&"fbmpk_achieved_gbs"));
+        assert!(names.contains(&"fbmpk_fallbacks_total"));
+        let fb = fams.iter().find(|f| f.name == "fbmpk_fallbacks_total").unwrap();
+        assert_eq!(fb.samples[0].value, SampleValue::Counter(3));
+    }
+
+    #[test]
+    fn process_source_reports_watchdog_counters() {
+        let fams = ProcessTelemetry.collect();
+        let names: Vec<&str> = fams.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"fbmpk_watchdog_arms_total"));
+        assert!(names.contains(&"fbmpk_watchdog_fires_total"));
+        assert!(names.contains(&"fbmpk_fault_injection_hits_total"));
+    }
+
+    #[test]
+    fn metrics_addr_resolution_prefers_option() {
+        let opt: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        assert_eq!(resolved_metrics_addr(Some(opt)), Some(opt));
+    }
+}

@@ -204,6 +204,20 @@ fn partitioner_tag(s: Option<BlockingStrategy>) -> u8 {
     }
 }
 
+/// Feeds the tune-cache hit/miss counters when live telemetry is on; one
+/// relaxed bool load otherwise.
+fn tune_cache_count(hit: bool) {
+    if !fbmpk_obs::live::enabled() {
+        return;
+    }
+    let (name, help) = if hit {
+        ("fbmpk_tune_cache_hits_total", "TunedPlan::cached lookups served from the plan cache")
+    } else {
+        ("fbmpk_tune_cache_misses_total", "TunedPlan::cached lookups that built a fresh plan")
+    };
+    fbmpk_obs::live::global().counter(name, help, 1).inc(0);
+}
+
 /// What the tuner decided and why — surfaced by `repro tune`.
 #[derive(Debug, Clone)]
 pub struct TuneReport {
@@ -281,7 +295,11 @@ impl TunedPlan {
         assert!(options.nthreads > 0, "need at least one thread");
         assert_eq!(pool.nthreads(), options.nthreads, "pool size mismatch");
         let t0 = Instant::now();
-        let features = MatrixFeatures::inspect(a);
+        let _whole = fbmpk_obs::phases::span("tune.inspect");
+        let features = {
+            let _p = fbmpk_obs::phases::span("tune.inspect.features");
+            MatrixFeatures::inspect(a)
+        };
         let simd_level = simd::detect();
         let candidates = cost_model_candidates(&features, options.nthreads, simd_level);
 
@@ -289,27 +307,31 @@ impl TunedPlan {
         // candidate when padding exceeds the profitability bound.
         let mut sell: Option<SellCs> = None;
         let mut sell_padding = None;
-        let candidates: Vec<KernelVariant> = candidates
-            .into_iter()
-            .filter(|cand| match *cand {
-                KernelVariant::SellCs { c, sigma } => {
-                    let built = SellCs::from_csr(a, c, sigma);
-                    let ratio = built.padding_ratio();
-                    sell_padding = Some(ratio);
-                    if ratio <= SELL_MAX_PADDING {
-                        sell = Some(built);
-                        true
-                    } else {
-                        false
+        let candidates: Vec<KernelVariant> = {
+            let _p = fbmpk_obs::phases::span("tune.inspect.sell_build");
+            candidates
+                .into_iter()
+                .filter(|cand| match *cand {
+                    KernelVariant::SellCs { c, sigma } => {
+                        let built = SellCs::from_csr(a, c, sigma);
+                        let ratio = built.padding_ratio();
+                        sell_padding = Some(ratio);
+                        if ratio <= SELL_MAX_PADDING {
+                            sell = Some(built);
+                            true
+                        } else {
+                            false
+                        }
                     }
-                }
-                _ => true,
-            })
-            .collect();
+                    _ => true,
+                })
+                .collect()
+        };
 
         let ranges = merge_path_partition(a.row_ptr(), options.nthreads);
 
         let (variant, probed) = if options.probe && features.nnz > 0 {
+            let _p = fbmpk_obs::phases::span("tune.inspect.probe");
             probe_candidates(a, sell.as_ref(), &ranges, &pool, &candidates, options.probe_reps)
         } else {
             // Cost-model order is best-first; candidates[0] always exists
@@ -374,8 +396,10 @@ impl TunedPlan {
         );
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(plan) = cache.lock().expect("tune cache lock").get(&key) {
+            tune_cache_count(true);
             return Arc::clone(plan);
         }
+        tune_cache_count(false);
         // Build outside the lock: planning can take milliseconds and must
         // not serialize unrelated lookups.
         let plan = Arc::new(TunedPlan::new(a, options));

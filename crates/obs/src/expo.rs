@@ -1,0 +1,431 @@
+//! Prometheus text exposition (format 0.0.4): render and strict parse.
+//!
+//! [`render`] turns a [`Snapshot`] into the classic text format —
+//! `# HELP` / `# TYPE` headers, one line per labeled sample, log₂
+//! histograms expanded into cumulative `_bucket{le="…"}` lines plus
+//! `_sum` / `_count`. [`parse`] is the inverse used by the conformance
+//! tests and the `repro top` scraper: a strict recursive-descent reader
+//! in the style of the in-tree `Json::parse` that rejects malformed
+//! names, unterminated label strings and bad escapes instead of guessing.
+
+use std::collections::BTreeMap;
+
+use crate::live::{SampleValue, Snapshot};
+use crate::metrics::Histogram;
+
+/// The `Content-Type` a 0.0.4 exposition response must carry.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Renders a snapshot as Prometheus text exposition.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for fam in &snap.families {
+        out.push_str("# HELP ");
+        out.push_str(&fam.name);
+        out.push(' ');
+        escape_help(&fam.help, &mut out);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&fam.name);
+        out.push(' ');
+        out.push_str(fam.kind.as_str());
+        out.push('\n');
+        for sample in &fam.samples {
+            match &sample.value {
+                SampleValue::Counter(c) => {
+                    push_sample(&mut out, &fam.name, &sample.labels, None, &c.to_string());
+                }
+                SampleValue::Gauge(g) => {
+                    push_sample(&mut out, &fam.name, &sample.labels, None, &fmt_f64(*g));
+                }
+                SampleValue::Histogram(h) => push_histogram(&mut out, &fam.name, &sample.labels, h),
+            }
+        }
+    }
+    out
+}
+
+/// Cumulative `_bucket{le=…}` lines + `_sum` + `_count` for one
+/// log₂ histogram.
+fn push_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (hi, c) in h.nonzero_buckets() {
+        cumulative += c;
+        // The top bucket's inclusive bound is u64::MAX — fold it into
+        // the mandatory +Inf line instead of printing 2^64-1.
+        if hi == u64::MAX {
+            continue;
+        }
+        push_sample(
+            out,
+            &bucket_name,
+            labels,
+            Some(("le", &hi.to_string())),
+            &cumulative.to_string(),
+        );
+    }
+    push_sample(out, &bucket_name, labels, Some(("le", "+Inf")), &h.count().to_string());
+    push_sample(out, &format!("{name}_sum"), labels, None, &h.sum().to_string());
+    push_sample(out, &format!("{name}_count"), labels, None, &h.count().to_string());
+}
+
+/// One `name{labels} value` line.
+fn push_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// HELP text escaping: `\` and newline.
+fn escape_help(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Label-value escaping: `\`, `"` and newline.
+fn escape_label(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A float in exposition syntax (`+Inf` / `-Inf` / `NaN` spellings).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Metric name (already charset-validated).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedExposition {
+    /// `name → (help, type)` from the `#` header lines.
+    pub families: BTreeMap<String, (String, String)>,
+    /// Every sample line in document order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl ParsedExposition {
+    /// The first sample matching `name` and every given label pair.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum over every sample of `name` (e.g. across `thread` labels).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// All samples of `name`.
+    pub fn samples_of(&self, name: &str) -> Vec<&ParsedSample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':'
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b':'
+}
+
+fn is_label_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Strictly parses a 0.0.4 text exposition document. `Err` carries the
+/// 1-based line number and what went wrong.
+pub fn parse(text: &str) -> Result<ParsedExposition, String> {
+    let mut doc = ParsedExposition::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            parse_comment(rest.trim_start(), &mut doc)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        doc.samples.push(sample);
+    }
+    Ok(doc)
+}
+
+/// `HELP name text` / `TYPE name kind` after the leading `#`; any other
+/// comment is ignored per the format spec.
+fn parse_comment(rest: &str, doc: &mut ParsedExposition) -> Result<(), String> {
+    let (keyword, tail) = match rest.split_once(' ') {
+        Some(x) => x,
+        None => return Ok(()), // bare comment
+    };
+    if keyword != "HELP" && keyword != "TYPE" {
+        return Ok(());
+    }
+    let (name, text) = tail.split_once(' ').unwrap_or((tail, ""));
+    validate_metric_name(name)?;
+    let entry = doc.families.entry(name.to_string()).or_default();
+    if keyword == "HELP" {
+        entry.0 = unescape_help(text);
+    } else {
+        match text {
+            "counter" | "gauge" | "histogram" | "summary" | "untyped" => {}
+            other => return Err(format!("unknown TYPE '{other}' for '{name}'")),
+        }
+        entry.1 = text.to_string();
+    }
+    Ok(())
+}
+
+fn validate_metric_name(name: &str) -> Result<(), String> {
+    let b = name.as_bytes();
+    if b.is_empty() || !is_name_start(b[0]) || !b.iter().all(|&c| is_name_char(c)) {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    Ok(())
+}
+
+/// `name{k="v",…} value` with strict charset/escape checking.
+fn parse_sample(line: &str) -> Result<ParsedSample, String> {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() && is_name_char(b[i]) {
+        i += 1;
+    }
+    let name = &line[..i];
+    validate_metric_name(name)?;
+    let mut labels = Vec::new();
+    if i < b.len() && b[i] == b'{' {
+        i += 1;
+        loop {
+            while i < b.len() && b[i] == b' ' {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let start = i;
+            while i < b.len() && is_label_name_char(b[i]) {
+                i += 1;
+            }
+            let lname = &line[start..i];
+            if lname.is_empty() || lname.as_bytes()[0].is_ascii_digit() {
+                return Err(format!("invalid label name at byte {start}"));
+            }
+            if i >= b.len() || b[i] != b'=' {
+                return Err(format!("expected '=' after label '{lname}'"));
+            }
+            i += 1;
+            if i >= b.len() || b[i] != b'"' {
+                return Err(format!("expected '\"' opening value of '{lname}'"));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(format!("unterminated label value for '{lname}'"));
+                }
+                match b[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        match b.get(i) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            other => {
+                                return Err(format!(
+                                    "bad escape {:?} in label '{lname}'",
+                                    other.map(|&c| c as char)
+                                ));
+                            }
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 scalar, not one byte.
+                        let c = line[i..].chars().next().unwrap();
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((lname.to_string(), value));
+            if i < b.len() && b[i] == b',' {
+                i += 1;
+                continue;
+            }
+            if i < b.len() && b[i] == b'}' {
+                i += 1;
+                break;
+            }
+            return Err("expected ',' or '}' after label pair".to_string());
+        }
+    }
+    let rest = line[i..].trim();
+    if rest.is_empty() {
+        return Err(format!("missing value for '{name}'"));
+    }
+    // Value then optional timestamp; we only keep the value.
+    let value_str = rest.split_whitespace().next().unwrap();
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s.parse::<f64>().map_err(|_| format!("bad value '{s}' for '{name}'"))?,
+    };
+    Ok(ParsedSample { name: name.to_string(), labels, value })
+}
+
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::LiveRegistry;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let reg = LiveRegistry::new();
+        let c = reg.counter("fbmpk_events_total", "events so far", 2);
+        c.add(0, 3);
+        c.add(1, 4);
+        let g = reg.gauge("fbmpk_ratio", "a ratio", 1);
+        g.set(0, 0.75);
+        let h = reg.histogram("fbmpk_lat_ns", "latency", 1);
+        h.observe(0, 5);
+        h.observe(0, 1000);
+        let text = render(&reg.snapshot());
+        let doc = parse(&text).expect("rendered text must parse");
+        assert_eq!(doc.families["fbmpk_events_total"].1, "counter");
+        assert_eq!(doc.families["fbmpk_lat_ns"].1, "histogram");
+        assert_eq!(doc.value("fbmpk_events_total", &[("thread", "0")]), Some(3.0));
+        assert_eq!(doc.sum("fbmpk_events_total"), 7.0);
+        assert_eq!(doc.value("fbmpk_ratio", &[]), Some(0.75));
+        assert_eq!(doc.value("fbmpk_lat_ns_count", &[]), Some(2.0));
+        assert_eq!(doc.value("fbmpk_lat_ns_sum", &[]), Some(1005.0));
+        assert_eq!(doc.value("fbmpk_lat_ns_bucket", &[("le", "+Inf")]), Some(2.0));
+        // Cumulative: the 1000 sample lands in [512, 1024), le="1023".
+        assert_eq!(doc.value("fbmpk_lat_ns_bucket", &[("le", "1023")]), Some(2.0));
+        assert_eq!(doc.value("fbmpk_lat_ns_bucket", &[("le", "7")]), Some(1.0));
+    }
+
+    #[test]
+    fn label_escaping_roundtrips() {
+        use crate::live::{FamilySnapshot, LiveSample, MetricKind, SampleValue, Snapshot};
+        let snap = Snapshot {
+            families: vec![FamilySnapshot {
+                name: "fbmpk_esc".to_string(),
+                help: "line1\nline2 \\ tail".to_string(),
+                kind: MetricKind::Gauge,
+                samples: vec![LiveSample {
+                    labels: vec![("path".to_string(), "a\"b\\c\nd".to_string())],
+                    value: SampleValue::Gauge(1.0),
+                }],
+            }],
+        };
+        let text = render(&snap);
+        let doc = parse(&text).expect("escaped text must parse");
+        assert_eq!(doc.families["fbmpk_esc"].0, "line1\nline2 \\ tail");
+        assert_eq!(doc.samples[0].labels[0], ("path".to_string(), "a\"b\\c\nd".to_string()));
+    }
+
+    #[test]
+    fn strict_parser_rejects_malformed() {
+        assert!(parse("1bad 3\n").is_err());
+        assert!(parse("ok{l=\"unterminated} 3\n").is_err());
+        assert!(parse("ok{l=\"x\\q\"} 3\n").is_err());
+        assert!(parse("ok{9l=\"x\"} 3\n").is_err());
+        assert!(parse("ok nope\n").is_err());
+        assert!(parse("ok\n").is_err());
+        assert!(parse("# TYPE ok widget\n").is_err());
+        assert!(parse("ok 3\n# a plain comment\nother_ok 4\n").is_ok());
+        assert!(parse("inf_ok +Inf\nnan_ok NaN\n").is_ok());
+    }
+}

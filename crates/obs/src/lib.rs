@@ -25,16 +25,32 @@
 //!   syscall is unavailable (containers, CI, non-Linux).
 //! * [`trace::TraceBuilder`] — per-thread timelines in the chrome://tracing
 //!   "trace event" JSON format.
+//! * [`live`] / [`expo`] / [`serve`] / [`phases`] — the *live* half:
+//!   per-lane atomic metric cells coalesced into consistent snapshots,
+//!   rendered as Prometheus text exposition by a zero-dependency
+//!   `TcpListener` endpoint, plus coarse setup-phase spans (tuner,
+//!   partitioner, leveling, solver iterations) feeding both the endpoint
+//!   and the chrome trace. All of it is off (one relaxed bool) until an
+//!   endpoint or dashboard attaches.
 
+pub mod expo;
+pub mod live;
 pub mod metrics;
 pub mod perf;
+pub mod phases;
 pub mod recorder;
+pub mod serve;
 pub mod summary;
 pub mod trace;
 
+pub use live::{
+    FamilySnapshot, LiveCounter, LiveGauge, LiveHistogram, LiveRegistry, LiveSample, LiveSource,
+    MetricKind, SampleValue, Snapshot,
+};
 pub use metrics::{Histogram, MetricValue, Registry};
 pub use perf::{HwSample, HwSession};
 pub use recorder::{Recorder, Span, SpanKind, SpanProbe};
+pub use serve::MetricsServer;
 pub use summary::{KindSummary, ObsSummary};
 pub use trace::TraceBuilder;
 

@@ -1,0 +1,193 @@
+//! The metrics endpoint: a tiny blocking HTTP/1.1 listener over
+//! [`std::net::TcpListener`] — zero dependencies, one named thread,
+//! one connection at a time. That is deliberate: a scrape every second
+//! from one Prometheus (or one `repro top`) is the design load, and a
+//! single-threaded accept loop cannot amplify into anything that
+//! perturbs the sweep workers it is observing.
+//!
+//! Lifecycle: [`MetricsServer::start`] binds (port 0 picks a free port,
+//! see [`MetricsServer::local_addr`]), flips the [`crate::live`] gate on,
+//! and serves `GET /metrics` until [`MetricsServer::shutdown`] or process
+//! exit. Shutdown sets a flag and self-connects to unblock `accept`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::expo;
+use crate::live::{self, LiveRegistry};
+
+/// A running exposition endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `registry` on a background thread. Flips
+    /// the live-telemetry gate on so instrumentation sites start feeding
+    /// the cells. `addr` may name port 0 to pick any free port.
+    pub fn start(addr: SocketAddr, registry: &'static LiveRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        live::set_enabled(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fbmpk-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // A stuck scraper must not wedge the endpoint.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                    let _ = serve_one(stream, registry);
+                }
+            })
+            .expect("spawn metrics thread");
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (the resolved port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Does not flip the
+    /// live gate back off: cells may still have other consumers (an
+    /// in-process dashboard) and stale `true` only costs the counters.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handles one connection: parse the request line, route, respond, close
+/// (`Connection: close` — scrapers reconnect per poll).
+fn serve_one(mut stream: TcpStream, registry: &LiveRegistry) -> std::io::Result<()> {
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    // Read until the header terminator; anything longer than 4 KiB of
+    // headers is not a scraper we care about.
+    loop {
+        if len == buf.len() {
+            break;
+        }
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, ctype, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", expo::CONTENT_TYPE, expo::render(&registry.snapshot())),
+        ("GET", "/") => {
+            ("200 OK", "text/plain", "fbmpk metrics endpoint; scrape /metrics\n".to_string())
+        }
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "text/plain", "GET only\n".to_string()),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Fetches `http://addr/metrics` over a raw [`TcpStream`] and returns the
+/// body — the scraper half used by `repro top` and the smoke tests.
+pub fn scrape(addr: SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape failed: {status}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Starts the process-global endpoint on `addr` exactly once and leaks it
+/// for process lifetime (plans come and go; the endpoint stays). Returns
+/// the bound address, or the first call's address on later calls.
+pub fn ensure_global(addr: SocketAddr) -> std::io::Result<SocketAddr> {
+    use std::sync::OnceLock;
+    static GLOBAL: OnceLock<std::io::Result<SocketAddr>> = OnceLock::new();
+    let res = GLOBAL.get_or_init(|| {
+        let server = MetricsServer::start(addr, live::global())?;
+        let bound = server.local_addr();
+        // Deliberate leak: serve until process exit.
+        std::mem::forget(server);
+        eprintln!("fbmpk: serving metrics on {bound}");
+        Ok(bound)
+    });
+    match res {
+        Ok(a) => Ok(*a),
+        Err(e) => Err(std::io::Error::new(e.kind(), e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_and_scrape() {
+        // A local registry, an ephemeral port, one scrape.
+        static REG: std::sync::OnceLock<LiveRegistry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(LiveRegistry::new);
+        reg.counter("fbmpk_serve_test_total", "t", 1).add(0, 42);
+        let mut server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), reg).expect("bind");
+        let body = scrape(server.local_addr(), Duration::from_secs(5)).expect("scrape");
+        let doc = expo::parse(&body).expect("valid exposition");
+        assert_eq!(doc.value("fbmpk_serve_test_total", &[]), Some(42.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        static REG: std::sync::OnceLock<LiveRegistry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(LiveRegistry::new);
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), reg).expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+}

@@ -87,6 +87,20 @@ impl TraceBuilder {
         ));
     }
 
+    /// Adds one setup-phase span (tuner inspection, partitioner pass,
+    /// solver iteration) as a complete event on tid 0 of `pid`, category
+    /// `"phase"`. Phase names are dotted lowercase literals and need no
+    /// escaping, but escape anyway for uniformity.
+    pub fn add_phase_span(&mut self, pid: u32, span: &crate::phases::PhaseSpan) {
+        let ts_us = span.start_ns as f64 / 1000.0;
+        let dur_us = span.duration_ns() as f64 / 1000.0;
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{ts_us},\
+             \"dur\":{dur_us},\"pid\":{pid},\"tid\":0,\"args\":{{}}}}",
+            escape(span.name)
+        ));
+    }
+
     /// Renders the full document: `{"traceEvents": [...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[\n");

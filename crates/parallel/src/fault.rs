@@ -25,6 +25,21 @@
 //!
 //! Example: `FBMPK_FAULT="panic:1:2;delay:0:3:50"`.
 
+/// Times an installed fault actually triggered at a matching site (panic
+/// fired, publish delayed or dropped) since process start. Always
+/// compiled so telemetry consumers need no feature gate; stays 0 without
+/// `fault-inject`.
+pub fn injection_hits() -> u64 {
+    HITS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+#[allow(dead_code)] // only the fault-inject hooks fire it
+fn count_hit() {
+    HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -163,6 +178,7 @@ mod active {
             for f in &plan.faults {
                 if let Fault::PanicAt { thread: t, color: c } = f {
                     if *t == thread && *c == color {
+                        super::count_hit();
                         // Real panic (not a sentinel): this is the
                         // original fault the runtime must isolate.
                         panic!("fault-inject: worker {thread} panicked at color {color}");
@@ -182,9 +198,11 @@ mod active {
         for f in &plan.faults {
             match f {
                 Fault::DelayMark { block: b, epoch: e, ms } if *b == block && *e == epoch => {
+                    super::count_hit();
                     std::thread::sleep(std::time::Duration::from_millis(*ms));
                 }
                 Fault::SkipMark { block: b, epoch: e } if *b == block && *e == epoch => {
+                    super::count_hit();
                     publish = false;
                 }
                 _ => {}

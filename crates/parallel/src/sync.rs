@@ -237,7 +237,10 @@ impl BlockFlags {
                     std::panic::resume_unwind(Box::new(PoisonUnwind));
                 }
                 if r.deadline_ms > 0 && backoff.is_yielding() {
-                    let start = *yield_start.get_or_insert_with(Instant::now);
+                    let start = *yield_start.get_or_insert_with(|| {
+                        WATCHDOG_ARMS.fetch_add(1, Ordering::Relaxed);
+                        Instant::now()
+                    });
                     let waited_ms = start.elapsed().as_millis() as u64;
                     if waited_ms >= r.deadline_ms {
                         self.declare_stall(r, t, b, epoch, waited_ms);
@@ -257,6 +260,7 @@ impl BlockFlags {
     /// returns.
     fn declare_stall(&self, rt: &WaitRuntime, t: usize, b: usize, epoch: u64, waited_ms: u64) -> ! {
         use std::fmt::Write;
+        WATCHDOG_FIRES.fetch_add(1, Ordering::Relaxed);
         let mut dump = String::new();
         let _ = writeln!(
             dump,
@@ -280,6 +284,18 @@ impl BlockFlags {
 /// a valid progress-table index, so such waits are poison-checked but not
 /// recorded.
 const UNTRACKED: usize = usize::MAX;
+
+/// Process-wide watchdog accounting: how many waits armed a deadline
+/// clock (entered the yielding regime with a deadline attached) and how
+/// many of those actually fired a stall. Relaxed counters off the spin
+/// fast path; the live-telemetry collector and `repro profile` read them.
+static WATCHDOG_ARMS: AtomicU64 = AtomicU64::new(0);
+static WATCHDOG_FIRES: AtomicU64 = AtomicU64::new(0);
+
+/// `(arms, fires)` since process start.
+pub fn watchdog_stats() -> (u64, u64) {
+    (WATCHDOG_ARMS.load(Ordering::Relaxed), WATCHDOG_FIRES.load(Ordering::Relaxed))
+}
 
 #[cfg(test)]
 mod tests {
@@ -344,6 +360,7 @@ mod tests {
         let mut flags = BlockFlags::new(4);
         flags.attach_runtime(Arc::clone(&poison), Arc::clone(&progress), 50);
         progress.set_site(1, 2, Some(3));
+        let (arms_before, fires_before) = watchdog_stats();
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             flags.wait_for_counted_from(1, 0, 1); // block 0 is never marked
         }))
@@ -362,6 +379,9 @@ mod tests {
             }
             other => panic!("expected a stall, got {other:?}"),
         }
+        let (arms_after, fires_after) = watchdog_stats();
+        assert!(arms_after > arms_before, "arming the deadline must count");
+        assert!(fires_after > fires_before, "the fired stall must count");
     }
 
     #[test]

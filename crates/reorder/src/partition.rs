@@ -404,40 +404,50 @@ pub fn multilevel_blocks(g: &Graph, nblocks: usize) -> Blocking {
         // One block, or one vertex per block: nothing to optimize.
         return Blocking { block_of: (0..n).map(|v| (v % nblocks) as u32).collect(), nblocks };
     }
+    let _span = fbmpk_obs::phases::span("partition.multilevel");
     let finest = WeightedGraph::from_graph(g);
 
     // Coarsening: stack of (graph, fine→coarse map of the *next* level).
     let mut levels: Vec<(WeightedGraph, Vec<u32>)> = Vec::new();
     let mut cur = finest;
     let stop_at = (nblocks * COARSEN_VERTS_PER_BLOCK).max(nblocks * 2);
-    while cur.n() > stop_at {
-        let match_of = cur.heavy_edge_matching();
-        let (coarse, coarse_of) = cur.contract(&match_of);
-        let shrink = 1.0 - coarse.n() as f64 / cur.n() as f64;
-        if shrink < MIN_SHRINK {
-            break;
+    {
+        let _coarsen = fbmpk_obs::phases::span("partition.coarsen");
+        while cur.n() > stop_at {
+            let match_of = cur.heavy_edge_matching();
+            let (coarse, coarse_of) = cur.contract(&match_of);
+            let shrink = 1.0 - coarse.n() as f64 / cur.n() as f64;
+            if shrink < MIN_SHRINK {
+                break;
+            }
+            levels.push((cur, coarse_of));
+            cur = coarse;
         }
-        levels.push((cur, coarse_of));
-        cur = coarse;
     }
 
     // Initial partition + refinement on the coarsest graph.
     let total: u64 = cur.vwgt.iter().sum();
     let ceil = (((total as f64 / nblocks as f64) * (1.0 + BALANCE_EPS)).ceil() as u64)
         .max(cur.vwgt.iter().copied().max().unwrap_or(1));
-    let mut part_of = grow_initial_partition(&cur, nblocks);
-    let mut part_wgt = vec![0u64; nblocks];
-    for (v, &p) in part_of.iter().enumerate() {
-        part_wgt[p as usize] += cur.vwgt[v];
-    }
-    repair_empty_parts(&cur, &mut part_of, &mut part_wgt);
-    for _ in 0..REFINE_PASSES {
-        if refine_pass(&cur, &mut part_of, &mut part_wgt, ceil) == 0 {
-            break;
+    let mut part_of;
+    {
+        let _initial = fbmpk_obs::phases::span("partition.initial");
+        part_of = grow_initial_partition(&cur, nblocks);
+        let mut part_wgt = vec![0u64; nblocks];
+        for (v, &p) in part_of.iter().enumerate() {
+            part_wgt[p as usize] += cur.vwgt[v];
+        }
+        repair_empty_parts(&cur, &mut part_of, &mut part_wgt);
+        for _ in 0..REFINE_PASSES {
+            if refine_pass(&cur, &mut part_of, &mut part_wgt, ceil) == 0 {
+                break;
+            }
         }
     }
 
     // Uncoarsen: project and refine at every finer level.
+    let _refine = fbmpk_obs::phases::span("partition.refine");
+    let mut part_wgt = vec![0u64; nblocks];
     while let Some((fine, coarse_of)) = levels.pop() {
         let mut fine_part = vec![0u32; fine.n()];
         for (v, p) in fine_part.iter_mut().enumerate() {
@@ -455,6 +465,10 @@ pub fn multilevel_blocks(g: &Graph, nblocks: usize) -> Blocking {
             }
         }
         cur = fine;
+    }
+    part_wgt.iter_mut().for_each(|w| *w = 0);
+    for (v, &p) in part_of.iter().enumerate() {
+        part_wgt[p as usize] += cur.vwgt[v];
     }
     repair_empty_parts(&cur, &mut part_of, &mut part_wgt);
 

@@ -43,6 +43,7 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
     max_iters: usize,
 ) -> Result<BiCgStabResult, SolverError> {
     assert_eq!(b.len(), engine.n());
+    let _span = fbmpk_obs::phases::span("solve.bicgstab");
     let n = b.len();
     let bnorm = norm2(b);
     if bnorm == 0.0 {
@@ -58,6 +59,7 @@ pub fn bicgstab<E: MpkEngine + ?Sized>(
         let mut rho = dot(&r0, &r);
         while it < max_iters {
             it += 1;
+            let _iter = fbmpk_obs::phases::span("solve.bicgstab.iter");
             let v = engine.spmv(&p);
             let alpha_den = dot(&r0, &v);
             if !alpha_den.is_finite() {

@@ -130,6 +130,7 @@ pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
 ) -> Result<ChebyshevSolve, SolverError> {
     assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
     assert_eq!(b.len(), engine.n());
+    let _span = fbmpk_obs::phases::span("solve.chebyshev");
     let n = b.len();
     let theta = (hi + lo) / 2.0;
     let delta = (hi - lo) / 2.0;
@@ -142,6 +143,7 @@ pub fn chebyshev_solve<E: MpkEngine + ?Sized>(
     let mut dvec: Vec<f64> = r.iter().map(|&v| v / theta).collect();
     let mut relres = 1.0;
     for it in 1..=max_iters {
+        let _iter = fbmpk_obs::phases::span("solve.chebyshev.iter");
         axpy(1.0, &dvec, &mut x);
         let ad = engine.spmv(&dvec);
         // r -= A d

@@ -45,6 +45,7 @@ pub fn lanczos<E: MpkEngine + ?Sized>(
 ) -> Result<LanczosResult, SolverError> {
     assert!(m >= 1);
     assert_eq!(v0.len(), engine.n());
+    let _span = fbmpk_obs::phases::span("solve.lanczos");
     let nrm = norm2(v0);
     assert!(nrm > 0.0, "start vector must be nonzero");
     let mut q = v0.to_vec();
@@ -53,6 +54,7 @@ pub fn lanczos<E: MpkEngine + ?Sized>(
     let mut alpha = Vec::with_capacity(m);
     let mut beta = Vec::with_capacity(m.saturating_sub(1));
     for j in 0..m {
+        let _iter = fbmpk_obs::phases::span("solve.lanczos.iter");
         let mut w = engine.spmv(&basis[j]);
         let a = dot(&w, &basis[j]);
         if !a.is_finite() {

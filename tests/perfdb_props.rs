@@ -67,6 +67,7 @@ fn spec(matrix: &str, kernel: &str) -> RunSpec {
         cut_edges: None,
         simd: Some("avx2".into()),
         blocking: Some("streaming".into()),
+        watchdog_fires: None,
     }
 }
 

@@ -1,0 +1,177 @@
+//! Live-telemetry invariants: snapshots taken while writer threads
+//! hammer the cells must be consistent (counters monotone, histograms
+//! never torn), and the Prometheus text exposition must round-trip
+//! through the strict in-tree parser with escaping intact.
+
+use fbmpk_obs::expo;
+use fbmpk_obs::live::{LiveRegistry, MetricKind, SampleValue};
+use fbmpk_obs::{FamilySnapshot, LiveSample, LiveSource};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Writers hammer one counter lane and one histogram lane each while the
+/// main thread snapshots continuously. Every snapshot must satisfy:
+/// counter totals never decrease between snapshots, and a histogram is
+/// never torn — its `count` always equals the sum of its bucket counts
+/// and its `sum` is always consistent with the observed value range.
+#[test]
+fn concurrent_writers_never_tear_a_snapshot() {
+    const WRITERS: usize = 4;
+    const OPS: u64 = 100_000;
+    let reg = Arc::new(LiveRegistry::new());
+    let ops = reg.counter("stress_ops_total", "writer operations", WRITERS);
+    let lat = reg.histogram("stress_lat_ns", "synthetic latencies", WRITERS);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|lane| {
+            let ops = ops.clone();
+            let lat = lat.clone();
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    ops.add(lane, 1);
+                    // Values in [1, 1000]: every observation lands in a
+                    // low bucket, so min/max/sum bounds are tight.
+                    lat.observe(lane, i % 1000 + 1);
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let reg = Arc::clone(&reg);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last_ops = 0u64;
+            let mut last_count = 0u64;
+            let mut snaps = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                let total = snap.counter_total("stress_ops_total");
+                assert!(total >= last_ops, "counter went backwards: {total} < {last_ops}");
+                assert!(total <= WRITERS as u64 * OPS, "counter overshot: {total}");
+                last_ops = total;
+                let fam = snap.family("stress_lat_ns").expect("histogram family present");
+                assert_eq!(fam.kind, MetricKind::Histogram);
+                for s in &fam.samples {
+                    let SampleValue::Histogram(h) = &s.value else {
+                        panic!("histogram family holds a non-histogram sample")
+                    };
+                    let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+                    assert_eq!(h.count(), bucket_total, "torn histogram: count != sum of buckets");
+                    assert!(h.count() >= last_count, "histogram count went backwards");
+                    last_count = h.count();
+                    if h.count() > 0 {
+                        assert!((1..=1000).contains(&h.min()), "min {} out of range", h.min());
+                        assert!((1..=1000).contains(&h.max()), "max {} out of range", h.max());
+                        assert!(h.min() <= h.max());
+                        assert!(h.sum() >= h.count() * h.min(), "sum below count*min");
+                        assert!(h.sum() <= h.count() * h.max(), "sum above count*max");
+                    }
+                }
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    for w in writers {
+        w.join().expect("writer");
+    }
+    done.store(true, Ordering::Relaxed);
+    let snaps = reader.join().expect("reader");
+    assert!(snaps > 0, "reader never snapshotted");
+
+    // Quiescent totals are exact.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter_total("stress_ops_total"), WRITERS as u64 * OPS);
+    let fam = snap.family("stress_lat_ns").unwrap();
+    // Histograms coalesce to one merged sample per family.
+    assert_eq!(fam.samples.len(), 1);
+    let SampleValue::Histogram(h) = &fam.samples[0].value else { panic!("not a histogram") };
+    assert_eq!(h.count(), WRITERS as u64 * OPS);
+    let per_writer: u64 = (0..OPS).map(|i| i % 1000 + 1).sum();
+    assert_eq!(h.sum(), WRITERS as u64 * per_writer, "sum lost observations");
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), 1000);
+}
+
+/// A collector whose labels exercise every escape the text format
+/// defines: backslash, double quote, and newline.
+struct NastyLabels;
+
+impl LiveSource for NastyLabels {
+    fn collect(&self) -> Vec<FamilySnapshot> {
+        vec![FamilySnapshot {
+            name: "nasty_gauge".into(),
+            help: "help with \\ and \n inside".into(),
+            kind: MetricKind::Gauge,
+            samples: vec![LiveSample {
+                labels: vec![("path".into(), "C:\\dir\n\"quoted\"".into())],
+                value: SampleValue::Gauge(1.5),
+            }],
+        }]
+    }
+}
+
+#[test]
+fn exposition_round_trips_through_the_strict_parser() {
+    let reg = LiveRegistry::new();
+    reg.counter("rt_requests_total", "requests", 2).add(0, 7);
+    reg.counter("rt_requests_total", "requests", 2).add(1, 5);
+    reg.gauge("rt_temp_celsius", "temperature", 1).set(0, -3.25);
+    let h = reg.histogram("rt_sizes_bytes", "sizes", 1);
+    for v in [1u64, 10, 100, 1000, 100_000] {
+        h.observe(0, v);
+    }
+    let nasty: Arc<dyn LiveSource> = Arc::new(NastyLabels);
+    reg.register_source(Arc::downgrade(&nasty));
+
+    let text = expo::render(&reg.snapshot());
+    // Raw-text escaping: label value backslash/quote/newline escaped.
+    assert!(text.contains(r#"path="C:\\dir\n\"quoted\"""#), "escaping missing:\n{text}");
+    // HELP newline escaped too.
+    assert!(text.contains("help with \\\\ and \\n inside"), "{text}");
+
+    let parsed = expo::parse(&text).unwrap_or_else(|e| panic!("render must parse: {e}\n{text}"));
+    // Families carry their TYPE.
+    assert_eq!(parsed.families["rt_requests_total"].1, "counter");
+    assert_eq!(parsed.families["rt_temp_celsius"].1, "gauge");
+    assert_eq!(parsed.families["rt_sizes_bytes"].1, "histogram");
+    // Values survive, per-thread labels intact.
+    assert_eq!(parsed.value("rt_requests_total", &[("thread", "0")]), Some(7.0));
+    assert_eq!(parsed.value("rt_requests_total", &[("thread", "1")]), Some(5.0));
+    assert_eq!(parsed.value("rt_temp_celsius", &[]), Some(-3.25));
+    // The escaped label value parses back to the original bytes.
+    assert_eq!(parsed.value("nasty_gauge", &[("path", "C:\\dir\n\"quoted\"")]), Some(1.5));
+    // Histogram conformance: cumulative buckets are monotone, the +Inf
+    // bucket equals _count, and _sum is the exact total.
+    let buckets = parsed.samples_of("rt_sizes_bytes_bucket");
+    assert!(!buckets.is_empty());
+    let mut last = 0.0;
+    for b in &buckets {
+        assert!(b.value >= last, "non-cumulative bucket in:\n{text}");
+        last = b.value;
+    }
+    let inf =
+        parsed.value("rt_sizes_bytes_bucket", &[("le", "+Inf")]).expect("+Inf bucket is mandatory");
+    assert_eq!(inf, 5.0);
+    assert_eq!(parsed.value("rt_sizes_bytes_count", &[]), Some(5.0));
+    assert_eq!(parsed.value("rt_sizes_bytes_sum", &[]), Some(101111.0));
+}
+
+#[test]
+fn invalid_metric_names_are_rejected_at_registration() {
+    for bad in ["0leading_digit", "has space", "has-dash", "", "né"] {
+        let reg = LiveRegistry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.counter(bad, "help", 1);
+        }));
+        assert!(result.is_err(), "name '{bad}' must be rejected");
+    }
+    // The charset that IS legal: letters, digits, underscores, colons.
+    let reg = LiveRegistry::new();
+    reg.counter("legal_name:with_colon_0", "help", 1).inc(0);
+    let text = expo::render(&reg.snapshot());
+    assert!(expo::parse(&text).is_ok());
+}
