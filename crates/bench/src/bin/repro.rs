@@ -6,8 +6,12 @@
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
 //!             fig10 | table3 | table4 | fig11 | fig12 | model |
 //!             ablation_blocks | tune | sync | profile | blocking |
-//!             partition
+//!             partition | attribution
 //! ```
+//!
+//! `--only NAME[,NAME]` restricts suite-driven experiments to the named
+//! Table II matrices (cases the runners append themselves, like
+//! `attribution`'s `rmat`, are unaffected).
 //!
 //! Results are printed as aligned tables and written as CSV under `--out`
 //! (default `EXPERIMENTS_RESULTS/`). `profile` additionally writes
@@ -42,6 +46,7 @@ use std::path::PathBuf;
 struct Args {
     experiments: Vec<String>,
     cfg: BenchConfig,
+    only: Vec<String>,
     out: PathBuf,
     db: PathBuf,
     no_perfdb: bool,
@@ -91,6 +96,7 @@ fn parse_args() -> Args {
     let mut warn_only = false;
     let mut out_html = None;
     let mut top = fbmpk_bench::top::TopConfig::default();
+    let mut only = Vec::new();
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -108,6 +114,13 @@ fn parse_args() -> Args {
             "--threads" => cfg.threads = numeric_arg(&mut it, "--threads"),
             "--reps" => cfg.reps = numeric_arg(&mut it, "--reps"),
             "--seed" => cfg.seed = numeric_arg(&mut it, "--seed"),
+            "--only" => only.extend(
+                string_arg(&mut it, "--only")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            ),
             "--out" => out = PathBuf::from(string_arg(&mut it, "--out")),
             "--db" => db = PathBuf::from(string_arg(&mut it, "--db")),
             "--no-perfdb" => no_perfdb = true,
@@ -119,8 +132,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync|profile|blocking|partition] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
-                     \x20      [--db FILE] [--no-perfdb]\n\
+                     \x20      [ablation_blocks|tune|sync|profile|blocking|partition|attribution] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
+                     \x20      [--only NAME[,NAME]] [--db FILE] [--no-perfdb]\n\
                      \x20 repro history [--db FILE]\n\
                      \x20 repro compare REV_A REV_B [--db FILE]\n\
                      \x20 repro gate --baseline REV [--current REV] [--threshold 0.10] [--warn-only] [--db FILE]\n\
@@ -135,7 +148,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "all",
         "table1",
         "table2",
@@ -154,6 +167,7 @@ fn parse_args() -> Args {
         "profile",
         "blocking",
         "partition",
+        "attribution",
     ];
     // Database subcommands own the remaining positional arguments (e.g.
     // the two revisions of `compare`), so the experiment-name check does
@@ -173,6 +187,7 @@ fn parse_args() -> Args {
     Args {
         experiments,
         cfg,
+        only,
         out,
         db,
         no_perfdb,
@@ -306,6 +321,7 @@ fn push_record(
     fallbacks: Option<u64>,
     watchdog_fires: Option<u64>,
     cut_edges: Option<u64>,
+    traffic_vs_model: Option<f64>,
     blocking: Option<&str>,
     samples: &[f64],
 ) {
@@ -327,6 +343,7 @@ fn push_record(
         // axis is recorded unconditionally.
         simd: Some(fbmpk_sparse::simd::detect().tag().to_string()),
         blocking: blocking.map(str::to_string),
+        traffic_vs_model,
     };
     if let Some(rec) = RunRecord::new(ctx, spec, samples) {
         pending.push(rec);
@@ -373,7 +390,9 @@ fn main() {
     // Timing experiments persist perfdb records; probe the host identity
     // and its bandwidth ceilings once for the whole invocation.
     let records_wanted = !args.no_perfdb
-        && ["fig7", "sync", "tune", "profile", "blocking", "partition"].iter().any(|e| want(e));
+        && ["fig7", "sync", "tune", "profile", "blocking", "partition", "attribution"]
+            .iter()
+            .any(|e| want(e));
     let perf_ctx = records_wanted.then(|| {
         let host = platform::probe();
         eprintln!("measuring host bandwidth ceilings (triad + random gather) ...");
@@ -438,6 +457,7 @@ fn main() {
         "profile",
         "blocking",
         "partition",
+        "attribution",
     ]
     .iter()
     .any(|e| want(e));
@@ -445,7 +465,16 @@ fn main() {
         return;
     }
     eprintln!("generating the 14-matrix suite at scale {} ...", args.cfg.scale);
-    let cases: Vec<MatrixCase> = runner::load_suite(&args.cfg);
+    let mut cases: Vec<MatrixCase> = runner::load_suite(&args.cfg);
+    if !args.only.is_empty() {
+        cases.retain(|c| args.only.iter().any(|n| n == c.entry.name));
+        if cases.is_empty() {
+            eprintln!("error: --only matched no suite matrix (names are the Table II inputs)");
+            std::process::exit(2);
+        }
+        eprintln!("--only: restricted to {} suite matrix(es)", cases.len());
+    }
+    let cases = cases;
 
     if want("table2") {
         let rows = runner::table2(&cases);
@@ -504,10 +533,11 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "standard-mpk", None, t,
-                    Some(r.k), 0, None, None, None, None, None, None, None, &r.samples_baseline);
+                    Some(r.k), 0, None, None, None, None, None, None, None, None,
+                    &r.samples_baseline);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "fig7", &r.name, "fbmpk", None, t,
-                    Some(r.k), r.options_fp, None, None, None, None, None, None, None,
+                    Some(r.k), r.options_fp, None, None, None, None, None, None, None, None,
                     &r.samples_fbmpk);
             }
         }
@@ -779,17 +809,19 @@ fn main() {
                 let t = args.cfg.threads;
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-scalar", None, t,
-                    None, 0, None, None, Some(csr), None, None, None, None, &r.samples_scalar);
+                    None, 0, None, None, Some(csr), None, None, None, None, None,
+                    &r.samples_scalar);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("tuned:{}", r.variant),
-                    None, t, None, 0, None, None, Some(csr), None, None, None, None,
+                    None, t, None, 0, None, None, Some(csr), None, None, None, None, None,
                     &r.samples_tuned);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, "csr-unrolled4", None, t,
-                    None, 0, None, None, Some(csr), None, None, None, None, &r.samples_unrolled4);
+                    None, 0, None, None, Some(csr), None, None, None, None, None,
+                    &r.samples_unrolled4);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "tune", &r.name, &format!("csr-simd:{}", r.simd),
-                    None, t, None, 0, None, None, Some(csr), None, None, None, None,
+                    None, t, None, 0, None, None, Some(csr), None, None, None, None, None,
                     &r.samples_simd);
             }
         }
@@ -865,11 +897,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
                     Some(r.k), r.options_fp_streaming, None, None, modeled, None, None, None,
-                    Some("streaming"), &r.samples_streaming);
+                    None, Some("streaming"), &r.samples_streaming);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "blocking", &r.name, "fbmpk", None, t,
                     Some(r.k), r.options_fp_blocked, None, None, modeled, None, None, None,
-                    Some("level-blocked"), &r.samples_blocked);
+                    None, Some("level-blocked"), &r.samples_blocked);
             }
         }
     }
@@ -983,11 +1015,11 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(5), r.options_fp_barrier, None, None, modeled, None,
-                    None, None, None, &r.samples_barrier);
+                    None, None, None, None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "sync", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp_p2p, None, None, modeled,
-                    Some(r.fallbacks), None, None, None, &r.samples_p2p);
+                    Some(r.fallbacks), None, None, None, None, &r.samples_p2p);
             }
         }
     }
@@ -1117,7 +1149,7 @@ fn main() {
                 push_record(&mut pending, ctx, "partition", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(5), r.options_fp, Some(r.wait_frac), None,
                     Some(r.modeled_matrix_bytes), Some(r.fallbacks), None,
-                    Some(r.cut_edges as u64), Some(&r.strategy), &r.samples);
+                    Some(r.cut_edges as u64), None, Some(&r.strategy), &r.samples);
             }
         }
     }
@@ -1304,13 +1336,209 @@ fn main() {
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("barrier"),
                     r.threads, Some(r.k), r.options_fp_barrier, Some(r.wait_frac_barrier), ipc,
-                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None, None,
-                    &r.samples_barrier);
+                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None,
+                    Some(r.traffic_vs_model), None, &r.samples_barrier);
                 #[rustfmt::skip]
                 push_record(&mut pending, ctx, "profile", &r.name, "fbmpk", Some("p2p"),
                     r.threads, Some(r.k), r.options_fp_p2p, Some(r.wait_frac_p2p), None,
-                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None, None,
-                    &r.samples_p2p);
+                    modeled, Some(r.fallbacks), Some(r.watchdog_fires), None,
+                    Some(r.traffic_vs_model), None, &r.samples_p2p);
+            }
+        }
+    }
+
+    if want("attribution") {
+        eprintln!("attribution: modeled / simulated / measured byte ledgers, k = 5 ...");
+        let rows = runner::attribution(&args.cfg, &cases);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "a counter-probed run produced a result differing from the plain kernel"
+        );
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.report.blocks.len().to_string(),
+                    format!("{:.2}", r.modeled_matrix_bytes as f64 / 1e6),
+                    format!("{:.2}", r.sim_dram_total as f64 / 1e6),
+                    f3(r.traffic_vs_model),
+                    r.report
+                        .measured_total
+                        .map(|m| format!("{:.2}", m as f64 / 1e6))
+                        .unwrap_or_else(|| "n/a".into()),
+                    r.report.excess_cut_correlation().map(f3).unwrap_or_else(|| "n/a".into()),
+                    format!(
+                        "{:.1}%",
+                        100.0 * r.sim_unattributed as f64 / r.sim_dram_total.max(1) as f64
+                    ),
+                ]
+            })
+            .collect();
+        println!("Attribution - where the bytes go (k=5, {} threads)", args.cfg.threads);
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "input",
+                    "blocks",
+                    "model[MB]",
+                    "sim[MB]",
+                    "sim/model",
+                    "meas[MB]",
+                    "corr(cut,excess)",
+                    "sim unattr"
+                ],
+                &table
+            )
+        );
+        let mut worst: Vec<Vec<String>> = Vec::new();
+        for r in &rows {
+            for b in r.report.worst_blocks(3) {
+                worst.push(vec![
+                    r.name.clone(),
+                    b.block.to_string(),
+                    b.color.to_string(),
+                    b.rows.to_string(),
+                    b.cut_edges.to_string(),
+                    b.modeled_bytes.to_string(),
+                    b.simulated_bytes.to_string(),
+                    f3(b.ranking_ratio()),
+                ]);
+            }
+        }
+        println!("Attribution - worst blocks by traffic-vs-model ratio");
+        println!(
+            "{}",
+            format_table(
+                &["input", "block", "color", "rows", "cut edges", "model[B]", "sim[B]", "ratio"],
+                &worst
+            )
+        );
+        // The full three-ledger decomposition: one CSV row per
+        // (matrix, block, power) cell; `measured_bytes` is empty (not 0)
+        // when hardware counters were unavailable.
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .flat_map(|r| {
+                r.report.cells.iter().map(|c| {
+                    vec![
+                        r.name.clone(),
+                        c.block.to_string(),
+                        c.color.to_string(),
+                        c.power.to_string(),
+                        c.modeled_bytes.to_string(),
+                        c.simulated_bytes.to_string(),
+                        c.measured_bytes.map(|m| m.to_string()).unwrap_or_default(),
+                    ]
+                })
+            })
+            .collect();
+        write_csv(
+            &args.out.join("attribution.csv"),
+            &[
+                "input",
+                "block",
+                "color",
+                "power",
+                "modeled_bytes",
+                "simulated_bytes",
+                "measured_bytes",
+            ],
+            &csv,
+        )
+        .expect("write attribution.csv");
+        let json = Json::obj([
+            ("experiment", Json::from("attribution")),
+            ("scale", Json::from(args.cfg.scale)),
+            ("threads", Json::from(args.cfg.threads)),
+            ("reps", Json::from(args.cfg.reps)),
+            ("k", Json::from(5usize)),
+            ("platform", platform::probe().to_json()),
+            (
+                "matrices",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::from(r.name.as_str())),
+                                ("threads", Json::from(r.threads)),
+                                ("nblocks", Json::from(r.report.blocks.len())),
+                                ("t_p2p_seconds", Json::from(r.t_p2p)),
+                                (
+                                    "modeled_matrix_bytes",
+                                    Json::from(r.modeled_matrix_bytes as usize),
+                                ),
+                                ("sim_dram_bytes", Json::from(r.sim_dram_total as usize)),
+                                ("sim_unattributed_bytes", Json::from(r.sim_unattributed as usize)),
+                                ("traffic_vs_model", Json::from(r.traffic_vs_model)),
+                                (
+                                    "measured_bytes",
+                                    match r.report.measured_total {
+                                        Some(m) => Json::from(m as usize),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                (
+                                    "measured_unattributed_bytes",
+                                    match r.measured_unattributed {
+                                        Some(m) => Json::from(m as usize),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                (
+                                    "excess_cut_correlation",
+                                    match r.report.excess_cut_correlation() {
+                                        Some(c) => Json::from(c),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                (
+                                    "phase_bytes",
+                                    Json::Obj(
+                                        r.sim_phase_bytes
+                                            .iter()
+                                            .map(|&(p, v)| (p.to_string(), Json::from(v as usize)))
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "node_bytes",
+                                    Json::Obj(
+                                        r.node_bytes
+                                            .iter()
+                                            .map(|&(nid, v)| {
+                                                let key = if nid == u32::MAX {
+                                                    "unknown".to_string()
+                                                } else {
+                                                    nid.to_string()
+                                                };
+                                                (key, Json::from(v as usize))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                ("identical", Json::from(r.identical)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_json(&args.out.join("BENCH_attribution.json"), &json)
+            .expect("write BENCH_attribution.json");
+        let html = perfreport::attribution_heatmap_html(&rows);
+        let html_path = args.out.join("attribution_heatmap.html");
+        std::fs::write(&html_path, html).expect("write attribution_heatmap.html");
+        println!("attribution heatmap: {}", html_path.display());
+        if let Some(ctx) = &perf_ctx {
+            for r in &rows {
+                let cut: u64 = r.report.blocks.iter().map(|b| b.cut_edges).sum();
+                #[rustfmt::skip]
+                push_record(&mut pending, ctx, "attribution", &r.name, "fbmpk", Some("p2p"),
+                    r.threads, Some(r.k), r.options_fp, None, None,
+                    Some(r.modeled_matrix_bytes), None, None, Some(cut),
+                    Some(r.traffic_vs_model), None, &r.samples);
             }
         }
     }

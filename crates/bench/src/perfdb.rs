@@ -127,6 +127,13 @@ pub struct RunSpec {
     /// Cache-blocking mode (`BlockingMode::tag()`: `"streaming"` /
     /// `"level-blocked"`), when applicable.
     pub blocking: Option<String>,
+    /// Achieved-over-modeled traffic ratio for this configuration
+    /// (simulated or measured DRAM bytes / §III-B modeled bytes), when
+    /// the run accounted traffic. Informational like `wait_frac`: it
+    /// explains where the bytes went, it does not define the config, so
+    /// it never joins the key — absent on pre-existing lines, which keep
+    /// parsing.
+    pub traffic_vs_model: Option<f64>,
     /// Cross-block dependency edges cut by the plan's blocking partition
     /// (informational, like `wait_frac`: the partitioner identity is
     /// already in `options_fp`, so the count does not join the config
@@ -296,6 +303,7 @@ impl RunRecord {
                 self.spec.watchdog_fires.map_or(Json::Null, |n| Json::from(n as usize)),
             ),
             ("cut_edges", self.spec.cut_edges.map_or(Json::Null, |n| Json::from(n as usize))),
+            ("traffic_vs_model", Self::opt_f64(self.spec.traffic_vs_model)),
             ("simd", self.spec.simd.as_deref().map_or(Json::Null, Json::from)),
             ("blocking", self.spec.blocking.as_deref().map_or(Json::Null, Json::from)),
             ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
@@ -349,6 +357,7 @@ impl RunRecord {
             blocking: j.get("blocking").and_then(Json::as_str).map(str::to_string),
             cut_edges: opt_num("cut_edges").map(|n| n as u64),
             watchdog_fires: opt_num("watchdog_fires").map(|n| n as u64),
+            traffic_vs_model: opt_num("traffic_vs_model"),
         };
         Ok(RunRecord {
             schema,
@@ -538,6 +547,7 @@ mod tests {
             blocking: Some("streaming".into()),
             cut_edges: Some(123),
             watchdog_fires: Some(2),
+            traffic_vs_model: Some(1.25),
         }
     }
 
@@ -559,6 +569,7 @@ mod tests {
         assert_eq!(back.spec.simd.as_deref(), Some("avx2"));
         assert_eq!(back.spec.blocking.as_deref(), Some("streaming"));
         assert_eq!(back.spec.cut_edges, Some(123));
+        assert_eq!(back.spec.traffic_vs_model, Some(1.25));
         assert_eq!(back.platform_fp, rec.platform_fp);
         // modeled 2 GB at 0.1 s median = 20 GB/s = the triad ceiling.
         assert!((back.achieved_gbs.unwrap() - 20.0).abs() < 1e-9);
@@ -612,6 +623,20 @@ mod tests {
         let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
         assert_eq!(back.spec.cut_edges, None);
         assert_eq!(back.config_key, rec.config_key, "cut_edges never joins the key");
+    }
+
+    #[test]
+    fn lines_without_traffic_vs_model_still_parse() {
+        // Records predating the attribution work carry no
+        // traffic_vs_model field; they must keep loading with unchanged
+        // config keys (the ratio never joined the key).
+        let rec = RunRecord::new(&test_ctx("rev1"), test_spec("m", None), &[0.1, 0.2]).unwrap();
+        let line = rec.to_json().to_compact();
+        let stripped = line.replace(",\"traffic_vs_model\":1.25", "");
+        assert_ne!(line, stripped, "test must actually remove the field");
+        let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(back.spec.traffic_vs_model, None);
+        assert_eq!(back.config_key, rec.config_key, "ratio never joins the key");
     }
 
     #[test]

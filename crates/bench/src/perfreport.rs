@@ -527,6 +527,152 @@ pub fn html_report(records: &[RunRecord]) -> String {
     html
 }
 
+// ---------------------------------------------------------------------------
+// Attribution heatmap
+// ---------------------------------------------------------------------------
+
+/// Most blocks one attribution heatmap draws; denser plans show the
+/// worst-ratio blocks (kept in block order) with an explicit note, so the
+/// page stays readable and bounded regardless of the plan's block count.
+pub const HEATMAP_MAX_BLOCKS: usize = 128;
+
+/// Linear interpolation between two RGB colors.
+fn lerp_rgb(a: (u8, u8, u8), b: (u8, u8, u8), t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let c = |x: u8, y: u8| (x as f64 + (y as f64 - x as f64) * t).round() as u8;
+    format!("#{:02x}{:02x}{:02x}", c(a.0, b.0), c(a.1, b.1), c(a.2, b.2))
+}
+
+/// Fill color for one achieved-over-modeled ratio: white at 1.0 (the
+/// model is exact), toward green below (the cache kept more than the
+/// model assumed), toward red above (excess traffic), saturating at 3×;
+/// gray when the model predicts zero bytes for the cell.
+fn ratio_color(ratio: Option<f64>) -> String {
+    const WHITE: (u8, u8, u8) = (0xff, 0xff, 0xff);
+    const GREEN: (u8, u8, u8) = (0x31, 0xa3, 0x54);
+    const RED: (u8, u8, u8) = (0xde, 0x2d, 0x26);
+    match ratio {
+        None => "#eeeeee".into(),
+        Some(r) if r <= 1.0 => lerp_rgb(WHITE, GREEN, 1.0 - r),
+        Some(r) => lerp_rgb(WHITE, RED, (r - 1.0) / 2.0),
+    }
+}
+
+/// One matrix's blocks × powers grid. Each cell is colored by its
+/// achieved-over-modeled ratio — measured bytes when hardware counters
+/// ran, simulated bytes otherwise.
+fn attribution_grid_svg(case: &crate::runner::AttributionCase) -> String {
+    let k = case.k.max(1);
+    let all_blocks: Vec<u32> = case.report.blocks.iter().map(|b| b.block).collect();
+    let blocks: Vec<u32> = if all_blocks.len() <= HEATMAP_MAX_BLOCKS {
+        all_blocks
+    } else {
+        let mut worst: Vec<u32> =
+            case.report.worst_blocks(HEATMAP_MAX_BLOCKS).iter().map(|b| b.block).collect();
+        worst.sort_unstable();
+        worst
+    };
+    let shown: std::collections::BTreeSet<u32> = blocks.iter().copied().collect();
+    const LABEL_W: f64 = 56.0;
+    const CELL_W: f64 = 72.0;
+    const HEADER_H: f64 = 18.0;
+    let cell_h: f64 = if blocks.len() <= 64 { 10.0 } else { 5.0 };
+    let w = LABEL_W + CELL_W * k as f64 + 1.0;
+    let h = HEADER_H + cell_h * blocks.len() as f64 + 1.0;
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">"
+    );
+    for p in 1..=k {
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"12\" font-size=\"10\" fill=\"#444\" \
+             text-anchor=\"middle\">x^{p}</text>",
+            LABEL_W + CELL_W * (p as f64 - 0.5),
+        ));
+    }
+    for cell in case.report.cells.iter().filter(|c| shown.contains(&c.block)) {
+        let bi = blocks.binary_search(&cell.block).unwrap_or(0);
+        let x = LABEL_W + CELL_W * (cell.power as f64 - 1.0);
+        let y = HEADER_H + cell_h * bi as f64;
+        let achieved = cell.measured_bytes.unwrap_or(cell.simulated_bytes);
+        let ratio = (cell.modeled_bytes > 0).then(|| achieved as f64 / cell.modeled_bytes as f64);
+        svg.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{CELL_W}\" height=\"{cell_h}\" \
+             fill=\"{}\" stroke=\"#ddd\" stroke-width=\"0.3\"/>",
+            ratio_color(ratio),
+        ));
+        // A row label once per block (its first power column).
+        if cell.power == 1 && (cell_h >= 10.0 || bi % 8 == 0) {
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"8\" fill=\"#666\" \
+                 text-anchor=\"end\">b{}</text>",
+                LABEL_W - 4.0,
+                y + cell_h - 1.0,
+                cell.block,
+            ));
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// `repro attribution`: the reconciled byte ledgers as one self-contained
+/// HTML page — a blocks × powers heatmap per matrix, colored by each
+/// cell's achieved-over-modeled byte ratio (measured bytes when hardware
+/// counters ran, cache-simulated bytes otherwise). Inline SVG only — no
+/// scripts, no external fetches — so the page opens identically from a CI
+/// artifact tarball.
+pub fn attribution_heatmap_html(cases: &[crate::runner::AttributionCase]) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>fbmpk traffic attribution</title>\n\
+         <style>body{font-family:sans-serif;margin:2em;max-width:70em}\
+         h2{border-bottom:1px solid #ddd;padding-bottom:.2em}</style>\n</head>\n<body>\n\
+         <h1>fbmpk traffic attribution</h1>\n\
+         <p>Each grid is one matrix: rows are point-to-point schedule blocks, columns the \
+         power each sweep is billed to (§III-B). White = the streaming model is exact; \
+         red = excess traffic (saturating at 3×); green = fewer bytes than modeled; \
+         gray = the model prices the cell at zero.</p>\n",
+    );
+    if cases.is_empty() {
+        html.push_str("<p>No attribution cases — run <code>repro attribution</code>.</p>\n");
+    }
+    for case in cases {
+        let measured = match case.report.measured_total {
+            Some(m) => format!("{:.2} MB measured", m as f64 / 1e6),
+            None => "hardware counters unavailable (simulated ratios shown)".to_string(),
+        };
+        let corr = case
+            .report
+            .excess_cut_correlation()
+            .map(|c| format!("{c:.3}"))
+            .unwrap_or_else(|| "n/a".into());
+        html.push_str(&format!(
+            "<h2>{}</h2>\n<p>{} blocks, k = {}; {:.2} MB modeled, {:.2} MB simulated \
+             (ratio {:.3}); {}; corr(cut edges, excess) = {}.</p>\n",
+            html_escape(&case.name),
+            case.report.blocks.len(),
+            case.k,
+            case.modeled_matrix_bytes as f64 / 1e6,
+            case.sim_dram_total as f64 / 1e6,
+            case.traffic_vs_model,
+            html_escape(&measured),
+            corr,
+        ));
+        if case.report.blocks.len() > HEATMAP_MAX_BLOCKS {
+            html.push_str(&format!(
+                "<p>Showing the {HEATMAP_MAX_BLOCKS} worst blocks of {} by \
+                 traffic-vs-model ratio.</p>\n",
+                case.report.blocks.len()
+            ));
+        }
+        html.push_str(&attribution_grid_svg(case));
+        html.push('\n');
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +726,7 @@ mod tests {
             simd: None,
             blocking: None,
             watchdog_fires: None,
+            traffic_vs_model: None,
         }
     }
 
@@ -717,5 +864,83 @@ mod tests {
         assert_eq!(format_time_s(0.0025), "2.500 ms");
         assert_eq!(format_time_s(2.5e-6), "2.5 µs");
         assert_eq!(format_time_s(f64::NAN), "n/a");
+    }
+
+    fn fab_attribution_case(name: &str, measured: bool) -> crate::runner::AttributionCase {
+        use fbmpk_obs::{AttributionReport, BlockLedger, CellLedger};
+        let k = 2usize;
+        let mut cells = Vec::new();
+        let mut blocks = Vec::new();
+        for b in 0..2u32 {
+            for p in 1..=k as u32 {
+                cells.push(CellLedger {
+                    block: b,
+                    color: b % 2,
+                    power: p,
+                    modeled_bytes: 1000,
+                    simulated_bytes: 1000 + 500 * b as u64,
+                    measured_bytes: measured.then_some(1200),
+                });
+            }
+            blocks.push(BlockLedger {
+                block: b,
+                color: b % 2,
+                rows: 10,
+                cut_edges: 3 * b as u64,
+                modeled_bytes: 2000,
+                simulated_bytes: 2000 + 1000 * b as u64,
+                measured_bytes: measured.then_some(2400),
+            });
+        }
+        crate::runner::AttributionCase {
+            name: name.into(),
+            threads: 2,
+            k,
+            report: AttributionReport::new(cells, blocks),
+            sim_phase_bytes: vec![("forward", 3000), ("backward", 2500)],
+            node_bytes: vec![(0, 5500)],
+            sim_unattributed: 500,
+            sim_dram_total: 6000,
+            measured_unattributed: measured.then_some(100),
+            measured_available: measured,
+            traffic_vs_model: 1.5,
+            t_p2p: 0.01,
+            samples: vec![0.01],
+            options_fp: 7,
+            modeled_matrix_bytes: 4000,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn attribution_heatmap_is_self_contained_and_balanced() {
+        let cases = [fab_attribution_case("m&m", true), fab_attribution_case("plain", false)];
+        let html = attribution_heatmap_html(&cases);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert_eq!(html.matches("<svg").count(), 2, "one grid per case");
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("src="));
+        assert!(!html.contains("href="));
+        // The hostile matrix name is escaped, the plain one is present.
+        assert!(html.contains("m&amp;m") && html.contains("plain"));
+        // The counter-less case states its degradation.
+        assert!(html.contains("hardware counters unavailable"));
+        // Power column headers cover 1..=k.
+        assert!(html.contains("x^1") && html.contains("x^2"));
+        // Empty input still renders a valid page.
+        let empty = attribution_heatmap_html(&[]);
+        assert!(empty.contains("No attribution cases"));
+    }
+
+    #[test]
+    fn ratio_color_maps_extremes() {
+        assert_eq!(ratio_color(None), "#eeeeee");
+        assert_eq!(ratio_color(Some(1.0)), "#ffffff");
+        assert_eq!(ratio_color(Some(0.0)), "#31a354");
+        assert_eq!(ratio_color(Some(3.0)), "#de2d26");
+        // Past saturation clamps rather than overflowing.
+        assert_eq!(ratio_color(Some(30.0)), "#de2d26");
     }
 }

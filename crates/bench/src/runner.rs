@@ -12,9 +12,13 @@ use fbmpk::{
 };
 use fbmpk_gen::suite::SuiteEntry;
 use fbmpk_memsim::{
-    trace_fbmpk, trace_level_blocked, trace_standard_mpk, CacheConfig, TracedLayout,
+    trace_fbmpk, trace_fbmpk_attributed, trace_level_blocked, trace_standard_mpk, CacheConfig,
+    FbmpkTraceAttribution, TracedLayout,
 };
-use fbmpk_obs::{HwSample, HwSession, Registry, TraceBuilder};
+use fbmpk_obs::{
+    AttributionReport, BlockLedger, CellLedger, HwAttributionProbe, HwSample, HwSession,
+    MeasuredLedger, Registry, Span, SpanKind, TraceBuilder,
+};
 use fbmpk_reorder::{
     balance_ratio, cut_edges, multilevel_blocks, Abmc, AbmcParams, BlockingStrategy, Graph,
 };
@@ -1232,6 +1236,353 @@ pub fn profile(
     (rows, trace, registry)
 }
 
+// ----------------------------------------------------------- attribution
+
+/// One matrix's result from the `repro attribution` experiment: the three
+/// reconciled byte ledgers at (block × power) granularity plus the
+/// simulated phase/node splits and the p2p timing that anchors the
+/// perf-database record.
+#[derive(Debug, Clone)]
+pub struct AttributionCase {
+    /// Matrix name (suite entry or `rmat`).
+    pub name: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Power `k` of the attributed run.
+    pub k: usize,
+    /// The merged modeled/simulated/measured ledgers.
+    pub report: AttributionReport,
+    /// Simulated DRAM bytes per sweep phase (including `other` for
+    /// setup traffic and the final flush) — sums exactly to
+    /// [`AttributionCase::sim_dram_total`].
+    pub sim_phase_bytes: Vec<(&'static str, u64)>,
+    /// Simulated DRAM bytes per NUMA node under the pool's first-touch
+    /// placement (`u32::MAX` = outside every registered range).
+    pub node_bytes: Vec<(u32, u64)>,
+    /// Simulated DRAM bytes not attributable to a (block, power) cell.
+    pub sim_unattributed: u64,
+    /// Whole-kernel simulated DRAM bytes.
+    pub sim_dram_total: u64,
+    /// Measured bytes without a block id (flat head/tail stages);
+    /// `None` when hardware counters are unavailable.
+    pub measured_unattributed: Option<u64>,
+    /// Whether `perf_event_open` produced a usable measured ledger.
+    pub measured_available: bool,
+    /// Whole-kernel simulated DRAM over §III-B modeled bytes.
+    pub traffic_vs_model: f64,
+    /// Point-to-point FBMPK seconds at this `k` (geomean).
+    pub t_p2p: f64,
+    /// Raw per-rep seconds (for the perf database).
+    pub samples: Vec<f64>,
+    /// Stable fingerprint of the p2p plan options.
+    pub options_fp: u64,
+    /// §III-B modeled matrix bytes per invocation.
+    pub modeled_matrix_bytes: u64,
+    /// Probed runs produced bit-identical `A^k x0` to the plain kernel —
+    /// must always be `true`.
+    pub identical: bool,
+}
+
+/// Counts, per block, the stored off-diagonal entries (`L` + `U`) whose
+/// column falls outside the block's row range — the partition's cut edges
+/// through each block, the structural covariate of the excess-traffic
+/// correlation.
+pub fn block_cut_edges(split: &TriangularSplit, block_row_start: &[usize]) -> Vec<u64> {
+    let nblocks = block_row_start.len().saturating_sub(1);
+    let mut cut = vec![0u64; nblocks];
+    for (b, c) in cut.iter_mut().enumerate() {
+        let (lo, hi) = (block_row_start[b], block_row_start[b + 1]);
+        for tri in [&split.lower, &split.upper] {
+            let (ptr, col) = (tri.row_ptr(), tri.col_idx());
+            for r in lo..hi {
+                *c += col[ptr[r]..ptr[r + 1]]
+                    .iter()
+                    .filter(|&&j| (j as usize) < lo || (j as usize) >= hi)
+                    .count() as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// The sweep-phase label value a measured [`SpanKind`] maps to — mirrors
+/// [`fbmpk_memsim::SweepPhase::name`] so measured and simulated samples of
+/// the live `fbmpk_block_bytes_total` family share one phase vocabulary.
+fn span_phase_name(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Head => "head",
+        SpanKind::Forward => "forward",
+        SpanKind::Backward => "backward",
+        SpanKind::Tail => "tail",
+        _ => "other",
+    }
+}
+
+/// The live-endpoint source behind `fbmpk_block_bytes_total`: a row set
+/// replaced wholesale per attributed matrix (the family describes the
+/// matrix currently under attribution, not a process-lifetime total).
+type LiveRow = (Vec<(String, String)>, u64);
+
+struct AttributionLiveSource {
+    rows: std::sync::Mutex<Vec<LiveRow>>,
+}
+
+impl fbmpk_obs::live::LiveSource for AttributionLiveSource {
+    fn collect(&self) -> Vec<fbmpk_obs::live::FamilySnapshot> {
+        let rows = self.rows.lock().expect("attribution live rows");
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        vec![fbmpk_obs::live::FamilySnapshot {
+            name: "fbmpk_block_bytes_total".into(),
+            help: "DRAM bytes per block/phase/ledger for the matrix under attribution \
+                   (worst blocks by traffic-vs-model ratio)"
+                .into(),
+            kind: fbmpk_obs::live::MetricKind::Counter,
+            samples: rows
+                .iter()
+                .map(|(labels, v)| fbmpk_obs::live::LiveSample {
+                    labels: labels.clone(),
+                    value: fbmpk_obs::live::SampleValue::Counter(*v),
+                })
+                .collect(),
+        }]
+    }
+}
+
+/// The process-global [`AttributionLiveSource`], registered with the live
+/// registry on first use. The `Arc` lives in the `static` so the weak
+/// registration never goes stale.
+fn attribution_live_source() -> &'static std::sync::Arc<AttributionLiveSource> {
+    use std::sync::{Arc, OnceLock};
+    static SRC: OnceLock<Arc<AttributionLiveSource>> = OnceLock::new();
+    SRC.get_or_init(|| {
+        let src = Arc::new(AttributionLiveSource { rows: std::sync::Mutex::new(Vec::new()) });
+        let as_dyn: Arc<dyn fbmpk_obs::live::LiveSource> = src.clone();
+        fbmpk_obs::live::global().register_source(Arc::downgrade(&as_dyn));
+        src
+    })
+}
+
+/// Number of worst-ratio blocks published on the live endpoint per
+/// matrix — bounds the `fbmpk_block_bytes_total` family (and the `repro
+/// top` drill-down pane) regardless of the plan's block count.
+pub const LIVE_ATTRIBUTION_BLOCKS: usize = 16;
+
+/// Replaces the live `fbmpk_block_bytes_total` rows with this matrix's
+/// worst blocks: modeled bytes under `phase="total"`, simulated and
+/// measured bytes per sweep phase.
+fn publish_block_bytes_live(
+    matrix: &str,
+    report: &AttributionReport,
+    sim_block_phase: &std::collections::BTreeMap<(u32, &'static str), u64>,
+    meas_block_phase: Option<&std::collections::BTreeMap<(u32, &'static str), u64>>,
+) {
+    let label = |block: u32, phase: &str, ledger: &str| {
+        vec![
+            ("matrix".to_string(), matrix.to_string()),
+            ("block".to_string(), block.to_string()),
+            ("phase".to_string(), phase.to_string()),
+            ("ledger".to_string(), ledger.to_string()),
+        ]
+    };
+    let mut rows = Vec::new();
+    for bl in report.worst_blocks(LIVE_ATTRIBUTION_BLOCKS) {
+        rows.push((label(bl.block, "total", "modeled"), bl.modeled_bytes));
+        for (&(b, phase), &v) in sim_block_phase.iter().filter(|((b, _), _)| *b == bl.block) {
+            rows.push((label(b, phase, "simulated"), v));
+        }
+        if let Some(meas) = meas_block_phase {
+            for (&(b, phase), &v) in meas.iter().filter(|((b, _), _)| *b == bl.block) {
+                rows.push((label(b, phase, "measured"), v));
+            }
+        }
+    }
+    *attribution_live_source().rows.lock().expect("attribution live rows") = rows;
+}
+
+/// Runs the traffic-attribution experiment: for each suite matrix (plus
+/// the synthetic `rmat` power-law case the partitioner targets) it builds
+/// the point-to-point plan at `k = 5` and reconciles three byte ledgers at
+/// (block × power) granularity — §III-B modeled bytes, cache-simulated
+/// DRAM bytes, and per-thread hardware-counter estimates sampled at the
+/// block boundaries the kernels already instrument.
+///
+/// The measured ledger degrades gracefully: when `perf_event_open` is
+/// unavailable (containers, CI) it is reported as `None`, one notice goes
+/// to stderr for the whole run, and the modeled/simulated ledgers are
+/// unaffected. Probed runs are verified bit-identical to the plain kernel
+/// before anything is reported.
+pub fn attribution(cfg: &BenchConfig, cases: &[MatrixCase]) -> Vec<AttributionCase> {
+    use std::collections::BTreeMap;
+    let k = 5;
+    // Same irregular extension as `partition`: a symmetric R-MAT
+    // power-law graph whose boundary blocks stress the cut-edge signal.
+    let rmat_scale = ((2_000_000.0 * cfg.scale).max(256.0).log2().round() as u32).clamp(8, 20);
+    let rmat = fbmpk_gen::rmat::rmat(fbmpk_gen::rmat::RmatParams {
+        scale: rmat_scale,
+        edge_factor: 8,
+        symmetric: true,
+        seed: cfg.seed.max(1),
+        ..Default::default()
+    });
+    let named: Vec<(&str, &Csr)> = cases
+        .iter()
+        .map(|c| (c.entry.name, &c.matrix))
+        .chain(std::iter::once(("rmat", &rmat)))
+        .collect();
+    let topo = fbmpk_parallel::NumaTopology::detect();
+    let node_of_share: Vec<u32> =
+        (0..cfg.threads.max(1)).map(|t| topo.node_of_worker(t) as u32).collect();
+    let live = fbmpk_obs::live::enabled();
+    let mut degrade_noted = false;
+    let mut out = Vec::new();
+    for (case_name, a) in named {
+        let n = a.nrows();
+        let x0 = start_vector(n);
+        // Point-to-point only: it is the one schedule whose span stream
+        // carries real block ids, so all three ledgers share a key.
+        let p2p_opts = FbmpkOptions {
+            nthreads: cfg.threads,
+            reorder: Some(abmc_params(n)),
+            layout: VectorLayout::BackToBack,
+            sync: SyncMode::PointToPoint,
+            ..Default::default()
+        };
+        let plan = FbmpkPlan::new(a, p2p_opts).expect("square");
+        let want = plan.power(&x0, k);
+        let starts = plan.block_row_start().to_vec();
+        let colors = plan.block_color();
+        let nblocks = starts.len().saturating_sub(1);
+
+        // Modeled ledger: §III-B bytes decomposed per (power, block).
+        let modeled_pb = plan.modeled_block_power_bytes(k);
+        let modeled_total = plan.modeled_matrix_bytes(k);
+
+        // Simulated ledger: the labeled cache replay, with per-node
+        // classification under the pool's first-touch share protocol.
+        let attr =
+            FbmpkTraceAttribution { block_row_start: &starts, node_of_share: &node_of_share };
+        let labeled = trace_fbmpk_attributed(
+            plan.split(),
+            k,
+            TracedLayout::BackToBack,
+            &[scaled_llc(a.nnz() * 12 + 8 * (n + 1))],
+            &attr,
+        );
+        let mut sim_cells: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut sim_blocks = vec![0u64; nblocks];
+        let mut sim_block_phase: BTreeMap<(u32, &'static str), u64> = BTreeMap::new();
+        let mut sim_phase: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut sim_unattributed = 0u64;
+        for (label, t) in &labeled.labels {
+            let bytes = t.dram_total();
+            *sim_phase.entry(label.phase.name()).or_insert(0) += bytes;
+            if label.block == u32::MAX || label.power == 0 || label.block as usize >= nblocks {
+                sim_unattributed += bytes;
+            } else {
+                *sim_cells.entry((label.block, label.power)).or_insert(0) += bytes;
+                sim_blocks[label.block as usize] += bytes;
+                *sim_block_phase.entry((label.block, label.phase.name())).or_insert(0) += bytes;
+            }
+        }
+
+        // Measured ledger: per-thread counter deltas at block boundaries.
+        // The warmup probed run opens each lane's session (each lane's
+        // first delta only covers work after its open) and is drained
+        // away; the second probed run is the measurement window.
+        let mut probe = HwAttributionProbe::new(cfg.threads.max(1));
+        let y_warm = plan.power_probed(&x0, k, &probe).expect("probed run");
+        probe.drain();
+        let y_probed = plan.power_probed(&x0, k, &probe).expect("probed run");
+        let lanes = probe.drain();
+        let measured_available = probe.available();
+        let identical = y_warm == want && y_probed == want;
+        if !measured_available && !degrade_noted {
+            degrade_noted = true;
+            eprintln!(
+                "attribution: perf_event_open unavailable -- measured ledger disabled \
+                 (modeled + simulated ledgers unaffected)"
+            );
+        }
+        let measured = measured_available.then(|| MeasuredLedger::from_lanes(&lanes, k));
+        let meas_blocks = measured.as_ref().map(MeasuredLedger::block_bytes);
+        let meas_block_phase: Option<BTreeMap<(u32, &'static str), u64>> =
+            measured_available.then(|| {
+                let mut m = BTreeMap::new();
+                for e in lanes.iter().flatten().filter(|e| e.block != Span::NO_ID) {
+                    *m.entry((e.block, span_phase_name(e.kind))).or_insert(0) +=
+                        e.llc_misses * fbmpk_obs::attribution::LINE_BYTES;
+                }
+                m
+            });
+
+        // Merge the ledgers: block-major cells, then per-block rollups
+        // with the structural cut-edge context.
+        let cut = block_cut_edges(plan.split(), &starts);
+        let mut cells = Vec::with_capacity(nblocks * k);
+        for b in 0..nblocks {
+            for p in 1..=k {
+                cells.push(CellLedger {
+                    block: b as u32,
+                    color: colors[b],
+                    power: p as u32,
+                    modeled_bytes: modeled_pb[p - 1][b],
+                    simulated_bytes: sim_cells.get(&(b as u32, p as u32)).copied().unwrap_or(0),
+                    measured_bytes: measured
+                        .as_ref()
+                        .map(|m| m.cells.get(&(b as u32, p as u32)).copied().unwrap_or(0)),
+                });
+            }
+        }
+        let blocks: Vec<BlockLedger> = (0..nblocks)
+            .map(|b| BlockLedger {
+                block: b as u32,
+                color: colors[b],
+                rows: (starts[b + 1] - starts[b]) as u64,
+                cut_edges: cut[b],
+                modeled_bytes: (0..k).map(|p| modeled_pb[p][b]).sum(),
+                simulated_bytes: sim_blocks[b],
+                measured_bytes: meas_blocks
+                    .as_ref()
+                    .map(|m| m.get(&(b as u32)).copied().unwrap_or(0)),
+            })
+            .collect();
+        let report = AttributionReport::new(cells, blocks);
+
+        if live {
+            publish_block_bytes_live(
+                case_name,
+                &report,
+                &sim_block_phase,
+                meas_block_phase.as_ref(),
+            );
+        }
+
+        let t = timed(|| std::hint::black_box(plan.power(&x0, k)).truncate(0), cfg.reps);
+        let sim_dram_total = labeled.report.total();
+        out.push(AttributionCase {
+            name: case_name.to_string(),
+            threads: cfg.threads,
+            k,
+            report,
+            sim_phase_bytes: sim_phase.into_iter().collect(),
+            node_bytes: labeled.nodes.iter().map(|(&nid, nt)| (nid, nt.dram_total())).collect(),
+            sim_unattributed,
+            sim_dram_total,
+            measured_unattributed: measured.as_ref().map(|m| m.unattributed_bytes),
+            measured_available,
+            traffic_vs_model: sim_dram_total as f64 / modeled_total.max(1) as f64,
+            t_p2p: t.geomean,
+            samples: t.samples,
+            options_fp: p2p_opts.config_fingerprint(),
+            modeled_matrix_bytes: modeled_total,
+            identical,
+        });
+    }
+    out
+}
+
 // ----------------------------------------------------------------- model
 
 /// One row of the access-count validation table (§III-B formulas).
@@ -1307,6 +1658,21 @@ mod tests {
         assert!(pa.iter().all(|r| r.identical), "strategy run not bit-identical: {pa:?}");
         assert!(pa.iter().all(|r| r.t_p2p > 0.0 && r.gbs > 0.0 && r.balance >= 1.0));
         assert!(pa.iter().all(|r| (0.0..=1.0).contains(&r.wait_frac)));
+        let at = attribution(&cfg, &cases[..1]);
+        assert_eq!(at.len(), 2, "suite case + rmat");
+        for r in &at {
+            assert!(r.identical, "probed run not bit-identical: {}", r.name);
+            assert!(r.t_p2p > 0.0 && r.traffic_vs_model > 0.0);
+            // Conservation: modeled cells sum exactly to the whole-plan
+            // §III-B bytes; simulated cells + unattributed sum exactly to
+            // the whole-kernel simulated DRAM total.
+            assert_eq!(r.report.modeled_total, r.modeled_matrix_bytes, "{}", r.name);
+            let sim_cells: u64 = r.report.cells.iter().map(|c| c.simulated_bytes).sum();
+            assert_eq!(sim_cells + r.sim_unattributed, r.sim_dram_total, "{}", r.name);
+            let phase_sum: u64 = r.sim_phase_bytes.iter().map(|&(_, v)| v).sum();
+            assert_eq!(phase_sum, r.sim_dram_total, "{}", r.name);
+            assert_eq!(r.measured_available, r.report.measured_total.is_some(), "{}", r.name);
+        }
         let tr = tune(&cfg, &cases);
         assert_eq!(tr.len(), 3);
         assert!(tr.iter().all(|r| r.t_scalar > 0.0 && r.t_tuned > 0.0 && !r.variant.is_empty()));

@@ -10,7 +10,9 @@
 //! * per-plan sweep throughput (invocations/s from counter deltas),
 //! * overall and per-thread wait fractions as bars,
 //! * watchdog arms/fires, barrier fallbacks, fault-injection hits,
-//! * tune-cache hit rate and the top plan phases by accumulated time.
+//! * tune-cache hit rate and the top plan phases by accumulated time,
+//! * the traffic-attribution drill-down: worst blocks of the matrix
+//!   under `repro attribution`, three byte ledgers side by side.
 //!
 //! The renderer is a pure function of two parsed expositions (current
 //! and previous frame), so every layout decision is unit-testable
@@ -195,6 +197,50 @@ pub fn render_frame(
             let _ = writeln!(out, "  {name:<28} {secs:>9.4} {runs:>9.0}");
         }
     }
+
+    // Traffic-attribution drill-down: the worst blocks of the matrix
+    // currently under `repro attribution`, all three byte ledgers side by
+    // side (modeled from §III-B, simulated from the cache replay,
+    // measured from hardware counters when available).
+    let attr = p.samples_of("fbmpk_block_bytes_total");
+    if !attr.is_empty() {
+        let mut per_block: std::collections::BTreeMap<(String, String), (f64, f64, Option<f64>)> =
+            std::collections::BTreeMap::new();
+        for s in &attr {
+            let lab = |k: &str| s.labels.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+            let (Some(matrix), Some(block), Some(ledger)) =
+                (lab("matrix"), lab("block"), lab("ledger"))
+            else {
+                continue;
+            };
+            let e = per_block.entry((matrix, block)).or_insert((0.0, 0.0, None));
+            match ledger.as_str() {
+                "modeled" => e.0 += s.value,
+                "simulated" => e.1 += s.value,
+                "measured" => *e.2.get_or_insert(0.0) += s.value,
+                _ => {}
+            }
+        }
+        let mut rows: Vec<(String, String, f64, f64, Option<f64>, f64)> = per_block
+            .into_iter()
+            .map(|((matrix, block), (m, sim, meas))| {
+                let achieved = meas.unwrap_or(sim);
+                let ratio = if m > 0.0 { achieved / m } else { 0.0 };
+                (matrix, block, m, sim, meas, ratio)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.5.total_cmp(&a.5));
+        let _ = writeln!(out, "\nattribution — worst blocks (bytes vs model)");
+        for (matrix, block, m, sim, meas, ratio) in rows.iter().take(8) {
+            let meas_str = meas.map(|v| format!("{v:>9.0}")).unwrap_or_else(|| "        –".into());
+            let _ = writeln!(
+                out,
+                "  {matrix:<12} b{block:<5} model {m:>9.0}  sim {sim:>9.0}  meas {meas_str}  \
+                 {} {ratio:4.2}x",
+                bar(ratio / 3.0, 12),
+            );
+        }
+    }
     out
 }
 
@@ -318,7 +364,15 @@ fbmpk_tune_cache_misses_total 1\n\
 fbmpk_phase_seconds_total{phase=\"tune.inspect\"} 0.25\n\
 # HELP fbmpk_phase_runs_total h\n\
 # TYPE fbmpk_phase_runs_total counter\n\
-fbmpk_phase_runs_total{phase=\"tune.inspect\"} 7\n";
+fbmpk_phase_runs_total{phase=\"tune.inspect\"} 7\n\
+# HELP fbmpk_block_bytes_total h\n\
+# TYPE fbmpk_block_bytes_total counter\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"3\",phase=\"total\",ledger=\"modeled\"} 1000\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"3\",phase=\"forward\",ledger=\"simulated\"} 1500\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"3\",phase=\"backward\",ledger=\"simulated\"} 500\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"3\",phase=\"forward\",ledger=\"measured\"} 3000\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"7\",phase=\"total\",ledger=\"modeled\"} 1000\n\
+fbmpk_block_bytes_total{matrix=\"rmat\",block=\"7\",phase=\"forward\",ledger=\"simulated\"} 1000\n";
         let cur = expo::parse(text).expect("fixture parses");
         let frame = render_frame(&cur, None, None, "test");
         assert!(frame.contains("50.0%"), "roofline fraction:\n{frame}");
@@ -327,6 +381,15 @@ fbmpk_phase_runs_total{phase=\"tune.inspect\"} 7\n";
         assert!(frame.contains("2 fired"), "{frame}");
         assert!(frame.contains("75% hit rate"), "{frame}");
         assert!(frame.contains("tune.inspect"), "{frame}");
+        // Attribution drill-down: block 3's measured/modeled ratio (3.00x)
+        // ranks it above block 7 (sim-only, 1.00x with a "–" measured cell).
+        assert!(frame.contains("attribution — worst blocks"), "{frame}");
+        let b3 = frame.find("b3").expect("block 3 shown");
+        let b7 = frame.find("b7").expect("block 7 shown");
+        assert!(b3 < b7, "worst ratio first:\n{frame}");
+        assert!(frame.contains("3.00x"), "{frame}");
+        assert!(frame.contains("1.00x"), "{frame}");
+        assert!(frame.contains("–"), "missing measured ledger renders a dash:\n{frame}");
         // First frame has no rate; a second frame 10 sweeps later at
         // dt = 2 s shows 5.00/s.
         let next_text = text.replace(

@@ -73,6 +73,7 @@ fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
         simd: None,
         blocking: None,
         watchdog_fires: None,
+        traffic_vs_model: None,
     };
     RunRecord::new(&fab_ctx(rev), spec, &samples).unwrap()
 }

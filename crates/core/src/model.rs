@@ -121,6 +121,125 @@ pub fn ideal_ratio(k: usize) -> f64 {
     (k + 1) as f64 / (2 * k) as f64
 }
 
+/// Structural inputs of one contiguous row block — the per-block slice of
+/// [`MatrixShape`] the attribution ledgers decompose §III-B over.
+///
+/// Row-pointer bytes are apportioned one 8-byte entry per row, with the
+/// single extra `(n+1)`-th entry carried by the block whose `ptr_tail`
+/// flag is set (the last one), so per-block sums reproduce the
+/// whole-matrix `8(n+1)` term exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Rows in the block.
+    pub rows: usize,
+    /// Stored entries of the strict lower triangle in these rows.
+    pub nnz_lower: usize,
+    /// Stored entries of the strict upper triangle in these rows.
+    pub nnz_upper: usize,
+    /// Whether this block carries the extra row-pointer entry.
+    pub ptr_tail: bool,
+}
+
+impl BlockShape {
+    /// Bytes of one traversal of this block's slice of `L` **plus** its
+    /// share of the diagonal (the diagonal rides along with every forward
+    /// and tail sweep, exactly as in
+    /// [`TrafficModel::evaluate`]).
+    pub fn lower_stage_bytes(&self) -> u64 {
+        (self.nnz_lower * (VAL_BYTES + IDX_BYTES)
+            + self.rows * PTR_BYTES
+            + usize::from(self.ptr_tail) * PTR_BYTES
+            + self.rows * VAL_BYTES) as u64
+    }
+
+    /// Bytes of one traversal of this block's slice of `U` (head and
+    /// backward sweeps touch no diagonal).
+    pub fn upper_stage_bytes(&self) -> u64 {
+        (self.nnz_upper * (VAL_BYTES + IDX_BYTES)
+            + self.rows * PTR_BYTES
+            + usize::from(self.ptr_tail) * PTR_BYTES) as u64
+    }
+}
+
+/// Slices a triangular split into per-block shapes along the schedule's
+/// `block_row_start` boundaries (`block_row_start[b]..block_row_start[b+1]`
+/// is block `b`; the vector must start at 0, end at `n`, and be monotone).
+///
+/// # Panics
+/// Panics when `block_row_start` is not a monotone cover of `0..n`.
+pub fn block_shapes(
+    split: &fbmpk_sparse::TriangularSplit,
+    block_row_start: &[usize],
+) -> Vec<BlockShape> {
+    let n = split.n();
+    assert!(block_row_start.len() >= 2, "need at least one block");
+    assert_eq!(*block_row_start.first().expect("nonempty"), 0);
+    assert_eq!(*block_row_start.last().expect("nonempty"), n);
+    assert!(block_row_start.windows(2).all(|w| w[0] <= w[1]), "block starts must be monotone");
+    let l_ptr = split.lower.row_ptr();
+    let u_ptr = split.upper.row_ptr();
+    let nblocks = block_row_start.len() - 1;
+    (0..nblocks)
+        .map(|b| {
+            let (r0, r1) = (block_row_start[b], block_row_start[b + 1]);
+            BlockShape {
+                rows: r1 - r0,
+                nnz_lower: l_ptr[r1] - l_ptr[r0],
+                nnz_upper: u_ptr[r1] - u_ptr[r0],
+                ptr_tail: b == nblocks - 1,
+            }
+        })
+        .collect()
+}
+
+/// Modeled FBMPK matrix bytes per (power, block): `out[p - 1][b]` is the
+/// §III-B streaming cost block `b` contributes while the pipeline
+/// completes power `p`. The head read of `U` is billed to power 1 (it is
+/// power 1's preparatory traversal); forward sweeps of round `p` bill to
+/// power `2p+1`, backward sweeps to `2p+2`, and the odd-`k` tail to `k`.
+/// Summing over every cell reproduces the whole-matrix
+/// `TrafficModel::fbmpk_matrix_bytes` (and `FbmpkPlan::modeled_matrix_bytes`)
+/// exactly — the modeled ledger's conservation invariant.
+pub fn fbmpk_block_power_matrix_bytes(blocks: &[BlockShape], k: usize) -> Vec<Vec<u64>> {
+    assert!(k >= 1);
+    let nblocks = blocks.len();
+    let mut out = vec![vec![0u64; nblocks]; k];
+    let add_lower = |power: usize, out: &mut Vec<Vec<u64>>| {
+        for (b, s) in blocks.iter().enumerate() {
+            out[power - 1][b] += s.lower_stage_bytes();
+        }
+    };
+    let add_upper = |power: usize, out: &mut Vec<Vec<u64>>| {
+        for (b, s) in blocks.iter().enumerate() {
+            out[power - 1][b] += s.upper_stage_bytes();
+        }
+    };
+    // Head: one U traversal, billed to power 1.
+    add_upper(1, &mut out);
+    for p in 0..k / 2 {
+        add_lower(2 * p + 1, &mut out); // forward completes x_{2p+1}
+        add_upper(2 * p + 2, &mut out); // backward completes x_{2p+2}
+    }
+    if k % 2 == 1 {
+        add_lower(k, &mut out); // tail completes x_k
+    }
+    out
+}
+
+/// Modeled FBMPK matrix bytes per block, aggregated over every power —
+/// the column sums of [`fbmpk_block_power_matrix_bytes`]. Sums to the
+/// whole-matrix model exactly.
+pub fn fbmpk_block_matrix_bytes(blocks: &[BlockShape], k: usize) -> Vec<u64> {
+    let per_power = fbmpk_block_power_matrix_bytes(blocks, k);
+    let mut out = vec![0u64; blocks.len()];
+    for row in &per_power {
+        for (acc, v) in out.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +294,29 @@ mod tests {
         let rs = TrafficModel::evaluate(&sparse, k).total_ratio();
         assert!(rs > rd, "sparse {rs} should exceed dense {rd}");
         assert!(rd > ideal_ratio(k), "total ratio must sit above the matrix-only ideal");
+    }
+
+    #[test]
+    fn block_bytes_sum_to_whole_matrix_model_exactly() {
+        // Conservation invariant of the modeled ledger: for any blocking
+        // and any k, per-(power, block) bytes sum to the §III-B
+        // whole-matrix figure exactly (no rounding slack).
+        let a = fbmpk_gen::poisson::grid2d_5pt(9, 9); // n = 81
+        let split = fbmpk_sparse::TriangularSplit::split(&a).expect("square");
+        let shape = MatrixShape::of(&a);
+        let n = split.n();
+        for starts in [vec![0, n], vec![0, 10, 11, 40, n], vec![0, 1, 2, 3, n]] {
+            let blocks = block_shapes(&split, &starts);
+            for k in 1..=9 {
+                let whole = TrafficModel::evaluate(&shape, k).fbmpk_matrix_bytes as u64;
+                let per_power = fbmpk_block_power_matrix_bytes(&blocks, k);
+                assert_eq!(per_power.len(), k);
+                let cell_sum: u64 = per_power.iter().flatten().sum();
+                assert_eq!(cell_sum, whole, "starts={starts:?} k={k}");
+                let per_block_sum: u64 = fbmpk_block_matrix_bytes(&blocks, k).iter().sum();
+                assert_eq!(per_block_sum, whole, "starts={starts:?} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -369,10 +369,21 @@ impl FbmpkPlan {
         };
         let fallbacks = Arc::new(AtomicU64::new(0));
         let telemetry = if metrics_on || fbmpk_obs::live::enabled() {
+            // Placement ground truth for the PR 7 first-touch claim: where
+            // did the pages of the kernel arrays actually land? Only
+            // queried when first touch ran (otherwise placement is
+            // whatever the allocating thread's node was) and only at plan
+            // build — it is a property of the allocations, not of runs.
+            let numa_placement = if options.numa_first_touch && options.nthreads > 1 {
+                collect_numa_placement(&pool, &split, n)
+            } else {
+                Vec::new()
+            };
             Some(crate::telemetry::PlanTelemetry::register(
                 options.nthreads,
                 recorder.clone(),
                 Arc::clone(&fallbacks),
+                numa_placement,
             ))
         } else {
             None
@@ -487,6 +498,68 @@ impl FbmpkPlan {
         let l_bytes = tri_bytes(self.split.lower.nnz() as u64) + 8 * n;
         let u_bytes = tri_bytes(self.split.upper.nnz() as u64);
         l_reads as u64 * l_bytes + u_reads as u64 * u_bytes
+    }
+
+    /// The schedule's block row boundaries: block `b` covers permuted
+    /// rows `block_row_start()[b]..block_row_start()[b + 1]`.
+    pub fn block_row_start(&self) -> &[usize] {
+        &self.schedule.block_row_start
+    }
+
+    /// The color each global block executes under ([`Span::NO_ID`] never
+    /// appears: every block belongs to exactly one color).
+    pub fn block_color(&self) -> Vec<u32> {
+        let mut colors = vec![Span::NO_ID; self.schedule.nblocks()];
+        for (c, threads) in self.schedule.blocks.iter().enumerate() {
+            for range in threads {
+                for b in range.clone() {
+                    colors[b] = c as u32;
+                }
+            }
+        }
+        colors
+    }
+
+    /// Per-block shapes of this plan's split along the schedule's block
+    /// boundaries — the modeled ledger's decomposition inputs.
+    pub fn block_shapes(&self) -> Vec<crate::model::BlockShape> {
+        crate::model::block_shapes(&self.split, &self.schedule.block_row_start)
+    }
+
+    /// [`Self::modeled_matrix_bytes`] decomposed per block; sums back to
+    /// the whole-matrix figure exactly.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn modeled_block_bytes(&self, k: usize) -> Vec<u64> {
+        crate::model::fbmpk_block_matrix_bytes(&self.block_shapes(), k)
+    }
+
+    /// [`Self::modeled_matrix_bytes`] decomposed per (power, block):
+    /// `out[p - 1][b]` — see
+    /// [`crate::model::fbmpk_block_power_matrix_bytes`] for the phase →
+    /// power billing. Sums back to the whole-matrix figure exactly.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn modeled_block_power_bytes(&self, k: usize) -> Vec<Vec<u64>> {
+        crate::model::fbmpk_block_power_matrix_bytes(&self.block_shapes(), k)
+    }
+
+    /// [`Self::try_power`] with a caller-supplied [`Probe`] threaded into
+    /// the sweeps — the hook the measured attribution ledger uses to
+    /// sample hardware counters at block boundaries. The plan's own
+    /// recorder (if any) is bypassed for this invocation; fallback and
+    /// permutation semantics match [`Self::try_power`].
+    pub fn power_probed<P: Probe>(&self, x0: &[f64], k: usize, probe: &P) -> Result<Vec<f64>> {
+        assert_eq!(x0.len(), self.n, "x0 length mismatch");
+        if k == 0 {
+            return Ok(x0.to_vec());
+        }
+        let xp = self.permute_in(x0);
+        let result =
+            self.with_fallback(|sync| self.execute_probed(&xp, k, &NullSink, sync, probe))?;
+        Ok(self.permute_out(result))
     }
 
     /// The synchronization context the kernels run under.
@@ -879,6 +952,35 @@ fn first_touch_split(pool: &Arc<ThreadPool>, split: TriangularSplit) -> Triangul
         diag: first_touch_copy(pool, &split.diag),
         upper: ft_csr(&split.upper),
     }
+}
+
+/// Queries where the first-touched kernel arrays actually landed
+/// (pages per NUMA node, via `move_pages`): the triangle CSR arrays and
+/// diagonal of the live split, plus a representative `xy` iterate buffer
+/// allocated through the same first-touch protocol [`FbmpkPlan::power`]
+/// uses. Arrays whose placement cannot be queried are omitted.
+fn collect_numa_placement(
+    pool: &Arc<ThreadPool>,
+    split: &TriangularSplit,
+    n: usize,
+) -> crate::telemetry::NumaPlacement {
+    use fbmpk_parallel::numa::slice_pages_per_node;
+    let mut out: crate::telemetry::NumaPlacement = Vec::new();
+    let mut add = |name: &str, placement: Option<fbmpk_parallel::numa::PagesPerNode>| {
+        if let Some(p) = placement {
+            if !p.is_empty() {
+                out.push((name.to_string(), p));
+            }
+        }
+    };
+    add("lower", slice_pages_per_node(split.lower.values()));
+    add("upper", slice_pages_per_node(split.upper.values()));
+    add("diag", slice_pages_per_node(&split.diag));
+    // The iterate pair is allocated per invocation; sample one allocated
+    // the same way (pool workers zero disjoint shares) and drop it.
+    let xy = first_touch_zeroed(pool, 2 * n);
+    add("xy", slice_pages_per_node(&xy));
+    out
 }
 
 #[cfg(test)]

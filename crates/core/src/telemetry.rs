@@ -76,6 +76,11 @@ impl SweepStats {
     }
 }
 
+/// One array's first-touch placement outcome for the
+/// `fbmpk_numa_pages` gauge family: array name and `(node, pages)`
+/// pairs from `move_pages(2)`.
+pub type NumaPlacement = Vec<(String, fbmpk_parallel::numa::PagesPerNode)>;
+
 /// Per-plan scrape-time collector (see the module docs). Held as an
 /// `Arc` by the plan and as a `Weak` by the live registry.
 pub struct PlanTelemetry {
@@ -85,6 +90,10 @@ pub struct PlanTelemetry {
     recorder: Option<Arc<Recorder>>,
     fallbacks: Arc<AtomicU64>,
     sweeps: SweepStats,
+    /// First-touch placement snapshot taken at plan build (empty when
+    /// placement was not queried — single node, no first touch, or
+    /// `move_pages` unavailable).
+    numa_placement: NumaPlacement,
 }
 
 impl PlanTelemetry {
@@ -93,6 +102,7 @@ impl PlanTelemetry {
         nthreads: usize,
         recorder: Option<Arc<Recorder>>,
         fallbacks: Arc<AtomicU64>,
+        numa_placement: NumaPlacement,
     ) -> Arc<PlanTelemetry> {
         static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         let tele = Arc::new(PlanTelemetry {
@@ -101,6 +111,7 @@ impl PlanTelemetry {
             recorder,
             fallbacks,
             sweeps: SweepStats::default(),
+            numa_placement,
         });
         let dyn_arc: Arc<dyn LiveSource> = Arc::clone(&tele) as Arc<dyn LiveSource>;
         live::global().register_source(Arc::downgrade(&dyn_arc));
@@ -216,9 +227,32 @@ impl LiveSource for PlanTelemetry {
             fams.push(counter_family(
                 "fbmpk_spans_dropped_total",
                 "Spans dropped by full recorder lanes",
-                vec![plan],
+                vec![plan.clone()],
                 rec.total_dropped(),
             ));
+        }
+        if !self.numa_placement.is_empty() {
+            let mut samples = Vec::new();
+            for (array, placement) in &self.numa_placement {
+                for &(node, pages) in placement {
+                    samples.push(LiveSample {
+                        labels: vec![
+                            plan.clone(),
+                            ("array".to_string(), array.clone()),
+                            ("node".to_string(), node.to_string()),
+                        ],
+                        value: SampleValue::Gauge(pages as f64),
+                    });
+                }
+            }
+            fams.push(FamilySnapshot {
+                name: "fbmpk_numa_pages".to_string(),
+                help: "First-touch page placement outcome per array and NUMA node \
+                       (move_pages query)"
+                    .to_string(),
+                kind: MetricKind::Gauge,
+                samples,
+            });
         }
         fams
     }
@@ -313,15 +347,35 @@ mod tests {
     #[test]
     fn plan_telemetry_collects_core_families() {
         let fallbacks = Arc::new(AtomicU64::new(3));
-        let tele = PlanTelemetry::register(2, None, Arc::clone(&fallbacks));
+        let tele = PlanTelemetry::register(2, None, Arc::clone(&fallbacks), Vec::new());
         tele.sweeps().record(100, 50);
         let fams = tele.collect();
         let names: Vec<&str> = fams.iter().map(|f| f.name.as_str()).collect();
         assert!(names.contains(&"fbmpk_sweep_invocations_total"));
         assert!(names.contains(&"fbmpk_achieved_gbs"));
         assert!(names.contains(&"fbmpk_fallbacks_total"));
+        assert!(!names.contains(&"fbmpk_numa_pages"), "no placement snapshot was supplied");
         let fb = fams.iter().find(|f| f.name == "fbmpk_fallbacks_total").unwrap();
         assert_eq!(fb.samples[0].value, SampleValue::Counter(3));
+    }
+
+    #[test]
+    fn numa_placement_surfaces_as_labeled_gauges() {
+        let placement: NumaPlacement =
+            vec![("xy".to_string(), vec![(0, 12), (1, 13)]), ("lower".to_string(), vec![(0, 7)])];
+        let tele = PlanTelemetry::register(1, None, Arc::new(AtomicU64::new(0)), placement);
+        let fams = tele.collect();
+        let numa = fams.iter().find(|f| f.name == "fbmpk_numa_pages").expect("gauge family");
+        assert_eq!(numa.samples.len(), 3);
+        let sample = numa
+            .samples
+            .iter()
+            .find(|s| {
+                s.labels.iter().any(|(k, v)| k == "array" && v == "xy")
+                    && s.labels.iter().any(|(k, v)| k == "node" && v == "1")
+            })
+            .expect("xy/node1 sample");
+        assert_eq!(sample.value, SampleValue::Gauge(13.0));
     }
 
     #[test]

@@ -54,12 +54,133 @@ impl TrafficReport {
     }
 }
 
+/// The sweep phase an access executes under — one axis of the simulated
+/// attribution ledger's label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SweepPhase {
+    /// Outside any labeled phase (setup traffic, or the final flush).
+    #[default]
+    Other,
+    /// The head sweep (`tmp = U·x₀`).
+    Head,
+    /// A forward sweep over `L` + diagonal.
+    Forward,
+    /// A backward sweep over `U`.
+    Backward,
+    /// The odd-`k` tail sweep over `L` + diagonal.
+    Tail,
+}
+
+impl SweepPhase {
+    /// Stable lowercase name (CSV / metric label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepPhase::Other => "other",
+            SweepPhase::Head => "head",
+            SweepPhase::Forward => "forward",
+            SweepPhase::Backward => "backward",
+            SweepPhase::Tail => "tail",
+        }
+    }
+}
+
+/// The (block × power × phase) label the replay stamps on each access.
+/// [`AccessLabel::UNLABELED`] (the default) buckets traffic issued before
+/// any label was set and the final flush, so per-label sums always equal
+/// the whole-run totals exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccessLabel {
+    /// Global block id (`u32::MAX` when unlabeled).
+    pub block: u32,
+    /// The power `x_p` this traversal is billed to (1-based; 0 when
+    /// unlabeled).
+    pub power: u32,
+    /// The sweep phase.
+    pub phase: SweepPhase,
+}
+
+impl AccessLabel {
+    /// The catch-all bucket for unlabeled traffic and the final flush.
+    pub const UNLABELED: AccessLabel =
+        AccessLabel { block: u32::MAX, power: 0, phase: SweepPhase::Other };
+}
+
+impl Default for AccessLabel {
+    fn default() -> Self {
+        AccessLabel::UNLABELED
+    }
+}
+
+/// Per-label tallies of the simulated ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelTraffic {
+    /// Demand line accesses issued under this label.
+    pub accesses: u64,
+    /// Demand accesses served without reaching DRAM.
+    pub hits: u64,
+    /// Demand accesses that fetched from DRAM.
+    pub misses: u64,
+    /// DRAM bytes read under this label (demand fills + write-allocates).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written under this label (writebacks + final flush).
+    pub dram_write_bytes: u64,
+}
+
+impl LabelTraffic {
+    /// Total DRAM bytes moved under this label.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Per-NUMA-node DRAM tallies (addresses classified against the ranges
+/// registered with [`Hierarchy::register_node_range`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// DRAM bytes read from addresses on this node.
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written to addresses on this node.
+    pub dram_write_bytes: u64,
+}
+
+impl NodeTraffic {
+    /// Total DRAM bytes moved on this node.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Node id used for DRAM traffic outside every registered node range.
+pub const NODE_UNKNOWN: u32 = u32::MAX;
+
+/// A [`TrafficReport`] plus its per-label and per-node decompositions.
+/// Both maps sum exactly to the report's DRAM totals (the unlabeled /
+/// unknown buckets absorb whatever the replay did not stamp).
+#[derive(Debug, Clone, Default)]
+pub struct LabeledReport {
+    /// The whole-run totals, identical to what [`Hierarchy::finish`]
+    /// returns.
+    pub report: TrafficReport,
+    /// DRAM traffic per (block, power, phase) label, deterministic order.
+    pub labels: std::collections::BTreeMap<AccessLabel, LabelTraffic>,
+    /// DRAM traffic per NUMA node.
+    pub nodes: std::collections::BTreeMap<u32, NodeTraffic>,
+}
+
 /// A stack of cache levels in front of DRAM.
 pub struct Hierarchy {
     levels: Vec<Cache>,
     report: TrafficReport,
     /// Sorted, disjoint `(base, end, class)` ranges for attribution.
     regions: Vec<(u64, u64, TrafficClass)>,
+    /// The label stamped on traffic until the next [`Self::set_label`].
+    label: AccessLabel,
+    /// Per-label DRAM tallies (BTreeMap for deterministic reports).
+    label_traffic: std::collections::BTreeMap<AccessLabel, LabelTraffic>,
+    /// Sorted `(base, end, node)` ranges for per-node attribution.
+    node_ranges: Vec<(u64, u64, u32)>,
+    /// Per-node DRAM tallies.
+    node_traffic: std::collections::BTreeMap<u32, NodeTraffic>,
 }
 
 impl Hierarchy {
@@ -74,7 +195,63 @@ impl Hierarchy {
             levels: configs.iter().map(|&c| Cache::new(c)).collect(),
             report: TrafficReport::default(),
             regions: Vec::new(),
+            label: AccessLabel::UNLABELED,
+            label_traffic: std::collections::BTreeMap::new(),
+            node_ranges: Vec::new(),
+            node_traffic: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Sets the label stamped on all subsequent traffic (until changed).
+    pub fn set_label(&mut self, label: AccessLabel) {
+        self.label = label;
+    }
+
+    /// Registers an address range as resident on NUMA node `node` for the
+    /// per-node DRAM split. Ranges must not overlap previously registered
+    /// ones; unmatched addresses tally under [`NODE_UNKNOWN`].
+    pub fn register_node_range(&mut self, base: u64, bytes: u64, node: u32) {
+        let end = base + bytes;
+        debug_assert!(
+            self.node_ranges.iter().all(|&(b, e, _)| end <= b || e <= base),
+            "overlapping node ranges"
+        );
+        self.node_ranges.push((base, end, node));
+        self.node_ranges.sort_unstable_by_key(|&(b, _, _)| b);
+    }
+
+    /// Classifies an address against the registered node ranges.
+    fn classify_node(&self, addr: u64) -> u32 {
+        let idx = self.node_ranges.partition_point(|&(b, _, _)| b <= addr);
+        if idx == 0 {
+            return NODE_UNKNOWN;
+        }
+        let (b, e, node) = self.node_ranges[idx - 1];
+        if addr >= b && addr < e {
+            node
+        } else {
+            NODE_UNKNOWN
+        }
+    }
+
+    /// Books a DRAM read of `bytes` at `line_addr` into every ledger
+    /// dimension (totals, class, label, node).
+    fn dram_read(&mut self, line_addr: u64, bytes: u64) {
+        self.report.dram_read_bytes += bytes;
+        self.attribute(line_addr, bytes);
+        self.label_traffic.entry(self.label).or_default().dram_read_bytes += bytes;
+        let node = self.classify_node(line_addr);
+        self.node_traffic.entry(node).or_default().dram_read_bytes += bytes;
+    }
+
+    /// Books a DRAM write of `bytes` at `line_addr` into every ledger
+    /// dimension.
+    fn dram_write(&mut self, line_addr: u64, bytes: u64) {
+        self.report.dram_write_bytes += bytes;
+        self.attribute(line_addr, bytes);
+        self.label_traffic.entry(self.label).or_default().dram_write_bytes += bytes;
+        let node = self.classify_node(line_addr);
+        self.node_traffic.entry(node).or_default().dram_write_bytes += bytes;
     }
 
     /// Registers an address range for traffic attribution. Ranges must not
@@ -144,6 +321,7 @@ impl Hierarchy {
         let nlevels = self.levels.len();
         let mut pending_writebacks: Vec<(usize, u64)> = Vec::new();
         let mut level = 0;
+        let mut reached_dram = false;
         loop {
             // Write-back: the store dirties only the outermost level; the
             // copies filled into deeper levels stay clean until an inner
@@ -158,19 +336,27 @@ impl Hierarchy {
             if level + 1 == nlevels {
                 // Last-level miss: fetch from DRAM.
                 let lb = self.levels[level].config().line_bytes as u64;
-                self.report.dram_read_bytes += lb;
-                self.attribute(line_addr, lb);
+                self.dram_read(line_addr, lb);
+                reached_dram = true;
                 break;
             }
             level += 1;
+        }
+        // The demand access counts as one hit-or-miss event under the
+        // current label; writeback propagation below is side traffic.
+        let tally = self.label_traffic.entry(self.label).or_default();
+        tally.accesses += 1;
+        if reached_dram {
+            tally.misses += 1;
+        } else {
+            tally.hits += 1;
         }
         // Propagate dirty victims: a writeback from level i is a write
         // access at level i+1; from the last level it is a DRAM write.
         while let Some((lvl, victim)) = pending_writebacks.pop() {
             if lvl + 1 == nlevels {
                 let lb = self.levels[lvl].config().line_bytes as u64;
-                self.report.dram_write_bytes += lb;
-                self.attribute(victim, lb);
+                self.dram_write(victim, lb);
             } else {
                 let out = self.levels[lvl + 1].access(victim, true);
                 if let Some(v2) = out.writeback {
@@ -179,8 +365,7 @@ impl Hierarchy {
                 if out.miss && lvl + 2 == nlevels {
                     // Write-allocate fill for the victim at the last level.
                     let lb = self.levels[lvl + 1].config().line_bytes as u64;
-                    self.report.dram_read_bytes += lb;
-                    self.attribute(victim, lb);
+                    self.dram_read(victim, lb);
                 }
             }
         }
@@ -188,12 +373,21 @@ impl Hierarchy {
 
     /// Flushes all levels (inner dirty lines count as DRAM writes through
     /// the last level) and returns the final report.
-    pub fn finish(mut self) -> TrafficReport {
+    pub fn finish(self) -> TrafficReport {
+        self.finish_labeled().report
+    }
+
+    /// Like [`Self::finish`], but also returns the per-label and per-node
+    /// decompositions. Flush writes tally under
+    /// [`AccessLabel::UNLABELED`], so the label sums equal the report's
+    /// DRAM totals exactly.
+    pub fn finish_labeled(mut self) -> LabeledReport {
         // Dirty data can reside at any level; at finish we attribute every
         // distinct dirty line one DRAM write. Flushing outer levels into
         // the next level would double-count lines dirty in both, so we
         // simply count each level's resident dirty lines: disciplined
         // kernels write each output line at one level anyway.
+        self.label = AccessLabel::UNLABELED;
         let nlevels = self.levels.len();
         // Count each distinct dirty line once: a line dirty in several
         // levels still costs a single eventual DRAM writeback.
@@ -202,12 +396,11 @@ impl Hierarchy {
             let lb = self.levels[i].config().line_bytes as u64;
             for line in self.levels[i].flush_lines() {
                 if seen.insert(line) {
-                    self.report.dram_write_bytes += lb;
-                    self.attribute(line, lb);
+                    self.dram_write(line, lb);
                 }
             }
         }
-        self.report
+        LabeledReport { report: self.report, labels: self.label_traffic, nodes: self.node_traffic }
     }
 
     /// The running report (before final flush).
@@ -302,5 +495,61 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_hierarchy_rejected() {
         Hierarchy::new(&[]);
+    }
+
+    #[test]
+    fn label_and_node_sums_conserve_dram_totals_exactly() {
+        let mut h = small_llc();
+        h.register_node_range(0, 2048, 0);
+        h.register_node_range(2048, 2048, 1);
+        // Interleave labeled phases, writes, and unlabeled setup traffic.
+        for i in 0..32 {
+            h.access(i * 8, 8, false); // unlabeled
+        }
+        h.set_label(AccessLabel { block: 0, power: 1, phase: SweepPhase::Head });
+        for i in 0..256 {
+            h.access(i * 8, 8, false);
+        }
+        h.set_label(AccessLabel { block: 1, power: 1, phase: SweepPhase::Forward });
+        for i in 256..512 {
+            h.access(i * 8, 8, true);
+        }
+        let lr = h.finish_labeled();
+        let label_read: u64 = lr.labels.values().map(|t| t.dram_read_bytes).sum();
+        let label_write: u64 = lr.labels.values().map(|t| t.dram_write_bytes).sum();
+        assert_eq!(label_read, lr.report.dram_read_bytes);
+        assert_eq!(label_write, lr.report.dram_write_bytes);
+        let node_read: u64 = lr.nodes.values().map(|t| t.dram_read_bytes).sum();
+        let node_write: u64 = lr.nodes.values().map(|t| t.dram_write_bytes).sum();
+        assert_eq!(node_read, lr.report.dram_read_bytes);
+        assert_eq!(node_write, lr.report.dram_write_bytes);
+        // The flush bucket exists (dirty lines from the write phase).
+        assert!(lr.labels[&AccessLabel::UNLABELED].dram_write_bytes > 0);
+        // Hit/miss partition the demand accesses per label.
+        for t in lr.labels.values() {
+            assert_eq!(t.hits + t.misses, t.accesses);
+        }
+        // Both nodes saw traffic and nothing fell in the unknown bucket.
+        assert!(lr.nodes[&0].dram_total() > 0);
+        assert!(lr.nodes[&1].dram_total() > 0);
+        assert!(!lr.nodes.contains_key(&NODE_UNKNOWN));
+    }
+
+    #[test]
+    fn labeling_does_not_change_totals() {
+        let run = |labeled: bool| {
+            let mut h = small_llc();
+            if labeled {
+                h.set_label(AccessLabel { block: 3, power: 2, phase: SweepPhase::Backward });
+                h.register_node_range(0, 4096, 0);
+            }
+            for _ in 0..3 {
+                for i in 0..512 {
+                    h.access(i * 8, 8, i % 7 == 0);
+                }
+            }
+            h.finish()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

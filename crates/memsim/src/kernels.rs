@@ -11,7 +11,9 @@
 #![allow(clippy::needless_range_loop)] // replay loops index several parallel arrays by j/r
 
 use crate::cache::CacheConfig;
-use crate::hierarchy::{Hierarchy, TrafficClass, TrafficReport};
+use crate::hierarchy::{
+    AccessLabel, Hierarchy, LabeledReport, SweepPhase, TrafficClass, TrafficReport,
+};
 use crate::layout::{AddressMap, ArrayRef, Elem};
 use fbmpk_reorder::levels::bfs_level_schedule;
 use fbmpk_sparse::{Csr, TriangularSplit};
@@ -52,6 +54,38 @@ fn tag_csr(h: &mut Hierarchy, m: &CsrRefs) {
     tag(h, &m.ptr, TrafficClass::Matrix);
     tag(h, &m.col, TrafficClass::Matrix);
     tag(h, &m.val, TrafficClass::Matrix);
+}
+
+/// Attribution inputs for [`trace_fbmpk_attributed`].
+#[derive(Debug, Clone, Copy)]
+pub struct FbmpkTraceAttribution<'a> {
+    /// Block row boundaries: block `b` covers rows
+    /// `block_row_start[b]..block_row_start[b + 1]`; must start at 0 and
+    /// end at `n`.
+    pub block_row_start: &'a [usize],
+    /// NUMA node of each of the pool workers' equal contiguous
+    /// first-touch shares (worker `t` touches elements
+    /// `[t·⌈len/T⌉, (t+1)·⌈len/T⌉)` of every array, `T =
+    /// node_of_share.len()`). Empty disables the per-node split.
+    pub node_of_share: &'a [u32],
+}
+
+/// Registers an array's pages per NUMA node under the pool's first-touch
+/// share protocol: worker `t` zeroes an equal contiguous element share,
+/// so under Linux first-touch those elements land on `t`'s node.
+fn tag_nodes(h: &mut Hierarchy, a: &ArrayRef, node_of_share: &[u32]) {
+    if a.is_empty() || node_of_share.is_empty() {
+        return;
+    }
+    let nshares = node_of_share.len();
+    let chunk = a.len().div_ceil(nshares);
+    for (t, &node) in node_of_share.iter().enumerate() {
+        let start = (t * chunk).min(a.len());
+        let end = ((t + 1) * chunk).min(a.len());
+        if start < end {
+            h.register_node_range(a.addr(start), ((end - start) * a.elem_bytes()) as u64, node);
+        }
+    }
 }
 
 /// Replays `k` standard CSR SpMV invocations (`Aᵏx` via Algorithm 1) and
@@ -123,8 +157,48 @@ pub fn trace_fbmpk_split(
     layout: TracedLayout,
     configs: &[CacheConfig],
 ) -> TrafficReport {
+    trace_fbmpk_inner(split, k, layout, configs, None).report
+}
+
+/// [`trace_fbmpk_split`] with every access stamped with its
+/// (block × power × phase) label and the address space carved into
+/// per-NUMA-node ranges — the simulated attribution ledger. The access
+/// stream is identical to the unlabeled replay, so the embedded
+/// [`LabeledReport::report`] equals [`trace_fbmpk_split`]'s output
+/// bit-for-bit, and the label/node maps sum to it exactly.
+///
+/// # Panics
+/// Panics when `k == 0` or `attr.block_row_start` does not cover `0..n`.
+pub fn trace_fbmpk_attributed(
+    split: &TriangularSplit,
+    k: usize,
+    layout: TracedLayout,
+    configs: &[CacheConfig],
+    attr: &FbmpkTraceAttribution<'_>,
+) -> LabeledReport {
+    trace_fbmpk_inner(split, k, layout, configs, Some(attr))
+}
+
+fn trace_fbmpk_inner(
+    split: &TriangularSplit,
+    k: usize,
+    layout: TracedLayout,
+    configs: &[CacheConfig],
+    attr: Option<&FbmpkTraceAttribution<'_>>,
+) -> LabeledReport {
     assert!(k >= 1);
     let n = split.n();
+    // Row → block lookup for the labeled replay (empty when unlabeled).
+    let block_of_row: Vec<u32> = match attr {
+        Some(a) => {
+            let starts = a.block_row_start;
+            assert!(starts.len() >= 2, "need at least one block");
+            assert_eq!(starts[0], 0, "blocks must start at row 0");
+            assert_eq!(*starts.last().expect("nonempty"), n, "blocks must cover all rows");
+            (0..n).map(|r| (starts.partition_point(|&s| s <= r) - 1) as u32).collect()
+        }
+        None => Vec::new(),
+    };
     let mut map = AddressMap::new();
     let l = place_csr(&mut map, &split.lower);
     let u = place_csr(&mut map, &split.upper);
@@ -165,13 +239,29 @@ pub fn trace_fbmpk_split(
         }
     }
     tag(&mut h, &out, TrafficClass::Vector);
+    if let Some(a) = attr {
+        for arr in [&l.ptr, &l.col, &l.val, &u.ptr, &u.col, &u.val, &d, &tmp, &out] {
+            tag_nodes(&mut h, arr, a.node_of_share);
+        }
+        match layout {
+            TracedLayout::BackToBack => tag_nodes(&mut h, &xy.unwrap(), a.node_of_share),
+            TracedLayout::Split => {
+                tag_nodes(&mut h, &xe.unwrap(), a.node_of_share);
+                tag_nodes(&mut h, &xo.unwrap(), a.node_of_share);
+            }
+        }
+    }
+    let labeled = attr.is_some();
     let l_ptr = split.lower.row_ptr();
     let l_col = split.lower.col_idx();
     let u_ptr = split.upper.row_ptr();
     let u_col = split.upper.col_idx();
 
-    // Head: tmp = U x0.
+    // Head: tmp = U x0 (billed to power 1, like the modeled ledger).
     for r in 0..n {
+        if labeled {
+            h.set_label(AccessLabel { block: block_of_row[r], power: 1, phase: SweepPhase::Head });
+        }
         h.access(u.ptr.addr(r), 8, false);
         h.access(u.ptr.addr(r + 1), 8, false);
         for j in u_ptr[r]..u_ptr[r + 1] {
@@ -182,9 +272,16 @@ pub fn trace_fbmpk_split(
         h.access(tmp.addr(r), 8, true);
     }
     let rounds = k / 2;
-    for _ in 0..rounds {
-        // Forward over L.
+    for p in 0..rounds {
+        // Forward over L (completes x_{2p+1}).
         for r in 0..n {
+            if labeled {
+                h.set_label(AccessLabel {
+                    block: block_of_row[r],
+                    power: (2 * p + 1) as u32,
+                    phase: SweepPhase::Forward,
+                });
+            }
             h.access(tmp.addr(r), 8, false);
             h.access(d.addr(r), 8, false);
             h.access(even_addr(r), 8, false);
@@ -199,8 +296,15 @@ pub fn trace_fbmpk_split(
             h.access(odd_addr(r), 8, true);
             h.access(tmp.addr(r), 8, true);
         }
-        // Backward over U.
+        // Backward over U (completes x_{2p+2}).
         for r in (0..n).rev() {
+            if labeled {
+                h.set_label(AccessLabel {
+                    block: block_of_row[r],
+                    power: (2 * p + 2) as u32,
+                    phase: SweepPhase::Backward,
+                });
+            }
             h.access(tmp.addr(r), 8, false);
             h.access(u.ptr.addr(r), 8, false);
             h.access(u.ptr.addr(r + 1), 8, false);
@@ -215,8 +319,15 @@ pub fn trace_fbmpk_split(
         }
     }
     if k % 2 == 1 {
-        // Tail: out = tmp + D x_{k-1} + L x_{k-1}.
+        // Tail: out = tmp + D x_{k-1} + L x_{k-1} (completes x_k).
         for r in 0..n {
+            if labeled {
+                h.set_label(AccessLabel {
+                    block: block_of_row[r],
+                    power: k as u32,
+                    phase: SweepPhase::Tail,
+                });
+            }
             h.access(tmp.addr(r), 8, false);
             h.access(d.addr(r), 8, false);
             h.access(even_addr(r), 8, false);
@@ -230,7 +341,7 @@ pub fn trace_fbmpk_split(
             h.access(out.addr(r), 8, true);
         }
     }
-    h.finish()
+    h.finish_labeled()
 }
 
 /// Replays the level-blocked wavefront schedule for `Aᵏx` (the cache
@@ -540,6 +651,45 @@ mod attribution_tests {
             fd.vector_fraction()
         );
         assert!(fd.vector_fraction() < 0.25, "dense input must be matrix-bound");
+    }
+
+    #[test]
+    fn attributed_trace_is_bit_identical_and_conserves() {
+        let a = fbmpk_gen::poisson::grid3d_27pt(10, 10, 10);
+        let split = TriangularSplit::split(&a).expect("square");
+        let n = split.n();
+        let starts = vec![0, n / 4, n / 2, 3 * n / 4, n];
+        let nodes = vec![0u32, 0, 1, 1];
+        for k in [1usize, 4, 5] {
+            for layout in [TracedLayout::BackToBack, TracedLayout::Split] {
+                let plain = trace_fbmpk_split(&split, k, layout, &llc());
+                let attr =
+                    FbmpkTraceAttribution { block_row_start: &starts, node_of_share: &nodes };
+                let lr = trace_fbmpk_attributed(&split, k, layout, &llc(), &attr);
+                // Same access stream → identical whole-run report.
+                assert_eq!(lr.report, plain, "k={k} layout={layout:?}");
+                // Per-label DRAM bytes sum to the totals exactly.
+                let label_read: u64 = lr.labels.values().map(|t| t.dram_read_bytes).sum();
+                let label_write: u64 = lr.labels.values().map(|t| t.dram_write_bytes).sum();
+                assert_eq!(label_read, lr.report.dram_read_bytes);
+                assert_eq!(label_write, lr.report.dram_write_bytes);
+                // Per-node DRAM bytes sum to the totals exactly.
+                let node_total: u64 = lr.nodes.values().map(|t| t.dram_total()).sum();
+                assert_eq!(node_total, lr.report.total());
+                // Every power 1..=k appears; no label leaks past k or
+                // names an out-of-range block.
+                for label in lr.labels.keys() {
+                    if *label == AccessLabel::UNLABELED {
+                        continue;
+                    }
+                    assert!(label.power >= 1 && label.power <= k as u32, "{label:?}");
+                    assert!((label.block as usize) < starts.len() - 1, "{label:?}");
+                }
+                for p in 1..=k as u32 {
+                    assert!(lr.labels.keys().any(|l| l.power == p), "power {p} missing at k={k}");
+                }
+            }
+        }
     }
 
     #[test]

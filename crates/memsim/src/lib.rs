@@ -22,5 +22,11 @@ pub mod kernels;
 pub mod layout;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{Hierarchy, TrafficReport};
-pub use kernels::{trace_fbmpk, trace_level_blocked, trace_standard_mpk, TracedLayout};
+pub use hierarchy::{
+    AccessLabel, Hierarchy, LabelTraffic, LabeledReport, NodeTraffic, SweepPhase, TrafficReport,
+    NODE_UNKNOWN,
+};
+pub use kernels::{
+    trace_fbmpk, trace_fbmpk_attributed, trace_fbmpk_split, trace_level_blocked,
+    trace_standard_mpk, FbmpkTraceAttribution, TracedLayout,
+};

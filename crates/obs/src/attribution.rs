@@ -1,0 +1,519 @@
+//! Traffic attribution: reconciling the modeled, simulated and measured
+//! byte ledgers at (block × power) granularity.
+//!
+//! The paper's §III-B model prices the bytes each sweep *must* stream;
+//! `fbmpk-memsim` replays what a cache hierarchy *would* move; and
+//! `perf_event` counters report what the hardware *did* move. Each ledger
+//! decomposes per block (the point-to-point schedule's unit of work), so
+//! their disagreement localizes: a block whose measured/modeled ratio is
+//! high is where the streaming assumption breaks — typically a partition
+//! boundary block whose cut edges gather remote vector entries.
+//!
+//! This module owns the ledger-merge types ([`AttributionReport`]) and
+//! the measured ledger's collector ([`HwAttributionProbe`]): a [`Probe`]
+//! implementation that samples per-thread hardware counters at the block
+//! boundaries the kernels already instrument, attributing LLC-miss deltas
+//! to the block that just executed. The modeled and simulated ledgers are
+//! computed by `fbmpk-core` and `fbmpk-memsim`; the bench harness feeds
+//! all three here as plain numbers (this crate depends on neither).
+
+use crate::perf::{HwSample, HwSession};
+use crate::recorder::{Span, SpanKind};
+use crate::Probe;
+use std::cell::UnsafeCell;
+
+/// Estimated bytes per LLC miss: one cache line.
+pub const LINE_BYTES: u64 = 64;
+
+/// One (block × power) cell with all three ledgers side by side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLedger {
+    /// Global block id.
+    pub block: u32,
+    /// The block's ABMC color.
+    pub color: u32,
+    /// Power `x_p` the traversal was billed to (1-based).
+    pub power: u32,
+    /// §III-B modeled bytes.
+    pub modeled_bytes: u64,
+    /// Cache-simulated DRAM bytes.
+    pub simulated_bytes: u64,
+    /// Hardware-counter estimate (LLC misses × line), `None` when the
+    /// measured ledger is unavailable.
+    pub measured_bytes: Option<u64>,
+}
+
+/// One block's ledgers aggregated over every power, plus the structural
+/// context (rows, cut edges) the excess-traffic correlation uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockLedger {
+    /// Global block id.
+    pub block: u32,
+    /// The block's ABMC color.
+    pub color: u32,
+    /// Rows in the block.
+    pub rows: u64,
+    /// Matrix entries of this block whose column lies outside the block —
+    /// the partition's cut edges through it.
+    pub cut_edges: u64,
+    /// §III-B modeled bytes.
+    pub modeled_bytes: u64,
+    /// Cache-simulated DRAM bytes.
+    pub simulated_bytes: u64,
+    /// Hardware-counter estimate, `None` when unavailable.
+    pub measured_bytes: Option<u64>,
+}
+
+impl BlockLedger {
+    /// Simulated / modeled ratio (`None` when the model predicts zero).
+    pub fn sim_over_model(&self) -> Option<f64> {
+        (self.modeled_bytes > 0).then(|| self.simulated_bytes as f64 / self.modeled_bytes as f64)
+    }
+
+    /// Measured / modeled ratio (`None` without hardware counters or a
+    /// nonzero model).
+    pub fn measured_over_model(&self) -> Option<f64> {
+        let m = self.measured_bytes?;
+        (self.modeled_bytes > 0).then(|| m as f64 / self.modeled_bytes as f64)
+    }
+
+    /// The ratio used for ranking: measured/modeled when hardware
+    /// counters ran, simulated/modeled otherwise.
+    pub fn ranking_ratio(&self) -> f64 {
+        self.measured_over_model().or_else(|| self.sim_over_model()).unwrap_or(0.0)
+    }
+}
+
+/// The merged three-ledger report.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionReport {
+    /// Per-(block × power) cells, block-major then power-ascending.
+    pub cells: Vec<CellLedger>,
+    /// Per-block aggregates, block-ascending.
+    pub blocks: Vec<BlockLedger>,
+    /// Whole-run modeled bytes (Σ cells, exactly).
+    pub modeled_total: u64,
+    /// Whole-run simulated DRAM bytes attributed to blocks.
+    pub simulated_total: u64,
+    /// Whole-run measured byte estimate.
+    pub measured_total: Option<u64>,
+}
+
+impl AttributionReport {
+    /// Builds the report, deriving the totals from the inputs.
+    pub fn new(cells: Vec<CellLedger>, blocks: Vec<BlockLedger>) -> Self {
+        let modeled_total = blocks.iter().map(|b| b.modeled_bytes).sum();
+        let simulated_total = blocks.iter().map(|b| b.simulated_bytes).sum();
+        let measured_total =
+            blocks.iter().map(|b| b.measured_bytes).try_fold(0u64, |acc, m| m.map(|v| acc + v));
+        AttributionReport { cells, blocks, modeled_total, simulated_total, measured_total }
+    }
+
+    /// The `n` blocks with the highest [`BlockLedger::ranking_ratio`] —
+    /// where the streaming model is most wrong.
+    pub fn worst_blocks(&self, n: usize) -> Vec<BlockLedger> {
+        let mut sorted = self.blocks.clone();
+        sorted.sort_by(|a, b| {
+            b.ranking_ratio().partial_cmp(&a.ranking_ratio()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Pearson correlation between a block's cut edges per row and its
+    /// excess bytes per row (achieved − modeled, measured when available,
+    /// simulated otherwise). Positive means boundary blocks with many cut
+    /// edges move disproportionately many bytes beyond the streaming
+    /// model — the partition-quality signal the multilevel partitioner
+    /// optimizes for. Per-row normalization keeps the signal about
+    /// boundaries: the achieved/modeled *ratio* instead rewards sparse
+    /// blocks (whose per-row vector traffic dwarfs their few modeled
+    /// matrix bytes) and anti-correlates with cut on power-law graphs.
+    pub fn excess_cut_correlation(&self) -> Option<f64> {
+        let pairs: Vec<(f64, f64)> = self
+            .blocks
+            .iter()
+            .filter_map(|b| {
+                if b.rows == 0 {
+                    return None;
+                }
+                let achieved = b.measured_bytes.unwrap_or(b.simulated_bytes) as f64;
+                let excess = achieved - b.modeled_bytes as f64;
+                Some((b.cut_edges as f64 / b.rows as f64, excess / b.rows as f64))
+            })
+            .collect();
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        pearson(&xs, &ys)
+    }
+}
+
+/// Sample Pearson correlation coefficient; `None` when fewer than two
+/// points or either series is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// One hardware-counter delta attributed to a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwEntry {
+    /// The span kind the delta was attributed to.
+    pub kind: SpanKind,
+    /// ABMC color (or [`Span::NO_ID`]).
+    pub color: u32,
+    /// Global block id (or [`Span::NO_ID`] for flat stages and
+    /// barrier-mode sweeps).
+    pub block: u32,
+    /// Cycles since the previous attributed entry on this thread.
+    pub cycles: u64,
+    /// Retired instructions over the same window.
+    pub instructions: u64,
+    /// LLC misses over the same window — ×[`LINE_BYTES`] is the measured
+    /// byte estimate.
+    pub llc_misses: u64,
+}
+
+/// Per-lane collector state. Padded so adjacent lanes never share a
+/// cache line (same discipline as `Recorder`'s lanes).
+#[repr(align(64))]
+struct HwLane {
+    state: UnsafeCell<HwLaneState>,
+}
+
+struct HwLaneState {
+    /// Whether the lazy session open already ran (even if it failed).
+    started: bool,
+    /// The per-thread counter session; `None` when `perf_event_open` is
+    /// unavailable. Opened from the owning worker's first `record`, so
+    /// `pid == 0` binds the counters to that worker's task.
+    session: Option<HwSession>,
+    /// Counter values at the previous record call.
+    last: HwSample,
+    /// Delta carried from wait spans, folded into the next compute span
+    /// (the kernels record wait and compute spans back-to-back, so the
+    /// wait record's delta covers the spin *and* the block's compute).
+    pending: HwSample,
+    entries: Vec<HwEntry>,
+}
+
+/// A [`Probe`] that samples per-thread hardware counters at every span
+/// boundary the kernels already instrument, producing the measured
+/// attribution ledger.
+///
+/// Sessions open lazily on each worker's first `record` call, so the
+/// counters are per-task (thread), not process-wide. Run one warmup
+/// invocation before the measured one: the first delta on each lane only
+/// covers work after its session opened.
+///
+/// When `perf_event_open` is denied (containers, CI) every lane's session
+/// stays `None`, [`HwAttributionProbe::available`] reports `false`, and
+/// the entries carry zero deltas — callers emit a null measured ledger.
+pub struct HwAttributionProbe {
+    lanes: Box<[HwLane]>,
+}
+
+// SAFETY: each lane is only mutated through `record(t, ..)` by the worker
+// owning lane `t` (the Probe contract), or through `&mut self` accessors
+// when no kernel is running.
+unsafe impl Sync for HwAttributionProbe {}
+
+impl HwAttributionProbe {
+    /// A collector for `nthreads` worker lanes.
+    pub fn new(nthreads: usize) -> Self {
+        let lanes = (0..nthreads.max(1))
+            .map(|_| HwLane {
+                state: UnsafeCell::new(HwLaneState {
+                    started: false,
+                    session: None,
+                    last: HwSample::default(),
+                    pending: HwSample::default(),
+                    entries: Vec::with_capacity(4096),
+                }),
+            })
+            .collect();
+        HwAttributionProbe { lanes }
+    }
+
+    /// Whether the measured ledger is usable: at least one lane opened a
+    /// counter session that includes the LLC-miss event. Meaningful after
+    /// a run (sessions open lazily).
+    pub fn available(&mut self) -> bool {
+        self.lanes
+            .iter_mut()
+            .any(|l| l.state.get_mut().session.as_ref().is_some_and(|s| s.has_llc()))
+    }
+
+    /// Takes every lane's entries (lane index = worker id), leaving the
+    /// sessions open for a subsequent run.
+    pub fn drain(&mut self) -> Vec<Vec<HwEntry>> {
+        self.lanes.iter_mut().map(|l| std::mem::take(&mut l.state.get_mut().entries)).collect()
+    }
+}
+
+impl Probe for HwAttributionProbe {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn now(&self) -> u64 {
+        0
+    }
+
+    unsafe fn record(&self, t: usize, span: Span) {
+        let Some(lane) = self.lanes.get(t) else { return };
+        // SAFETY: `t` is the calling worker's own lane (caller contract).
+        let st = unsafe { &mut *lane.state.get() };
+        if !st.started {
+            st.started = true;
+            st.session = HwSession::start();
+            if let Some(s) = &st.session {
+                st.last = s.sample().unwrap_or_default();
+            }
+        }
+        let now = match &st.session {
+            Some(s) => s.sample().unwrap_or(st.last),
+            None => st.last,
+        };
+        let delta = HwSample {
+            cycles: now.cycles.wrapping_sub(st.last.cycles),
+            instructions: now.instructions.wrapping_sub(st.last.instructions),
+            llc_misses: now.llc_misses.wrapping_sub(st.last.llc_misses),
+        };
+        st.last = now;
+        if span.kind.is_wait() {
+            // Wait spans are recorded immediately before their block's
+            // compute span; their delta (spin + compute) belongs to the
+            // compute entry that follows.
+            st.pending.cycles += delta.cycles;
+            st.pending.instructions += delta.instructions;
+            st.pending.llc_misses += delta.llc_misses;
+            return;
+        }
+        let carried = std::mem::take(&mut st.pending);
+        st.entries.push(HwEntry {
+            kind: span.kind,
+            color: span.color,
+            block: span.block,
+            cycles: delta.cycles + carried.cycles,
+            instructions: delta.instructions + carried.instructions,
+            llc_misses: delta.llc_misses + carried.llc_misses,
+        });
+    }
+}
+
+/// Assigns each entry of one lane the power its sweep completes,
+/// reconstructed from the entry order: head → 1, the `i`-th forward
+/// sweep → `2i − 1`, the `i`-th backward sweep → `2i`, tail → `k`.
+/// Non-sweep kinds get 0 (unattributed).
+pub fn assign_powers(entries: &[HwEntry], k: usize) -> Vec<u32> {
+    let mut round = 0u32;
+    let mut prev: Option<SpanKind> = None;
+    entries
+        .iter()
+        .map(|e| {
+            let p = match e.kind {
+                SpanKind::Head => 1,
+                SpanKind::Forward => {
+                    if prev != Some(SpanKind::Forward) {
+                        round += 1;
+                    }
+                    2 * round - 1
+                }
+                SpanKind::Backward => {
+                    if prev != Some(SpanKind::Backward) {
+                        round = round.max(1);
+                    }
+                    2 * round
+                }
+                SpanKind::Tail => k as u32,
+                _ => 0,
+            };
+            if !e.kind.is_wait() {
+                prev = Some(e.kind);
+            }
+            p
+        })
+        .collect()
+}
+
+/// The measured ledger distilled from drained probe lanes: LLC-miss byte
+/// estimates per (block, power), plus the share that carried no block id
+/// (flat head/tail stages, barrier-mode sweeps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MeasuredLedger {
+    /// Bytes per (block, power), deterministic order.
+    pub cells: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Bytes from entries without a block id.
+    pub unattributed_bytes: u64,
+    /// All measured bytes (cells + unattributed).
+    pub total_bytes: u64,
+}
+
+impl MeasuredLedger {
+    /// Aggregates drained lanes (from [`HwAttributionProbe::drain`]) for
+    /// a power-`k` run.
+    pub fn from_lanes(lanes: &[Vec<HwEntry>], k: usize) -> Self {
+        let mut ledger = MeasuredLedger::default();
+        for entries in lanes {
+            let powers = assign_powers(entries, k);
+            for (e, &p) in entries.iter().zip(&powers) {
+                let bytes = e.llc_misses * LINE_BYTES;
+                ledger.total_bytes += bytes;
+                if e.block == Span::NO_ID || p == 0 {
+                    ledger.unattributed_bytes += bytes;
+                } else {
+                    *ledger.cells.entry((e.block, p)).or_insert(0) += bytes;
+                }
+            }
+        }
+        ledger
+    }
+
+    /// Bytes aggregated per block over every power.
+    pub fn block_bytes(&self) -> std::collections::BTreeMap<u32, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for (&(b, _), &v) in &self.cells {
+            *out.entry(b).or_insert(0) += v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: SpanKind, block: u32, llc: u64) -> HwEntry {
+        HwEntry { kind, color: 0, block, cycles: 10, instructions: 10, llc_misses: llc }
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_reconstruction_matches_pipeline_order() {
+        // k = 5: head, (fwd, bwd) × 2, tail — with several blocks per
+        // sweep and interleaved wait entries never reaching the output.
+        let entries = vec![
+            entry(SpanKind::Head, Span::NO_ID, 1),
+            entry(SpanKind::Forward, 0, 1),
+            entry(SpanKind::Forward, 1, 1),
+            entry(SpanKind::Backward, 1, 1),
+            entry(SpanKind::Backward, 0, 1),
+            entry(SpanKind::Forward, 0, 1),
+            entry(SpanKind::Forward, 1, 1),
+            entry(SpanKind::Backward, 1, 1),
+            entry(SpanKind::Backward, 0, 1),
+            entry(SpanKind::Tail, Span::NO_ID, 1),
+        ];
+        let powers = assign_powers(&entries, 5);
+        assert_eq!(powers, vec![1, 1, 1, 2, 2, 3, 3, 4, 4, 5]);
+    }
+
+    #[test]
+    fn measured_ledger_conserves_and_buckets_flat_stages() {
+        let lanes = vec![vec![
+            entry(SpanKind::Head, Span::NO_ID, 2),
+            entry(SpanKind::Forward, 0, 3),
+            entry(SpanKind::Forward, 1, 5),
+            entry(SpanKind::Backward, 1, 7),
+            entry(SpanKind::Backward, 0, 11),
+            entry(SpanKind::Tail, Span::NO_ID, 13),
+        ]];
+        let ledger = MeasuredLedger::from_lanes(&lanes, 3);
+        let cell_sum: u64 = ledger.cells.values().sum();
+        assert_eq!(cell_sum + ledger.unattributed_bytes, ledger.total_bytes);
+        assert_eq!(ledger.total_bytes, (2 + 3 + 5 + 7 + 11 + 13) * LINE_BYTES);
+        assert_eq!(ledger.unattributed_bytes, (2 + 13) * LINE_BYTES);
+        assert_eq!(ledger.cells[&(0, 1)], 3 * LINE_BYTES);
+        assert_eq!(ledger.cells[&(1, 2)], 7 * LINE_BYTES);
+        assert_eq!(ledger.block_bytes()[&0], (3 + 11) * LINE_BYTES);
+    }
+
+    #[test]
+    fn probe_collects_entries_and_folds_waits_into_compute() {
+        let probe = HwAttributionProbe::new(2);
+        let span = |kind, block| Span { kind, color: 0, block, detail: 0, start_ns: 0, end_ns: 0 };
+        // SAFETY: single-threaded test; lanes 0 and 1 are disjoint.
+        unsafe {
+            probe.record(0, span(SpanKind::Head, Span::NO_ID));
+            probe.record(0, span(SpanKind::FlagWait, 0));
+            probe.record(0, span(SpanKind::Forward, 0));
+            probe.record(1, span(SpanKind::Head, Span::NO_ID));
+        }
+        let mut probe = probe;
+        let lanes = probe.drain();
+        assert_eq!(lanes.len(), 2);
+        // Wait entries never surface; the forward entry absorbed them.
+        assert_eq!(
+            lanes[0].iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![SpanKind::Head, SpanKind::Forward]
+        );
+        assert_eq!(lanes[1].len(), 1);
+        // Out-of-range lanes are ignored, not a panic.
+        unsafe { probe.record(99, span(SpanKind::Head, Span::NO_ID)) };
+    }
+
+    #[test]
+    fn report_ranks_and_correlates() {
+        let blocks: Vec<BlockLedger> = (0..8)
+            .map(|b| BlockLedger {
+                block: b,
+                color: b % 2,
+                rows: 100,
+                cut_edges: (b as u64) * 10,
+                modeled_bytes: 1000,
+                // Excess traffic grows with cut edges.
+                simulated_bytes: 1000 + (b as u64) * 50,
+                measured_bytes: None,
+            })
+            .collect();
+        let report = AttributionReport::new(Vec::new(), blocks);
+        assert_eq!(report.modeled_total, 8000);
+        assert_eq!(report.measured_total, None);
+        let worst = report.worst_blocks(2);
+        assert_eq!(worst[0].block, 7);
+        assert_eq!(worst[1].block, 6);
+        let r = report.excess_cut_correlation().unwrap();
+        assert!(r > 0.99, "perfectly linear excess should correlate: {r}");
+    }
+
+    #[test]
+    fn measured_total_is_none_when_any_block_lacks_counters() {
+        let mk = |measured| BlockLedger {
+            block: 0,
+            color: 0,
+            rows: 1,
+            cut_edges: 0,
+            modeled_bytes: 10,
+            simulated_bytes: 10,
+            measured_bytes: measured,
+        };
+        let all = AttributionReport::new(Vec::new(), vec![mk(Some(5)), mk(Some(7))]);
+        assert_eq!(all.measured_total, Some(12));
+        let partial = AttributionReport::new(Vec::new(), vec![mk(Some(5)), mk(None)]);
+        assert_eq!(partial.measured_total, None);
+    }
+}

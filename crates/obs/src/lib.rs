@@ -33,6 +33,7 @@
 //!   and the chrome trace. All of it is off (one relaxed bool) until an
 //!   endpoint or dashboard attaches.
 
+pub mod attribution;
 pub mod expo;
 pub mod live;
 pub mod metrics;
@@ -43,6 +44,9 @@ pub mod serve;
 pub mod summary;
 pub mod trace;
 
+pub use attribution::{
+    AttributionReport, BlockLedger, CellLedger, HwAttributionProbe, HwEntry, MeasuredLedger,
+};
 pub use live::{
     FamilySnapshot, LiveCounter, LiveGauge, LiveHistogram, LiveRegistry, LiveSample, LiveSource,
     MetricKind, SampleValue, Snapshot,

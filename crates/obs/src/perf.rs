@@ -63,6 +63,13 @@ impl HwSession {
         Some(session)
     }
 
+    /// Whether the LLC-miss event opened. When `false`, every sample's
+    /// `llc_misses` is 0 and byte estimates derived from it are
+    /// meaningless — attribution treats the measured ledger as absent.
+    pub fn has_llc(&self) -> bool {
+        self.llc.is_some()
+    }
+
     /// Counter values accumulated since [`HwSession::start`] (or the last
     /// successful `sample` is *not* a reset — deltas are against start).
     pub fn sample(&self) -> Option<HwSample> {

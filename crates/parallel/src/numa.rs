@@ -131,6 +131,148 @@ impl NumaTopology {
     }
 }
 
+/// Page-placement outcome of one memory range: `(node, pages)` pairs,
+/// node-ascending, estimated from up to 4096 sampled pages.
+pub type PagesPerNode = Vec<(usize, u64)>;
+
+/// Queries which NUMA node each page of `data` actually resides on, via
+/// the `move_pages(2)` query mode (a `NULL` nodes array performs no
+/// migration — it only reads placement). This is the ground truth for
+/// the first-touch placement claim: after workers touch their shares,
+/// the pages should sit on the workers' nodes.
+///
+/// Large ranges are sampled (up to 4096 evenly strided pages) and counts
+/// scaled back to the full page count. Returns `None` off Linux, when
+/// the syscall is unavailable/denied, or when no sampled page reported a
+/// node (e.g. untouched lazy mappings).
+pub fn slice_pages_per_node<T>(data: &[T]) -> Option<PagesPerNode> {
+    pages_per_node(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+}
+
+/// [`slice_pages_per_node`] on a raw base/length range. `base` must point
+/// into a live mapping of at least `bytes` bytes.
+pub fn pages_per_node(base: *const u8, bytes: usize) -> Option<PagesPerNode> {
+    const PAGE: usize = 4096;
+    const MAX_SAMPLES: usize = 4096;
+    if bytes == 0 {
+        return Some(Vec::new());
+    }
+    let npages = bytes.div_ceil(PAGE);
+    let stride = npages.div_ceil(MAX_SAMPLES);
+    let addrs: Vec<usize> = (0..npages).step_by(stride).map(|p| base as usize + p * PAGE).collect();
+    let status = sys::move_pages_status(&addrs)?;
+    let mut counts: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    let mut sampled = 0u64;
+    for &s in &status {
+        // Negative entries are per-page errors (unmapped, etc.) — skip.
+        if s >= 0 {
+            *counts.entry(s as usize).or_insert(0) += 1;
+            sampled += 1;
+        }
+    }
+    if sampled == 0 {
+        return None;
+    }
+    Some(counts.into_iter().map(|(n, c)| (n, c * npages as u64 / sampled)).collect())
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    //! Raw `move_pages` syscall, same no-libc idiom as `affinity.rs` and
+    //! `fbmpk-obs`'s `perf_event_open` wrapper.
+
+    /// Query mode: `pid = 0` (self), `nodes = NULL` (read placement into
+    /// `status`, move nothing), `flags = 0`.
+    pub fn move_pages_status(addrs: &[usize]) -> Option<Vec<i32>> {
+        if addrs.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut status = vec![i32::MIN; addrs.len()];
+        let ret = unsafe {
+            syscall6(
+                SYS_MOVE_PAGES,
+                0,
+                addrs.len(),
+                addrs.as_ptr() as usize,
+                0,
+                status.as_mut_ptr() as usize,
+                0,
+            )
+        };
+        if ret < 0 {
+            None
+        } else {
+            Some(status)
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MOVE_PAGES: usize = 279;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MOVE_PAGES: usize = 239;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc #0",
+            in("x8") nr,
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    //! Non-Linux fallback: placement is never observable.
+
+    pub fn move_pages_status(_addrs: &[usize]) -> Option<Vec<i32>> {
+        None
+    }
+}
+
 /// Parses a kernel cpulist (`"0-3,8-11,17"`) into ascending cpu ids.
 /// Returns `None` on any malformed token; an empty/whitespace list is
 /// `Some(vec![])` (cpu-less memory nodes report an empty cpulist).
@@ -243,5 +385,20 @@ mod tests {
     #[should_panic(expected = "every node needs a cpu")]
     fn from_nodes_rejects_empty_node() {
         NumaTopology::from_nodes(vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn pages_per_node_is_sane_or_cleanly_absent() {
+        // Touched heap memory must either report a plausible placement
+        // (page counts close to the allocation size, node ids small) or
+        // degrade to None (non-Linux, syscall filtered) — never panic.
+        let data = vec![1.0f64; 1 << 16]; // 512 KiB, touched by the write
+        if let Some(pn) = slice_pages_per_node(&data) {
+            let total: u64 = pn.iter().map(|&(_, c)| c).sum();
+            let npages = (data.len() * 8).div_ceil(4096) as u64;
+            assert!(total >= npages / 2 && total <= npages + 1, "{total} vs {npages}");
+            assert!(pn.iter().all(|&(n, _)| n < 1024));
+        }
+        assert_eq!(pages_per_node(std::ptr::null(), 0), Some(Vec::new()));
     }
 }

@@ -65,6 +65,7 @@ fn spec(matrix: &str, kernel: &str) -> RunSpec {
         modeled_matrix_bytes: Some(500_000_000),
         fallbacks: None,
         cut_edges: None,
+        traffic_vs_model: None,
         simd: Some("avx2".into()),
         blocking: Some("streaming".into()),
         watchdog_fires: None,
