@@ -6,8 +6,18 @@
 //! EXPERIMENT: all (default) | table1 | table2 | fig7 | fig8 | fig9 |
 //!             fig10 | table3 | table4 | fig11 | fig12 | model |
 //!             ablation_blocks | tune | sync | profile | blocking |
-//!             partition | attribution
+//!             partition | attribution | serve
 //! ```
+//!
+//! `serve` (opt-in, not part of `all`) starts the in-process serving
+//! layer, measures its sustainable capacity closed-loop, then offers an
+//! open-loop baseline and a 2x-capacity overload phase (`--rate`
+//! overrides the overload rate, `--duration-s` the phase length),
+//! recording p50/p99 latency, goodput, and shed/retry/fault counts to
+//! `serve.csv` and the perf database. With the `fault-inject` feature
+//! it installs `FBMPK_FAULT` into the kernels first, so fault scenarios
+//! run under load. Exits nonzero on any untyped failure (a dropped
+//! connection) or zero goodput.
 //!
 //! `--only NAME[,NAME]` restricts suite-driven experiments to the named
 //! Table II matrices (cases the runners append themselves, like
@@ -56,6 +66,10 @@ struct Args {
     warn_only: bool,
     out_html: Option<PathBuf>,
     top: fbmpk_bench::top::TopConfig,
+    /// Overload arrival rate for `serve` (None = 2x measured capacity).
+    rate: Option<f64>,
+    /// Length of each `serve` load phase in seconds.
+    duration_s: f64,
 }
 
 /// Database subcommands — read the perf store instead of running
@@ -97,6 +111,8 @@ fn parse_args() -> Args {
     let mut out_html = None;
     let mut top = fbmpk_bench::top::TopConfig::default();
     let mut only = Vec::new();
+    let mut rate = None;
+    let mut duration_s = 3.0;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -121,6 +137,8 @@ fn parse_args() -> Args {
                     .filter(|s| !s.is_empty())
                     .map(str::to_string),
             ),
+            "--rate" => rate = Some(numeric_arg(&mut it, "--rate")),
+            "--duration-s" => duration_s = numeric_arg(&mut it, "--duration-s"),
             "--out" => out = PathBuf::from(string_arg(&mut it, "--out")),
             "--db" => db = PathBuf::from(string_arg(&mut it, "--db")),
             "--no-perfdb" => no_perfdb = true,
@@ -132,8 +150,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all|table1|table2|fig7|fig8|fig9|fig10|table3|table4|fig11|fig12|model ...]\n\
-                     \x20      [ablation_blocks|tune|sync|profile|blocking|partition|attribution] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
+                     \x20      [ablation_blocks|tune|sync|profile|blocking|partition|attribution|serve] [--scale S] [--threads T] [--reps N] [--seed X] [--out DIR]\n\
                      \x20      [--only NAME[,NAME]] [--db FILE] [--no-perfdb]\n\
+                     \x20 repro serve [--rate RPS] [--duration-s SECS]   # serving-layer load run (opt-in)\n\
                      \x20 repro history [--db FILE]\n\
                      \x20 repro compare REV_A REV_B [--db FILE]\n\
                      \x20 repro gate --baseline REV [--current REV] [--threshold 0.10] [--warn-only] [--db FILE]\n\
@@ -148,7 +167,7 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "all",
         "table1",
         "table2",
@@ -168,6 +187,7 @@ fn parse_args() -> Args {
         "blocking",
         "partition",
         "attribution",
+        "serve",
     ];
     // Database subcommands own the remaining positional arguments (e.g.
     // the two revisions of `compare`), so the experiment-name check does
@@ -197,6 +217,8 @@ fn parse_args() -> Args {
         warn_only,
         out_html,
         top,
+        rate,
+        duration_s,
     }
 }
 
@@ -344,10 +366,37 @@ fn push_record(
         simd: Some(fbmpk_sparse::simd::detect().tag().to_string()),
         blocking: blocking.map(str::to_string),
         traffic_vs_model,
+        // Serving-load outcomes; the serve experiment builds its records
+        // directly rather than through this kernel-timing helper.
+        latency_p50_ms: None,
+        latency_p99_ms: None,
+        shed_count: None,
     };
     if let Some(rec) = RunRecord::new(ctx, spec, samples) {
         pending.push(rec);
     }
+}
+
+/// Appends the pending records to the perf database and prints the
+/// results location — called on both the suite and the suite-free exit
+/// paths so `repro serve` alone still persists its records.
+fn flush_records(args: &Args, pending: &[RunRecord]) {
+    if !pending.is_empty() {
+        let db = PerfDb::new(&args.db);
+        match db.append_all(pending) {
+            Ok(()) => println!(
+                "perfdb: appended {} record(s) (rev {}) to {}",
+                pending.len(),
+                pending[0].git_rev,
+                db.path().display()
+            ),
+            // A read-only checkout must not fail the benchmark run.
+            Err(e) => {
+                eprintln!("perfdb: WARNING: could not append to {}: {e}", db.path().display())
+            }
+        }
+    }
+    println!("CSV results written to {}", args.out.display());
 }
 
 fn main() {
@@ -375,6 +424,22 @@ fn main() {
             }
         }
     }
+    if !args.only.is_empty() {
+        // Validate up front against the static suite vocabulary so a
+        // typo'd name fails immediately with the actual choices — even
+        // when no suite-driven experiment was requested (where a bad
+        // name would otherwise be silently ignored).
+        let known: Vec<&'static str> = fbmpk_gen::paper_suite().iter().map(|e| e.name).collect();
+        let unknown: Vec<&String> =
+            args.only.iter().filter(|n| !known.contains(&n.as_str())).collect();
+        if !unknown.is_empty() {
+            for n in &unknown {
+                eprintln!("error: --only: unknown suite matrix '{n}'");
+            }
+            eprintln!("known Table II inputs: {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
     let want = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
     println!(
         "FBMPK reproduction harness  (scale {}, {} threads, {} reps)\n",
@@ -389,10 +454,14 @@ fn main() {
 
     // Timing experiments persist perfdb records; probe the host identity
     // and its bandwidth ceilings once for the whole invocation.
+    // `serve` is opt-in: it exercises the serving layer rather than a
+    // paper artifact, so `all` does not imply it.
+    let want_serve = args.experiments.iter().any(|e| e == "serve");
     let records_wanted = !args.no_perfdb
-        && ["fig7", "sync", "tune", "profile", "blocking", "partition", "attribution"]
-            .iter()
-            .any(|e| want(e));
+        && (want_serve
+            || ["fig7", "sync", "tune", "profile", "blocking", "partition", "attribution"]
+                .iter()
+                .any(|e| want(e)));
     let perf_ctx = records_wanted.then(|| {
         let host = platform::probe();
         eprintln!("measuring host bandwidth ceilings (triad + random gather) ...");
@@ -441,6 +510,120 @@ fn main() {
         .expect("write model.csv");
     }
 
+    // Serving-layer load run. Self-checking: exits nonzero (after the
+    // perfdb flush) on any untyped failure or zero goodput.
+    let mut serve_failed = false;
+    if want_serve {
+        use fbmpk_bench::serveload::{self, LoadConfig};
+        use std::time::Duration;
+
+        // With the feature compiled in, FBMPK_FAULT installs into the
+        // kernels for the whole load run (the serving layer must answer
+        // a typed 500/503 for every fault); without it, warn loudly
+        // instead of silently running fault-free.
+        #[cfg(feature = "fault-inject")]
+        let _fault_guard = fbmpk_parallel::fault::install_from_env();
+        #[cfg(not(feature = "fault-inject"))]
+        if std::env::var("FBMPK_FAULT").is_ok_and(|v| !v.trim().is_empty()) {
+            eprintln!(
+                "serve: FBMPK_FAULT is set but the fault-inject feature is off; no faults will fire"
+            );
+        }
+
+        let hot_matrix = "grid:64:64".to_string();
+        let serve_k = 8usize;
+        let handlers = 4usize;
+        let mut server = fbmpk_serve::Server::start(fbmpk_serve::ServeConfig {
+            kernel_threads: args.cfg.threads.clamp(1, 4),
+            handlers,
+            queue_cap: 32,
+            tenant_cap: 4,
+            default_deadline_ms: 2_000,
+            ..Default::default()
+        })
+        .expect("start serving layer");
+        let addr = server.local_addr();
+        eprintln!("serve: serving layer on {addr}");
+        match serveload::measure_capacity(addr, &hot_matrix, serve_k, Duration::from_millis(400)) {
+            Err(e) => {
+                eprintln!("serve: FAIL: {e}");
+                serve_failed = true;
+            }
+            Ok(capacity) => {
+                let overload = args.rate.unwrap_or(capacity * 2.0);
+                eprintln!(
+                    "serve: sustainable capacity ~{capacity:.0} rps; phases: baseline {:.0} rps, overload {overload:.0} rps",
+                    capacity * 0.5
+                );
+                let mut reports = Vec::new();
+                for (phase, rate_rps) in [("baseline", capacity * 0.5), ("overload", overload)] {
+                    reports.push(serveload::run_phase(&LoadConfig {
+                        phase: phase.to_string(),
+                        addr,
+                        rate_rps,
+                        duration: Duration::from_secs_f64(args.duration_s.max(0.5)),
+                        hot_matrix: hot_matrix.clone(),
+                        k: serve_k,
+                        timeout: Duration::from_secs(10),
+                        seed: args.cfg.seed,
+                    }));
+                }
+                let table: Vec<Vec<String>> = reports.iter().map(serveload::csv_row).collect();
+                println!("Serving layer under open-loop load (goodput = 200s/s)");
+                println!("{}", format_table(&serveload::CSV_HEADER, &table));
+                write_csv(&args.out.join("serve.csv"), &serveload::CSV_HEADER, &table)
+                    .expect("write serve.csv");
+                if let Some(ctx) = &perf_ctx {
+                    for r in &reports {
+                        // Built directly rather than through push_record:
+                        // the serving axes (percentiles, shed count) have
+                        // no kernel-timing analogue.
+                        let spec = RunSpec {
+                            experiment: "serve".to_string(),
+                            matrix: hot_matrix.clone(),
+                            kernel: format!("serve:{}", r.phase),
+                            sync: None,
+                            threads: args.cfg.threads,
+                            k: Some(serve_k),
+                            options_fp: 0,
+                            wait_frac: None,
+                            ipc: None,
+                            modeled_matrix_bytes: None,
+                            fallbacks: Some(r.degraded as u64),
+                            watchdog_fires: None,
+                            cut_edges: None,
+                            simd: Some(fbmpk_sparse::simd::detect().tag().to_string()),
+                            blocking: None,
+                            traffic_vs_model: None,
+                            latency_p50_ms: Some(r.p50_ms),
+                            latency_p99_ms: Some(r.p99_ms),
+                            shed_count: Some(r.shed as u64),
+                        };
+                        let samples_s: Vec<f64> =
+                            r.ok_latencies_ms.iter().map(|m| m / 1e3).collect();
+                        if let Some(rec) = RunRecord::new(ctx, spec, &samples_s) {
+                            pending.push(rec);
+                        }
+                    }
+                }
+                for r in &reports {
+                    if r.untyped_failures > 0 {
+                        eprintln!(
+                            "serve: FAIL: {} untyped failure(s) in phase '{}' (the server must answer every accepted connection)",
+                            r.untyped_failures, r.phase
+                        );
+                        serve_failed = true;
+                    }
+                    if r.ok == 0 {
+                        eprintln!("serve: FAIL: zero goodput in phase '{}'", r.phase);
+                        serve_failed = true;
+                    }
+                }
+            }
+        }
+        server.shutdown();
+    }
+
     let needs_suite = [
         "table2",
         "fig7",
@@ -462,16 +645,17 @@ fn main() {
     .iter()
     .any(|e| want(e));
     if !needs_suite {
+        flush_records(&args, &pending);
+        if serve_failed {
+            std::process::exit(1);
+        }
         return;
     }
     eprintln!("generating the 14-matrix suite at scale {} ...", args.cfg.scale);
     let mut cases: Vec<MatrixCase> = runner::load_suite(&args.cfg);
     if !args.only.is_empty() {
+        // Names were validated against the suite vocabulary in main().
         cases.retain(|c| args.only.iter().any(|n| n == c.entry.name));
-        if cases.is_empty() {
-            eprintln!("error: --only matched no suite matrix (names are the Table II inputs)");
-            std::process::exit(2);
-        }
         eprintln!("--only: restricted to {} suite matrix(es)", cases.len());
     }
     let cases = cases;
@@ -1563,21 +1747,8 @@ fn main() {
             .expect("write fig12.csv");
     }
 
-    if !pending.is_empty() {
-        let db = PerfDb::new(&args.db);
-        match db.append_all(&pending) {
-            Ok(()) => println!(
-                "perfdb: appended {} record(s) (rev {}) to {}",
-                pending.len(),
-                pending[0].git_rev,
-                db.path().display()
-            ),
-            // A read-only checkout must not fail the benchmark run.
-            Err(e) => {
-                eprintln!("perfdb: WARNING: could not append to {}: {e}", db.path().display())
-            }
-        }
+    flush_records(&args, &pending);
+    if serve_failed {
+        std::process::exit(1);
     }
-
-    println!("CSV results written to {}", args.out.display());
 }

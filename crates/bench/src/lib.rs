@@ -28,6 +28,7 @@ pub mod platform;
 pub mod report;
 pub mod roofline;
 pub mod runner;
+pub mod serveload;
 pub mod stats;
 pub mod top;
 

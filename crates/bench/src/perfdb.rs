@@ -145,6 +145,19 @@ pub struct RunSpec {
     /// Excluded from the config key — absent on pre-existing lines, which
     /// keep parsing.
     pub watchdog_fires: Option<u64>,
+    /// Serving-layer p50 request latency in milliseconds (`repro serve`
+    /// load runs). A measured outcome like the samples themselves, so it
+    /// never joins the config key — absent on pre-existing lines, which
+    /// keep parsing.
+    pub latency_p50_ms: Option<f64>,
+    /// Serving-layer p99 request latency in milliseconds. Same rules as
+    /// `latency_p50_ms`: informational, excluded from the config key.
+    pub latency_p99_ms: Option<f64>,
+    /// Requests shed (typed 429s) over the measurement window of a
+    /// serving load run. Informational like `fallbacks`: it characterizes
+    /// the run, it does not define the configuration, so it never joins
+    /// the config key — absent on pre-existing lines, which keep parsing.
+    pub shed_count: Option<u64>,
 }
 
 impl RunSpec {
@@ -304,6 +317,9 @@ impl RunRecord {
             ),
             ("cut_edges", self.spec.cut_edges.map_or(Json::Null, |n| Json::from(n as usize))),
             ("traffic_vs_model", Self::opt_f64(self.spec.traffic_vs_model)),
+            ("latency_p50_ms", Self::opt_f64(self.spec.latency_p50_ms)),
+            ("latency_p99_ms", Self::opt_f64(self.spec.latency_p99_ms)),
+            ("shed_count", self.spec.shed_count.map_or(Json::Null, |n| Json::from(n as usize))),
             ("simd", self.spec.simd.as_deref().map_or(Json::Null, Json::from)),
             ("blocking", self.spec.blocking.as_deref().map_or(Json::Null, Json::from)),
             ("achieved_gbs", Self::opt_f64(self.achieved_gbs)),
@@ -358,6 +374,9 @@ impl RunRecord {
             cut_edges: opt_num("cut_edges").map(|n| n as u64),
             watchdog_fires: opt_num("watchdog_fires").map(|n| n as u64),
             traffic_vs_model: opt_num("traffic_vs_model"),
+            latency_p50_ms: opt_num("latency_p50_ms"),
+            latency_p99_ms: opt_num("latency_p99_ms"),
+            shed_count: opt_num("shed_count").map(|n| n as u64),
         };
         Ok(RunRecord {
             schema,
@@ -548,6 +567,9 @@ mod tests {
             cut_edges: Some(123),
             watchdog_fires: Some(2),
             traffic_vs_model: Some(1.25),
+            latency_p50_ms: Some(4.5),
+            latency_p99_ms: Some(19.5),
+            shed_count: Some(7),
         }
     }
 
@@ -637,6 +659,25 @@ mod tests {
         let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
         assert_eq!(back.spec.traffic_vs_model, None);
         assert_eq!(back.config_key, rec.config_key, "ratio never joins the key");
+    }
+
+    #[test]
+    fn lines_without_latency_columns_still_parse() {
+        // Records written before the serving layer carry no latency or
+        // shed fields; they must keep loading with unchanged config keys
+        // (serving outcomes never join the key).
+        let rec = RunRecord::new(&test_ctx("rev1"), test_spec("m", None), &[0.1, 0.2]).unwrap();
+        let line = rec.to_json().to_compact();
+        let stripped = line
+            .replace(",\"latency_p50_ms\":4.5", "")
+            .replace(",\"latency_p99_ms\":19.5", "")
+            .replace(",\"shed_count\":7", "");
+        assert_ne!(line, stripped, "test must actually remove the fields");
+        let back = RunRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(back.spec.latency_p50_ms, None);
+        assert_eq!(back.spec.latency_p99_ms, None);
+        assert_eq!(back.spec.shed_count, None);
+        assert_eq!(back.config_key, rec.config_key, "serving outcomes never join the key");
     }
 
     #[test]

@@ -727,6 +727,9 @@ mod tests {
             blocking: None,
             watchdog_fires: None,
             traffic_vs_model: None,
+            latency_p50_ms: None,
+            latency_p99_ms: None,
+            shed_count: None,
         }
     }
 

@@ -74,6 +74,9 @@ fn fab_record(rev: &str, matrix: &str, around_s: f64) -> RunRecord {
         blocking: None,
         watchdog_fires: None,
         traffic_vs_model: None,
+        latency_p50_ms: None,
+        latency_p99_ms: None,
+        shed_count: None,
     };
     RunRecord::new(&fab_ctx(rev), spec, &samples).unwrap()
 }

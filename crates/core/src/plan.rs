@@ -576,6 +576,17 @@ impl FbmpkPlan {
         self.watchdog_ms
     }
 
+    /// Re-arms the point-to-point stall deadline for *subsequent*
+    /// invocations (`0` disables it) and returns the deadline that was in
+    /// effect. Returns `None` on barrier-sync plans: they have no block
+    /// flag waits to watch, so a mid-run deadline cannot be enforced and
+    /// the call is a no-op. A wait already in its slow path keeps the
+    /// deadline it started with, so callers sharing one plan across
+    /// requests must serialize invocations around the override.
+    pub fn set_watchdog_ms(&self, ms: u64) -> Option<u64> {
+        self.p2p.as_ref().and_then(|s| s.flags.set_deadline_ms(ms))
+    }
+
     /// The configured watchdog fallback policy.
     pub fn fallback_policy(&self) -> FallbackPolicy {
         self.fallback
@@ -688,6 +699,27 @@ impl FbmpkPlan {
         let xp = self.permute_in(x0);
         let result = self.with_fallback(|sync| self.execute(&xp, k, &NullSink, sync))?;
         Ok(self.permute_out(result))
+    }
+
+    /// [`Self::try_power`] under a per-request watchdog deadline: the
+    /// point-to-point stall deadline is re-armed to `deadline_ms` for this
+    /// invocation and restored afterwards, error or not. On barrier-sync
+    /// plans there are no flag waits to watch, so the deadline is not
+    /// enforced mid-run (the request still runs — callers wanting hard
+    /// deadlines should build the plan with p2p sync). Invocations on one
+    /// plan must be externally serialized while an override is active; a
+    /// serving layer holds a per-plan execution lock.
+    pub fn try_power_deadline(&self, x0: &[f64], k: usize, deadline_ms: u64) -> Result<Vec<f64>> {
+        struct Restore<'a>(&'a FbmpkPlan, Option<u64>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                if let Some(prev) = self.1 {
+                    self.0.set_watchdog_ms(prev);
+                }
+            }
+        }
+        let _restore = Restore(self, self.set_watchdog_ms(deadline_ms));
+        self.try_power(x0, k)
     }
 
     /// Computes the Krylov iterates `[A x₀, …, Aᵏ x₀]`.

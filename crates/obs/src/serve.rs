@@ -79,37 +79,64 @@ impl Drop for MetricsServer {
 }
 
 /// Handles one connection: parse the request line, route, respond, close
-/// (`Connection: close` — scrapers reconnect per poll).
+/// (`Connection: close` — scrapers reconnect per poll). Every failure
+/// mode gets a typed answer before the close: an oversized head is 413,
+/// a request that never completes (EOF or read timeout before the
+/// header terminator) or has a broken request line is 400 — never a
+/// silently dropped connection the client has to time out against.
 fn serve_one(mut stream: TcpStream, registry: &LiveRegistry) -> std::io::Result<()> {
     let mut buf = [0u8; 4096];
     let mut len = 0;
+    let (mut complete, mut oversize) = (false, false);
     // Read until the header terminator; anything longer than 4 KiB of
     // headers is not a scraper we care about.
     loop {
-        if len == buf.len() {
-            break;
-        }
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
-        }
-        len += n;
         if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            complete = true;
             break;
+        }
+        if len == buf.len() {
+            oversize = true;
+            break;
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => len += n,
+            // Timed out mid-head: still answer before closing.
+            Err(_) => break,
         }
     }
-    let request = String::from_utf8_lossy(&buf[..len]);
-    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let path = path.split('?').next().unwrap_or(path);
 
-    let (status, ctype, body) = match (method, path) {
-        ("GET", "/metrics") => ("200 OK", expo::CONTENT_TYPE, expo::render(&registry.snapshot())),
-        ("GET", "/") => {
-            ("200 OK", "text/plain", "fbmpk metrics endpoint; scrape /metrics\n".to_string())
+    let (status, ctype, body) = if oversize {
+        ("413 Payload Too Large", "text/plain", "request head exceeds 4 KiB\n".to_string())
+    } else if !complete {
+        ("400 Bad Request", "text/plain", "malformed request: no header terminator\n".to_string())
+    } else {
+        let request = String::from_utf8_lossy(&buf[..len]);
+        let mut parts = request.lines().next().unwrap_or("").split(' ');
+        let (method, path, version) =
+            (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let path = path.split('?').next().unwrap_or(path);
+        if method.is_empty()
+            || !method.bytes().all(|b| b.is_ascii_uppercase())
+            || !path.starts_with('/')
+            || !version.starts_with("HTTP/")
+        {
+            ("400 Bad Request", "text/plain", "malformed request line\n".to_string())
+        } else {
+            match (method, path) {
+                ("GET", "/metrics") => {
+                    ("200 OK", expo::CONTENT_TYPE, expo::render(&registry.snapshot()))
+                }
+                ("GET", "/") => (
+                    "200 OK",
+                    "text/plain",
+                    "fbmpk metrics endpoint; scrape /metrics\n".to_string(),
+                ),
+                ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+                _ => ("405 Method Not Allowed", "text/plain", "GET only\n".to_string()),
+            }
         }
-        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
-        _ => ("405 Method Not Allowed", "text/plain", "GET only\n".to_string()),
     };
     write!(
         stream,
@@ -189,5 +216,43 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+
+    /// Sends raw bytes (optionally closing the write side early) and
+    /// returns the raw response — the server may reject mid-request, so
+    /// the client half tolerates transport errors.
+    fn send_raw(addr: SocketAddr, raw: &[u8], close_write: bool) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let _ = stream.write_all(raw);
+        if close_write {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    }
+
+    #[test]
+    fn malformed_requests_get_a_typed_400() {
+        static REG: std::sync::OnceLock<LiveRegistry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(LiveRegistry::new);
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), reg).expect("bind");
+        let addr = server.local_addr();
+        // Garbage request line: answered, not dropped.
+        let r = send_raw(addr, b"not http at all\r\n\r\n", false);
+        assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+        // Incomplete head, then EOF: still a typed 400.
+        let r = send_raw(addr, b"GET /metrics HTTP/1.1\r\n", true);
+        assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+    }
+
+    #[test]
+    fn oversized_head_gets_413() {
+        static REG: std::sync::OnceLock<LiveRegistry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(LiveRegistry::new);
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap(), reg).expect("bind");
+        let huge = vec![b'A'; 8192];
+        let r = send_raw(server.local_addr(), &huge, true);
+        assert!(r.starts_with("HTTP/1.1 413"), "{r}");
     }
 }

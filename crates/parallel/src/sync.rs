@@ -84,7 +84,10 @@ pub struct WaitRuntime {
     progress: Arc<ProgressTable>,
     /// Milliseconds a wait may sit in the yielding regime before it is
     /// declared a stall. `0` disables the deadline (poison checks only).
-    deadline_ms: u64,
+    /// Atomic so a serving layer can re-arm the deadline per request
+    /// between invocations; waits read it once when they enter the slow
+    /// path, so an in-flight wait keeps the deadline it started with.
+    deadline_ms: Arc<AtomicU64>,
 }
 
 /// A per-block atomic epoch table.
@@ -118,7 +121,27 @@ impl BlockFlags {
         progress: Arc<ProgressTable>,
         deadline_ms: u64,
     ) {
-        self.runtime = Some(WaitRuntime { poison, progress, deadline_ms });
+        self.runtime = Some(WaitRuntime {
+            poison,
+            progress,
+            deadline_ms: Arc::new(AtomicU64::new(deadline_ms)),
+        });
+    }
+
+    /// Re-arms the stall deadline for *subsequent* waits on this table
+    /// (`0` disables it). Waits already in their slow path keep the
+    /// deadline they started with. Returns the previous deadline, or
+    /// `None` when no runtime is attached (the call is then a no-op).
+    /// Callers that share one table across requests must serialize
+    /// invocations around the override themselves.
+    pub fn set_deadline_ms(&self, ms: u64) -> Option<u64> {
+        self.runtime.as_ref().map(|r| r.deadline_ms.swap(ms, Ordering::Relaxed))
+    }
+
+    /// The current stall deadline in milliseconds (`None` without an
+    /// attached runtime).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.runtime.as_ref().map(|r| r.deadline_ms.load(Ordering::Relaxed))
     }
 
     /// Number of blocks tracked.
@@ -228,6 +251,9 @@ impl BlockFlags {
         }
         let mut backoff = Backoff::new();
         let mut snoozes = 0u32;
+        // Read once on entry: an in-flight wait keeps the deadline it
+        // started with even if a serving layer re-arms the table.
+        let deadline_ms = rt.map_or(0, |r| r.deadline_ms.load(Ordering::Relaxed));
         // The deadline clock starts at the first scheduler yield: waits
         // that resolve inside the spin budget never read a clock at all.
         let mut yield_start: Option<Instant> = None;
@@ -236,13 +262,13 @@ impl BlockFlags {
                 if r.poison.is_set() {
                     std::panic::resume_unwind(Box::new(PoisonUnwind));
                 }
-                if r.deadline_ms > 0 && backoff.is_yielding() {
+                if deadline_ms > 0 && backoff.is_yielding() {
                     let start = *yield_start.get_or_insert_with(|| {
                         WATCHDOG_ARMS.fetch_add(1, Ordering::Relaxed);
                         Instant::now()
                     });
                     let waited_ms = start.elapsed().as_millis() as u64;
-                    if waited_ms >= r.deadline_ms {
+                    if waited_ms >= deadline_ms {
                         self.declare_stall(r, t, b, epoch, waited_ms);
                     }
                 }
@@ -382,6 +408,26 @@ mod tests {
         let (arms_after, fires_after) = watchdog_stats();
         assert!(arms_after > arms_before, "arming the deadline must count");
         assert!(fires_after > fires_before, "the fired stall must count");
+    }
+
+    #[test]
+    fn deadline_rearmed_between_waits_fires() {
+        let poison = Arc::new(Poison::new());
+        let progress = Arc::new(ProgressTable::new(1));
+        let mut flags = BlockFlags::new(1);
+        assert_eq!(flags.set_deadline_ms(5), None); // no runtime attached yet
+        assert_eq!(flags.deadline_ms(), None);
+        flags.attach_runtime(Arc::clone(&poison), progress, 0);
+        assert_eq!(flags.deadline_ms(), Some(0));
+        assert_eq!(flags.set_deadline_ms(40), Some(0));
+        assert_eq!(flags.deadline_ms(), Some(40));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flags.wait_for_counted_from(0, 0, 1); // never marked
+        }))
+        .expect_err("re-armed deadline must fire");
+        assert!(payload.downcast_ref::<PoisonUnwind>().is_some());
+        let fault = poison.take().expect("stall must be published");
+        assert!(matches!(fault.cause, FaultCause::Stall { .. }));
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Admission control: bounded queueing, tenant quotas, and the
+//! load-shedding ladder.
+//!
+//! The server's request queue is a bounded channel; when it is full the
+//! acceptor rejects *explicitly* (HTTP 429 with a `Retry-After` derived
+//! from observed service times) instead of buffering without bound —
+//! under sustained overload an unbounded queue only converts every
+//! request into a timeout. Before the queue fills, pressure is shed in
+//! rungs that each give up a little quality to protect what matters
+//! most (cached tenants' latency):
+//!
+//! 1. **Degrade** (≥ 50% occupancy): requests for *untuned* matrices get
+//!    a probe-free scalar plan instead of the full inspection — the
+//!    expensive variant probe is exactly the work a loaded server cannot
+//!    afford, and a scalar plan is still correct.
+//! 2. **Reject new tenants** (≥ 75%): tenants without prior admitted
+//!    work are turned away; established tenants keep their throughput.
+//! 3. **Reject uncached work** (≥ 90%): only requests whose plan is
+//!    already resident are admitted — the server spends its last
+//!    capacity where the amortization premise actually holds.
+//!
+//! Every decision is explicit and counted; nothing is silently dropped.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Occupancy thresholds for the three ladder rungs.
+const DEGRADE_OCCUPANCY: f64 = 0.5;
+const NEW_TENANT_OCCUPANCY: f64 = 0.75;
+const UNCACHED_OCCUPANCY: f64 = 0.9;
+
+/// Why a request was shed (the `X-Fbmpk-Shed` response header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded request queue was full.
+    QueueFull,
+    /// The tenant hit its in-flight concurrency quota.
+    TenantQuota,
+    /// Ladder rung 2: not a previously admitted tenant.
+    NewTenant,
+    /// Ladder rung 3: the plan is not resident and pressure is critical.
+    Uncached,
+}
+
+impl ShedReason {
+    /// Stable wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::TenantQuota => "tenant-quota",
+            ShedReason::NewTenant => "new-tenant",
+            ShedReason::Uncached => "uncached",
+        }
+    }
+}
+
+/// A typed rejection: always a 429, never a dropped connection.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejection {
+    /// What was shed.
+    pub reason: ShedReason,
+    /// Suggested client backoff in whole seconds (the `Retry-After`
+    /// header), from the service-time EWMA × queue depth.
+    pub retry_after_s: u64,
+}
+
+/// The admission verdict for one request.
+#[derive(Debug)]
+pub enum Decision {
+    /// Run it. `degrade` asks the plan builder for the probe-free scalar
+    /// plan (ladder rung 1); `ticket` releases the tenant slot on drop.
+    Admit {
+        /// Build degraded if the plan is not yet cached.
+        degrade: bool,
+        /// Tenant concurrency slot (RAII).
+        ticket: TenantTicket,
+    },
+    /// Shed, with the typed reason and backoff hint.
+    Reject(Rejection),
+}
+
+/// Admission state shared by the acceptor and handler threads.
+pub struct Admission {
+    queue_cap: usize,
+    tenant_cap: usize,
+    handlers: usize,
+    /// Requests currently in the bounded queue (acceptor increments,
+    /// handlers decrement) — the ladder's pressure signal.
+    depth: AtomicUsize,
+    /// In-flight (admitted, not yet completed) requests per tenant.
+    /// `Arc`-shared with the tickets so a slot is released even when the
+    /// holding handler unwinds.
+    inflight: Arc<Mutex<HashMap<String, usize>>>,
+    /// Tenants that have ever been admitted (rung 2's allowlist).
+    known: Mutex<HashSet<String>>,
+    /// EWMA of observed service milliseconds, stored as `f64` bits.
+    ewma_ms_bits: AtomicU64,
+}
+
+impl Admission {
+    /// New admission state for a queue of `queue_cap`, `tenant_cap`
+    /// in-flight requests per tenant, and `handlers` handler threads
+    /// (the drain rate behind `Retry-After`).
+    pub fn new(queue_cap: usize, tenant_cap: usize, handlers: usize) -> Self {
+        Admission {
+            queue_cap: queue_cap.max(1),
+            tenant_cap: tenant_cap.max(1),
+            handlers: handlers.max(1),
+            depth: AtomicUsize::new(0),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            known: Mutex::new(HashSet::new()),
+            ewma_ms_bits: AtomicU64::new(10.0f64.to_bits()),
+        }
+    }
+
+    /// Acceptor-side: a request entered the bounded queue.
+    pub fn enqueued(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler-side: a request left the queue.
+    pub fn dequeued(&self) {
+        let prev = self.depth.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "queue depth underflow");
+    }
+
+    /// Current queued-request count.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Queue occupancy in `[0, ∞)` (can exceed 1 transiently: the depth
+    /// counter includes the request a handler just popped).
+    pub fn occupancy(&self) -> f64 {
+        self.depth() as f64 / self.queue_cap as f64
+    }
+
+    /// Folds an observed service time into the `Retry-After` EWMA.
+    pub fn observe_service_ms(&self, ms: f64) {
+        // Benign read-modify-write race: concurrent observers may drop an
+        // update; the EWMA is a hint, not an invariant.
+        let prev = f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed));
+        let next = 0.9 * prev + 0.1 * ms.max(0.0);
+        self.ewma_ms_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current service-time estimate in milliseconds.
+    pub fn service_ewma_ms(&self) -> f64 {
+        f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed))
+    }
+
+    /// Backoff hint for a rejection issued at queue depth `depth`:
+    /// roughly how long the queue needs to drain at the observed service
+    /// rate, in whole seconds, clamped to `[1, 60]`.
+    pub fn retry_after_s(&self, depth: usize) -> u64 {
+        let drain_ms = self.service_ewma_ms() * (depth + 1) as f64 / self.handlers as f64;
+        (drain_ms / 1000.0).ceil().clamp(1.0, 60.0) as u64
+    }
+
+    /// The queue-full rejection the acceptor writes inline when the
+    /// bounded channel refuses a request.
+    pub fn reject_queue_full(&self) -> Rejection {
+        Rejection { reason: ShedReason::QueueFull, retry_after_s: self.retry_after_s(self.depth()) }
+    }
+
+    /// Runs the ladder and tenant quota for a parsed request.
+    /// `plan_cached` is whether the matrix's plan is already resident.
+    pub fn decide(&self, tenant: &str, plan_cached: bool) -> Decision {
+        let occupancy = self.occupancy();
+        let reject = |reason| {
+            Decision::Reject(Rejection { reason, retry_after_s: self.retry_after_s(self.depth()) })
+        };
+        if occupancy >= UNCACHED_OCCUPANCY && !plan_cached {
+            return reject(ShedReason::Uncached);
+        }
+        if occupancy >= NEW_TENANT_OCCUPANCY
+            && !self.known.lock().expect("known tenants").contains(tenant)
+        {
+            return reject(ShedReason::NewTenant);
+        }
+        {
+            let mut inflight = self.inflight.lock().expect("tenant inflight");
+            let count = inflight.entry(tenant.to_string()).or_insert(0);
+            if *count >= self.tenant_cap {
+                return reject(ShedReason::TenantQuota);
+            }
+            *count += 1;
+        }
+        self.known.lock().expect("known tenants").insert(tenant.to_string());
+        Decision::Admit {
+            degrade: occupancy >= DEGRADE_OCCUPANCY && !plan_cached,
+            ticket: TenantTicket {
+                tenant: tenant.to_string(),
+                inflight: Arc::clone(&self.inflight),
+            },
+        }
+    }
+
+    /// In-flight count for `tenant` (tests and stats).
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.inflight.lock().expect("tenant inflight").get(tenant).copied().unwrap_or(0)
+    }
+}
+
+/// RAII tenant-concurrency slot: dropping it releases the quota, even
+/// when the holding handler unwinds past it (a faulting request must not
+/// permanently consume its tenant's concurrency budget).
+#[derive(Debug)]
+pub struct TenantTicket {
+    tenant: String,
+    inflight: Arc<Mutex<HashMap<String, usize>>>,
+}
+
+impl Drop for TenantTicket {
+    fn drop(&mut self) {
+        let mut inflight = self.inflight.lock().expect("tenant inflight");
+        if let Some(count) = inflight.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit_ok(a: &Admission, tenant: &str, cached: bool) -> Option<(bool, TenantTicket)> {
+        match a.decide(tenant, cached) {
+            Decision::Admit { degrade, ticket } => Some((degrade, ticket)),
+            Decision::Reject(_) => None,
+        }
+    }
+
+    #[test]
+    fn idle_admissions_are_full_quality() {
+        let a = Admission::new(10, 2, 2);
+        let (degrade, t) = admit_ok(&a, "alice", false).expect("admit");
+        assert!(!degrade, "no degradation when idle");
+        assert_eq!(a.tenant_inflight("alice"), 1);
+        drop(t);
+        assert_eq!(a.tenant_inflight("alice"), 0);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_typed() {
+        let a = Admission::new(100, 2, 2);
+        let t1 = admit_ok(&a, "bob", true).unwrap().1;
+        let t2 = admit_ok(&a, "bob", true).unwrap().1;
+        match a.decide("bob", true) {
+            Decision::Reject(r) => {
+                assert_eq!(r.reason, ShedReason::TenantQuota);
+                assert!(r.retry_after_s >= 1);
+            }
+            Decision::Admit { .. } => panic!("quota must reject"),
+        }
+        // Other tenants are unaffected.
+        let t3 = admit_ok(&a, "carol", true).unwrap().1;
+        drop(t1);
+        let t4 = admit_ok(&a, "bob", true).unwrap().1;
+        drop((t2, t3, t4));
+    }
+
+    #[test]
+    fn ladder_rungs_engage_with_occupancy() {
+        let a = Admission::new(10, 8, 2);
+        // Establish "vet" as a known tenant while idle.
+        let t = admit_ok(&a, "vet", false).unwrap().1;
+        drop(t);
+        // Rung 1 (50%): degrade uncached work, cached work untouched.
+        for _ in 0..5 {
+            a.enqueued();
+        }
+        let (degrade, t) = admit_ok(&a, "vet", false).unwrap();
+        assert!(degrade, "rung 1 degrades uncached plans");
+        drop(t);
+        let (degrade, t) = admit_ok(&a, "vet", true).unwrap();
+        assert!(!degrade, "cached plans never degrade");
+        drop(t);
+        // Rung 2 (75%): new tenants rejected, known tenants admitted.
+        for _ in 0..3 {
+            a.enqueued();
+        }
+        match a.decide("stranger", false) {
+            Decision::Reject(r) => assert_eq!(r.reason, ShedReason::NewTenant),
+            Decision::Admit { .. } => panic!("rung 2 must reject new tenants"),
+        }
+        let t = admit_ok(&a, "vet", true).unwrap().1;
+        drop(t);
+        // Rung 3 (90%): only cached work admitted, even for known tenants.
+        a.enqueued();
+        match a.decide("vet", false) {
+            Decision::Reject(r) => assert_eq!(r.reason, ShedReason::Uncached),
+            Decision::Admit { .. } => panic!("rung 3 must reject uncached work"),
+        }
+        let t = admit_ok(&a, "vet", true).unwrap().1;
+        drop(t);
+        for _ in 0..9 {
+            a.dequeued();
+        }
+        assert_eq!(a.depth(), 0);
+    }
+
+    #[test]
+    fn retry_after_tracks_service_times_and_depth() {
+        let a = Admission::new(10, 2, 2);
+        for _ in 0..20 {
+            a.observe_service_ms(2000.0);
+        }
+        let shallow = a.retry_after_s(0);
+        let deep = a.retry_after_s(9);
+        assert!(deep > shallow, "deeper queues advise longer backoff");
+        assert!((1..=60).contains(&shallow) && (1..=60).contains(&deep));
+        let r = a.reject_queue_full();
+        assert_eq!(r.reason, ShedReason::QueueFull);
+    }
+}

@@ -1,0 +1,176 @@
+//! Same-matrix request coalescing.
+//!
+//! Power requests naming the same matrix fingerprint and the same `k`
+//! that arrive while one of them is executing are folded into a single
+//! multi-vector SpMM ([`fbmpk_sparse::spmm::block_power`]): the matrix
+//! is read once for all of them, which is exactly the traffic
+//! amortization the paper pursues across iterations, applied across
+//! *requests*. The SpMM inner loop accumulates every vector column with
+//! the same per-row operation sequence a width-1 run uses, so a batched
+//! response is bit-identical to serving the request alone — asserted in
+//! `tests/serve_props.rs`.
+//!
+//! The mechanism is leader/follower: the first arrival for an idle
+//! `(fingerprint, k)` slot becomes the leader and executes; requests
+//! that arrive while it runs park their vectors in the slot, and the
+//! leader drains them as its next batch before stepping down. At low
+//! load every batch has width 1 and no latency is added; under load the
+//! batch width grows with the arrival rate.
+
+use fbmpk_sparse::spmm::{block_power, MultiVec};
+use fbmpk_sparse::Csr;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+/// One coalesced execution's result for one request.
+#[derive(Debug)]
+pub struct PowerOutcome {
+    /// This request's output column.
+    pub y: Vec<f64>,
+    /// Width of the SpMM batch that produced it (1 = ran alone).
+    pub width: usize,
+}
+
+struct Pending {
+    x: Vec<f64>,
+    tx: Sender<PowerOutcome>,
+}
+
+#[derive(Default)]
+struct SlotState {
+    pending: Vec<Pending>,
+    leader_active: bool,
+}
+
+/// One shared `(fingerprint, k)` coalescing slot.
+type SharedSlot = Arc<Mutex<SlotState>>;
+
+/// Per-`(fingerprint, k)` coalescing state.
+pub struct PowerBatcher {
+    slots: Mutex<HashMap<(u64, usize), SharedSlot>>,
+}
+
+impl Default for PowerBatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowerBatcher {
+    /// An empty batcher.
+    pub fn new() -> Self {
+        PowerBatcher { slots: Mutex::new(HashMap::new()) }
+    }
+
+    /// Computes `Aᵏ x`, coalescing with concurrent requests for the same
+    /// `(fp, k)`. Blocks until the (possibly shared) execution finishes.
+    ///
+    /// All callers for one `fp` must pass the same matrix (the
+    /// fingerprint guarantees it) and `x.len() == a.nrows()` (the
+    /// handler validates before calling).
+    ///
+    /// # Errors
+    /// An error means the batch leader unwound mid-execution; the
+    /// request maps it to a typed 500.
+    pub fn power(&self, fp: u64, k: usize, a: &Csr, x: Vec<f64>) -> Result<PowerOutcome, String> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("batch slots");
+            Arc::clone(slots.entry((fp, k)).or_default())
+        };
+        let (tx, rx) = channel();
+        let lead = {
+            let mut st = slot.lock().expect("batch slot");
+            st.pending.push(Pending { x, tx });
+            if st.leader_active {
+                false
+            } else {
+                st.leader_active = true;
+                true
+            }
+        };
+        if lead {
+            // Drain-until-empty: requests that parked while a batch ran
+            // become the next batch; the leader steps down only when the
+            // slot is empty, so no request is left behind leaderless.
+            loop {
+                let batch = {
+                    let mut st = slot.lock().expect("batch slot");
+                    if st.pending.is_empty() {
+                        st.leader_active = false;
+                        break;
+                    }
+                    std::mem::take(&mut st.pending)
+                };
+                let width = batch.len();
+                let cols: Vec<Vec<f64>> = batch.iter().map(|p| p.x.clone()).collect();
+                let y = block_power(a, &MultiVec::from_columns(&cols), k);
+                for (v, p) in batch.into_iter().enumerate() {
+                    // A follower that gave up (disconnected) is fine.
+                    let _ = p.tx.send(PowerOutcome { y: y.column(v), width });
+                }
+            }
+        }
+        // The leader receives its own column through the same channel, so
+        // every path below is uniform. A RecvError means the leader
+        // unwound before distributing (its send never happened).
+        rx.recv().map_err(|_| "batch leader failed before distributing results".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbmpk::tune::fingerprint;
+    use fbmpk_gen::poisson::grid2d_5pt;
+
+    #[test]
+    fn solo_power_matches_direct_block_power() {
+        let a = grid2d_5pt(8, 8);
+        let fp = fingerprint(&a);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64).sin()).collect();
+        let b = PowerBatcher::new();
+        let out = b.power(fp, 3, &a, x.clone()).unwrap();
+        assert_eq!(out.width, 1);
+        let want = block_power(&a, &MultiVec::from_columns(&[x]), 3).column(0);
+        assert_eq!(out.y, want, "solo batch must be the direct result");
+    }
+
+    #[test]
+    fn concurrent_same_matrix_requests_coalesce_bit_identically() {
+        let a = Arc::new(grid2d_5pt(12, 12));
+        let fp = fingerprint(&a);
+        let batcher = Arc::new(PowerBatcher::new());
+        let n = a.nrows();
+        let handles: Vec<_> = (0..16)
+            .map(|r| {
+                let (a, batcher) = (Arc::clone(&a), Arc::clone(&batcher));
+                std::thread::spawn(move || {
+                    let x: Vec<f64> = (0..n).map(|i| ((i + 7 * r) as f64).cos()).collect();
+                    let out = batcher.power(fp, 4, &a, x.clone()).unwrap();
+                    (r, x, out)
+                })
+            })
+            .collect();
+        let mut widths = Vec::new();
+        for h in handles {
+            let (r, x, out) = h.join().unwrap();
+            let solo = block_power(&a, &MultiVec::from_columns(&[x]), 4).column(0);
+            assert_eq!(out.y, solo, "request {r}: batched must be bit-identical to sequential");
+            widths.push(out.width);
+        }
+        assert!(widths.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn distinct_k_do_not_share_a_batch() {
+        let a = grid2d_5pt(6, 6);
+        let fp = fingerprint(&a);
+        let b = PowerBatcher::new();
+        let x = vec![1.0; a.nrows()];
+        let y1 = b.power(fp, 1, &a, x.clone()).unwrap().y;
+        let y2 = b.power(fp, 2, &a, x.clone()).unwrap().y;
+        assert_ne!(y1, y2);
+        assert_eq!(y2, block_power(&a, &MultiVec::from_columns(&[x]), 2).column(0));
+    }
+}

@@ -1,0 +1,289 @@
+//! The single-flight plan cache.
+//!
+//! [`fbmpk::TunedPlan::cached`] deduplicates *identical* plans but lets
+//! concurrent first requests race: each builds its own plan and all but
+//! one are discarded. At serving scale an inspection costs milliseconds
+//! to seconds, so the cache here is single-flight: the first request for
+//! a fingerprint builds while later arrivals block on a condvar and
+//! share the result. A build that fails (or panics) is *negatively*
+//! cached: repeats of the same doomed request are refused instantly for
+//! a TTL that doubles with each consecutive failure, so a crashing
+//! tenant cannot wedge the cache — or the builder threads — by
+//! retrying in a loop.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a successful lookup was satisfied (feeds distinct counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The entry was already resident.
+    Hit,
+    /// This caller ran the build.
+    Built,
+    /// Another caller was building; this one waited and shared.
+    Waited,
+}
+
+/// Why a lookup failed.
+#[derive(Debug, Clone)]
+pub enum CacheError {
+    /// The fingerprint is negatively cached from an earlier failure.
+    NegativelyCached {
+        /// The original failure message.
+        detail: String,
+        /// Time until the negative entry decays and a rebuild is allowed.
+        retry_in: Duration,
+    },
+    /// This caller's own build failed (now negatively cached).
+    BuildFailed {
+        /// The failure (or stringified panic payload).
+        detail: String,
+    },
+}
+
+impl CacheError {
+    /// The client-facing failure message.
+    pub fn detail(&self) -> &str {
+        match self {
+            CacheError::NegativelyCached { detail, .. } | CacheError::BuildFailed { detail } => {
+                detail
+            }
+        }
+    }
+}
+
+enum Slot<T> {
+    /// A build is in flight; waiters sleep on the condvar.
+    Building,
+    Ready(Arc<T>),
+    /// A failed build; refused until `until`, then retried. `failures`
+    /// survives the decay so repeat offenders back off exponentially.
+    Poisoned {
+        until: Instant,
+        failures: u32,
+        detail: String,
+    },
+}
+
+/// A keyed single-flight cache with negative caching. `T` is the plan
+/// bundle; the cache never clones it, only the `Arc`.
+pub struct PlanCache<T> {
+    slots: Mutex<HashMap<u64, Slot<T>>>,
+    cv: Condvar,
+    neg_ttl_base: Duration,
+}
+
+/// Cap the exponential negative-TTL backoff at `base × 2⁶`.
+const MAX_BACKOFF_DOUBLINGS: u32 = 6;
+
+impl<T> PlanCache<T> {
+    /// An empty cache whose negative entries start at `neg_ttl_base` and
+    /// double per consecutive failure (capped at 64×).
+    pub fn new(neg_ttl_base: Duration) -> Self {
+        PlanCache { slots: Mutex::new(HashMap::new()), cv: Condvar::new(), neg_ttl_base }
+    }
+
+    fn backoff(&self, failures: u32) -> Duration {
+        self.neg_ttl_base * (1u32 << failures.saturating_sub(1).min(MAX_BACKOFF_DOUBLINGS))
+    }
+
+    /// The resident entry for `key`, if ready — never builds, never
+    /// waits (the admission ladder uses this to ask "is this cached?").
+    pub fn peek(&self, key: u64) -> Option<Arc<T>> {
+        match self.slots.lock().expect("plan cache lock").get(&key) {
+            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Drops a *ready* entry (e.g. to upgrade a degraded plan once
+    /// pressure subsides). In-flight builds and negative entries are
+    /// left alone; existing `Arc` holders keep their entry.
+    pub fn invalidate(&self, key: u64) {
+        let mut slots = self.slots.lock().expect("plan cache lock");
+        if let Some(Slot::Ready(_)) = slots.get(&key) {
+            slots.remove(&key);
+        }
+    }
+
+    /// Looks up `key`, building via `build` on a miss. Exactly one
+    /// caller builds per fingerprint at a time; the rest wait and share
+    /// its outcome. A `build` error (or panic) poisons the key for the
+    /// decaying TTL.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, String>,
+    ) -> Result<(Arc<T>, CacheOutcome), CacheError> {
+        let mut waited = false;
+        let mut slots = self.slots.lock().expect("plan cache lock");
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    let out = if waited { CacheOutcome::Waited } else { CacheOutcome::Hit };
+                    return Ok((Arc::clone(v), out));
+                }
+                Some(Slot::Poisoned { until, failures, detail }) => {
+                    let now = Instant::now();
+                    if now < *until {
+                        return Err(CacheError::NegativelyCached {
+                            detail: detail.clone(),
+                            retry_in: *until - now,
+                        });
+                    }
+                    // Decayed: this caller retries the build, keeping the
+                    // failure streak for the next backoff step.
+                    let failures = *failures;
+                    slots.insert(key, Slot::Building);
+                    return self.run_build(slots, key, failures, build);
+                }
+                Some(Slot::Building) => {
+                    waited = true;
+                    slots = self.cv.wait(slots).expect("plan cache lock");
+                }
+                None => {
+                    slots.insert(key, Slot::Building);
+                    return self.run_build(slots, key, 0, build);
+                }
+            }
+        }
+    }
+
+    fn run_build(
+        &self,
+        slots: std::sync::MutexGuard<'_, HashMap<u64, Slot<T>>>,
+        key: u64,
+        prior_failures: u32,
+        build: impl FnOnce() -> Result<T, String>,
+    ) -> Result<(Arc<T>, CacheOutcome), CacheError> {
+        // Build outside the lock: an inspection can take seconds and must
+        // not serialize lookups of other fingerprints.
+        drop(slots);
+        let built = catch_unwind(AssertUnwindSafe(build)).unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("plan build panicked: {msg}"))
+        });
+        let mut slots = self.slots.lock().expect("plan cache lock");
+        let result = match built {
+            Ok(v) => {
+                let v = Arc::new(v);
+                slots.insert(key, Slot::Ready(Arc::clone(&v)));
+                Ok((v, CacheOutcome::Built))
+            }
+            Err(detail) => {
+                let failures = prior_failures + 1;
+                slots.insert(
+                    key,
+                    Slot::Poisoned {
+                        until: Instant::now() + self.backoff(failures),
+                        failures,
+                        detail: detail.clone(),
+                    },
+                );
+                Err(CacheError::BuildFailed { detail })
+            }
+        };
+        drop(slots);
+        self.cv.notify_all();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hit_after_build_and_peek() {
+        let cache = PlanCache::new(Duration::from_millis(50));
+        assert!(cache.peek(1).is_none());
+        let (v, out) = cache.get_or_build(1, || Ok(7usize)).unwrap();
+        assert_eq!((*v, out), (7, CacheOutcome::Built));
+        let (v, out) = cache.get_or_build(1, || panic!("must not rebuild")).unwrap();
+        assert_eq!((*v, out), (7, CacheOutcome::Hit));
+        assert_eq!(*cache.peek(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn single_flight_builds_once_for_concurrent_callers() {
+        let cache = Arc::new(PlanCache::new(Duration::from_millis(50)));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (cache, builds) = (Arc::clone(&cache), Arc::clone(&builds));
+                std::thread::spawn(move || {
+                    cache
+                        .get_or_build(9, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok(42usize)
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one build");
+        assert!(outcomes.iter().all(|(v, _)| **v == 42));
+        assert_eq!(outcomes.iter().filter(|(_, o)| *o == CacheOutcome::Built).count(), 1);
+    }
+
+    #[test]
+    fn failed_build_is_negatively_cached_with_decay() {
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(40));
+        let err = cache.get_or_build(3, || Err("boom".into())).unwrap_err();
+        assert!(matches!(err, CacheError::BuildFailed { .. }));
+        assert_eq!(err.detail(), "boom");
+        // Within the TTL: refused without calling the builder.
+        let err = cache.get_or_build(3, || panic!("must not run")).unwrap_err();
+        assert!(matches!(err, CacheError::NegativelyCached { .. }));
+        // After decay: the builder runs again; a second failure doubles
+        // the backoff.
+        std::thread::sleep(Duration::from_millis(50));
+        let err = cache.get_or_build(3, || Err("boom2".into())).unwrap_err();
+        assert!(matches!(err, CacheError::BuildFailed { .. }));
+        match cache.get_or_build(3, || Ok(1usize)) {
+            Err(CacheError::NegativelyCached { retry_in, .. }) => {
+                assert!(retry_in > Duration::from_millis(40), "backoff must have doubled");
+            }
+            other => panic!("expected negative entry, got {:?}", other.map(|(v, o)| (*v, o))),
+        }
+        // Eventually a successful rebuild clears the poison.
+        std::thread::sleep(Duration::from_millis(100));
+        let (v, out) = cache.get_or_build(3, || Ok(5usize)).unwrap();
+        assert_eq!((*v, out), (5, CacheOutcome::Built));
+    }
+
+    #[test]
+    fn panicking_build_poisons_instead_of_wedging() {
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30));
+        let err = cache.get_or_build(4, || panic!("inspector crash")).unwrap_err();
+        assert!(err.detail().contains("inspector crash"), "{}", err.detail());
+        // Waiters are released, the key is poisoned, the cache still works.
+        assert!(cache.get_or_build(4, || Ok(1usize)).is_err());
+        let (v, _) = cache.get_or_build(5, || Ok(2usize)).unwrap();
+        assert_eq!(*v, 2);
+    }
+
+    #[test]
+    fn invalidate_drops_only_ready_entries() {
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30));
+        cache.get_or_build(6, || Ok(1usize)).unwrap();
+        cache.invalidate(6);
+        assert!(cache.peek(6).is_none());
+        let _ = cache.get_or_build(7, || Err("bad".into()));
+        cache.invalidate(7); // poisoned entries stay
+        assert!(matches!(
+            cache.get_or_build(7, || Ok(1usize)),
+            Err(CacheError::NegativelyCached { .. })
+        ));
+    }
+}

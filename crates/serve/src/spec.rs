@@ -1,0 +1,284 @@
+//! The request wire format.
+//!
+//! A kernel request is a plain-text body of `key=value` lines:
+//!
+//! ```text
+//! matrix=grid:32:32
+//! k=4
+//! x=seed:7
+//! ```
+//!
+//! Matrices are described by *generator specs* rather than uploaded:
+//! every spec is deterministic, so two tenants naming the same spec get
+//! the same matrix (and therefore the same fingerprint and the same
+//! cached plan), and a load generator can replay a scenario exactly.
+//! All parameters are bounds-checked at parse time — a request must not
+//! be able to ask the server for an unbounded allocation.
+
+use fbmpk_gen::banded::{banded_symmetric, BandedParams};
+use fbmpk_gen::poisson::grid2d_5pt;
+use fbmpk_gen::rmat::{rmat, RmatParams};
+use fbmpk_sparse::Csr;
+
+/// Largest matrix dimension a request may name (2²² rows ≈ 100 MB of
+/// CSR at typical densities — generous, but bounded).
+pub const MAX_N: usize = 1 << 22;
+/// Largest power `k` a request may ask for.
+pub const MAX_K: usize = 64;
+
+/// A deterministic matrix-generator spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MatrixSpec {
+    /// `grid:NX:NY` — 2-D 5-point Poisson stencil.
+    Grid { nx: usize, ny: usize },
+    /// `banded:N:NNZ:BW:SEED` — banded symmetric random matrix with
+    /// `NNZ` mean nonzeros per row inside half-bandwidth `BW`.
+    Banded { n: usize, nnz_per_row: u32, bandwidth: usize, seed: u64 },
+    /// `rmat:SCALE:EF:SEED` — power-law R-MAT graph, `n = 2^SCALE`,
+    /// `EF` edges per vertex, symmetric pattern.
+    Rmat { scale: u32, edge_factor: usize, seed: u64 },
+}
+
+impl MatrixSpec {
+    /// Parses `grid:32:32`-style specs; the error is a client-facing
+    /// message (the 400 body).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let fields: Vec<&str> = s.split(':').collect();
+        let num = |f: &str, what: &str| -> Result<u64, String> {
+            f.parse::<u64>().map_err(|_| format!("bad {what} in matrix spec {s:?}"))
+        };
+        let spec = match fields.as_slice() {
+            ["grid", nx, ny] => MatrixSpec::Grid {
+                nx: num(nx, "nx")? as usize,
+                ny: num(ny, "ny")? as usize,
+            },
+            ["banded", n, nnz, bw, seed] => MatrixSpec::Banded {
+                n: num(n, "n")? as usize,
+                nnz_per_row: num(nnz, "nnz_per_row")? as u32,
+                bandwidth: num(bw, "bandwidth")? as usize,
+                seed: num(seed, "seed")?,
+            },
+            ["rmat", scale, ef, seed] => MatrixSpec::Rmat {
+                scale: num(scale, "scale")? as u32,
+                edge_factor: num(ef, "edge_factor")? as usize,
+                seed: num(seed, "seed")?,
+            },
+            _ => return Err(format!("unknown matrix spec {s:?} (grid:NX:NY | banded:N:NNZ:BW:SEED | rmat:SCALE:EF:SEED)")),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let ok = match *self {
+            MatrixSpec::Grid { nx, ny } => {
+                nx >= 1 && ny >= 1 && nx <= MAX_N && ny <= MAX_N && nx.saturating_mul(ny) <= MAX_N
+            }
+            MatrixSpec::Banded { n, nnz_per_row, bandwidth, .. } => {
+                (1..=MAX_N).contains(&n) && (1..=256).contains(&nnz_per_row) && bandwidth <= n
+            }
+            MatrixSpec::Rmat { scale, edge_factor, .. } => {
+                scale >= 1 && (1usize << scale.min(63)) <= MAX_N && (1..=64).contains(&edge_factor)
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("matrix spec out of bounds: {}", self.canonical()))
+        }
+    }
+
+    /// The normalized spec string — the key of the spec → fingerprint
+    /// map (parsing then canonicalizing is idempotent).
+    pub fn canonical(&self) -> String {
+        match *self {
+            MatrixSpec::Grid { nx, ny } => format!("grid:{nx}:{ny}"),
+            MatrixSpec::Banded { n, nnz_per_row, bandwidth, seed } => {
+                format!("banded:{n}:{nnz_per_row}:{bandwidth}:{seed}")
+            }
+            MatrixSpec::Rmat { scale, edge_factor, seed } => {
+                format!("rmat:{scale}:{edge_factor}:{seed}")
+            }
+        }
+    }
+
+    /// Runs the generator. Deterministic: the same spec always yields a
+    /// bit-identical matrix.
+    pub fn build(&self) -> Csr {
+        match *self {
+            MatrixSpec::Grid { nx, ny } => grid2d_5pt(nx, ny),
+            MatrixSpec::Banded { n, nnz_per_row, bandwidth, seed } => {
+                banded_symmetric(BandedParams {
+                    n,
+                    nnz_per_row: nnz_per_row as f64,
+                    bandwidth,
+                    seed,
+                })
+            }
+            MatrixSpec::Rmat { scale, edge_factor, seed } => {
+                rmat(RmatParams { scale, edge_factor, symmetric: true, seed, ..Default::default() })
+            }
+        }
+    }
+}
+
+/// How the input vector is supplied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XSpec {
+    /// `x=ones` — all-ones vector.
+    Ones,
+    /// `x=seed:S` — deterministic pseudo-random values in `[-1, 1)`
+    /// (splitmix64; platform-independent, so replays are bit-exact).
+    Seed(u64),
+    /// `x=v0,v1,…` — explicit values; the length must match the matrix.
+    Values(Vec<f64>),
+}
+
+impl XSpec {
+    fn parse(s: &str) -> Result<Self, String> {
+        if s == "ones" {
+            return Ok(XSpec::Ones);
+        }
+        if let Some(seed) = s.strip_prefix("seed:") {
+            let seed = seed.parse::<u64>().map_err(|_| format!("bad x seed {seed:?}"))?;
+            return Ok(XSpec::Seed(seed));
+        }
+        let values: Result<Vec<f64>, _> = s.split(',').map(|v| v.trim().parse::<f64>()).collect();
+        match values {
+            Ok(v) if !v.is_empty() => Ok(XSpec::Values(v)),
+            _ => Err(format!("bad x spec {s:?} (ones | seed:S | comma-separated values)")),
+        }
+    }
+
+    /// Materializes the vector for dimension `n`; explicit values of the
+    /// wrong length are a client error.
+    pub fn materialize(&self, n: usize) -> Result<Vec<f64>, String> {
+        match self {
+            XSpec::Ones => Ok(vec![1.0; n]),
+            XSpec::Seed(seed) => {
+                let mut state = *seed;
+                Ok((0..n)
+                    .map(|_| {
+                        let z = splitmix64(&mut state);
+                        ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                    })
+                    .collect())
+            }
+            XSpec::Values(v) => {
+                if v.len() == n {
+                    Ok(v.clone())
+                } else {
+                    Err(format!("x has {} values, matrix dimension is {n}", v.len()))
+                }
+            }
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A parsed kernel request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// The matrix to run against.
+    pub matrix: MatrixSpec,
+    /// Number of SpMV applications (`k=0` is the identity).
+    pub k: usize,
+    /// The input vector.
+    pub x: XSpec,
+}
+
+impl RequestSpec {
+    /// Parses a `key=value`-lines body; the error is the 400 body.
+    pub fn parse(body: &str) -> Result<Self, String> {
+        let (mut matrix, mut k, mut x) = (None, None, None);
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("bad request line {line:?} (want key=value)"));
+            };
+            match key.trim() {
+                "matrix" => matrix = Some(MatrixSpec::parse(value.trim())?),
+                "k" => {
+                    let v = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad k {:?}", value.trim()))?;
+                    if v > MAX_K {
+                        return Err(format!("k={v} exceeds the limit of {MAX_K}"));
+                    }
+                    k = Some(v);
+                }
+                "x" => x = Some(XSpec::parse(value.trim())?),
+                other => return Err(format!("unknown request key {other:?}")),
+            }
+        }
+        Ok(RequestSpec {
+            matrix: matrix.ok_or("missing matrix=")?,
+            k: k.unwrap_or(1),
+            x: x.unwrap_or(XSpec::Ones),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_canonicalizes() {
+        let s = RequestSpec::parse("matrix=grid:8:4\nk=3\nx=seed:9\n").unwrap();
+        assert_eq!(s.matrix, MatrixSpec::Grid { nx: 8, ny: 4 });
+        assert_eq!(s.matrix.canonical(), "grid:8:4");
+        assert_eq!(s.k, 3);
+        assert_eq!(s.x, XSpec::Seed(9));
+        let m = MatrixSpec::parse("banded:100:8:12:3").unwrap();
+        assert_eq!(MatrixSpec::parse(&m.canonical()).unwrap(), m);
+    }
+
+    #[test]
+    fn defaults_and_explicit_values() {
+        let s = RequestSpec::parse("matrix=grid:2:2\nx=1.5, 2.5,3,4").unwrap();
+        assert_eq!(s.k, 1);
+        assert_eq!(s.x.materialize(4).unwrap(), vec![1.5, 2.5, 3.0, 4.0]);
+        assert!(s.x.materialize(3).is_err());
+    }
+
+    #[test]
+    fn seed_vector_is_deterministic_and_bounded() {
+        let a = XSpec::Seed(42).materialize(100).unwrap();
+        let b = XSpec::Seed(42).materialize(100).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_ne!(a, XSpec::Seed(43).materialize(100).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(RequestSpec::parse("matrix=grid:0:4").is_err());
+        assert!(RequestSpec::parse("matrix=grid:9999999:9999999").is_err());
+        assert!(RequestSpec::parse("matrix=mystery:1").is_err());
+        assert!(RequestSpec::parse("matrix=grid:2:2\nk=1000").is_err());
+        assert!(RequestSpec::parse("matrix=grid:2:2\nbogus=1").is_err());
+        assert!(RequestSpec::parse("k=1").is_err(), "matrix is required");
+        assert!(MatrixSpec::parse("rmat:40:8:1").is_err(), "scale bound");
+    }
+
+    #[test]
+    fn specs_build_square_matrices() {
+        for spec in ["grid:6:5", "banded:64:6:8:1", "rmat:5:4:2"] {
+            let a = MatrixSpec::parse(spec).unwrap().build();
+            assert_eq!(a.nrows(), a.ncols(), "{spec}");
+            assert!(a.nrows() > 0, "{spec}");
+        }
+    }
+}

@@ -69,6 +69,9 @@ fn spec(matrix: &str, kernel: &str) -> RunSpec {
         simd: Some("avx2".into()),
         blocking: Some("streaming".into()),
         watchdog_fires: None,
+        latency_p50_ms: None,
+        latency_p99_ms: None,
+        shed_count: None,
     }
 }
 
