@@ -30,6 +30,12 @@ const DEGRADE_OCCUPANCY: f64 = 0.5;
 const NEW_TENANT_OCCUPANCY: f64 = 0.75;
 const UNCACHED_OCCUPANCY: f64 = 0.9;
 
+/// Bound on the known-tenant set (rung 2's allowlist). A trickle of
+/// distinct `X-Tenant` names must not grow memory without bound; at the
+/// cap an arbitrary established tenant is forgotten (it merely counts
+/// as "new" again under rung 2 until its next idle-time admission).
+const KNOWN_TENANT_CAP: usize = 4096;
+
 /// Why a request was shed (the `X-Fbmpk-Shed` response header).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShedReason {
@@ -187,7 +193,15 @@ impl Admission {
             }
             *count += 1;
         }
-        self.known.lock().expect("known tenants").insert(tenant.to_string());
+        {
+            let mut known = self.known.lock().expect("known tenants");
+            if !known.contains(tenant) && known.len() >= KNOWN_TENANT_CAP {
+                if let Some(victim) = known.iter().next().cloned() {
+                    known.remove(&victim);
+                }
+            }
+            known.insert(tenant.to_string());
+        }
         Decision::Admit {
             degrade: occupancy >= DEGRADE_OCCUPANCY && !plan_cached,
             ticket: TenantTicket {
@@ -200,6 +214,11 @@ impl Admission {
     /// In-flight count for `tenant` (tests and stats).
     pub fn tenant_inflight(&self, tenant: &str) -> usize {
         self.inflight.lock().expect("tenant inflight").get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Size of the known-tenant allowlist (tests assert the bound).
+    pub fn known_tenants(&self) -> usize {
+        self.known.lock().expect("known tenants").len()
     }
 }
 
@@ -302,6 +321,20 @@ mod tests {
             a.dequeued();
         }
         assert_eq!(a.depth(), 0);
+    }
+
+    #[test]
+    fn known_tenant_set_is_bounded() {
+        let a = Admission::new(10, 2, 2);
+        for i in 0..(KNOWN_TENANT_CAP + 50) {
+            let t = admit_ok(&a, &format!("tenant-{i}"), true).expect("idle admission").1;
+            drop(t);
+        }
+        assert!(
+            a.known_tenants() <= KNOWN_TENANT_CAP,
+            "allowlist grew to {} entries",
+            a.known_tenants()
+        );
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! a TTL that doubles with each consecutive failure, so a crashing
 //! tenant cannot wedge the cache — or the builder threads — by
 //! retrying in a loop.
+//!
+//! The cache is **bounded**: at most `cap` resident entries (ready or
+//! poisoned; in-flight builds are never evicted). A plan for a
+//! `MAX_N`-sized matrix costs on the order of 100 MB, so an unbounded
+//! map would let a slow trickle of distinct valid specs grow memory
+//! without ever tripping the occupancy-based shedding ladder. Eviction
+//! prefers, in order: expired negative entries (already worthless),
+//! then the least-recently-used ready entry, then the oldest negative
+//! entry. Evicting a ready entry only drops the cache's `Arc`; requests
+//! already holding the plan keep it alive until they finish.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,7 +68,11 @@ impl CacheError {
 enum Slot<T> {
     /// A build is in flight; waiters sleep on the condvar.
     Building,
-    Ready(Arc<T>),
+    Ready {
+        value: Arc<T>,
+        /// Logical access clock value at the last hit (LRU eviction key).
+        last_used: u64,
+    },
     /// A failed build; refused until `until`, then retried. `failures`
     /// survives the decay so repeat offenders back off exponentially.
     Poisoned {
@@ -68,33 +82,65 @@ enum Slot<T> {
     },
 }
 
-/// A keyed single-flight cache with negative caching. `T` is the plan
-/// bundle; the cache never clones it, only the `Arc`.
+struct Slots<T> {
+    map: HashMap<u64, Slot<T>>,
+    /// Monotonic access counter backing the LRU order.
+    clock: u64,
+}
+
+/// A keyed single-flight cache with negative caching and a bounded
+/// resident count. `T` is the plan bundle; the cache never clones it,
+/// only the `Arc`.
 pub struct PlanCache<T> {
-    slots: Mutex<HashMap<u64, Slot<T>>>,
+    slots: Mutex<Slots<T>>,
     cv: Condvar,
     neg_ttl_base: Duration,
+    cap: usize,
 }
 
 /// Cap the exponential negative-TTL backoff at `base × 2⁶`.
 const MAX_BACKOFF_DOUBLINGS: u32 = 6;
 
 impl<T> PlanCache<T> {
-    /// An empty cache whose negative entries start at `neg_ttl_base` and
-    /// double per consecutive failure (capped at 64×).
-    pub fn new(neg_ttl_base: Duration) -> Self {
-        PlanCache { slots: Mutex::new(HashMap::new()), cv: Condvar::new(), neg_ttl_base }
+    /// An empty cache holding at most `cap` resident entries, whose
+    /// negative entries start at `neg_ttl_base` and double per
+    /// consecutive failure (capped at 64×).
+    pub fn new(neg_ttl_base: Duration, cap: usize) -> Self {
+        PlanCache {
+            slots: Mutex::new(Slots { map: HashMap::new(), clock: 0 }),
+            cv: Condvar::new(),
+            neg_ttl_base,
+            cap: cap.max(1),
+        }
     }
 
     fn backoff(&self, failures: u32) -> Duration {
         self.neg_ttl_base * (1u32 << failures.saturating_sub(1).min(MAX_BACKOFF_DOUBLINGS))
     }
 
+    /// Resident entry count (ready + poisoned + building; tests assert
+    /// the bound).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("plan cache lock").map.len()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// The resident entry for `key`, if ready — never builds, never
     /// waits (the admission ladder uses this to ask "is this cached?").
+    /// Counts as a use for LRU purposes.
     pub fn peek(&self, key: u64) -> Option<Arc<T>> {
-        match self.slots.lock().expect("plan cache lock").get(&key) {
-            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
+        let mut slots = self.slots.lock().expect("plan cache lock");
+        slots.clock += 1;
+        let now = slots.clock;
+        match slots.map.get_mut(&key) {
+            Some(Slot::Ready { value, last_used }) => {
+                *last_used = now;
+                Some(Arc::clone(value))
+            }
             _ => None,
         }
     }
@@ -104,8 +150,47 @@ impl<T> PlanCache<T> {
     /// left alone; existing `Arc` holders keep their entry.
     pub fn invalidate(&self, key: u64) {
         let mut slots = self.slots.lock().expect("plan cache lock");
-        if let Some(Slot::Ready(_)) = slots.get(&key) {
-            slots.remove(&key);
+        if let Some(Slot::Ready { .. }) = slots.map.get(&key) {
+            slots.map.remove(&key);
+        }
+    }
+
+    /// Evicts until at most `cap` entries remain, preferring expired
+    /// negative entries, then LRU ready entries, then oldest negative
+    /// entries. `Building` slots are never evicted (a waiter is parked
+    /// on them), so the map can transiently exceed `cap` only by the
+    /// number of concurrent in-flight builds.
+    fn evict_excess(&self, slots: &mut Slots<T>) {
+        while slots.map.len() > self.cap {
+            let now = Instant::now();
+            let mut expired_neg: Option<u64> = None;
+            let mut lru_ready: Option<(u64, u64)> = None;
+            let mut oldest_neg: Option<(u64, Instant)> = None;
+            for (&key, slot) in &slots.map {
+                match slot {
+                    Slot::Building => {}
+                    Slot::Ready { last_used, .. } => {
+                        if lru_ready.is_none_or(|(_, lu)| *last_used < lu) {
+                            lru_ready = Some((key, *last_used));
+                        }
+                    }
+                    Slot::Poisoned { until, .. } => {
+                        if *until <= now {
+                            expired_neg = Some(key);
+                        } else if oldest_neg.is_none_or(|(_, u)| *until < u) {
+                            oldest_neg = Some((key, *until));
+                        }
+                    }
+                }
+            }
+            let victim = expired_neg.or(lru_ready.map(|(k, _)| k)).or(oldest_neg.map(|(k, _)| k));
+            match victim {
+                Some(key) => {
+                    slots.map.remove(&key);
+                }
+                // Everything is Building: nothing evictable right now.
+                None => break,
+            }
         }
     }
 
@@ -121,10 +206,13 @@ impl<T> PlanCache<T> {
         let mut waited = false;
         let mut slots = self.slots.lock().expect("plan cache lock");
         loop {
-            match slots.get(&key) {
-                Some(Slot::Ready(v)) => {
+            slots.clock += 1;
+            let now_tick = slots.clock;
+            match slots.map.get_mut(&key) {
+                Some(Slot::Ready { value, last_used }) => {
+                    *last_used = now_tick;
                     let out = if waited { CacheOutcome::Waited } else { CacheOutcome::Hit };
-                    return Ok((Arc::clone(v), out));
+                    return Ok((Arc::clone(value), out));
                 }
                 Some(Slot::Poisoned { until, failures, detail }) => {
                     let now = Instant::now();
@@ -137,7 +225,7 @@ impl<T> PlanCache<T> {
                     // Decayed: this caller retries the build, keeping the
                     // failure streak for the next backoff step.
                     let failures = *failures;
-                    slots.insert(key, Slot::Building);
+                    slots.map.insert(key, Slot::Building);
                     return self.run_build(slots, key, failures, build);
                 }
                 Some(Slot::Building) => {
@@ -145,7 +233,7 @@ impl<T> PlanCache<T> {
                     slots = self.cv.wait(slots).expect("plan cache lock");
                 }
                 None => {
-                    slots.insert(key, Slot::Building);
+                    slots.map.insert(key, Slot::Building);
                     return self.run_build(slots, key, 0, build);
                 }
             }
@@ -154,7 +242,7 @@ impl<T> PlanCache<T> {
 
     fn run_build(
         &self,
-        slots: std::sync::MutexGuard<'_, HashMap<u64, Slot<T>>>,
+        slots: std::sync::MutexGuard<'_, Slots<T>>,
         key: u64,
         prior_failures: u32,
         build: impl FnOnce() -> Result<T, String>,
@@ -174,12 +262,14 @@ impl<T> PlanCache<T> {
         let result = match built {
             Ok(v) => {
                 let v = Arc::new(v);
-                slots.insert(key, Slot::Ready(Arc::clone(&v)));
+                slots.clock += 1;
+                let now_tick = slots.clock;
+                slots.map.insert(key, Slot::Ready { value: Arc::clone(&v), last_used: now_tick });
                 Ok((v, CacheOutcome::Built))
             }
             Err(detail) => {
                 let failures = prior_failures + 1;
-                slots.insert(
+                slots.map.insert(
                     key,
                     Slot::Poisoned {
                         until: Instant::now() + self.backoff(failures),
@@ -190,6 +280,7 @@ impl<T> PlanCache<T> {
                 Err(CacheError::BuildFailed { detail })
             }
         };
+        self.evict_excess(&mut slots);
         drop(slots);
         self.cv.notify_all();
         result
@@ -203,7 +294,7 @@ mod tests {
 
     #[test]
     fn hit_after_build_and_peek() {
-        let cache = PlanCache::new(Duration::from_millis(50));
+        let cache = PlanCache::new(Duration::from_millis(50), 16);
         assert!(cache.peek(1).is_none());
         let (v, out) = cache.get_or_build(1, || Ok(7usize)).unwrap();
         assert_eq!((*v, out), (7, CacheOutcome::Built));
@@ -214,7 +305,7 @@ mod tests {
 
     #[test]
     fn single_flight_builds_once_for_concurrent_callers() {
-        let cache = Arc::new(PlanCache::new(Duration::from_millis(50)));
+        let cache = Arc::new(PlanCache::new(Duration::from_millis(50), 16));
         let builds = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -238,7 +329,7 @@ mod tests {
 
     #[test]
     fn failed_build_is_negatively_cached_with_decay() {
-        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(40));
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(40), 16);
         let err = cache.get_or_build(3, || Err("boom".into())).unwrap_err();
         assert!(matches!(err, CacheError::BuildFailed { .. }));
         assert_eq!(err.detail(), "boom");
@@ -264,7 +355,7 @@ mod tests {
 
     #[test]
     fn panicking_build_poisons_instead_of_wedging() {
-        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30));
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30), 16);
         let err = cache.get_or_build(4, || panic!("inspector crash")).unwrap_err();
         assert!(err.detail().contains("inspector crash"), "{}", err.detail());
         // Waiters are released, the key is poisoned, the cache still works.
@@ -275,7 +366,7 @@ mod tests {
 
     #[test]
     fn invalidate_drops_only_ready_entries() {
-        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30));
+        let cache: PlanCache<usize> = PlanCache::new(Duration::from_millis(30), 16);
         cache.get_or_build(6, || Ok(1usize)).unwrap();
         cache.invalidate(6);
         assert!(cache.peek(6).is_none());
@@ -285,5 +376,44 @@ mod tests {
             cache.get_or_build(7, || Ok(1usize)),
             Err(CacheError::NegativelyCached { .. })
         ));
+    }
+
+    /// Distinct keys never grow the cache past its bound, and the evicted
+    /// entry is the least recently used.
+    #[test]
+    fn resident_count_is_bounded_and_eviction_is_lru() {
+        let cache: PlanCache<u64> = PlanCache::new(Duration::from_millis(30), 3);
+        for key in 0..3 {
+            cache.get_or_build(key, || Ok(key)).unwrap();
+        }
+        // Touch 0 and 2 so 1 is the LRU entry.
+        assert!(cache.peek(0).is_some());
+        assert!(cache.peek(2).is_some());
+        cache.get_or_build(3, || Ok(3)).unwrap();
+        assert_eq!(cache.len(), 3, "cap must hold after inserting a 4th key");
+        assert!(cache.peek(1).is_none(), "LRU entry must be the one evicted");
+        for key in [0u64, 2, 3] {
+            assert!(cache.peek(key).is_some(), "recently used key {key} must survive");
+        }
+        // A long trickle of distinct keys stays bounded.
+        for key in 100..200 {
+            cache.get_or_build(key, || Ok(key)).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+    }
+
+    /// Expired negative entries are evicted before any ready entry.
+    #[test]
+    fn expired_negative_entries_are_evicted_first() {
+        let cache: PlanCache<u64> = PlanCache::new(Duration::from_millis(5), 2);
+        cache.get_or_build(1, || Ok(1)).unwrap();
+        let _ = cache.get_or_build(2, || Err("bad".into()));
+        std::thread::sleep(Duration::from_millis(10));
+        // The negative entry for 2 has expired; inserting 3 must evict it,
+        // not the ready plan for 1.
+        cache.get_or_build(3, || Ok(3)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(1).is_some(), "live ready entry outranks an expired negative one");
+        assert!(cache.peek(3).is_some());
     }
 }

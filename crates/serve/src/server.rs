@@ -15,8 +15,13 @@
 //! Request headers: `X-Tenant` names the tenant (default `anonymous`),
 //! `X-Deadline-Ms` the time budget (default from [`ServeConfig`]; `0`
 //! means "already expired" and is answered 503 — the degenerate budget
-//! the load generator uses for hopeless-deadline scenarios). Response
-//! headers `X-Fbmpk-Shed`, `X-Fbmpk-Deadline`, `X-Fbmpk-Fault`,
+//! the load generator uses for hopeless-deadline scenarios). The budget
+//! is checked at admission (covering queue wait), again right before
+//! kernel execution (covering plan-build time), and — on `/v1/mpk`
+//! only — *during* the kernel via the per-request watchdog; `/v1/spmv`
+//! and `/v1/power` kernels run to completion once started, so their
+//! enforcement is strictly pre-execution. Response headers
+//! `X-Fbmpk-Shed`, `X-Fbmpk-Deadline`, `X-Fbmpk-Fault`,
 //! `X-Fbmpk-Degraded`, and `X-Fbmpk-Batch-Width` type every outcome so
 //! no client ever has to infer what happened from a dropped connection.
 
@@ -57,6 +62,11 @@ pub struct ServeConfig {
     /// Base TTL of negative plan-cache entries (doubles per consecutive
     /// failure).
     pub neg_ttl: Duration,
+    /// Bound on resident plan-cache entries (LRU-evicted beyond it). A
+    /// plan can cost ~100 MB at the spec grammar's size ceiling, so the
+    /// cache must be bounded even when the shedding ladder never
+    /// engages.
+    pub plan_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,9 +79,16 @@ impl Default for ServeConfig {
             tenant_cap: 8,
             default_deadline_ms: 10_000,
             neg_ttl: Duration::from_millis(250),
+            plan_cache_cap: 32,
         }
     }
 }
+
+/// Bound on the canonical-spec → fingerprint memo. Entries are tiny
+/// (string + u64) but keyed by client-controlled specs, so the map is
+/// capped; at the cap an arbitrary entry is dropped (costing one
+/// generator rebuild on that spec's next request).
+const SPEC_FP_CAP: usize = 4096;
 
 /// A cached per-matrix plan bundle.
 pub struct PlanEntry {
@@ -138,7 +155,7 @@ impl Server {
         let state = Arc::new(State {
             metrics: Arc::new(ServeMetrics::default()),
             admission: Arc::new(Admission::new(cfg.queue_cap, cfg.tenant_cap, cfg.handlers)),
-            cache: PlanCache::new(cfg.neg_ttl),
+            cache: PlanCache::new(cfg.neg_ttl, cfg.plan_cache_cap),
             spec_fps: Mutex::new(HashMap::new()),
             batcher: PowerBatcher::new(),
             cfg,
@@ -364,12 +381,13 @@ fn kernel_request(state: &State, request: &Request, arrived: Instant) -> Respons
         }
     };
     let started = Instant::now();
+    let deadline = arrived + Duration::from_millis(deadline_ms);
     // The request-scoped fault boundary: a panic anywhere below — an
     // inspector crash, a kernel assertion, an injected fault the pool
     // did not already convert — becomes a typed 500 for THIS request.
     // The ticket, queue, cache, and pools all stay healthy.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        execute(state, &request.path, &spec, deadline_ms.saturating_sub(queued_ms), degrade)
+        execute(state, &request.path, &spec, deadline, degrade)
     }));
     drop(ticket);
     let response = match outcome {
@@ -391,11 +409,24 @@ fn kernel_request(state: &State, request: &Request, arrived: Instant) -> Respons
     response
 }
 
+/// Milliseconds left until `deadline`, zero once past it.
+fn remaining_ms(deadline: Instant) -> u64 {
+    deadline.saturating_duration_since(Instant::now()).as_millis() as u64
+}
+
+/// The typed 503 for a budget that ran out before the kernel started
+/// (plan building and queueing behind a batch both spend budget).
+fn deadline_expired_response(m: &ServeMetrics, stage: &str) -> Response {
+    m.inc(&m.deadline_expired, "deadline_expired");
+    Response::text(503, format!("deadline expired before {stage}\n"))
+        .with_header("X-Fbmpk-Deadline", "expired")
+}
+
 fn execute(
     state: &State,
     path: &str,
     spec: &RequestSpec,
-    remaining_ms: u64,
+    deadline: Instant,
     degrade: bool,
 ) -> Response {
     let m = &state.metrics;
@@ -409,7 +440,15 @@ fn execute(
         None => {
             let csr = spec.matrix.build();
             let fp = fingerprint(&csr);
-            state.spec_fps.lock().expect("spec map").insert(canonical, fp);
+            {
+                let mut memo = state.spec_fps.lock().expect("spec map");
+                if memo.len() >= SPEC_FP_CAP {
+                    if let Some(victim) = memo.keys().next().cloned() {
+                        memo.remove(&victim);
+                    }
+                }
+                memo.insert(canonical, fp);
+            }
             prebuilt = Some(csr);
             fp
         }
@@ -467,6 +506,14 @@ fn execute(
             r
         }
     };
+    // Re-check the budget at the kernel boundary: plan building above
+    // can consume an arbitrary slice of it. Past this point `/v1/spmv`
+    // and `/v1/power` run to completion (mid-kernel enforcement is
+    // mpk-only, via the watchdog), so an already-expired budget must be
+    // refused here, not discovered by the client after the work is done.
+    if remaining_ms(deadline) == 0 {
+        return deadline_expired_response(m, "kernel execution (budget spent on plan build)");
+    }
     match path {
         "/v1/spmv" => {
             let mut y = vec![0.0; entry.csr.nrows()];
@@ -477,29 +524,39 @@ fn execute(
             }
             tag_degraded(Response::text(200, render_vector(&y)))
         }
-        "/v1/power" => match state.batcher.power(fp, spec.k, &entry.csr, x) {
-            Ok(out) => {
-                if out.width > 1 {
-                    m.inc(&m.batched, "batched");
-                } else {
-                    m.inc(&m.batch_executions, "batch_executions");
+        "/v1/power" => {
+            // `batch_executions` counts SpMM executions (incremented by
+            // whichever request leads the batch); `batched` counts
+            // requests that shared a width > 1 batch.
+            let count_exec = |_width: usize| m.inc(&m.batch_executions, "batch_executions");
+            match state.batcher.power(fp, spec.k, &entry.csr, x, &count_exec) {
+                Ok(out) => {
+                    if out.width > 1 {
+                        m.inc(&m.batched, "batched");
+                    }
+                    tag_degraded(
+                        Response::text(200, render_vector(&out.y))
+                            .with_header("X-Fbmpk-Batch-Width", out.width.to_string()),
+                    )
                 }
-                tag_degraded(
-                    Response::text(200, render_vector(&out.y))
-                        .with_header("X-Fbmpk-Batch-Width", out.width.to_string()),
-                )
+                Err(e) => {
+                    m.inc(&m.worker_fault, "worker_fault");
+                    Response::text(500, format!("worker fault: {e}\n"))
+                        .with_header("X-Fbmpk-Fault", "batch-leader")
+                }
             }
-            Err(e) => {
-                m.inc(&m.worker_fault, "worker_fault");
-                Response::text(500, format!("worker fault: {e}\n"))
-                    .with_header("X-Fbmpk-Fault", "batch-leader")
-            }
-        },
+        }
         "/v1/mpk" => {
             // One FBMPK invocation at a time per plan: the deadline
-            // override re-arms the plan's shared watchdog.
+            // override re-arms the plan's shared watchdog. Waiting for
+            // the lock spends budget, so the remaining time is computed
+            // after acquisition (and may already be zero).
             let _exec = entry.exec.lock().expect("plan exec lock");
-            match entry.fbmpk.try_power_deadline(&x, spec.k, remaining_ms.max(1)) {
+            let remaining = remaining_ms(deadline);
+            if remaining == 0 {
+                return deadline_expired_response(m, "kernel execution (budget spent waiting)");
+            }
+            match entry.fbmpk.try_power_deadline(&x, spec.k, remaining) {
                 Ok(y) => tag_degraded(Response::text(200, render_vector(&y))),
                 Err(FbmpkError::Stalled { waited_ms, dump, .. }) => {
                     m.inc(&m.deadline_expired, "deadline_expired");
